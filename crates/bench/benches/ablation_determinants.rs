@@ -1,0 +1,28 @@
+//! Ablation bench: value of each prediction determinant (a DESIGN.md
+//! extension beyond the paper's tables). Prints the ablation table once,
+//! then measures its computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use feam_eval::{ablation, render_ablation, Experiment};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let exp = Experiment::new(42);
+    let results = exp.run();
+    let a = ablation(&results);
+    println!("\n{}", render_ablation(&a));
+    // Disabling a determinant never increases accuracy beyond the full
+    // model by more than noise — check the headline ones dropped.
+    let full = a.full_nas;
+    let clib = a.rows.iter().find(|(n, ..)| n == "CLibrary").unwrap();
+    let libs = a.rows.iter().find(|(n, ..)| n == "SharedLibraries").unwrap();
+    assert!(clib.1 <= full, "C-library determinant must carry weight on NAS");
+    assert!(libs.1 < full, "shared-library determinant must carry weight on NAS");
+
+    c.bench_function("ablation_compute", |b| {
+        b.iter(|| black_box(ablation(black_box(&results))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! §VI.C-b bench: "a bundle of shared library copies composed by FEAM's
+//! source phase averaged 45M in size."
+//!
+//! Prints the per-site aggregate bundle sizes once (from the full sweep),
+//! then measures source-phase bundle composition.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use feam_core::phases::{run_source_phase, PhaseConfig};
+use feam_eval::{render_stats, stats, Experiment};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let exp = Experiment::new(42);
+    let results = exp.run();
+    let s = stats(&results);
+    println!("\n{}", render_stats(&s));
+    assert!(
+        s.avg_bundle_mib > 20.0 && s.avg_bundle_mib < 90.0,
+        "bundle sizes must stay in the paper's neighbourhood"
+    );
+
+    let cfg = PhaseConfig::default();
+    let item = &exp.corpus.binaries()[0];
+    let home = &exp.sites[item.compiled_at];
+    let mut g = c.benchmark_group("bundle");
+    g.sample_size(20);
+    g.bench_function("compose_source_bundle", |b| {
+        b.iter(|| black_box(run_source_phase(home, &item.image, &cfg).unwrap()))
+    });
+    let bundle = run_source_phase(home, &item.image, &cfg).unwrap();
+    g.bench_function("bundle_manifest_json", |b| {
+        b.iter(|| black_box(bundle.manifest()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Microbenchmarks of the substrates: ELF synthesis/parsing throughput,
+//! loader closure resolution, and site materialization.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use feam_elf::{Class, ElfFile, ElfSpec, ImportSpec, Machine};
+use feam_sim::loader::resolve_closure;
+use feam_sim::site::{Session, Site};
+use feam_workloads::sites::{ranger, standard_sites, FIR};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn app_spec() -> ElfSpec {
+    let mut spec = ElfSpec::executable(Machine::X86_64, Class::Elf64);
+    spec.needed = vec![
+        "libmpi.so.0".into(),
+        "libnsl.so.1".into(),
+        "libutil.so.1".into(),
+        "libgfortran.so.1".into(),
+        "libm.so.6".into(),
+        "libc.so.6".into(),
+    ];
+    spec.imports = vec![
+        ImportSpec::versioned("memcpy", "libc.so.6", "GLIBC_2.2.5"),
+        ImportSpec::versioned("fopen64", "libc.so.6", "GLIBC_2.3.4"),
+        ImportSpec::plain("MPI_Init", "libmpi.so.0"),
+        ImportSpec::plain("_gfortran_st_write", "libgfortran.so.1"),
+    ];
+    spec.comments = vec!["GCC: (GNU) 4.1.2 20080704 (Red Hat 4.1.2-50)".into()];
+    spec.text_size = 256 * 1024;
+    spec
+}
+
+fn bench(c: &mut Criterion) {
+    let spec = app_spec();
+    let bytes = spec.build().unwrap();
+
+    let mut g = c.benchmark_group("elf");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("build_256k_binary", |b| b.iter(|| black_box(spec.build().unwrap())));
+    g.bench_function("parse_256k_binary", |b| {
+        b.iter(|| black_box(ElfFile::parse(black_box(&bytes)).unwrap()))
+    });
+    g.finish();
+
+    // Loader closure resolution over a fully populated site.
+    let sites = standard_sites(42);
+    let fir = &sites[FIR];
+    let item_stack = fir.stacks[1].clone(); // openmpi-gnu
+    let bin = feam_sim::compile::compile(
+        fir,
+        Some(&item_stack),
+        &feam_sim::compile::ProgramSpec::new("bt", feam_sim::toolchain::Language::Fortran),
+        42,
+    )
+    .unwrap();
+    let mut g = c.benchmark_group("loader");
+    g.bench_function("resolve_full_closure", |b| {
+        b.iter(|| {
+            let mut sess = Session::new(fir);
+            sess.load_stack(&item_stack);
+            sess.stage_file("/r/bt", Arc::clone(&bin.image));
+            black_box(resolve_closure(&sess, "/r/bt").unwrap())
+        })
+    });
+    g.finish();
+
+    // Site materialization: every library image synthesized from scratch.
+    let mut g = c.benchmark_group("site");
+    g.sample_size(10);
+    g.bench_function("materialize_ranger", |b| {
+        b.iter(|| black_box(Site::build(ranger(42))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! §VI.C-a bench: "both FEAM's source and target phases always took less
+//! than five minutes to complete."
+//!
+//! Prints the simulated CPU budget of each phase once (the apples-to-apples
+//! comparison with the paper's claim), then measures real wall time of each
+//! phase in the simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use feam_core::phases::{run_source_phase, run_target_phase, PhaseConfig};
+use feam_sim::compile::{compile, ProgramSpec};
+use feam_sim::toolchain::Language;
+use feam_workloads::sites::{standard_sites, INDIA, RANGER};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = PhaseConfig::default();
+    let sites = standard_sites(42);
+    let ranger = &sites[RANGER];
+    let india = &sites[INDIA];
+    let stack = ranger.stacks[1].clone();
+    let bin = compile(ranger, Some(&stack), &ProgramSpec::new("bt", Language::Fortran), 42)
+        .unwrap();
+    let bundle = run_source_phase(ranger, &bin.image, &cfg).unwrap();
+    let outcome = run_target_phase(india, Some(&bin.image), Some(&bundle), &cfg);
+    println!(
+        "\nsimulated phase CPU budget: target phase {:.1}s (paper bound: 300s)",
+        outcome.cpu_seconds
+    );
+    assert!(outcome.cpu_seconds < 300.0);
+
+    let mut g = c.benchmark_group("phase_runtime");
+    g.sample_size(20);
+    g.bench_function("source_phase", |b| {
+        b.iter(|| black_box(run_source_phase(ranger, &bin.image, &cfg).unwrap()))
+    });
+    g.bench_function("target_phase_basic", |b| {
+        b.iter(|| black_box(run_target_phase(india, Some(&bin.image), None, &cfg)))
+    });
+    g.bench_function("target_phase_extended", |b| {
+        b.iter(|| black_box(run_target_phase(india, Some(&bin.image), Some(&bundle), &cfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

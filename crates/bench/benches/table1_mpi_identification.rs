@@ -1,0 +1,47 @@
+//! Table I bench: MPI implementation identification from link-level
+//! signatures, over the real evaluation corpus.
+//!
+//! Prints the regenerated Table I once, then measures identification
+//! throughput (description parse + Table I classification per binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use feam_core::bdc::{identify_mpi, BinaryDescription};
+use feam_eval::{render_table1, table1, Experiment};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let exp = Experiment::new(42);
+    println!("\n{}", render_table1(&table1(&exp)));
+    let images: Vec<_> = exp
+        .corpus
+        .binaries()
+        .iter()
+        .take(32)
+        .map(|b| b.image.clone())
+        .collect();
+    let needed_lists: Vec<Vec<String>> = images
+        .iter()
+        .map(|img| BinaryDescription::from_bytes("b", img).unwrap().needed)
+        .collect();
+
+    let mut g = c.benchmark_group("table1_mpi_identification");
+    g.bench_function("identify_from_needed_list", |b| {
+        b.iter(|| {
+            for needed in &needed_lists {
+                black_box(identify_mpi(black_box(needed)));
+            }
+        })
+    });
+    g.bench_function("describe_and_identify_binary", |b| {
+        b.iter(|| {
+            for img in &images {
+                let d = BinaryDescription::from_bytes("b", black_box(img)).unwrap();
+                black_box(d.mpi);
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

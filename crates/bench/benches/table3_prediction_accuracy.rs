@@ -1,0 +1,43 @@
+//! Table III bench: regenerates the prediction-accuracy table once (full
+//! §VI sweep), then measures the cost of the primitives behind it — one
+//! basic and one extended target-phase evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use feam_core::phases::{run_source_phase, run_target_phase, PhaseConfig};
+use feam_eval::{render_table3, table3, Experiment};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let exp = Experiment::new(42);
+    let results = exp.run();
+    println!("\n{}", render_table3(&table3(&results)));
+
+    // A representative migration: first corpus binary to the next site.
+    let item = &exp.corpus.binaries()[0];
+    let home = &exp.sites[item.compiled_at];
+    let target = exp
+        .sites
+        .iter()
+        .find(|s| {
+            s.name() != home.name()
+                && s.stacks
+                    .iter()
+                    .any(|st| st.stack.mpi == item.binary.stack.as_ref().unwrap().mpi)
+        })
+        .expect("a matching target exists");
+    let cfg = PhaseConfig::default();
+    let bundle = run_source_phase(home, &item.image, &cfg).unwrap();
+
+    let mut g = c.benchmark_group("table3_prediction");
+    g.sample_size(20);
+    g.bench_function("basic_target_phase", |b| {
+        b.iter(|| black_box(run_target_phase(target, Some(&item.image), None, &cfg)))
+    });
+    g.bench_function("extended_target_phase", |b| {
+        b.iter(|| black_box(run_target_phase(target, Some(&item.image), Some(&bundle), &cfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

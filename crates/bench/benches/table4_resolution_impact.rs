@@ -1,0 +1,57 @@
+//! Table IV bench: regenerates the resolution-impact table once (full §VI
+//! sweep), then measures the resolution model itself — recursive
+//! library-copy usability checking and staging.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use feam_core::phases::{run_source_phase, PhaseConfig};
+use feam_core::resolve::resolve_missing;
+use feam_eval::{render_table4, table4, Experiment};
+use feam_sim::site::Session;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let exp = Experiment::new(42);
+    let results = exp.run();
+    println!("\n{}", render_table4(&table4(&results)));
+
+    // A PGI binary (large resolvable closure) and its bundle.
+    let item = exp
+        .corpus
+        .binaries()
+        .iter()
+        .find(|b| {
+            b.binary.stack.as_ref().unwrap().compiler.family
+                == feam_sim::toolchain::CompilerFamily::Pgi
+        })
+        .expect("corpus has PGI binaries");
+    let home = &exp.sites[item.compiled_at];
+    let bundle = run_source_phase(home, &item.image, &PhaseConfig::default()).unwrap();
+    let target = exp.sites.iter().find(|s| s.name() == "india").unwrap();
+    let missing: Vec<String> = bundle
+        .libraries
+        .keys()
+        .filter(|k| k.starts_with("libpg"))
+        .cloned()
+        .collect();
+    assert!(!missing.is_empty());
+    let glibc = target.glibc_version();
+
+    let mut g = c.benchmark_group("table4_resolution");
+    g.bench_function("resolve_missing_pgi_closure", |b| {
+        b.iter(|| {
+            let mut sess = Session::new(target);
+            black_box(resolve_missing(
+                &mut sess,
+                &bundle,
+                black_box(&missing),
+                feam_elf::HostArch::X86_64,
+                Some(&glibc),
+                "/stage",
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

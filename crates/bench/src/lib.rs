@@ -1,0 +1,15 @@
+//! # feam-bench — the benchmark harness
+//!
+//! Criterion benches, one per paper table / §VI.C statistic plus substrate
+//! microbenches. Each table bench regenerates its table once (printed to
+//! stdout) before measuring the primitives behind it:
+//!
+//! * `table1_mpi_identification` — Table I + identification throughput,
+//! * `table3_prediction_accuracy` — Table III + target-phase latency,
+//! * `table4_resolution_impact` — Table IV + resolution-model latency,
+//! * `phase_runtime` — §VI.C-a (phases < 5 min) + phase wall times,
+//! * `bundle_size` — §VI.C-b (≈45M bundles) + bundle composition,
+//! * `ablation_determinants` — per-determinant value (DESIGN.md extension),
+//! * `elf_micro` — ELF build/parse throughput, loader closure, site build.
+//!
+//! Run with `cargo bench --workspace`.

@@ -1,0 +1,351 @@
+//! The Binary Description Component (§V.A).
+//!
+//! Gathers the Figure 3 information about an MPI application binary:
+//!
+//! * ISA and file format of the binary,
+//! * library name and version, if the binary is itself a shared library,
+//! * required shared libraries (with copies and descriptions at a GEE),
+//! * C library version requirements,
+//! * MPI stack, operating system, and C library version used to build it.
+//!
+//! Information is gathered the way FEAM does it: primarily by parsing the
+//! ELF image (`objdump -p` / `readelf` equivalents via `feam-elf`), with
+//! `ldd`-based dependency location at guaranteed execution sites and
+//! `locate`/`find` fallbacks when `ldd` is absent or unreliable.
+
+use crate::error::{FeamError, Result};
+use feam_elf::comment::{extract_provenance, Provenance};
+use feam_elf::{Class, ElfFile, FileKind, Machine, Soname, VersionName, VersionRef};
+use feam_sim::mpi::MpiImpl;
+use feam_sim::site::Session;
+use feam_sim::tools::{self, LddResult};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Identification of the MPI implementation a binary was compiled with,
+/// using Table I's link-level signatures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MpiIdentification {
+    /// Identified as one of the three implementations.
+    Identified(MpiImpl),
+    /// Dynamically linked but no MPI library among the dependencies.
+    NotMpi,
+}
+
+/// Table I: identify the MPI implementation from the `DT_NEEDED` list.
+///
+/// * MVAPICH2 — `libmpich`/`libmpichf90` **and** `libibverbs` + `libibumad`;
+/// * Open MPI — `libnsl` + `libutil` (and `libmpi`);
+/// * MPICH2 — `libmpich`/`libmpichf90` and *not* the other identifiers.
+pub fn identify_mpi(needed: &[String]) -> MpiIdentification {
+    let has = |prefix: &str| needed.iter().any(|n| n.starts_with(prefix));
+    let has_mpich = has("libmpich");
+    let has_ibverbs = has("libibverbs");
+    let has_ibumad = has("libibumad");
+    let has_openmpi_lib = has("libmpi.so") || has("libmpi_f77") || has("libmpi_f90");
+    let has_nsl = has("libnsl");
+    let has_util = has("libutil");
+    if has_mpich {
+        if has_ibverbs && has_ibumad {
+            MpiIdentification::Identified(MpiImpl::Mvapich2)
+        } else {
+            MpiIdentification::Identified(MpiImpl::Mpich2)
+        }
+    } else if has_openmpi_lib && has_nsl && has_util {
+        MpiIdentification::Identified(MpiImpl::OpenMpi)
+    } else if has_openmpi_lib {
+        // libmpi present but the companion identifiers are not: still Open
+        // MPI's library lineage.
+        MpiIdentification::Identified(MpiImpl::OpenMpi)
+    } else {
+        MpiIdentification::NotMpi
+    }
+}
+
+/// Build-environment hints recovered from `.comment` (what OS / compiler /
+/// C library the binary was created with).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BuildEnvironment {
+    /// Compiler identification string.
+    pub compiler: Option<String>,
+    /// Distribution hint from the compiler vendor string.
+    pub distro_hint: Option<String>,
+}
+
+/// The Figure 3 description of one binary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BinaryDescription {
+    /// Where the binary was read from.
+    pub path: String,
+    /// File format name (always `ELF` for parseable inputs).
+    pub format: String,
+    pub machine: Machine,
+    pub class: Class,
+    pub kind: FileKind,
+    /// Whether the binary is dynamically linked.
+    pub is_dynamic: bool,
+    /// `DT_NEEDED` sonames.
+    pub needed: Vec<String>,
+    /// For shared libraries: the official shared-object name…
+    pub soname: Option<String>,
+    /// …and the version information embedded in it.
+    pub embedded_version: Option<Soname>,
+    /// The required C library version (§III.C).
+    pub required_glibc: Option<VersionName>,
+    /// Full Version References (used by extended compatibility checks).
+    pub version_refs: Vec<VersionRef>,
+    /// MPI implementation identification (Table I).
+    pub mpi: MpiIdentification,
+    /// Raw `.comment` strings.
+    pub comments: Vec<String>,
+    /// Parsed build-environment hints.
+    pub build_env: BuildEnvironment,
+    /// `NT_GNU_ABI_TAG` (OS + minimum kernel), when present.
+    pub abi_tag: Option<feam_elf::AbiTag>,
+    /// Image size in bytes.
+    pub size: usize,
+}
+
+impl BinaryDescription {
+    /// Describe an ELF image read from `path` bytes.
+    pub fn from_bytes(path: &str, bytes: &[u8]) -> Result<Self> {
+        let f = ElfFile::parse(bytes)
+            .map_err(|e| FeamError::BinaryUnreadable(format!("{path}: {e}")))?;
+        let provenance: Provenance = extract_provenance(f.comments());
+        let needed = f.needed().to_vec();
+        Ok(BinaryDescription {
+            path: path.to_string(),
+            format: "ELF".to_string(),
+            machine: f.machine(),
+            class: f.class(),
+            kind: f.kind(),
+            is_dynamic: f.is_dynamic(),
+            soname: f.soname().map(str::to_string),
+            embedded_version: f.soname().and_then(Soname::parse),
+            required_glibc: f.required_glibc(),
+            version_refs: f.version_refs().to_vec(),
+            mpi: identify_mpi(&needed),
+            needed,
+            comments: f.comments().to_vec(),
+            build_env: BuildEnvironment {
+                compiler: provenance.compiler,
+                distro_hint: provenance.distro_hint,
+            },
+            abi_tag: f.abi_tag(),
+            size: bytes.len(),
+        })
+    }
+
+    /// Describe the binary at `path` within a session.
+    pub fn from_session(sess: &Session<'_>, path: &str) -> Result<Self> {
+        let bytes = sess
+            .read_bytes(path)
+            .ok_or_else(|| FeamError::BinaryUnreadable(format!("{path}: no such file")))?;
+        Self::from_bytes(path, &bytes)
+    }
+
+    /// One-line summary for reports.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} {}-bit {} [{}], {} shared library deps, requires {}",
+            self.machine.name(),
+            self.class.bits(),
+            match self.kind {
+                FileKind::Executable => "executable",
+                FileKind::SharedObject => "shared object",
+                _ => "object",
+            },
+            match self.mpi {
+                MpiIdentification::Identified(i) => i.name(),
+                MpiIdentification::NotMpi => "no MPI",
+            },
+            self.needed.len(),
+            self.required_glibc
+                .as_ref()
+                .map(|v| v.render())
+                .unwrap_or_else(|| "no versioned C library".into()),
+        )
+    }
+}
+
+/// A shared-library copy gathered at a guaranteed execution environment.
+#[derive(Debug, Clone)]
+pub struct LibraryCopy {
+    /// The soname this copy provides.
+    pub soname: String,
+    /// Path it was copied from at the GEE.
+    pub origin: String,
+    /// The image bytes.
+    pub bytes: Arc<Vec<u8>>,
+    /// The copy's own recursive description.
+    pub description: BinaryDescription,
+}
+
+/// Locate one shared library by soname using the §V.A fallback chain:
+/// `ldd` output (caller passes it in) → `locate` → `find` over common
+/// locations and `LD_LIBRARY_PATH`.
+pub fn locate_library(sess: &Session<'_>, soname: &str) -> Option<String> {
+    // locate: exact basename match among substring hits.
+    if let Some(hits) = tools::locate(sess.site, soname) {
+        if let Some(hit) = hits
+            .into_iter()
+            .find(|p| p.rsplit('/').next() == Some(soname) && sess.site.vfs.exists(p))
+        {
+            return Some(hit);
+        }
+    }
+    // find over common library locations and LD_LIBRARY_PATH entries.
+    let mut roots: Vec<String> =
+        vec!["/lib64".into(), "/usr/lib64".into(), "/lib".into(), "/usr/lib".into(), "/opt".into()];
+    roots.extend(sess.ld_library_path());
+    let root_refs: Vec<&str> = roots.iter().map(String::as_str).collect();
+    tools::find_name(sess.site, &root_refs, soname).into_iter().next()
+}
+
+/// Gather copies + descriptions of every shared library the binary at
+/// `path` is linked against, recursively, at a guaranteed execution
+/// environment (the source phase's collection step).
+///
+/// The C library itself and the dynamic loader are never copied (§IV:
+/// "We copy each shared library except for the C library").
+pub fn collect_libraries(
+    sess: &mut Session<'_>,
+    path: &str,
+) -> Result<BTreeMap<String, LibraryCopy>> {
+    let mut out: BTreeMap<String, LibraryCopy> = BTreeMap::new();
+    let mut pending: Vec<String> = vec![path.to_string()];
+    let mut described: Vec<String> = Vec::new();
+    while let Some(obj_path) = pending.pop() {
+        if described.contains(&obj_path) {
+            continue;
+        }
+        described.push(obj_path.clone());
+        sess.charge(0.2);
+        // Primary: ldd gives sonames with locations.
+        let entries: Vec<(String, Option<String>)> = match tools::ldd(sess, &obj_path) {
+            LddResult::Resolved(map) => map,
+            // Fallback: parse DT_NEEDED ourselves and search each one.
+            LddResult::NotRecognized | LddResult::NotPresent => {
+                let desc = BinaryDescription::from_session(sess, &obj_path)?;
+                desc.needed
+                    .iter()
+                    .map(|so| (so.clone(), locate_library(sess, so)))
+                    .collect()
+            }
+        };
+        for (soname, loc) in entries {
+            if out.contains_key(&soname) || is_c_library(&soname) {
+                continue;
+            }
+            let Some(loc) = loc.or_else(|| locate_library(sess, &soname)) else {
+                continue; // not found even at the GEE; nothing to copy
+            };
+            let Some(bytes) = sess.read_bytes(&loc) else { continue };
+            let description = BinaryDescription::from_bytes(&loc, &bytes)?;
+            out.insert(
+                soname.clone(),
+                LibraryCopy { soname: soname.clone(), origin: loc.clone(), bytes, description },
+            );
+            pending.push(loc);
+        }
+    }
+    Ok(out)
+}
+
+/// Is this soname part of the C library family that FEAM never copies?
+pub fn is_c_library(soname: &str) -> bool {
+    soname.starts_with("libc.so") || soname.starts_with("ld-linux") || soname.starts_with("ld.so")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn table_one_mvapich2_signature() {
+        let needed = v(&[
+            "libmpich.so.1.2",
+            "libibverbs.so.1",
+            "libibumad.so.3",
+            "libc.so.6",
+        ]);
+        assert_eq!(identify_mpi(&needed), MpiIdentification::Identified(MpiImpl::Mvapich2));
+    }
+
+    #[test]
+    fn table_one_mpich2_signature() {
+        let needed = v(&["libmpich.so.1.2", "libmpl.so.1", "libopa.so.1", "libc.so.6"]);
+        assert_eq!(identify_mpi(&needed), MpiIdentification::Identified(MpiImpl::Mpich2));
+    }
+
+    #[test]
+    fn table_one_openmpi_signature() {
+        let needed = v(&["libmpi.so.0", "libnsl.so.1", "libutil.so.1", "libc.so.6"]);
+        assert_eq!(identify_mpi(&needed), MpiIdentification::Identified(MpiImpl::OpenMpi));
+    }
+
+    #[test]
+    fn mpich_without_ib_is_not_mvapich() {
+        // libibverbs alone (no libibumad) must not flip MPICH2 → MVAPICH2.
+        let needed = v(&["libmpich.so.1.2", "libibverbs.so.1", "libc.so.6"]);
+        assert_eq!(identify_mpi(&needed), MpiIdentification::Identified(MpiImpl::Mpich2));
+    }
+
+    #[test]
+    fn non_mpi_binary() {
+        let needed = v(&["libm.so.6", "libc.so.6"]);
+        assert_eq!(identify_mpi(&needed), MpiIdentification::NotMpi);
+    }
+
+    #[test]
+    fn c_library_family_not_copied() {
+        assert!(is_c_library("libc.so.6"));
+        assert!(is_c_library("ld-linux-x86-64.so.2"));
+        assert!(!is_c_library("libm.so.6"));
+        assert!(!is_c_library("libmpi.so.0"));
+    }
+
+    #[test]
+    fn description_from_synthetic_binary() {
+        let mut spec = feam_elf::ElfSpec::executable(Machine::X86_64, Class::Elf64);
+        spec.needed = v(&["libmpi.so.0", "libnsl.so.1", "libutil.so.1", "libc.so.6"]);
+        spec.imports = vec![feam_elf::ImportSpec::versioned(
+            "fopen64",
+            "libc.so.6",
+            "GLIBC_2.3.4",
+        )];
+        spec.comments = vec!["GCC: (GNU) 4.1.2 20080704 (Red Hat 4.1.2-50)".into()];
+        let bytes = spec.build().unwrap();
+        let d = BinaryDescription::from_bytes("/tmp/app", &bytes).unwrap();
+        assert_eq!(d.format, "ELF");
+        assert_eq!(d.mpi, MpiIdentification::Identified(MpiImpl::OpenMpi));
+        assert_eq!(d.required_glibc.as_ref().unwrap().render(), "GLIBC_2.3.4");
+        assert!(d.is_dynamic);
+        assert!(d.build_env.compiler.as_deref().unwrap().starts_with("GCC"));
+        assert!(d.summary().contains("Open MPI"));
+    }
+
+    #[test]
+    fn shared_library_description_extracts_embedded_version() {
+        let mut spec =
+            feam_elf::ElfSpec::shared_library("libdemo.so.2.4", Machine::X86_64, Class::Elf64);
+        spec.needed = v(&["libc.so.6"]);
+        let bytes = spec.build().unwrap();
+        let d = BinaryDescription::from_bytes("/lib/libdemo.so.2.4", &bytes).unwrap();
+        assert_eq!(d.kind, FileKind::SharedObject);
+        assert_eq!(d.soname.as_deref(), Some("libdemo.so.2.4"));
+        let emb = d.embedded_version.unwrap();
+        assert_eq!(emb.major(), Some(2));
+        assert_eq!(emb.minor(), Some(4));
+    }
+
+    #[test]
+    fn garbage_input_is_error() {
+        assert!(BinaryDescription::from_bytes("/tmp/x", &[0u8; 32]).is_err());
+    }
+}

@@ -1,0 +1,194 @@
+//! FEAM's user configuration file (§V).
+//!
+//! "Before running FEAM, a user needs to specify (via a configuration
+//! file) a serial and parallel submission script for the site. The
+//! submission format is the only information about a new site our methods
+//! require the user to determine. … Our methods by default will use the
+//! `mpiexec` command for execution while allowing the user to specify
+//! otherwise (per MPI type if necessary) via a configuration file."
+//!
+//! Format: one `key = value` pair per line; `#` starts a comment. Keys:
+//!
+//! ```text
+//! serial_submit   = ./run_serial.sh
+//! parallel_submit = qsub -q debug run.pbs
+//! nprocs          = 8
+//! max_attempts    = 5
+//! seed            = 42
+//! mpiexec         = mpiexec            # global launch command
+//! mpiexec.openmpi = orterun            # per-MPI-type override
+//! mpiexec.mpich2  = mpiexec.hydra
+//! ```
+
+use crate::phases::PhaseConfig;
+use std::collections::BTreeMap;
+
+/// A parsed configuration file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConfigFile {
+    /// All key/value pairs, verbatim.
+    pub entries: BTreeMap<String, String>,
+}
+
+/// A parse failure, with the offending line number (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "config line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl ConfigFile {
+    /// Parse configuration text.
+    pub fn parse(text: &str) -> Result<Self, ConfigError> {
+        let mut entries = BTreeMap::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ConfigError {
+                    line: i + 1,
+                    message: format!("expected `key = value`, got {raw:?}"),
+                });
+            };
+            let key = key.trim();
+            let value = value.trim();
+            if key.is_empty() {
+                return Err(ConfigError { line: i + 1, message: "empty key".into() });
+            }
+            if entries.insert(key.to_string(), value.to_string()).is_some() {
+                return Err(ConfigError {
+                    line: i + 1,
+                    message: format!("duplicate key {key:?}"),
+                });
+            }
+        }
+        Ok(ConfigFile { entries })
+    }
+
+    /// Launch command for an MPI type: `mpiexec.<type>` override, then the
+    /// global `mpiexec`, then the paper's default.
+    pub fn mpiexec_for(&self, mpi_tag: &str) -> String {
+        self.entries
+            .get(&format!("mpiexec.{mpi_tag}"))
+            .or_else(|| self.entries.get("mpiexec"))
+            .cloned()
+            .unwrap_or_else(|| "mpiexec".to_string())
+    }
+
+    /// Materialize a [`PhaseConfig`], starting from defaults and applying
+    /// every recognized key. Unknown keys are preserved in `entries` but do
+    /// not error (forward compatibility); malformed numeric values do.
+    pub fn to_phase_config(&self) -> Result<PhaseConfig, ConfigError> {
+        let mut cfg = PhaseConfig::default();
+        if let Some(v) = self.entries.get("serial_submit") {
+            cfg.serial_submit = v.clone();
+        }
+        if let Some(v) = self.entries.get("parallel_submit") {
+            cfg.parallel_submit = v.clone();
+        }
+        if let Some(v) = self.entries.get("mpiexec") {
+            cfg.mpiexec_override = Some(v.clone());
+        }
+        if let Some(v) = self.entries.get("nprocs") {
+            cfg.nprocs = v.parse().map_err(|_| ConfigError {
+                line: 0,
+                message: format!("nprocs must be a positive integer, got {v:?}"),
+            })?;
+        }
+        if let Some(v) = self.entries.get("max_attempts") {
+            cfg.max_attempts = v.parse().map_err(|_| ConfigError {
+                line: 0,
+                message: format!("max_attempts must be a positive integer, got {v:?}"),
+            })?;
+        }
+        if let Some(v) = self.entries.get("seed") {
+            cfg.seed = v.parse().map_err(|_| ConfigError {
+                line: 0,
+                message: format!("seed must be an integer, got {v:?}"),
+            })?;
+        }
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# FEAM site configuration for Fir
+serial_submit   = ./run_serial.sh
+parallel_submit = qsub -q debug run.pbs   # debug queue, per the paper
+nprocs          = 8
+max_attempts    = 5
+mpiexec         = mpiexec
+mpiexec.openmpi = orterun
+mpiexec.mpich2  = mpiexec.hydra
+";
+
+    #[test]
+    fn parses_sample_and_builds_phase_config() {
+        let cf = ConfigFile::parse(SAMPLE).unwrap();
+        let cfg = cf.to_phase_config().unwrap();
+        assert_eq!(cfg.serial_submit, "./run_serial.sh");
+        assert_eq!(cfg.parallel_submit, "qsub -q debug run.pbs");
+        assert_eq!(cfg.nprocs, 8);
+        assert_eq!(cfg.max_attempts, 5);
+        assert_eq!(cfg.mpiexec_override.as_deref(), Some("mpiexec"));
+    }
+
+    #[test]
+    fn per_mpi_type_override_with_fallbacks() {
+        let cf = ConfigFile::parse(SAMPLE).unwrap();
+        assert_eq!(cf.mpiexec_for("openmpi"), "orterun");
+        assert_eq!(cf.mpiexec_for("mpich2"), "mpiexec.hydra");
+        // mvapich2 has no override → the global value.
+        assert_eq!(cf.mpiexec_for("mvapich2"), "mpiexec");
+        // No keys at all → the paper's default.
+        let empty = ConfigFile::parse("").unwrap();
+        assert_eq!(empty.mpiexec_for("openmpi"), "mpiexec");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let cf = ConfigFile::parse("\n# only comments\n\n  # here\n").unwrap();
+        assert!(cf.entries.is_empty());
+    }
+
+    #[test]
+    fn malformed_line_is_error_with_line_number() {
+        let err = ConfigFile::parse("serial_submit = ok\nthis is not a pair\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        let err = ConfigFile::parse("nprocs = 4\nnprocs = 8\n").unwrap_err();
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn bad_numeric_value_rejected() {
+        let cf = ConfigFile::parse("nprocs = lots\n").unwrap();
+        assert!(cf.to_phase_config().is_err());
+    }
+
+    #[test]
+    fn unknown_keys_tolerated() {
+        let cf = ConfigFile::parse("future_knob = on\nnprocs = 2\n").unwrap();
+        let cfg = cf.to_phase_config().unwrap();
+        assert_eq!(cfg.nprocs, 2);
+        assert_eq!(cf.entries.get("future_knob").map(String::as_str), Some("on"));
+    }
+}

@@ -1,0 +1,436 @@
+//! The Environment Discovery Component (§V.B).
+//!
+//! Gathers the Figure 4 information about a computing site:
+//!
+//! * ISA format (`uname -p`),
+//! * operating system (`/proc/version`, `/etc/*release`),
+//! * C library version (executing the libc binary),
+//! * available / currently-loaded MPI stacks (Environment Modules or
+//!   SoftEnv when present, else filesystem search with path-name
+//!   inference and wrapper probing),
+//! * missing shared libraries for a given binary (`ldd`, with search
+//!   fallbacks).
+
+use feam_elf::{HostArch, VersionName};
+use feam_sim::mpi::MpiImpl;
+use feam_sim::site::{InstalledStack, Session, Site};
+use feam_sim::tools::{self, LddResult};
+use serde::{Deserialize, Serialize};
+
+/// How a stack was discovered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DiscoveryMethod {
+    EnvironmentModules,
+    SoftEnv,
+    /// Filesystem search + path-name inference + wrapper probing.
+    PathSearch,
+}
+
+/// One MPI stack discovered at a site.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiscoveredStack {
+    pub mpi: MpiImpl,
+    pub mpi_version: String,
+    /// Compiler family tag (`gnu`, `intel`, `pgi`).
+    pub compiler: String,
+    pub compiler_version: String,
+    /// Install prefix.
+    pub prefix: String,
+    pub via: DiscoveryMethod,
+    /// Module / softenv key when applicable.
+    pub key: Option<String>,
+}
+
+impl DiscoveredStack {
+    /// Identifier like `openmpi-1.4.3-intel-11.1`.
+    pub fn ident(&self) -> String {
+        format!(
+            "{}-{}-{}-{}",
+            self.mpi.tag(),
+            self.mpi_version,
+            self.compiler,
+            self.compiler_version
+        )
+    }
+}
+
+/// The Figure 4 description of a computing environment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EnvironmentDescription {
+    /// `uname -p` output.
+    pub isa: String,
+    /// Parsed host architecture, when recognized.
+    pub arch: Option<HostArch>,
+    /// OS description from `/proc/version` + `/etc/*release`.
+    pub os: String,
+    /// Discovered C library version.
+    pub c_library: Option<VersionName>,
+    /// Which user-environment management tool was found.
+    pub env_mgmt: Option<DiscoveryMethod>,
+    /// All MPI stacks discovered at the site.
+    pub available_stacks: Vec<DiscoveredStack>,
+    /// The stack currently loaded in the shell, if any.
+    pub loaded_stack: Option<String>,
+}
+
+impl EnvironmentDescription {
+    /// Discovered stacks of one MPI implementation.
+    pub fn stacks_of(&self, mpi: MpiImpl) -> Vec<&DiscoveredStack> {
+        self.available_stacks.iter().filter(|s| s.mpi == mpi).collect()
+    }
+}
+
+/// Parse a `uname -p` string into a [`HostArch`].
+pub fn parse_arch(uname: &str) -> Option<HostArch> {
+    match uname {
+        "x86_64" => Some(HostArch::X86_64),
+        "i686" | "i586" | "i386" => Some(HostArch::X86),
+        "ppc64" => Some(HostArch::Ppc64),
+        "ppc" => Some(HostArch::Ppc),
+        "ia64" => Some(HostArch::Ia64),
+        "aarch64" => Some(HostArch::Aarch64),
+        _ => None,
+    }
+}
+
+/// Parse the glibc banner ("GNU C Library … release version 2.11.1 …")
+/// into a version.
+pub fn parse_libc_banner(banner: &str) -> Option<VersionName> {
+    let idx = banner.find("release version ")?;
+    let tail = &banner[idx + "release version ".len()..];
+    let ver: String = tail
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.')
+        .collect();
+    VersionName::parse(&format!("GLIBC_{}", ver.trim_end_matches('.')))
+}
+
+/// Parse a stack identifier like `openmpi-1.4.3-intel-11.1` (module names,
+/// softenv keys, and install-prefix leaves all use this shape — §V.B's
+/// path-name inference).
+pub fn parse_stack_ident(ident: &str) -> Option<(MpiImpl, String, String, String)> {
+    let parts: Vec<&str> = ident.split('-').collect();
+    if parts.len() < 4 {
+        return None;
+    }
+    let mpi = match parts[0] {
+        "openmpi" => MpiImpl::OpenMpi,
+        "mpich2" => MpiImpl::Mpich2,
+        "mvapich2" => MpiImpl::Mvapich2,
+        _ => return None,
+    };
+    // Compiler tag is the first part that names a family; version pieces
+    // may themselves contain '-'-free dotted text.
+    let comp_idx = parts.iter().position(|p| matches!(*p, "gnu" | "intel" | "pgi"))?;
+    if comp_idx < 2 || comp_idx + 1 >= parts.len() {
+        return None;
+    }
+    let mpi_version = parts[1..comp_idx].join("-");
+    let compiler = parts[comp_idx].to_string();
+    let compiler_version = parts[comp_idx + 1..].join("-");
+    Some((mpi, mpi_version, compiler, compiler_version))
+}
+
+/// Discover the MPI stacks at a site.
+fn discover_stacks(site: &Site) -> (Option<DiscoveryMethod>, Vec<DiscoveredStack>) {
+    // Environment Modules first.
+    if let Some(modules) = tools::module_avail(site) {
+        let stacks = modules
+            .iter()
+            .filter_map(|m| {
+                let (mpi, mv, comp, cv) = parse_stack_ident(m)?;
+                let prefix = format!("/opt/{m}");
+                // Confirm with a wrapper probe when possible.
+                let confirmed = tools::wrapper_info(site, &format!("{prefix}/bin/mpicc"));
+                confirmed.as_ref()?;
+                Some(DiscoveredStack {
+                    mpi,
+                    mpi_version: mv,
+                    compiler: comp,
+                    compiler_version: cv,
+                    prefix,
+                    via: DiscoveryMethod::EnvironmentModules,
+                    key: Some(m.clone()),
+                })
+            })
+            .collect();
+        return (Some(DiscoveryMethod::EnvironmentModules), stacks);
+    }
+    // SoftEnv next.
+    if let Some(keys) = tools::softenv_keys(site) {
+        let stacks = keys
+            .iter()
+            .filter_map(|k| {
+                let (mpi, mv, comp, cv) = parse_stack_ident(k)?;
+                let prefix = format!("/opt/{k}");
+                tools::wrapper_info(site, &format!("{prefix}/bin/mpicc"))?;
+                Some(DiscoveredStack {
+                    mpi,
+                    mpi_version: mv,
+                    compiler: comp,
+                    compiler_version: cv,
+                    prefix,
+                    via: DiscoveryMethod::SoftEnv,
+                    key: Some(k.clone()),
+                })
+            })
+            .collect();
+        return (Some(DiscoveryMethod::SoftEnv), stacks);
+    }
+    // Fall back to filesystem search: look for MPI libraries under common
+    // prefixes, infer the stack from the path name, confirm via wrappers.
+    let mut found = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    let candidates = {
+        let mut v = Vec::new();
+        if let Some(hits) = tools::locate(site, "libmpi") {
+            v.extend(hits);
+        } else {
+            v.extend(tools::find_name(site, &["/opt"], "libmpi.so.0"));
+            v.extend(tools::find_name(site, &["/opt"], "libmpich.so.1.2"));
+        }
+        v
+    };
+    for path in candidates {
+        // e.g. /opt/openmpi-1.4.3-intel-11.1/lib/libmpi.so.0
+        let Some(rest) = path.strip_prefix("/opt/") else { continue };
+        let Some(leaf) = rest.split('/').next() else { continue };
+        if !seen.insert(leaf.to_string()) {
+            continue;
+        }
+        let Some((mpi, mv, comp, cv)) = parse_stack_ident(leaf) else { continue };
+        let prefix = format!("/opt/{leaf}");
+        if tools::wrapper_info(site, &format!("{prefix}/bin/mpicc")).is_none() {
+            continue;
+        }
+        found.push(DiscoveredStack {
+            mpi,
+            mpi_version: mv,
+            compiler: comp,
+            compiler_version: cv,
+            prefix,
+            via: DiscoveryMethod::PathSearch,
+            key: None,
+        });
+    }
+    found.sort_by(|a, b| a.prefix.cmp(&b.prefix));
+    (None, found)
+}
+
+/// Run the EDC against a session (the environment as the current shell
+/// sees it).
+pub fn discover(sess: &mut Session<'_>) -> EnvironmentDescription {
+    let site = sess.site;
+    sess.charge(1.0);
+    let isa = tools::uname_p(site).to_string();
+    let arch = parse_arch(&isa);
+    let os = {
+        let pv = tools::proc_version(site).unwrap_or_default();
+        let rel = tools::etc_release(site).unwrap_or_default();
+        let rel_line = rel.lines().next().unwrap_or("");
+        if rel_line.is_empty() {
+            pv
+        } else {
+            rel_line.to_string()
+        }
+    };
+    let c_library = tools::run_libc_banner(site).and_then(|b| parse_libc_banner(&b));
+    let (env_mgmt, available_stacks) = discover_stacks(site);
+    let loaded_stack = tools::module_list(sess)
+        .and_then(|l| l.into_iter().next())
+        .or_else(|| sess.env.get("LOADEDMODULES").cloned().filter(|s| !s.is_empty()));
+    EnvironmentDescription {
+        isa,
+        arch,
+        os,
+        c_library,
+        env_mgmt: env_mgmt.or_else(|| {
+            available_stacks.first().map(|s| s.via)
+        }),
+        available_stacks,
+        loaded_stack,
+    }
+}
+
+/// Find the site's installed stack matching a discovered one (the bridge
+/// from discovery output to a loadable environment: in the field this is
+/// `module load <key>`; in the simulator it is `Session::load_stack`).
+pub fn find_installed<'s>(site: &'s Site, d: &DiscoveredStack) -> Option<&'s InstalledStack> {
+    site.stacks.iter().find(|ist| ist.prefix == d.prefix)
+}
+
+/// Missing shared libraries for the binary at `path`, under the session's
+/// current environment. Returns sonames that could not be located at all.
+/// Uses `ldd` when it works, else the BDC's needed-list + search fallback.
+pub fn missing_libraries(sess: &mut Session<'_>, path: &str) -> Vec<String> {
+    sess.charge(0.3);
+    match tools::ldd(sess, path) {
+        LddResult::Resolved(map) => map
+            .into_iter()
+            .filter_map(|(soname, loc)| {
+                if loc.is_some() {
+                    return None;
+                }
+                // ldd could not resolve it through the loader's paths; FEAM
+                // additionally searches common locations before declaring
+                // it missing (a found-but-unconfigured library is handled
+                // by emitting LD_LIBRARY_PATH configuration, not copies).
+                crate::bdc::locate_library(sess, &soname).is_none().then_some(soname)
+            })
+            .collect(),
+        LddResult::NotRecognized | LddResult::NotPresent => {
+            let Ok(desc) = crate::bdc::BinaryDescription::from_session(sess, path) else {
+                return Vec::new();
+            };
+            desc.needed
+                .into_iter()
+                .filter(|so| {
+                    !session_lib_visible(sess, so) && crate::bdc::locate_library(sess, so).is_none()
+                })
+                .collect()
+        }
+    }
+}
+
+/// Libraries the loader would see on the session's current paths (used by
+/// the non-ldd fallback).
+fn session_lib_visible(sess: &Session<'_>, soname: &str) -> bool {
+    let mut dirs = sess.ld_library_path();
+    dirs.extend(sess.site.default_lib_dirs());
+    dirs.iter().any(|d| sess.exists(&format!("{d}/{soname}")))
+}
+
+/// Directories (beyond the loader defaults and current `LD_LIBRARY_PATH`)
+/// where needed libraries were found by search — FEAM adds these to the
+/// generated environment setup.
+pub fn extra_lib_dirs(sess: &mut Session<'_>, needed: &[String]) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    let mut visible_dirs = sess.ld_library_path();
+    visible_dirs.extend(sess.site.default_lib_dirs());
+    for so in needed {
+        if crate::bdc::is_c_library(so) {
+            continue;
+        }
+        if visible_dirs.iter().any(|d| sess.exists(&format!("{d}/{so}"))) {
+            continue;
+        }
+        if let Some(path) = crate::bdc::locate_library(sess, so) {
+            let dir = feam_sim::vfs::dirname(&path).to_string();
+            if !out.contains(&dir) && !visible_dirs.contains(&dir) {
+                out.push(dir);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feam_workloads::sites::{standard_sites, BLACKLIGHT, INDIA, RANGER};
+
+    #[test]
+    fn parse_arch_recognizes_testbed() {
+        assert_eq!(parse_arch("x86_64"), Some(HostArch::X86_64));
+        assert_eq!(parse_arch("ia64"), Some(HostArch::Ia64));
+        assert_eq!(parse_arch("s390x"), None);
+    }
+
+    #[test]
+    fn parse_libc_banner_versions() {
+        let b = feam_sim::libc::libc_banner("2.11.1", "SUSE");
+        assert_eq!(parse_libc_banner(&b).unwrap().render(), "GLIBC_2.11.1");
+        assert!(parse_libc_banner("no version here").is_none());
+    }
+
+    #[test]
+    fn parse_stack_ident_variants() {
+        let (m, mv, c, cv) = parse_stack_ident("openmpi-1.4.3-intel-11.1").unwrap();
+        assert_eq!(m, MpiImpl::OpenMpi);
+        assert_eq!(mv, "1.4.3");
+        assert_eq!(c, "intel");
+        assert_eq!(cv, "11.1");
+        let (m, mv, ..) = parse_stack_ident("mvapich2-1.7rc1-gnu-4.4.5").unwrap();
+        assert_eq!(m, MpiImpl::Mvapich2);
+        assert_eq!(mv, "1.7rc1");
+        assert!(parse_stack_ident("gcc-4.1.2").is_none());
+        assert!(parse_stack_ident("openmpi-1.4").is_none());
+    }
+
+    #[test]
+    fn discovery_via_modules_finds_all_stacks() {
+        let sites = standard_sites(9);
+        let ranger = &sites[RANGER];
+        let mut sess = Session::new(ranger);
+        let env = discover(&mut sess);
+        assert_eq!(env.env_mgmt, Some(DiscoveryMethod::EnvironmentModules));
+        assert_eq!(env.available_stacks.len(), 6, "Ranger advertises 6 stacks");
+        assert_eq!(env.stacks_of(MpiImpl::OpenMpi).len(), 3);
+        assert_eq!(env.stacks_of(MpiImpl::Mvapich2).len(), 3);
+        assert_eq!(env.isa, "x86_64");
+        assert_eq!(env.c_library.as_ref().unwrap().render(), "GLIBC_2.3.4");
+        assert!(env.os.contains("CentOS"));
+    }
+
+    #[test]
+    fn discovery_via_softenv_on_india() {
+        let sites = standard_sites(9);
+        let india = &sites[INDIA];
+        let mut sess = Session::new(india);
+        let env = discover(&mut sess);
+        assert_eq!(env.env_mgmt, Some(DiscoveryMethod::SoftEnv));
+        // All six stacks advertised, including the misconfigured one.
+        assert_eq!(env.available_stacks.len(), 6);
+    }
+
+    #[test]
+    fn discovered_stack_maps_to_installed() {
+        let sites = standard_sites(9);
+        let bl = &sites[BLACKLIGHT];
+        let mut sess = Session::new(bl);
+        let env = discover(&mut sess);
+        for d in &env.available_stacks {
+            let ist = find_installed(bl, d).expect("discovered stack must exist");
+            assert_eq!(ist.stack.mpi, d.mpi);
+        }
+    }
+
+    #[test]
+    fn loaded_stack_visible_after_module_load() {
+        let sites = standard_sites(9);
+        let ranger = &sites[RANGER];
+        let mut sess = Session::new(ranger);
+        let ist = ranger.stacks[0].clone();
+        sess.load_stack(&ist);
+        let env = discover(&mut sess);
+        assert_eq!(env.loaded_stack.as_deref(), Some(ist.stack.ident().as_str()));
+    }
+
+    #[test]
+    fn missing_libraries_detected_for_foreign_binary() {
+        let sites = standard_sites(9);
+        let ranger = &sites[RANGER];
+        // A binary needing a library no site has.
+        let mut spec =
+            feam_elf::ElfSpec::executable(feam_elf::Machine::X86_64, feam_elf::Class::Elf64);
+        spec.needed = vec!["libfancy.so.9".into(), "libc.so.6".into()];
+        let img = std::sync::Arc::new(spec.build().unwrap());
+        let mut sess = Session::new(ranger);
+        sess.stage_file("/home/user/app", img);
+        let missing = missing_libraries(&mut sess, "/home/user/app");
+        assert_eq!(missing, vec!["libfancy.so.9".to_string()]);
+    }
+
+    #[test]
+    fn extra_lib_dirs_found_for_unloaded_stack_libs() {
+        let sites = standard_sites(9);
+        let ranger = &sites[RANGER];
+        let mut sess = Session::new(ranger); // no module loaded
+        let needed = vec!["libmpi.so.0".to_string()];
+        let dirs = extra_lib_dirs(&mut sess, &needed);
+        assert!(
+            dirs.iter().any(|d| d.contains("openmpi")),
+            "search must surface the stack lib dir, got {dirs:?}"
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Error type for FEAM operations.
+
+use std::fmt;
+
+/// Result alias for `feam-core`.
+pub type Result<T> = std::result::Result<T, FeamError>;
+
+/// Errors surfaced by FEAM's components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FeamError {
+    /// The binary could not be read or parsed.
+    BinaryUnreadable(String),
+    /// The binary does not appear to be an MPI application.
+    NotAnMpiBinary(String),
+    /// The guaranteed execution environment is unusable for the source
+    /// phase (no matching stack, no library locations).
+    SourcePhaseFailed(String),
+    /// A required input was not provided.
+    MissingInput(&'static str),
+}
+
+impl fmt::Display for FeamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeamError::BinaryUnreadable(msg) => write!(f, "cannot describe binary: {msg}"),
+            FeamError::NotAnMpiBinary(msg) => write!(f, "not an MPI binary: {msg}"),
+            FeamError::SourcePhaseFailed(msg) => write!(f, "source phase failed: {msg}"),
+            FeamError::MissingInput(what) => write!(f, "missing input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FeamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_cause() {
+        assert!(FeamError::BinaryUnreadable("x".into()).to_string().contains("x"));
+        assert!(FeamError::MissingInput("bundle").to_string().contains("bundle"));
+    }
+}

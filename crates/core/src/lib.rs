@@ -1,0 +1,62 @@
+//! # feam-core — FEAM, a Framework for Efficient Application Migration
+//!
+//! The paper's contribution: predict whether an MPI application *binary*
+//! will execute at a new computing site without recompilation, and raise
+//! the odds by resolving missing shared libraries with copies gathered at
+//! a guaranteed execution environment.
+//!
+//! Components (Figure 2):
+//!
+//! * [`bdc`] — Binary Description Component: ELF-level description, Table
+//!   I MPI identification, required-C-library computation, GEE library
+//!   collection.
+//! * [`edc`] — Environment Discovery Component: ISA, OS, C library, MPI
+//!   stack discovery (Environment Modules / SoftEnv / path search), missing
+//!   library detection.
+//! * [`tec`] — Target Evaluation Component: the four-determinant
+//!   [`predict`]ion model, hello-world stack tests, the [`resolve`]
+//!   resolution model, and the generated site configuration.
+//!
+//! Phases ([`phases`]): the optional source phase produces a
+//! [`bundle::SourceBundle`]; the mandatory target phase produces a
+//! [`phases::TargetOutcome`] whose [`predict::Prediction`] is the paper's
+//! *basic* (target-only) or *extended* (source + target) prediction.
+//!
+//! ```
+//! use feam_core::phases::{run_source_phase, run_target_phase, PhaseConfig};
+//! use feam_workloads::sites::{standard_sites, FIR, INDIA};
+//! use feam_sim::compile::{compile, ProgramSpec};
+//! use feam_sim::toolchain::Language;
+//!
+//! let cfg = PhaseConfig::default();
+//! let sites = standard_sites(7);
+//! // An Open MPI + GNU binary built at India migrates cleanly to Fir.
+//! let stack = sites[INDIA].stacks.iter()
+//!     .find(|s| s.stack.ident() == "openmpi-1.4.3-gnu-4.1.2").unwrap().clone();
+//! let bin = compile(&sites[INDIA], Some(&stack),
+//!     &ProgramSpec::new("cg", Language::Fortran), 7).unwrap();
+//! let bundle = run_source_phase(&sites[INDIA], &bin.image, &cfg).unwrap();
+//! let outcome = run_target_phase(&sites[FIR], Some(&bin.image), Some(&bundle), &cfg);
+//! assert!(outcome.prediction.ready());
+//! ```
+
+pub mod bdc;
+pub mod bundle;
+pub mod config;
+pub mod edc;
+pub mod error;
+pub mod phases;
+pub mod predict;
+pub mod report;
+pub mod resolve;
+pub mod tec;
+
+pub use bdc::{identify_mpi, BinaryDescription, MpiIdentification};
+pub use bundle::SourceBundle;
+pub use config::{ConfigError, ConfigFile};
+pub use edc::{discover, EnvironmentDescription};
+pub use error::{FeamError, Result};
+pub use phases::{run_source_phase, run_target_phase, PhaseConfig, TargetOutcome};
+pub use predict::{Determinant, Prediction, PredictionMode};
+pub use resolve::{ResolutionFailure, ResolutionPlan};
+pub use tec::{evaluate, ExecutionPlan, TargetEvaluation};

@@ -1,0 +1,356 @@
+//! FEAM's two phases (§V, Figure 2).
+//!
+//! * **Source phase** (optional, once per binary, at a guaranteed
+//!   execution environment): BDC + EDC gather the binary's description,
+//!   copies of its shared libraries, the GEE description and hello-world
+//!   probes; the output is bundled for transport.
+//! * **Target phase** (required, at every target site): BDC (when the
+//!   binary is present) + EDC + TEC produce the prediction, the resolution
+//!   plan and the matching configuration.
+
+use crate::bdc::{self, BinaryDescription};
+use crate::bundle::{HelloWorldProbe, SourceBundle};
+use crate::edc::{self, EnvironmentDescription};
+use crate::error::{FeamError, Result};
+use crate::tec::{self, TargetEvaluation};
+use feam_sim::compile::{compile, ProgramSpec};
+use feam_sim::site::{Session, Site};
+use feam_sim::toolchain::Language;
+use std::sync::Arc;
+
+/// User-supplied configuration (§V: "Before running FEAM, a user needs to
+/// specify (via a configuration file) a serial and parallel submission
+/// script for the site … Our methods by default will use the `mpiexec`
+/// command while allowing the user to specify otherwise").
+#[derive(Debug, Clone)]
+pub struct PhaseConfig {
+    /// Serial submission command template.
+    pub serial_submit: String,
+    /// Parallel submission command template.
+    pub parallel_submit: String,
+    /// Override of the launch command per MPI type (defaults to mpiexec).
+    pub mpiexec_override: Option<String>,
+    /// Processes for test launches.
+    pub nprocs: u32,
+    /// Launch attempts before declaring failure (§VI.C uses five).
+    pub max_attempts: u32,
+    /// Seed for FEAM's own probe compilations.
+    pub seed: u64,
+    /// Ablation switch: skip the transported hello-world compatibility
+    /// tests even when a bundle is available (isolates what runtime
+    /// testing contributes to the extended prediction).
+    pub disable_transported_tests: bool,
+    /// Ablation switch: skip the resolution model even when a bundle is
+    /// available (isolates what library copies contribute).
+    pub disable_resolution: bool,
+}
+
+impl Default for PhaseConfig {
+    fn default() -> Self {
+        PhaseConfig {
+            serial_submit: "./run_serial.sh".into(),
+            parallel_submit: "./run_parallel.sh".into(),
+            mpiexec_override: None,
+            nprocs: 4,
+            max_attempts: feam_sim::exec::DEFAULT_ATTEMPTS,
+            seed: 0xFEA4,
+            disable_transported_tests: false,
+            disable_resolution: false,
+        }
+    }
+}
+
+/// Output of a target phase.
+#[derive(Debug, Clone)]
+pub struct TargetOutcome {
+    /// The prediction with per-determinant verdicts.
+    pub prediction: crate::predict::Prediction,
+    /// The full TEC output (plan, resolution, stack tests).
+    pub evaluation: TargetEvaluation,
+    /// The environment description gathered at the target.
+    pub environment: EnvironmentDescription,
+    /// The binary description used (from the target-site BDC run or from
+    /// the bundle).
+    pub binary: BinaryDescription,
+    /// Simulated CPU seconds for the whole phase (§VI.C: "< 5 minutes").
+    pub cpu_seconds: f64,
+}
+
+/// Run the source phase at a guaranteed execution environment.
+///
+/// Describes the binary, discovers the environment, matches the binary to
+/// the GEE stack it runs under, compiles hello-world probes with that
+/// stack, and collects copies + descriptions of every shared library.
+pub fn run_source_phase(
+    gee: &Site,
+    binary: &Arc<Vec<u8>>,
+    cfg: &PhaseConfig,
+) -> Result<SourceBundle> {
+    let mut sess = Session::new(gee);
+    let app_path = "/home/user/feam/source_app.bin";
+    sess.stage_file(app_path, binary.clone());
+    let app = BinaryDescription::from_session(&sess, app_path)?;
+    let gee_env = edc::discover(&mut sess);
+
+    // Match the application to a GEE stack: same MPI implementation and,
+    // when derivable from the .comment provenance, the same compiler
+    // family.
+    let bdc::MpiIdentification::Identified(imp) = app.mpi else {
+        return Err(FeamError::NotAnMpiBinary(app.path.clone()));
+    };
+    let comp_family = feam_sim::exec::compiler_from_comments(&app.comments).map(|(f, _)| f);
+    let candidates = gee_env.stacks_of(imp);
+    let chosen = candidates
+        .iter()
+        .find(|c| {
+            comp_family
+                .map(|f| c.compiler == f.tag())
+                .unwrap_or(true)
+        })
+        .or_else(|| candidates.first())
+        .cloned()
+        .cloned();
+    let Some(chosen) = chosen else {
+        return Err(FeamError::SourcePhaseFailed(format!(
+            "no {} stack discovered at {}",
+            imp.name(),
+            gee.name()
+        )));
+    };
+    let Some(ist) = edc::find_installed(gee, &chosen) else {
+        return Err(FeamError::SourcePhaseFailed(format!(
+            "discovered stack {} has no loadable installation",
+            chosen.ident()
+        )));
+    };
+    sess.load_stack(ist);
+
+    // Confirm the loaded stack matches what the BDC found (§V.B) by
+    // running the app's own dependency scan under it, then collect copies.
+    let libraries = bdc::collect_libraries(&mut sess, app_path)?;
+
+    // Compile hello worlds with the application's stack for transport.
+    let mut hello_worlds = Vec::new();
+    for lang in [Language::C, app_language(&app)] {
+        sess.charge(12.0);
+        if let Ok(hello) = compile(gee, Some(ist), &ProgramSpec::mpi_hello_world(lang), cfg.seed) {
+            if hello_worlds
+                .iter()
+                .all(|h: &HelloWorldProbe| h.language != lang)
+            {
+                hello_worlds.push(HelloWorldProbe {
+                    language: lang,
+                    stack_ident: ist.stack.ident(),
+                    image: hello.image,
+                });
+            }
+        }
+    }
+
+    Ok(SourceBundle {
+        gee_site: gee.name().to_string(),
+        app,
+        gee_env,
+        app_stack_ident: Some(ist.stack.ident()),
+        libraries,
+        hello_worlds,
+    })
+}
+
+/// Guess the application's language from its runtime dependencies (used
+/// only to pick which extra hello world to bundle).
+fn app_language(app: &BinaryDescription) -> Language {
+    if app.needed.iter().any(|n| {
+        n.starts_with("libgfortran")
+            || n.starts_with("libg2c")
+            || n.starts_with("libifcore")
+            || n.starts_with("libpgf90")
+            || n.starts_with("libmpi_f77")
+            || n.starts_with("libmpichf90")
+    }) {
+        Language::Fortran
+    } else if app.needed.iter().any(|n| n.starts_with("libstdc++")) {
+        Language::Cxx
+    } else {
+        Language::C
+    }
+}
+
+/// Run the target phase at a target site.
+///
+/// `binary` is the migrated binary when it was copied to the target;
+/// `bundle` is the transported source-phase output. At least one must be
+/// provided (§V: running both phases "provides the additional benefit of
+/// not requiring the application binary to be present at a target site").
+pub fn run_target_phase(
+    target: &Site,
+    binary: Option<&Arc<Vec<u8>>>,
+    bundle: Option<&SourceBundle>,
+    cfg: &PhaseConfig,
+) -> TargetOutcome {
+    let mut sess = Session::new(target);
+    let environment = edc::discover(&mut sess);
+    let description: BinaryDescription = match (binary, bundle) {
+        (Some(image), _) => {
+            sess.stage_file(tec::APP_PATH, (*image).clone());
+            BinaryDescription::from_session(&sess, tec::APP_PATH)
+                .expect("staged binary must be describable")
+        }
+        (None, Some(b)) => b.app.clone(),
+        (None, None) => {
+            // Nothing to evaluate; produce an empty negative outcome.
+            let mut prediction = crate::predict::Prediction::new(
+                crate::predict::PredictionMode::Basic,
+            );
+            prediction.record(
+                crate::predict::Determinant::Isa,
+                false,
+                "no binary and no bundle provided",
+            );
+            return TargetOutcome {
+                prediction: prediction.clone(),
+                evaluation: TargetEvaluation {
+                    prediction,
+                    plan: Default::default(),
+                    resolution: None,
+                    stack_tests: Vec::new(),
+                    cpu_seconds: sess.cpu_seconds,
+                },
+                environment,
+                binary: empty_description(),
+                cpu_seconds: sess.cpu_seconds,
+            };
+        }
+    };
+    let evaluation = tec::evaluate(target, &description, binary, &environment, bundle, cfg);
+    let cpu_seconds = sess.cpu_seconds + evaluation.cpu_seconds;
+    TargetOutcome {
+        prediction: evaluation.prediction.clone(),
+        evaluation,
+        environment,
+        binary: description,
+        cpu_seconds,
+    }
+}
+
+fn empty_description() -> BinaryDescription {
+    BinaryDescription {
+        path: String::new(),
+        format: String::new(),
+        machine: feam_elf::Machine::Other(0),
+        class: feam_elf::Class::Elf64,
+        kind: feam_elf::FileKind::Other(0),
+        is_dynamic: false,
+        needed: Vec::new(),
+        soname: None,
+        embedded_version: None,
+        required_glibc: None,
+        version_refs: Vec::new(),
+        mpi: bdc::MpiIdentification::NotMpi,
+        comments: Vec::new(),
+        build_env: Default::default(),
+        abi_tag: None,
+        size: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feam_sim::compile::{compile as sim_compile, ProgramSpec};
+    use feam_sim::toolchain::Language;
+    use feam_workloads::sites::{standard_sites, FIR, INDIA, RANGER};
+
+    fn build_at(sites: &[feam_sim::site::Site], site_idx: usize, stack_idx: usize) -> Arc<Vec<u8>> {
+        let site = &sites[site_idx];
+        let ist = site.stacks[stack_idx].clone();
+        sim_compile(site, Some(&ist), &ProgramSpec::new("bt", Language::Fortran), 99)
+            .unwrap()
+            .image
+    }
+
+    #[test]
+    fn source_phase_bundles_libraries_and_hello_worlds() {
+        let sites = standard_sites(23);
+        let fir = &sites[FIR];
+        let image = build_at(&sites, FIR, 1); // openmpi-gnu
+        let bundle = run_source_phase(fir, &image, &PhaseConfig::default()).unwrap();
+        assert_eq!(bundle.gee_site, "fir");
+        assert!(!bundle.libraries.is_empty(), "must copy shared libraries");
+        // The C library is never copied.
+        assert!(!bundle.libraries.contains_key("libc.so.6"));
+        // MPI and Fortran runtime copies are present.
+        assert!(bundle.libraries.keys().any(|k| k.starts_with("libmpi")));
+        assert!(bundle.libraries.keys().any(|k| k.starts_with("libgfortran")));
+        // Hello worlds: C plus the app's Fortran.
+        assert!(bundle.hello_world(Language::C).is_some());
+        assert!(bundle.hello_world(Language::Fortran).is_some());
+        assert!(bundle.total_bytes() > 100_000);
+        let manifest = bundle.manifest();
+        assert!(manifest["libraries"].as_array().unwrap().len() >= 3);
+    }
+
+    #[test]
+    fn source_phase_rejects_non_mpi_binary() {
+        let sites = standard_sites(23);
+        let fir = &sites[FIR];
+        let img = sim_compile(fir, None, &ProgramSpec::serial_hello_world(), 1).unwrap().image;
+        assert!(matches!(
+            run_source_phase(fir, &img, &PhaseConfig::default()),
+            Err(FeamError::NotAnMpiBinary(_))
+        ));
+    }
+
+    #[test]
+    fn target_phase_basic_end_to_end() {
+        let sites = standard_sites(23);
+        let image = build_at(&sites, RANGER, 1); // openmpi-gnu at Ranger
+        let india = &sites[INDIA];
+        let outcome = run_target_phase(india, Some(&image), None, &PhaseConfig::default());
+        assert_eq!(outcome.prediction.mode, crate::predict::PredictionMode::Basic);
+        assert!(!outcome.prediction.verdicts.is_empty());
+        assert!(outcome.cpu_seconds > 0.0);
+        // Whatever the verdict, a best-effort plan names a stack (India has
+        // Open MPI).
+        assert!(outcome.evaluation.plan.stack_ident.is_some());
+    }
+
+    #[test]
+    fn target_phase_extended_without_binary_uses_bundle_description() {
+        let sites = standard_sites(23);
+        let ranger = &sites[RANGER];
+        let image = build_at(&sites, RANGER, 1);
+        let bundle = run_source_phase(ranger, &image, &PhaseConfig::default()).unwrap();
+        let india = &sites[INDIA];
+        let outcome = run_target_phase(india, None, Some(&bundle), &PhaseConfig::default());
+        assert_eq!(outcome.prediction.mode, crate::predict::PredictionMode::Extended);
+        assert_eq!(outcome.binary.path, bundle.app.path);
+    }
+
+    #[test]
+    fn target_phase_with_nothing_is_negative() {
+        let sites = standard_sites(23);
+        let outcome =
+            run_target_phase(&sites[INDIA], None, None, &PhaseConfig::default());
+        assert!(!outcome.prediction.ready());
+    }
+
+    #[test]
+    fn phase_runtimes_under_five_minutes() {
+        // §VI.C: "both FEAM's source and target phases always took less
+        // than five minutes to complete."
+        let sites = standard_sites(23);
+        let ranger = &sites[RANGER];
+        let image = build_at(&sites, RANGER, 0);
+        let t0 = std::time::Instant::now();
+        let bundle = run_source_phase(ranger, &image, &PhaseConfig::default()).unwrap();
+        let outcome =
+            run_target_phase(&sites[FIR], Some(&image), Some(&bundle), &PhaseConfig::default());
+        assert!(t0.elapsed().as_secs() < 300, "wall clock must stay far below 5 minutes");
+        assert!(
+            outcome.cpu_seconds < 300.0,
+            "simulated CPU budget {} must stay below 5 minutes",
+            outcome.cpu_seconds
+        );
+    }
+}

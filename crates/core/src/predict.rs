@@ -1,0 +1,193 @@
+//! The execution prediction model (§III, Figure 1).
+//!
+//! Four determinants decide execution readiness:
+//!
+//! 1. **ISA compatibility** — compiled for an ISA (and word length) the
+//!    target hardware executes.
+//! 2. **MPI stack compatibility** — a *functioning* stack of the same MPI
+//!    implementation type exists at the target (versions are deliberately
+//!    not compared — §III.B found no reliable backward-compatibility rule).
+//! 3. **C library compatibility** — the target's C library version is ≥
+//!    the binary's required C library version.
+//! 4. **Shared library compatibility** — every required shared library is
+//!    available in an API-compatible (same major) version, possibly after
+//!    resolution.
+
+use feam_elf::{Class, HostArch, Machine, Soname, VersionName};
+use serde::{Deserialize, Serialize};
+
+/// The four determinants of Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Determinant {
+    Isa,
+    MpiStack,
+    CLibrary,
+    SharedLibraries,
+}
+
+impl Determinant {
+    /// The question the paper phrases for this determinant.
+    pub fn question(self) -> &'static str {
+        match self {
+            Determinant::Isa => "Was the application compiled for a compatible ISA?",
+            Determinant::MpiStack => {
+                "Is there a compatible MPI stack functioning at the target site?"
+            }
+            Determinant::CLibrary => {
+                "Are the application's C library requirements met at the target site?"
+            }
+            Determinant::SharedLibraries => {
+                "Are all correct versions of the shared libraries available at the target site?"
+            }
+        }
+    }
+
+    /// All four, in evaluation order (§V.C: ISA and C library first, then
+    /// MPI stack, then shared libraries).
+    pub fn evaluation_order() -> [Determinant; 4] {
+        [Determinant::Isa, Determinant::CLibrary, Determinant::MpiStack, Determinant::SharedLibraries]
+    }
+}
+
+/// The verdict on one determinant.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeterminantVerdict {
+    pub determinant: Determinant,
+    pub compatible: bool,
+    /// Human-readable justification, written to the user's output file.
+    pub detail: String,
+}
+
+/// Which FEAM phases informed a prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PredictionMode {
+    /// Target phase only (§VI.B's *basic prediction*).
+    Basic,
+    /// Source + target phases (*extended prediction*): transported
+    /// hello-world tests and library-copy resolution available.
+    Extended,
+}
+
+/// A complete prediction for one (binary, target site) pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Prediction {
+    pub mode: PredictionMode,
+    /// Verdicts in evaluation order; evaluation may stop early when a
+    /// determinant fails (the paper details the reasons to the user).
+    pub verdicts: Vec<DeterminantVerdict>,
+}
+
+impl Prediction {
+    /// Start an empty prediction.
+    pub fn new(mode: PredictionMode) -> Self {
+        Prediction { mode, verdicts: Vec::new() }
+    }
+
+    /// Record a verdict.
+    pub fn record(&mut self, determinant: Determinant, compatible: bool, detail: impl Into<String>) {
+        self.verdicts.push(DeterminantVerdict { determinant, compatible, detail: detail.into() });
+    }
+
+    /// Ready iff every evaluated determinant is compatible.
+    pub fn ready(&self) -> bool {
+        !self.verdicts.is_empty() && self.verdicts.iter().all(|v| v.compatible)
+    }
+
+    /// The first failing determinant, if any.
+    pub fn first_failure(&self) -> Option<&DeterminantVerdict> {
+        self.verdicts.iter().find(|v| !v.compatible)
+    }
+}
+
+/// Determinant 1: ISA compatibility.
+pub fn isa_compatible(target: HostArch, machine: Machine, class: Class) -> bool {
+    target.executes(machine, class)
+}
+
+/// Determinant 3: C library compatibility — target version ≥ required.
+/// A binary without versioned C library references is compatible with any
+/// target; a target whose C library version could not be discovered is
+/// treated as incompatible (no basis for a positive claim).
+pub fn c_library_compatible(
+    required: Option<&VersionName>,
+    target: Option<&VersionName>,
+) -> bool {
+    match (required, target) {
+        (None, _) => true,
+        (Some(_), None) => false,
+        (Some(req), Some(t)) => t
+            .cmp_same_prefix(req)
+            .map(|o| o.is_ge())
+            .unwrap_or(false),
+    }
+}
+
+/// Determinant 4 helper: §III.D's naming-convention compatibility — a
+/// provided library satisfies a request when base names match and, when the
+/// request pins a major version, the majors agree.
+pub fn shared_library_compatible(requested: &str, provided: &str) -> bool {
+    match (Soname::parse(requested), Soname::parse(provided)) {
+        (Some(req), Some(prov)) => req.api_compatible_with(&prov),
+        _ => requested == provided,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn questions_match_paper_wording() {
+        assert!(Determinant::Isa.question().contains("ISA"));
+        assert!(Determinant::MpiStack.question().contains("MPI stack"));
+        assert!(Determinant::CLibrary.question().contains("C library"));
+        assert!(Determinant::SharedLibraries.question().contains("shared libraries"));
+    }
+
+    #[test]
+    fn prediction_ready_requires_all_compatible() {
+        let mut p = Prediction::new(PredictionMode::Basic);
+        assert!(!p.ready(), "empty prediction is not ready");
+        p.record(Determinant::Isa, true, "x86-64 on x86_64");
+        p.record(Determinant::CLibrary, true, "GLIBC_2.3.4 <= GLIBC_2.5");
+        assert!(p.ready());
+        p.record(Determinant::MpiStack, false, "no functioning Open MPI stack");
+        assert!(!p.ready());
+        assert_eq!(p.first_failure().unwrap().determinant, Determinant::MpiStack);
+    }
+
+    #[test]
+    fn c_library_rule_is_greater_or_equal() {
+        let v234 = VersionName::parse("GLIBC_2.3.4").unwrap();
+        let v25 = VersionName::parse("GLIBC_2.5").unwrap();
+        let v212 = VersionName::parse("GLIBC_2.12").unwrap();
+        assert!(c_library_compatible(Some(&v234), Some(&v25)));
+        assert!(c_library_compatible(Some(&v25), Some(&v25)));
+        assert!(!c_library_compatible(Some(&v212), Some(&v25)));
+        assert!(c_library_compatible(None, Some(&v25)));
+        assert!(c_library_compatible(None, None));
+        assert!(!c_library_compatible(Some(&v25), None));
+    }
+
+    #[test]
+    fn shared_library_major_rule() {
+        assert!(shared_library_compatible("libgfortran.so.1", "libgfortran.so.1.0.0"));
+        assert!(!shared_library_compatible("libgfortran.so.1", "libgfortran.so.3"));
+        assert!(shared_library_compatible("libimf.so", "libimf.so"));
+        assert!(!shared_library_compatible("libimf.so", "libsvml.so"));
+    }
+
+    #[test]
+    fn isa_determinant_delegates_to_hardware_model() {
+        assert!(isa_compatible(HostArch::X86_64, Machine::X86, Class::Elf32));
+        assert!(!isa_compatible(HostArch::X86_64, Machine::Ppc64, Class::Elf64));
+    }
+
+    #[test]
+    fn evaluation_order_checks_cheap_determinants_first() {
+        let order = Determinant::evaluation_order();
+        assert_eq!(order[0], Determinant::Isa);
+        assert_eq!(order[1], Determinant::CLibrary);
+        assert_eq!(order[3], Determinant::SharedLibraries);
+    }
+}

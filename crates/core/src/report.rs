@@ -1,0 +1,163 @@
+//! User-facing output (§V.C: "If at any point we determine that execution
+//! cannot occur, the reasons are detailed to the user via an output
+//! file" … "We provide a description of the matching configuration details
+//! to the user along with a script that will set them up automatically").
+
+use crate::phases::TargetOutcome;
+use std::fmt::Write as _;
+
+/// Serialize the target-phase outcome as JSON (the machine-readable twin
+/// of [`render_report`], for toolchains driving FEAM programmatically).
+pub fn report_json(outcome: &TargetOutcome) -> serde_json::Value {
+    serde_json::json!({
+        "mode": format!("{:?}", outcome.prediction.mode),
+        "ready": outcome.prediction.ready(),
+        "binary": {
+            "summary": outcome.binary.summary(),
+            "required_glibc": outcome.binary.required_glibc.as_ref().map(|v| v.render()),
+            "needed": outcome.binary.needed,
+            "abi_tag": outcome.binary.abi_tag.as_ref().map(|t| t.render()),
+        },
+        "target": {
+            "isa": outcome.environment.isa,
+            "os": outcome.environment.os,
+            "c_library": outcome.environment.c_library.as_ref().map(|v| v.render()),
+            "stacks": outcome.environment.available_stacks.iter().map(|d| d.ident()).collect::<Vec<_>>(),
+        },
+        "determinants": outcome.prediction.verdicts.iter().map(|v| serde_json::json!({
+            "determinant": format!("{:?}", v.determinant),
+            "compatible": v.compatible,
+            "detail": v.detail,
+        })).collect::<Vec<_>>(),
+        "plan": {
+            "stack": outcome.evaluation.plan.stack_ident,
+            "extra_ld_dirs": outcome.evaluation.plan.extra_ld_dirs,
+            "staged": outcome.evaluation.plan.staged.iter().map(|(p, b)| serde_json::json!({
+                "path": p, "bytes": b.len(),
+            })).collect::<Vec<_>>(),
+            "setup_script": outcome.evaluation.plan.setup_script(),
+        },
+        "cpu_seconds": outcome.cpu_seconds,
+    })
+}
+
+/// Render the target-phase outcome as the report file FEAM writes.
+pub fn render_report(outcome: &TargetOutcome) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "==== FEAM target evaluation report ====");
+    let _ = writeln!(s, "mode: {:?}", outcome.prediction.mode);
+    let _ = writeln!(s, "binary: {}", outcome.binary.summary());
+    let _ = writeln!(s, "target ISA: {}", outcome.environment.isa);
+    let _ = writeln!(s, "target OS: {}", outcome.environment.os);
+    let _ = writeln!(
+        s,
+        "target C library: {}",
+        outcome
+            .environment
+            .c_library
+            .as_ref()
+            .map(|v| v.render())
+            .unwrap_or_else(|| "unknown".into())
+    );
+    let _ = writeln!(s, "---- determinants ----");
+    for v in &outcome.prediction.verdicts {
+        let _ = writeln!(
+            s,
+            "[{}] {:?}: {}",
+            if v.compatible { "ok" } else { "FAIL" },
+            v.determinant,
+            v.detail
+        );
+    }
+    let _ = writeln!(s, "---- stack tests ----");
+    for t in &outcome.evaluation.stack_tests {
+        let _ = writeln!(
+            s,
+            "{}: native hello world {}{}",
+            t.stack_ident,
+            if t.native_ok { "passed" } else { "failed" },
+            match t.transported_ok {
+                Some(true) => ", transported hello world passed",
+                Some(false) => ", transported hello world FAILED",
+                None => "",
+            }
+        );
+    }
+    if let Some(res) = &outcome.evaluation.resolution {
+        let _ = writeln!(s, "---- resolution ----");
+        for o in &res.outcomes {
+            match o {
+                crate::resolve::LibraryResolution::Staged { soname, staged_path } => {
+                    let _ = writeln!(s, "resolved {soname} -> {staged_path}");
+                }
+                crate::resolve::LibraryResolution::Failed { soname, reason } => {
+                    let _ = writeln!(s, "unresolved {soname}: {reason}");
+                }
+            }
+        }
+    }
+    let _ = writeln!(s, "---- verdict ----");
+    let _ = writeln!(
+        s,
+        "prediction: {}",
+        if outcome.prediction.ready() { "READY for execution" } else { "NOT ready" }
+    );
+    if outcome.prediction.ready() {
+        let _ = writeln!(s, "---- setup script ----");
+        s.push_str(&outcome.evaluation.plan.setup_script());
+    }
+    let _ = writeln!(s, "phase CPU seconds: {:.1}", outcome.cpu_seconds);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phases::{run_source_phase, run_target_phase, PhaseConfig};
+    use feam_sim::compile::{compile, ProgramSpec};
+    use feam_sim::toolchain::Language;
+    use feam_workloads::sites::{standard_sites, INDIA, RANGER};
+
+    #[test]
+    fn json_report_mirrors_text_report() {
+        let sites = standard_sites(31);
+        let ranger = &sites[RANGER];
+        let ist = ranger.stacks[0].clone();
+        let image = compile(ranger, Some(&ist), &ProgramSpec::new("is", Language::C), 4)
+            .unwrap()
+            .image;
+        let outcome =
+            run_target_phase(&sites[INDIA], Some(&image), None, &PhaseConfig::default());
+        let j = report_json(&outcome);
+        assert_eq!(j["ready"], outcome.prediction.ready());
+        assert_eq!(j["mode"], "Basic");
+        assert!(j["determinants"].as_array().unwrap().len() >= 2);
+        assert!(j["target"]["stacks"].as_array().unwrap().len() >= 3);
+        // Round-trips through serde_json text.
+        let text = serde_json::to_string(&j).unwrap();
+        let back: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, j);
+    }
+
+    #[test]
+    fn report_contains_determinants_and_verdict() {
+        let sites = standard_sites(29);
+        let ranger = &sites[RANGER];
+        let ist = ranger.stacks[1].clone();
+        let image = compile(ranger, Some(&ist), &ProgramSpec::new("ep", Language::Fortran), 3)
+            .unwrap()
+            .image;
+        let bundle = run_source_phase(ranger, &image, &PhaseConfig::default()).unwrap();
+        let outcome =
+            run_target_phase(&sites[INDIA], Some(&image), Some(&bundle), &PhaseConfig::default());
+        let report = render_report(&outcome);
+        assert!(report.contains("FEAM target evaluation report"));
+        assert!(report.contains("determinants"));
+        assert!(report.contains("Isa"));
+        assert!(report.contains("CLibrary"));
+        assert!(report.contains("prediction:"));
+        if outcome.prediction.ready() {
+            assert!(report.contains("module load"));
+        }
+    }
+}

@@ -1,0 +1,571 @@
+//! The Target Evaluation Component (§V.C).
+//!
+//! Joins the BDC's binary description with the EDC's environment
+//! description through the prediction model, runs the MPI stack functional
+//! tests ("hello world" programs compiled natively and, when a source
+//! phase ran, transported from the guaranteed execution environment),
+//! applies the resolution model to missing shared libraries, and emits the
+//! matching configuration (stack selection + environment variables +
+//! staged copies) for the user.
+
+use crate::bdc::{BinaryDescription, MpiIdentification};
+use crate::edc::{self, EnvironmentDescription};
+use crate::phases::PhaseConfig;
+use crate::predict::{c_library_compatible, Determinant, Prediction, PredictionMode};
+use crate::resolve::{resolve_missing, ResolutionPlan};
+use crate::bundle::SourceBundle;
+use feam_sim::compile::{compile, ProgramSpec};
+use feam_sim::exec::run_mpi;
+use feam_sim::site::{Session, Site};
+use feam_sim::toolchain::Language;
+use std::sync::Arc;
+
+/// Staging directory FEAM uses for resolved library copies.
+pub const STAGING_DIR: &str = "/home/user/feam/resolved";
+/// Path the migrated application binary is staged at.
+pub const APP_PATH: &str = "/home/user/feam/app.bin";
+
+/// The site configuration FEAM composes for execution (the paper's
+/// "description of the matching configuration details … along with a
+/// script that will set them up automatically on execution").
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionPlan {
+    /// Index into the site's stacks of the selected MPI stack.
+    pub stack_index: Option<usize>,
+    /// Its identifier, for reports.
+    pub stack_ident: Option<String>,
+    /// Launch command (`mpiexec` unless the user's configuration overrides
+    /// it, §V.C).
+    pub launch_command: Option<String>,
+    /// Directories to prepend to `LD_LIBRARY_PATH` (search-found library
+    /// locations plus the resolution staging directory).
+    pub extra_ld_dirs: Vec<String>,
+    /// Library copies to stage, as (path, bytes).
+    pub staged: Vec<(String, Arc<Vec<u8>>)>,
+}
+
+impl ExecutionPlan {
+    /// Materialize the plan as a session at `site` (the setup script's
+    /// effect): module load, `LD_LIBRARY_PATH` additions, staged copies.
+    pub fn apply<'s>(&self, site: &'s Site) -> Session<'s> {
+        let mut sess = Session::new(site);
+        if let Some(idx) = self.stack_index {
+            if let Some(ist) = site.stacks.get(idx) {
+                sess.load_stack(ist);
+            }
+        }
+        for (path, bytes) in &self.staged {
+            sess.stage_file(path, bytes.clone());
+        }
+        for dir in &self.extra_ld_dirs {
+            feam_sim::site::env_prepend(&mut sess.env, "LD_LIBRARY_PATH", dir);
+        }
+        sess
+    }
+
+    /// Render as the setup shell script FEAM writes for the user.
+    pub fn setup_script(&self) -> String {
+        let mut s = String::from("#!/bin/sh\n# FEAM-generated site configuration\n");
+        if let Some(ident) = &self.stack_ident {
+            s.push_str(&format!("module load {ident}\n"));
+        }
+        for dir in &self.extra_ld_dirs {
+            s.push_str(&format!("export LD_LIBRARY_PATH={dir}:$LD_LIBRARY_PATH\n"));
+        }
+        for (path, _) in &self.staged {
+            s.push_str(&format!("# staged library copy: {path}\n"));
+        }
+        let launch = self.launch_command.as_deref().unwrap_or("mpiexec");
+        s.push_str(&format!("{launch} -np $NPROCS ./$APP\n"));
+        s
+    }
+}
+
+/// One stack functional-test result, for the report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StackTest {
+    pub stack_ident: String,
+    /// Native hello world compiled and ran?
+    pub native_ok: bool,
+    /// Transported hello world ran (None when not available)?
+    pub transported_ok: Option<bool>,
+}
+
+/// The complete TEC output for one (binary, target site) pair.
+#[derive(Debug, Clone)]
+pub struct TargetEvaluation {
+    pub prediction: Prediction,
+    /// Best-effort execution configuration, present even when the
+    /// prediction is negative (used for ground-truth comparison).
+    pub plan: ExecutionPlan,
+    /// Resolution outcomes, when the resolution model ran.
+    pub resolution: Option<ResolutionPlan>,
+    /// Per-stack functional test log.
+    pub stack_tests: Vec<StackTest>,
+    /// Simulated CPU seconds consumed by the evaluation.
+    pub cpu_seconds: f64,
+}
+
+/// Evaluate execution readiness of a binary at a target site.
+///
+/// `binary_image` is the migrated binary when present at the target;
+/// `bundle` is the (optional) source-phase output. At least one of the two
+/// must provide a description — with both absent there is nothing to
+/// evaluate (callers enforce this).
+pub fn evaluate(
+    site: &Site,
+    description: &BinaryDescription,
+    binary_image: Option<&Arc<Vec<u8>>>,
+    env: &EnvironmentDescription,
+    bundle: Option<&SourceBundle>,
+    cfg: &PhaseConfig,
+) -> TargetEvaluation {
+    let mode =
+        if bundle.is_some() { PredictionMode::Extended } else { PredictionMode::Basic };
+    let mut prediction = Prediction::new(mode);
+    let mut cpu = 0.0f64;
+
+    // ---- Determinant 1: ISA --------------------------------------------------
+    let isa_ok = env
+        .arch
+        .map(|a| a.executes(description.machine, description.class))
+        .unwrap_or(false);
+    prediction.record(
+        Determinant::Isa,
+        isa_ok,
+        format!(
+            "binary is {} {}-bit; target reports {}",
+            description.machine.name(),
+            description.class.bits(),
+            env.isa
+        ),
+    );
+
+    // ---- Determinant 3 (checked second, §V.C): C library ----------------------
+    let clib_ok =
+        c_library_compatible(description.required_glibc.as_ref(), env.c_library.as_ref());
+    prediction.record(
+        Determinant::CLibrary,
+        clib_ok,
+        format!(
+            "binary requires {}; target provides {}",
+            description.required_glibc.as_ref().map(|v| v.render()).unwrap_or_else(|| "none".into()),
+            env.c_library.as_ref().map(|v| v.render()).unwrap_or_else(|| "unknown".into()),
+        ),
+    );
+
+    // Naive fallback plan: first advertised stack of the matching MPI type.
+    let bin_impl = match description.mpi {
+        MpiIdentification::Identified(i) => Some(i),
+        MpiIdentification::NotMpi => None,
+    };
+    let bin_compiler =
+        feam_sim::exec::compiler_from_comments(&description.comments).map(|(f, _)| f);
+    let plan = naive_plan(site, env, bin_impl, bin_compiler);
+
+    if !isa_ok || !clib_ok {
+        // §V.C: "If at any point we determine that execution cannot occur,
+        // the reasons are detailed to the user."
+        return TargetEvaluation {
+            prediction,
+            plan,
+            resolution: None,
+            stack_tests: Vec::new(),
+            cpu_seconds: cpu,
+        };
+    }
+
+    // ---- Determinant 2: a functioning, compatible MPI stack -------------------
+    let Some(bin_impl) = bin_impl else {
+        prediction.record(Determinant::MpiStack, false, "binary is not an MPI application");
+        return TargetEvaluation {
+            prediction,
+            plan,
+            resolution: None,
+            stack_tests: Vec::new(),
+            cpu_seconds: cpu,
+        };
+    };
+    let candidates = env.stacks_of(bin_impl);
+    if candidates.is_empty() {
+        prediction.record(
+            Determinant::MpiStack,
+            false,
+            format!("no {} installation advertised at target", bin_impl.name()),
+        );
+        return TargetEvaluation {
+            prediction,
+            plan,
+            resolution: None,
+            stack_tests: Vec::new(),
+            cpu_seconds: cpu,
+        };
+    }
+
+    let mut stack_tests = Vec::new();
+    let mut any_functioning: Option<String> = None;
+    let mut best_incomplete: Option<(ExecutionPlan, Option<ResolutionPlan>, String)> = None;
+    for cand in &candidates {
+        let Some(ist) = edc::find_installed(site, cand) else { continue };
+        let mut sess = Session::new(site);
+        sess.load_stack(ist);
+
+        // Native hello-world functional test (§III.B: "Our methods decide
+        // an MPI stack is useable if a basic MPI program is able to be
+        // executed when the MPI stack is selected").
+        sess.charge(12.0); // native compile cost
+        let native_ok = match compile(site, Some(ist), &ProgramSpec::mpi_hello_world(Language::C), cfg.seed)
+        {
+            Ok(hello) => {
+                sess.stage_file("/home/user/feam/hello_native", hello.image.clone());
+                run_mpi(&mut sess, "/home/user/feam/hello_native", ist, cfg.nprocs, cfg.max_attempts)
+                    .success
+            }
+            Err(_) => false,
+        };
+        if !native_ok {
+            stack_tests.push(StackTest {
+                stack_ident: cand.ident(),
+                native_ok: false,
+                transported_ok: None,
+            });
+            cpu += sess.cpu_seconds;
+            continue; // advertised but not useable; try the next stack
+        }
+        any_functioning = Some(cand.ident());
+
+        // ---- Determinant 4: shared libraries under this stack ----------------
+        let (missing, extra_dirs) = match binary_image {
+            Some(image) => {
+                sess.stage_file(APP_PATH, (*image).clone());
+                let missing = edc::missing_libraries(&mut sess, APP_PATH);
+                let dirs = edc::extra_lib_dirs(&mut sess, &description.needed);
+                (missing, dirs)
+            }
+            None => {
+                // Binary not present (bundle-only evaluation): work from the
+                // description gathered at the GEE.
+                let dirs = edc::extra_lib_dirs(&mut sess, &description.needed);
+                let missing = description
+                    .needed
+                    .iter()
+                    .filter(|so| {
+                        !crate::bdc::is_c_library(so)
+                            && crate::bdc::locate_library(&sess, so).is_none()
+                            && !visible_on_paths(&sess, so)
+                    })
+                    .cloned()
+                    .collect();
+                (missing, dirs)
+            }
+        };
+        for d in &extra_dirs {
+            feam_sim::site::env_prepend(&mut sess.env, "LD_LIBRARY_PATH", d);
+        }
+
+        // Resolution (extended mode only, §V.C: "Resolution can proceed if
+        // a Source Phase has occurred").
+        let mut resolution: Option<ResolutionPlan> = None;
+        let mut all_libs_ok = missing.is_empty();
+        let mut lib_detail = if missing.is_empty() {
+            "all required shared libraries present".to_string()
+        } else {
+            format!("missing: {}", missing.join(", "))
+        };
+        if !missing.is_empty() && !cfg.disable_resolution {
+            if let Some(bundle) = bundle {
+                let rp = resolve_missing(
+                    &mut sess,
+                    bundle,
+                    &missing,
+                    env.arch.expect("isa determinant already passed"),
+                    env.c_library.as_ref(),
+                    STAGING_DIR,
+                );
+                if rp.complete() {
+                    all_libs_ok = true;
+                    lib_detail = format!(
+                        "{} missing shared libraries resolved via copies from {}",
+                        rp.staged_count(),
+                        bundle.gee_site
+                    );
+                    feam_sim::site::env_prepend(&mut sess.env, "LD_LIBRARY_PATH", STAGING_DIR);
+                } else {
+                    let fails: Vec<String> = rp
+                        .failures()
+                        .iter()
+                        .map(|(so, why)| format!("{so}: {why}"))
+                        .collect();
+                    lib_detail = format!("unresolvable: {}", fails.join("; "));
+                }
+                resolution = Some(rp);
+            }
+        }
+
+        // Extended compatibility test: run the transported hello world
+        // under the composed environment (catches ABI and floating-point
+        // incompatibilities the static checks cannot see).
+        let transported_probe = if cfg.disable_transported_tests {
+            None
+        } else {
+            bundle.and_then(|b| b.hello_world(Language::C).or_else(|| b.hello_worlds.first()))
+        };
+        let transported_ok = match transported_probe {
+            Some(probe) => {
+                sess.stage_file("/home/user/feam/hello_transported", probe.image.clone());
+                let ok = run_mpi(
+                    &mut sess,
+                    "/home/user/feam/hello_transported",
+                    ist,
+                    cfg.nprocs,
+                    cfg.max_attempts,
+                )
+                .success;
+                Some(ok)
+            }
+            None => None,
+        };
+        stack_tests.push(StackTest {
+            stack_ident: cand.ident(),
+            native_ok: true,
+            transported_ok,
+        });
+
+        // Assemble this candidate's plan.
+        let mut cand_plan = ExecutionPlan {
+            stack_index: site.stacks.iter().position(|s| s.prefix == ist.prefix),
+            stack_ident: Some(cand.ident()),
+            launch_command: cfg.mpiexec_override.clone(),
+            extra_ld_dirs: extra_dirs.clone(),
+            staged: resolution.as_ref().map(|r| r.staged.clone()).unwrap_or_default(),
+        };
+        if resolution.as_ref().map(|r| r.staged_count() > 0).unwrap_or(false) {
+            cand_plan.extra_ld_dirs.push(STAGING_DIR.to_string());
+        }
+        cpu += sess.cpu_seconds;
+
+        let transported_passed = transported_ok.unwrap_or(true);
+        if all_libs_ok && transported_passed {
+            // Success: record positive verdicts and return.
+            prediction.record(
+                Determinant::MpiStack,
+                true,
+                format!(
+                    "functioning {} stack: {}{}",
+                    bin_impl.name(),
+                    cand.ident(),
+                    match transported_ok {
+                        Some(true) => " (transported hello world passed)",
+                        _ => " (native hello world passed)",
+                    }
+                ),
+            );
+            prediction.record(Determinant::SharedLibraries, true, lib_detail);
+            return TargetEvaluation {
+                prediction,
+                plan: cand_plan,
+                resolution,
+                stack_tests,
+                cpu_seconds: cpu,
+            };
+        }
+        // Keep the most promising incomplete candidate for the best-effort
+        // plan and its failure detail.
+        let detail = if !transported_passed {
+            format!(
+                "stack {} functioning but transported hello world failed (ABI/FP incompatibility)",
+                cand.ident()
+            )
+        } else {
+            lib_detail
+        };
+        if best_incomplete.is_none() {
+            best_incomplete = Some((cand_plan, resolution, detail));
+        }
+    }
+
+    // No candidate produced a positive prediction.
+    match best_incomplete {
+        Some((cand_plan, resolution, detail)) => {
+            let transported_failed = detail.contains("transported");
+            if transported_failed {
+                prediction.record(Determinant::MpiStack, false, detail);
+            } else {
+                prediction.record(
+                    Determinant::MpiStack,
+                    true,
+                    format!(
+                        "functioning {} stack: {}",
+                        bin_impl.name(),
+                        any_functioning.clone().unwrap_or_default()
+                    ),
+                );
+                prediction.record(Determinant::SharedLibraries, false, detail);
+            }
+            TargetEvaluation { prediction, plan: cand_plan, resolution, stack_tests, cpu_seconds: cpu }
+        }
+        None => {
+            prediction.record(
+                Determinant::MpiStack,
+                false,
+                format!(
+                    "{} advertised at target but no stack passed the hello-world test",
+                    bin_impl.name()
+                ),
+            );
+            TargetEvaluation {
+                prediction,
+                plan,
+                resolution: None,
+                stack_tests,
+                cpu_seconds: cpu,
+            }
+        }
+    }
+}
+
+fn visible_on_paths(sess: &Session<'_>, soname: &str) -> bool {
+    let mut dirs = sess.ld_library_path();
+    dirs.extend(sess.site.default_lib_dirs());
+    dirs.iter().any(|d| sess.exists(&format!("{d}/{soname}")))
+}
+
+/// The configuration a scientist without FEAM would use: `module load` a
+/// stack of the matching MPI implementation — preferring one built with
+/// the same compiler family when the user knows it — and nothing else
+/// (Table IV's "before resolution" baseline).
+pub fn naive_plan(
+    site: &Site,
+    env: &EnvironmentDescription,
+    bin_impl: Option<feam_sim::mpi::MpiImpl>,
+    compiler_family: Option<feam_sim::toolchain::CompilerFamily>,
+) -> ExecutionPlan {
+    let Some(imp) = bin_impl else { return ExecutionPlan::default() };
+    let candidates = env.stacks_of(imp);
+    let preferred = compiler_family.and_then(|fam| {
+        candidates.iter().find(|c| c.compiler == fam.tag()).copied()
+    });
+    for cand in preferred.into_iter().chain(candidates.iter().copied()) {
+        if let Some(ist) = edc::find_installed(site, cand) {
+            return ExecutionPlan {
+                stack_index: site.stacks.iter().position(|s| s.prefix == ist.prefix),
+                stack_ident: Some(cand.ident()),
+                launch_command: None,
+                extra_ld_dirs: Vec::new(),
+                staged: Vec::new(),
+            };
+        }
+    }
+    ExecutionPlan::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bdc::BinaryDescription;
+    use crate::edc::discover;
+    use feam_sim::compile::{compile as sim_compile, ProgramSpec};
+    use feam_workloads::sites::{standard_sites, FIR, RANGER};
+
+    fn cfg() -> PhaseConfig {
+        PhaseConfig::default()
+    }
+
+    #[test]
+    fn self_migration_predicts_ready() {
+        // A binary evaluated at its own build site must be predicted ready.
+        let sites = standard_sites(13);
+        let fir = &sites[FIR];
+        let ist = fir.stacks[0].clone();
+        let bin = sim_compile(
+            fir,
+            Some(&ist),
+            &ProgramSpec::new("cg", feam_sim::toolchain::Language::Fortran),
+            13,
+        )
+        .unwrap();
+        let desc = BinaryDescription::from_bytes("/home/user/cg", &bin.image).unwrap();
+        let mut sess = Session::new(fir);
+        let env = discover(&mut sess);
+        let eval = evaluate(fir, &desc, Some(&bin.image), &env, None, &cfg());
+        assert!(
+            eval.prediction.ready(),
+            "self-migration must be ready: {:?}",
+            eval.prediction.first_failure()
+        );
+        assert!(eval.plan.stack_ident.is_some());
+        assert!(eval.cpu_seconds > 0.0);
+    }
+
+    #[test]
+    fn glibc_too_new_predicts_not_ready_before_stack_tests() {
+        let sites = standard_sites(13);
+        let forge = &sites[feam_workloads::sites::FORGE];
+        let ranger = &sites[RANGER];
+        // Build at Forge with maximum glibc appetite → requires 2.12.
+        let ist = forge.stacks[0].clone();
+        let mut prog = ProgramSpec::new("hot", feam_sim::toolchain::Language::C);
+        prog.glibc_appetite = 1.0;
+        let bin = sim_compile(forge, Some(&ist), &prog, 13).unwrap();
+        let desc = BinaryDescription::from_bytes("/home/user/hot", &bin.image).unwrap();
+        // Evaluate at Ranger (glibc 2.3.4).
+        let mut sess = Session::new(ranger);
+        let env = discover(&mut sess);
+        let eval = evaluate(ranger, &desc, Some(&bin.image), &env, None, &cfg());
+        assert!(!eval.prediction.ready());
+        assert_eq!(
+            eval.prediction.first_failure().unwrap().determinant,
+            Determinant::CLibrary
+        );
+        // Evaluation stopped early: no stack tests were run.
+        assert!(eval.stack_tests.is_empty());
+    }
+
+    #[test]
+    fn missing_mpi_impl_predicts_not_ready() {
+        let sites = standard_sites(13);
+        let fir = &sites[FIR];
+        let blacklight = &sites[feam_workloads::sites::BLACKLIGHT];
+        // MPICH2 binary from Fir; Blacklight has only Open MPI.
+        let mpich_stack = fir
+            .stacks
+            .iter()
+            .find(|s| s.stack.mpi == feam_sim::mpi::MpiImpl::Mpich2)
+            .unwrap()
+            .clone();
+        let bin = sim_compile(
+            fir,
+            Some(&mpich_stack),
+            &ProgramSpec::new("is", feam_sim::toolchain::Language::C),
+            13,
+        )
+        .unwrap();
+        let desc = BinaryDescription::from_bytes("/home/user/is", &bin.image).unwrap();
+        let mut sess = Session::new(blacklight);
+        let env = discover(&mut sess);
+        let eval = evaluate(blacklight, &desc, Some(&bin.image), &env, None, &cfg());
+        assert!(!eval.prediction.ready());
+        assert_eq!(
+            eval.prediction.first_failure().unwrap().determinant,
+            Determinant::MpiStack
+        );
+    }
+
+    #[test]
+    fn setup_script_mentions_stack_and_dirs() {
+        let plan = ExecutionPlan {
+            stack_index: Some(0),
+            stack_ident: Some("openmpi-1.4-gnu-4.1.2".into()),
+            launch_command: Some("orterun".into()),
+            extra_ld_dirs: vec!["/opt/openmpi-1.4-gnu-4.1.2/lib".into()],
+            staged: vec![],
+        };
+        let script = plan.setup_script();
+        assert!(script.contains("module load openmpi-1.4-gnu-4.1.2"));
+        assert!(script.contains("LD_LIBRARY_PATH=/opt/openmpi-1.4-gnu-4.1.2/lib"));
+        assert!(script.contains("orterun -np"), "configured launcher used: {script}");
+        // Default launcher when no override is configured.
+        let plain = ExecutionPlan { launch_command: None, ..plan.clone() };
+        assert!(plain.setup_script().contains("mpiexec -np"));
+    }
+}

@@ -1,0 +1,12 @@
+//! Dev helper: write a synthetic MPI app binary to /tmp for binutils cross-checks.
+fn main() {
+    let mut spec = feam_elf::ElfSpec::executable(feam_elf::Machine::X86_64, feam_elf::Class::Elf64);
+    spec.needed = vec!["libmpi.so.0".into(), "libc.so.6".into()];
+    spec.imports = vec![
+        feam_elf::ImportSpec::versioned("memcpy", "libc.so.6", "GLIBC_2.2.5"),
+        feam_elf::ImportSpec::versioned("fopen64", "libc.so.6", "GLIBC_2.12"),
+    ];
+    spec.comments = vec!["GCC: (GNU) 4.4.5 20110214 (Red Hat 4.4.5-6)".into()];
+    std::fs::write("/tmp/fake_mpi_app", spec.build().unwrap()).unwrap();
+    eprintln!("written /tmp/fake_mpi_app");
+}

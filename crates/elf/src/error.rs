@@ -1,0 +1,53 @@
+//! Error type shared across the ELF reader and writer.
+
+use std::fmt;
+
+/// Result alias used throughout `feam-elf`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while parsing or constructing ELF images.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The file does not begin with `\x7fELF`.
+    NotElf,
+    /// The file ended before a required structure; `wanted` bytes needed,
+    /// only `have` available.
+    Truncated { wanted: usize, have: usize },
+    /// Structurally invalid content (bad enum value, inconsistent header,
+    /// string table overrun, ...).
+    Malformed(String),
+    /// The requested section or table is absent from the image.
+    Missing(&'static str),
+    /// The builder was given an inconsistent specification.
+    InvalidSpec(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NotElf => write!(f, "not an ELF image (bad magic)"),
+            Error::Truncated { wanted, have } => {
+                write!(f, "truncated ELF image: need {wanted} bytes, have {have}")
+            }
+            Error::Malformed(msg) => write!(f, "malformed ELF image: {msg}"),
+            Error::Missing(what) => write!(f, "ELF image has no {what}"),
+            Error::InvalidSpec(msg) => write!(f, "invalid ELF build specification: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::Truncated { wanted: 64, have: 10 };
+        assert!(e.to_string().contains("64"));
+        assert!(e.to_string().contains("10"));
+        assert!(Error::NotElf.to_string().contains("magic"));
+        assert!(Error::Missing("dynamic section").to_string().contains("dynamic section"));
+    }
+}

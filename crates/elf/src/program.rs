@@ -1,0 +1,213 @@
+//! Program (segment) headers — the loader's view of the file.
+
+use crate::endian::Endian;
+use crate::error::Result;
+use crate::header::ElfHeader;
+use crate::ident::Class;
+
+/// Segment type (`p_type`). Only types the FEAM tool chain inspects are
+/// named.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SegmentKind {
+    /// `PT_NULL`.
+    Null,
+    /// `PT_LOAD`.
+    Load,
+    /// `PT_DYNAMIC` — location of the dynamic section.
+    Dynamic,
+    /// `PT_INTERP` — path of the program interpreter (ld.so).
+    Interp,
+    /// `PT_NOTE`.
+    Note,
+    /// `PT_PHDR`.
+    Phdr,
+    /// Anything else.
+    Other(u32),
+}
+
+impl SegmentKind {
+    /// Encode as `p_type`.
+    pub fn p_type(self) -> u32 {
+        match self {
+            SegmentKind::Null => 0,
+            SegmentKind::Load => 1,
+            SegmentKind::Dynamic => 2,
+            SegmentKind::Interp => 3,
+            SegmentKind::Note => 4,
+            SegmentKind::Phdr => 6,
+            SegmentKind::Other(v) => v,
+        }
+    }
+
+    /// Decode a `p_type` word.
+    pub fn from_p_type(v: u32) -> Self {
+        match v {
+            0 => SegmentKind::Null,
+            1 => SegmentKind::Load,
+            2 => SegmentKind::Dynamic,
+            3 => SegmentKind::Interp,
+            4 => SegmentKind::Note,
+            6 => SegmentKind::Phdr,
+            other => SegmentKind::Other(other),
+        }
+    }
+}
+
+/// Segment permission flags (`p_flags`).
+pub mod flags {
+    /// `PF_X`.
+    pub const X: u32 = 1;
+    /// `PF_W`.
+    pub const W: u32 = 2;
+    /// `PF_R`.
+    pub const R: u32 = 4;
+}
+
+/// One program header entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramHeader {
+    pub kind: SegmentKind,
+    pub flags: u32,
+    /// File offset of the segment contents.
+    pub offset: u64,
+    /// Virtual address of the segment.
+    pub vaddr: u64,
+    /// Physical address (unused on the systems we model).
+    pub paddr: u64,
+    /// Bytes of the segment present in the file.
+    pub filesz: u64,
+    /// Bytes of the segment in memory (>= `filesz`).
+    pub memsz: u64,
+    /// Alignment constraint.
+    pub align: u64,
+}
+
+/// Size of one program header entry for a class.
+pub fn phent_size(class: Class) -> usize {
+    match class {
+        Class::Elf32 => 32,
+        Class::Elf64 => 56,
+    }
+}
+
+impl ProgramHeader {
+    /// Parse one entry at `off`.
+    pub fn parse(data: &[u8], off: usize, class: Class, e: Endian) -> Result<Self> {
+        match class {
+            Class::Elf32 => Ok(ProgramHeader {
+                kind: SegmentKind::from_p_type(e.read_u32(data, off)?),
+                offset: e.read_u32(data, off + 4)? as u64,
+                vaddr: e.read_u32(data, off + 8)? as u64,
+                paddr: e.read_u32(data, off + 12)? as u64,
+                filesz: e.read_u32(data, off + 16)? as u64,
+                memsz: e.read_u32(data, off + 20)? as u64,
+                flags: e.read_u32(data, off + 24)?,
+                align: e.read_u32(data, off + 28)? as u64,
+            }),
+            Class::Elf64 => Ok(ProgramHeader {
+                kind: SegmentKind::from_p_type(e.read_u32(data, off)?),
+                flags: e.read_u32(data, off + 4)?,
+                offset: e.read_u64(data, off + 8)?,
+                vaddr: e.read_u64(data, off + 16)?,
+                paddr: e.read_u64(data, off + 24)?,
+                filesz: e.read_u64(data, off + 32)?,
+                memsz: e.read_u64(data, off + 40)?,
+                align: e.read_u64(data, off + 48)?,
+            }),
+        }
+    }
+
+    /// Encode one entry.
+    pub fn to_bytes(&self, class: Class, e: Endian) -> Vec<u8> {
+        let mut out = Vec::with_capacity(phent_size(class));
+        match class {
+            Class::Elf32 => {
+                e.put_u32(&mut out, self.kind.p_type());
+                e.put_u32(&mut out, self.offset as u32);
+                e.put_u32(&mut out, self.vaddr as u32);
+                e.put_u32(&mut out, self.paddr as u32);
+                e.put_u32(&mut out, self.filesz as u32);
+                e.put_u32(&mut out, self.memsz as u32);
+                e.put_u32(&mut out, self.flags);
+                e.put_u32(&mut out, self.align as u32);
+            }
+            Class::Elf64 => {
+                e.put_u32(&mut out, self.kind.p_type());
+                e.put_u32(&mut out, self.flags);
+                e.put_u64(&mut out, self.offset);
+                e.put_u64(&mut out, self.vaddr);
+                e.put_u64(&mut out, self.paddr);
+                e.put_u64(&mut out, self.filesz);
+                e.put_u64(&mut out, self.memsz);
+                e.put_u64(&mut out, self.align);
+            }
+        }
+        debug_assert_eq!(out.len(), phent_size(class));
+        out
+    }
+}
+
+/// Parse the whole program header table described by `hdr`.
+pub fn parse_table(data: &[u8], hdr: &ElfHeader) -> Result<Vec<ProgramHeader>> {
+    let class = hdr.ident.class;
+    let e = hdr.ident.endian;
+    let mut out = Vec::with_capacity(hdr.phnum as usize);
+    for i in 0..hdr.phnum as usize {
+        let off = hdr.phoff as usize + i * hdr.phentsize as usize;
+        out.push(ProgramHeader::parse(data, off, class, e)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ProgramHeader {
+        ProgramHeader {
+            kind: SegmentKind::Load,
+            flags: flags::R | flags::X,
+            offset: 0,
+            vaddr: 0x40_0000,
+            paddr: 0x40_0000,
+            filesz: 0x1234,
+            memsz: 0x2000,
+            align: 0x1000,
+        }
+    }
+
+    #[test]
+    fn round_trip_both_classes_and_orders() {
+        for class in [Class::Elf32, Class::Elf64] {
+            for e in [Endian::Little, Endian::Big] {
+                let p = sample();
+                let bytes = p.to_bytes(class, e);
+                assert_eq!(bytes.len(), phent_size(class));
+                let parsed = ProgramHeader::parse(&bytes, 0, class, e).unwrap();
+                assert_eq!(parsed, p);
+            }
+        }
+    }
+
+    #[test]
+    fn segment_kind_round_trip() {
+        for k in [
+            SegmentKind::Null,
+            SegmentKind::Load,
+            SegmentKind::Dynamic,
+            SegmentKind::Interp,
+            SegmentKind::Note,
+            SegmentKind::Phdr,
+            SegmentKind::Other(0x6474_e551),
+        ] {
+            assert_eq!(SegmentKind::from_p_type(k.p_type()), k);
+        }
+    }
+
+    #[test]
+    fn truncated_entry_is_error() {
+        let p = sample();
+        let bytes = p.to_bytes(Class::Elf64, Endian::Little);
+        assert!(ProgramHeader::parse(&bytes[..40], 0, Class::Elf64, Endian::Little).is_err());
+    }
+}

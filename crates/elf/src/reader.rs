@@ -1,0 +1,380 @@
+//! High-level ELF reader: everything FEAM's Binary Description Component
+//! needs from one pass over an image.
+//!
+//! The reader prefers the section-header route (what `objdump`/`readelf`
+//! use) and falls back to the `PT_DYNAMIC` segment route (what `ld.so`
+//! uses) when section headers are absent — stripped binaries keep their
+//! dynamic segment even when sections are gone.
+
+use crate::comment::parse_comment;
+use crate::dynamic::{self, DynEntry, DynamicInfo, Tag};
+use crate::endian::{slice, Endian};
+use crate::error::{Error, Result};
+use crate::header::{ElfHeader, FileKind};
+use crate::ident::Class;
+use crate::machine::Machine;
+use crate::notes::{find_abi_tag, parse_notes, AbiTag};
+use crate::program::{self, ProgramHeader, SegmentKind};
+use crate::section::{self, SectionHeader};
+use crate::strtab::StrTab;
+use crate::symbols::{self, NamedSymbol};
+use crate::versions::{
+    self, newest_with_prefix, VersionDef, VersionName, VersionRef, VER_NDX_GLOBAL, VER_NDX_LOCAL,
+};
+
+/// A fully parsed ELF image.
+#[derive(Debug, Clone)]
+pub struct ElfFile<'d> {
+    data: &'d [u8],
+    header: ElfHeader,
+    sections: Vec<(String, SectionHeader)>,
+    programs: Vec<ProgramHeader>,
+    dynamic: DynamicInfo,
+    dyn_entries: Vec<DynEntry>,
+    version_refs: Vec<VersionRef>,
+    version_defs: Vec<VersionDef>,
+    dynamic_symbols: Vec<NamedSymbol>,
+    comments: Vec<String>,
+    interp: Option<String>,
+}
+
+impl<'d> ElfFile<'d> {
+    /// Parse an image. Fails on structural corruption but tolerates absent
+    /// optional tables (no dynamic section, no comments, no versions).
+    pub fn parse(data: &'d [u8]) -> Result<Self> {
+        let header = ElfHeader::parse(data)?;
+        let class = header.ident.class;
+        let e = header.ident.endian;
+        let programs = program::parse_table(data, &header)?;
+        let sections = section::parse_table(data, &header)?;
+
+        let interp = programs
+            .iter()
+            .find(|p| p.kind == SegmentKind::Interp)
+            .map(|p| read_path(data, p.offset as usize, p.filesz as usize))
+            .transpose()?;
+
+        let mut file = ElfFile {
+            data,
+            header,
+            sections,
+            programs,
+            dynamic: DynamicInfo::default(),
+            dyn_entries: Vec::new(),
+            version_refs: Vec::new(),
+            version_defs: Vec::new(),
+            dynamic_symbols: Vec::new(),
+            comments: Vec::new(),
+            interp,
+        };
+        if !file.sections.is_empty() {
+            file.parse_via_sections(class, e)?;
+        } else {
+            file.parse_via_segments(class, e)?;
+        }
+        Ok(file)
+    }
+
+    fn section(&self, name: &str) -> Option<&SectionHeader> {
+        self.sections.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+
+    fn parse_via_sections(&mut self, class: Class, e: Endian) -> Result<()> {
+        if let Some(com) = self.section(".comment") {
+            self.comments = parse_comment(com.bytes(self.data)?);
+        }
+        let Some(dyn_sh) = self.section(".dynamic").cloned() else {
+            return Ok(()); // statically linked
+        };
+        self.dyn_entries = dynamic::parse_entries(dyn_sh.bytes(self.data)?, class, e)?;
+        let dynstr_sh = self
+            .sections
+            .get(dyn_sh.link as usize)
+            .map(|(_, s)| s.clone())
+            .or_else(|| self.section(".dynstr").cloned())
+            .ok_or(Error::Missing("dynamic string table"))?;
+        let dynstr_bytes = dynstr_sh.bytes(self.data)?;
+        let dynstr = StrTab::new(dynstr_bytes);
+        self.dynamic = DynamicInfo::from_entries(&self.dyn_entries, &dynstr)?;
+
+        if let Some(vn) = self.section(".gnu.version_r").cloned() {
+            self.version_refs =
+                versions::parse_verneed(vn.bytes(self.data)?, vn.info as usize, &dynstr, e)?;
+        }
+        if let Some(vd) = self.section(".gnu.version_d").cloned() {
+            self.version_defs =
+                versions::parse_verdef(vd.bytes(self.data)?, vd.info as usize, &dynstr, e)?;
+        }
+
+        let versym = match self.section(".gnu.version").cloned() {
+            Some(vs) => versions::parse_versym(vs.bytes(self.data)?, e)?,
+            None => Vec::new(),
+        };
+        if let Some(ds) = self.section(".dynsym").cloned() {
+            let raw = symbols::parse_table(ds.bytes(self.data)?, class, e)?;
+            self.dynamic_symbols = self.name_symbols(&raw, &dynstr, &versym)?;
+        }
+        Ok(())
+    }
+
+    /// Map a virtual address to a file offset through the `PT_LOAD`
+    /// segments.
+    fn vaddr_to_offset(&self, vaddr: u64) -> Result<usize> {
+        for p in &self.programs {
+            if p.kind == SegmentKind::Load && vaddr >= p.vaddr && vaddr < p.vaddr + p.filesz {
+                return Ok((p.offset + (vaddr - p.vaddr)) as usize);
+            }
+        }
+        Err(Error::Malformed(format!("vaddr {vaddr:#x} not covered by any PT_LOAD")))
+    }
+
+    fn parse_via_segments(&mut self, class: Class, e: Endian) -> Result<()> {
+        let Some(dyn_ph) = self.programs.iter().find(|p| p.kind == SegmentKind::Dynamic).cloned()
+        else {
+            return Ok(()); // statically linked
+        };
+        let dyn_bytes = slice(self.data, dyn_ph.offset as usize, dyn_ph.filesz as usize)?;
+        self.dyn_entries = dynamic::parse_entries(dyn_bytes, class, e)?;
+        let strtab_addr = DynamicInfo::raw_value(&self.dyn_entries, Tag::StrTab)
+            .ok_or(Error::Missing("DT_STRTAB"))?;
+        let strsz = DynamicInfo::raw_value(&self.dyn_entries, Tag::StrSz)
+            .ok_or(Error::Missing("DT_STRSZ"))?;
+        let str_off = self.vaddr_to_offset(strtab_addr)?;
+        let dynstr_bytes = slice(self.data, str_off, strsz as usize)?;
+        let dynstr = StrTab::new(dynstr_bytes);
+        self.dynamic = DynamicInfo::from_entries(&self.dyn_entries, &dynstr)?;
+
+        if let (Some(vn_addr), Some(vn_num)) = (
+            DynamicInfo::raw_value(&self.dyn_entries, Tag::VerNeed),
+            DynamicInfo::raw_value(&self.dyn_entries, Tag::VerNeedNum),
+        ) {
+            let off = self.vaddr_to_offset(vn_addr)?;
+            let tail = &self.data[off..];
+            self.version_refs = versions::parse_verneed(tail, vn_num as usize, &dynstr, e)?;
+        }
+        if let (Some(vd_addr), Some(vd_num)) = (
+            DynamicInfo::raw_value(&self.dyn_entries, Tag::VerDef),
+            DynamicInfo::raw_value(&self.dyn_entries, Tag::VerDefNum),
+        ) {
+            let off = self.vaddr_to_offset(vd_addr)?;
+            let tail = &self.data[off..];
+            self.version_defs = versions::parse_verdef(tail, vd_num as usize, &dynstr, e)?;
+        }
+
+        // Symbol count comes from the SysV hash table's nchain field.
+        let nsyms = match (
+            DynamicInfo::raw_value(&self.dyn_entries, Tag::Hash),
+            DynamicInfo::raw_value(&self.dyn_entries, Tag::SymTab),
+        ) {
+            (Some(hash_addr), Some(_)) => {
+                let hoff = self.vaddr_to_offset(hash_addr)?;
+                Some(e.read_u32(self.data, hoff + 4)? as usize)
+            }
+            _ => None,
+        };
+        if let (Some(sym_addr), Some(n)) =
+            (DynamicInfo::raw_value(&self.dyn_entries, Tag::SymTab), nsyms)
+        {
+            let soff = self.vaddr_to_offset(sym_addr)?;
+            let sym_bytes = slice(self.data, soff, n * symbols::sym_size(class))?;
+            let raw = symbols::parse_table(sym_bytes, class, e)?;
+            let versym = match DynamicInfo::raw_value(&self.dyn_entries, Tag::VerSym) {
+                Some(vs_addr) => {
+                    let voff = self.vaddr_to_offset(vs_addr)?;
+                    versions::parse_versym(slice(self.data, voff, n * 2)?, e)?
+                }
+                None => Vec::new(),
+            };
+            self.dynamic_symbols = self.name_symbols(&raw, &dynstr, &versym)?;
+        }
+        Ok(())
+    }
+
+    fn name_symbols(
+        &self,
+        raw: &[symbols::Symbol],
+        dynstr: &StrTab<'_>,
+        versym: &[u16],
+    ) -> Result<Vec<NamedSymbol>> {
+        let version_name = |idx: u16| -> Option<String> {
+            let idx = idx & 0x7fff;
+            if idx == VER_NDX_LOCAL || idx == VER_NDX_GLOBAL {
+                return None;
+            }
+            for r in &self.version_refs {
+                for v in &r.versions {
+                    if v.index == idx {
+                        return Some(v.name.clone());
+                    }
+                }
+            }
+            self.version_defs.iter().find(|d| d.index == idx).map(|d| d.name.clone())
+        };
+        raw.iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let name = dynstr.get(s.name_off as usize)?.to_string();
+                let version = versym.get(i).copied().and_then(version_name);
+                Ok(NamedSymbol {
+                    name,
+                    version,
+                    undefined: s.is_undefined(),
+                    weak: s.binding == symbols::Binding::Weak,
+                })
+            })
+            .collect()
+    }
+
+    // ----- accessors ------------------------------------------------------
+
+    /// The decoded file header.
+    pub fn header(&self) -> &ElfHeader {
+        &self.header
+    }
+
+    /// File class (32/64-bit) — the bitness half of the ISA determinant.
+    pub fn class(&self) -> Class {
+        self.header.ident.class
+    }
+
+    /// Target ISA.
+    pub fn machine(&self) -> Machine {
+        self.header.machine
+    }
+
+    /// Object kind (executable / shared object / …).
+    pub fn kind(&self) -> FileKind {
+        self.header.kind
+    }
+
+    /// All section headers with resolved names.
+    pub fn sections(&self) -> &[(String, SectionHeader)] {
+        &self.sections
+    }
+
+    /// All program headers.
+    pub fn programs(&self) -> &[ProgramHeader] {
+        &self.programs
+    }
+
+    /// Raw bytes of a named section, if present.
+    pub fn section_bytes(&self, name: &str) -> Option<&'d [u8]> {
+        let sh = self.section(name)?;
+        sh.bytes(self.data).ok()
+    }
+
+    /// True when the image has a dynamic section (i.e. is dynamically
+    /// linked).
+    pub fn is_dynamic(&self) -> bool {
+        !self.dyn_entries.is_empty()
+            || self.programs.iter().any(|p| p.kind == SegmentKind::Dynamic)
+    }
+
+    /// `DT_NEEDED` sonames in link order.
+    pub fn needed(&self) -> &[String] {
+        &self.dynamic.needed
+    }
+
+    /// `DT_SONAME`, when the image is a shared library.
+    pub fn soname(&self) -> Option<&str> {
+        self.dynamic.soname.as_deref()
+    }
+
+    /// Decoded dynamic information.
+    pub fn dynamic_info(&self) -> &DynamicInfo {
+        &self.dynamic
+    }
+
+    /// Version References (`.gnu.version_r`) grouped by dependency file.
+    pub fn version_refs(&self) -> &[VersionRef] {
+        &self.version_refs
+    }
+
+    /// Version Definitions (`.gnu.version_d`).
+    pub fn version_defs(&self) -> &[VersionDef] {
+        &self.version_defs
+    }
+
+    /// Dynamic symbols with resolved names and version bindings.
+    pub fn dynamic_symbols(&self) -> &[NamedSymbol] {
+        &self.dynamic_symbols
+    }
+
+    /// `.comment` provenance strings.
+    pub fn comments(&self) -> &[String] {
+        &self.comments
+    }
+
+    /// `PT_INTERP` program interpreter path.
+    pub fn interp(&self) -> Option<&str> {
+        self.interp.as_deref()
+    }
+
+    /// The `NT_GNU_ABI_TAG` note (OS + minimum kernel), when present —
+    /// looked up via the `.note.ABI-tag` section or the `PT_NOTE` segment.
+    pub fn abi_tag(&self) -> Option<AbiTag> {
+        let e = self.header.ident.endian;
+        if let Some(bytes) = self.section_bytes(".note.ABI-tag") {
+            if let Ok(notes) = parse_notes(bytes, e) {
+                if let Some(tag) = find_abi_tag(&notes, e) {
+                    return Some(tag);
+                }
+            }
+        }
+        for p in &self.programs {
+            if p.kind == SegmentKind::Note {
+                if let Ok(raw) = slice(self.data, p.offset as usize, p.filesz as usize) {
+                    if let Ok(notes) = parse_notes(raw, e) {
+                        if let Some(tag) = find_abi_tag(&notes, e) {
+                            return Some(tag);
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Newest version name with `prefix` across Version Definitions and
+    /// Version References — §V.A's rule for the required C library version
+    /// when `prefix == "GLIBC"`.
+    pub fn newest_version(&self, prefix: &str) -> Option<VersionName> {
+        let ref_names = self
+            .version_refs
+            .iter()
+            .flat_map(|r| r.versions.iter().map(|v| v.name.as_str()));
+        let def_names = self.version_defs.iter().map(|d| d.name.as_str());
+        newest_with_prefix(ref_names.chain(def_names), prefix)
+    }
+
+    /// The application's *required C library version* (§III.C).
+    pub fn required_glibc(&self) -> Option<VersionName> {
+        self.newest_version("GLIBC")
+    }
+
+    /// Total size of the underlying image in bytes.
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+}
+
+fn read_path(data: &[u8], off: usize, len: usize) -> Result<String> {
+    let raw = slice(data, off, len)?;
+    let end = raw.iter().position(|&b| b == 0).unwrap_or(raw.len());
+    String::from_utf8(raw[..end].to_vec())
+        .map_err(|_| Error::Malformed("non-UTF-8 interp path".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(ElfFile::parse(&[0u8; 100]).is_err());
+        assert!(ElfFile::parse(b"\x7fELF").is_err());
+    }
+
+    // Full reader coverage lives in the builder round-trip tests
+    // (crates/elf/src/builder.rs and tests/).
+}

@@ -1,0 +1,275 @@
+//! Section headers — the linker's/binutils' view of the file.
+//!
+//! `objdump -p`-style inspection in FEAM works from the dynamic segment, but
+//! `readelf -p .comment` and the version tables are found via sections, so
+//! the reader supports both routes.
+
+use crate::endian::Endian;
+use crate::error::{Error, Result};
+use crate::header::ElfHeader;
+use crate::ident::Class;
+use crate::strtab::StrTab;
+
+/// Section type (`sh_type`); only the types our tools traverse are named.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SectionKind {
+    /// `SHT_NULL`.
+    Null,
+    /// `SHT_PROGBITS`.
+    ProgBits,
+    /// `SHT_SYMTAB`.
+    SymTab,
+    /// `SHT_STRTAB`.
+    StrTab,
+    /// `SHT_HASH`.
+    Hash,
+    /// `SHT_DYNAMIC`.
+    Dynamic,
+    /// `SHT_NOTE`.
+    Note,
+    /// `SHT_NOBITS` (.bss).
+    NoBits,
+    /// `SHT_DYNSYM`.
+    DynSym,
+    /// `SHT_GNU_verdef` — Version Definitions.
+    GnuVerDef,
+    /// `SHT_GNU_verneed` — Version References.
+    GnuVerNeed,
+    /// `SHT_GNU_versym` — per-symbol version indices.
+    GnuVerSym,
+    /// Anything else.
+    Other(u32),
+}
+
+impl SectionKind {
+    /// Encode as `sh_type`.
+    pub fn sh_type(self) -> u32 {
+        match self {
+            SectionKind::Null => 0,
+            SectionKind::ProgBits => 1,
+            SectionKind::SymTab => 2,
+            SectionKind::StrTab => 3,
+            SectionKind::Hash => 5,
+            SectionKind::Dynamic => 6,
+            SectionKind::Note => 7,
+            SectionKind::NoBits => 8,
+            SectionKind::DynSym => 11,
+            SectionKind::GnuVerDef => 0x6fff_fffd,
+            SectionKind::GnuVerNeed => 0x6fff_fffe,
+            SectionKind::GnuVerSym => 0x6fff_ffff,
+            SectionKind::Other(v) => v,
+        }
+    }
+
+    /// Decode an `sh_type` word.
+    pub fn from_sh_type(v: u32) -> Self {
+        match v {
+            0 => SectionKind::Null,
+            1 => SectionKind::ProgBits,
+            2 => SectionKind::SymTab,
+            3 => SectionKind::StrTab,
+            5 => SectionKind::Hash,
+            6 => SectionKind::Dynamic,
+            7 => SectionKind::Note,
+            8 => SectionKind::NoBits,
+            11 => SectionKind::DynSym,
+            0x6fff_fffd => SectionKind::GnuVerDef,
+            0x6fff_fffe => SectionKind::GnuVerNeed,
+            0x6fff_ffff => SectionKind::GnuVerSym,
+            other => SectionKind::Other(other),
+        }
+    }
+}
+
+/// One section header entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionHeader {
+    /// Offset of the section name in `.shstrtab`.
+    pub name_off: u32,
+    pub kind: SectionKind,
+    pub flags: u64,
+    pub addr: u64,
+    pub offset: u64,
+    pub size: u64,
+    /// Section-dependent link (e.g. the string table of a symbol table).
+    pub link: u32,
+    /// Section-dependent info (e.g. verneed entry count).
+    pub info: u32,
+    pub addralign: u64,
+    /// Entry size for table-like sections.
+    pub entsize: u64,
+}
+
+/// Size of one section header entry for a class.
+pub fn shent_size(class: Class) -> usize {
+    match class {
+        Class::Elf32 => 40,
+        Class::Elf64 => 64,
+    }
+}
+
+impl SectionHeader {
+    /// Parse one entry at `off`.
+    pub fn parse(data: &[u8], off: usize, class: Class, e: Endian) -> Result<Self> {
+        match class {
+            Class::Elf32 => Ok(SectionHeader {
+                name_off: e.read_u32(data, off)?,
+                kind: SectionKind::from_sh_type(e.read_u32(data, off + 4)?),
+                flags: e.read_u32(data, off + 8)? as u64,
+                addr: e.read_u32(data, off + 12)? as u64,
+                offset: e.read_u32(data, off + 16)? as u64,
+                size: e.read_u32(data, off + 20)? as u64,
+                link: e.read_u32(data, off + 24)?,
+                info: e.read_u32(data, off + 28)?,
+                addralign: e.read_u32(data, off + 32)? as u64,
+                entsize: e.read_u32(data, off + 36)? as u64,
+            }),
+            Class::Elf64 => Ok(SectionHeader {
+                name_off: e.read_u32(data, off)?,
+                kind: SectionKind::from_sh_type(e.read_u32(data, off + 4)?),
+                flags: e.read_u64(data, off + 8)?,
+                addr: e.read_u64(data, off + 16)?,
+                offset: e.read_u64(data, off + 24)?,
+                size: e.read_u64(data, off + 32)?,
+                link: e.read_u32(data, off + 40)?,
+                info: e.read_u32(data, off + 44)?,
+                addralign: e.read_u64(data, off + 48)?,
+                entsize: e.read_u64(data, off + 56)?,
+            }),
+        }
+    }
+
+    /// Encode one entry.
+    pub fn to_bytes(&self, class: Class, e: Endian) -> Vec<u8> {
+        let mut out = Vec::with_capacity(shent_size(class));
+        match class {
+            Class::Elf32 => {
+                e.put_u32(&mut out, self.name_off);
+                e.put_u32(&mut out, self.kind.sh_type());
+                e.put_u32(&mut out, self.flags as u32);
+                e.put_u32(&mut out, self.addr as u32);
+                e.put_u32(&mut out, self.offset as u32);
+                e.put_u32(&mut out, self.size as u32);
+                e.put_u32(&mut out, self.link);
+                e.put_u32(&mut out, self.info);
+                e.put_u32(&mut out, self.addralign as u32);
+                e.put_u32(&mut out, self.entsize as u32);
+            }
+            Class::Elf64 => {
+                e.put_u32(&mut out, self.name_off);
+                e.put_u32(&mut out, self.kind.sh_type());
+                e.put_u64(&mut out, self.flags);
+                e.put_u64(&mut out, self.addr);
+                e.put_u64(&mut out, self.offset);
+                e.put_u64(&mut out, self.size);
+                e.put_u32(&mut out, self.link);
+                e.put_u32(&mut out, self.info);
+                e.put_u64(&mut out, self.addralign);
+                e.put_u64(&mut out, self.entsize);
+            }
+        }
+        debug_assert_eq!(out.len(), shent_size(class));
+        out
+    }
+
+    /// The section's raw bytes within `data`.
+    pub fn bytes<'d>(&self, data: &'d [u8]) -> Result<&'d [u8]> {
+        if self.kind == SectionKind::NoBits {
+            return Ok(&[]);
+        }
+        crate::endian::slice(data, self.offset as usize, self.size as usize)
+    }
+}
+
+/// Parse the whole section header table described by `hdr`, resolving names
+/// through `.shstrtab`.
+pub fn parse_table(data: &[u8], hdr: &ElfHeader) -> Result<Vec<(String, SectionHeader)>> {
+    if hdr.shoff == 0 || hdr.shnum == 0 {
+        return Ok(Vec::new());
+    }
+    let class = hdr.ident.class;
+    let e = hdr.ident.endian;
+    let mut raw = Vec::with_capacity(hdr.shnum as usize);
+    for i in 0..hdr.shnum as usize {
+        let off = hdr.shoff as usize + i * hdr.shentsize as usize;
+        raw.push(SectionHeader::parse(data, off, class, e)?);
+    }
+    let shstr = raw
+        .get(hdr.shstrndx as usize)
+        .ok_or_else(|| Error::Malformed(format!("shstrndx {} out of range", hdr.shstrndx)))?;
+    let shstr_tab = StrTab::new(shstr.bytes(data)?);
+    raw.into_iter()
+        .map(|sh| {
+            let name = shstr_tab.get(sh.name_off as usize)?.to_string();
+            Ok((name, sh))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SectionHeader {
+        SectionHeader {
+            name_off: 17,
+            kind: SectionKind::Dynamic,
+            flags: 3,
+            addr: 0x600000,
+            offset: 0x1000,
+            size: 0x200,
+            link: 2,
+            info: 0,
+            addralign: 8,
+            entsize: 16,
+        }
+    }
+
+    #[test]
+    fn round_trip_both_classes_and_orders() {
+        for class in [Class::Elf32, Class::Elf64] {
+            for e in [Endian::Little, Endian::Big] {
+                let s = sample();
+                let bytes = s.to_bytes(class, e);
+                assert_eq!(bytes.len(), shent_size(class));
+                assert_eq!(SectionHeader::parse(&bytes, 0, class, e).unwrap(), s);
+            }
+        }
+    }
+
+    #[test]
+    fn section_kind_round_trip_including_gnu_versions() {
+        for k in [
+            SectionKind::Null,
+            SectionKind::ProgBits,
+            SectionKind::SymTab,
+            SectionKind::StrTab,
+            SectionKind::Hash,
+            SectionKind::Dynamic,
+            SectionKind::Note,
+            SectionKind::NoBits,
+            SectionKind::DynSym,
+            SectionKind::GnuVerDef,
+            SectionKind::GnuVerNeed,
+            SectionKind::GnuVerSym,
+            SectionKind::Other(0x7000_0000),
+        ] {
+            assert_eq!(SectionKind::from_sh_type(k.sh_type()), k);
+        }
+    }
+
+    #[test]
+    fn nobits_section_has_empty_bytes() {
+        let mut s = sample();
+        s.kind = SectionKind::NoBits;
+        s.size = 0x10_0000;
+        // Offset may point beyond the file for .bss; bytes() must not error.
+        assert_eq!(s.bytes(&[0u8; 4]).unwrap(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn bytes_out_of_range_is_error() {
+        let s = sample();
+        assert!(s.bytes(&[0u8; 16]).is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! ELF string tables: NUL-terminated strings addressed by byte offset.
+
+use crate::error::{Error, Result};
+
+/// Read-only view over a string table's bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct StrTab<'d> {
+    data: &'d [u8],
+}
+
+impl<'d> StrTab<'d> {
+    /// Wrap raw section bytes.
+    pub fn new(data: &'d [u8]) -> Self {
+        StrTab { data }
+    }
+
+    /// Fetch the NUL-terminated string starting at `off`.
+    pub fn get(&self, off: usize) -> Result<&'d str> {
+        let tail = self
+            .data
+            .get(off..)
+            .ok_or_else(|| Error::Malformed(format!("string offset {off} beyond table")))?;
+        let end = tail
+            .iter()
+            .position(|&b| b == 0)
+            .ok_or_else(|| Error::Malformed(format!("unterminated string at offset {off}")))?;
+        std::str::from_utf8(&tail[..end])
+            .map_err(|_| Error::Malformed(format!("non-UTF-8 string at offset {off}")))
+    }
+}
+
+/// Incrementally built string table for the writer. Offset 0 is always the
+/// empty string, as the ELF spec requires.
+#[derive(Debug, Default)]
+pub struct StrTabBuilder {
+    data: Vec<u8>,
+    index: std::collections::HashMap<String, u32>,
+}
+
+impl StrTabBuilder {
+    /// Create a builder whose first byte is the mandatory leading NUL.
+    pub fn new() -> Self {
+        StrTabBuilder { data: vec![0], index: std::collections::HashMap::new() }
+    }
+
+    /// Intern `s`, returning its offset; identical strings share an offset.
+    pub fn add(&mut self, s: &str) -> u32 {
+        if s.is_empty() {
+            return 0;
+        }
+        if let Some(&off) = self.index.get(s) {
+            return off;
+        }
+        let off = self.data.len() as u32;
+        self.data.extend_from_slice(s.as_bytes());
+        self.data.push(0);
+        self.index.insert(s.to_string(), off);
+        off
+    }
+
+    /// Finalize into raw table bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.data
+    }
+
+    /// Current size in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when only the leading NUL is present.
+    pub fn is_empty(&self) -> bool {
+        self.data.len() <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_then_read_back() {
+        let mut b = StrTabBuilder::new();
+        let o1 = b.add("libc.so.6");
+        let o2 = b.add("GLIBC_2.5");
+        let o3 = b.add("libc.so.6"); // interned
+        assert_eq!(o1, o3);
+        assert_ne!(o1, o2);
+        let bytes = b.into_bytes();
+        let t = StrTab::new(&bytes);
+        assert_eq!(t.get(o1 as usize).unwrap(), "libc.so.6");
+        assert_eq!(t.get(o2 as usize).unwrap(), "GLIBC_2.5");
+        assert_eq!(t.get(0).unwrap(), "");
+    }
+
+    #[test]
+    fn empty_string_is_offset_zero() {
+        let mut b = StrTabBuilder::new();
+        assert_eq!(b.add(""), 0);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_offset_is_error() {
+        let bytes = StrTabBuilder::new().into_bytes();
+        assert!(StrTab::new(&bytes).get(100).is_err());
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        let data = b"abc"; // no trailing NUL
+        assert!(StrTab::new(data).get(0).is_err());
+    }
+
+    #[test]
+    fn suffix_reads_work() {
+        // Reading from the middle of an interned string is legal ELF usage.
+        let mut b = StrTabBuilder::new();
+        let off = b.add("libmpich.so.1.2");
+        let bytes = b.into_bytes();
+        let t = StrTab::new(&bytes);
+        assert_eq!(t.get(off as usize + 3).unwrap(), "mpich.so.1.2");
+    }
+}

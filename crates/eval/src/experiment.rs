@@ -1,0 +1,400 @@
+//! The §VI methodology, end to end.
+//!
+//! Every corpus binary is migrated to every site where it was *not*
+//! compiled. Sites without a matching MPI implementation are excluded from
+//! the reported numbers (the paper: "we only report prediction results for
+//! sites with matching MPI implementations. Only at such sites is there
+//! potential for successful execution"); the matching check itself is
+//! recorded so the "100% accurate at assessing whether a matching MPI
+//! implementation was available" claim can be verified.
+//!
+//! For each eligible (binary, target) pair the harness produces:
+//!
+//! * the **basic** prediction (target phase only) and its ground truth —
+//!   execution under FEAM's basic configuration,
+//! * the **extended** prediction (source + target phases) and its ground
+//!   truth — execution under the full configuration including resolution,
+//! * the **naive baseline** — execution after only selecting a matching
+//!   MPI implementation (Table IV's "before resolution"),
+//! * failure classes, resolution counts, CPU budgets and bundle sizes.
+
+use feam_core::bdc::MpiIdentification;
+use feam_core::phases::{run_source_phase, run_target_phase, PhaseConfig};
+use feam_core::predict::Determinant;
+use feam_core::tec;
+use feam_sim::exec::run_mpi;
+use feam_sim::site::{Session, Site};
+use feam_workloads::benchmarks::Suite;
+use feam_workloads::sites::standard_sites;
+use feam_workloads::testset::{TestSet, TestSetBuilder, TestSetItem};
+use serde::Serialize;
+
+/// Outcome of one (binary, target site) migration.
+#[derive(Debug, Clone, Serialize)]
+pub struct MigrationRecord {
+    pub binary: String,
+    pub benchmark: String,
+    pub suite: Suite,
+    pub from_site: String,
+    pub to_site: String,
+    /// FEAM's basic (target-phase-only) readiness prediction.
+    pub basic_ready: bool,
+    /// Ground truth for the basic prediction: execution under the basic
+    /// configuration.
+    pub actual_basic: bool,
+    /// FEAM's extended (source + target) readiness prediction.
+    pub extended_ready: bool,
+    /// Ground truth for the extended prediction: execution under the full
+    /// configuration including staged library copies.
+    pub actual_extended: bool,
+    /// The naive baseline: matching MPI implementation selected, nothing
+    /// else (Table IV "before resolution").
+    pub naive_success: bool,
+    /// Failure class of the naive run, when it failed.
+    pub naive_failure_class: Option<String>,
+    /// Failure class of the extended run, when it failed.
+    pub extended_failure_class: Option<String>,
+    /// Determinants that failed in the basic prediction.
+    pub basic_failed_determinants: Vec<Determinant>,
+    /// Determinants that failed in the extended prediction.
+    pub extended_failed_determinants: Vec<Determinant>,
+    /// Library copies staged by resolution.
+    pub resolution_staged: usize,
+    /// Missing libraries resolution could not fix.
+    pub resolution_failures: usize,
+    /// Simulated CPU seconds of the target phase (basic run).
+    pub basic_cpu_seconds: f64,
+    /// Simulated CPU seconds of the target phase (extended run).
+    pub extended_cpu_seconds: f64,
+}
+
+/// One binary × site pair excluded for lack of a matching MPI
+/// implementation.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExcludedPair {
+    pub binary: String,
+    pub to_site: String,
+    /// Did FEAM's assessment agree with ground truth (no matching stack)?
+    pub assessment_correct: bool,
+}
+
+/// Aggregate results of the whole experiment.
+#[derive(Debug, Clone, Serialize, Default)]
+pub struct EvalResults {
+    pub records: Vec<MigrationRecord>,
+    pub excluded: Vec<ExcludedPair>,
+    /// Corpus sizes per suite.
+    pub corpus_nas: usize,
+    pub corpus_spec: usize,
+    /// Per-site source-bundle byte totals (all libraries required by all
+    /// test binaries compiled at that site — the §VI.C "45M" statistic).
+    pub site_bundle_bytes: Vec<(String, usize)>,
+    /// Source-phase CPU seconds per binary (max observed).
+    pub max_source_cpu_seconds: f64,
+    /// Target-phase CPU seconds (max observed across records).
+    pub max_target_cpu_seconds: f64,
+}
+
+impl EvalResults {
+    /// Records of one suite.
+    pub fn suite_records(&self, suite: Suite) -> Vec<&MigrationRecord> {
+        self.records.iter().filter(|r| r.suite == suite).collect()
+    }
+}
+
+/// The experiment driver.
+pub struct Experiment {
+    pub seed: u64,
+    pub sites: Vec<Site>,
+    pub corpus: TestSet,
+    pub config: PhaseConfig,
+    /// Worker threads for the migration sweep.
+    pub threads: usize,
+}
+
+impl Experiment {
+    /// Build sites and corpus for `seed`.
+    pub fn new(seed: u64) -> Self {
+        let sites = standard_sites(seed);
+        let corpus = TestSetBuilder::new(seed).build(&sites);
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        Experiment { seed, sites, corpus, config: PhaseConfig::default(), threads }
+    }
+
+    /// Does `site` advertise a stack of the binary's MPI implementation?
+    fn has_matching_impl(site: &Site, item: &TestSetItem) -> bool {
+        let imp = item.binary.stack.as_ref().expect("corpus binaries are MPI").mpi;
+        site.stacks.iter().any(|s| s.stack.mpi == imp)
+    }
+
+    /// Run the full sweep. Deterministic in `seed`; parallel over corpus
+    /// binaries (a work-stealing index loop over crossbeam scoped threads).
+    pub fn run(&self) -> EvalResults {
+        let n = self.corpus.binaries().len();
+        let slot_cells: Vec<std::sync::Mutex<Option<BinaryResults>>> =
+            (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..self.threads.max(1) {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let result = self.evaluate_binary(&self.corpus.binaries()[i]);
+                    *slot_cells[i].lock().expect("slot lock") = Some(result);
+                });
+            }
+        })
+        .expect("worker panicked");
+        let slots: Vec<Option<BinaryResults>> = slot_cells
+            .into_iter()
+            .map(|m| m.into_inner().expect("slot lock"))
+            .collect();
+
+        let mut results = EvalResults {
+            corpus_nas: self.corpus.count(Suite::Npb),
+            corpus_spec: self.corpus.count(Suite::SpecMpi2007),
+            ..Default::default()
+        };
+        let mut site_bundles: Vec<std::collections::BTreeMap<String, usize>> =
+            vec![Default::default(); self.sites.len()];
+        for (i, slot) in slots.into_iter().enumerate() {
+            let br = slot.expect("all slots filled");
+            results.records.extend(br.records);
+            results.excluded.extend(br.excluded);
+            results.max_source_cpu_seconds =
+                results.max_source_cpu_seconds.max(br.source_cpu_seconds);
+            let item = &self.corpus.binaries()[i];
+            for (soname, bytes) in br.bundle_libs {
+                site_bundles[item.compiled_at].insert(soname, bytes);
+            }
+        }
+        results.max_target_cpu_seconds = results
+            .records
+            .iter()
+            .map(|r| r.basic_cpu_seconds.max(r.extended_cpu_seconds))
+            .fold(0.0, f64::max);
+        results.site_bundle_bytes = self
+            .sites
+            .iter()
+            .zip(&site_bundles)
+            .map(|(s, m)| (s.name().to_string(), m.values().sum()))
+            .collect();
+        results
+    }
+
+    /// Evaluate one corpus binary across all eligible target sites.
+    fn evaluate_binary(&self, item: &TestSetItem) -> BinaryResults {
+        let home = &self.sites[item.compiled_at];
+        let mut out = BinaryResults::default();
+
+        // Source phase once per binary, at its guaranteed execution
+        // environment.
+        let bundle = run_source_phase(home, &item.image, &self.config).ok();
+        if let Some(b) = &bundle {
+            out.source_cpu_seconds = 30.0; // BDC+EDC+collection budget
+            out.bundle_libs =
+                b.libraries.values().map(|l| (l.soname.clone(), l.bytes.len())).collect();
+        }
+
+        for (site_idx, target) in self.sites.iter().enumerate() {
+            if site_idx == item.compiled_at {
+                continue;
+            }
+            let matching = Self::has_matching_impl(target, item);
+            // FEAM's own matching assessment, from the binary description +
+            // target discovery (Table I identification at work).
+            let desc = feam_core::BinaryDescription::from_bytes("bin", &item.image)
+                .expect("corpus binaries parse");
+            let feam_matching = match desc.mpi {
+                MpiIdentification::Identified(imp) => {
+                    let mut sess = Session::new(target);
+                    let env = feam_core::edc::discover(&mut sess);
+                    !env.stacks_of(imp).is_empty()
+                }
+                MpiIdentification::NotMpi => false,
+            };
+            if !matching {
+                out.excluded.push(ExcludedPair {
+                    binary: item.label().to_string(),
+                    to_site: target.name().to_string(),
+                    assessment_correct: feam_matching == matching,
+                });
+                continue;
+            }
+
+            // ---- basic prediction + its ground truth --------------------
+            let basic = run_target_phase(target, Some(&item.image), None, &self.config);
+            let actual_basic = self.execute_plan(target, item, &basic.evaluation.plan);
+
+            // ---- extended prediction + its ground truth -----------------
+            let extended = match &bundle {
+                Some(b) => run_target_phase(target, Some(&item.image), Some(b), &self.config),
+                None => run_target_phase(target, Some(&item.image), None, &self.config),
+            };
+            let (actual_extended, extended_failure_class) =
+                self.execute_plan_with_class(target, item, &extended.evaluation.plan);
+
+            // ---- naive baseline (before resolution) ---------------------
+            let naive = tec::naive_plan(
+                target,
+                &extended.environment,
+                Some(item.binary.stack.as_ref().expect("mpi binary").mpi),
+                feam_sim::exec::compiler_from_comments(&desc.comments).map(|(f, _)| f),
+            );
+            let (naive_success, naive_failure_class) =
+                self.execute_plan_with_class(target, item, &naive);
+
+            out.records.push(MigrationRecord {
+                binary: item.label().to_string(),
+                benchmark: item.benchmark.name.clone(),
+                suite: item.suite(),
+                from_site: home.name().to_string(),
+                to_site: target.name().to_string(),
+                basic_ready: basic.prediction.ready(),
+                actual_basic,
+                extended_ready: extended.prediction.ready(),
+                actual_extended,
+                naive_success,
+                naive_failure_class,
+                extended_failure_class,
+                basic_failed_determinants: basic
+                    .prediction
+                    .verdicts
+                    .iter()
+                    .filter(|v| !v.compatible)
+                    .map(|v| v.determinant)
+                    .collect(),
+                extended_failed_determinants: extended
+                    .prediction
+                    .verdicts
+                    .iter()
+                    .filter(|v| !v.compatible)
+                    .map(|v| v.determinant)
+                    .collect(),
+                resolution_staged: extended
+                    .evaluation
+                    .resolution
+                    .as_ref()
+                    .map(|r| r.staged_count())
+                    .unwrap_or(0),
+                resolution_failures: extended
+                    .evaluation
+                    .resolution
+                    .as_ref()
+                    .map(|r| r.failures().len())
+                    .unwrap_or(0),
+                basic_cpu_seconds: basic.cpu_seconds,
+                extended_cpu_seconds: extended.cpu_seconds,
+            });
+        }
+        out
+    }
+
+    fn execute_plan(&self, target: &Site, item: &TestSetItem, plan: &tec::ExecutionPlan) -> bool {
+        self.execute_plan_with_class(target, item, plan).0
+    }
+
+    /// Ground-truth execution of the migrated binary under a configuration
+    /// plan; returns success and the failure class.
+    fn execute_plan_with_class(
+        &self,
+        target: &Site,
+        item: &TestSetItem,
+        plan: &tec::ExecutionPlan,
+    ) -> (bool, Option<String>) {
+        let Some(stack_idx) = plan.stack_index else {
+            return (false, Some("no-stack-selected".to_string()));
+        };
+        let launcher = target.stacks[stack_idx].clone();
+        let mut sess = plan.apply(target);
+        let path = "/home/user/run/app.bin";
+        sess.stage_file(path, item.image.clone());
+        let outcome = run_mpi(&mut sess, path, &launcher, self.config.nprocs, self.config.max_attempts);
+        let class = outcome.failure.as_ref().map(|f| f.class().to_string());
+        (outcome.success, class)
+    }
+}
+
+/// Per-binary partial results.
+#[derive(Debug, Default)]
+struct BinaryResults {
+    records: Vec<MigrationRecord>,
+    excluded: Vec<ExcludedPair>,
+    source_cpu_seconds: f64,
+    bundle_libs: Vec<(String, usize)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One shared small-scale experiment for the unit tests (full-scale
+    /// runs live in the `feam-eval` binary and benches).
+    fn small() -> (Experiment, EvalResults) {
+        let mut e = Experiment::new(1234);
+        // Trim the corpus for test speed: keep every 6th binary.
+        let kept: Vec<_> = e
+            .corpus
+            .binaries()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 6 == 0)
+            .map(|(_, b)| b.clone())
+            .collect();
+        e.corpus = trimmed(e.corpus.clone(), kept);
+        let r = e.run();
+        (e, r)
+    }
+
+    fn trimmed(_orig: TestSet, keep: Vec<TestSetItem>) -> TestSet {
+        let mut set = TestSet::default();
+        for k in keep {
+            set.push(k);
+        }
+        set
+    }
+
+    #[test]
+    fn small_experiment_has_consistent_records() {
+        let (_e, r) = small();
+        assert!(!r.records.is_empty());
+        for rec in &r.records {
+            assert_ne!(rec.from_site, rec.to_site);
+            // Prediction bookkeeping is self-consistent.
+            assert_eq!(rec.basic_ready, rec.basic_failed_determinants.is_empty());
+            assert_eq!(rec.extended_ready, rec.extended_failed_determinants.is_empty());
+            if !rec.naive_success {
+                assert!(rec.naive_failure_class.is_some());
+            }
+        }
+        // Excluded pairs: FEAM's matching assessment is 100% accurate.
+        assert!(r.excluded.iter().all(|x| x.assessment_correct));
+    }
+
+    #[test]
+    fn extended_never_less_successful_than_naive() {
+        // Resolution can only add successes in aggregate.
+        let (_e, r) = small();
+        let naive = r.records.iter().filter(|x| x.naive_success).count();
+        let ext = r.records.iter().filter(|x| x.actual_extended).count();
+        assert!(
+            ext >= naive,
+            "extended configuration ({ext}) must not lose to naive ({naive})"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (e, r1) = small();
+        let r2 = e.run();
+        assert_eq!(r1.records.len(), r2.records.len());
+        for (a, b) in r1.records.iter().zip(&r2.records) {
+            assert_eq!(a.binary, b.binary);
+            assert_eq!(a.basic_ready, b.basic_ready);
+            assert_eq!(a.actual_extended, b.actual_extended);
+            assert_eq!(a.naive_success, b.naive_success);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # feam-eval — the §VI evaluation harness
+//!
+//! Reruns the paper's evaluation on the simulated five-site testbed and
+//! regenerates every quantitative artifact:
+//!
+//! * **Table I** — MPI identification signatures + accuracy over the corpus,
+//! * **Table II** — the site characteristics matrix (from the live models),
+//! * **Table III** — basic/extended prediction accuracy per suite,
+//! * **Table IV** — execution successes before/after resolution,
+//! * **§VI.C statistics** — phase CPU budgets, bundle sizes, failure
+//!   histogram,
+//! * an **ablation** of the four prediction determinants.
+//!
+//! The `feam-eval` binary prints any of these; `--json` dumps the raw
+//! records for EXPERIMENTS.md.
+
+pub mod effort;
+pub mod experiment;
+pub mod mode_ablation;
+pub mod recompile;
+pub mod tables;
+
+pub use effort::{effort, render_effort, EffortReport};
+pub use experiment::{EvalResults, Experiment, ExcludedPair, MigrationRecord};
+pub use mode_ablation::{mode_ablation, render_mode_ablation, ModeRow};
+pub use recompile::{recompile_comparison, render_recompile, RecompileComparison};
+pub use tables::{
+    ablation, confusion, per_site, render_ablation, render_confusion, render_figure,
+    render_per_site, render_stats, render_table1, render_table2, render_table3, render_table4,
+    stats, table1, table3, table4, Confusion, PerSiteRow,
+};

@@ -1,0 +1,250 @@
+//! `feam-eval` — regenerate the paper's tables from the simulated testbed.
+//!
+//! ```text
+//! feam-eval [--seed N] [--table 1|2|3|4] [--figure 1|2|3|4]
+//!           [--stats] [--ablation] [--json PATH] [--all]
+//! ```
+//!
+//! With no selection flags, prints everything (`--all`).
+
+use feam_eval::{
+    ablation, confusion, per_site, render_ablation, render_confusion, render_figure,
+    render_per_site, render_stats, render_table1, render_table2, render_table3, render_table4,
+    stats, table1, table3, table4, Experiment,
+};
+
+struct Args {
+    seed: u64,
+    seeds: u32,
+    tables: Vec<u32>,
+    figures: Vec<u32>,
+    want_stats: bool,
+    want_ablation: bool,
+    want_recompile: bool,
+    want_mode_ablation: bool,
+    json: Option<String>,
+    all: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: 42,
+        seeds: 1,
+        tables: Vec::new(),
+        figures: Vec::new(),
+        want_stats: false,
+        want_ablation: false,
+        want_recompile: false,
+        want_mode_ablation: false,
+        json: None,
+        all: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--seed" => {
+                args.seed = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs a number"));
+            }
+            "--table" => {
+                args.tables.push(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--table needs 1..4")),
+                );
+            }
+            "--figure" => {
+                args.figures.push(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--figure needs 1..4")),
+                );
+            }
+            "--seeds" => {
+                args.seeds = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seeds needs a count"));
+            }
+            "--stats" => args.want_stats = true,
+            "--ablation" => args.want_ablation = true,
+            "--recompile" => args.want_recompile = true,
+            "--mode-ablation" => args.want_mode_ablation = true,
+            "--json" => {
+                args.json = Some(iter.next().unwrap_or_else(|| die("--json needs a path")));
+            }
+            "--all" => args.all = true,
+            "--help" | "-h" => {
+                println!(
+                    "feam-eval [--seed N] [--seeds K] [--table 1|2|3|4] [--figure 1|2|3|4] \
+                     [--stats] [--ablation] [--recompile] [--json PATH] [--all]"
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument {other}")),
+        }
+    }
+    if args.tables.is_empty()
+        && args.figures.is_empty()
+        && !args.want_stats
+        && !args.want_ablation
+        && !args.want_recompile
+        && !args.want_mode_ablation
+    {
+        args.all = true;
+    }
+    args
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("feam-eval: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = parse_args();
+    // Figures need no experiment run.
+    for f in &args.figures {
+        print!("{}", render_figure(*f));
+        println!();
+    }
+    let needs_run = args.all
+        || !args.tables.is_empty()
+        || args.want_stats
+        || args.want_ablation
+        || args.want_recompile
+        || args.want_mode_ablation
+        || args.json.is_some();
+    if !needs_run {
+        return;
+    }
+
+    eprintln!("building five-site testbed and corpus (seed {}) ...", args.seed);
+    let t0 = std::time::Instant::now();
+    let exp = Experiment::new(args.seed);
+    eprintln!(
+        "corpus: {} NAS + {} SPEC binaries; running migration sweep on {} threads ...",
+        exp.corpus.count(feam_workloads::Suite::Npb),
+        exp.corpus.count(feam_workloads::Suite::SpecMpi2007),
+        exp.threads
+    );
+    let results = exp.run();
+    eprintln!(
+        "sweep done in {:.1}s: {} migrations, {} excluded (no matching MPI)",
+        t0.elapsed().as_secs_f64(),
+        results.records.len(),
+        results.excluded.len()
+    );
+
+    let show_table = |n: u32| args.all || args.tables.contains(&n);
+    if show_table(1) {
+        print!("{}", render_table1(&table1(&exp)));
+        println!();
+    }
+    if show_table(2) {
+        print!("{}", render_table2(&exp));
+        println!();
+    }
+    if show_table(3) {
+        print!("{}", render_table3(&table3(&results)));
+        println!();
+    }
+    if show_table(4) {
+        print!("{}", render_table4(&table4(&results)));
+        println!();
+    }
+    if args.all || args.want_stats {
+        print!("{}", render_stats(&stats(&results)));
+        println!();
+        print!("{}", render_per_site(&per_site(&results)));
+        println!();
+        let (b, e) = confusion(&results);
+        print!("{}", render_confusion(&b, &e));
+        println!();
+    }
+    if args.all || args.want_ablation {
+        print!("{}", render_ablation(&ablation(&results)));
+        println!();
+    }
+    if args.want_mode_ablation {
+        // Not in --all: reruns the whole sweep three more times.
+        print!(
+            "{}",
+            feam_eval::render_mode_ablation(&feam_eval::mode_ablation(args.seed))
+        );
+        println!();
+    }
+    if args.all {
+        print!("{}", feam_eval::render_effort(&feam_eval::effort(&results)));
+        println!();
+    }
+    if args.all || args.want_recompile {
+        print!(
+            "{}",
+            feam_eval::render_recompile(&feam_eval::recompile_comparison(&exp, &results))
+        );
+        println!();
+    }
+    if args.all {
+        for f in 1..=4 {
+            if !args.figures.contains(&f) {
+                print!("{}", render_figure(f));
+                println!();
+            }
+        }
+    }
+    if args.seeds > 1 {
+        // Robustness sweep: the paper-shape claims must hold across seeds,
+        // not just for the reference one.
+        println!("ROBUSTNESS SWEEP over {} seeds", args.seeds);
+        let mut rows = Vec::new();
+        for k in 0..args.seeds {
+            let seed = args.seed + k as u64;
+            let e = Experiment::new(seed);
+            let r = e.run();
+            let t3 = table3(&r);
+            let t4 = table4(&r);
+            println!(
+                "seed {seed}: basic {:.0}/{:.0} ext {:.0}/{:.0} before {:.0}/{:.0} after {:.0}/{:.0}",
+                t3.basic_nas, t3.basic_spec, t3.extended_nas, t3.extended_spec,
+                t4.before_nas, t4.before_spec, t4.after_nas, t4.after_spec,
+            );
+            rows.push((t3, t4));
+        }
+        let mean = |f: &dyn Fn(&(feam_eval::tables::TableThree, feam_eval::tables::TableFour)) -> f64| {
+            rows.iter().map(f).sum::<f64>() / rows.len() as f64
+        };
+        println!(
+            "mean: basic {:.1}/{:.1} ext {:.1}/{:.1} before {:.1}/{:.1} after {:.1}/{:.1}",
+            mean(&|r| r.0.basic_nas),
+            mean(&|r| r.0.basic_spec),
+            mean(&|r| r.0.extended_nas),
+            mean(&|r| r.0.extended_spec),
+            mean(&|r| r.1.before_nas),
+            mean(&|r| r.1.before_spec),
+            mean(&|r| r.1.after_nas),
+            mean(&|r| r.1.after_spec),
+        );
+    }
+
+    if let Some(path) = &args.json {
+        let payload = serde_json::json!({
+            "seed": args.seed,
+            "table1": table1(&exp),
+            "table3": table3(&results),
+            "table4": table4(&results),
+            "stats": stats(&results),
+            "per_site": per_site(&results),
+            "confusion": { "basic": confusion(&results).0, "extended": confusion(&results).1 },
+            "effort": feam_eval::effort(&results),
+            "ablation": ablation(&results),
+            "records": results.records,
+            "excluded_count": results.excluded.len(),
+        });
+        std::fs::write(path, serde_json::to_string_pretty(&payload).expect("serialize"))
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,569 @@
+//! Regeneration of the paper's tables and §VI.C statistics from
+//! [`crate::experiment::EvalResults`].
+
+use crate::experiment::{EvalResults, Experiment, MigrationRecord};
+use feam_core::bdc::{BinaryDescription, MpiIdentification};
+use feam_core::predict::Determinant;
+use feam_workloads::benchmarks::Suite;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Percentage helper (0–100, rounded to the nearest integer like the
+/// paper's tables).
+pub fn pct(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        return 0.0;
+    }
+    num as f64 / den as f64 * 100.0
+}
+
+/// Table I — MPI implementation identification over the corpus.
+#[derive(Debug, Clone, Serialize)]
+pub struct TableOne {
+    /// Identification accuracy over every corpus binary (paper: 100%).
+    pub identification_accuracy: f64,
+    /// Binaries checked.
+    pub checked: usize,
+    /// The signature rows as the paper prints them.
+    pub signatures: Vec<(String, String)>,
+}
+
+/// Compute Table I: run the Table I identifier against every corpus
+/// binary's real `DT_NEEDED` list and compare with its build stack.
+pub fn table1(exp: &Experiment) -> TableOne {
+    let mut correct = 0usize;
+    let mut checked = 0usize;
+    for item in exp.corpus.binaries() {
+        let desc = BinaryDescription::from_bytes("bin", &item.image).expect("corpus parses");
+        let truth = item.binary.stack.as_ref().expect("mpi binary").mpi;
+        checked += 1;
+        if desc.mpi == MpiIdentification::Identified(truth) {
+            correct += 1;
+        }
+    }
+    TableOne {
+        identification_accuracy: pct(correct, checked),
+        checked,
+        signatures: vec![
+            ("MVAPICH2".into(), "libmpich/libmpichf90, libibverbs, libibumad".into()),
+            ("Open MPI".into(), "libnsl, libutil".into()),
+            ("MPICH2".into(), "libmpich/libmpichf90 (and not other identifiers)".into()),
+        ],
+    }
+}
+
+/// Render Table I in the paper's layout.
+pub fn render_table1(t: &TableOne) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "TABLE I. IDENTIFYING LIBRARIES OF MPI IMPLEMENTATIONS");
+    let _ = writeln!(s, "{:<14} | Library Dependencies", "MPI Impl.");
+    for (imp, sig) in &t.signatures {
+        let _ = writeln!(s, "{imp:<14} | {sig}");
+    }
+    let _ = writeln!(
+        s,
+        "identification accuracy over {} corpus binaries: {:.0}%",
+        t.checked, t.identification_accuracy
+    );
+    s
+}
+
+/// Render Table II from the live site models.
+pub fn render_table2(exp: &Experiment) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "TABLE II. TARGET SITE CHARACTERISTICS");
+    for site in &exp.sites {
+        let _ = writeln!(s, "{}", site.config.description);
+        let _ = writeln!(
+            s,
+            "  OS: {} | C library: {} | compilers: {}",
+            site.config.os.pretty(),
+            site.config.glibc,
+            site.compilers
+                .iter()
+                .map(|c| format!("{} {}", c.compiler.family.name(), c.compiler.version))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        let mut by_impl: BTreeMap<String, Vec<char>> = BTreeMap::new();
+        for ist in &site.stacks {
+            by_impl
+                .entry(format!("{} v{}", ist.stack.mpi.name(), ist.stack.version))
+                .or_default()
+                .push(ist.stack.compiler.family.letter());
+        }
+        for (k, letters) in by_impl {
+            let tags: Vec<String> = letters.iter().map(|c| c.to_string()).collect();
+            let _ = writeln!(s, "  {k} ({})", tags.join("/"));
+        }
+    }
+    s
+}
+
+/// Table III — prediction accuracy per suite and mode.
+#[derive(Debug, Clone, Serialize)]
+pub struct TableThree {
+    pub basic_nas: f64,
+    pub basic_spec: f64,
+    pub extended_nas: f64,
+    pub extended_spec: f64,
+    pub migrations_nas: usize,
+    pub migrations_spec: usize,
+}
+
+fn accuracy(records: &[&MigrationRecord], extended: bool) -> f64 {
+    let correct = records
+        .iter()
+        .filter(|r| {
+            if extended {
+                r.extended_ready == r.actual_extended
+            } else {
+                r.basic_ready == r.actual_basic
+            }
+        })
+        .count();
+    pct(correct, records.len())
+}
+
+/// Compute Table III.
+pub fn table3(r: &EvalResults) -> TableThree {
+    let nas = r.suite_records(Suite::Npb);
+    let spec = r.suite_records(Suite::SpecMpi2007);
+    TableThree {
+        basic_nas: accuracy(&nas, false),
+        basic_spec: accuracy(&spec, false),
+        extended_nas: accuracy(&nas, true),
+        extended_spec: accuracy(&spec, true),
+        migrations_nas: nas.len(),
+        migrations_spec: spec.len(),
+    }
+}
+
+/// Render Table III in the paper's layout.
+pub fn render_table3(t: &TableThree) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "TABLE III. ACCURACY OF PREDICTION MODEL");
+    let _ = writeln!(s, "  Basic Prediction   |  Extended Prediction");
+    let _ = writeln!(s, "  NAS      SPEC      |  NAS      SPEC");
+    let _ = writeln!(
+        s,
+        "  {:>3.0}%     {:>3.0}%      |  {:>3.0}%     {:>3.0}%",
+        t.basic_nas, t.basic_spec, t.extended_nas, t.extended_spec
+    );
+    let _ = writeln!(
+        s,
+        "  ({} NAS migrations, {} SPEC migrations at matching-MPI sites)",
+        t.migrations_nas, t.migrations_spec
+    );
+    s
+}
+
+/// Table IV — impact of the resolution model.
+#[derive(Debug, Clone, Serialize)]
+pub struct TableFour {
+    pub before_nas: f64,
+    pub before_spec: f64,
+    pub after_nas: f64,
+    pub after_spec: f64,
+    /// Increase in successful executions due to resolution, as the paper
+    /// computes it: (after − before) / before.
+    pub increase_nas: f64,
+    pub increase_spec: f64,
+}
+
+/// Compute Table IV.
+pub fn table4(r: &EvalResults) -> TableFour {
+    let calc = |suite: Suite| -> (f64, f64, f64) {
+        let recs = r.suite_records(suite);
+        let n = recs.len();
+        let before = recs.iter().filter(|x| x.naive_success).count();
+        let after = recs.iter().filter(|x| x.actual_extended).count();
+        let increase = if before == 0 { 0.0 } else { (after as f64 - before as f64) / before as f64 * 100.0 };
+        (pct(before, n), pct(after, n), increase)
+    };
+    let (bn, an, inc_n) = calc(Suite::Npb);
+    let (bs, aspec, inc_s) = calc(Suite::SpecMpi2007);
+    TableFour {
+        before_nas: bn,
+        before_spec: bs,
+        after_nas: an,
+        after_spec: aspec,
+        increase_nas: inc_n,
+        increase_spec: inc_s,
+    }
+}
+
+/// Render Table IV in the paper's layout.
+pub fn render_table4(t: &TableFour) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "TABLE IV. IMPACT OF RESOLUTION MODEL");
+    let _ = writeln!(s, "  Actual Execution Successes        | Increase due to Resolution");
+    let _ = writeln!(s, "  Before Resolution  After Resolution |");
+    let _ = writeln!(s, "  NAS     SPEC       NAS     SPEC     | NAS     SPEC");
+    let _ = writeln!(
+        s,
+        "  {:>3.0}%    {:>3.0}%       {:>3.0}%    {:>3.0}%     | {:>3.0}%    {:>3.0}%",
+        t.before_nas, t.before_spec, t.after_nas, t.after_spec, t.increase_nas, t.increase_spec
+    );
+    s
+}
+
+/// §VI.C scalar statistics and the failure-class histogram.
+#[derive(Debug, Clone, Serialize)]
+pub struct SectionStats {
+    /// Max simulated CPU seconds of any phase (paper: < 5 minutes).
+    pub max_phase_cpu_seconds: f64,
+    /// Turnaround of the heaviest phase submitted through a standard debug
+    /// queue (§VI.C: "ideal for submission via a debug queue").
+    pub debug_queue_turnaround_seconds: Option<f64>,
+    /// Does the heaviest phase fit the debug queue's walltime?
+    pub fits_debug_queue: bool,
+    /// Average per-site library bundle in MiB (paper: ≈ 45M).
+    pub avg_bundle_mib: f64,
+    pub site_bundle_mib: Vec<(String, f64)>,
+    /// Histogram of naive-execution failure classes.
+    pub naive_failure_histogram: Vec<(String, usize)>,
+    /// Fraction of naive failures caused by missing shared libraries
+    /// (paper: "more than half").
+    pub missing_library_share: f64,
+    /// Fraction of missing-library failures fixed by resolution (paper:
+    /// "about half").
+    pub resolution_fix_rate: f64,
+}
+
+/// Compute the §VI.C statistics.
+pub fn stats(r: &EvalResults) -> SectionStats {
+    let mut hist: BTreeMap<String, usize> = BTreeMap::new();
+    for rec in &r.records {
+        if let Some(c) = &rec.naive_failure_class {
+            *hist.entry(c.clone()).or_default() += 1;
+        }
+    }
+    let failures: usize = hist.values().sum();
+    let missing = hist.get("missing-library").copied().unwrap_or(0);
+    let fixed = r
+        .records
+        .iter()
+        .filter(|rec| {
+            rec.naive_failure_class.as_deref() == Some("missing-library") && rec.actual_extended
+        })
+        .count();
+    let bundles: Vec<(String, f64)> = r
+        .site_bundle_bytes
+        .iter()
+        .map(|(n, b)| (n.clone(), *b as f64 / (1024.0 * 1024.0)))
+        .collect();
+    let avg = if bundles.is_empty() {
+        0.0
+    } else {
+        bundles.iter().map(|(_, m)| m).sum::<f64>() / bundles.len() as f64
+    };
+    let max_phase = r.max_target_cpu_seconds.max(r.max_source_cpu_seconds);
+    let debug_q = feam_sim::queue::QueueSpec::debug();
+    let submission = feam_sim::queue::submit(&debug_q, "feam-phase", 4, max_phase, 0);
+    SectionStats {
+        max_phase_cpu_seconds: max_phase,
+        debug_queue_turnaround_seconds: submission.turnaround(),
+        fits_debug_queue: submission.completed(),
+        avg_bundle_mib: avg,
+        site_bundle_mib: bundles,
+        naive_failure_histogram: hist.into_iter().collect(),
+        missing_library_share: pct(missing, failures),
+        resolution_fix_rate: pct(fixed, missing.max(1)),
+    }
+}
+
+/// Render §VI.C statistics.
+pub fn render_stats(s: &SectionStats) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "SECTION VI.C STATISTICS");
+    let _ = writeln!(
+        out,
+        "max phase CPU budget: {:.1}s (paper: both phases < 5 minutes)",
+        s.max_phase_cpu_seconds
+    );
+    let _ = writeln!(
+        out,
+        "debug-queue turnaround: {} (fits debug queue: {})",
+        s.debug_queue_turnaround_seconds
+            .map(|t| format!("{t:.0}s"))
+            .unwrap_or_else(|| "n/a".into()),
+        s.fits_debug_queue,
+    );
+    let _ = writeln!(
+        out,
+        "avg per-site library bundle: {:.1} MiB (paper: ~45M)",
+        s.avg_bundle_mib
+    );
+    for (site, mib) in &s.site_bundle_mib {
+        let _ = writeln!(out, "  {site}: {mib:.1} MiB");
+    }
+    let _ = writeln!(out, "failure classes of naive (before-resolution) runs:");
+    for (class, n) in &s.naive_failure_histogram {
+        let _ = writeln!(out, "  {class}: {n}");
+    }
+    let _ = writeln!(
+        out,
+        "missing shared libraries caused {:.0}% of failures (paper: more than half)",
+        s.missing_library_share
+    );
+    let _ = writeln!(
+        out,
+        "resolution fixed {:.0}% of missing-library failures (paper: about half)",
+        s.resolution_fix_rate
+    );
+    out
+}
+
+
+/// Per-target-site breakdown: how hostile is each site, and how well does
+/// FEAM predict there (an extension beyond the paper's suite-level tables).
+#[derive(Debug, Clone, Serialize)]
+pub struct PerSiteRow {
+    pub site: String,
+    pub migrations: usize,
+    pub naive_success_pct: f64,
+    pub after_resolution_pct: f64,
+    pub basic_accuracy_pct: f64,
+    pub extended_accuracy_pct: f64,
+}
+
+/// Compute the per-site breakdown over target sites.
+pub fn per_site(r: &EvalResults) -> Vec<PerSiteRow> {
+    let mut sites: Vec<String> =
+        r.records.iter().map(|x| x.to_site.clone()).collect();
+    sites.sort();
+    sites.dedup();
+    sites
+        .into_iter()
+        .map(|site| {
+            let recs: Vec<&MigrationRecord> =
+                r.records.iter().filter(|x| x.to_site == site).collect();
+            let n = recs.len();
+            PerSiteRow {
+                site,
+                migrations: n,
+                naive_success_pct: pct(recs.iter().filter(|x| x.naive_success).count(), n),
+                after_resolution_pct: pct(recs.iter().filter(|x| x.actual_extended).count(), n),
+                basic_accuracy_pct: pct(
+                    recs.iter().filter(|x| x.basic_ready == x.actual_basic).count(),
+                    n,
+                ),
+                extended_accuracy_pct: pct(
+                    recs.iter().filter(|x| x.extended_ready == x.actual_extended).count(),
+                    n,
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Render the per-site breakdown.
+pub fn render_per_site(rows: &[PerSiteRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "PER-TARGET-SITE BREAKDOWN (extension)");
+    let _ = writeln!(
+        s,
+        "{:<12} {:>6} {:>8} {:>8} {:>10} {:>10}",
+        "site", "n", "naive%", "after%", "acc-basic", "acc-ext"
+    );
+    for row in rows {
+        let _ = writeln!(
+            s,
+            "{:<12} {:>6} {:>7.0}% {:>7.0}% {:>9.0}% {:>9.0}%",
+            row.site,
+            row.migrations,
+            row.naive_success_pct,
+            row.after_resolution_pct,
+            row.basic_accuracy_pct,
+            row.extended_accuracy_pct,
+        );
+    }
+    s
+}
+
+/// Confusion matrix of one prediction mode against its ground truth.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Confusion {
+    pub true_positive: usize,
+    pub false_positive: usize,
+    pub true_negative: usize,
+    pub false_negative: usize,
+}
+
+impl Confusion {
+    /// Overall accuracy percentage.
+    pub fn accuracy(&self) -> f64 {
+        let n = self.true_positive + self.false_positive + self.true_negative + self.false_negative;
+        pct(self.true_positive + self.true_negative, n)
+    }
+
+    /// Precision of "ready" predictions.
+    pub fn precision(&self) -> f64 {
+        pct(self.true_positive, self.true_positive + self.false_positive)
+    }
+
+    /// Recall of actually-runnable migrations.
+    pub fn recall(&self) -> f64 {
+        pct(self.true_positive, self.true_positive + self.false_negative)
+    }
+}
+
+/// Compute confusion matrices for both prediction modes.
+pub fn confusion(r: &EvalResults) -> (Confusion, Confusion) {
+    let count = |pred: fn(&MigrationRecord) -> bool, actual: fn(&MigrationRecord) -> bool| {
+        let mut c = Confusion {
+            true_positive: 0,
+            false_positive: 0,
+            true_negative: 0,
+            false_negative: 0,
+        };
+        for rec in &r.records {
+            match (pred(rec), actual(rec)) {
+                (true, true) => c.true_positive += 1,
+                (true, false) => c.false_positive += 1,
+                (false, false) => c.true_negative += 1,
+                (false, true) => c.false_negative += 1,
+            }
+        }
+        c
+    };
+    (
+        count(|x| x.basic_ready, |x| x.actual_basic),
+        count(|x| x.extended_ready, |x| x.actual_extended),
+    )
+}
+
+/// Render both confusion matrices.
+pub fn render_confusion(basic: &Confusion, extended: &Confusion) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "CONFUSION MATRICES (extension)");
+    for (label, c) in [("basic", basic), ("extended", extended)] {
+        let _ = writeln!(
+            s,
+            "{label:<9} TP {:>4}  FP {:>4}  TN {:>4}  FN {:>4}  | acc {:>5.1}%  prec {:>5.1}%  rec {:>5.1}%",
+            c.true_positive,
+            c.false_positive,
+            c.true_negative,
+            c.false_negative,
+            c.accuracy(),
+            c.precision(),
+            c.recall(),
+        );
+    }
+    s
+}
+
+/// Analytic determinant ablation: accuracy of the basic prediction when one
+/// determinant's verdict is ignored (treated as always-compatible). Shows
+/// each determinant's contribution to Table III.
+#[derive(Debug, Clone, Serialize)]
+pub struct Ablation {
+    /// (determinant, NAS accuracy, SPEC accuracy) with that determinant
+    /// disabled.
+    pub rows: Vec<(String, f64, f64)>,
+    pub full_nas: f64,
+    pub full_spec: f64,
+}
+
+/// Compute the ablation from recorded per-determinant failures.
+pub fn ablation(r: &EvalResults) -> Ablation {
+    let t3 = table3(r);
+    let without = |d: Determinant, suite: Suite| -> f64 {
+        let recs = r.suite_records(suite);
+        let correct = recs
+            .iter()
+            .filter(|rec| {
+                // Prediction with determinant d ignored: ready if every
+                // *other* failed determinant list is empty.
+                let ready =
+                    rec.basic_failed_determinants.iter().all(|x| *x == d);
+                ready == rec.actual_basic
+            })
+            .count();
+        pct(correct, recs.len())
+    };
+    let rows = [
+        Determinant::Isa,
+        Determinant::CLibrary,
+        Determinant::MpiStack,
+        Determinant::SharedLibraries,
+    ]
+    .iter()
+    .map(|d| {
+        (
+            format!("{d:?}"),
+            without(*d, Suite::Npb),
+            without(*d, Suite::SpecMpi2007),
+        )
+    })
+    .collect();
+    Ablation { rows, full_nas: t3.basic_nas, full_spec: t3.basic_spec }
+}
+
+/// Render the ablation table.
+pub fn render_ablation(a: &Ablation) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "ABLATION: basic-prediction accuracy with one determinant disabled");
+    let _ = writeln!(s, "  full model:            NAS {:>5.1}%  SPEC {:>5.1}%", a.full_nas, a.full_spec);
+    for (name, nas, spec) in &a.rows {
+        let _ = writeln!(s, "  without {name:<16} NAS {nas:>5.1}%  SPEC {spec:>5.1}%");
+    }
+    s
+}
+
+/// Figures 1–4 are architecture diagrams; render their content as text
+/// from the live types so the code and the paper stay in sync.
+pub fn render_figure(n: u32) -> String {
+    match n {
+        1 => {
+            let mut s = String::from("Figure 1 — Prediction Model Determinants\n");
+            for d in Determinant::evaluation_order() {
+                s.push_str(&format!("  {:?}: {}\n", d, d.question()));
+            }
+            s
+        }
+        2 => "Figure 2 — Phases and Components of FEAM\n\
+              source phase (optional, at a guaranteed execution environment):\n\
+              BDC -> EDC -> bundle (library copies + descriptions + hello worlds)\n\
+              target phase (required, at every target site):\n\
+              BDC (binary present) + EDC -> TEC -> prediction + resolution + setup script\n"
+            .to_string(),
+        3 => "Figure 3 — Information gathered by the BDC\n\
+              - ISA and file format of binary\n\
+              - Library name and version, if applicable\n\
+              - Required shared libraries, with copies and descriptions if applicable\n\
+              - C library version requirements\n\
+              - MPI stack, operating system, and C library version used to build binary\n"
+            .to_string(),
+        4 => "Figure 4 — Information gathered by the EDC\n\
+              - ISA format\n\
+              - Operating system\n\
+              - C library version\n\
+              - Available or currently loaded MPI stacks\n\
+              - Missing shared libraries\n"
+            .to_string(),
+        other => format!("no figure {other} in the paper\n"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_handles_zero_denominator() {
+        assert_eq!(pct(5, 0), 0.0);
+        assert!((pct(1, 2) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figures_render_paper_content() {
+        assert!(render_figure(1).contains("ISA"));
+        assert!(render_figure(2).contains("source phase"));
+        assert!(render_figure(3).contains("C library version requirements"));
+        assert!(render_figure(4).contains("Missing shared libraries"));
+        assert!(render_figure(9).contains("no figure"));
+    }
+}

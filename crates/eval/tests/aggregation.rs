@@ -1,0 +1,123 @@
+//! Unit-style tests of the evaluation's aggregation math over synthetic
+//! records — the table computations must be correct independent of the
+//! simulator.
+
+use feam_eval::tables::{confusion, per_site, pct, table3, table4};
+use feam_eval::{EvalResults, MigrationRecord};
+use feam_workloads::benchmarks::Suite;
+
+fn rec(
+    suite: Suite,
+    to: &str,
+    basic: (bool, bool),
+    ext: (bool, bool),
+    naive: bool,
+) -> MigrationRecord {
+    MigrationRecord {
+        binary: "b".into(),
+        benchmark: "bench".into(),
+        suite,
+        from_site: "a".into(),
+        to_site: to.into(),
+        basic_ready: basic.0,
+        actual_basic: basic.1,
+        extended_ready: ext.0,
+        actual_extended: ext.1,
+        naive_success: naive,
+        naive_failure_class: (!naive).then(|| "missing-library".into()),
+        extended_failure_class: (!ext.1).then(|| "missing-library".into()),
+        basic_failed_determinants: vec![],
+        extended_failed_determinants: vec![],
+        resolution_staged: 0,
+        resolution_failures: 0,
+        basic_cpu_seconds: 1.0,
+        extended_cpu_seconds: 2.0,
+    }
+}
+
+fn results(records: Vec<MigrationRecord>) -> EvalResults {
+    EvalResults { records, ..Default::default() }
+}
+
+#[test]
+fn table3_accuracy_counts_matches_and_mismatches() {
+    let r = results(vec![
+        rec(Suite::Npb, "x", (true, true), (true, true), true), // both correct
+        rec(Suite::Npb, "x", (true, false), (false, false), false), // basic wrong, ext right
+        rec(Suite::Npb, "x", (false, false), (true, true), false), // both right
+        rec(Suite::Npb, "x", (false, true), (true, false), true), // both wrong
+    ]);
+    let t = table3(&r);
+    assert!((t.basic_nas - 50.0).abs() < 1e-9);
+    assert!((t.extended_nas - 75.0).abs() < 1e-9);
+    assert_eq!(t.migrations_nas, 4);
+    assert_eq!(t.migrations_spec, 0);
+}
+
+#[test]
+fn table4_increase_is_relative_to_before() {
+    // 2 of 4 naive successes; 3 of 4 after → increase = (3-2)/2 = 50 %.
+    let r = results(vec![
+        rec(Suite::SpecMpi2007, "x", (true, true), (true, true), true),
+        rec(Suite::SpecMpi2007, "x", (true, true), (true, true), true),
+        rec(Suite::SpecMpi2007, "x", (true, true), (true, true), false),
+        rec(Suite::SpecMpi2007, "x", (false, false), (false, false), false),
+    ]);
+    let t = table4(&r);
+    assert!((t.before_spec - 50.0).abs() < 1e-9);
+    assert!((t.after_spec - 75.0).abs() < 1e-9);
+    assert!((t.increase_spec - 50.0).abs() < 1e-9);
+}
+
+#[test]
+fn confusion_matrix_cells_sum_to_n() {
+    let r = results(vec![
+        rec(Suite::Npb, "x", (true, true), (true, true), true),
+        rec(Suite::Npb, "x", (true, false), (true, false), false),
+        rec(Suite::Npb, "x", (false, false), (false, false), false),
+        rec(Suite::Npb, "x", (false, true), (false, true), true),
+    ]);
+    let (b, e) = confusion(&r);
+    assert_eq!(b.true_positive, 1);
+    assert_eq!(b.false_positive, 1);
+    assert_eq!(b.true_negative, 1);
+    assert_eq!(b.false_negative, 1);
+    assert!((b.accuracy() - 50.0).abs() < 1e-9);
+    assert!((b.precision() - 50.0).abs() < 1e-9);
+    assert!((b.recall() - 50.0).abs() < 1e-9);
+    let total = e.true_positive + e.false_positive + e.true_negative + e.false_negative;
+    assert_eq!(total, 4);
+}
+
+#[test]
+fn per_site_partitions_records() {
+    let r = results(vec![
+        rec(Suite::Npb, "alpha", (true, true), (true, true), true),
+        rec(Suite::Npb, "alpha", (true, true), (true, false), false),
+        rec(Suite::Npb, "beta", (false, false), (false, false), false),
+    ]);
+    let rows = per_site(&r);
+    assert_eq!(rows.len(), 2);
+    let alpha = rows.iter().find(|x| x.site == "alpha").unwrap();
+    assert_eq!(alpha.migrations, 2);
+    assert!((alpha.naive_success_pct - 50.0).abs() < 1e-9);
+    assert!((alpha.extended_accuracy_pct - 50.0).abs() < 1e-9);
+    let beta = rows.iter().find(|x| x.site == "beta").unwrap();
+    assert!((beta.extended_accuracy_pct - 100.0).abs() < 1e-9);
+}
+
+#[test]
+fn pct_edge_cases() {
+    assert_eq!(pct(0, 0), 0.0);
+    assert_eq!(pct(0, 10), 0.0);
+    assert_eq!(pct(10, 10), 100.0);
+}
+
+#[test]
+fn records_serialize_to_json() {
+    let r = rec(Suite::Npb, "x", (true, true), (true, true), true);
+    let v = serde_json::to_value(&r).unwrap();
+    assert_eq!(v["suite"], "Npb");
+    assert_eq!(v["basic_ready"], true);
+    assert_eq!(v["to_site"], "x");
+}

@@ -1,0 +1,248 @@
+//! The GNU C library model.
+//!
+//! §III.C: "Our model considers a target site's C library version to be
+//! compatible if it is equal to or greater than an application's required C
+//! library version." This module provides the GLIBC symbol-version ladder,
+//! the per-version symbol catalogue from which compiles sample their
+//! imports, and blueprints for the libc family of libraries installed at
+//! every site (`libc`, `libm`, `libpthread`, `librt`, `libdl`, `libnsl`,
+//! `libutil` — the last two doubling as Open MPI's Table I identifiers).
+
+use crate::toolchain::LibraryBlueprint;
+use feam_elf::{Class, DefinedVersion, ExportSpec, VersionName};
+
+/// The GLIBC version ladder through the paper's era (Table II spans 2.3.4
+/// through 2.12). Ascending order.
+pub const GLIBC_LADDER: &[&str] = &[
+    "2.0", "2.1", "2.1.1", "2.1.2", "2.1.3", "2.2", "2.2.1", "2.2.2", "2.2.3", "2.2.4", "2.2.5",
+    "2.2.6", "2.3", "2.3.2", "2.3.3", "2.3.4", "2.4", "2.5", "2.6", "2.7", "2.8", "2.9", "2.10",
+    "2.10.1", "2.11", "2.11.1", "2.12",
+];
+
+/// Parse a dotted glibc version (`2.3.4`) into a [`VersionName`] with the
+/// `GLIBC` prefix.
+pub fn glibc_version(v: &str) -> VersionName {
+    VersionName::parse(&format!("GLIBC_{v}")).expect("valid dotted glibc version")
+}
+
+/// The baseline symbol-version an architecture's ABI starts at: x86-64 was
+/// born at glibc 2.2.5, 32-bit x86 and ppc at 2.0.
+pub fn baseline_for(class: Class) -> &'static str {
+    match class {
+        Class::Elf64 => "2.2.5",
+        Class::Elf32 => "2.0",
+    }
+}
+
+/// Representative libc symbols and the GLIBC version each appeared in.
+/// Compiles sample from this catalogue (filtered to versions ≤ the build
+/// site's glibc) to produce realistic Version References.
+pub const SYMBOL_CATALOGUE: &[(&str, &str)] = &[
+    ("printf", "2.0"),
+    ("abort", "2.0"),
+    ("memcpy", "2.0"),
+    ("malloc", "2.0"),
+    ("free", "2.0"),
+    ("fopen", "2.0"),
+    ("exit", "2.0"),
+    ("getenv", "2.0"),
+    ("strcmp", "2.0"),
+    ("sqrt", "2.0"),
+    ("pread64", "2.2"),
+    ("fopen64", "2.1"),
+    ("posix_memalign", "2.1.3"),
+    ("__ctype_b_loc", "2.3"),
+    ("__errno_location", "2.0"),
+    ("posix_fadvise64", "2.3.3"),
+    ("regexec", "2.3.4"),
+    ("__stack_chk_fail", "2.4"),
+    ("inet_ntop", "2.2"),
+    ("open_memstream", "2.0"),
+    ("__isoc99_sscanf", "2.7"),
+    ("__isoc99_fscanf", "2.7"),
+    ("epoll_create1", "2.9"),
+    ("pipe2", "2.9"),
+    ("dup3", "2.9"),
+    ("accept4", "2.10"),
+    ("recvmmsg", "2.12"),
+    ("mkostemps", "2.11"),
+];
+
+/// All ladder versions ≤ `max` (dotted strings).
+pub fn versions_up_to(max: &str) -> Vec<&'static str> {
+    let maxv = glibc_version(max);
+    GLIBC_LADDER
+        .iter()
+        .copied()
+        .filter(|v| {
+            glibc_version(v).cmp_same_prefix(&maxv).map(|o| o.is_le()).unwrap_or(false)
+        })
+        .collect()
+}
+
+/// Symbols available at a site whose glibc is `max`, with their versions.
+pub fn symbols_up_to(max: &str) -> Vec<(&'static str, &'static str)> {
+    let maxv = glibc_version(max);
+    SYMBOL_CATALOGUE
+        .iter()
+        .copied()
+        .filter(|(_, v)| {
+            glibc_version(v).cmp_same_prefix(&maxv).map(|o| o.is_le()).unwrap_or(false)
+        })
+        .collect()
+}
+
+/// The banner a glibc prints when executed directly — the EDC parses this
+/// to discover a site's C library version (§V.B: "parsing the general
+/// library information that is output when C library binary is executed").
+pub fn libc_banner(version: &str, distro: &str) -> String {
+    format!(
+        "GNU C Library stable release version {version}, by Roland McGrath et al.\n\
+         Copyright (C) 2010 Free Software Foundation, Inc.\n\
+         Compiled by GNU CC version 4.1.2 20080704 ({distro}).\n\
+         Compiled on a Linux 2.6.18 system.\n\
+         For bug reporting instructions, please see:\n<http://www.gnu.org/software/libc/bugs.html>."
+    )
+}
+
+/// Blueprints for the C library family at a site running glibc `version`.
+///
+/// Every member defines the full GLIBC version ladder up to `version` (the
+/// mechanism by which too-new Version References fail to resolve at old
+/// sites), and `libc.so.6` exports the symbol catalogue filtered to the
+/// site's level.
+pub fn libc_blueprints(version: &str, class: Class) -> Vec<LibraryBlueprint> {
+    let ladder = versions_up_to(version);
+    let defs: Vec<DefinedVersion> = ladder
+        .iter()
+        .enumerate()
+        .map(|(i, v)| DefinedVersion {
+            name: format!("GLIBC_{v}"),
+            parents: if i == 0 { vec![] } else { vec![format!("GLIBC_{}", ladder[i - 1])] },
+        })
+        .collect();
+
+    let base = baseline_for(class);
+    let basev = glibc_version(base);
+    // Symbols below the architecture baseline are re-versioned to the
+    // baseline, as real ports do.
+    let effective = |v: &str| -> String {
+        let vv = glibc_version(v);
+        if vv.cmp_same_prefix(&basev).map(|o| o.is_lt()).unwrap_or(false) {
+            format!("GLIBC_{base}")
+        } else {
+            format!("GLIBC_{v}")
+        }
+    };
+
+    let mut libc = LibraryBlueprint::new("libc.so.6", "libc-2.x.so", 1_700_000);
+    libc.links.push("libc.so.6".to_string());
+    libc.links.dedup();
+    // Each symbol is exported at its introduction version *and* every later
+    // ladder version up to the site's level: a library built against glibc
+    // 2.5 legitimately references `memcpy@GLIBC_2.5`, and that reference
+    // resolves at any site running ≥ 2.5 but not at older ones — the
+    // copy-portability mechanism behind the paper's resolution failures.
+    libc.exports = Vec::new();
+    for (sym, intro) in symbols_up_to(version) {
+        let intro_eff = effective(intro);
+        let introv = VersionName::parse(&intro_eff).expect("valid version");
+        for lv in &ladder {
+            let node = effective(lv);
+            let nodev = VersionName::parse(&node).expect("valid version");
+            if nodev.cmp_same_prefix(&introv).map(|o| o.is_ge()).unwrap_or(false) {
+                let spec = ExportSpec::new(sym, Some(&node));
+                if !libc.exports.contains(&spec) {
+                    libc.exports.push(spec);
+                }
+            }
+        }
+    }
+    libc.defined_versions = defs.clone();
+    libc.comments = vec![format!("GNU C Library stable release version {version}")];
+
+    let mut out = vec![libc];
+    for (soname, file, size, syms) in [
+        ("libm.so.6", "libm-2.x.so", 600_000usize, vec!["sin", "cos", "exp", "pow", "log", "fabs"]),
+        ("libpthread.so.0", "libpthread-2.x.so", 140_000, vec![
+            "pthread_create",
+            "pthread_join",
+            "pthread_mutex_lock",
+        ]),
+        ("librt.so.1", "librt-2.x.so", 55_000, vec!["clock_gettime", "shm_open"]),
+        ("libdl.so.2", "libdl-2.x.so", 23_000, vec!["dlopen", "dlsym", "dlclose"]),
+        ("libnsl.so.1", "libnsl-2.x.so", 110_000, vec!["yp_get_default_domain", "nis_lookup"]),
+        ("libutil.so.1", "libutil-2.x.so", 18_000, vec!["openpty", "forkpty", "login_tty"]),
+    ] {
+        let mut b = LibraryBlueprint::new(soname, file, size);
+        b.exports =
+            syms.iter().map(|s| ExportSpec::new(s, Some(&effective("2.0")))).collect();
+        b.defined_versions = defs.clone();
+        b.needed = vec!["libc.so.6".into()];
+        out.push(b);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_ascending() {
+        for w in GLIBC_LADDER.windows(2) {
+            let a = glibc_version(w[0]);
+            let b = glibc_version(w[1]);
+            assert_eq!(a.cmp_same_prefix(&b), Some(std::cmp::Ordering::Less), "{} !< {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn versions_up_to_filters() {
+        let v = versions_up_to("2.5");
+        assert!(v.contains(&"2.3.4"));
+        assert!(v.contains(&"2.5"));
+        assert!(!v.contains(&"2.7"));
+    }
+
+    #[test]
+    fn symbols_up_to_excludes_newer() {
+        let s = symbols_up_to("2.5");
+        assert!(s.iter().any(|(n, _)| *n == "__stack_chk_fail")); // 2.4
+        assert!(!s.iter().any(|(n, _)| *n == "__isoc99_sscanf")); // 2.7
+        assert!(!s.iter().any(|(n, _)| *n == "recvmmsg")); // 2.12
+    }
+
+    #[test]
+    fn blueprints_define_full_ladder() {
+        let bps = libc_blueprints("2.12", Class::Elf64);
+        let libc = &bps[0];
+        assert_eq!(libc.soname, "libc.so.6");
+        assert!(libc.defined_versions.iter().any(|d| d.name == "GLIBC_2.2.5"));
+        assert!(libc.defined_versions.iter().any(|d| d.name == "GLIBC_2.12"));
+        let old = libc_blueprints("2.5", Class::Elf64);
+        assert!(!old[0].defined_versions.iter().any(|d| d.name == "GLIBC_2.12"));
+    }
+
+    #[test]
+    fn x86_64_baseline_reversions_old_symbols() {
+        let bps = libc_blueprints("2.5", Class::Elf64);
+        let printf = bps[0].exports.iter().find(|e| e.symbol == "printf").unwrap();
+        assert_eq!(printf.version.as_deref(), Some("GLIBC_2.2.5"));
+        let bps32 = libc_blueprints("2.5", Class::Elf32);
+        let printf32 = bps32[0].exports.iter().find(|e| e.symbol == "printf").unwrap();
+        assert_eq!(printf32.version.as_deref(), Some("GLIBC_2.0"));
+    }
+
+    #[test]
+    fn banner_contains_version() {
+        assert!(libc_banner("2.11.1", "SUSE").contains("release version 2.11.1"));
+    }
+
+    #[test]
+    fn table_one_openmpi_identifiers_present() {
+        let bps = libc_blueprints("2.5", Class::Elf64);
+        assert!(bps.iter().any(|b| b.soname == "libnsl.so.1"));
+        assert!(bps.iter().any(|b| b.soname == "libutil.so.1"));
+    }
+}

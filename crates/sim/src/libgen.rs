@@ -1,0 +1,52 @@
+//! Turn [`LibraryBlueprint`]s into real ELF shared-object images.
+
+use crate::toolchain::LibraryBlueprint;
+use feam_elf::{Class, Endian, ElfSpec, FileKind, Machine};
+use std::sync::Arc;
+
+/// Synthesize the shared-object image for a blueprint.
+pub fn build_library(
+    bp: &LibraryBlueprint,
+    machine: Machine,
+    class: Class,
+    endian: Endian,
+) -> feam_elf::Result<Arc<Vec<u8>>> {
+    let spec = ElfSpec {
+        class,
+        endian,
+        machine,
+        kind: FileKind::SharedObject,
+        interp: None,
+        soname: Some(bp.soname.clone()),
+        needed: bp.needed.clone(),
+        rpath: None,
+        runpath: None,
+        imports: bp.imports.clone(),
+        exports: bp.exports.clone(),
+        defined_versions: bp.defined_versions.clone(),
+        extra_version_refs: Vec::new(),
+        abi_tag: None,
+        comments: bp.comments.clone(),
+        text_size: bp.size,
+    };
+    Ok(Arc::new(spec.build()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feam_elf::{ElfFile, ExportSpec};
+
+    #[test]
+    fn blueprint_builds_parseable_library() {
+        let mut bp = LibraryBlueprint::new("libdemo.so.2", "libdemo.so.2.1.0", 4096);
+        bp.exports = vec![ExportSpec::new("demo_fn", Some("DEMO_2.0"))];
+        bp.needed = vec!["libc.so.6".into()];
+        let img = build_library(&bp, Machine::X86_64, Class::Elf64, Endian::Little).unwrap();
+        let f = ElfFile::parse(&img).unwrap();
+        assert_eq!(f.soname(), Some("libdemo.so.2"));
+        assert_eq!(f.needed(), &["libc.so.6".to_string()]);
+        assert!(f.version_defs().iter().any(|d| d.name == "DEMO_2.0"));
+        assert!(img.len() >= 4096);
+    }
+}

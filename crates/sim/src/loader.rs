@@ -1,0 +1,492 @@
+//! Dynamic-loader model (`ld.so`).
+//!
+//! Ground truth for "does this binary actually run here" is produced by the
+//! same mechanism the real loader uses: resolve the `DT_NEEDED` closure
+//! through the search-path order, then check GNU symbol-version references
+//! and symbol bindings across the loaded set. Nothing here consults FEAM's
+//! prediction logic — the two must be able to disagree, or the paper's
+//! accuracy tables would be meaningless.
+
+use crate::site::Session;
+use feam_elf::{Class, ElfFile, FileKind, Machine, VersionRef};
+use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
+
+/// Parsed metadata of one ELF object, cached per site install.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectMeta {
+    pub soname: Option<String>,
+    pub needed: Vec<String>,
+    pub class: Class,
+    pub machine: Machine,
+    pub kind: FileKind,
+    pub version_refs: Vec<VersionRef>,
+    /// Names of versions this object defines.
+    pub version_defs: Vec<String>,
+    /// (name, version) of every exported (defined) dynamic symbol.
+    pub exports: Vec<(String, Option<String>)>,
+    /// (name, version, weak) of every imported (undefined) dynamic symbol.
+    pub imports: Vec<(String, Option<String>, bool)>,
+    pub rpath: Option<String>,
+    pub runpath: Option<String>,
+    pub comments: Vec<String>,
+    /// On-disk size in bytes.
+    pub size: usize,
+}
+
+impl ObjectMeta {
+    /// Extract metadata from an ELF image.
+    pub fn parse(bytes: &[u8]) -> feam_elf::Result<Self> {
+        let f = ElfFile::parse(bytes)?;
+        Ok(ObjectMeta {
+            soname: f.soname().map(str::to_string),
+            needed: f.needed().to_vec(),
+            class: f.class(),
+            machine: f.machine(),
+            kind: f.kind(),
+            version_refs: f.version_refs().to_vec(),
+            version_defs: f.version_defs().iter().map(|d| d.name.clone()).collect(),
+            exports: f
+                .dynamic_symbols()
+                .iter()
+                .filter(|s| !s.undefined && !s.name.is_empty())
+                .map(|s| (s.name.clone(), s.version.clone()))
+                .collect(),
+            imports: f
+                .dynamic_symbols()
+                .iter()
+                .filter(|s| s.undefined && !s.name.is_empty())
+                .map(|s| (s.name.clone(), s.version.clone(), s.weak))
+                .collect(),
+            rpath: f.dynamic_info().rpath.clone(),
+            runpath: f.dynamic_info().runpath.clone(),
+            comments: f.comments().to_vec(),
+            size: f.size(),
+        })
+    }
+
+    /// Does this object export symbol `name` (with `version`, when the
+    /// reference is versioned)?
+    pub fn exports_symbol(&self, name: &str, version: Option<&str>) -> bool {
+        match version {
+            Some(v) => self
+                .exports
+                .iter()
+                .any(|(n, ver)| n == name && ver.as_deref() == Some(v)),
+            None => self.exports.iter().any(|(n, _)| n == name),
+        }
+    }
+}
+
+/// One resolved member of a load closure.
+#[derive(Debug, Clone)]
+pub struct LoadedObject {
+    /// The soname it was resolved for (the root binary uses its path).
+    pub request: String,
+    /// Filesystem path it resolved to.
+    pub path: String,
+    pub meta: Arc<ObjectMeta>,
+}
+
+/// Why loading failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadError {
+    /// A `DT_NEEDED` soname was not found on any search path.
+    MissingLibrary { soname: String, needed_by: String },
+    /// A version reference could not be satisfied by the resolved provider
+    /// (`GLIBC_2.12 not defined by libc.so.6` and friends).
+    UnresolvedVersion { object: String, file: String, version: String },
+    /// A strong undefined symbol was not provided by any loaded object —
+    /// the mechanical form of an ABI incompatibility.
+    MissingSymbol { symbol: String, version: Option<String>, needed_by: String },
+    /// The root file is not a loadable ELF for this request.
+    NotLoadable(String),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::MissingLibrary { soname, needed_by } => {
+                write!(f, "{soname}: cannot open shared object file (needed by {needed_by})")
+            }
+            LoadError::UnresolvedVersion { object, file, version } => {
+                write!(f, "{object}: version `{version}' not found (required by {file})")
+            }
+            LoadError::MissingSymbol { symbol, version, needed_by } => match version {
+                Some(v) => write!(f, "{needed_by}: undefined symbol: {symbol}, version {v}"),
+                None => write!(f, "{needed_by}: undefined symbol: {symbol}"),
+            },
+            LoadError::NotLoadable(p) => write!(f, "{p}: cannot execute binary file"),
+        }
+    }
+}
+
+/// A successfully resolved closure.
+#[derive(Debug, Clone)]
+pub struct Closure {
+    /// Root first, then dependencies in BFS order.
+    pub objects: Vec<LoadedObject>,
+}
+
+impl Closure {
+    /// Paths of all loaded objects.
+    pub fn paths(&self) -> Vec<&str> {
+        self.objects.iter().map(|o| o.path.as_str()).collect()
+    }
+
+    /// Find the loaded provider of a soname.
+    pub fn provider(&self, soname: &str) -> Option<&LoadedObject> {
+        self.objects.iter().find(|o| {
+            o.meta.soname.as_deref() == Some(soname) || o.request == soname
+        })
+    }
+}
+
+/// Fetch + parse an object at `path` within a session, using the site's
+/// metadata cache when possible.
+fn object_at(sess: &Session<'_>, path: &str) -> Option<Arc<ObjectMeta>> {
+    if let Some(m) = sess.site.meta_for(path) {
+        return Some(m);
+    }
+    let bytes = sess.read_bytes(path)?;
+    ObjectMeta::parse(&bytes).ok().map(Arc::new)
+}
+
+/// Search one directory for `soname`; returns the path when the file exists
+/// there (directly or via symlink) and is a compatible ELF object.
+fn probe_dir(
+    sess: &Session<'_>,
+    dir: &str,
+    soname: &str,
+    class: Class,
+    machine: Machine,
+) -> Option<(String, Arc<ObjectMeta>)> {
+    let candidate = format!("{}/{soname}", dir.trim_end_matches('/'));
+    if !sess.exists(&candidate) {
+        return None;
+    }
+    let meta = object_at(sess, &candidate)?;
+    (meta.class == class && meta.machine == machine).then_some((candidate, meta))
+}
+
+/// The loader's search-path order for one object (glibc semantics):
+/// `DT_RPATH` (when no RUNPATH) → `LD_LIBRARY_PATH` → `DT_RUNPATH` →
+/// default directories.
+fn search_order(obj: &ObjectMeta, sess: &Session<'_>) -> Vec<String> {
+    let mut dirs = Vec::new();
+    let split = |s: &Option<String>| -> Vec<String> {
+        s.as_deref()
+            .map(|v| v.split(':').filter(|d| !d.is_empty()).map(str::to_string).collect())
+            .unwrap_or_default()
+    };
+    if obj.runpath.is_none() {
+        dirs.extend(split(&obj.rpath));
+    }
+    dirs.extend(sess.ld_library_path());
+    dirs.extend(split(&obj.runpath));
+    dirs.extend(sess.site.default_lib_dirs());
+    dirs
+}
+
+/// Resolve the full load closure of the binary at `root_path`.
+///
+/// On success, every `DT_NEEDED` was found, every version reference is
+/// defined by its provider, and every strong import is exported by some
+/// loaded object.
+pub fn resolve_closure(sess: &Session<'_>, root_path: &str) -> Result<Closure, LoadError> {
+    let root_meta = object_at(sess, root_path)
+        .ok_or_else(|| LoadError::NotLoadable(root_path.to_string()))?;
+    let class = root_meta.class;
+    let machine = root_meta.machine;
+
+    let mut objects = vec![LoadedObject {
+        request: root_path.to_string(),
+        path: root_path.to_string(),
+        meta: root_meta,
+    }];
+    let mut loaded: BTreeMap<String, usize> = BTreeMap::new(); // soname → index
+    let mut queue = 0usize;
+    while queue < objects.len() {
+        let current = objects[queue].clone();
+        for dep in current.meta.needed.clone() {
+            if loaded.contains_key(&dep) {
+                continue;
+            }
+            let mut found = None;
+            for dir in search_order(&current.meta, sess) {
+                if let Some(hit) = probe_dir(sess, &dir, &dep, class, machine) {
+                    found = Some(hit);
+                    break;
+                }
+            }
+            match found {
+                Some((path, meta)) => {
+                    loaded.insert(dep.clone(), objects.len());
+                    objects.push(LoadedObject { request: dep, path, meta });
+                }
+                None => {
+                    return Err(LoadError::MissingLibrary {
+                        soname: dep,
+                        needed_by: current.path.clone(),
+                    })
+                }
+            }
+        }
+        queue += 1;
+    }
+
+    // Version-reference check: each verneed (file, version) must be defined
+    // by the loaded provider of that file.
+    for obj in &objects {
+        for vr in &obj.meta.version_refs {
+            let provider = objects
+                .iter()
+                .find(|o| o.meta.soname.as_deref() == Some(vr.file.as_str()));
+            let Some(provider) = provider else {
+                // A version ref against a file that was not needed/loaded —
+                // glibc tolerates this unless a symbol binds to it; skip.
+                continue;
+            };
+            for v in &vr.versions {
+                if v.weak {
+                    continue;
+                }
+                if !provider.meta.version_defs.iter().any(|d| d == &v.name) {
+                    return Err(LoadError::UnresolvedVersion {
+                        object: obj.path.clone(),
+                        file: vr.file.clone(),
+                        version: v.name.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    // Symbol binding: every strong import must be exported somewhere.
+    let mut export_index: HashSet<(&str, Option<&str>)> = HashSet::new();
+    let mut unversioned: HashSet<&str> = HashSet::new();
+    for obj in &objects {
+        for (name, ver) in &obj.meta.exports {
+            export_index.insert((name.as_str(), ver.as_deref()));
+            unversioned.insert(name.as_str());
+        }
+    }
+    for obj in &objects {
+        for (name, ver, weak) in &obj.meta.imports {
+            if *weak {
+                continue;
+            }
+            let satisfied = match ver.as_deref() {
+                Some(v) => export_index.contains(&(name.as_str(), Some(v))),
+                None => unversioned.contains(name.as_str()),
+            };
+            if !satisfied {
+                return Err(LoadError::MissingSymbol {
+                    symbol: name.clone(),
+                    version: ver.clone(),
+                    needed_by: obj.path.clone(),
+                });
+            }
+        }
+    }
+
+    Ok(Closure { objects })
+}
+
+/// `ldd`-style listing: soname → resolved path (or None when missing).
+/// Unlike [`resolve_closure`], missing dependencies do not abort the walk —
+/// this is what the `ldd` emulation and FEAM's missing-library check use.
+pub fn ldd_map(sess: &Session<'_>, root_path: &str) -> Result<Vec<(String, Option<String>)>, LoadError> {
+    let root_meta = object_at(sess, root_path)
+        .ok_or_else(|| LoadError::NotLoadable(root_path.to_string()))?;
+    let class = root_meta.class;
+    let machine = root_meta.machine;
+    let mut results: Vec<(String, Option<String>)> = Vec::new();
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut frontier: Vec<Arc<ObjectMeta>> = vec![root_meta];
+    while let Some(current) = frontier.pop() {
+        for dep in &current.needed {
+            if !seen.insert(dep.clone()) {
+                continue;
+            }
+            let mut found = None;
+            for dir in search_order(&current, sess) {
+                if let Some((path, meta)) = probe_dir(sess, &dir, dep, class, machine) {
+                    found = Some((path, meta));
+                    break;
+                }
+            }
+            match found {
+                Some((path, meta)) => {
+                    results.push((dep.clone(), Some(path)));
+                    frontier.push(meta);
+                }
+                None => results.push((dep.clone(), None)),
+            }
+        }
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::{OsInfo, Site, SiteConfig};
+    use crate::toolchain::{Compiler, CompilerFamily};
+    use feam_elf::{ElfSpec, HostArch, ImportSpec, Machine};
+
+    fn site() -> Site {
+        let mut cfg = SiteConfig::new(
+            "ld-test",
+            HostArch::X86_64,
+            OsInfo::new("CentOS", "5.6", "2.6.18"),
+            "2.5",
+            11,
+        );
+        cfg.compilers = vec![Compiler::new(CompilerFamily::Gnu, "4.1.2")];
+        Site::build(cfg)
+    }
+
+    fn app(needed: &[&str], imports: Vec<ImportSpec>) -> Arc<Vec<u8>> {
+        let mut spec = ElfSpec::executable(Machine::X86_64, feam_elf::Class::Elf64);
+        spec.needed = needed.iter().map(|s| s.to_string()).collect();
+        spec.imports = imports;
+        Arc::new(spec.build().unwrap())
+    }
+
+    #[test]
+    fn resolves_simple_libc_closure() {
+        let s = site();
+        let mut sess = Session::new(&s);
+        let bin = app(
+            &["libm.so.6", "libc.so.6"],
+            vec![ImportSpec::versioned("memcpy", "libc.so.6", "GLIBC_2.2.5")],
+        );
+        sess.stage_file("/home/user/a.out", bin);
+        let c = resolve_closure(&sess, "/home/user/a.out").unwrap();
+        assert!(c.provider("libc.so.6").is_some());
+        assert!(c.provider("libm.so.6").is_some());
+    }
+
+    #[test]
+    fn missing_library_detected() {
+        let s = site();
+        let mut sess = Session::new(&s);
+        let bin = app(&["libmpi.so.0", "libc.so.6"], vec![]);
+        sess.stage_file("/home/user/a.out", bin);
+        match resolve_closure(&sess, "/home/user/a.out") {
+            Err(LoadError::MissingLibrary { soname, .. }) => assert_eq!(soname, "libmpi.so.0"),
+            other => panic!("expected MissingLibrary, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn too_new_glibc_version_ref_fails() {
+        let s = site(); // glibc 2.5
+        let mut sess = Session::new(&s);
+        let bin = app(
+            &["libc.so.6"],
+            vec![ImportSpec::versioned("__isoc99_sscanf", "libc.so.6", "GLIBC_2.7")],
+        );
+        sess.stage_file("/home/user/a.out", bin);
+        match resolve_closure(&sess, "/home/user/a.out") {
+            Err(LoadError::UnresolvedVersion { version, .. }) => {
+                assert_eq!(version, "GLIBC_2.7")
+            }
+            other => panic!("expected UnresolvedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_strong_symbol_is_abi_error() {
+        let s = site();
+        let mut sess = Session::new(&s);
+        // memfrob-of-the-future: unversioned symbol libc does not export.
+        let bin = app(&["libc.so.6"], vec![ImportSpec::plain("__intel_rt_v12", "libc.so.6")]);
+        sess.stage_file("/home/user/a.out", bin);
+        match resolve_closure(&sess, "/home/user/a.out") {
+            Err(LoadError::MissingSymbol { symbol, .. }) => {
+                assert_eq!(symbol, "__intel_rt_v12")
+            }
+            other => panic!("expected MissingSymbol, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn weak_imports_tolerated() {
+        let s = site();
+        let mut sess = Session::new(&s);
+        let bin = app(
+            &["libc.so.6"],
+            vec![ImportSpec {
+                symbol: "__nonexistent_hook".into(),
+                file: "libc.so.6".into(),
+                version: None,
+                weak: true,
+            }],
+        );
+        sess.stage_file("/home/user/a.out", bin);
+        assert!(resolve_closure(&sess, "/home/user/a.out").is_ok());
+    }
+
+    #[test]
+    fn ld_library_path_takes_priority_over_defaults() {
+        let s = site();
+        let mut sess = Session::new(&s);
+        // Stage a shadowing libm copy in a session dir and put it on the path.
+        let libm_bytes = sess.read_bytes("/lib64/libm.so.6").unwrap();
+        sess.stage_file("/home/user/libs/libm.so.6", libm_bytes);
+        crate::site::env_prepend(&mut sess.env, "LD_LIBRARY_PATH", "/home/user/libs");
+        let bin = app(&["libm.so.6", "libc.so.6"], vec![]);
+        sess.stage_file("/home/user/a.out", bin);
+        let c = resolve_closure(&sess, "/home/user/a.out").unwrap();
+        assert_eq!(c.provider("libm.so.6").unwrap().path, "/home/user/libs/libm.so.6");
+    }
+
+    #[test]
+    fn ldd_map_lists_missing_without_aborting() {
+        let s = site();
+        let mut sess = Session::new(&s);
+        let bin = app(&["libmpi.so.0", "libm.so.6", "libc.so.6"], vec![]);
+        sess.stage_file("/home/user/a.out", bin);
+        let map = ldd_map(&sess, "/home/user/a.out").unwrap();
+        let missing: Vec<_> = map.iter().filter(|(_, p)| p.is_none()).collect();
+        assert_eq!(missing.len(), 1);
+        assert_eq!(missing[0].0, "libmpi.so.0");
+        // Present libraries resolve with paths.
+        assert!(map
+            .iter()
+            .any(|(n, p)| n == "libc.so.6" && p.as_deref() == Some("/lib64/libc.so.6")));
+    }
+
+    #[test]
+    fn wrong_class_library_not_picked() {
+        let s = site();
+        let mut sess = Session::new(&s);
+        // Stage a 32-bit impostor earlier on the path.
+        let mut spec32 =
+            ElfSpec::shared_library("libm.so.6", Machine::X86, feam_elf::Class::Elf32);
+        spec32.exports = vec![feam_elf::ExportSpec::new("sin", None)];
+        sess.stage_file("/home/user/libs/libm.so.6", Arc::new(spec32.build().unwrap()));
+        crate::site::env_prepend(&mut sess.env, "LD_LIBRARY_PATH", "/home/user/libs");
+        let bin = app(&["libm.so.6", "libc.so.6"], vec![]);
+        sess.stage_file("/home/user/a.out", bin);
+        let c = resolve_closure(&sess, "/home/user/a.out").unwrap();
+        // The 64-bit system copy wins because the 32-bit one is skipped.
+        assert_eq!(c.provider("libm.so.6").unwrap().path, "/lib64/libm.so.6");
+    }
+
+    #[test]
+    fn rpath_of_requesting_object_searched_first() {
+        let s = site();
+        let mut sess = Session::new(&s);
+        let libm_bytes = sess.read_bytes("/lib64/libm.so.6").unwrap();
+        sess.stage_file("/app/private/libm.so.6", libm_bytes);
+        let mut spec = ElfSpec::executable(Machine::X86_64, feam_elf::Class::Elf64);
+        spec.needed = vec!["libm.so.6".into(), "libc.so.6".into()];
+        spec.rpath = Some("/app/private".into());
+        sess.stage_file("/app/a.out", Arc::new(spec.build().unwrap()));
+        let c = resolve_closure(&sess, "/app/a.out").unwrap();
+        assert_eq!(c.provider("libm.so.6").unwrap().path, "/app/private/libm.so.6");
+    }
+}

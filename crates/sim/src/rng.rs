@@ -1,0 +1,102 @@
+//! Deterministic hashing / splittable randomness.
+//!
+//! Every stochastic decision in the simulator (which GLIBC symbols a
+//! compile happens to use, which (binary, site) pairs suffer transient
+//! system errors) is derived from a stable 64-bit hash of its inputs plus a
+//! global experiment seed, so the whole evaluation is reproducible from a
+//! single `u64`.
+
+/// SplitMix64 step — the standard 64-bit finalizer-based generator.
+pub fn splitmix64(state: &mut u64) {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+}
+
+/// One SplitMix64 output for a given state value.
+pub fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Stable FNV-1a hash of a byte string.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Deterministic hash of several labelled parts combined with a seed.
+pub fn hash_parts(seed: u64, parts: &[&str]) -> u64 {
+    let mut h = mix(seed);
+    for p in parts {
+        h = mix(h ^ fnv1a(p.as_bytes()));
+    }
+    h
+}
+
+/// Map a hash to a uniform `f64` in `[0, 1)`.
+pub fn unit_f64(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Deterministic Bernoulli draw: true with probability `p`.
+pub fn chance(seed: u64, parts: &[&str], p: f64) -> bool {
+    unit_f64(hash_parts(seed, parts)) < p
+}
+
+/// Deterministic choice of one element of `items` (must be non-empty).
+pub fn pick<'a, T>(seed: u64, parts: &[&str], items: &'a [T]) -> &'a T {
+    let h = hash_parts(seed, parts);
+    &items[(h % items.len() as u64) as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic_and_input_sensitive() {
+        let a = hash_parts(42, &["bt", "ranger"]);
+        let b = hash_parts(42, &["bt", "ranger"]);
+        let c = hash_parts(42, &["bt", "forge"]);
+        let d = hash_parts(43, &["bt", "ranger"]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        for i in 0..1000u64 {
+            let u = unit_f64(mix(i));
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn chance_rate_approximates_p() {
+        let n = 20_000;
+        let hits = (0..n)
+            .filter(|i| chance(7, &[&format!("k{i}")], 0.3))
+            .count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn pick_is_stable_and_in_bounds() {
+        let items = ["a", "b", "c"];
+        let p1 = pick(1, &["x"], &items);
+        let p2 = pick(1, &["x"], &items);
+        assert_eq!(p1, p2);
+        assert!(items.contains(p1));
+    }
+
+    #[test]
+    fn fnv_distinguishes_order() {
+        assert_ne!(fnv1a(b"ab"), fnv1a(b"ba"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Integration tests of the execution model's failure taxonomy and retry
+//! discipline — the ground-truth side of the reproduction.
+
+use feam_sim::compile::{compile, ProgramSpec};
+use feam_sim::exec::{run_mpi, DEFAULT_ATTEMPTS};
+use feam_sim::mpi::{MpiImpl, MpiStack, Network};
+use feam_sim::site::{OsInfo, Session, Site, SiteConfig};
+use feam_sim::toolchain::{Compiler, CompilerFamily, Language};
+use feam_elf::HostArch;
+
+fn two_impl_site(seed: u64) -> Site {
+    let mut cfg = SiteConfig::new(
+        "two-impl",
+        HostArch::X86_64,
+        OsInfo::new("CentOS", "5.6", "2.6.18-238.el5"),
+        "2.5",
+        seed,
+    );
+    cfg.system_error_rate = 0.0;
+    cfg.ldd_flaky_rate = 0.0;
+    cfg.compilers = vec![Compiler::new(CompilerFamily::Gnu, "4.1.2")];
+    let gnu = Compiler::new(CompilerFamily::Gnu, "4.1.2");
+    cfg.stacks = vec![
+        (MpiStack::new(MpiImpl::OpenMpi, "1.4", gnu.clone(), Network::Ethernet), true),
+        (MpiStack::new(MpiImpl::Mpich2, "1.4", gnu, Network::Ethernet), true),
+    ];
+    Site::build(cfg)
+}
+
+#[test]
+fn launcher_of_wrong_impl_fails_with_mismatch() {
+    // An MPICH2 binary launched by Open MPI's mpiexec, with *both* stacks'
+    // libraries on the path so loading succeeds: the failure is the
+    // launcher mismatch itself.
+    let site = two_impl_site(11);
+    let openmpi = site.stacks[0].clone();
+    let mpich = site.stacks[1].clone();
+    let bin = compile(&site, Some(&mpich), &ProgramSpec::new("is", Language::C), 11).unwrap();
+    let mut sess = Session::new(&site);
+    sess.load_stack(&openmpi);
+    sess.load_stack(&mpich); // both lib dirs now visible
+    sess.stage_file("/r/is", bin.image.clone());
+    let out = run_mpi(&mut sess, "/r/is", &openmpi, 2, DEFAULT_ATTEMPTS);
+    assert!(!out.success);
+    assert_eq!(out.failure.unwrap().class(), "mpi-mismatch");
+    // With the right launcher it runs.
+    let out2 = run_mpi(&mut sess, "/r/is", &mpich, 2, DEFAULT_ATTEMPTS);
+    assert!(out2.success, "{:?}", out2.failure);
+}
+
+#[test]
+fn transient_errors_absorbed_by_retries() {
+    // With transient errors only (no persistent), five spaced attempts
+    // essentially always succeed — the paper's retry rationale. Check that
+    // across many binaries, everything eventually runs, and that at least
+    // one run needed more than one attempt (the transient layer is live).
+    let site = two_impl_site(13);
+    let ist = site.stacks[0].clone();
+    let mut saw_retry = false;
+    for i in 0..40 {
+        let prog = ProgramSpec::new(&format!("app{i}"), Language::C);
+        let bin = compile(&site, Some(&ist), &prog, i).unwrap();
+        let mut sess = Session::new(&site);
+        sess.load_stack(&ist);
+        sess.stage_file("/r/app", bin.image.clone());
+        let out = run_mpi(&mut sess, "/r/app", &ist, 4, DEFAULT_ATTEMPTS);
+        assert!(out.success, "binary {i} failed: {:?}", out.failure);
+        if out.attempts > 1 {
+            saw_retry = true;
+        }
+    }
+    assert!(saw_retry, "transient layer should force at least one retry in 40 runs");
+}
+
+#[test]
+fn single_attempt_mode_exposes_transients() {
+    // The same workload with max_attempts = 1 must show some failures —
+    // quantifying what the paper's spaced retries buy.
+    let site = two_impl_site(13);
+    let ist = site.stacks[0].clone();
+    let mut failures = 0;
+    for i in 0..40 {
+        let prog = ProgramSpec::new(&format!("app{i}"), Language::C);
+        let bin = compile(&site, Some(&ist), &prog, i).unwrap();
+        let mut sess = Session::new(&site);
+        sess.load_stack(&ist);
+        sess.stage_file("/r/app", bin.image.clone());
+        if !run_mpi(&mut sess, "/r/app", &ist, 4, 1).success {
+            failures += 1;
+        }
+    }
+    assert!(
+        (1..=15).contains(&failures),
+        "single-attempt transient failures should be visible but minority: {failures}/40"
+    );
+}
+
+#[test]
+fn cpu_accounting_scales_with_attempts_and_procs() {
+    let site = two_impl_site(17);
+    let ist = site.stacks[0].clone();
+    let bin = compile(&site, Some(&ist), &ProgramSpec::new("ep", Language::Fortran), 1).unwrap();
+    let mut small = Session::new(&site);
+    small.load_stack(&ist);
+    small.stage_file("/r/ep", bin.image.clone());
+    let before = small.cpu_seconds;
+    run_mpi(&mut small, "/r/ep", &ist, 2, DEFAULT_ATTEMPTS);
+    let cost2 = small.cpu_seconds - before;
+
+    let mut big = Session::new(&site);
+    big.load_stack(&ist);
+    big.stage_file("/r/ep", bin.image.clone());
+    let before = big.cpu_seconds;
+    run_mpi(&mut big, "/r/ep", &ist, 64, DEFAULT_ATTEMPTS);
+    let cost64 = big.cpu_seconds - before;
+    assert!(cost64 > cost2, "more ranks must cost more simulated CPU");
+}
+
+#[test]
+fn home_built_corpus_binaries_have_abi_tags() {
+    let site = two_impl_site(19);
+    let ist = site.stacks[0].clone();
+    let bin = compile(&site, Some(&ist), &ProgramSpec::new("bt", Language::Fortran), 1).unwrap();
+    let f = feam_elf::ElfFile::parse(&bin.image).unwrap();
+    let tag = f.abi_tag().expect("compiled binaries carry NT_GNU_ABI_TAG");
+    assert_eq!(tag.kernel, (2, 6, 18), "kernel triple from the site's OS model");
+}

@@ -1,0 +1,111 @@
+//! Property-based tests of the loader model's invariants.
+
+use feam_sim::loader::{ldd_map, resolve_closure};
+use feam_sim::site::{OsInfo, Session, Site, SiteConfig};
+use feam_sim::toolchain::{Compiler, CompilerFamily};
+use feam_elf::{Class, ElfSpec, HostArch, ImportSpec, Machine};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn site() -> Site {
+    let mut cfg = SiteConfig::new(
+        "prop-site",
+        HostArch::X86_64,
+        OsInfo::new("CentOS", "5.6", "2.6.18"),
+        "2.5",
+        77,
+    );
+    cfg.compilers = vec![
+        Compiler::new(CompilerFamily::Gnu, "4.1.2"),
+        Compiler::new(CompilerFamily::Intel, "11.1"),
+    ];
+    Site::build(cfg)
+}
+
+/// Library sonames that exist on the test site.
+const PRESENT: &[&str] = &[
+    "libc.so.6",
+    "libm.so.6",
+    "libpthread.so.0",
+    "librt.so.1",
+    "libdl.so.2",
+    "libnsl.so.1",
+    "libutil.so.1",
+    "libgfortran.so.1",
+    "libgcc_s.so.1",
+    "libstdc++.so.6",
+    "libimf.so",
+    "libsvml.so",
+];
+/// Sonames that do not exist anywhere on it.
+const ABSENT: &[&str] = &["libghost.so.1", "libvoid.so.2", "libnothere.so.9"];
+
+fn binary_with(needed: &[String]) -> Arc<Vec<u8>> {
+    let mut spec = ElfSpec::executable(Machine::X86_64, Class::Elf64);
+    spec.needed = needed.to_vec();
+    spec.imports = vec![ImportSpec::versioned("memcpy", "libc.so.6", "GLIBC_2.2.5")];
+    Arc::new(spec.build().unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// resolve_closure succeeds iff every transitively needed soname is
+    /// present, and ldd_map's missing set agrees.
+    #[test]
+    fn closure_and_ldd_agree_on_missing(
+        present_picks in proptest::collection::vec(0usize..PRESENT.len(), 1..6),
+        absent_picks in proptest::collection::vec(0usize..ABSENT.len(), 0..3),
+    ) {
+        let site = site();
+        let mut needed: Vec<String> = present_picks.iter().map(|&i| PRESENT[i].to_string()).collect();
+        needed.extend(absent_picks.iter().map(|&i| ABSENT[i].to_string()));
+        needed.dedup();
+        if !needed.iter().any(|n| n == "libc.so.6") {
+            needed.push("libc.so.6".to_string());
+        }
+        let bin = binary_with(&needed);
+        let mut sess = Session::new(&site);
+        // Make the intel runtime visible too.
+        let intel_dir = site.compiler(CompilerFamily::Intel).unwrap().lib_dir.clone();
+        feam_sim::site::env_prepend(&mut sess.env, "LD_LIBRARY_PATH", &intel_dir);
+        sess.stage_file("/p/bin", bin);
+
+        let ldd = ldd_map(&sess, "/p/bin").unwrap();
+        let ldd_missing: Vec<&str> =
+            ldd.iter().filter(|(_, p)| p.is_none()).map(|(n, _)| n.as_str()).collect();
+        let closure = resolve_closure(&sess, "/p/bin");
+        let expect_missing = !absent_picks.is_empty();
+        prop_assert_eq!(closure.is_err(), expect_missing,
+            "closure: {:?}, ldd missing: {:?}", closure.as_ref().err(), ldd_missing);
+        prop_assert_eq!(!ldd_missing.is_empty(), expect_missing);
+        // Every reported-missing soname is genuinely from the absent set.
+        for m in &ldd_missing {
+            prop_assert!(ABSENT.contains(m), "unexpectedly missing: {m}");
+        }
+    }
+
+    /// A successful closure loads the root plus only resolvable libraries,
+    /// each exactly once, and always includes libc.
+    #[test]
+    fn closure_members_unique_and_include_libc(
+        picks in proptest::collection::vec(0usize..PRESENT.len(), 1..8),
+    ) {
+        let site = site();
+        let mut needed: Vec<String> = picks.iter().map(|&i| PRESENT[i].to_string()).collect();
+        needed.push("libc.so.6".to_string());
+        needed.dedup();
+        let bin = binary_with(&needed);
+        let mut sess = Session::new(&site);
+        let intel_dir = site.compiler(CompilerFamily::Intel).unwrap().lib_dir.clone();
+        feam_sim::site::env_prepend(&mut sess.env, "LD_LIBRARY_PATH", &intel_dir);
+        sess.stage_file("/p/bin", bin);
+        let closure = resolve_closure(&sess, "/p/bin").unwrap();
+        let mut paths: Vec<&str> = closure.paths();
+        let before = paths.len();
+        paths.sort();
+        paths.dedup();
+        prop_assert_eq!(paths.len(), before, "no object loaded twice");
+        prop_assert!(closure.provider("libc.so.6").is_some());
+    }
+}

@@ -1,0 +1,15 @@
+//! # feam-workloads — the paper's §VI testbed
+//!
+//! The five Table II computing sites ([`sites`]), the NPB 2.4 and SPEC
+//! MPI2007 benchmark models ([`benchmarks`]), and the binary test-set
+//! generator ([`testset`]) that reproduces the paper's corpus of ≈110 NPB
+//! and ≈147 SPEC binaries (each benchmark × each site MPI stack, minus the
+//! combinations that do not compile or do not run where built).
+
+pub mod benchmarks;
+pub mod sites;
+pub mod testset;
+
+pub use benchmarks::{all_benchmarks, npb_benchmarks, spec_benchmarks, Benchmark, Suite};
+pub use sites::{standard_site_configs, standard_sites};
+pub use testset::{TestSet, TestSetBuilder, TestSetItem};

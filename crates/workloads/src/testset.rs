@@ -1,0 +1,188 @@
+//! Test-set construction — the paper's §VI.A corpus.
+//!
+//! Every benchmark is compiled with every MPI stack at every site; combos
+//! that do not compile, or whose binary fails to run at the site where it
+//! was compiled, are dropped — "This is why our final test set, with 110
+//! NPB binaries and 147 SPEC MPI2007 binaries, is composed of a subset of
+//! the benchmark suites." The shape (≈110 / ≈147 of 182 + 182 possible) is
+//! reproduced by the compile-viability rules plus the home-site run check.
+
+use crate::benchmarks::{all_benchmarks, Benchmark, Suite};
+use feam_sim::compile::{compile, CompiledBinary};
+use feam_sim::exec::{run_mpi, DEFAULT_ATTEMPTS};
+use feam_sim::site::{Session, Site};
+use std::sync::Arc;
+
+/// One binary in the corpus, with its provenance.
+#[derive(Debug, Clone)]
+pub struct TestSetItem {
+    /// The compiled binary (image + stack + identity).
+    pub binary: CompiledBinary,
+    /// The benchmark it came from.
+    pub benchmark: Benchmark,
+    /// Index of the site where it was compiled (its guaranteed execution
+    /// environment).
+    pub compiled_at: usize,
+    /// Index into that site's `stacks` of the stack used.
+    pub stack_index: usize,
+    /// Shortcut to the ELF image.
+    pub image: Arc<Vec<u8>>,
+}
+
+impl TestSetItem {
+    /// Suite of the underlying benchmark.
+    pub fn suite(&self) -> Suite {
+        self.benchmark.suite
+    }
+
+    /// Human-readable identity (`bt@openmpi-1.3-intel-10.1@ranger`).
+    pub fn label(&self) -> &str {
+        &self.binary.identity
+    }
+}
+
+/// The full corpus.
+#[derive(Debug, Clone, Default)]
+pub struct TestSet {
+    items: Vec<TestSetItem>,
+    /// (benchmark, site, stack) combos that failed to compile.
+    pub compile_failures: usize,
+    /// Compiled binaries dropped because they did not run at home.
+    pub home_run_failures: usize,
+}
+
+impl TestSet {
+    /// All binaries in the corpus.
+    pub fn binaries(&self) -> &[TestSetItem] {
+        &self.items
+    }
+
+    /// Add an item (for building custom / trimmed corpora).
+    pub fn push(&mut self, item: TestSetItem) {
+        self.items.push(item);
+    }
+
+    /// Number of binaries from `suite`.
+    pub fn count(&self, suite: Suite) -> usize {
+        self.items.iter().filter(|i| i.suite() == suite).count()
+    }
+}
+
+/// Builds the corpus deterministically from a seed.
+#[derive(Debug, Clone, Copy)]
+pub struct TestSetBuilder {
+    seed: u64,
+}
+
+impl TestSetBuilder {
+    /// New builder with the experiment seed.
+    pub fn new(seed: u64) -> Self {
+        TestSetBuilder { seed }
+    }
+
+    /// Compile the corpus across `sites` (typically
+    /// [`crate::sites::standard_sites`]).
+    pub fn build(&self, sites: &[Site]) -> TestSet {
+        let mut set = TestSet::default();
+        let benchmarks = all_benchmarks();
+        for (site_idx, site) in sites.iter().enumerate() {
+            for (stack_idx, ist) in site.stacks.iter().enumerate() {
+                for bench in &benchmarks {
+                    // Misconfigured stacks cannot build anything — their
+                    // wrappers do not produce working output.
+                    if !ist.functional || !bench.compiles_with(&ist.stack, self.seed) {
+                        set.compile_failures += 1;
+                        continue;
+                    }
+                    let prog = bench.program_spec();
+                    let Ok(bin) = compile(site, Some(ist), &prog, self.seed) else {
+                        set.compile_failures += 1;
+                        continue;
+                    };
+                    // §VI.A: "other binaries would not run at the site where
+                    // they were compiled" — keep only binaries with a
+                    // guaranteed execution environment.
+                    let mut sess = Session::new(site);
+                    sess.load_stack(ist);
+                    let home_path = format!("/home/user/bin/{}", bin.identity);
+                    sess.stage_file(&home_path, bin.image.clone());
+                    let outcome = run_mpi(&mut sess, &home_path, ist, 4, DEFAULT_ATTEMPTS);
+                    if !outcome.success {
+                        set.home_run_failures += 1;
+                        continue;
+                    }
+                    set.items.push(TestSetItem {
+                        image: bin.image.clone(),
+                        binary: bin,
+                        benchmark: bench.clone(),
+                        compiled_at: site_idx,
+                        stack_index: stack_idx,
+                    });
+                }
+            }
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sites::standard_sites;
+
+    #[test]
+    fn corpus_shape_matches_paper() {
+        let sites = standard_sites(42);
+        let set = TestSetBuilder::new(42).build(&sites);
+        let nas = set.count(Suite::Npb);
+        let spec = set.count(Suite::SpecMpi2007);
+        // Paper: 110 NPB and 147 SPEC binaries out of 7×26 possible each.
+        assert!(
+            (90..=130).contains(&nas),
+            "NAS corpus size {nas} out of the paper's neighbourhood"
+        );
+        assert!(
+            (125..=170).contains(&spec),
+            "SPEC corpus size {spec} out of the paper's neighbourhood"
+        );
+        assert!(set.compile_failures > 0, "some combos must fail to compile");
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let sites = standard_sites(7);
+        let a = TestSetBuilder::new(7).build(&sites);
+        let b = TestSetBuilder::new(7).build(&sites);
+        assert_eq!(a.binaries().len(), b.binaries().len());
+        for (x, y) in a.binaries().iter().zip(b.binaries()) {
+            assert_eq!(x.label(), y.label());
+            assert_eq!(x.image, y.image);
+        }
+    }
+
+    #[test]
+    fn every_item_runs_at_home() {
+        // Spot-check a few corpus members: they must still execute at their
+        // guaranteed execution environment (that is what "guaranteed" means).
+        let sites = standard_sites(3);
+        let set = TestSetBuilder::new(3).build(&sites);
+        for item in set.binaries().iter().take(10) {
+            let site = &sites[item.compiled_at];
+            let ist = site.stacks[item.stack_index].clone();
+            let mut sess = Session::new(site);
+            sess.load_stack(&ist);
+            sess.stage_file("/home/user/bin/check", item.image.clone());
+            let out = run_mpi(&mut sess, "/home/user/bin/check", &ist, 4, DEFAULT_ATTEMPTS);
+            assert!(out.success, "{} no longer runs at home: {:?}", item.label(), out.failure);
+        }
+    }
+
+    #[test]
+    fn items_span_multiple_sites_and_stacks() {
+        let sites = standard_sites(42);
+        let set = TestSetBuilder::new(42).build(&sites);
+        let distinct_sites: std::collections::HashSet<usize> =
+            set.binaries().iter().map(|i| i.compiled_at).collect();
+        assert_eq!(distinct_sites.len(), 5, "corpus must cover all five sites");
+    }
+}

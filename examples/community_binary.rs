@@ -1,0 +1,63 @@
+//! Community-binary scenario (§VI.B): a scientist received a binary
+//! *without* access to its guaranteed execution environment — "This
+//! situation in particular applies to community codes distributed as
+//! binaries." Only FEAM's *basic* prediction (target phase alone) is
+//! available; no resolution, no transported hello worlds.
+//!
+//! ```text
+//! cargo run --example community_binary
+//! ```
+
+use feam::core::phases::{run_target_phase, PhaseConfig};
+use feam::core::predict::PredictionMode;
+use feam::sim::compile::{compile, ProgramSpec};
+use feam::sim::toolchain::Language;
+use feam::workloads::sites::{standard_sites, FORGE};
+
+fn main() {
+    let cfg = PhaseConfig::default();
+    let sites = standard_sites(42);
+
+    // The "community code": a quantum-chromodynamics binary someone built
+    // at Forge and published. We only have the bytes.
+    let forge = &sites[FORGE];
+    let stack = forge.stacks[0].clone();
+    let milc = compile(forge, Some(&stack), &ProgramSpec::new("104.milc", Language::C), 9)
+        .expect("milc compiles at Forge");
+    println!(
+        "received community binary {} ({} KiB) — provenance unknown to us\n",
+        milc.program,
+        milc.image.len() / 1024
+    );
+
+    for site in &sites {
+        if site.name() == forge.name() {
+            continue;
+        }
+        // Basic prediction: the binary is staged at the target; no bundle.
+        let outcome = run_target_phase(site, Some(&milc.image), None, &cfg);
+        assert_eq!(outcome.prediction.mode, PredictionMode::Basic);
+        println!("at {}:", site.name());
+        println!("  binary description: {}", outcome.binary.summary());
+        for v in &outcome.prediction.verdicts {
+            println!(
+                "  [{}] {:?}",
+                if v.compatible { "ok " } else { "no " },
+                v.determinant
+            );
+        }
+        println!(
+            "  => {}\n",
+            if outcome.prediction.ready() {
+                "ready for execution (basic prediction)"
+            } else {
+                "not ready — see determinant detail"
+            }
+        );
+    }
+    println!(
+        "note: without a source phase, missing shared libraries cannot be\n\
+         resolved — the extended workflow (see examples/resolve_libraries.rs)\n\
+         needs access to a guaranteed execution environment."
+    );
+}

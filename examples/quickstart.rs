@@ -1,0 +1,72 @@
+//! Quickstart: migrate one MPI binary from its build site to another site
+//! and let FEAM predict execution readiness.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Walks the full FEAM flow once: build a binary at Ranger, run the source
+//! phase there, run the target phase at FutureGrid India, print the
+//! prediction report and the generated setup script, then verify the
+//! prediction against a ground-truth execution.
+
+use feam::core::phases::{run_source_phase, run_target_phase, PhaseConfig};
+use feam::core::report::render_report;
+use feam::sim::compile::{compile, ProgramSpec};
+use feam::sim::exec::{run_mpi, DEFAULT_ATTEMPTS};
+use feam::sim::toolchain::Language;
+use feam::workloads::sites::{standard_sites, INDIA, RANGER};
+
+fn main() {
+    let cfg = PhaseConfig::default();
+    println!("materializing the five Table II sites ...");
+    let sites = standard_sites(42);
+    let ranger = &sites[RANGER];
+    let india = &sites[INDIA];
+
+    // "Compile" the NPB block-tridiagonal solver at Ranger with its Open
+    // MPI + GNU stack. The result is a genuine ELF binary.
+    let stack = ranger.stacks[1].clone(); // openmpi-1.3-gnu-3.4.6
+    let bt = compile(ranger, Some(&stack), &ProgramSpec::new("bt", Language::Fortran), 42)
+        .expect("bt compiles at Ranger");
+    println!(
+        "built {} at {} ({} bytes)",
+        bt.program,
+        bt.built_at,
+        bt.image.len()
+    );
+
+    // Source phase at the guaranteed execution environment.
+    let bundle = run_source_phase(ranger, &bt.image, &cfg).expect("source phase");
+    println!(
+        "source phase bundled {} library copies + {} hello worlds ({:.1} MiB)",
+        bundle.libraries.len(),
+        bundle.hello_worlds.len(),
+        bundle.total_bytes() as f64 / (1024.0 * 1024.0),
+    );
+
+    // Target phase at India, with both the migrated binary and the bundle
+    // (the paper's *extended* prediction).
+    let outcome = run_target_phase(india, Some(&bt.image), Some(&bundle), &cfg);
+    println!("\n{}", render_report(&outcome));
+
+    // Ground truth: execute under FEAM's composed configuration.
+    let plan = &outcome.evaluation.plan;
+    let launcher = plan
+        .stack_index
+        .map(|i| india.stacks[i].clone())
+        .expect("a matching stack exists at India");
+    let mut sess = plan.apply(india);
+    sess.stage_file("/home/user/run/bt", bt.image.clone());
+    let exec = run_mpi(&mut sess, "/home/user/run/bt", &launcher, 4, DEFAULT_ATTEMPTS);
+    println!(
+        "ground truth: execution {} (prediction said {})",
+        if exec.success { "SUCCEEDED" } else { "failed" },
+        if outcome.prediction.ready() { "ready" } else { "not ready" },
+    );
+    assert_eq!(
+        exec.success,
+        outcome.prediction.ready(),
+        "on this seed the prediction matches ground truth"
+    );
+}

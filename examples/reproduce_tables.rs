@@ -1,0 +1,39 @@
+//! Regenerate every quantitative artifact of the paper in one run —
+//! Tables I–IV plus the §VI.C statistics — exactly what the `feam-eval`
+//! binary does, but as a library-API walkthrough.
+//!
+//! ```text
+//! cargo run --release --example reproduce_tables
+//! ```
+//!
+//! (Use `--release`; the sweep performs ~850 migrations with full
+//! prediction + ground-truth execution each.)
+
+use feam::eval::{
+    render_stats, render_table1, render_table2, render_table3, render_table4, stats, table1,
+    table3, table4, Experiment,
+};
+
+fn main() {
+    let exp = Experiment::new(42);
+    println!(
+        "corpus: {} NAS + {} SPEC binaries (paper: 110 + 147)\n",
+        exp.corpus.count(feam::workloads::Suite::Npb),
+        exp.corpus.count(feam::workloads::Suite::SpecMpi2007),
+    );
+    let results = exp.run();
+    println!("{}", render_table1(&table1(&exp)));
+    println!("{}", render_table2(&exp));
+    println!("{}", render_table3(&table3(&results)));
+    println!("{}", render_table4(&table4(&results)));
+    println!("{}", render_stats(&stats(&results)));
+
+    // The paper's headline claims, asserted as invariants of this repro:
+    let t3 = table3(&results);
+    assert!(t3.basic_nas > 90.0 && t3.basic_spec > 90.0, "prediction > 90% accurate");
+    assert!(t3.extended_nas >= t3.basic_nas, "extended beats basic on NAS");
+    let t4 = table4(&results);
+    assert!(t4.before_nas > 40.0 && t4.before_nas < 70.0, "about half execute before");
+    assert!(t4.increase_nas > 15.0 && t4.increase_spec > 25.0, "resolution adds ~1/3");
+    println!("all paper-shape assertions hold ✓");
+}

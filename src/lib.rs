@@ -1,0 +1,46 @@
+//! # FEAM — a Framework for Efficient Application Migration
+//!
+//! Facade crate re-exporting the whole reproduction of
+//! *Predicting Execution Readiness of MPI Binaries with FEAM* (ICPP 2013).
+//!
+//! The workspace is organised bottom-up:
+//!
+//! * [`elf`] — from-scratch ELF reader/writer with GNU symbol versioning.
+//! * [`sim`] — simulated Unix computing sites: virtual filesystem, tool
+//!   emulations (`ldd`, `uname`, Environment Modules, …), a dynamic-loader
+//!   model, and an execution model with the paper's failure taxonomy.
+//! * [`workloads`] — the five Table II sites and the NPB / SPEC MPI2007
+//!   benchmark models that generate the paper's binary test set.
+//! * [`core`] — the paper's contribution: the Binary Description Component,
+//!   Environment Discovery Component and Target Evaluation Component, the
+//!   four-determinant prediction model and the shared-library resolution
+//!   model.
+//! * [`eval`] — the §VI evaluation harness regenerating Tables I–IV.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use feam::workloads::sites::standard_sites;
+//! use feam::workloads::testset::TestSetBuilder;
+//! use feam::core::phases::{run_source_phase, run_target_phase, PhaseConfig};
+//!
+//! let sites = standard_sites(42);
+//! let corpus = TestSetBuilder::new(42).build(&sites);
+//! let item = &corpus.binaries()[0];
+//! let gee = &sites[item.compiled_at];
+//!
+//! // Source phase at the guaranteed execution environment.
+//! let bundle = run_source_phase(gee, &item.image, &PhaseConfig::default()).unwrap();
+//!
+//! // Target phase at some other site.
+//! let target = &sites[(item.compiled_at + 1) % sites.len()];
+//! let outcome = run_target_phase(target, Some(&item.image), Some(&bundle),
+//!                                &PhaseConfig::default());
+//! println!("ready: {}", outcome.prediction.ready());
+//! ```
+
+pub use feam_core as core;
+pub use feam_elf as elf;
+pub use feam_eval as eval;
+pub use feam_sim as sim;
+pub use feam_workloads as workloads;

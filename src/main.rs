@@ -1,0 +1,153 @@
+//! `feam` — command-line front end.
+//!
+//! The Binary Description Component works on *any* real ELF file, so the
+//! CLI is genuinely useful outside the simulation:
+//!
+//! ```text
+//! feam describe /path/to/binary    # Figure 3 description
+//! feam identify /path/to/binary    # Table I MPI identification
+//! feam objdump  /path/to/binary    # objdump -p style private headers
+//! feam comment  /path/to/binary    # readelf -p .comment equivalent
+//! feam demo                        # one simulated migration, end to end
+//! ```
+
+use feam::core::bdc::{identify_mpi, BinaryDescription, MpiIdentification};
+use feam::elf::render::{render_comment_section, render_objdump_p, render_summary};
+use feam::elf::ElfFile;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: feam <describe|identify|objdump|comment|check> <elf-file>\n       feam demo"
+    );
+    std::process::exit(2);
+}
+
+fn read_elf(path: &str) -> Vec<u8> {
+    match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("feam: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("describe") => {
+            let path = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            let bytes = read_elf(path);
+            match BinaryDescription::from_bytes(path, &bytes) {
+                Ok(desc) => {
+                    let f = ElfFile::parse(&bytes).expect("parsed above");
+                    println!("== FEAM binary description: {path} ==");
+                    print!("{}", render_summary(&f));
+                    println!(
+                        "MPI        : {}",
+                        match desc.mpi {
+                            MpiIdentification::Identified(i) => i.name().to_string(),
+                            MpiIdentification::NotMpi => "not an MPI binary".to_string(),
+                        }
+                    );
+                    if let Some(c) = &desc.build_env.compiler {
+                        println!("compiler   : {c}");
+                    }
+                    if let Some(d) = &desc.build_env.distro_hint {
+                        println!("build OS   : {d}");
+                    }
+                    if let Some(tag) = &desc.abi_tag {
+                        println!("ABI tag    : {}", tag.render());
+                    }
+                }
+                Err(e) => {
+                    eprintln!("feam: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("identify") => {
+            let path = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            let bytes = read_elf(path);
+            match ElfFile::parse(&bytes) {
+                Ok(f) => match identify_mpi(f.needed()) {
+                    MpiIdentification::Identified(i) => {
+                        println!("{path}: {} (Table I link-level signature)", i.name())
+                    }
+                    MpiIdentification::NotMpi => println!("{path}: no MPI implementation detected"),
+                },
+                Err(e) => {
+                    eprintln!("feam: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("objdump") => {
+            let path = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            let bytes = read_elf(path);
+            match ElfFile::parse(&bytes) {
+                Ok(f) => print!("{path}:     {}", render_objdump_p(&f)),
+                Err(e) => {
+                    eprintln!("feam: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("comment") => {
+            let path = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            let bytes = read_elf(path);
+            match ElfFile::parse(&bytes) {
+                Ok(f) => print!("{}", render_comment_section(&f)),
+                Err(e) => {
+                    eprintln!("feam: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("check") => {
+            let path = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            let bytes = read_elf(path);
+            match ElfFile::parse(&bytes) {
+                Ok(f) => {
+                    let findings = feam::elf::check::check(&f);
+                    if findings.is_empty() {
+                        println!("{path}: no findings");
+                    }
+                    for x in findings {
+                        println!("{path}: {:?}: {}", x.severity, x.message);
+                    }
+                }
+                Err(e) => {
+                    eprintln!("feam: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("demo") => demo(),
+        _ => usage(),
+    }
+}
+
+/// One simulated migration end to end (the quickstart example, condensed).
+fn demo() {
+    use feam::core::phases::{run_source_phase, run_target_phase, PhaseConfig};
+    use feam::core::report::render_report;
+    use feam::sim::compile::{compile, ProgramSpec};
+    use feam::sim::toolchain::Language;
+    use feam::workloads::sites::{standard_sites, INDIA, RANGER};
+
+    let cfg = PhaseConfig::default();
+    let sites = standard_sites(42);
+    let stack = sites[RANGER].stacks[1].clone();
+    let bin = compile(
+        &sites[RANGER],
+        Some(&stack),
+        &ProgramSpec::new("bt", Language::Fortran),
+        42,
+    )
+    .expect("demo binary compiles");
+    let bundle =
+        run_source_phase(&sites[RANGER], &bin.image, &cfg).expect("source phase succeeds");
+    let outcome = run_target_phase(&sites[INDIA], Some(&bin.image), Some(&bundle), &cfg);
+    print!("{}", render_report(&outcome));
+}

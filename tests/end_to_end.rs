@@ -1,0 +1,230 @@
+//! Cross-crate integration: the full FEAM pipeline from ELF synthesis to
+//! prediction to ground-truth execution, spanning feam-elf, feam-sim,
+//! feam-workloads and feam-core.
+
+use feam::core::phases::{run_source_phase, run_target_phase, PhaseConfig};
+use feam::core::predict::{Determinant, PredictionMode};
+use feam::sim::compile::{compile, ProgramSpec};
+use feam::sim::exec::{run_mpi, DEFAULT_ATTEMPTS};
+use feam::sim::site::Session;
+use feam::sim::toolchain::Language;
+use feam::workloads::sites::{standard_sites, BLACKLIGHT, FIR, FORGE, INDIA, RANGER};
+
+fn cfg() -> PhaseConfig {
+    PhaseConfig::default()
+}
+
+#[test]
+fn intra_era_migration_is_ready_and_runs() {
+    // India and Fir share glibc 2.5 and GNU 4.1.2: a gnu Open MPI binary
+    // moves cleanly between them.
+    let sites = standard_sites(101);
+    let india = &sites[INDIA];
+    let fir = &sites[FIR];
+    let stack = india
+        .stacks
+        .iter()
+        .find(|s| s.stack.ident() == "openmpi-1.4.3-gnu-4.1.2")
+        .unwrap()
+        .clone();
+    let bin = compile(india, Some(&stack), &ProgramSpec::new("cg", Language::Fortran), 5).unwrap();
+    let bundle = run_source_phase(india, &bin.image, &cfg()).unwrap();
+    let outcome = run_target_phase(fir, Some(&bin.image), Some(&bundle), &cfg());
+    assert!(
+        outcome.prediction.ready(),
+        "India→Fir gnu binary must be ready: {:?}",
+        outcome.prediction.first_failure()
+    );
+    // Ground truth agrees.
+    let plan = &outcome.evaluation.plan;
+    let launcher = fir.stacks[plan.stack_index.unwrap()].clone();
+    let mut sess = plan.apply(fir);
+    sess.stage_file("/r/bin", bin.image.clone());
+    assert!(run_mpi(&mut sess, "/r/bin", &launcher, 4, DEFAULT_ATTEMPTS).success);
+}
+
+#[test]
+fn hot_glibc_binary_rejected_at_old_site_by_clibrary_determinant() {
+    let sites = standard_sites(101);
+    let forge = &sites[FORGE];
+    let ranger = &sites[RANGER];
+    let stack = forge.stacks[0].clone();
+    let mut prog = ProgramSpec::new("hot-app", Language::C);
+    prog.glibc_appetite = 1.0;
+    let bin = compile(forge, Some(&stack), &prog, 5).unwrap();
+    let outcome = run_target_phase(ranger, Some(&bin.image), None, &cfg());
+    assert!(!outcome.prediction.ready());
+    assert_eq!(
+        outcome.prediction.first_failure().unwrap().determinant,
+        Determinant::CLibrary
+    );
+    // The report names both versions.
+    let detail = &outcome.prediction.first_failure().unwrap().detail;
+    assert!(detail.contains("GLIBC_2.12"), "detail: {detail}");
+    assert!(detail.contains("GLIBC_2.3.4"), "detail: {detail}");
+}
+
+#[test]
+fn mpich2_binary_not_ready_where_mpich2_absent() {
+    // Blacklight only has Open MPI; an MPICH2 binary is rejected at the
+    // MPI-stack determinant (Table I identification at work).
+    let sites = standard_sites(101);
+    let fir = &sites[FIR];
+    let blacklight = &sites[BLACKLIGHT];
+    let stack = fir
+        .stacks
+        .iter()
+        .find(|s| s.stack.ident().starts_with("mpich2") && s.stack.ident().contains("gnu"))
+        .unwrap()
+        .clone();
+    let bin = compile(fir, Some(&stack), &ProgramSpec::new("is", Language::C), 5).unwrap();
+    let outcome = run_target_phase(blacklight, Some(&bin.image), None, &cfg());
+    assert!(!outcome.prediction.ready());
+    let fail = outcome.prediction.first_failure().unwrap();
+    assert_eq!(fail.determinant, Determinant::MpiStack);
+    assert!(fail.detail.contains("MPICH2"), "detail: {}", fail.detail);
+}
+
+#[test]
+fn resolution_turns_missing_library_failure_into_success() {
+    // PGI binary from Fir at India (no PGI): fails naively, runs after
+    // FEAM stages the PGI runtime copies.
+    let sites = standard_sites(101);
+    let fir = &sites[FIR];
+    let india = &sites[INDIA];
+    let stack = fir
+        .stacks
+        .iter()
+        .find(|s| s.stack.ident() == "openmpi-1.4-pgi-10.9")
+        .unwrap()
+        .clone();
+    let bin = compile(fir, Some(&stack), &ProgramSpec::new("lu", Language::Fortran), 5).unwrap();
+
+    // Naive run fails with a missing PGI library.
+    let launcher = india
+        .stacks
+        .iter()
+        .find(|s| s.stack.mpi == feam::sim::mpi::MpiImpl::OpenMpi && s.functional)
+        .unwrap()
+        .clone();
+    let mut naive = Session::new(india);
+    naive.load_stack(&launcher);
+    naive.stage_file("/r/lu", bin.image.clone());
+    let before = run_mpi(&mut naive, "/r/lu", &launcher, 4, DEFAULT_ATTEMPTS);
+    assert!(!before.success);
+    assert_eq!(before.failure.unwrap().class(), "missing-library");
+
+    // Extended FEAM predicts ready and the plan actually works.
+    let bundle = run_source_phase(fir, &bin.image, &cfg()).unwrap();
+    assert!(bundle.libraries.keys().any(|k| k.starts_with("libpgf90")));
+    let outcome = run_target_phase(india, Some(&bin.image), Some(&bundle), &cfg());
+    assert!(
+        outcome.prediction.ready(),
+        "resolution must make this ready: {:?}",
+        outcome.prediction.first_failure()
+    );
+    let res = outcome.evaluation.resolution.as_ref().unwrap();
+    assert!(res.complete());
+    assert!(res.staged_count() >= 3, "several PGI libs staged");
+    let plan = &outcome.evaluation.plan;
+    let launcher = india.stacks[plan.stack_index.unwrap()].clone();
+    let mut after = plan.apply(india);
+    after.stage_file("/r/lu", bin.image.clone());
+    assert!(run_mpi(&mut after, "/r/lu", &launcher, 4, DEFAULT_ATTEMPTS).success);
+}
+
+#[test]
+fn transported_hello_world_detects_fpe_that_basic_misses() {
+    // Blacklight gcc-4.4.3 binaries raise FPE at Fir. Basic prediction
+    // (native hello world, compiled with Fir's own compilers) misses it;
+    // extended prediction (transported hello world, compiled with the
+    // app's runtime) catches it.
+    let sites = standard_sites(101);
+    let blacklight = &sites[BLACKLIGHT];
+    let fir = &sites[FIR];
+    let stack = blacklight
+        .stacks
+        .iter()
+        .find(|s| s.stack.ident().contains("gnu"))
+        .unwrap()
+        .clone();
+    let mut prog = ProgramSpec::new("mg", Language::Fortran);
+    prog.glibc_appetite = 0.0; // keep the C-library determinant out of the way
+    let bin = compile(blacklight, Some(&stack), &prog, 5).unwrap();
+
+    let basic = run_target_phase(fir, Some(&bin.image), None, &cfg());
+    assert_eq!(basic.prediction.mode, PredictionMode::Basic);
+    assert!(
+        basic.prediction.ready(),
+        "basic misses the FPE: {:?}",
+        basic.prediction.first_failure()
+    );
+    // Ground truth: it actually fails with SIGFPE.
+    let plan = &basic.evaluation.plan;
+    let launcher = fir.stacks[plan.stack_index.unwrap()].clone();
+    let mut sess = plan.apply(fir);
+    sess.stage_file("/r/mg", bin.image.clone());
+    let truth = run_mpi(&mut sess, "/r/mg", &launcher, 4, DEFAULT_ATTEMPTS);
+    assert!(!truth.success);
+    assert_eq!(truth.failure.unwrap().class(), "floating-point-exception");
+
+    let bundle = run_source_phase(blacklight, &bin.image, &cfg()).unwrap();
+    let extended = run_target_phase(fir, Some(&bin.image), Some(&bundle), &cfg());
+    assert!(!extended.prediction.ready(), "extended catches the FPE via transported hello world");
+    assert_eq!(
+        extended.prediction.first_failure().unwrap().determinant,
+        Determinant::MpiStack
+    );
+}
+
+#[test]
+fn misconfigured_stack_detected_by_native_hello_world() {
+    // India's mvapich2-gnu stack is advertised but unusable; FEAM's
+    // hello-world functional test routes around it (and when no other
+    // MVAPICH2+gnu candidate works, falls back to the intel one).
+    let sites = standard_sites(101);
+    let india = &sites[INDIA];
+    let broken = india.stacks.iter().find(|s| !s.functional).unwrap();
+    assert_eq!(broken.stack.mpi, feam::sim::mpi::MpiImpl::Mvapich2);
+    let fir = &sites[FIR];
+    let stack = fir
+        .stacks
+        .iter()
+        .find(|s| s.stack.ident().starts_with("mvapich2") && s.stack.ident().contains("gnu"))
+        .unwrap()
+        .clone();
+    let bin = compile(fir, Some(&stack), &ProgramSpec::new("ep", Language::Fortran), 5).unwrap();
+    let outcome = run_target_phase(india, Some(&bin.image), None, &cfg());
+    // The broken stack appears in the test log as non-functioning.
+    let broken_test = outcome
+        .evaluation
+        .stack_tests
+        .iter()
+        .find(|t| t.stack_ident == broken.stack.ident());
+    if let Some(t) = broken_test {
+        assert!(!t.native_ok, "misconfigured stack must fail its hello-world test");
+    }
+    // Whatever stack FEAM ends up choosing, it is not the broken one.
+    if let Some(chosen) = &outcome.evaluation.plan.stack_ident {
+        assert_ne!(chosen, &broken.stack.ident());
+    }
+}
+
+#[test]
+fn phase_outputs_are_deterministic() {
+    let sites_a = standard_sites(77);
+    let sites_b = standard_sites(77);
+    let stack_a = sites_a[RANGER].stacks[0].clone();
+    let stack_b = sites_b[RANGER].stacks[0].clone();
+    let bin_a =
+        compile(&sites_a[RANGER], Some(&stack_a), &ProgramSpec::new("bt", Language::Fortran), 3)
+            .unwrap();
+    let bin_b =
+        compile(&sites_b[RANGER], Some(&stack_b), &ProgramSpec::new("bt", Language::Fortran), 3)
+            .unwrap();
+    assert_eq!(bin_a.image, bin_b.image);
+    let o_a = run_target_phase(&sites_a[INDIA], Some(&bin_a.image), None, &cfg());
+    let o_b = run_target_phase(&sites_b[INDIA], Some(&bin_b.image), None, &cfg());
+    assert_eq!(o_a.prediction.ready(), o_b.prediction.ready());
+    assert_eq!(o_a.evaluation.plan.stack_ident, o_b.evaluation.plan.stack_ident);
+}

@@ -1,0 +1,305 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants that the whole reproduction rests on.
+
+use feam::elf::{
+    Class, DefinedVersion, ElfFile, ElfSpec, Endian, ExportSpec, FileKind, ImportSpec, Machine,
+    Soname, VersionName,
+};
+use proptest::prelude::*;
+
+// ---------- generators -----------------------------------------------------
+
+fn arb_soname_text() -> impl Strategy<Value = String> {
+    ("[a-z][a-z0-9_]{1,12}", proptest::collection::vec(0u32..50, 0..3))
+        .prop_map(|(base, nums)| {
+            let mut s = format!("lib{base}.so");
+            for n in nums {
+                s.push_str(&format!(".{n}"));
+            }
+            s
+        })
+}
+
+fn arb_version_name() -> impl Strategy<Value = String> {
+    ("[A-Z]{2,8}", proptest::collection::vec(0u32..30, 1..4)).prop_map(|(pfx, nums)| {
+        let parts: Vec<String> = nums.iter().map(u32::to_string).collect();
+        format!("{pfx}_{}", parts.join("."))
+    })
+}
+
+fn arb_symbol() -> impl Strategy<Value = String> {
+    "[a-zA-Z_][a-zA-Z0-9_]{0,20}".prop_map(|s| s)
+}
+
+fn arb_machine() -> impl Strategy<Value = Machine> {
+    prop_oneof![
+        Just(Machine::X86_64),
+        Just(Machine::X86),
+        Just(Machine::Ppc),
+        Just(Machine::Ppc64),
+        Just(Machine::Aarch64),
+    ]
+}
+
+fn arb_class_endian() -> impl Strategy<Value = (Class, Endian)> {
+    prop_oneof![
+        Just((Class::Elf64, Endian::Little)),
+        Just((Class::Elf32, Endian::Little)),
+        Just((Class::Elf64, Endian::Big)),
+        Just((Class::Elf32, Endian::Big)),
+    ]
+}
+
+prop_compose! {
+    fn arb_spec()(
+        (class, endian) in arb_class_endian(),
+        machine in arb_machine(),
+        is_lib in any::<bool>(),
+        soname in arb_soname_text(),
+        needed in proptest::collection::vec(arb_soname_text(), 0..6),
+        import_syms in proptest::collection::vec((arb_symbol(), arb_version_name()), 0..6),
+        export_syms in proptest::collection::vec((arb_symbol(), proptest::option::of(arb_version_name())), 0..6),
+        comments in proptest::collection::vec("[ -~]{1,40}", 0..3),
+        text_size in 1usize..4096,
+    ) -> ElfSpec {
+        let mut spec = if is_lib {
+            ElfSpec::shared_library(&soname, machine, class)
+        } else {
+            ElfSpec::executable(machine, class)
+        };
+        spec.endian = endian;
+        spec.needed = needed;
+        spec.imports = import_syms
+            .into_iter()
+            .map(|(sym, ver)| ImportSpec::versioned(&sym, "libc.so.6", &ver))
+            .collect();
+        if is_lib {
+            spec.exports = export_syms
+                .into_iter()
+                .map(|(sym, ver)| ExportSpec::new(&sym, ver.as_deref()))
+                .collect();
+        }
+        spec.comments = comments;
+        spec.text_size = text_size;
+        spec
+    }
+}
+
+// ---------- ELF build → parse round-trip ------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn build_parse_round_trip(spec in arb_spec()) {
+        let bytes = spec.build().expect("arbitrary spec builds");
+        let f = ElfFile::parse(&bytes).expect("built image parses");
+        prop_assert_eq!(f.class(), spec.class);
+        prop_assert_eq!(f.machine(), spec.machine);
+        prop_assert_eq!(f.kind(), spec.kind);
+        // NEEDED preserved in order, with import/extra-ref providers appended.
+        let needed = f.needed();
+        for (i, n) in spec.needed.iter().enumerate() {
+            prop_assert_eq!(&needed[i], n);
+        }
+        if spec.kind == FileKind::SharedObject {
+            prop_assert_eq!(f.soname(), spec.soname.as_deref());
+        }
+        // Every import appears as an undefined dynamic symbol with its
+        // version binding intact.
+        for imp in &spec.imports {
+            let found = f
+                .dynamic_symbols()
+                .iter()
+                .any(|s| s.undefined && s.name == imp.symbol && s.version == imp.version);
+            prop_assert!(found, "import {} lost", imp.symbol);
+        }
+        // Comments survive byte-exactly (deduplicated).
+        for c in &spec.comments {
+            prop_assert!(f.comments().contains(c));
+        }
+    }
+
+    #[test]
+    fn segment_route_agrees_with_section_route(spec in arb_spec()) {
+        // Parsing via PT_DYNAMIC (stripped binary) must agree with the
+        // section route on the dynamic facts FEAM relies on.
+        let mut bytes = spec.build().expect("builds");
+        let f_sections = ElfFile::parse(&bytes).expect("parses");
+        let sec_needed: Vec<String> = f_sections.needed().to_vec();
+        let sec_glibc = f_sections.required_glibc();
+        // Zero out the section header info in the ELF header.
+        let e = spec.endian;
+        match spec.class {
+            Class::Elf64 => {
+                e.set_u64(&mut bytes, 40, 0);
+                e.set_u16(&mut bytes, 60, 0);
+                e.set_u16(&mut bytes, 62, 0);
+            }
+            Class::Elf32 => {
+                e.set_u32(&mut bytes, 32, 0);
+                e.set_u16(&mut bytes, 48, 0);
+                e.set_u16(&mut bytes, 50, 0);
+            }
+        }
+        let f_segments = ElfFile::parse(&bytes).expect("stripped image parses");
+        prop_assert!(f_segments.sections().is_empty());
+        prop_assert_eq!(f_segments.needed(), sec_needed.as_slice());
+        prop_assert_eq!(f_segments.required_glibc(), sec_glibc);
+    }
+
+    #[test]
+    fn parser_never_panics_on_mutations(spec in arb_spec(), flips in proptest::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 1..16)) {
+        // Corrupting arbitrary bytes must yield Ok or Err, never a panic.
+        let mut bytes = spec.build().expect("builds");
+        for (idx, val) in flips {
+            let i = idx.index(bytes.len());
+            bytes[i] = val;
+        }
+        let _ = ElfFile::parse(&bytes);
+    }
+
+    #[test]
+    fn parser_never_panics_on_random_input(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = ElfFile::parse(&data);
+    }
+}
+
+// ---------- Soname and version-name invariants ------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn soname_display_parse_round_trip(name in arb_soname_text()) {
+        let parsed = Soname::parse(&name).expect("generated sonames parse");
+        prop_assert_eq!(parsed.to_string(), name.clone());
+        // Compatibility is reflexive.
+        prop_assert!(parsed.api_compatible_with(&parsed));
+        prop_assert!(parsed.loader_matches(&parsed));
+    }
+
+    #[test]
+    fn soname_major_rule_is_exact(base in "[a-z]{2,8}", a in 0u32..20, b in 0u32..20) {
+        let x = Soname::parse(&format!("lib{base}.so.{a}")).unwrap();
+        let y = Soname::parse(&format!("lib{base}.so.{b}.1")).unwrap();
+        prop_assert_eq!(x.api_compatible_with(&y), a == b);
+    }
+
+    #[test]
+    fn version_name_render_parse_round_trip(name in arb_version_name()) {
+        let v = VersionName::parse(&name).expect("generated names parse");
+        prop_assert_eq!(v.render(), name.clone());
+        let again = VersionName::parse(&v.render()).unwrap();
+        prop_assert_eq!(v, again);
+    }
+
+    #[test]
+    fn version_ordering_is_total_within_prefix(
+        nums_a in proptest::collection::vec(0u32..50, 1..4),
+        nums_b in proptest::collection::vec(0u32..50, 1..4),
+    ) {
+        let a = VersionName { prefix: "GLIBC".into(), numbers: nums_a };
+        let b = VersionName { prefix: "GLIBC".into(), numbers: nums_b };
+        let ab = a.cmp_same_prefix(&b).unwrap();
+        let ba = b.cmp_same_prefix(&a).unwrap();
+        prop_assert_eq!(ab, ba.reverse());
+        if ab == std::cmp::Ordering::Equal {
+            prop_assert_eq!(a.numbers, b.numbers);
+        }
+    }
+}
+
+// ---------- VFS path invariants ----------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn vfs_normalize_is_idempotent(path in "(/?[a-z.]{0,8}){0,8}") {
+        let once = feam::sim::vfs::normalize(&path);
+        let twice = feam::sim::vfs::normalize(&once);
+        prop_assert_eq!(&once, &twice);
+        prop_assert!(once.starts_with('/'));
+        prop_assert!(!once.contains("//"));
+        prop_assert!(!once.contains("/./"));
+    }
+
+    #[test]
+    fn vfs_write_read_round_trip(segments in proptest::collection::vec("[a-z]{1,8}", 1..6), content in "[ -~]{0,64}") {
+        let mut fs = feam::sim::Vfs::new();
+        let path = format!("/{}", segments.join("/"));
+        fs.write_text(&path, content.clone());
+        prop_assert_eq!(fs.read_text(&path).unwrap(), content.as_str());
+        // Every ancestor directory exists.
+        let mut dir = String::new();
+        for seg in &segments[..segments.len() - 1] {
+            dir.push('/');
+            dir.push_str(seg);
+            prop_assert!(fs.exists(&dir), "missing ancestor {dir}");
+        }
+    }
+}
+
+// ---------- prediction-model invariants ---------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn c_library_rule_monotone(
+        req in proptest::collection::vec(0u32..30, 1..3),
+        have_lo in proptest::collection::vec(0u32..30, 1..3),
+    ) {
+        use feam::core::predict::c_library_compatible;
+        let required = VersionName { prefix: "GLIBC".into(), numbers: req.clone() };
+        let target = VersionName { prefix: "GLIBC".into(), numbers: have_lo.clone() };
+        let compat = c_library_compatible(Some(&required), Some(&target));
+        // Compatible iff target >= required — cross-check with ordering.
+        let ge = target.cmp_same_prefix(&required).unwrap().is_ge();
+        prop_assert_eq!(compat, ge);
+    }
+
+    #[test]
+    fn verneed_encoding_round_trip(
+        refs in proptest::collection::vec(
+            (arb_soname_text(), proptest::collection::vec(arb_version_name(), 1..4)),
+            1..4
+        )
+    ) {
+        use feam::elf::versions::{encode_verneed, parse_verneed};
+        use feam::elf::{VersionRef, VersionRefEntry};
+        let mut idx = 2u16;
+        let mut input: Vec<VersionRef> = Vec::new();
+        for (file, names) in refs {
+            let mut versions = Vec::new();
+            let mut seen = std::collections::HashSet::new();
+            for n in names {
+                if seen.insert(n.clone()) {
+                    versions.push(VersionRefEntry { name: n, index: idx, weak: false });
+                    idx += 1;
+                }
+            }
+            if !input.iter().any(|r: &VersionRef| r.file == file) {
+                input.push(VersionRef { file, versions });
+            }
+        }
+        let mut st = feam::elf::strtab::StrTabBuilder::new();
+        let bytes = encode_verneed(&input, &mut st, Endian::Little);
+        let st_bytes = st.into_bytes();
+        let parsed = parse_verneed(
+            &bytes,
+            input.len(),
+            &feam::elf::strtab::StrTab::new(&st_bytes),
+            Endian::Little,
+        ).unwrap();
+        prop_assert_eq!(parsed, input);
+    }
+}
+
+// `DefinedVersion` is re-exported; silence unused-import pedantry by using it.
+#[test]
+fn defined_version_constructible() {
+    let d = DefinedVersion { name: "X_1.0".into(), parents: vec![] };
+    assert_eq!(d.name, "X_1.0");
+}
