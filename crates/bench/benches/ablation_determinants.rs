@@ -15,9 +15,19 @@ fn bench(c: &mut Criterion) {
     // model by more than noise — check the headline ones dropped.
     let full = a.full_nas;
     let clib = a.rows.iter().find(|(n, ..)| n == "CLibrary").unwrap();
-    let libs = a.rows.iter().find(|(n, ..)| n == "SharedLibraries").unwrap();
-    assert!(clib.1 <= full, "C-library determinant must carry weight on NAS");
-    assert!(libs.1 < full, "shared-library determinant must carry weight on NAS");
+    let libs = a
+        .rows
+        .iter()
+        .find(|(n, ..)| n == "SharedLibraries")
+        .unwrap();
+    assert!(
+        clib.1 <= full,
+        "C-library determinant must carry weight on NAS"
+    );
+    assert!(
+        libs.1 < full,
+        "shared-library determinant must carry weight on NAS"
+    );
 
     c.bench_function("ablation_compute", |b| {
         b.iter(|| black_box(ablation(black_box(&results))))

@@ -36,7 +36,9 @@ fn bench(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("elf");
     g.throughput(Throughput::Bytes(bytes.len() as u64));
-    g.bench_function("build_256k_binary", |b| b.iter(|| black_box(spec.build().unwrap())));
+    g.bench_function("build_256k_binary", |b| {
+        b.iter(|| black_box(spec.build().unwrap()))
+    });
     g.bench_function("parse_256k_binary", |b| {
         b.iter(|| black_box(ElfFile::parse(black_box(&bytes)).unwrap()))
     });

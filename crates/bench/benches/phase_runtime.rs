@@ -18,8 +18,13 @@ fn bench(c: &mut Criterion) {
     let ranger = &sites[RANGER];
     let india = &sites[INDIA];
     let stack = ranger.stacks[1].clone();
-    let bin = compile(ranger, Some(&stack), &ProgramSpec::new("bt", Language::Fortran), 42)
-        .unwrap();
+    let bin = compile(
+        ranger,
+        Some(&stack),
+        &ProgramSpec::new("bt", Language::Fortran),
+        42,
+    )
+    .unwrap();
     let bundle = run_source_phase(ranger, &bin.image, &cfg).unwrap();
     let outcome = run_target_phase(india, Some(&bin.image), Some(&bundle), &cfg);
     println!(
@@ -37,7 +42,14 @@ fn bench(c: &mut Criterion) {
         b.iter(|| black_box(run_target_phase(india, Some(&bin.image), None, &cfg)))
     });
     g.bench_function("target_phase_extended", |b| {
-        b.iter(|| black_box(run_target_phase(india, Some(&bin.image), Some(&bundle), &cfg)))
+        b.iter(|| {
+            black_box(run_target_phase(
+                india,
+                Some(&bin.image),
+                Some(&bundle),
+                &cfg,
+            ))
+        })
     });
     g.finish();
 }

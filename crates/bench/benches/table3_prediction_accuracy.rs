@@ -34,7 +34,14 @@ fn bench(c: &mut Criterion) {
         b.iter(|| black_box(run_target_phase(target, Some(&item.image), None, &cfg)))
     });
     g.bench_function("extended_target_phase", |b| {
-        b.iter(|| black_box(run_target_phase(target, Some(&item.image), Some(&bundle), &cfg)))
+        b.iter(|| {
+            black_box(run_target_phase(
+                target,
+                Some(&item.image),
+                Some(&bundle),
+                &cfg,
+            ))
+        })
     });
     g.finish();
 }

@@ -196,11 +196,18 @@ pub fn locate_library(sess: &Session<'_>, soname: &str) -> Option<String> {
         }
     }
     // find over common library locations and LD_LIBRARY_PATH entries.
-    let mut roots: Vec<String> =
-        vec!["/lib64".into(), "/usr/lib64".into(), "/lib".into(), "/usr/lib".into(), "/opt".into()];
+    let mut roots: Vec<String> = vec![
+        "/lib64".into(),
+        "/usr/lib64".into(),
+        "/lib".into(),
+        "/usr/lib".into(),
+        "/opt".into(),
+    ];
     roots.extend(sess.ld_library_path());
     let root_refs: Vec<&str> = roots.iter().map(String::as_str).collect();
-    tools::find_name(sess.site, &root_refs, soname).into_iter().next()
+    tools::find_name(sess.site, &root_refs, soname)
+        .into_iter()
+        .next()
 }
 
 /// Gather copies + descriptions of every shared library the binary at
@@ -241,11 +248,18 @@ pub fn collect_libraries(
             let Some(loc) = loc.or_else(|| locate_library(sess, &soname)) else {
                 continue; // not found even at the GEE; nothing to copy
             };
-            let Some(bytes) = sess.read_bytes(&loc) else { continue };
+            let Some(bytes) = sess.read_bytes(&loc) else {
+                continue;
+            };
             let description = BinaryDescription::from_bytes(&loc, &bytes)?;
             out.insert(
                 soname.clone(),
-                LibraryCopy { soname: soname.clone(), origin: loc.clone(), bytes, description },
+                LibraryCopy {
+                    soname: soname.clone(),
+                    origin: loc.clone(),
+                    bytes,
+                    description,
+                },
             );
             pending.push(loc);
         }
@@ -274,26 +288,38 @@ mod tests {
             "libibumad.so.3",
             "libc.so.6",
         ]);
-        assert_eq!(identify_mpi(&needed), MpiIdentification::Identified(MpiImpl::Mvapich2));
+        assert_eq!(
+            identify_mpi(&needed),
+            MpiIdentification::Identified(MpiImpl::Mvapich2)
+        );
     }
 
     #[test]
     fn table_one_mpich2_signature() {
         let needed = v(&["libmpich.so.1.2", "libmpl.so.1", "libopa.so.1", "libc.so.6"]);
-        assert_eq!(identify_mpi(&needed), MpiIdentification::Identified(MpiImpl::Mpich2));
+        assert_eq!(
+            identify_mpi(&needed),
+            MpiIdentification::Identified(MpiImpl::Mpich2)
+        );
     }
 
     #[test]
     fn table_one_openmpi_signature() {
         let needed = v(&["libmpi.so.0", "libnsl.so.1", "libutil.so.1", "libc.so.6"]);
-        assert_eq!(identify_mpi(&needed), MpiIdentification::Identified(MpiImpl::OpenMpi));
+        assert_eq!(
+            identify_mpi(&needed),
+            MpiIdentification::Identified(MpiImpl::OpenMpi)
+        );
     }
 
     #[test]
     fn mpich_without_ib_is_not_mvapich() {
         // libibverbs alone (no libibumad) must not flip MPICH2 → MVAPICH2.
         let needed = v(&["libmpich.so.1.2", "libibverbs.so.1", "libc.so.6"]);
-        assert_eq!(identify_mpi(&needed), MpiIdentification::Identified(MpiImpl::Mpich2));
+        assert_eq!(
+            identify_mpi(&needed),
+            MpiIdentification::Identified(MpiImpl::Mpich2)
+        );
     }
 
     #[test]

@@ -58,7 +58,12 @@ impl SourceBundle {
 
     /// Total bundle size (libraries + hello worlds).
     pub fn total_bytes(&self) -> usize {
-        self.library_bytes() + self.hello_worlds.iter().map(|h| h.image.len()).sum::<usize>()
+        self.library_bytes()
+            + self
+                .hello_worlds
+                .iter()
+                .map(|h| h.image.len())
+                .sum::<usize>()
     }
 
     /// Serializable manifest (what a real FEAM writes next to the copies).

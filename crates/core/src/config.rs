@@ -63,7 +63,10 @@ impl ConfigFile {
             let key = key.trim();
             let value = value.trim();
             if key.is_empty() {
-                return Err(ConfigError { line: i + 1, message: "empty key".into() });
+                return Err(ConfigError {
+                    line: i + 1,
+                    message: "empty key".into(),
+                });
             }
             if entries.insert(key.to_string(), value.to_string()).is_some() {
                 return Err(ConfigError {
@@ -189,6 +192,9 @@ mpiexec.mpich2  = mpiexec.hydra
         let cf = ConfigFile::parse("future_knob = on\nnprocs = 2\n").unwrap();
         let cfg = cf.to_phase_config().unwrap();
         assert_eq!(cfg.nprocs, 2);
-        assert_eq!(cf.entries.get("future_knob").map(String::as_str), Some("on"));
+        assert_eq!(
+            cf.entries.get("future_knob").map(String::as_str),
+            Some("on")
+        );
     }
 }

@@ -76,7 +76,10 @@ pub struct EnvironmentDescription {
 impl EnvironmentDescription {
     /// Discovered stacks of one MPI implementation.
     pub fn stacks_of(&self, mpi: MpiImpl) -> Vec<&DiscoveredStack> {
-        self.available_stacks.iter().filter(|s| s.mpi == mpi).collect()
+        self.available_stacks
+            .iter()
+            .filter(|s| s.mpi == mpi)
+            .collect()
     }
 }
 
@@ -121,7 +124,9 @@ pub fn parse_stack_ident(ident: &str) -> Option<(MpiImpl, String, String, String
     };
     // Compiler tag is the first part that names a family; version pieces
     // may themselves contain '-'-free dotted text.
-    let comp_idx = parts.iter().position(|p| matches!(*p, "gnu" | "intel" | "pgi"))?;
+    let comp_idx = parts
+        .iter()
+        .position(|p| matches!(*p, "gnu" | "intel" | "pgi"))?;
     if comp_idx < 2 || comp_idx + 1 >= parts.len() {
         return None;
     }
@@ -193,12 +198,18 @@ fn discover_stacks(site: &Site) -> (Option<DiscoveryMethod>, Vec<DiscoveredStack
     };
     for path in candidates {
         // e.g. /opt/openmpi-1.4.3-intel-11.1/lib/libmpi.so.0
-        let Some(rest) = path.strip_prefix("/opt/") else { continue };
-        let Some(leaf) = rest.split('/').next() else { continue };
+        let Some(rest) = path.strip_prefix("/opt/") else {
+            continue;
+        };
+        let Some(leaf) = rest.split('/').next() else {
+            continue;
+        };
         if !seen.insert(leaf.to_string()) {
             continue;
         }
-        let Some((mpi, mv, comp, cv)) = parse_stack_ident(leaf) else { continue };
+        let Some((mpi, mv, comp, cv)) = parse_stack_ident(leaf) else {
+            continue;
+        };
         let prefix = format!("/opt/{leaf}");
         if tools::wrapper_info(site, &format!("{prefix}/bin/mpicc")).is_none() {
             continue;
@@ -238,15 +249,18 @@ pub fn discover(sess: &mut Session<'_>) -> EnvironmentDescription {
     let (env_mgmt, available_stacks) = discover_stacks(site);
     let loaded_stack = tools::module_list(sess)
         .and_then(|l| l.into_iter().next())
-        .or_else(|| sess.env.get("LOADEDMODULES").cloned().filter(|s| !s.is_empty()));
+        .or_else(|| {
+            sess.env
+                .get("LOADEDMODULES")
+                .cloned()
+                .filter(|s| !s.is_empty())
+        });
     EnvironmentDescription {
         isa,
         arch,
         os,
         c_library,
-        env_mgmt: env_mgmt.or_else(|| {
-            available_stacks.first().map(|s| s.via)
-        }),
+        env_mgmt: env_mgmt.or_else(|| available_stacks.first().map(|s| s.via)),
         available_stacks,
         loaded_stack,
     }
@@ -275,7 +289,9 @@ pub fn missing_libraries(sess: &mut Session<'_>, path: &str) -> Vec<String> {
                 // additionally searches common locations before declaring
                 // it missing (a found-but-unconfigured library is handled
                 // by emitting LD_LIBRARY_PATH configuration, not copies).
-                crate::bdc::locate_library(sess, &soname).is_none().then_some(soname)
+                crate::bdc::locate_library(sess, &soname)
+                    .is_none()
+                    .then_some(soname)
             })
             .collect(),
         LddResult::NotRecognized | LddResult::NotPresent => {
@@ -311,7 +327,10 @@ pub fn extra_lib_dirs(sess: &mut Session<'_>, needed: &[String]) -> Vec<String> 
         if crate::bdc::is_c_library(so) {
             continue;
         }
-        if visible_dirs.iter().any(|d| sess.exists(&format!("{d}/{so}"))) {
+        if visible_dirs
+            .iter()
+            .any(|d| sess.exists(&format!("{d}/{so}")))
+        {
             continue;
         }
         if let Some(path) = crate::bdc::locate_library(sess, so) {
@@ -403,7 +422,10 @@ mod tests {
         let ist = ranger.stacks[0].clone();
         sess.load_stack(&ist);
         let env = discover(&mut sess);
-        assert_eq!(env.loaded_stack.as_deref(), Some(ist.stack.ident().as_str()));
+        assert_eq!(
+            env.loaded_stack.as_deref(),
+            Some(ist.stack.ident().as_str())
+        );
     }
 
     #[test]

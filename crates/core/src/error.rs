@@ -38,7 +38,11 @@ mod tests {
 
     #[test]
     fn display_mentions_cause() {
-        assert!(FeamError::BinaryUnreadable("x".into()).to_string().contains("x"));
-        assert!(FeamError::MissingInput("bundle").to_string().contains("bundle"));
+        assert!(FeamError::BinaryUnreadable("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(FeamError::MissingInput("bundle")
+            .to_string()
+            .contains("bundle"));
     }
 }

@@ -13,7 +13,7 @@ use crate::bundle::{HelloWorldProbe, SourceBundle};
 use crate::edc::{self, EnvironmentDescription};
 use crate::error::{FeamError, Result};
 use crate::tec::{self, TargetEvaluation};
-use feam_sim::compile::{compile, ProgramSpec};
+use feam_sim::compile::{compile_traced, ProgramSpec};
 use feam_sim::site::{Session, Site};
 use feam_sim::toolchain::Language;
 use std::sync::Arc;
@@ -43,6 +43,9 @@ pub struct PhaseConfig {
     /// Ablation switch: skip the resolution model even when a bundle is
     /// available (isolates what library copies contribute).
     pub disable_resolution: bool,
+    /// Trace/metrics recorder threaded through both phases. Defaults to
+    /// the disabled recorder, which costs one branch per call site.
+    pub recorder: feam_obs::Recorder,
 }
 
 impl Default for PhaseConfig {
@@ -56,6 +59,7 @@ impl Default for PhaseConfig {
             seed: 0xFEA4,
             disable_transported_tests: false,
             disable_resolution: false,
+            recorder: feam_obs::Recorder::disabled(),
         }
     }
 }
@@ -74,6 +78,9 @@ pub struct TargetOutcome {
     pub binary: BinaryDescription,
     /// Simulated CPU seconds for the whole phase (§VI.C: "< 5 minutes").
     pub cpu_seconds: f64,
+    /// Metrics accumulated by `PhaseConfig::recorder` up to the moment the
+    /// phase returned (empty when the recorder is disabled).
+    pub telemetry: feam_obs::TelemetrySnapshot,
 }
 
 /// Run the source phase at a guaranteed execution environment.
@@ -86,11 +93,19 @@ pub fn run_source_phase(
     binary: &Arc<Vec<u8>>,
     cfg: &PhaseConfig,
 ) -> Result<SourceBundle> {
-    let mut sess = Session::new(gee);
+    let rec = cfg.recorder.clone();
+    let _phase_span = rec.span("source_phase");
+    let mut sess = Session::with_recorder(gee, rec.clone());
     let app_path = "/home/user/feam/source_app.bin";
     sess.stage_file(app_path, binary.clone());
-    let app = BinaryDescription::from_session(&sess, app_path)?;
-    let gee_env = edc::discover(&mut sess);
+    let app = {
+        let _span = rec.span("bdc");
+        BinaryDescription::from_session(&sess, app_path)?
+    };
+    let gee_env = {
+        let _span = rec.span("edc");
+        edc::discover(&mut sess)
+    };
 
     // Match the application to a GEE stack: same MPI implementation and,
     // when derivable from the .comment provenance, the same compiler
@@ -102,11 +117,7 @@ pub fn run_source_phase(
     let candidates = gee_env.stacks_of(imp);
     let chosen = candidates
         .iter()
-        .find(|c| {
-            comp_family
-                .map(|f| c.compiler == f.tag())
-                .unwrap_or(true)
-        })
+        .find(|c| comp_family.map(|f| c.compiler == f.tag()).unwrap_or(true))
         .or_else(|| candidates.first())
         .cloned()
         .cloned();
@@ -127,13 +138,22 @@ pub fn run_source_phase(
 
     // Confirm the loaded stack matches what the BDC found (§V.B) by
     // running the app's own dependency scan under it, then collect copies.
-    let libraries = bdc::collect_libraries(&mut sess, app_path)?;
+    let libraries = {
+        let _span = rec.span("bdc.collect_libraries");
+        bdc::collect_libraries(&mut sess, app_path)?
+    };
 
     // Compile hello worlds with the application's stack for transport.
     let mut hello_worlds = Vec::new();
     for lang in [Language::C, app_language(&app)] {
         sess.charge(12.0);
-        if let Ok(hello) = compile(gee, Some(ist), &ProgramSpec::mpi_hello_world(lang), cfg.seed) {
+        if let Ok(hello) = compile_traced(
+            &rec,
+            gee,
+            Some(ist),
+            &ProgramSpec::mpi_hello_world(lang),
+            cfg.seed,
+        ) {
             if hello_worlds
                 .iter()
                 .all(|h: &HelloWorldProbe| h.language != lang)
@@ -188,48 +208,61 @@ pub fn run_target_phase(
     bundle: Option<&SourceBundle>,
     cfg: &PhaseConfig,
 ) -> TargetOutcome {
-    let mut sess = Session::new(target);
-    let environment = edc::discover(&mut sess);
+    let rec = cfg.recorder.clone();
+    let phase_span = rec.span("target_phase");
+    let mut sess = Session::with_recorder(target, rec.clone());
+    let environment = {
+        let _span = rec.span("edc");
+        edc::discover(&mut sess)
+    };
     let description: BinaryDescription = match (binary, bundle) {
         (Some(image), _) => {
+            let _span = rec.span("bdc");
             sess.stage_file(tec::APP_PATH, (*image).clone());
             BinaryDescription::from_session(&sess, tec::APP_PATH)
                 .expect("staged binary must be describable")
         }
-        (None, Some(b)) => b.app.clone(),
+        (None, Some(b)) => {
+            let _span = rec.span("bdc");
+            b.app.clone()
+        }
         (None, None) => {
             // Nothing to evaluate; produce an empty negative outcome.
-            let mut prediction = crate::predict::Prediction::new(
-                crate::predict::PredictionMode::Basic,
-            );
+            let mut prediction =
+                crate::predict::Prediction::new(crate::predict::PredictionMode::Basic);
             prediction.record(
                 crate::predict::Determinant::Isa,
                 false,
                 "no binary and no bundle provided",
             );
-            return TargetOutcome {
+            let evaluation = TargetEvaluation {
                 prediction: prediction.clone(),
-                evaluation: TargetEvaluation {
-                    prediction,
-                    plan: Default::default(),
-                    resolution: None,
-                    stack_tests: Vec::new(),
-                    cpu_seconds: sess.cpu_seconds,
-                },
+                plan: Default::default(),
+                resolution: None,
+                stack_tests: Vec::new(),
+                cpu_seconds: sess.cpu_seconds,
+            };
+            drop(phase_span);
+            return TargetOutcome {
+                prediction,
+                evaluation,
                 environment,
                 binary: empty_description(),
                 cpu_seconds: sess.cpu_seconds,
+                telemetry: rec.snapshot(),
             };
         }
     };
     let evaluation = tec::evaluate(target, &description, binary, &environment, bundle, cfg);
     let cpu_seconds = sess.cpu_seconds + evaluation.cpu_seconds;
+    drop(phase_span);
     TargetOutcome {
         prediction: evaluation.prediction.clone(),
         evaluation,
         environment,
         binary: description,
         cpu_seconds,
+        telemetry: rec.snapshot(),
     }
 }
 
@@ -264,9 +297,14 @@ mod tests {
     fn build_at(sites: &[feam_sim::site::Site], site_idx: usize, stack_idx: usize) -> Arc<Vec<u8>> {
         let site = &sites[site_idx];
         let ist = site.stacks[stack_idx].clone();
-        sim_compile(site, Some(&ist), &ProgramSpec::new("bt", Language::Fortran), 99)
-            .unwrap()
-            .image
+        sim_compile(
+            site,
+            Some(&ist),
+            &ProgramSpec::new("bt", Language::Fortran),
+            99,
+        )
+        .unwrap()
+        .image
     }
 
     #[test]
@@ -281,7 +319,10 @@ mod tests {
         assert!(!bundle.libraries.contains_key("libc.so.6"));
         // MPI and Fortran runtime copies are present.
         assert!(bundle.libraries.keys().any(|k| k.starts_with("libmpi")));
-        assert!(bundle.libraries.keys().any(|k| k.starts_with("libgfortran")));
+        assert!(bundle
+            .libraries
+            .keys()
+            .any(|k| k.starts_with("libgfortran")));
         // Hello worlds: C plus the app's Fortran.
         assert!(bundle.hello_world(Language::C).is_some());
         assert!(bundle.hello_world(Language::Fortran).is_some());
@@ -294,7 +335,9 @@ mod tests {
     fn source_phase_rejects_non_mpi_binary() {
         let sites = standard_sites(23);
         let fir = &sites[FIR];
-        let img = sim_compile(fir, None, &ProgramSpec::serial_hello_world(), 1).unwrap().image;
+        let img = sim_compile(fir, None, &ProgramSpec::serial_hello_world(), 1)
+            .unwrap()
+            .image;
         assert!(matches!(
             run_source_phase(fir, &img, &PhaseConfig::default()),
             Err(FeamError::NotAnMpiBinary(_))
@@ -307,7 +350,10 @@ mod tests {
         let image = build_at(&sites, RANGER, 1); // openmpi-gnu at Ranger
         let india = &sites[INDIA];
         let outcome = run_target_phase(india, Some(&image), None, &PhaseConfig::default());
-        assert_eq!(outcome.prediction.mode, crate::predict::PredictionMode::Basic);
+        assert_eq!(
+            outcome.prediction.mode,
+            crate::predict::PredictionMode::Basic
+        );
         assert!(!outcome.prediction.verdicts.is_empty());
         assert!(outcome.cpu_seconds > 0.0);
         // Whatever the verdict, a best-effort plan names a stack (India has
@@ -323,16 +369,104 @@ mod tests {
         let bundle = run_source_phase(ranger, &image, &PhaseConfig::default()).unwrap();
         let india = &sites[INDIA];
         let outcome = run_target_phase(india, None, Some(&bundle), &PhaseConfig::default());
-        assert_eq!(outcome.prediction.mode, crate::predict::PredictionMode::Extended);
+        assert_eq!(
+            outcome.prediction.mode,
+            crate::predict::PredictionMode::Extended
+        );
         assert_eq!(outcome.binary.path, bundle.app.path);
     }
 
     #[test]
     fn target_phase_with_nothing_is_negative() {
         let sites = standard_sites(23);
-        let outcome =
-            run_target_phase(&sites[INDIA], None, None, &PhaseConfig::default());
+        let outcome = run_target_phase(&sites[INDIA], None, None, &PhaseConfig::default());
         assert!(!outcome.prediction.ready());
+    }
+
+    #[test]
+    fn traced_target_phase_emits_component_spans_in_order() {
+        let sites = standard_sites(23);
+        let image = build_at(&sites, RANGER, 1);
+        let (recorder, sink) = feam_obs::Recorder::memory();
+        let cfg = PhaseConfig {
+            recorder,
+            ..PhaseConfig::default()
+        };
+        let outcome = run_target_phase(&sites[INDIA], Some(&image), None, &cfg);
+
+        let events = sink.events();
+        let starts: Vec<&feam_obs::Event> = events
+            .iter()
+            .filter(|e| e.kind == feam_obs::EventKind::SpanStart)
+            .collect();
+        let start_of = |name: &str| {
+            let matching: Vec<&&feam_obs::Event> =
+                starts.iter().filter(|e| e.name == name).collect();
+            assert_eq!(
+                matching.len(),
+                1,
+                "exactly one {name} span, got {}",
+                matching.len()
+            );
+            *matching[0]
+        };
+
+        // Exactly one span per pipeline component, each a direct child of
+        // the phase span.
+        let phase = start_of("target_phase");
+        assert_eq!(phase.parent, None, "target_phase is the root span");
+        let edc = start_of("edc");
+        let bdc = start_of("bdc");
+        let tec = start_of("tec");
+        for child in [edc, bdc, tec] {
+            assert_eq!(
+                child.parent,
+                Some(phase.span),
+                "{} nests in target_phase",
+                child.name
+            );
+        }
+        // Components start in pipeline order: EDC, then BDC, then TEC.
+        assert!(edc.ts_us <= bdc.ts_us && bdc.ts_us <= tec.ts_us);
+
+        // Every span closed, with a duration.
+        for s in &starts {
+            let end = events
+                .iter()
+                .find(|e| e.kind == feam_obs::EventKind::SpanEnd && e.span == s.span)
+                .unwrap_or_else(|| panic!("span {} never closed", s.name));
+            assert!(end.dur_us.is_some(), "{} has a duration", s.name);
+            assert!(end.ts_us >= s.ts_us);
+        }
+
+        // The snapshot's per-span totals agree with the span tree: each
+        // name's count and summed duration match the span_end events.
+        for (name, stat) in &outcome.telemetry.spans {
+            let ends: Vec<u64> = events
+                .iter()
+                .filter(|e| e.kind == feam_obs::EventKind::SpanEnd && &e.name == name)
+                .map(|e| e.dur_us.unwrap())
+                .collect();
+            assert_eq!(stat.count, ends.len() as u64, "span count for {name}");
+            assert_eq!(
+                stat.total_us,
+                ends.iter().sum::<u64>(),
+                "span total for {name}"
+            );
+        }
+        // Children can't outlast their parent.
+        let phase_total = outcome.telemetry.spans["target_phase"].total_us;
+        for name in ["edc", "bdc", "tec"] {
+            assert!(outcome.telemetry.spans[name].total_us <= phase_total);
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_leaves_telemetry_empty() {
+        let sites = standard_sites(23);
+        let image = build_at(&sites, RANGER, 1);
+        let outcome = run_target_phase(&sites[INDIA], Some(&image), None, &PhaseConfig::default());
+        assert!(outcome.telemetry.is_empty(), "no recorder, no telemetry");
     }
 
     #[test]
@@ -344,9 +478,16 @@ mod tests {
         let image = build_at(&sites, RANGER, 0);
         let t0 = std::time::Instant::now();
         let bundle = run_source_phase(ranger, &image, &PhaseConfig::default()).unwrap();
-        let outcome =
-            run_target_phase(&sites[FIR], Some(&image), Some(&bundle), &PhaseConfig::default());
-        assert!(t0.elapsed().as_secs() < 300, "wall clock must stay far below 5 minutes");
+        let outcome = run_target_phase(
+            &sites[FIR],
+            Some(&image),
+            Some(&bundle),
+            &PhaseConfig::default(),
+        );
+        assert!(
+            t0.elapsed().as_secs() < 300,
+            "wall clock must stay far below 5 minutes"
+        );
         assert!(
             outcome.cpu_seconds < 300.0,
             "simulated CPU budget {} must stay below 5 minutes",

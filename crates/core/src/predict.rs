@@ -42,10 +42,25 @@ impl Determinant {
         }
     }
 
+    /// Stable short label, used in reports, metric names and trace events.
+    pub fn name(self) -> &'static str {
+        match self {
+            Determinant::Isa => "Isa",
+            Determinant::MpiStack => "MpiStack",
+            Determinant::CLibrary => "CLibrary",
+            Determinant::SharedLibraries => "SharedLibraries",
+        }
+    }
+
     /// All four, in evaluation order (§V.C: ISA and C library first, then
     /// MPI stack, then shared libraries).
     pub fn evaluation_order() -> [Determinant; 4] {
-        [Determinant::Isa, Determinant::CLibrary, Determinant::MpiStack, Determinant::SharedLibraries]
+        [
+            Determinant::Isa,
+            Determinant::CLibrary,
+            Determinant::MpiStack,
+            Determinant::SharedLibraries,
+        ]
     }
 }
 
@@ -80,12 +95,24 @@ pub struct Prediction {
 impl Prediction {
     /// Start an empty prediction.
     pub fn new(mode: PredictionMode) -> Self {
-        Prediction { mode, verdicts: Vec::new() }
+        Prediction {
+            mode,
+            verdicts: Vec::new(),
+        }
     }
 
     /// Record a verdict.
-    pub fn record(&mut self, determinant: Determinant, compatible: bool, detail: impl Into<String>) {
-        self.verdicts.push(DeterminantVerdict { determinant, compatible, detail: detail.into() });
+    pub fn record(
+        &mut self,
+        determinant: Determinant,
+        compatible: bool,
+        detail: impl Into<String>,
+    ) {
+        self.verdicts.push(DeterminantVerdict {
+            determinant,
+            compatible,
+            detail: detail.into(),
+        });
     }
 
     /// Ready iff every evaluated determinant is compatible.
@@ -108,17 +135,11 @@ pub fn isa_compatible(target: HostArch, machine: Machine, class: Class) -> bool 
 /// A binary without versioned C library references is compatible with any
 /// target; a target whose C library version could not be discovered is
 /// treated as incompatible (no basis for a positive claim).
-pub fn c_library_compatible(
-    required: Option<&VersionName>,
-    target: Option<&VersionName>,
-) -> bool {
+pub fn c_library_compatible(required: Option<&VersionName>, target: Option<&VersionName>) -> bool {
     match (required, target) {
         (None, _) => true,
         (Some(_), None) => false,
-        (Some(req), Some(t)) => t
-            .cmp_same_prefix(req)
-            .map(|o| o.is_ge())
-            .unwrap_or(false),
+        (Some(req), Some(t)) => t.cmp_same_prefix(req).map(|o| o.is_ge()).unwrap_or(false),
     }
 }
 
@@ -141,7 +162,9 @@ mod tests {
         assert!(Determinant::Isa.question().contains("ISA"));
         assert!(Determinant::MpiStack.question().contains("MPI stack"));
         assert!(Determinant::CLibrary.question().contains("C library"));
-        assert!(Determinant::SharedLibraries.question().contains("shared libraries"));
+        assert!(Determinant::SharedLibraries
+            .question()
+            .contains("shared libraries"));
     }
 
     #[test]
@@ -151,9 +174,16 @@ mod tests {
         p.record(Determinant::Isa, true, "x86-64 on x86_64");
         p.record(Determinant::CLibrary, true, "GLIBC_2.3.4 <= GLIBC_2.5");
         assert!(p.ready());
-        p.record(Determinant::MpiStack, false, "no functioning Open MPI stack");
+        p.record(
+            Determinant::MpiStack,
+            false,
+            "no functioning Open MPI stack",
+        );
         assert!(!p.ready());
-        assert_eq!(p.first_failure().unwrap().determinant, Determinant::MpiStack);
+        assert_eq!(
+            p.first_failure().unwrap().determinant,
+            Determinant::MpiStack
+        );
     }
 
     #[test]
@@ -171,8 +201,14 @@ mod tests {
 
     #[test]
     fn shared_library_major_rule() {
-        assert!(shared_library_compatible("libgfortran.so.1", "libgfortran.so.1.0.0"));
-        assert!(!shared_library_compatible("libgfortran.so.1", "libgfortran.so.3"));
+        assert!(shared_library_compatible(
+            "libgfortran.so.1",
+            "libgfortran.so.1.0.0"
+        ));
+        assert!(!shared_library_compatible(
+            "libgfortran.so.1",
+            "libgfortran.so.3"
+        ));
         assert!(shared_library_compatible("libimf.so", "libimf.so"));
         assert!(!shared_library_compatible("libimf.so", "libsvml.so"));
     }
@@ -180,7 +216,11 @@ mod tests {
     #[test]
     fn isa_determinant_delegates_to_hardware_model() {
         assert!(isa_compatible(HostArch::X86_64, Machine::X86, Class::Elf32));
-        assert!(!isa_compatible(HostArch::X86_64, Machine::Ppc64, Class::Elf64));
+        assert!(!isa_compatible(
+            HostArch::X86_64,
+            Machine::Ppc64,
+            Class::Elf64
+        ));
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub fn report_json(outcome: &TargetOutcome) -> serde_json::Value {
             "setup_script": outcome.evaluation.plan.setup_script(),
         },
         "cpu_seconds": outcome.cpu_seconds,
+        "telemetry": outcome.telemetry.to_json(),
     })
 }
 
@@ -87,7 +88,10 @@ pub fn render_report(outcome: &TargetOutcome) -> String {
         let _ = writeln!(s, "---- resolution ----");
         for o in &res.outcomes {
             match o {
-                crate::resolve::LibraryResolution::Staged { soname, staged_path } => {
+                crate::resolve::LibraryResolution::Staged {
+                    soname,
+                    staged_path,
+                } => {
                     let _ = writeln!(s, "resolved {soname} -> {staged_path}");
                 }
                 crate::resolve::LibraryResolution::Failed { soname, reason } => {
@@ -100,7 +104,11 @@ pub fn render_report(outcome: &TargetOutcome) -> String {
     let _ = writeln!(
         s,
         "prediction: {}",
-        if outcome.prediction.ready() { "READY for execution" } else { "NOT ready" }
+        if outcome.prediction.ready() {
+            "READY for execution"
+        } else {
+            "NOT ready"
+        }
     );
     if outcome.prediction.ready() {
         let _ = writeln!(s, "---- setup script ----");
@@ -126,17 +134,27 @@ mod tests {
         let image = compile(ranger, Some(&ist), &ProgramSpec::new("is", Language::C), 4)
             .unwrap()
             .image;
-        let outcome =
-            run_target_phase(&sites[INDIA], Some(&image), None, &PhaseConfig::default());
+        let cfg = PhaseConfig {
+            recorder: feam_obs::Recorder::with_sink(Box::new(feam_obs::NullSink)),
+            ..PhaseConfig::default()
+        };
+        let outcome = run_target_phase(&sites[INDIA], Some(&image), None, &cfg);
         let j = report_json(&outcome);
         assert_eq!(j["ready"], outcome.prediction.ready());
         assert_eq!(j["mode"], "Basic");
         assert!(j["determinants"].as_array().unwrap().len() >= 2);
         assert!(j["target"]["stacks"].as_array().unwrap().len() >= 3);
+        // The enabled recorder's metrics ride along under "telemetry".
+        assert!(j["telemetry"]["spans"]["target_phase"]["count"].as_u64() == Some(1));
+        assert!(j["telemetry"]["spans"]["tec"]["count"].as_u64() == Some(1));
         // Round-trips through serde_json text.
         let text = serde_json::to_string(&j).unwrap();
         let back: serde_json::Value = serde_json::from_str(&text).unwrap();
         assert_eq!(back, j);
+        // And the telemetry subtree round-trips through the typed snapshot.
+        let snap_text = serde_json::to_string(&outcome.telemetry).unwrap();
+        let snap_back: feam_obs::TelemetrySnapshot = serde_json::from_str(&snap_text).unwrap();
+        assert_eq!(snap_back.to_json(), outcome.telemetry.to_json());
     }
 
     #[test]
@@ -144,12 +162,21 @@ mod tests {
         let sites = standard_sites(29);
         let ranger = &sites[RANGER];
         let ist = ranger.stacks[1].clone();
-        let image = compile(ranger, Some(&ist), &ProgramSpec::new("ep", Language::Fortran), 3)
-            .unwrap()
-            .image;
+        let image = compile(
+            ranger,
+            Some(&ist),
+            &ProgramSpec::new("ep", Language::Fortran),
+            3,
+        )
+        .unwrap()
+        .image;
         let bundle = run_source_phase(ranger, &image, &PhaseConfig::default()).unwrap();
-        let outcome =
-            run_target_phase(&sites[INDIA], Some(&image), Some(&bundle), &PhaseConfig::default());
+        let outcome = run_target_phase(
+            &sites[INDIA],
+            Some(&image),
+            Some(&bundle),
+            &PhaseConfig::default(),
+        );
         let report = render_report(&outcome);
         assert!(report.contains("FEAM target evaluation report"));
         assert!(report.contains("determinants"));

@@ -27,7 +27,10 @@ pub enum ResolutionFailure {
     /// The copy's C library requirement exceeds the target's C library
     /// (§VI.C: "shared libraries copies … required incompatible C library
     /// versions").
-    CLibraryIncompatible { required: String, target: Option<String> },
+    CLibraryIncompatible {
+        required: String,
+        target: Option<String>,
+    },
     /// A transitive dependency of the copy is missing and itself
     /// unresolvable.
     DependencyUnresolvable { dependency: String },
@@ -56,7 +59,10 @@ pub enum LibraryResolution {
     /// The copy is predicted usable and staged.
     Staged { soname: String, staged_path: String },
     /// Unresolvable, with the reason reported to the user.
-    Failed { soname: String, reason: ResolutionFailure },
+    Failed {
+        soname: String,
+        reason: ResolutionFailure,
+    },
 }
 
 /// The complete resolution plan for one (binary, target) pair.
@@ -73,7 +79,10 @@ pub struct ResolutionPlan {
 impl ResolutionPlan {
     /// Did every missing library resolve?
     pub fn complete(&self) -> bool {
-        !self.outcomes.iter().any(|o| matches!(o, LibraryResolution::Failed { .. }))
+        !self
+            .outcomes
+            .iter()
+            .any(|o| matches!(o, LibraryResolution::Failed { .. }))
     }
 
     /// Sonames that failed with their reasons.
@@ -148,8 +157,20 @@ fn copy_usable(
         if crate::bdc::is_c_library(dep) || library_visible(sess, dep) {
             continue;
         }
-        if copy_usable(sess, bundle, dep, target_arch, target_c_library, memo, visiting).is_err() {
-            verdict = Err(ResolutionFailure::DependencyUnresolvable { dependency: dep.clone() });
+        if copy_usable(
+            sess,
+            bundle,
+            dep,
+            target_arch,
+            target_c_library,
+            memo,
+            visiting,
+        )
+        .is_err()
+        {
+            verdict = Err(ResolutionFailure::DependencyUnresolvable {
+                dependency: dep.clone(),
+            });
             break;
         }
     }
@@ -179,15 +200,33 @@ pub fn resolve_missing(
     target_c_library: Option<&VersionName>,
     staging_dir: &str,
 ) -> ResolutionPlan {
-    let mut plan = ResolutionPlan { staging_dir: staging_dir.to_string(), ..Default::default() };
+    let mut plan = ResolutionPlan {
+        staging_dir: staging_dir.to_string(),
+        ..Default::default()
+    };
     let mut memo = BTreeMap::new();
     let mut to_stage: Vec<String> = Vec::new();
     for soname in missing {
         sess.charge(0.2);
         let mut visiting = Vec::new();
-        match copy_usable(sess, bundle, soname, target_arch, target_c_library, &mut memo, &mut visiting)
-        {
+        match copy_usable(
+            sess,
+            bundle,
+            soname,
+            target_arch,
+            target_c_library,
+            &mut memo,
+            &mut visiting,
+        ) {
             Ok(()) => {
+                sess.recorder.event(
+                    "resolution",
+                    &[
+                        ("soname", soname.as_str().into()),
+                        ("outcome", "staged".into()),
+                    ],
+                );
+                sess.recorder.count("resolution.staged", 1);
                 to_stage.push(soname.clone());
                 plan.outcomes.push(LibraryResolution::Staged {
                     soname: soname.clone(),
@@ -195,8 +234,19 @@ pub fn resolve_missing(
                 });
             }
             Err(reason) => {
-                plan.outcomes
-                    .push(LibraryResolution::Failed { soname: soname.clone(), reason });
+                sess.recorder.event(
+                    "resolution",
+                    &[
+                        ("soname", soname.as_str().into()),
+                        ("outcome", "failed".into()),
+                        ("reason", reason.to_string().as_str().into()),
+                    ],
+                );
+                sess.recorder.count("resolution.failed", 1);
+                plan.outcomes.push(LibraryResolution::Failed {
+                    soname: soname.clone(),
+                    reason,
+                });
             }
         }
     }
@@ -207,7 +257,9 @@ pub fn resolve_missing(
         if !staged_set.insert(soname.clone()) {
             continue;
         }
-        let Some(copy) = bundle.libraries.get(&soname) else { continue };
+        let Some(copy) = bundle.libraries.get(&soname) else {
+            continue;
+        };
         let path = format!("{staging_dir}/{soname}");
         sess.stage_file(&path, copy.bytes.clone());
         plan.staged.push((path, copy.bytes.clone()));
@@ -250,7 +302,8 @@ mod tests {
         spec.needed = needed.iter().map(|s| s.to_string()).collect();
         spec.imports = vec![ImportSpec::versioned("memcpy", "libc.so.6", glibc_req)];
         let bytes = Arc::new(spec.build().unwrap());
-        let description = BinaryDescription::from_bytes(&format!("/gee/lib/{soname}"), &bytes).unwrap();
+        let description =
+            BinaryDescription::from_bytes(&format!("/gee/lib/{soname}"), &bytes).unwrap();
         LibraryCopy {
             soname: soname.to_string(),
             origin: format!("/gee/lib/{soname}"),
@@ -304,7 +357,11 @@ mod tests {
     fn hot_glibc_copy_rejected_at_old_site() {
         let site = target_site(); // glibc 2.5
         let mut sess = Session::new(&site);
-        let bundle = bundle_with(vec![lib_copy("libgfortran.so.3", "GLIBC_2.12", &["libc.so.6"])]);
+        let bundle = bundle_with(vec![lib_copy(
+            "libgfortran.so.3",
+            "GLIBC_2.12",
+            &["libc.so.6"],
+        )]);
         let target_glibc = site.glibc_version();
         let plan = resolve_missing(
             &mut sess,
@@ -317,7 +374,10 @@ mod tests {
         assert!(!plan.complete());
         let fails = plan.failures();
         assert_eq!(fails.len(), 1);
-        assert!(matches!(fails[0].1, ResolutionFailure::CLibraryIncompatible { .. }));
+        assert!(matches!(
+            fails[0].1,
+            ResolutionFailure::CLibraryIncompatible { .. }
+        ));
         assert_eq!(plan.staged_count(), 0);
     }
 
@@ -335,7 +395,10 @@ mod tests {
             "/tmp/s",
         );
         assert!(!plan.complete());
-        assert!(matches!(plan.failures()[0].1, ResolutionFailure::NoCopyAvailable));
+        assert!(matches!(
+            plan.failures()[0].1,
+            ResolutionFailure::NoCopyAvailable
+        ));
     }
 
     #[test]
@@ -408,6 +471,9 @@ mod tests {
             None,
             "/stage",
         );
-        assert!(matches!(plan.failures()[0].1, ResolutionFailure::IsaIncompatible(_)));
+        assert!(matches!(
+            plan.failures()[0].1,
+            ResolutionFailure::IsaIncompatible(_)
+        ));
     }
 }

@@ -9,12 +9,12 @@
 //! staged copies) for the user.
 
 use crate::bdc::{BinaryDescription, MpiIdentification};
+use crate::bundle::SourceBundle;
 use crate::edc::{self, EnvironmentDescription};
 use crate::phases::PhaseConfig;
 use crate::predict::{c_library_compatible, Determinant, Prediction, PredictionMode};
 use crate::resolve::{resolve_missing, ResolutionPlan};
-use crate::bundle::SourceBundle;
-use feam_sim::compile::{compile, ProgramSpec};
+use feam_sim::compile::{compile_traced, ProgramSpec};
 use feam_sim::exec::run_mpi;
 use feam_sim::site::{Session, Site};
 use feam_sim::toolchain::Language;
@@ -106,6 +106,31 @@ pub struct TargetEvaluation {
     pub cpu_seconds: f64,
 }
 
+/// Record a determinant verdict in the prediction and mirror it into the
+/// trace (`determinant` event) and the metrics
+/// (`determinant.<Name>.pass|fail` counters), so a trace alone is enough
+/// to reconstruct why a prediction came out the way it did.
+fn record_determinant(
+    rec: &feam_obs::Recorder,
+    prediction: &mut Prediction,
+    determinant: Determinant,
+    compatible: bool,
+    detail: impl Into<String>,
+) {
+    let detail = detail.into();
+    rec.event(
+        "determinant",
+        &[
+            ("determinant", determinant.name().into()),
+            ("ok", compatible.into()),
+            ("detail", detail.as_str().into()),
+        ],
+    );
+    let verdict = if compatible { "pass" } else { "fail" };
+    rec.count(&format!("determinant.{}.{verdict}", determinant.name()), 1);
+    prediction.record(determinant, compatible, detail);
+}
+
 /// Evaluate execution readiness of a binary at a target site.
 ///
 /// `binary_image` is the migrated binary when present at the target;
@@ -120,8 +145,13 @@ pub fn evaluate(
     bundle: Option<&SourceBundle>,
     cfg: &PhaseConfig,
 ) -> TargetEvaluation {
-    let mode =
-        if bundle.is_some() { PredictionMode::Extended } else { PredictionMode::Basic };
+    let rec = cfg.recorder.clone();
+    let _tec_span = rec.span("tec");
+    let mode = if bundle.is_some() {
+        PredictionMode::Extended
+    } else {
+        PredictionMode::Basic
+    };
     let mut prediction = Prediction::new(mode);
     let mut cpu = 0.0f64;
 
@@ -130,7 +160,9 @@ pub fn evaluate(
         .arch
         .map(|a| a.executes(description.machine, description.class))
         .unwrap_or(false);
-    prediction.record(
+    record_determinant(
+        &rec,
+        &mut prediction,
         Determinant::Isa,
         isa_ok,
         format!(
@@ -142,15 +174,23 @@ pub fn evaluate(
     );
 
     // ---- Determinant 3 (checked second, §V.C): C library ----------------------
-    let clib_ok =
-        c_library_compatible(description.required_glibc.as_ref(), env.c_library.as_ref());
-    prediction.record(
+    let clib_ok = c_library_compatible(description.required_glibc.as_ref(), env.c_library.as_ref());
+    record_determinant(
+        &rec,
+        &mut prediction,
         Determinant::CLibrary,
         clib_ok,
         format!(
             "binary requires {}; target provides {}",
-            description.required_glibc.as_ref().map(|v| v.render()).unwrap_or_else(|| "none".into()),
-            env.c_library.as_ref().map(|v| v.render()).unwrap_or_else(|| "unknown".into()),
+            description
+                .required_glibc
+                .as_ref()
+                .map(|v| v.render())
+                .unwrap_or_else(|| "none".into()),
+            env.c_library
+                .as_ref()
+                .map(|v| v.render())
+                .unwrap_or_else(|| "unknown".into()),
         ),
     );
 
@@ -177,7 +217,13 @@ pub fn evaluate(
 
     // ---- Determinant 2: a functioning, compatible MPI stack -------------------
     let Some(bin_impl) = bin_impl else {
-        prediction.record(Determinant::MpiStack, false, "binary is not an MPI application");
+        record_determinant(
+            &rec,
+            &mut prediction,
+            Determinant::MpiStack,
+            false,
+            "binary is not an MPI application",
+        );
         return TargetEvaluation {
             prediction,
             plan,
@@ -188,7 +234,9 @@ pub fn evaluate(
     };
     let candidates = env.stacks_of(bin_impl);
     if candidates.is_empty() {
-        prediction.record(
+        record_determinant(
+            &rec,
+            &mut prediction,
             Determinant::MpiStack,
             false,
             format!("no {} installation advertised at target", bin_impl.name()),
@@ -206,24 +254,45 @@ pub fn evaluate(
     let mut any_functioning: Option<String> = None;
     let mut best_incomplete: Option<(ExecutionPlan, Option<ResolutionPlan>, String)> = None;
     for cand in &candidates {
-        let Some(ist) = edc::find_installed(site, cand) else { continue };
-        let mut sess = Session::new(site);
+        let Some(ist) = edc::find_installed(site, cand) else {
+            continue;
+        };
+        let mut sess = Session::with_recorder(site, rec.clone());
         sess.load_stack(ist);
 
         // Native hello-world functional test (§III.B: "Our methods decide
         // an MPI stack is useable if a basic MPI program is able to be
         // executed when the MPI stack is selected").
         sess.charge(12.0); // native compile cost
-        let native_ok = match compile(site, Some(ist), &ProgramSpec::mpi_hello_world(Language::C), cfg.seed)
-        {
+        let native_ok = match compile_traced(
+            &rec,
+            site,
+            Some(ist),
+            &ProgramSpec::mpi_hello_world(Language::C),
+            cfg.seed,
+        ) {
             Ok(hello) => {
                 sess.stage_file("/home/user/feam/hello_native", hello.image.clone());
-                run_mpi(&mut sess, "/home/user/feam/hello_native", ist, cfg.nprocs, cfg.max_attempts)
-                    .success
+                run_mpi(
+                    &mut sess,
+                    "/home/user/feam/hello_native",
+                    ist,
+                    cfg.nprocs,
+                    cfg.max_attempts,
+                )
+                .success
             }
             Err(_) => false,
         };
         if !native_ok {
+            rec.event(
+                "stack_test",
+                &[
+                    ("stack", cand.ident().as_str().into()),
+                    ("native_ok", false.into()),
+                ],
+            );
+            rec.count("stack_tests.failed", 1);
             stack_tests.push(StackTest {
                 stack_ident: cand.ident(),
                 native_ok: false,
@@ -308,7 +377,10 @@ pub fn evaluate(
         let transported_probe = if cfg.disable_transported_tests {
             None
         } else {
-            bundle.and_then(|b| b.hello_world(Language::C).or_else(|| b.hello_worlds.first()))
+            bundle.and_then(|b| {
+                b.hello_world(Language::C)
+                    .or_else(|| b.hello_worlds.first())
+            })
         };
         let transported_ok = match transported_probe {
             Some(probe) => {
@@ -325,6 +397,17 @@ pub fn evaluate(
             }
             None => None,
         };
+        {
+            let mut fields: Vec<(&str, feam_obs::FieldValue)> = vec![
+                ("stack", cand.ident().as_str().into()),
+                ("native_ok", true.into()),
+            ];
+            if let Some(t) = transported_ok {
+                fields.push(("transported_ok", t.into()));
+            }
+            rec.event("stack_test", &fields);
+            rec.count("stack_tests.passed", 1);
+        }
         stack_tests.push(StackTest {
             stack_ident: cand.ident(),
             native_ok: true,
@@ -337,9 +420,16 @@ pub fn evaluate(
             stack_ident: Some(cand.ident()),
             launch_command: cfg.mpiexec_override.clone(),
             extra_ld_dirs: extra_dirs.clone(),
-            staged: resolution.as_ref().map(|r| r.staged.clone()).unwrap_or_default(),
+            staged: resolution
+                .as_ref()
+                .map(|r| r.staged.clone())
+                .unwrap_or_default(),
         };
-        if resolution.as_ref().map(|r| r.staged_count() > 0).unwrap_or(false) {
+        if resolution
+            .as_ref()
+            .map(|r| r.staged_count() > 0)
+            .unwrap_or(false)
+        {
             cand_plan.extra_ld_dirs.push(STAGING_DIR.to_string());
         }
         cpu += sess.cpu_seconds;
@@ -347,7 +437,9 @@ pub fn evaluate(
         let transported_passed = transported_ok.unwrap_or(true);
         if all_libs_ok && transported_passed {
             // Success: record positive verdicts and return.
-            prediction.record(
+            record_determinant(
+                &rec,
+                &mut prediction,
                 Determinant::MpiStack,
                 true,
                 format!(
@@ -360,7 +452,13 @@ pub fn evaluate(
                     }
                 ),
             );
-            prediction.record(Determinant::SharedLibraries, true, lib_detail);
+            record_determinant(
+                &rec,
+                &mut prediction,
+                Determinant::SharedLibraries,
+                true,
+                lib_detail,
+            );
             return TargetEvaluation {
                 prediction,
                 plan: cand_plan,
@@ -389,9 +487,11 @@ pub fn evaluate(
         Some((cand_plan, resolution, detail)) => {
             let transported_failed = detail.contains("transported");
             if transported_failed {
-                prediction.record(Determinant::MpiStack, false, detail);
+                record_determinant(&rec, &mut prediction, Determinant::MpiStack, false, detail);
             } else {
-                prediction.record(
+                record_determinant(
+                    &rec,
+                    &mut prediction,
                     Determinant::MpiStack,
                     true,
                     format!(
@@ -400,12 +500,26 @@ pub fn evaluate(
                         any_functioning.clone().unwrap_or_default()
                     ),
                 );
-                prediction.record(Determinant::SharedLibraries, false, detail);
+                record_determinant(
+                    &rec,
+                    &mut prediction,
+                    Determinant::SharedLibraries,
+                    false,
+                    detail,
+                );
             }
-            TargetEvaluation { prediction, plan: cand_plan, resolution, stack_tests, cpu_seconds: cpu }
+            TargetEvaluation {
+                prediction,
+                plan: cand_plan,
+                resolution,
+                stack_tests,
+                cpu_seconds: cpu,
+            }
         }
         None => {
-            prediction.record(
+            record_determinant(
+                &rec,
+                &mut prediction,
                 Determinant::MpiStack,
                 false,
                 format!(
@@ -440,11 +554,12 @@ pub fn naive_plan(
     bin_impl: Option<feam_sim::mpi::MpiImpl>,
     compiler_family: Option<feam_sim::toolchain::CompilerFamily>,
 ) -> ExecutionPlan {
-    let Some(imp) = bin_impl else { return ExecutionPlan::default() };
+    let Some(imp) = bin_impl else {
+        return ExecutionPlan::default();
+    };
     let candidates = env.stacks_of(imp);
-    let preferred = compiler_family.and_then(|fam| {
-        candidates.iter().find(|c| c.compiler == fam.tag()).copied()
-    });
+    let preferred = compiler_family
+        .and_then(|fam| candidates.iter().find(|c| c.compiler == fam.tag()).copied());
     for cand in preferred.into_iter().chain(candidates.iter().copied()) {
         if let Some(ist) = edc::find_installed(site, cand) {
             return ExecutionPlan {
@@ -563,9 +678,15 @@ mod tests {
         let script = plan.setup_script();
         assert!(script.contains("module load openmpi-1.4-gnu-4.1.2"));
         assert!(script.contains("LD_LIBRARY_PATH=/opt/openmpi-1.4-gnu-4.1.2/lib"));
-        assert!(script.contains("orterun -np"), "configured launcher used: {script}");
+        assert!(
+            script.contains("orterun -np"),
+            "configured launcher used: {script}"
+        );
         // Default launcher when no override is configured.
-        let plain = ExecutionPlan { launch_command: None, ..plan.clone() };
+        let plain = ExecutionPlan {
+            launch_command: None,
+            ..plan.clone()
+        };
         assert!(plain.setup_script().contains("mpiexec -np"));
     }
 }

@@ -53,7 +53,12 @@ impl ImportSpec {
 
     /// Convenience constructor for a strong, unversioned import.
     pub fn plain(symbol: &str, file: &str) -> Self {
-        ImportSpec { symbol: symbol.into(), file: file.into(), version: None, weak: false }
+        ImportSpec {
+            symbol: symbol.into(),
+            file: file.into(),
+            version: None,
+            weak: false,
+        }
     }
 }
 
@@ -69,7 +74,10 @@ pub struct ExportSpec {
 impl ExportSpec {
     /// Convenience constructor.
     pub fn new(symbol: &str, version: Option<&str>) -> Self {
-        ExportSpec { symbol: symbol.into(), version: version.map(Into::into) }
+        ExportSpec {
+            symbol: symbol.into(),
+            version: version.map(Into::into),
+        }
     }
 }
 
@@ -145,7 +153,12 @@ impl Default for ElfSpec {
 impl ElfSpec {
     /// Start a spec for a dynamic executable.
     pub fn executable(machine: Machine, class: Class) -> Self {
-        ElfSpec { machine, class, kind: FileKind::Executable, ..Default::default() }
+        ElfSpec {
+            machine,
+            class,
+            kind: FileKind::Executable,
+            ..Default::default()
+        }
     }
 
     /// Start a spec for a shared library with the given soname.
@@ -204,7 +217,9 @@ pub fn build(spec: &ElfSpec) -> Result<Vec<u8>> {
         )));
     }
     if spec.kind == FileKind::SharedObject && spec.soname.is_none() {
-        return Err(Error::InvalidSpec("shared object spec requires a soname".into()));
+        return Err(Error::InvalidSpec(
+            "shared object spec requires a soname".into(),
+        ));
     }
     let class = spec.class;
     let e = spec.endian;
@@ -239,7 +254,10 @@ pub fn build(spec: &ElfSpec) -> Result<Vec<u8>> {
     for exp in &spec.exports {
         if let Some(v) = &exp.version {
             if !def_names.iter().any(|d| &d.name == v) {
-                def_names.push(DefinedVersion { name: v.clone(), parents: Vec::new() });
+                def_names.push(DefinedVersion {
+                    name: v.clone(),
+                    parents: Vec::new(),
+                });
             }
         }
     }
@@ -267,7 +285,10 @@ pub fn build(spec: &ElfSpec) -> Result<Vec<u8>> {
         }
     }
     let def_index = |name: &str| -> Option<u16> {
-        verdefs.iter().find(|d| !d.is_base && d.name == name).map(|d| d.index)
+        verdefs
+            .iter()
+            .find(|d| !d.is_base && d.name == name)
+            .map(|d| d.index)
     };
 
     // Version references: group imports by file, preserving encounter order.
@@ -277,7 +298,10 @@ pub fn build(spec: &ElfSpec) -> Result<Vec<u8>> {
         let rec = match verneeds.iter_mut().find(|r| r.file == imp.file) {
             Some(r) => r,
             None => {
-                verneeds.push(VersionRef { file: imp.file.clone(), versions: Vec::new() });
+                verneeds.push(VersionRef {
+                    file: imp.file.clone(),
+                    versions: Vec::new(),
+                });
                 verneeds.last_mut().expect("just pushed")
             }
         };
@@ -294,12 +318,19 @@ pub fn build(spec: &ElfSpec) -> Result<Vec<u8>> {
         let rec = match verneeds.iter_mut().find(|r| &r.file == file) {
             Some(r) => r,
             None => {
-                verneeds.push(VersionRef { file: file.clone(), versions: Vec::new() });
+                verneeds.push(VersionRef {
+                    file: file.clone(),
+                    versions: Vec::new(),
+                });
                 verneeds.last_mut().expect("just pushed")
             }
         };
         if !rec.versions.iter().any(|v| &v.name == ver) {
-            rec.versions.push(VersionRefEntry { name: ver.clone(), index: next_index, weak: false });
+            rec.versions.push(VersionRefEntry {
+                name: ver.clone(),
+                index: next_index,
+                weak: false,
+            });
             next_index += 1;
         }
     }
@@ -324,16 +355,19 @@ pub fn build(spec: &ElfSpec) -> Result<Vec<u8>> {
     for imp in &spec.imports {
         syms.push(Symbol {
             name_off: dynstr.add(&imp.symbol),
-            binding: if imp.weak { Binding::Weak } else { Binding::Global },
+            binding: if imp.weak {
+                Binding::Weak
+            } else {
+                Binding::Global
+            },
             kind: SymKind::Func,
             shndx: SHN_UNDEF,
             value: 0,
             size: 0,
         });
         let idx = match &imp.version {
-            Some(v) => ref_index(&imp.file, v).ok_or_else(|| {
-                Error::InvalidSpec(format!("internal: version {v} not assigned"))
-            })?,
+            Some(v) => ref_index(&imp.file, v)
+                .ok_or_else(|| Error::InvalidSpec(format!("internal: version {v} not assigned")))?,
             None => VER_NDX_GLOBAL,
         };
         versym.push(idx);
@@ -348,9 +382,8 @@ pub fn build(spec: &ElfSpec) -> Result<Vec<u8>> {
             size: 16,
         });
         let idx = match &exp.version {
-            Some(v) => def_index(v).ok_or_else(|| {
-                Error::InvalidSpec(format!("internal: version {v} not assigned"))
-            })?,
+            Some(v) => def_index(v)
+                .ok_or_else(|| Error::InvalidSpec(format!("internal: version {v} not assigned")))?,
             None => VER_NDX_GLOBAL,
         };
         versym.push(idx);
@@ -376,16 +409,21 @@ pub fn build(spec: &ElfSpec) -> Result<Vec<u8>> {
         e.put_u32(&mut hash_bytes, 0); // chain
     }
 
-    let comment_bytes =
-        if spec.comments.is_empty() { Vec::new() } else { encode_comment(&spec.comments) };
+    let comment_bytes = if spec.comments.is_empty() {
+        Vec::new()
+    } else {
+        encode_comment(&spec.comments)
+    };
     // Deterministic filler; the value is irrelevant, the size models the
     // real on-disk footprint used by the bundle-size statistics.
     let text_bytes = vec![0xC3u8; spec.text_size.max(1)];
 
     let interp_str = match spec.kind {
-        FileKind::Executable => {
-            Some(spec.interp.clone().unwrap_or_else(|| default_interp(class).to_string()))
-        }
+        FileKind::Executable => Some(
+            spec.interp
+                .clone()
+                .unwrap_or_else(|| default_interp(class).to_string()),
+        ),
         _ => spec.interp.clone(),
     };
 
@@ -573,19 +611,27 @@ pub fn build(spec: &ElfSpec) -> Result<Vec<u8>> {
     let total = shoff + n_sections * shent_size(class);
 
     fn find_plan(plans: &[SectionPlan], name: &str) -> usize {
-        plans.iter().position(|p| p.name == name).expect("section plan must exist")
+        plans
+            .iter()
+            .position(|p| p.name == name)
+            .expect("section plan must exist")
     }
     let plan_off = |name: &str| offsets[find_plan(&plans, name)];
     let plan_vaddr = |name: &str| base + plan_off(name) as u64;
 
     // Pull out the offsets needed after `plans` is mutated below.
-    let interp_meta = interp_str
-        .as_ref()
-        .map(|_| (plan_off(".interp"), plans[find_plan(&plans, ".interp")].bytes.len()));
-    let note_meta = spec
-        .abi_tag
-        .as_ref()
-        .map(|_| (plan_off(".note.ABI-tag"), plans[find_plan(&plans, ".note.ABI-tag")].bytes.len()));
+    let interp_meta = interp_str.as_ref().map(|_| {
+        (
+            plan_off(".interp"),
+            plans[find_plan(&plans, ".interp")].bytes.len(),
+        )
+    });
+    let note_meta = spec.abi_tag.as_ref().map(|_| {
+        (
+            plan_off(".note.ABI-tag"),
+            plans[find_plan(&plans, ".note.ABI-tag")].bytes.len(),
+        )
+    });
     let text_off = plan_off(".text");
     let dynamic_off = plan_off(".dynamic");
     let dynstr_len = plans[find_plan(&plans, ".dynstr")].bytes.len();
@@ -593,35 +639,81 @@ pub fn build(spec: &ElfSpec) -> Result<Vec<u8>> {
     // ---- dynamic section content (now that vaddrs are known) ---------------
     let mut dents: Vec<DynEntry> = Vec::new();
     for off in &needed_offs {
-        dents.push(DynEntry { tag: Tag::Needed, value: *off as u64 });
+        dents.push(DynEntry {
+            tag: Tag::Needed,
+            value: *off as u64,
+        });
     }
     if let Some(off) = soname_off {
-        dents.push(DynEntry { tag: Tag::SoName, value: off as u64 });
+        dents.push(DynEntry {
+            tag: Tag::SoName,
+            value: off as u64,
+        });
     }
     if let Some(off) = rpath_off {
-        dents.push(DynEntry { tag: Tag::RPath, value: off as u64 });
+        dents.push(DynEntry {
+            tag: Tag::RPath,
+            value: off as u64,
+        });
     }
     if let Some(off) = runpath_off {
-        dents.push(DynEntry { tag: Tag::RunPath, value: off as u64 });
+        dents.push(DynEntry {
+            tag: Tag::RunPath,
+            value: off as u64,
+        });
     }
-    dents.push(DynEntry { tag: Tag::Hash, value: plan_vaddr(".hash") });
-    dents.push(DynEntry { tag: Tag::StrTab, value: plan_vaddr(".dynstr") });
-    dents.push(DynEntry { tag: Tag::SymTab, value: plan_vaddr(".dynsym") });
-    dents.push(DynEntry { tag: Tag::StrSz, value: dynstr_len as u64 });
-    dents.push(DynEntry { tag: Tag::SymEnt, value: crate::symbols::sym_size(class) as u64 });
+    dents.push(DynEntry {
+        tag: Tag::Hash,
+        value: plan_vaddr(".hash"),
+    });
+    dents.push(DynEntry {
+        tag: Tag::StrTab,
+        value: plan_vaddr(".dynstr"),
+    });
+    dents.push(DynEntry {
+        tag: Tag::SymTab,
+        value: plan_vaddr(".dynsym"),
+    });
+    dents.push(DynEntry {
+        tag: Tag::StrSz,
+        value: dynstr_len as u64,
+    });
+    dents.push(DynEntry {
+        tag: Tag::SymEnt,
+        value: crate::symbols::sym_size(class) as u64,
+    });
     if has_versions {
-        dents.push(DynEntry { tag: Tag::VerSym, value: plan_vaddr(".gnu.version") });
+        dents.push(DynEntry {
+            tag: Tag::VerSym,
+            value: plan_vaddr(".gnu.version"),
+        });
     }
     if !verneeds.is_empty() {
-        dents.push(DynEntry { tag: Tag::VerNeed, value: plan_vaddr(".gnu.version_r") });
-        dents.push(DynEntry { tag: Tag::VerNeedNum, value: verneeds.len() as u64 });
+        dents.push(DynEntry {
+            tag: Tag::VerNeed,
+            value: plan_vaddr(".gnu.version_r"),
+        });
+        dents.push(DynEntry {
+            tag: Tag::VerNeedNum,
+            value: verneeds.len() as u64,
+        });
     }
     if !verdefs.is_empty() {
-        dents.push(DynEntry { tag: Tag::VerDef, value: plan_vaddr(".gnu.version_d") });
-        dents.push(DynEntry { tag: Tag::VerDefNum, value: verdefs.len() as u64 });
+        dents.push(DynEntry {
+            tag: Tag::VerDef,
+            value: plan_vaddr(".gnu.version_d"),
+        });
+        dents.push(DynEntry {
+            tag: Tag::VerDefNum,
+            value: verdefs.len() as u64,
+        });
     }
     let dyn_bytes = dynamic::encode_entries(&dents, class, e);
-    debug_assert_eq!(dyn_bytes.len(), dynamic_size, "dynamic size precomputation mismatch");
+    debug_assert_eq!(
+        dyn_bytes.len(),
+        dynamic_size,
+        "dynamic size precomputation mismatch"
+    );
     let dyn_plan = find_plan(&plans, ".dynamic");
     let dyn_len = dyn_bytes.len();
     plans[dyn_plan].bytes = dyn_bytes;
@@ -629,7 +721,13 @@ pub fn build(spec: &ElfSpec) -> Result<Vec<u8>> {
     // ---- emit ---------------------------------------------------------------
     let entry = base + text_off as u64;
     let header = ElfHeader {
-        ident: Ident { class, endian: e, version: 1, osabi: OsAbi::SysV, abi_version: 0 },
+        ident: Ident {
+            class,
+            endian: e,
+            version: 1,
+            osabi: OsAbi::SysV,
+            abi_version: 0,
+        },
         kind: spec.kind,
         machine: spec.machine,
         version: 1,
@@ -821,10 +919,18 @@ mod tests {
         assert_eq!(refs[0].file, "libc.so.6");
         assert_eq!(refs[0].versions.len(), 2);
         // Symbols carry their version bindings.
-        let memcpy = f.dynamic_symbols().iter().find(|s| s.name == "memcpy").unwrap();
+        let memcpy = f
+            .dynamic_symbols()
+            .iter()
+            .find(|s| s.name == "memcpy")
+            .unwrap();
         assert_eq!(memcpy.version.as_deref(), Some("GLIBC_2.2.5"));
         assert!(memcpy.undefined);
-        let mpi_init = f.dynamic_symbols().iter().find(|s| s.name == "MPI_Init").unwrap();
+        let mpi_init = f
+            .dynamic_symbols()
+            .iter()
+            .find(|s| s.name == "MPI_Init")
+            .unwrap();
         assert_eq!(mpi_init.version, None);
     }
 
@@ -843,7 +949,11 @@ mod tests {
         assert!(f.sections().is_empty());
         assert_eq!(f.needed(), spec.needed.as_slice());
         assert_eq!(f.required_glibc().unwrap().render(), "GLIBC_2.7");
-        let memcpy = f.dynamic_symbols().iter().find(|s| s.name == "memcpy").unwrap();
+        let memcpy = f
+            .dynamic_symbols()
+            .iter()
+            .find(|s| s.name == "memcpy")
+            .unwrap();
         assert_eq!(memcpy.version.as_deref(), Some("GLIBC_2.2.5"));
     }
 
@@ -866,7 +976,11 @@ mod tests {
         assert!(defs[0].is_base);
         assert_eq!(defs[0].name, "libmpich.so.1.2");
         assert_eq!(defs[1].name, "MPICH2_1.4");
-        let init = f.dynamic_symbols().iter().find(|s| s.name == "MPI_Init").unwrap();
+        let init = f
+            .dynamic_symbols()
+            .iter()
+            .find(|s| s.name == "MPI_Init")
+            .unwrap();
         assert_eq!(init.version.as_deref(), Some("MPICH2_1.4"));
         assert!(!init.undefined);
     }
@@ -888,7 +1002,11 @@ mod tests {
     #[test]
     fn import_provider_auto_added_to_needed() {
         let mut spec = ElfSpec::executable(Machine::X86_64, Class::Elf64);
-        spec.imports = vec![ImportSpec::versioned("pthread_create", "libpthread.so.0", "GLIBC_2.2.5")];
+        spec.imports = vec![ImportSpec::versioned(
+            "pthread_create",
+            "libpthread.so.0",
+            "GLIBC_2.2.5",
+        )];
         let bytes = spec.build().unwrap();
         let f = ElfFile::parse(&bytes).unwrap();
         assert_eq!(f.needed(), &["libpthread.so.0".to_string()]);
@@ -902,7 +1020,10 @@ mod tests {
         spec.runpath = Some("/usr/local/lib".into());
         let bytes = spec.build().unwrap();
         let f = ElfFile::parse(&bytes).unwrap();
-        assert_eq!(f.dynamic_info().rpath.as_deref(), Some("/opt/openmpi-1.4.3-intel/lib"));
+        assert_eq!(
+            f.dynamic_info().rpath.as_deref(),
+            Some("/opt/openmpi-1.4.3-intel/lib")
+        );
         assert_eq!(f.dynamic_info().runpath.as_deref(), Some("/usr/local/lib"));
         assert_eq!(
             f.dynamic_info().search_dirs(),
@@ -912,20 +1033,36 @@ mod tests {
 
     #[test]
     fn shared_object_without_soname_rejected() {
-        let spec = ElfSpec { kind: FileKind::SharedObject, ..Default::default() };
+        let spec = ElfSpec {
+            kind: FileKind::SharedObject,
+            ..Default::default()
+        };
         assert!(matches!(spec.build(), Err(Error::InvalidSpec(_))));
     }
 
     #[test]
     fn relocatable_kind_rejected() {
-        let spec = ElfSpec { kind: FileKind::Relocatable, ..Default::default() };
+        let spec = ElfSpec {
+            kind: FileKind::Relocatable,
+            ..Default::default()
+        };
         assert!(matches!(spec.build(), Err(Error::InvalidSpec(_))));
     }
 
     #[test]
     fn text_size_drives_file_size() {
-        let small = ElfSpec { text_size: 1024, ..mpi_app_spec() }.build().unwrap();
-        let large = ElfSpec { text_size: 1024 * 1024, ..mpi_app_spec() }.build().unwrap();
+        let small = ElfSpec {
+            text_size: 1024,
+            ..mpi_app_spec()
+        }
+        .build()
+        .unwrap();
+        let large = ElfSpec {
+            text_size: 1024 * 1024,
+            ..mpi_app_spec()
+        }
+        .build()
+        .unwrap();
         assert!(large.len() > small.len() + 1000 * 1024);
     }
 

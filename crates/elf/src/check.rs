@@ -28,11 +28,17 @@ pub struct Finding {
 
 impl Finding {
     fn error(message: impl Into<String>) -> Self {
-        Finding { severity: Severity::Error, message: message.into() }
+        Finding {
+            severity: Severity::Error,
+            message: message.into(),
+        }
     }
 
     fn warning(message: impl Into<String>) -> Self {
-        Finding { severity: Severity::Warning, message: message.into() }
+        Finding {
+            severity: Severity::Warning,
+            message: message.into(),
+        }
     }
 }
 
@@ -161,7 +167,10 @@ mod tests {
         let bytes = clean_spec().build().unwrap();
         let f = ElfFile::parse(&bytes).unwrap();
         let findings = check(&f);
-        assert!(findings.is_empty(), "builder must emit clean images: {findings:?}");
+        assert!(
+            findings.is_empty(),
+            "builder must emit clean images: {findings:?}"
+        );
     }
 
     #[test]
@@ -211,10 +220,16 @@ mod tests {
         // Real toolchain output may trigger warnings but should not
         // produce spec-level errors from our checks.
         for candidate in ["/bin/ls", "/usr/bin/env"] {
-            let Ok(bytes) = std::fs::read(candidate) else { continue };
-            let Ok(f) = ElfFile::parse(&bytes) else { continue };
-            let errors: Vec<_> =
-                check(&f).into_iter().filter(|x| x.severity == Severity::Error).collect();
+            let Ok(bytes) = std::fs::read(candidate) else {
+                continue;
+            };
+            let Ok(f) = ElfFile::parse(&bytes) else {
+                continue;
+            };
+            let errors: Vec<_> = check(&f)
+                .into_iter()
+                .filter(|x| x.severity == Severity::Error)
+                .collect();
             assert!(errors.is_empty(), "{candidate}: {errors:?}");
             return;
         }

@@ -68,9 +68,10 @@ pub fn extract_provenance(strings: &[String]) -> Provenance {
                 }
             }
         } else if (s.starts_with("Intel(R)") || s.starts_with("pgf") || s.starts_with("PGI"))
-            && p.compiler.is_none() {
-                p.compiler = Some(s.clone());
-            }
+            && p.compiler.is_none()
+        {
+            p.compiler = Some(s.clone());
+        }
     }
     p
 }
@@ -103,7 +104,10 @@ mod tests {
     fn provenance_extracts_gcc_and_distro() {
         let strings = vec!["GCC: (GNU) 4.1.2 20080704 (Red Hat 4.1.2-50)".to_string()];
         let p = extract_provenance(&strings);
-        assert_eq!(p.compiler.as_deref(), Some("GCC: (GNU) 4.1.2 20080704 (Red Hat 4.1.2-50)"));
+        assert_eq!(
+            p.compiler.as_deref(),
+            Some("GCC: (GNU) 4.1.2 20080704 (Red Hat 4.1.2-50)")
+        );
         assert_eq!(p.distro_hint.as_deref(), Some("Red Hat 4.1.2-50"));
     }
 

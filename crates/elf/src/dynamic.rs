@@ -152,7 +152,9 @@ impl DynamicInfo {
         let mut info = DynamicInfo::default();
         for ent in entries {
             match ent.tag {
-                Tag::Needed => info.needed.push(strtab.get(ent.value as usize)?.to_string()),
+                Tag::Needed => info
+                    .needed
+                    .push(strtab.get(ent.value as usize)?.to_string()),
                 Tag::SoName => info.soname = Some(strtab.get(ent.value as usize)?.to_string()),
                 Tag::RPath => info.rpath = Some(strtab.get(ent.value as usize)?.to_string()),
                 Tag::RunPath => info.runpath = Some(strtab.get(ent.value as usize)?.to_string()),
@@ -177,7 +179,10 @@ impl DynamicInfo {
 
     /// Find the dynamic-table value for `tag`, if present.
     pub fn raw_value(entries: &[DynEntry], tag: Tag) -> Option<u64> {
-        entries.iter().find(|ent| ent.tag == tag).map(|ent| ent.value)
+        entries
+            .iter()
+            .find(|ent| ent.tag == tag)
+            .map(|ent| ent.value)
     }
 }
 
@@ -213,9 +218,18 @@ mod tests {
     #[test]
     fn entries_round_trip_and_stop_at_null() {
         let entries = vec![
-            DynEntry { tag: Tag::Needed, value: 1 },
-            DynEntry { tag: Tag::Needed, value: 11 },
-            DynEntry { tag: Tag::SoName, value: 21 },
+            DynEntry {
+                tag: Tag::Needed,
+                value: 1,
+            },
+            DynEntry {
+                tag: Tag::Needed,
+                value: 11,
+            },
+            DynEntry {
+                tag: Tag::SoName,
+                value: 21,
+            },
         ];
         for class in [Class::Elf32, Class::Elf64] {
             for e in [Endian::Little, Endian::Big] {
@@ -237,10 +251,22 @@ mod tests {
         let runpath = st.add("/opt/lib:/usr/local/lib");
         let bytes = st.into_bytes();
         let entries = vec![
-            DynEntry { tag: Tag::Needed, value: libmpi as u64 },
-            DynEntry { tag: Tag::Needed, value: libc as u64 },
-            DynEntry { tag: Tag::SoName, value: soname as u64 },
-            DynEntry { tag: Tag::RunPath, value: runpath as u64 },
+            DynEntry {
+                tag: Tag::Needed,
+                value: libmpi as u64,
+            },
+            DynEntry {
+                tag: Tag::Needed,
+                value: libc as u64,
+            },
+            DynEntry {
+                tag: Tag::SoName,
+                value: soname as u64,
+            },
+            DynEntry {
+                tag: Tag::RunPath,
+                value: runpath as u64,
+            },
         ];
         let info = DynamicInfo::from_entries(&entries, &StrTab::new(&bytes)).unwrap();
         assert_eq!(info.needed, vec!["libmpi.so.0", "libc.so.6"]);
@@ -262,7 +288,10 @@ mod tests {
     #[test]
     fn bad_string_offset_is_error() {
         let bytes = StrTabBuilder::new().into_bytes();
-        let entries = vec![DynEntry { tag: Tag::Needed, value: 999 }];
+        let entries = vec![DynEntry {
+            tag: Tag::Needed,
+            value: 999,
+        }];
         assert!(DynamicInfo::from_entries(&entries, &StrTab::new(&bytes)).is_err());
     }
 }

@@ -117,9 +117,9 @@ impl Endian {
 
 /// Bounds-checked subslice helper shared by all readers.
 pub(crate) fn slice(data: &[u8], off: usize, len: usize) -> Result<&[u8]> {
-    let end = off.checked_add(len).ok_or_else(|| {
-        Error::Malformed(format!("offset overflow: {off} + {len}"))
-    })?;
+    let end = off
+        .checked_add(len)
+        .ok_or_else(|| Error::Malformed(format!("offset overflow: {off} + {len}")))?;
     data.get(off..end).ok_or({
         Error::Truncated {
             wanted: end,

@@ -44,10 +44,15 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = Error::Truncated { wanted: 64, have: 10 };
+        let e = Error::Truncated {
+            wanted: 64,
+            have: 10,
+        };
         assert!(e.to_string().contains("64"));
         assert!(e.to_string().contains("10"));
         assert!(Error::NotElf.to_string().contains("magic"));
-        assert!(Error::Missing("dynamic section").to_string().contains("dynamic section"));
+        assert!(Error::Missing("dynamic section")
+            .to_string()
+            .contains("dynamic section"));
     }
 }

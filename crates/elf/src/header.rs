@@ -86,7 +86,10 @@ impl ElfHeader {
         let e = ident.endian;
         let need = ehdr_size(ident.class);
         if data.len() < need {
-            return Err(Error::Truncated { wanted: need, have: data.len() });
+            return Err(Error::Truncated {
+                wanted: need,
+                have: data.len(),
+            });
         }
         let kind = FileKind::from_e_type(e.read_u16(data, 16)?);
         let machine = Machine::from_e_machine(e.read_u16(data, 18)?);
@@ -162,7 +165,13 @@ mod tests {
 
     fn sample(class: Class, endian: Endian) -> ElfHeader {
         ElfHeader {
-            ident: Ident { class, endian, version: 1, osabi: OsAbi::SysV, abi_version: 0 },
+            ident: Ident {
+                class,
+                endian,
+                version: 1,
+                osabi: OsAbi::SysV,
+                abi_version: 0,
+            },
             kind: FileKind::Executable,
             machine: Machine::X86_64,
             version: 1,

@@ -35,7 +35,9 @@ impl Class {
         match b {
             1 => Ok(Class::Elf32),
             2 => Ok(Class::Elf64),
-            other => Err(Error::Malformed(format!("invalid EI_CLASS byte {other:#x}"))),
+            other => Err(Error::Malformed(format!(
+                "invalid EI_CLASS byte {other:#x}"
+            ))),
         }
     }
 
@@ -105,7 +107,10 @@ impl Ident {
     /// Parse the identification prefix from the start of `data`.
     pub fn parse(data: &[u8]) -> Result<Self> {
         if data.len() < EI_NIDENT {
-            return Err(Error::Truncated { wanted: EI_NIDENT, have: data.len() });
+            return Err(Error::Truncated {
+                wanted: EI_NIDENT,
+                have: data.len(),
+            });
         }
         if data[..4] != MAGIC {
             return Err(Error::NotElf);
@@ -114,7 +119,9 @@ impl Ident {
         let endian = Endian::from_ei_data(data[5])?;
         let version = data[6];
         if version != 1 {
-            return Err(Error::Malformed(format!("unsupported EI_VERSION {version}")));
+            return Err(Error::Malformed(format!(
+                "unsupported EI_VERSION {version}"
+            )));
         }
         Ok(Ident {
             class,
@@ -176,7 +183,10 @@ mod tests {
 
     #[test]
     fn rejects_short_input() {
-        assert!(matches!(Ident::parse(&[0x7f, b'E']), Err(Error::Truncated { .. })));
+        assert!(matches!(
+            Ident::parse(&[0x7f, b'E']),
+            Err(Error::Truncated { .. })
+        ));
     }
 
     #[test]

@@ -102,7 +102,10 @@ pub fn parse_notes(data: &[u8], e: Endian) -> Result<Vec<Note>> {
         let kind = e.read_u32(data, off + 8)?;
         off += 12;
         let name_raw = slice(data, off, namesz)?;
-        let name_end = name_raw.iter().position(|&b| b == 0).unwrap_or(name_raw.len());
+        let name_end = name_raw
+            .iter()
+            .position(|&b| b == 0)
+            .unwrap_or(name_raw.len());
         let name = String::from_utf8(name_raw[..name_end].to_vec())
             .map_err(|_| Error::Malformed("non-UTF-8 note owner name".into()))?;
         off += align4(namesz);
@@ -141,12 +144,18 @@ pub fn abi_tag_note(tag: &AbiTag, e: Endian) -> Note {
     e.put_u32(&mut desc, tag.kernel.0);
     e.put_u32(&mut desc, tag.kernel.1);
     e.put_u32(&mut desc, tag.kernel.2);
-    Note { name: "GNU".into(), kind: NT_GNU_ABI_TAG, desc }
+    Note {
+        name: "GNU".into(),
+        kind: NT_GNU_ABI_TAG,
+        desc,
+    }
 }
 
 /// Extract the ABI tag from a parsed note list, if present.
 pub fn find_abi_tag(notes: &[Note], e: Endian) -> Option<AbiTag> {
-    let n = notes.iter().find(|n| n.name == "GNU" && n.kind == NT_GNU_ABI_TAG)?;
+    let n = notes
+        .iter()
+        .find(|n| n.name == "GNU" && n.kind == NT_GNU_ABI_TAG)?;
     if n.desc.len() < 16 {
         return None;
     }
@@ -167,9 +176,12 @@ mod tests {
     #[test]
     fn abi_tag_round_trip() {
         for e in [Endian::Little, Endian::Big] {
-            let tag = AbiTag { os: AbiTagOs::Linux, kernel: (2, 6, 9) };
+            let tag = AbiTag {
+                os: AbiTagOs::Linux,
+                kernel: (2, 6, 9),
+            };
             let note = abi_tag_note(&tag, e);
-            let bytes = encode_notes(&[note.clone()], e);
+            let bytes = encode_notes(std::slice::from_ref(&note), e);
             let parsed = parse_notes(&bytes, e).unwrap();
             assert_eq!(parsed, vec![note]);
             let found = find_abi_tag(&parsed, e).unwrap();
@@ -182,8 +194,16 @@ mod tests {
     fn multiple_notes_parse_in_order() {
         let e = Endian::Little;
         let notes = vec![
-            Note { name: "GNU".into(), kind: NT_GNU_ABI_TAG, desc: vec![0; 16] },
-            Note { name: "FEAM".into(), kind: 99, desc: vec![1, 2, 3] }, // unaligned desc
+            Note {
+                name: "GNU".into(),
+                kind: NT_GNU_ABI_TAG,
+                desc: vec![0; 16],
+            },
+            Note {
+                name: "FEAM".into(),
+                kind: 99,
+                desc: vec![1, 2, 3],
+            }, // unaligned desc
         ];
         let bytes = encode_notes(&notes, e);
         let parsed = parse_notes(&bytes, e).unwrap();
@@ -196,17 +216,28 @@ mod tests {
     #[test]
     fn truncated_note_is_error() {
         let e = Endian::Little;
-        let tag = AbiTag { os: AbiTagOs::Linux, kernel: (2, 6, 18) };
+        let tag = AbiTag {
+            os: AbiTagOs::Linux,
+            kernel: (2, 6, 18),
+        };
         let bytes = encode_notes(&[abi_tag_note(&tag, e)], e);
         assert!(parse_notes(&bytes[..bytes.len() - 4], e).is_err());
     }
 
     #[test]
     fn missing_abi_tag_returns_none() {
-        let notes = vec![Note { name: "FEAM".into(), kind: 7, desc: vec![] }];
+        let notes = vec![Note {
+            name: "FEAM".into(),
+            kind: 7,
+            desc: vec![],
+        }];
         assert!(find_abi_tag(&notes, Endian::Little).is_none());
         // Present but short descriptor.
-        let notes = vec![Note { name: "GNU".into(), kind: NT_GNU_ABI_TAG, desc: vec![0; 8] }];
+        let notes = vec![Note {
+            name: "GNU".into(),
+            kind: NT_GNU_ABI_TAG,
+            desc: vec![0; 8],
+        }];
         assert!(find_abi_tag(&notes, Endian::Little).is_none());
     }
 

@@ -76,7 +76,10 @@ impl<'d> ElfFile<'d> {
     }
 
     fn section(&self, name: &str) -> Option<&SectionHeader> {
-        self.sections.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s)
     }
 
     fn parse_via_sections(&mut self, class: Class, e: Endian) -> Result<()> {
@@ -125,11 +128,17 @@ impl<'d> ElfFile<'d> {
                 return Ok((p.offset + (vaddr - p.vaddr)) as usize);
             }
         }
-        Err(Error::Malformed(format!("vaddr {vaddr:#x} not covered by any PT_LOAD")))
+        Err(Error::Malformed(format!(
+            "vaddr {vaddr:#x} not covered by any PT_LOAD"
+        )))
     }
 
     fn parse_via_segments(&mut self, class: Class, e: Endian) -> Result<()> {
-        let Some(dyn_ph) = self.programs.iter().find(|p| p.kind == SegmentKind::Dynamic).cloned()
+        let Some(dyn_ph) = self
+            .programs
+            .iter()
+            .find(|p| p.kind == SegmentKind::Dynamic)
+            .cloned()
         else {
             return Ok(()); // statically linked
         };
@@ -172,9 +181,10 @@ impl<'d> ElfFile<'d> {
             }
             _ => None,
         };
-        if let (Some(sym_addr), Some(n)) =
-            (DynamicInfo::raw_value(&self.dyn_entries, Tag::SymTab), nsyms)
-        {
+        if let (Some(sym_addr), Some(n)) = (
+            DynamicInfo::raw_value(&self.dyn_entries, Tag::SymTab),
+            nsyms,
+        ) {
             let soff = self.vaddr_to_offset(sym_addr)?;
             let sym_bytes = slice(self.data, soff, n * symbols::sym_size(class))?;
             let raw = symbols::parse_table(sym_bytes, class, e)?;
@@ -208,7 +218,10 @@ impl<'d> ElfFile<'d> {
                     }
                 }
             }
-            self.version_defs.iter().find(|d| d.index == idx).map(|d| d.name.clone())
+            self.version_defs
+                .iter()
+                .find(|d| d.index == idx)
+                .map(|d| d.name.clone())
         };
         raw.iter()
             .enumerate()
@@ -266,8 +279,7 @@ impl<'d> ElfFile<'d> {
     /// True when the image has a dynamic section (i.e. is dynamically
     /// linked).
     pub fn is_dynamic(&self) -> bool {
-        !self.dyn_entries.is_empty()
-            || self.programs.iter().any(|p| p.kind == SegmentKind::Dynamic)
+        !self.dyn_entries.is_empty() || self.programs.iter().any(|p| p.kind == SegmentKind::Dynamic)
     }
 
     /// `DT_NEEDED` sonames in link order.

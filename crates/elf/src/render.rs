@@ -18,11 +18,7 @@ pub fn render_objdump_p(f: &ElfFile<'_>) -> String {
     let format_name = match (f.class(), f.machine()) {
         (Class::Elf64, crate::machine::Machine::X86_64) => "elf64-x86-64".to_string(),
         (Class::Elf32, crate::machine::Machine::X86) => "elf32-i386".to_string(),
-        (c, m) => format!(
-            "elf{}-{}",
-            c.bits(),
-            m.name()
-        ),
+        (c, m) => format!("elf{}-{}", c.bits(), m.name()),
     };
     let _ = writeln!(s, "file format {format_name}");
     let _ = writeln!(
@@ -101,7 +97,11 @@ pub fn render_summary(f: &ElfFile<'_>) -> String {
         f.class().bits(),
         f.kind()
     );
-    let _ = writeln!(s, "dynamic    : {}", if f.is_dynamic() { "yes" } else { "no (static)" });
+    let _ = writeln!(
+        s,
+        "dynamic    : {}",
+        if f.is_dynamic() { "yes" } else { "no (static)" }
+    );
     if let Some(so) = f.soname() {
         let ver = crate::soname::Soname::parse(so)
             .and_then(|p| p.major().map(|m| format!("major version {m}")))
@@ -111,7 +111,9 @@ pub fn render_summary(f: &ElfFile<'_>) -> String {
     let _ = writeln!(
         s,
         "requires   : {}",
-        f.required_glibc().map(|v| v.render()).unwrap_or_else(|| "no versioned C library".into())
+        f.required_glibc()
+            .map(|v| v.render())
+            .unwrap_or_else(|| "no versioned C library".into())
     );
     let _ = writeln!(s, "needed     : {}", f.needed().join(", "));
     if let Some(first) = f.comments().first() {

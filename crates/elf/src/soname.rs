@@ -31,11 +31,17 @@ impl Soname {
         }
         let rest = &name[idx + 3..];
         if rest.is_empty() {
-            return Some(Soname { base: base.to_string(), version: Vec::new() });
+            return Some(Soname {
+                base: base.to_string(),
+                version: Vec::new(),
+            });
         }
         let rest = rest.strip_prefix('.')?;
         let version: Option<Vec<u32>> = rest.split('.').map(|p| p.parse().ok()).collect();
-        Some(Soname { base: base.to_string(), version: version? })
+        Some(Soname {
+            base: base.to_string(),
+            version: version?,
+        })
     }
 
     /// Major version, when present.

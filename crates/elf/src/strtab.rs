@@ -40,7 +40,10 @@ pub struct StrTabBuilder {
 impl StrTabBuilder {
     /// Create a builder whose first byte is the mandatory leading NUL.
     pub fn new() -> Self {
-        StrTabBuilder { data: vec![0], index: std::collections::HashMap::new() }
+        StrTabBuilder {
+            data: vec![0],
+            index: std::collections::HashMap::new(),
+        }
     }
 
     /// Intern `s`, returning its offset; identical strings share an offset.

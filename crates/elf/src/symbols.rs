@@ -194,10 +194,7 @@ pub struct NamedSymbol {
 }
 
 /// Resolve raw symbols against a string table.
-pub fn resolve_names(
-    syms: &[Symbol],
-    strtab: &StrTab<'_>,
-) -> Result<Vec<(String, Symbol)>> {
+pub fn resolve_names(syms: &[Symbol], strtab: &StrTab<'_>) -> Result<Vec<(String, Symbol)>> {
     syms.iter()
         .map(|s| Ok((strtab.get(s.name_off as usize)?.to_string(), s.clone())))
         .collect()
@@ -239,7 +236,12 @@ mod tests {
 
     #[test]
     fn binding_and_kind_round_trip() {
-        for b in [Binding::Local, Binding::Global, Binding::Weak, Binding::Other(9)] {
+        for b in [
+            Binding::Local,
+            Binding::Global,
+            Binding::Weak,
+            Binding::Other(9),
+        ] {
             assert_eq!(Binding::from_value(b.value()), b);
         }
         for k in [

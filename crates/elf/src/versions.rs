@@ -81,7 +81,9 @@ pub fn parse_verneed(
     for _ in 0..count {
         let version = e.read_u16(data, off)?;
         if version != 1 {
-            return Err(Error::Malformed(format!("verneed record version {version}")));
+            return Err(Error::Malformed(format!(
+                "verneed record version {version}"
+            )));
         }
         let cnt = e.read_u16(data, off + 2)? as usize;
         let file_off = e.read_u32(data, off + 4)? as usize;
@@ -174,7 +176,11 @@ pub fn encode_verneed(refs: &[VersionRef], strtab: &mut StrTabBuilder, e: Endian
     for (ri, r) in refs.iter().enumerate() {
         let cnt = r.versions.len() as u16;
         let record_len = 16 + 16 * r.versions.len();
-        let next = if ri + 1 < refs.len() { record_len as u32 } else { 0 };
+        let next = if ri + 1 < refs.len() {
+            record_len as u32
+        } else {
+            0
+        };
         e.put_u16(&mut out, 1); // vn_version
         e.put_u16(&mut out, cnt);
         e.put_u32(&mut out, strtab.add(&r.file));
@@ -197,7 +203,11 @@ pub fn encode_verdef(defs: &[VersionDef], strtab: &mut StrTabBuilder, e: Endian)
     for (di, d) in defs.iter().enumerate() {
         let cnt = 1 + d.parents.len();
         let record_len = 20 + 8 * cnt;
-        let next = if di + 1 < defs.len() { record_len as u32 } else { 0 };
+        let next = if di + 1 < defs.len() {
+            record_len as u32
+        } else {
+            0
+        };
         e.put_u16(&mut out, 1); // vd_version
         e.put_u16(&mut out, if d.is_base { VER_FLG_BASE } else { 0 });
         e.put_u16(&mut out, d.index);
@@ -220,7 +230,9 @@ pub fn parse_versym(data: &[u8], e: Endian) -> Result<Vec<u16>> {
     if !data.len().is_multiple_of(2) {
         return Err(Error::Malformed("versym section has odd length".into()));
     }
-    (0..data.len() / 2).map(|i| e.read_u16(data, i * 2)).collect()
+    (0..data.len() / 2)
+        .map(|i| e.read_u16(data, i * 2))
+        .collect()
 }
 
 /// Encode a versym section.
@@ -255,7 +267,10 @@ impl VersionName {
             return None;
         }
         let numbers: Option<Vec<u32>> = nums.split('.').map(|p| p.parse().ok()).collect();
-        Some(VersionName { prefix: prefix.to_string(), numbers: numbers? })
+        Some(VersionName {
+            prefix: prefix.to_string(),
+            numbers: numbers?,
+        })
     }
 
     /// Render back to `PREFIX_x.y.z`.
@@ -301,13 +316,25 @@ mod tests {
             VersionRef {
                 file: "libc.so.6".into(),
                 versions: vec![
-                    VersionRefEntry { name: "GLIBC_2.2.5".into(), index: 2, weak: false },
-                    VersionRefEntry { name: "GLIBC_2.12".into(), index: 3, weak: true },
+                    VersionRefEntry {
+                        name: "GLIBC_2.2.5".into(),
+                        index: 2,
+                        weak: false,
+                    },
+                    VersionRefEntry {
+                        name: "GLIBC_2.12".into(),
+                        index: 3,
+                        weak: true,
+                    },
                 ],
             },
             VersionRef {
                 file: "libmpi.so.0".into(),
-                versions: vec![VersionRefEntry { name: "OMPI_1.4".into(), index: 4, weak: false }],
+                versions: vec![VersionRefEntry {
+                    name: "OMPI_1.4".into(),
+                    index: 4,
+                    weak: false,
+                }],
             },
         ];
         for e in [Endian::Little, Endian::Big] {
@@ -322,8 +349,18 @@ mod tests {
     #[test]
     fn verdef_round_trip_with_parents() {
         let defs = vec![
-            VersionDef { name: "libfoo.so.2".into(), index: 1, is_base: true, parents: vec![] },
-            VersionDef { name: "FOO_1.0".into(), index: 2, is_base: false, parents: vec![] },
+            VersionDef {
+                name: "libfoo.so.2".into(),
+                index: 1,
+                is_base: true,
+                parents: vec![],
+            },
+            VersionDef {
+                name: "FOO_1.0".into(),
+                index: 2,
+                is_base: false,
+                parents: vec![],
+            },
             VersionDef {
                 name: "FOO_1.2".into(),
                 index: 3,
@@ -373,7 +410,13 @@ mod tests {
 
     #[test]
     fn newest_with_prefix_picks_numeric_max() {
-        let names = ["GLIBC_2.2.5", "GLIBC_2.12", "GLIBC_2.3.4", "GCC_3.0", "GLIBC_PRIVATE"];
+        let names = [
+            "GLIBC_2.2.5",
+            "GLIBC_2.12",
+            "GLIBC_2.3.4",
+            "GCC_3.0",
+            "GLIBC_PRIVATE",
+        ];
         let newest = newest_with_prefix(names.iter().copied(), "GLIBC").unwrap();
         assert_eq!(newest.render(), "GLIBC_2.12");
         assert!(newest_with_prefix(names.iter().copied(), "OMPI").is_none());
@@ -384,7 +427,11 @@ mod tests {
         let mut st = StrTabBuilder::new();
         let refs = vec![VersionRef {
             file: "libc.so.6".into(),
-            versions: vec![VersionRefEntry { name: "GLIBC_2.0".into(), index: 2, weak: false }],
+            versions: vec![VersionRefEntry {
+                name: "GLIBC_2.0".into(),
+                index: 2,
+                weak: false,
+            }],
         }];
         let mut bytes = encode_verneed(&refs, &mut st, Endian::Little);
         bytes[0] = 9; // bad vn_version

@@ -4,19 +4,36 @@ use std::collections::BTreeMap;
 fn main() {
     let exp = Experiment::new(42);
     let r = exp.run();
-    let mut basic_fp=0; let mut basic_fn=0; let mut ext_fp=0; let mut ext_fn=0;
-    let mut ext_fail: BTreeMap<String,usize> = BTreeMap::new();
-    let mut basic_fn_class: BTreeMap<String,usize> = BTreeMap::new();
-    let mut ext_fp_class: BTreeMap<String,usize> = BTreeMap::new();
+    let mut basic_fp = 0;
+    let mut basic_fn = 0;
+    let mut ext_fp = 0;
+    let mut ext_fn = 0;
+    let mut ext_fail: BTreeMap<String, usize> = BTreeMap::new();
+    let mut basic_fn_class: BTreeMap<String, usize> = BTreeMap::new();
+    let mut ext_fp_class: BTreeMap<String, usize> = BTreeMap::new();
     for rec in &r.records {
-        if rec.basic_ready && !rec.actual_basic { basic_fp+=1; }
-        if !rec.basic_ready && rec.actual_basic { basic_fn+=1;
-            *basic_fn_class.entry(format!("{:?}", rec.basic_failed_determinants)).or_default()+=1; }
-        if rec.extended_ready && !rec.actual_extended { ext_fp+=1;
-            *ext_fp_class.entry(rec.extended_failure_class.clone().unwrap_or_default()).or_default()+=1; }
-        if !rec.extended_ready && rec.actual_extended { ext_fn+=1; }
+        if rec.basic_ready && !rec.actual_basic {
+            basic_fp += 1;
+        }
+        if !rec.basic_ready && rec.actual_basic {
+            basic_fn += 1;
+            *basic_fn_class
+                .entry(format!("{:?}", rec.basic_failed_determinants))
+                .or_default() += 1;
+        }
+        if rec.extended_ready && !rec.actual_extended {
+            ext_fp += 1;
+            *ext_fp_class
+                .entry(rec.extended_failure_class.clone().unwrap_or_default())
+                .or_default() += 1;
+        }
+        if !rec.extended_ready && rec.actual_extended {
+            ext_fn += 1;
+        }
         if !rec.actual_extended {
-            *ext_fail.entry(rec.extended_failure_class.clone().unwrap_or("none".into())).or_default()+=1;
+            *ext_fail
+                .entry(rec.extended_failure_class.clone().unwrap_or("none".into()))
+                .or_default() += 1;
         }
     }
     let n = r.records.len();
@@ -25,28 +42,47 @@ fn main() {
     println!("ext FP actual-failure classes: {ext_fp_class:?}");
     println!("extended-run failure classes: {ext_fail:?}");
     // naive breakdown by (from,to)
-    let mut naive_by_pair: BTreeMap<(String,String),(usize,usize)> = BTreeMap::new();
+    let mut naive_by_pair: BTreeMap<(String, String), (usize, usize)> = BTreeMap::new();
     for rec in &r.records {
-        let e = naive_by_pair.entry((rec.from_site.clone(), rec.to_site.clone())).or_default();
-        e.1 += 1; if rec.naive_success { e.0 += 1; }
+        let e = naive_by_pair
+            .entry((rec.from_site.clone(), rec.to_site.clone()))
+            .or_default();
+        e.1 += 1;
+        if rec.naive_success {
+            e.0 += 1;
+        }
     }
-    for ((f,t),(s,tot)) in &naive_by_pair { println!("naive {f}->{t}: {s}/{tot}"); }
+    for ((f, t), (s, tot)) in &naive_by_pair {
+        println!("naive {f}->{t}: {s}/{tot}");
+    }
     // ready rates
     let br = r.records.iter().filter(|x| x.basic_ready).count();
     let er = r.records.iter().filter(|x| x.extended_ready).count();
     let ab = r.records.iter().filter(|x| x.actual_basic).count();
     let ae = r.records.iter().filter(|x| x.actual_extended).count();
     println!("basic_ready={br} actual_basic={ab} ext_ready={er} actual_ext={ae}");
-    let mut ext_fail_pair: BTreeMap<(String,String,String),usize> = BTreeMap::new();
+    let mut ext_fail_pair: BTreeMap<(String, String, String), usize> = BTreeMap::new();
     for rec in &r.records {
         if !rec.actual_extended {
-            *ext_fail_pair.entry((rec.to_site.clone(), rec.extended_failure_class.clone().unwrap_or("?".into()), rec.suite_tag())).or_default()+=1;
+            *ext_fail_pair
+                .entry((
+                    rec.to_site.clone(),
+                    rec.extended_failure_class.clone().unwrap_or("?".into()),
+                    rec.suite_tag(),
+                ))
+                .or_default() += 1;
         }
     }
-    for ((t,c,su),n) in &ext_fail_pair { println!("extfail to={t} class={c} suite={su}: {n}"); }
+    for ((t, c, su), n) in &ext_fail_pair {
+        println!("extfail to={t} class={c} suite={su}: {n}");
+    }
 }
-trait SuiteTag { fn suite_tag(&self) -> String; }
+trait SuiteTag {
+    fn suite_tag(&self) -> String;
+}
 impl SuiteTag for feam_eval::MigrationRecord {
-    fn suite_tag(&self) -> String { format!("{:?}", self.suite) }
+    fn suite_tag(&self) -> String {
+        format!("{:?}", self.suite)
+    }
 }
 // appended second pass: per-pair extended failures

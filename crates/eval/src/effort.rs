@@ -132,8 +132,14 @@ mod tests {
             extended_ready: true,
             actual_extended: true,
             naive_success: naive,
-            naive_failure_class: (!naive)
-                .then(|| if missing { "missing-library" } else { "system-error" }.to_string()),
+            naive_failure_class: (!naive).then(|| {
+                if missing {
+                    "missing-library"
+                } else {
+                    "system-error"
+                }
+                .to_string()
+            }),
             extended_failure_class: None,
             basic_failed_determinants: vec![],
             extended_failed_determinants: vec![],
@@ -164,7 +170,9 @@ mod tests {
     #[test]
     fn feam_wins_on_any_nontrivial_workload() {
         let r = EvalResults {
-            records: (0..20).map(|i| rec(if i % 2 == 0 { "a" } else { "b" }, i % 3 == 0, true)).collect(),
+            records: (0..20)
+                .map(|i| rec(if i % 2 == 0 { "a" } else { "b" }, i % 3 == 0, true))
+                .collect(),
             ..Default::default()
         };
         let e = effort(&r);

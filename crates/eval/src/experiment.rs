@@ -117,26 +117,39 @@ impl Experiment {
     pub fn new(seed: u64) -> Self {
         let sites = standard_sites(seed);
         let corpus = TestSetBuilder::new(seed).build(&sites);
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-        Experiment { seed, sites, corpus, config: PhaseConfig::default(), threads }
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        Experiment {
+            seed,
+            sites,
+            corpus,
+            config: PhaseConfig::default(),
+            threads,
+        }
     }
 
     /// Does `site` advertise a stack of the binary's MPI implementation?
     fn has_matching_impl(site: &Site, item: &TestSetItem) -> bool {
-        let imp = item.binary.stack.as_ref().expect("corpus binaries are MPI").mpi;
+        let imp = item
+            .binary
+            .stack
+            .as_ref()
+            .expect("corpus binaries are MPI")
+            .mpi;
         site.stacks.iter().any(|s| s.stack.mpi == imp)
     }
 
     /// Run the full sweep. Deterministic in `seed`; parallel over corpus
-    /// binaries (a work-stealing index loop over crossbeam scoped threads).
+    /// binaries (a work-stealing index loop over std scoped threads).
     pub fn run(&self) -> EvalResults {
         let n = self.corpus.binaries().len();
         let slot_cells: Vec<std::sync::Mutex<Option<BinaryResults>>> =
             (0..n).map(|_| std::sync::Mutex::new(None)).collect();
         let next = std::sync::atomic::AtomicUsize::new(0);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..self.threads.max(1) {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if i >= n {
                         break;
@@ -145,8 +158,7 @@ impl Experiment {
                     *slot_cells[i].lock().expect("slot lock") = Some(result);
                 });
             }
-        })
-        .expect("worker panicked");
+        });
         let slots: Vec<Option<BinaryResults>> = slot_cells
             .into_iter()
             .map(|m| m.into_inner().expect("slot lock"))
@@ -194,8 +206,11 @@ impl Experiment {
         let bundle = run_source_phase(home, &item.image, &self.config).ok();
         if let Some(b) = &bundle {
             out.source_cpu_seconds = 30.0; // BDC+EDC+collection budget
-            out.bundle_libs =
-                b.libraries.values().map(|l| (l.soname.clone(), l.bytes.len())).collect();
+            out.bundle_libs = b
+                .libraries
+                .values()
+                .map(|l| (l.soname.clone(), l.bytes.len()))
+                .collect();
         }
 
         for (site_idx, target) in self.sites.iter().enumerate() {
@@ -309,9 +324,16 @@ impl Experiment {
         };
         let launcher = target.stacks[stack_idx].clone();
         let mut sess = plan.apply(target);
+        sess.recorder = self.config.recorder.clone();
         let path = "/home/user/run/app.bin";
         sess.stage_file(path, item.image.clone());
-        let outcome = run_mpi(&mut sess, path, &launcher, self.config.nprocs, self.config.max_attempts);
+        let outcome = run_mpi(
+            &mut sess,
+            path,
+            &launcher,
+            self.config.nprocs,
+            self.config.max_attempts,
+        );
         let class = outcome.failure.as_ref().map(|f| f.class().to_string());
         (outcome.success, class)
     }
@@ -364,7 +386,10 @@ mod tests {
             assert_ne!(rec.from_site, rec.to_site);
             // Prediction bookkeeping is self-consistent.
             assert_eq!(rec.basic_ready, rec.basic_failed_determinants.is_empty());
-            assert_eq!(rec.extended_ready, rec.extended_failed_determinants.is_empty());
+            assert_eq!(
+                rec.extended_ready,
+                rec.extended_failed_determinants.is_empty()
+            );
             if !rec.naive_success {
                 assert!(rec.naive_failure_class.is_some());
             }

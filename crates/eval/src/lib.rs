@@ -19,9 +19,10 @@ pub mod experiment;
 pub mod mode_ablation;
 pub mod recompile;
 pub mod tables;
+pub mod telemetry;
 
 pub use effort::{effort, render_effort, EffortReport};
-pub use experiment::{EvalResults, Experiment, ExcludedPair, MigrationRecord};
+pub use experiment::{EvalResults, ExcludedPair, Experiment, MigrationRecord};
 pub use mode_ablation::{mode_ablation, render_mode_ablation, ModeRow};
 pub use recompile::{recompile_comparison, render_recompile, RecompileComparison};
 pub use tables::{
@@ -29,3 +30,4 @@ pub use tables::{
     render_per_site, render_stats, render_table1, render_table2, render_table3, render_table4,
     stats, table1, table3, table4, Confusion, PerSiteRow,
 };
+pub use telemetry::{render_telemetry, telemetry_summary, TelemetrySummary};

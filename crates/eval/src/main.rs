@@ -22,6 +22,7 @@ struct Args {
     want_ablation: bool,
     want_recompile: bool,
     want_mode_ablation: bool,
+    want_telemetry: bool,
     json: Option<String>,
     all: bool,
 }
@@ -36,6 +37,7 @@ fn parse_args() -> Args {
         want_ablation: false,
         want_recompile: false,
         want_mode_ablation: false,
+        want_telemetry: false,
         json: None,
         all: false,
     };
@@ -72,6 +74,7 @@ fn parse_args() -> Args {
             "--ablation" => args.want_ablation = true,
             "--recompile" => args.want_recompile = true,
             "--mode-ablation" => args.want_mode_ablation = true,
+            "--telemetry" => args.want_telemetry = true,
             "--json" => {
                 args.json = Some(iter.next().unwrap_or_else(|| die("--json needs a path")));
             }
@@ -79,7 +82,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "feam-eval [--seed N] [--seeds K] [--table 1|2|3|4] [--figure 1|2|3|4] \
-                     [--stats] [--ablation] [--recompile] [--json PATH] [--all]"
+                     [--stats] [--ablation] [--recompile] [--telemetry] [--json PATH] [--all]"
                 );
                 std::process::exit(0);
             }
@@ -92,6 +95,7 @@ fn parse_args() -> Args {
         && !args.want_ablation
         && !args.want_recompile
         && !args.want_mode_ablation
+        && !args.want_telemetry
     {
         args.all = true;
     }
@@ -116,14 +120,24 @@ fn main() {
         || args.want_ablation
         || args.want_recompile
         || args.want_mode_ablation
+        || args.want_telemetry
         || args.json.is_some();
     if !needs_run {
         return;
     }
 
-    eprintln!("building five-site testbed and corpus (seed {}) ...", args.seed);
+    eprintln!(
+        "building five-site testbed and corpus (seed {}) ...",
+        args.seed
+    );
     let t0 = std::time::Instant::now();
-    let exp = Experiment::new(args.seed);
+    let mut exp = Experiment::new(args.seed);
+    if args.want_telemetry {
+        // Shared across worker threads: counters and span stats aggregate
+        // over the whole sweep (events are discarded, only metrics kept).
+        exp.config.recorder = feam_obs::Recorder::with_sink(Box::new(feam_obs::NullSink));
+    }
+    let exp = exp;
     eprintln!(
         "corpus: {} NAS + {} SPEC binaries; running migration sweep on {} threads ...",
         exp.corpus.count(feam_workloads::Suite::Npb),
@@ -180,6 +194,14 @@ fn main() {
         print!("{}", feam_eval::render_effort(&feam_eval::effort(&results)));
         println!();
     }
+    if args.want_telemetry {
+        let snapshot = exp.config.recorder.snapshot();
+        print!(
+            "{}",
+            feam_eval::render_telemetry(&feam_eval::telemetry_summary(&results, &snapshot))
+        );
+        println!();
+    }
     if args.all || args.want_recompile {
         print!(
             "{}",
@@ -213,9 +235,10 @@ fn main() {
             );
             rows.push((t3, t4));
         }
-        let mean = |f: &dyn Fn(&(feam_eval::tables::TableThree, feam_eval::tables::TableFour)) -> f64| {
-            rows.iter().map(f).sum::<f64>() / rows.len() as f64
-        };
+        let mean =
+            |f: &dyn Fn(&(feam_eval::tables::TableThree, feam_eval::tables::TableFour)) -> f64| {
+                rows.iter().map(f).sum::<f64>() / rows.len() as f64
+            };
         println!(
             "mean: basic {:.1}/{:.1} ext {:.1}/{:.1} before {:.1}/{:.1} after {:.1}/{:.1}",
             mean(&|r| r.0.basic_nas),
@@ -230,7 +253,7 @@ fn main() {
     }
 
     if let Some(path) = &args.json {
-        let payload = serde_json::json!({
+        let mut payload = serde_json::json!({
             "seed": args.seed,
             "table1": table1(&exp),
             "table3": table3(&results),
@@ -243,8 +266,23 @@ fn main() {
             "records": results.records,
             "excluded_count": results.excluded.len(),
         });
-        std::fs::write(path, serde_json::to_string_pretty(&payload).expect("serialize"))
-            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        if args.want_telemetry {
+            let snapshot = exp.config.recorder.snapshot();
+            if let serde_json::Value::Object(map) = &mut payload {
+                map.insert(
+                    "telemetry".to_string(),
+                    serde_json::json!({
+                        "summary": feam_eval::telemetry_summary(&results, &snapshot),
+                        "snapshot": snapshot.to_json(),
+                    }),
+                );
+            }
+        }
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&payload).expect("serialize"),
+        )
+        .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
         eprintln!("wrote {path}");
     }
 }

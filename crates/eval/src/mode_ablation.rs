@@ -62,11 +62,7 @@ pub fn render_mode_ablation(rows: &[ModeRow]) -> String {
         let _ = writeln!(
             s,
             "{:<28} {:>8.0}% {:>8.0}% {:>8.0}% {:>8.0}%",
-            r.mode,
-            r.extended_accuracy_nas,
-            r.extended_accuracy_spec,
-            r.after_nas,
-            r.after_spec,
+            r.mode, r.extended_accuracy_nas, r.extended_accuracy_spec, r.after_nas, r.after_spec,
         );
     }
     let _ = writeln!(

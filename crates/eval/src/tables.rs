@@ -46,9 +46,15 @@ pub fn table1(exp: &Experiment) -> TableOne {
         identification_accuracy: pct(correct, checked),
         checked,
         signatures: vec![
-            ("MVAPICH2".into(), "libmpich/libmpichf90, libibverbs, libibumad".into()),
+            (
+                "MVAPICH2".into(),
+                "libmpich/libmpichf90, libibverbs, libibumad".into(),
+            ),
             ("Open MPI".into(), "libnsl, libutil".into()),
-            ("MPICH2".into(), "libmpich/libmpichf90 (and not other identifiers)".into()),
+            (
+                "MPICH2".into(),
+                "libmpich/libmpichf90 (and not other identifiers)".into(),
+            ),
         ],
     }
 }
@@ -179,7 +185,11 @@ pub fn table4(r: &EvalResults) -> TableFour {
         let n = recs.len();
         let before = recs.iter().filter(|x| x.naive_success).count();
         let after = recs.iter().filter(|x| x.actual_extended).count();
-        let increase = if before == 0 { 0.0 } else { (after as f64 - before as f64) / before as f64 * 100.0 };
+        let increase = if before == 0 {
+            0.0
+        } else {
+            (after as f64 - before as f64) / before as f64 * 100.0
+        };
         (pct(before, n), pct(after, n), increase)
     };
     let (bn, an, inc_n) = calc(Suite::Npb);
@@ -198,7 +208,10 @@ pub fn table4(r: &EvalResults) -> TableFour {
 pub fn render_table4(t: &TableFour) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "TABLE IV. IMPACT OF RESOLUTION MODEL");
-    let _ = writeln!(s, "  Actual Execution Successes        | Increase due to Resolution");
+    let _ = writeln!(
+        s,
+        "  Actual Execution Successes        | Increase due to Resolution"
+    );
     let _ = writeln!(s, "  Before Resolution  After Resolution |");
     let _ = writeln!(s, "  NAS     SPEC       NAS     SPEC     | NAS     SPEC");
     let _ = writeln!(
@@ -316,7 +329,6 @@ pub fn render_stats(s: &SectionStats) -> String {
     out
 }
 
-
 /// Per-target-site breakdown: how hostile is each site, and how well does
 /// FEAM predict there (an extension beyond the paper's suite-level tables).
 #[derive(Debug, Clone, Serialize)]
@@ -331,8 +343,7 @@ pub struct PerSiteRow {
 
 /// Compute the per-site breakdown over target sites.
 pub fn per_site(r: &EvalResults) -> Vec<PerSiteRow> {
-    let mut sites: Vec<String> =
-        r.records.iter().map(|x| x.to_site.clone()).collect();
+    let mut sites: Vec<String> = r.records.iter().map(|x| x.to_site.clone()).collect();
     sites.sort();
     sites.dedup();
     sites
@@ -347,11 +358,15 @@ pub fn per_site(r: &EvalResults) -> Vec<PerSiteRow> {
                 naive_success_pct: pct(recs.iter().filter(|x| x.naive_success).count(), n),
                 after_resolution_pct: pct(recs.iter().filter(|x| x.actual_extended).count(), n),
                 basic_accuracy_pct: pct(
-                    recs.iter().filter(|x| x.basic_ready == x.actual_basic).count(),
+                    recs.iter()
+                        .filter(|x| x.basic_ready == x.actual_basic)
+                        .count(),
                     n,
                 ),
                 extended_accuracy_pct: pct(
-                    recs.iter().filter(|x| x.extended_ready == x.actual_extended).count(),
+                    recs.iter()
+                        .filter(|x| x.extended_ready == x.actual_extended)
+                        .count(),
                     n,
                 ),
             }
@@ -477,8 +492,7 @@ pub fn ablation(r: &EvalResults) -> Ablation {
             .filter(|rec| {
                 // Prediction with determinant d ignored: ready if every
                 // *other* failed determinant list is empty.
-                let ready =
-                    rec.basic_failed_determinants.iter().all(|x| *x == d);
+                let ready = rec.basic_failed_determinants.iter().all(|x| *x == d);
                 ready == rec.actual_basic
             })
             .count();
@@ -499,14 +513,25 @@ pub fn ablation(r: &EvalResults) -> Ablation {
         )
     })
     .collect();
-    Ablation { rows, full_nas: t3.basic_nas, full_spec: t3.basic_spec }
+    Ablation {
+        rows,
+        full_nas: t3.basic_nas,
+        full_spec: t3.basic_spec,
+    }
 }
 
 /// Render the ablation table.
 pub fn render_ablation(a: &Ablation) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "ABLATION: basic-prediction accuracy with one determinant disabled");
-    let _ = writeln!(s, "  full model:            NAS {:>5.1}%  SPEC {:>5.1}%", a.full_nas, a.full_spec);
+    let _ = writeln!(
+        s,
+        "ABLATION: basic-prediction accuracy with one determinant disabled"
+    );
+    let _ = writeln!(
+        s,
+        "  full model:            NAS {:>5.1}%  SPEC {:>5.1}%",
+        a.full_nas, a.full_spec
+    );
     for (name, nas, spec) in &a.rows {
         let _ = writeln!(s, "  without {name:<16} NAS {nas:>5.1}%  SPEC {spec:>5.1}%");
     }

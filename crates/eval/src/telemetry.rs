@@ -1,0 +1,215 @@
+//! Aggregated telemetry across a migration sweep.
+//!
+//! When the sweep runs with an enabled [`feam_obs::Recorder`] on
+//! [`crate::Experiment::config`], every source/target phase across every
+//! (binary, site) pair feeds the same shared metrics: component span
+//! timings, determinant verdict counters, launch-attempt counters. This
+//! module joins that snapshot with the per-record outcomes behind Tables
+//! III/IV into one per-determinant latency/accuracy summary.
+
+use crate::experiment::EvalResults;
+use feam_core::predict::Determinant;
+use feam_obs::TelemetrySnapshot;
+use serde::Serialize;
+
+/// One determinant's aggregate telemetry across the sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct DeterminantTelemetry {
+    pub determinant: String,
+    /// Verdicts recorded by the TEC across every evaluation.
+    pub passes: u64,
+    pub fails: u64,
+    /// Migrations whose extended prediction blamed this determinant.
+    pub blamed: usize,
+    /// Of those, how many actually failed to execute — how often the
+    /// blame was vindicated by ground truth.
+    pub blame_accuracy: f64,
+}
+
+/// One component span's aggregate timing across the sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct ComponentTiming {
+    pub span: String,
+    pub count: u64,
+    pub total_us: u64,
+    pub mean_us: f64,
+    pub max_us: u64,
+}
+
+/// The per-determinant latency/accuracy summary.
+#[derive(Debug, Clone, Serialize, Default)]
+pub struct TelemetrySummary {
+    pub determinants: Vec<DeterminantTelemetry>,
+    pub components: Vec<ComponentTiming>,
+    /// Launch attempts per `run_mpi` call (mean), from the shared
+    /// histogram — the §VI.C five-attempt policy's observed cost.
+    pub mean_launch_attempts: f64,
+    pub launch_runs: u64,
+    pub launch_failures: u64,
+}
+
+/// Join the sweep outcomes with the shared recorder's metrics snapshot.
+pub fn telemetry_summary(results: &EvalResults, snapshot: &TelemetrySnapshot) -> TelemetrySummary {
+    let mut summary = TelemetrySummary::default();
+
+    for det in Determinant::evaluation_order() {
+        let name = det.name();
+        let passes = snapshot
+            .counters
+            .get(&format!("determinant.{name}.pass"))
+            .copied()
+            .unwrap_or(0);
+        let fails = snapshot
+            .counters
+            .get(&format!("determinant.{name}.fail"))
+            .copied()
+            .unwrap_or(0);
+        let blamed: Vec<_> = results
+            .records
+            .iter()
+            .filter(|r| r.extended_failed_determinants.contains(&det))
+            .collect();
+        let vindicated = blamed.iter().filter(|r| !r.actual_extended).count();
+        summary.determinants.push(DeterminantTelemetry {
+            determinant: name.to_string(),
+            passes,
+            fails,
+            blamed: blamed.len(),
+            blame_accuracy: if blamed.is_empty() {
+                1.0
+            } else {
+                vindicated as f64 / blamed.len() as f64
+            },
+        });
+    }
+
+    for (span, stat) in &snapshot.spans {
+        summary.components.push(ComponentTiming {
+            span: span.clone(),
+            count: stat.count,
+            total_us: stat.total_us,
+            mean_us: if stat.count == 0 {
+                0.0
+            } else {
+                stat.total_us as f64 / stat.count as f64
+            },
+            max_us: stat.max_us,
+        });
+    }
+
+    summary.launch_runs = snapshot.counters.get("launch.runs").copied().unwrap_or(0);
+    summary.launch_failures = snapshot
+        .counters
+        .get("launch.failures")
+        .copied()
+        .unwrap_or(0);
+    summary.mean_launch_attempts = snapshot
+        .histograms
+        .get("launch.attempts")
+        .map(|h| h.mean())
+        .unwrap_or(0.0);
+    summary
+}
+
+/// Render the summary as the text block `feam-eval --telemetry` prints.
+pub fn render_telemetry(s: &TelemetrySummary) -> String {
+    let mut out = String::new();
+    out.push_str("TELEMETRY: per-determinant verdicts and blame accuracy\n");
+    out.push_str("determinant        passes   fails  blamed  blame-accuracy\n");
+    for d in &s.determinants {
+        out.push_str(&format!(
+            "{:<18} {:>6} {:>7} {:>7} {:>14.1}%\n",
+            d.determinant,
+            d.passes,
+            d.fails,
+            d.blamed,
+            d.blame_accuracy * 100.0
+        ));
+    }
+    out.push_str("\nTELEMETRY: component latency (wall-clock, across all phases)\n");
+    out.push_str("span                        count     mean      max    total\n");
+    for c in &s.components {
+        out.push_str(&format!(
+            "{:<26} {:>6} {:>8} {:>8} {:>8}\n",
+            c.span,
+            c.count,
+            format_us(c.mean_us as u64),
+            format_us(c.max_us),
+            format_us(c.total_us),
+        ));
+    }
+    out.push_str(&format!(
+        "\nlaunches: {} runs, {} failures, {:.2} mean attempts per run\n",
+        s.launch_runs, s.launch_failures, s.mean_launch_attempts
+    ));
+    out
+}
+
+fn format_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.2}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}us")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Experiment;
+    use feam_workloads::testset::TestSet;
+
+    #[test]
+    fn sweep_with_shared_recorder_aggregates_determinants() {
+        let mut e = Experiment::new(77);
+        // Trim hard for speed: one in twelve binaries.
+        let kept: Vec<_> = e
+            .corpus
+            .binaries()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 12 == 0)
+            .map(|(_, b)| b.clone())
+            .collect();
+        let mut set = TestSet::default();
+        for k in kept {
+            set.push(k);
+        }
+        e.corpus = set;
+        e.config.recorder = feam_obs::Recorder::with_sink(Box::new(feam_obs::NullSink));
+
+        let results = e.run();
+        let snapshot = e.config.recorder.snapshot();
+        let summary = telemetry_summary(&results, &snapshot);
+
+        // Every migration record evaluates Isa, so the counter total must
+        // cover at least one verdict per target-phase run (two runs per
+        // record: basic + extended).
+        let isa = &summary.determinants[0];
+        assert_eq!(isa.determinant, "Isa");
+        assert!(
+            isa.passes + isa.fails >= results.records.len() as u64,
+            "Isa verdicts {} must cover the {} records",
+            isa.passes + isa.fails,
+            results.records.len()
+        );
+        // The sweep ran phases, so component spans were recorded.
+        assert!(summary
+            .components
+            .iter()
+            .any(|c| c.span == "target_phase" && c.count > 0));
+        assert!(summary.components.iter().any(|c| c.span == "tec"));
+        // Ground-truth executions record launch metrics.
+        assert!(summary.launch_runs > 0);
+        assert!(summary.mean_launch_attempts >= 1.0);
+        // Accuracy is a probability.
+        for d in &summary.determinants {
+            assert!((0.0..=1.0).contains(&d.blame_accuracy));
+        }
+        let text = render_telemetry(&summary);
+        assert!(text.contains("Isa"));
+        assert!(text.contains("target_phase"));
+    }
+}

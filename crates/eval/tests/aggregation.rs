@@ -2,7 +2,7 @@
 //! records — the table computations must be correct independent of the
 //! simulator.
 
-use feam_eval::tables::{confusion, per_site, pct, table3, table4};
+use feam_eval::tables::{confusion, pct, per_site, table3, table4};
 use feam_eval::{EvalResults, MigrationRecord};
 use feam_workloads::benchmarks::Suite;
 
@@ -36,7 +36,10 @@ fn rec(
 }
 
 fn results(records: Vec<MigrationRecord>) -> EvalResults {
-    EvalResults { records, ..Default::default() }
+    EvalResults {
+        records,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -61,7 +64,13 @@ fn table4_increase_is_relative_to_before() {
         rec(Suite::SpecMpi2007, "x", (true, true), (true, true), true),
         rec(Suite::SpecMpi2007, "x", (true, true), (true, true), true),
         rec(Suite::SpecMpi2007, "x", (true, true), (true, true), false),
-        rec(Suite::SpecMpi2007, "x", (false, false), (false, false), false),
+        rec(
+            Suite::SpecMpi2007,
+            "x",
+            (false, false),
+            (false, false),
+            false,
+        ),
     ]);
     let t = table4(&r);
     assert!((t.before_spec - 50.0).abs() < 1e-9);

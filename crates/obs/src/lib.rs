@@ -1,0 +1,473 @@
+//! # feam-obs — structured tracing and metrics for the FEAM pipeline
+//!
+//! The paper's operational claims — target phases under five minutes
+//! (§VI.C), accuracy decomposing per determinant (Tables III–IV) — are
+//! only auditable with a per-step evidence trail. This crate provides one
+//! with zero external dependencies:
+//!
+//! * **Spans** — nested, monotonically timed regions (`source_phase` →
+//!   `bdc` → `bdc.collect_libraries`, …) with parent/child links.
+//! * **Events** — point-in-time records (a determinant verdict, a launch
+//!   attempt, a library resolution outcome) attached to the current span.
+//! * **Metrics** — named counters and histograms plus per-span-name
+//!   duration statistics, exportable as a [`TelemetrySnapshot`].
+//! * **Sinks** — where events go: nowhere ([`Recorder::disabled`], the
+//!   no-op default threaded through the pipeline at ~zero cost), an
+//!   in-memory buffer ([`MemorySink`], for tests and aggregation), or a
+//!   JSON-lines file ([`JsonlSink`], the `feam demo --trace` /
+//!   `FEAM_TRACE=` output).
+//!
+//! ## JSONL schema
+//!
+//! One JSON object per line, in emission order:
+//!
+//! ```json
+//! {"ts_us":12,"kind":"span_start","name":"target_phase","span":1,"parent":null}
+//! {"ts_us":90,"kind":"event","name":"determinant","span":2,"parent":2,"fields":{"determinant":"Isa","compatible":true}}
+//! {"ts_us":151,"kind":"span_end","name":"target_phase","span":1,"parent":null,"dur_us":139}
+//! ```
+//!
+//! `ts_us` is microseconds since the recorder was created (monotonic).
+//! `span` is the event's own span id for span records, or the enclosing
+//! span id for instant events. `dur_us` is present on `span_end` only.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+mod metrics;
+mod sink;
+pub mod trace;
+
+pub use metrics::{HistStat, SpanStat, TelemetrySnapshot};
+pub use sink::{JsonlSink, MemorySink, NullSink, Sink};
+
+use metrics::Metrics;
+
+/// A field value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    Str(String),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+}
+
+impl FieldValue {
+    pub fn to_json(&self) -> serde_json::Value {
+        match self {
+            FieldValue::Str(s) => serde_json::__to_value(s),
+            FieldValue::U64(v) => serde_json::__to_value(v),
+            FieldValue::I64(v) => serde_json::__to_value(v),
+            FieldValue::F64(v) => serde_json::__to_value(v),
+            FieldValue::Bool(v) => serde_json::__to_value(v),
+        }
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+/// What kind of record an [`Event`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    SpanStart,
+    SpanEnd,
+    Instant,
+}
+
+impl EventKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::SpanStart => "span_start",
+            EventKind::SpanEnd => "span_end",
+            EventKind::Instant => "event",
+        }
+    }
+}
+
+/// One structured record, as delivered to sinks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Microseconds since the recorder was created (monotonic clock).
+    pub ts_us: u64,
+    pub kind: EventKind,
+    pub name: String,
+    /// The event's span id (span records) or enclosing span id (instant
+    /// events; 0 when emitted outside any span).
+    pub span: u64,
+    /// Parent span id, when inside a span.
+    pub parent: Option<u64>,
+    /// Span duration in microseconds; `span_end` only.
+    pub dur_us: Option<u64>,
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl Event {
+    /// The JSONL representation of this event.
+    pub fn to_json(&self) -> serde_json::Value {
+        let mut fields = serde_json::Map::new();
+        for (k, v) in &self.fields {
+            fields.insert(k.clone(), v.to_json());
+        }
+        serde_json::json!({
+            "ts_us": self.ts_us,
+            "kind": self.kind.as_str(),
+            "name": self.name,
+            "span": self.span,
+            "parent": self.parent,
+            "dur_us": self.dur_us,
+            "fields": serde_json::Value::Object(fields),
+        })
+    }
+}
+
+struct Inner {
+    start: Instant,
+    next_id: AtomicU64,
+    sink: Box<dyn Sink>,
+    metrics: Metrics,
+}
+
+thread_local! {
+    /// The innermost live span on this thread (0 = none). Guards restore
+    /// the previous value on drop, so independent recorders interleave
+    /// correctly.
+    static CURRENT_SPAN: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Handle to the tracing/metrics layer. Cheap to clone; a disabled
+/// recorder (the default) costs one branch per instrumentation point.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Recorder {
+    /// The no-op recorder: every operation is a cheap early return.
+    pub fn disabled() -> Self {
+        Recorder { inner: None }
+    }
+
+    /// A recorder delivering events to `sink`.
+    pub fn with_sink(sink: Box<dyn Sink>) -> Self {
+        Recorder {
+            inner: Some(Arc::new(Inner {
+                start: Instant::now(),
+                next_id: AtomicU64::new(1),
+                sink,
+                metrics: Metrics::default(),
+            })),
+        }
+    }
+
+    /// A recorder buffering events in memory; returns the buffer handle.
+    pub fn memory() -> (Self, Arc<MemorySink>) {
+        let sink = Arc::new(MemorySink::default());
+        (Self::with_sink(Box::new(sink.clone())), sink)
+    }
+
+    /// A recorder appending JSON lines to the file at `path`.
+    pub fn jsonl_file(path: &str) -> std::io::Result<Self> {
+        Ok(Self::with_sink(Box::new(JsonlSink::create(path)?)))
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn now_us(inner: &Inner) -> u64 {
+        inner.start.elapsed().as_micros() as u64
+    }
+
+    /// Open a span; it closes (and is timed) when the guard drops.
+    pub fn span(&self, name: &str) -> Span {
+        let Some(inner) = &self.inner else {
+            return Span {
+                rec: None,
+                id: 0,
+                prev: 0,
+                name: String::new(),
+                started: None,
+            };
+        };
+        let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let prev = CURRENT_SPAN.with(|c| c.replace(id));
+        let parent = if prev == 0 { None } else { Some(prev) };
+        inner.sink.record(&Event {
+            ts_us: Self::now_us(inner),
+            kind: EventKind::SpanStart,
+            name: name.to_string(),
+            span: id,
+            parent,
+            dur_us: None,
+            fields: Vec::new(),
+        });
+        Span {
+            rec: Some(self.clone()),
+            id,
+            prev,
+            name: name.to_string(),
+            started: Some(Instant::now()),
+        }
+    }
+
+    /// Emit an instant event attached to the current span.
+    pub fn event(&self, name: &str, fields: &[(&str, FieldValue)]) {
+        let Some(inner) = &self.inner else { return };
+        let current = CURRENT_SPAN.with(|c| c.get());
+        inner.sink.record(&Event {
+            ts_us: Self::now_us(inner),
+            kind: EventKind::Instant,
+            name: name.to_string(),
+            span: current,
+            parent: if current == 0 { None } else { Some(current) },
+            dur_us: None,
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        });
+    }
+
+    /// Add `delta` to the named counter.
+    pub fn count(&self, name: &str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.count(name, delta);
+        }
+    }
+
+    /// Record one observation into the named histogram.
+    pub fn observe(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.observe(name, value);
+        }
+    }
+
+    /// A point-in-time copy of all metrics (span stats, counters,
+    /// histograms). Empty for a disabled recorder.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        match &self.inner {
+            Some(inner) => inner.metrics.snapshot(),
+            None => TelemetrySnapshot::default(),
+        }
+    }
+
+    /// Flush the sink (meaningful for file sinks).
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            inner.sink.flush();
+        }
+    }
+}
+
+/// RAII guard for an open span. Dropping it emits `span_end` with the
+/// measured duration and folds the duration into the span statistics.
+pub struct Span {
+    rec: Option<Recorder>,
+    id: u64,
+    prev: u64,
+    name: String,
+    started: Option<Instant>,
+}
+
+impl Span {
+    /// The span id (0 for a disabled recorder's no-op span).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(rec) = &self.rec else { return };
+        let Some(inner) = &rec.inner else { return };
+        CURRENT_SPAN.with(|c| c.set(self.prev));
+        let dur_us = self
+            .started
+            .map(|t| t.elapsed().as_micros() as u64)
+            .unwrap_or(0);
+        inner.metrics.span_finished(&self.name, dur_us);
+        inner.sink.record(&Event {
+            ts_us: Recorder::now_us(inner),
+            kind: EventKind::SpanEnd,
+            name: std::mem::take(&mut self.name),
+            span: self.id,
+            parent: if self.prev == 0 {
+                None
+            } else {
+                Some(self.prev)
+            },
+            dur_us: Some(dur_us),
+            fields: Vec::new(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let rec = Recorder::disabled();
+        {
+            let _outer = rec.span("outer");
+            rec.event("ev", &[("k", 1u64.into())]);
+            rec.count("c", 3);
+            rec.observe("h", 1.0);
+        }
+        assert!(!rec.is_enabled());
+        assert!(rec.snapshot().is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_time() {
+        let (rec, sink) = Recorder::memory();
+        {
+            let _outer = rec.span("outer");
+            rec.event("marker", &[("x", true.into())]);
+            {
+                let _inner = rec.span("inner");
+            }
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 5); // start, event, start, end, end
+        assert_eq!(events[0].kind, EventKind::SpanStart);
+        assert_eq!(events[0].name, "outer");
+        assert_eq!(events[0].parent, None);
+        assert_eq!(events[1].kind, EventKind::Instant);
+        assert_eq!(events[1].span, events[0].span);
+        assert_eq!(events[2].name, "inner");
+        assert_eq!(events[2].parent, Some(events[0].span));
+        assert_eq!(events[3].kind, EventKind::SpanEnd);
+        assert_eq!(events[3].name, "inner");
+        assert_eq!(events[4].name, "outer");
+        // Durations are present and non-negative by type; outer ⊇ inner.
+        assert!(events[4].dur_us.unwrap() >= events[3].dur_us.unwrap());
+
+        let snap = rec.snapshot();
+        assert_eq!(snap.spans["outer"].count, 1);
+        assert_eq!(snap.spans["inner"].count, 1);
+    }
+
+    #[test]
+    fn sibling_spans_share_a_parent() {
+        let (rec, sink) = Recorder::memory();
+        {
+            let _outer = rec.span("outer");
+            {
+                let _a = rec.span("a");
+            }
+            {
+                let _b = rec.span("b");
+            }
+        }
+        let events = sink.events();
+        let outer_id = events[0].span;
+        let a_start = events.iter().find(|e| e.name == "a").unwrap();
+        let b_start = events
+            .iter()
+            .find(|e| e.name == "b" && e.kind == EventKind::SpanStart)
+            .unwrap();
+        assert_eq!(a_start.parent, Some(outer_id));
+        assert_eq!(b_start.parent, Some(outer_id));
+    }
+
+    #[test]
+    fn counters_and_histograms_snapshot() {
+        let (rec, _sink) = Recorder::memory();
+        rec.count("attempts", 2);
+        rec.count("attempts", 3);
+        rec.observe("wait", 1.0);
+        rec.observe("wait", 9.0);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters["attempts"], 5);
+        let h = &snap.histograms["wait"];
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 10.0);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 9.0);
+    }
+
+    #[test]
+    fn events_serialize_to_jsonl_schema() {
+        let (rec, sink) = Recorder::memory();
+        {
+            let _s = rec.span("phase");
+            rec.event(
+                "verdict",
+                &[("compatible", true.into()), ("n", 4u32.into())],
+            );
+        }
+        let lines: Vec<String> = sink
+            .events()
+            .iter()
+            .map(|e| serde_json::to_string(&e.to_json()).unwrap())
+            .collect();
+        for line in &lines {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert!(v["ts_us"].as_u64().is_some());
+            assert!(v["kind"].as_str().is_some());
+        }
+        let v: serde_json::Value = serde_json::from_str(&lines[1]).unwrap();
+        assert_eq!(v["kind"], "event");
+        assert_eq!(v["fields"]["compatible"], true);
+        assert_eq!(v["fields"]["n"], 4u64);
+    }
+}

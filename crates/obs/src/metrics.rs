@@ -1,0 +1,156 @@
+//! Counters, histograms, and per-span-name duration statistics.
+//!
+//! All state lives behind one mutex; instrumentation points are far too
+//! coarse (phase boundaries, launch attempts) for contention to matter.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+/// Upper bounds (inclusive) of the fixed histogram buckets, in the unit
+/// of whatever is observed (seconds for queue waits, attempts for launch
+/// counts). The final implicit bucket is +inf.
+pub const BUCKET_BOUNDS: [f64; 10] = [1.0, 2.0, 3.0, 5.0, 10.0, 30.0, 100.0, 300.0, 1000.0, 3600.0];
+
+/// Aggregate duration statistics for one span name.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SpanStat {
+    pub count: u64,
+    pub total_us: u64,
+    pub max_us: u64,
+}
+
+/// A fixed-bucket histogram plus simple summary statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistStat {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+    /// Counts per bucket; index i covers values <= `BUCKET_BOUNDS[i]`,
+    /// with one trailing overflow bucket.
+    pub buckets: Vec<u64>,
+}
+
+impl Default for HistStat {
+    fn default() -> Self {
+        HistStat {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: vec![0; BUCKET_BOUNDS.len() + 1],
+        }
+    }
+}
+
+impl HistStat {
+    fn observe(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        if value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+        let idx = BUCKET_BOUNDS
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(BUCKET_BOUNDS.len());
+        self.buckets[idx] += 1;
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time copy of all recorded metrics. This is the object that
+/// lands under the `"telemetry"` key of the migration report.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    pub spans: BTreeMap<String, SpanStat>,
+    pub counters: BTreeMap<String, u64>,
+    pub histograms: BTreeMap<String, HistStat>,
+}
+
+impl TelemetrySnapshot {
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::to_value(self).expect("telemetry snapshot serializes")
+    }
+}
+
+#[derive(Default)]
+pub(crate) struct Metrics {
+    state: Mutex<TelemetrySnapshot>,
+}
+
+impl Metrics {
+    pub(crate) fn count(&self, name: &str, delta: u64) {
+        let mut s = self.state.lock().unwrap();
+        *s.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    pub(crate) fn observe(&self, name: &str, value: f64) {
+        let mut s = self.state.lock().unwrap();
+        s.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    pub(crate) fn span_finished(&self, name: &str, dur_us: u64) {
+        let mut s = self.state.lock().unwrap();
+        let stat = s.spans.entry(name.to_string()).or_default();
+        stat.count += 1;
+        stat.total_us += dur_us;
+        if dur_us > stat.max_us {
+            stat.max_us = dur_us;
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> TelemetrySnapshot {
+        self.state.lock().unwrap().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_cover_range() {
+        let mut h = HistStat::default();
+        h.observe(0.5); // bucket 0 (<= 1)
+        h.observe(4.0); // bucket 3 (<= 5)
+        h.observe(10_000.0); // overflow bucket
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[3], 1);
+        assert_eq!(h.buckets[BUCKET_BOUNDS.len()], 1);
+        assert_eq!(h.count, 3);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let m = Metrics::default();
+        m.count("launch.attempts", 7);
+        m.observe("queue.wait_s", 2.5);
+        m.span_finished("target_phase", 1234);
+        let snap = m.snapshot();
+        let v = snap.to_json();
+        let text = serde_json::to_string(&v).unwrap();
+        let back: serde_json::Value = serde_json::from_str(&text).unwrap();
+        let snap2: TelemetrySnapshot = serde_json::from_value(back).unwrap();
+        assert_eq!(snap, snap2);
+    }
+}

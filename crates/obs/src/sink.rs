@@ -1,0 +1,92 @@
+//! Event sinks: where trace records go.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::sync::{Arc, Mutex};
+
+use crate::Event;
+
+/// Destination for trace events. Implementations must be thread-safe;
+/// spans may close on worker threads.
+pub trait Sink: Send + Sync {
+    fn record(&self, event: &Event);
+    fn flush(&self) {}
+}
+
+/// Discards everything. [`crate::Recorder::disabled`] never reaches its
+/// sink at all; this type exists for code that needs a `Box<dyn Sink>`
+/// placeholder.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn record(&self, _event: &Event) {}
+}
+
+/// Buffers events in memory; used by tests and by the eval telemetry
+/// aggregation.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// A copy of every event recorded so far, in emission order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().unwrap().clone()
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, event: &Event) {
+        self.events.lock().unwrap().push(event.clone());
+    }
+}
+
+impl Sink for Arc<MemorySink> {
+    fn record(&self, event: &Event) {
+        self.as_ref().record(event);
+    }
+}
+
+/// Writes one compact JSON object per line to a file.
+pub struct JsonlSink {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    pub fn create(path: &str) -> std::io::Result<Self> {
+        Ok(JsonlSink {
+            out: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, event: &Event) {
+        let line = serde_json::to_string(&event.to_json()).expect("event serializes");
+        let mut out = self.out.lock().unwrap();
+        // Ignore I/O errors: tracing must never take down the pipeline.
+        let _ = writeln!(out, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().unwrap().flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        if let Ok(mut out) = self.out.lock() {
+            let _ = out.flush();
+        }
+    }
+}

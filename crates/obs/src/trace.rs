@@ -1,0 +1,223 @@
+//! Reading traces back: JSONL parsing, span-tree reconstruction, and the
+//! per-phase timing breakdown table shown by `feam demo --trace`.
+
+use std::collections::BTreeMap;
+
+use crate::{Event, EventKind, FieldValue};
+
+/// Parse one JSONL trace document (as written by [`crate::JsonlSink`])
+/// back into events. Lines that are not valid trace records are skipped.
+pub fn parse_trace(text: &str) -> Vec<Event> {
+    text.lines().filter_map(parse_line).collect()
+}
+
+fn parse_line(line: &str) -> Option<Event> {
+    let line = line.trim();
+    if line.is_empty() {
+        return None;
+    }
+    let v: serde_json::Value = serde_json::from_str(line).ok()?;
+    let kind = match v["kind"].as_str()? {
+        "span_start" => EventKind::SpanStart,
+        "span_end" => EventKind::SpanEnd,
+        "event" => EventKind::Instant,
+        _ => return None,
+    };
+    let mut fields = Vec::new();
+    if let Some(map) = v["fields"].as_object() {
+        for (k, fv) in map.iter() {
+            let value = if let Some(b) = fv.as_bool() {
+                FieldValue::Bool(b)
+            } else if let Some(u) = fv.as_u64() {
+                FieldValue::U64(u)
+            } else if let Some(i) = fv.as_i64() {
+                FieldValue::I64(i)
+            } else if let Some(f) = fv.as_f64() {
+                FieldValue::F64(f)
+            } else if let Some(s) = fv.as_str() {
+                FieldValue::Str(s.to_string())
+            } else {
+                continue;
+            };
+            fields.push((k.clone(), value));
+        }
+    }
+    Some(Event {
+        ts_us: v["ts_us"].as_u64()?,
+        kind,
+        name: v["name"].as_str()?.to_string(),
+        span: v["span"].as_u64().unwrap_or(0),
+        parent: v["parent"].as_u64(),
+        dur_us: v["dur_us"].as_u64(),
+        fields,
+    })
+}
+
+/// One reconstructed span with its resolved depth in the span tree.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    pub id: u64,
+    pub name: String,
+    pub parent: Option<u64>,
+    pub depth: usize,
+    pub start_us: u64,
+    pub dur_us: u64,
+    /// Number of instant events recorded inside this span (directly).
+    pub events: usize,
+}
+
+/// Rebuild completed spans from an event stream, in start order.
+pub fn span_tree(events: &[Event]) -> Vec<SpanRecord> {
+    let mut spans: Vec<SpanRecord> = Vec::new();
+    let mut index: BTreeMap<u64, usize> = BTreeMap::new();
+    for ev in events {
+        match ev.kind {
+            EventKind::SpanStart => {
+                let depth = ev
+                    .parent
+                    .and_then(|p| index.get(&p))
+                    .map(|&i| spans[i].depth + 1)
+                    .unwrap_or(0);
+                index.insert(ev.span, spans.len());
+                spans.push(SpanRecord {
+                    id: ev.span,
+                    name: ev.name.clone(),
+                    parent: ev.parent,
+                    depth,
+                    start_us: ev.ts_us,
+                    dur_us: 0,
+                    events: 0,
+                });
+            }
+            EventKind::SpanEnd => {
+                if let Some(&i) = index.get(&ev.span) {
+                    spans[i].dur_us = ev
+                        .dur_us
+                        .unwrap_or(ev.ts_us.saturating_sub(spans[i].start_us));
+                }
+            }
+            EventKind::Instant => {
+                if let Some(&i) = index.get(&ev.span) {
+                    spans[i].events += 1;
+                }
+            }
+        }
+    }
+    spans
+}
+
+/// Render the per-phase timing breakdown table for a trace: one row per
+/// span, indented by tree depth, with duration and share of the root.
+pub fn render_breakdown(events: &[Event]) -> String {
+    let spans = span_tree(events);
+    if spans.is_empty() {
+        return "trace contains no spans\n".to_string();
+    }
+    let total_us: u64 = spans
+        .iter()
+        .filter(|s| s.parent.is_none())
+        .map(|s| s.dur_us)
+        .sum();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<44} {:>12} {:>7} {:>7}\n",
+        "span", "duration", "share", "events"
+    ));
+    out.push_str(&format!("{:-<44} {:->12} {:->7} {:->7}\n", "", "", "", ""));
+    for s in &spans {
+        let label = format!("{}{}", "  ".repeat(s.depth), s.name);
+        let share = if total_us > 0 {
+            format!("{:.1}%", 100.0 * s.dur_us as f64 / total_us as f64)
+        } else {
+            "-".to_string()
+        };
+        out.push_str(&format!(
+            "{:<44} {:>12} {:>7} {:>7}\n",
+            label,
+            format_us(s.dur_us),
+            share,
+            s.events
+        ));
+    }
+    let n_events = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Instant)
+        .count();
+    out.push_str(&format!(
+        "\n{} spans, {} events, {} total\n",
+        spans.len(),
+        n_events,
+        format_us(total_us)
+    ));
+    out
+}
+
+fn format_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.2}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}us")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    fn sample_events() -> Vec<Event> {
+        let (rec, sink) = Recorder::memory();
+        {
+            let _outer = rec.span("target_phase");
+            {
+                let _bdc = rec.span("bdc");
+                rec.event("library", &[("name", "libc.so.6".into())]);
+            }
+            {
+                let _tec = rec.span("tec");
+            }
+        }
+        sink.events()
+    }
+
+    #[test]
+    fn round_trip_through_jsonl() {
+        let events = sample_events();
+        let text: String = events
+            .iter()
+            .map(|e| serde_json::to_string(&e.to_json()).unwrap() + "\n")
+            .collect();
+        let parsed = parse_trace(&text);
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn tree_reconstruction_assigns_depths() {
+        let spans = span_tree(&sample_events());
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].name, "target_phase");
+        assert_eq!(spans[0].depth, 0);
+        assert_eq!(spans[1].name, "bdc");
+        assert_eq!(spans[1].depth, 1);
+        assert_eq!(spans[1].events, 1);
+        assert_eq!(spans[2].name, "tec");
+        assert_eq!(spans[2].parent, Some(spans[0].id));
+    }
+
+    #[test]
+    fn breakdown_renders_all_spans() {
+        let text = render_breakdown(&sample_events());
+        assert!(text.contains("target_phase"));
+        assert!(text.contains("  bdc"));
+        assert!(text.contains("  tec"));
+        assert!(text.contains("3 spans"));
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped() {
+        let events = parse_trace("not json\n{\"kind\":\"bogus\"}\n\n");
+        assert!(events.is_empty());
+    }
+}

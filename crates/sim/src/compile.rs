@@ -113,7 +113,11 @@ pub enum CompileError {
     /// The source does not build with this stack/compiler combination
     /// (the paper: "Some benchmarks would not compile with certain MPI
     /// stacks combinations").
-    DoesNotCompile { program: String, stack: String, reason: String },
+    DoesNotCompile {
+        program: String,
+        stack: String,
+        reason: String,
+    },
     /// No such compiler at the site.
     CompilerMissing(CompilerFamily),
     /// Internal ELF synthesis error.
@@ -123,16 +127,49 @@ pub enum CompileError {
 impl std::fmt::Display for CompileError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CompileError::DoesNotCompile { program, stack, reason } => {
+            CompileError::DoesNotCompile {
+                program,
+                stack,
+                reason,
+            } => {
                 write!(f, "{program} does not compile with {stack}: {reason}")
             }
-            CompileError::CompilerMissing(fam) => write!(f, "{} compiler not installed", fam.name()),
+            CompileError::CompilerMissing(fam) => {
+                write!(f, "{} compiler not installed", fam.name())
+            }
             CompileError::Synthesis(msg) => write!(f, "toolchain error: {msg}"),
         }
     }
 }
 
 impl std::error::Error for CompileError {}
+
+/// [`compile`] wrapped in a trace span: records one `compile` span per
+/// invocation plus a `compile_done` event with the program name and
+/// outcome.
+pub fn compile_traced(
+    rec: &feam_obs::Recorder,
+    site: &Site,
+    stack: Option<&InstalledStack>,
+    prog: &ProgramSpec,
+    seed: u64,
+) -> Result<CompiledBinary, CompileError> {
+    let _span = rec.span("compile");
+    let result = compile(site, stack, prog, seed);
+    rec.event(
+        "compile_done",
+        &[
+            ("program", prog.name.as_str().into()),
+            ("site", site.name().into()),
+            ("ok", result.is_ok().into()),
+        ],
+    );
+    rec.count("compile.runs", 1);
+    if result.is_err() {
+        rec.count("compile.failures", 1);
+    }
+    result
+}
 
 /// Compile `prog` at `site` using `stack` (or no stack for serial
 /// programs). `seed` drives all sampling; the same inputs always produce
@@ -146,12 +183,11 @@ pub fn compile(
     let (machine, class) = site.config.arch.native_target();
     let compiler = match stack {
         Some(ist) => ist.stack.compiler.clone(),
-        None => {
-            site.compiler(CompilerFamily::Gnu)
-                .ok_or(CompileError::CompilerMissing(CompilerFamily::Gnu))?
-                .compiler
-                .clone()
-        }
+        None => site
+            .compiler(CompilerFamily::Gnu)
+            .ok_or(CompileError::CompilerMissing(CompilerFamily::Gnu))?
+            .compiler
+            .clone(),
     };
     if site.compiler(compiler.family).is_none() {
         return Err(CompileError::CompilerMissing(compiler.family));
@@ -164,8 +200,8 @@ pub fn compile(
     let h = |tag: &str| rng::hash_parts(seed, &[&ident, tag]);
 
     let mut spec = ElfSpec::executable(machine, class);
-    spec.text_size = prog.text_size
-        + (rng::unit_f64(h("size")) * prog.text_size as f64 * 0.5) as usize;
+    spec.text_size =
+        prog.text_size + (rng::unit_f64(h("size")) * prog.text_size as f64 * 0.5) as usize;
 
     // ---- DT_NEEDED assembly (link order: MPI, runtimes, system) ----------
     if let Some(ist) = stack {
@@ -198,7 +234,8 @@ pub fn compile(
     };
     // Baseline symbols every program uses.
     for sym in ["printf", "memcpy", "malloc", "exit"] {
-        spec.imports.push(ImportSpec::versioned(sym, "libc.so.6", &effective("2.0")));
+        spec.imports
+            .push(ImportSpec::versioned(sym, "libc.so.6", &effective("2.0")));
     }
     // Sampled newer symbols, bounded by the build site's glibc.
     for (sym, ver) in libc::symbols_up_to(&site.config.glibc) {
@@ -206,10 +243,12 @@ pub fn compile(
         let bb = libc::glibc_version(base);
         let is_newer = vv.cmp_same_prefix(&bb).map(|o| o.is_gt()).unwrap_or(false);
         if is_newer && rng::chance(seed, &[&ident, "glibc-sym", sym], prog.glibc_appetite) {
-            spec.imports.push(ImportSpec::versioned(sym, "libc.so.6", &effective(ver)));
+            spec.imports
+                .push(ImportSpec::versioned(sym, "libc.so.6", &effective(ver)));
         }
     }
-    spec.imports.push(ImportSpec::versioned("sin", "libm.so.6", &effective("2.0")));
+    spec.imports
+        .push(ImportSpec::versioned("sin", "libm.so.6", &effective("2.0")));
 
     // ---- MPI footprint --------------------------------------------------------
     if let (Some(ist), true) = (stack, prog.uses_mpi) {
@@ -218,12 +257,15 @@ pub fn compile(
             spec.imports.push(ImportSpec::plain(sym, &c_lib));
         }
         if prog.language.needs_fortran_rt() {
-            spec.imports
-                .push(ImportSpec::plain("mpi_init_", &ist.stack.fortran_lib_soname()));
+            spec.imports.push(ImportSpec::plain(
+                "mpi_init_",
+                &ist.stack.fortran_lib_soname(),
+            ));
         }
         // The implementation identity marker — what makes MPI types
         // non-interchangeable at link level.
-        spec.imports.push(ImportSpec::plain(ist.stack.mpi.rt_marker(), &c_lib));
+        spec.imports
+            .push(ImportSpec::plain(ist.stack.mpi.rt_marker(), &c_lib));
         // The exact-version ABI marker, sometimes.
         if rng::chance(seed, &[&ident, "mpi-abi"], prog.mpi_abi_marker_prob) {
             spec.imports.push(ImportSpec::plain(
@@ -238,9 +280,12 @@ pub fn compile(
         CompilerFamily::Gnu => {
             if prog.language.needs_fortran_rt() {
                 let f_so = crate::toolchain::gnu_fortran_soname(&compiler);
-                spec.imports.push(ImportSpec::plain("_gfortran_st_write", f_so));
                 spec.imports
-                    .push(ImportSpec::plain(&rt_marker(CompilerFamily::Gnu, compiler.major()), f_so));
+                    .push(ImportSpec::plain("_gfortran_st_write", f_so));
+                spec.imports.push(ImportSpec::plain(
+                    &rt_marker(CompilerFamily::Gnu, compiler.major()),
+                    f_so,
+                ));
             }
         }
         CompilerFamily::Intel => {
@@ -250,17 +295,20 @@ pub fn compile(
                 "libimf.so",
             ));
             if prog.language.needs_fortran_rt() {
-                spec.imports.push(ImportSpec::plain("for_write_seq_lis", "libifcore.so.5"));
+                spec.imports
+                    .push(ImportSpec::plain("for_write_seq_lis", "libifcore.so.5"));
             }
         }
         CompilerFamily::Pgi => {
-            spec.imports.push(ImportSpec::plain("__c_mcopy8", "libpgc.so"));
+            spec.imports
+                .push(ImportSpec::plain("__c_mcopy8", "libpgc.so"));
             spec.imports.push(ImportSpec::plain(
                 &rt_marker(CompilerFamily::Pgi, compiler.major()),
                 "libpgc.so",
             ));
             if prog.language.needs_fortran_rt() {
-                spec.imports.push(ImportSpec::plain("pgf90_alloc", "libpgf90.so"));
+                spec.imports
+                    .push(ImportSpec::plain("pgf90_alloc", "libpgf90.so"));
             }
         }
     }
@@ -283,7 +331,8 @@ pub fn compile(
                         .push((cxx_so.to_string(), format!("GLIBCXX_3.4.{lvl}")));
                 }
             } else {
-                spec.imports.push(ImportSpec::plain("_ZNSt8ios_base4InitC1Ev", cxx_so));
+                spec.imports
+                    .push(ImportSpec::plain("_ZNSt8ios_base4InitC1Ev", cxx_so));
             }
         }
     }
@@ -315,7 +364,11 @@ fn kernel_triple(kernel: &str) -> (u32, u32, u32) {
         .split(|c: char| !c.is_ascii_digit())
         .filter(|s| !s.is_empty())
         .map(|s| s.parse().unwrap_or(0));
-    (nums.next().unwrap_or(2), nums.next().unwrap_or(6), nums.next().unwrap_or(0))
+    (
+        nums.next().unwrap_or(2),
+        nums.next().unwrap_or(6),
+        nums.next().unwrap_or(0),
+    )
 }
 
 /// Identify the MPI implementation a binary was built with from its own
@@ -467,8 +520,13 @@ mod tests {
     fn binary_mpi_impl_identified_from_marker() {
         let s = site();
         let ist = s.stacks[0].clone();
-        let bin = compile(&s, Some(&ist), &ProgramSpec::new("mg.B.4", Language::Fortran), 3)
-            .unwrap();
+        let bin = compile(
+            &s,
+            Some(&ist),
+            &ProgramSpec::new("mg.B.4", Language::Fortran),
+            3,
+        )
+        .unwrap();
         let meta = crate::loader::ObjectMeta::parse(&bin.image).unwrap();
         assert_eq!(binary_mpi_impl(&meta), Some(MpiImpl::OpenMpi));
     }

@@ -42,7 +42,10 @@ pub enum FailureCause {
     /// symbol).
     Load(LoadError),
     /// The launcher's MPI implementation does not match the binary's.
-    MpiLauncherMismatch { binary_impl: String, launcher_impl: String },
+    MpiLauncherMismatch {
+        binary_impl: String,
+        launcher_impl: String,
+    },
     /// The selected stack is misconfigured and cannot launch anything.
     StackMisconfigured(String),
     /// Runtime floating-point exception (SIGFPE).
@@ -79,8 +82,14 @@ impl std::fmt::Display for FailureCause {
         match self {
             FailureCause::NotExecutable(msg) => write!(f, "cannot execute: {msg}"),
             FailureCause::Load(e) => write!(f, "{e}"),
-            FailureCause::MpiLauncherMismatch { binary_impl, launcher_impl } => {
-                write!(f, "binary built for {binary_impl} but launched with {launcher_impl}")
+            FailureCause::MpiLauncherMismatch {
+                binary_impl,
+                launcher_impl,
+            } => {
+                write!(
+                    f,
+                    "binary built for {binary_impl} but launched with {launcher_impl}"
+                )
             }
             FailureCause::StackMisconfigured(s) => write!(f, "MPI stack {s} is not useable"),
             FailureCause::FloatingPointException => write!(f, "floating point exception (SIGFPE)"),
@@ -106,11 +115,19 @@ pub struct ExecOutcome {
 
 impl ExecOutcome {
     fn ok(attempts: u32) -> Self {
-        ExecOutcome { success: true, attempts, failure: None }
+        ExecOutcome {
+            success: true,
+            attempts,
+            failure: None,
+        }
     }
 
     fn fail(attempts: u32, cause: FailureCause) -> Self {
-        ExecOutcome { success: false, attempts, failure: Some(cause) }
+        ExecOutcome {
+            success: false,
+            attempts,
+            failure: Some(cause),
+        }
     }
 }
 
@@ -184,7 +201,28 @@ pub fn run_serial(sess: &mut Session<'_>, path: &str) -> ExecOutcome {
 
 /// Run an MPI binary with `mpiexec` from `launcher`, retrying up to
 /// `max_attempts` times (the paper's five spaced attempts).
+///
+/// Every attempt emits a `launch_attempt` trace event on the session's
+/// recorder, and the final attempt count lands in the `launch.attempts`
+/// histogram (the §VI.C retry statistic).
 pub fn run_mpi(
+    sess: &mut Session<'_>,
+    path: &str,
+    launcher: &InstalledStack,
+    nprocs: u32,
+    max_attempts: u32,
+) -> ExecOutcome {
+    let outcome = run_mpi_attempts(sess, path, launcher, nprocs, max_attempts);
+    let rec = &sess.recorder;
+    rec.count("launch.runs", 1);
+    rec.observe("launch.attempts", outcome.attempts as f64);
+    if !outcome.success {
+        rec.count("launch.failures", 1);
+    }
+    outcome
+}
+
+fn run_mpi_attempts(
     sess: &mut Session<'_>,
     path: &str,
     launcher: &InstalledStack,
@@ -198,6 +236,16 @@ pub fn run_mpi(
         .map(|b| binary_fingerprint(&b))
         .unwrap_or(0);
     let key = format!("{fp:x}@{}", launcher.stack.ident());
+    let attempt_event = |sess: &Session<'_>, attempt: u32, outcome: &str| {
+        sess.recorder.event(
+            "launch_attempt",
+            &[
+                ("attempt", attempt.into()),
+                ("stack", launcher.stack.ident().as_str().into()),
+                ("outcome", outcome.into()),
+            ],
+        );
+    };
 
     // Persistent system error: this (binary, site, stack) pairing is sick
     // for the whole test window.
@@ -210,7 +258,11 @@ pub fn run_mpi(
     for attempt in 1..=max_attempts {
         sess.charge(1.0 + 0.05 * nprocs as f64);
         if !launcher.functional {
-            return ExecOutcome::fail(attempt, FailureCause::StackMisconfigured(launcher.stack.ident()));
+            attempt_event(sess, attempt, "stack-misconfigured");
+            return ExecOutcome::fail(
+                attempt,
+                FailureCause::StackMisconfigured(launcher.stack.ident()),
+            );
         }
         if persistent_syserr {
             if attempt == max_attempts {
@@ -219,8 +271,10 @@ pub fn run_mpi(
                 } else {
                     SystemErrorKind::Timeout
                 };
+                attempt_event(sess, attempt, "system-error");
                 return ExecOutcome::fail(attempt, FailureCause::SystemError(kind));
             }
+            attempt_event(sess, attempt, "retry");
             continue;
         }
         // Transient launch failure; spaced retries absorb it.
@@ -231,16 +285,24 @@ pub fn run_mpi(
         );
         if transient {
             if attempt == max_attempts {
+                attempt_event(sess, attempt, "system-error");
                 return ExecOutcome::fail(
                     attempt,
                     FailureCause::SystemError(SystemErrorKind::Timeout),
                 );
             }
+            attempt_event(sess, attempt, "retry");
             continue;
         }
         return match launch_once(sess, path, Some(launcher)) {
-            Ok(()) => ExecOutcome::ok(attempt),
-            Err(cause) => ExecOutcome::fail(attempt, cause),
+            Ok(()) => {
+                attempt_event(sess, attempt, "ok");
+                ExecOutcome::ok(attempt)
+            }
+            Err(cause) => {
+                attempt_event(sess, attempt, cause.class());
+                ExecOutcome::fail(attempt, cause)
+            }
         };
     }
     unreachable!("loop always returns")
@@ -256,8 +318,7 @@ fn launch_once(
     let bytes = sess
         .read_bytes(path)
         .ok_or_else(|| FailureCause::NotExecutable(format!("{path}: no such file")))?;
-    let meta = ObjectMeta::parse(&bytes)
-        .map_err(|e| FailureCause::NotExecutable(e.to_string()))?;
+    let meta = ObjectMeta::parse(&bytes).map_err(|e| FailureCause::NotExecutable(e.to_string()))?;
     if !sess.site.config.arch.executes(meta.machine, meta.class) {
         return Err(FailureCause::NotExecutable(format!(
             "{} {}-bit binary on {} hardware",
@@ -413,7 +474,8 @@ mod tests {
     #[test]
     fn wrong_isa_rejected() {
         let s = site_with(6, |_| {});
-        let mut spec = feam_elf::ElfSpec::executable(feam_elf::Machine::Ppc64, feam_elf::Class::Elf64);
+        let mut spec =
+            feam_elf::ElfSpec::executable(feam_elf::Machine::Ppc64, feam_elf::Class::Elf64);
         spec.needed = vec!["libc.so.6".into()];
         let img = Arc::new(spec.build().unwrap());
         let ist = s.stacks[0].clone();
@@ -446,7 +508,9 @@ mod tests {
     #[test]
     fn serial_run_of_self_built_binary_succeeds() {
         let s = site_with(7, |_| {});
-        let img = compile(&s, None, &ProgramSpec::serial_hello_world(), 1).unwrap().image;
+        let img = compile(&s, None, &ProgramSpec::serial_hello_world(), 1)
+            .unwrap()
+            .image;
         let mut sess = Session::new(&s);
         sess.stage_file("/home/user/hello", img);
         let out = run_serial(&mut sess, "/home/user/hello");

@@ -75,7 +75,10 @@ pub fn versions_up_to(max: &str) -> Vec<&'static str> {
         .iter()
         .copied()
         .filter(|v| {
-            glibc_version(v).cmp_same_prefix(&maxv).map(|o| o.is_le()).unwrap_or(false)
+            glibc_version(v)
+                .cmp_same_prefix(&maxv)
+                .map(|o| o.is_le())
+                .unwrap_or(false)
         })
         .collect()
 }
@@ -87,7 +90,10 @@ pub fn symbols_up_to(max: &str) -> Vec<(&'static str, &'static str)> {
         .iter()
         .copied()
         .filter(|(_, v)| {
-            glibc_version(v).cmp_same_prefix(&maxv).map(|o| o.is_le()).unwrap_or(false)
+            glibc_version(v)
+                .cmp_same_prefix(&maxv)
+                .map(|o| o.is_le())
+                .unwrap_or(false)
         })
         .collect()
 }
@@ -118,7 +124,11 @@ pub fn libc_blueprints(version: &str, class: Class) -> Vec<LibraryBlueprint> {
         .enumerate()
         .map(|(i, v)| DefinedVersion {
             name: format!("GLIBC_{v}"),
-            parents: if i == 0 { vec![] } else { vec![format!("GLIBC_{}", ladder[i - 1])] },
+            parents: if i == 0 {
+                vec![]
+            } else {
+                vec![format!("GLIBC_{}", ladder[i - 1])]
+            },
         })
         .collect();
 
@@ -128,7 +138,11 @@ pub fn libc_blueprints(version: &str, class: Class) -> Vec<LibraryBlueprint> {
     // baseline, as real ports do.
     let effective = |v: &str| -> String {
         let vv = glibc_version(v);
-        if vv.cmp_same_prefix(&basev).map(|o| o.is_lt()).unwrap_or(false) {
+        if vv
+            .cmp_same_prefix(&basev)
+            .map(|o| o.is_lt())
+            .unwrap_or(false)
+        {
             format!("GLIBC_{base}")
         } else {
             format!("GLIBC_{v}")
@@ -150,7 +164,11 @@ pub fn libc_blueprints(version: &str, class: Class) -> Vec<LibraryBlueprint> {
         for lv in &ladder {
             let node = effective(lv);
             let nodev = VersionName::parse(&node).expect("valid version");
-            if nodev.cmp_same_prefix(&introv).map(|o| o.is_ge()).unwrap_or(false) {
+            if nodev
+                .cmp_same_prefix(&introv)
+                .map(|o| o.is_ge())
+                .unwrap_or(false)
+            {
                 let spec = ExportSpec::new(sym, Some(&node));
                 if !libc.exports.contains(&spec) {
                     libc.exports.push(spec);
@@ -163,20 +181,48 @@ pub fn libc_blueprints(version: &str, class: Class) -> Vec<LibraryBlueprint> {
 
     let mut out = vec![libc];
     for (soname, file, size, syms) in [
-        ("libm.so.6", "libm-2.x.so", 600_000usize, vec!["sin", "cos", "exp", "pow", "log", "fabs"]),
-        ("libpthread.so.0", "libpthread-2.x.so", 140_000, vec![
-            "pthread_create",
-            "pthread_join",
-            "pthread_mutex_lock",
-        ]),
-        ("librt.so.1", "librt-2.x.so", 55_000, vec!["clock_gettime", "shm_open"]),
-        ("libdl.so.2", "libdl-2.x.so", 23_000, vec!["dlopen", "dlsym", "dlclose"]),
-        ("libnsl.so.1", "libnsl-2.x.so", 110_000, vec!["yp_get_default_domain", "nis_lookup"]),
-        ("libutil.so.1", "libutil-2.x.so", 18_000, vec!["openpty", "forkpty", "login_tty"]),
+        (
+            "libm.so.6",
+            "libm-2.x.so",
+            600_000usize,
+            vec!["sin", "cos", "exp", "pow", "log", "fabs"],
+        ),
+        (
+            "libpthread.so.0",
+            "libpthread-2.x.so",
+            140_000,
+            vec!["pthread_create", "pthread_join", "pthread_mutex_lock"],
+        ),
+        (
+            "librt.so.1",
+            "librt-2.x.so",
+            55_000,
+            vec!["clock_gettime", "shm_open"],
+        ),
+        (
+            "libdl.so.2",
+            "libdl-2.x.so",
+            23_000,
+            vec!["dlopen", "dlsym", "dlclose"],
+        ),
+        (
+            "libnsl.so.1",
+            "libnsl-2.x.so",
+            110_000,
+            vec!["yp_get_default_domain", "nis_lookup"],
+        ),
+        (
+            "libutil.so.1",
+            "libutil-2.x.so",
+            18_000,
+            vec!["openpty", "forkpty", "login_tty"],
+        ),
     ] {
         let mut b = LibraryBlueprint::new(soname, file, size);
-        b.exports =
-            syms.iter().map(|s| ExportSpec::new(s, Some(&effective("2.0")))).collect();
+        b.exports = syms
+            .iter()
+            .map(|s| ExportSpec::new(s, Some(&effective("2.0"))))
+            .collect();
         b.defined_versions = defs.clone();
         b.needed = vec!["libc.so.6".into()];
         out.push(b);
@@ -193,7 +239,13 @@ mod tests {
         for w in GLIBC_LADDER.windows(2) {
             let a = glibc_version(w[0]);
             let b = glibc_version(w[1]);
-            assert_eq!(a.cmp_same_prefix(&b), Some(std::cmp::Ordering::Less), "{} !< {}", w[0], w[1]);
+            assert_eq!(
+                a.cmp_same_prefix(&b),
+                Some(std::cmp::Ordering::Less),
+                "{} !< {}",
+                w[0],
+                w[1]
+            );
         }
     }
 
@@ -218,19 +270,33 @@ mod tests {
         let bps = libc_blueprints("2.12", Class::Elf64);
         let libc = &bps[0];
         assert_eq!(libc.soname, "libc.so.6");
-        assert!(libc.defined_versions.iter().any(|d| d.name == "GLIBC_2.2.5"));
+        assert!(libc
+            .defined_versions
+            .iter()
+            .any(|d| d.name == "GLIBC_2.2.5"));
         assert!(libc.defined_versions.iter().any(|d| d.name == "GLIBC_2.12"));
         let old = libc_blueprints("2.5", Class::Elf64);
-        assert!(!old[0].defined_versions.iter().any(|d| d.name == "GLIBC_2.12"));
+        assert!(!old[0]
+            .defined_versions
+            .iter()
+            .any(|d| d.name == "GLIBC_2.12"));
     }
 
     #[test]
     fn x86_64_baseline_reversions_old_symbols() {
         let bps = libc_blueprints("2.5", Class::Elf64);
-        let printf = bps[0].exports.iter().find(|e| e.symbol == "printf").unwrap();
+        let printf = bps[0]
+            .exports
+            .iter()
+            .find(|e| e.symbol == "printf")
+            .unwrap();
         assert_eq!(printf.version.as_deref(), Some("GLIBC_2.2.5"));
         let bps32 = libc_blueprints("2.5", Class::Elf32);
-        let printf32 = bps32[0].exports.iter().find(|e| e.symbol == "printf").unwrap();
+        let printf32 = bps32[0]
+            .exports
+            .iter()
+            .find(|e| e.symbol == "printf")
+            .unwrap();
         assert_eq!(printf32.version.as_deref(), Some("GLIBC_2.0"));
     }
 

@@ -1,7 +1,7 @@
 //! Turn [`LibraryBlueprint`]s into real ELF shared-object images.
 
 use crate::toolchain::LibraryBlueprint;
-use feam_elf::{Class, Endian, ElfSpec, FileKind, Machine};
+use feam_elf::{Class, ElfSpec, Endian, FileKind, Machine};
 use std::sync::Arc;
 
 /// Synthesize the shared-object image for a blueprint.

@@ -95,10 +95,18 @@ pub enum LoadError {
     MissingLibrary { soname: String, needed_by: String },
     /// A version reference could not be satisfied by the resolved provider
     /// (`GLIBC_2.12 not defined by libc.so.6` and friends).
-    UnresolvedVersion { object: String, file: String, version: String },
+    UnresolvedVersion {
+        object: String,
+        file: String,
+        version: String,
+    },
     /// A strong undefined symbol was not provided by any loaded object —
     /// the mechanical form of an ABI incompatibility.
-    MissingSymbol { symbol: String, version: Option<String>, needed_by: String },
+    MissingSymbol {
+        symbol: String,
+        version: Option<String>,
+        needed_by: String,
+    },
     /// The root file is not a loadable ELF for this request.
     NotLoadable(String),
 }
@@ -107,12 +115,26 @@ impl std::fmt::Display for LoadError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LoadError::MissingLibrary { soname, needed_by } => {
-                write!(f, "{soname}: cannot open shared object file (needed by {needed_by})")
+                write!(
+                    f,
+                    "{soname}: cannot open shared object file (needed by {needed_by})"
+                )
             }
-            LoadError::UnresolvedVersion { object, file, version } => {
-                write!(f, "{object}: version `{version}' not found (required by {file})")
+            LoadError::UnresolvedVersion {
+                object,
+                file,
+                version,
+            } => {
+                write!(
+                    f,
+                    "{object}: version `{version}' not found (required by {file})"
+                )
             }
-            LoadError::MissingSymbol { symbol, version, needed_by } => match version {
+            LoadError::MissingSymbol {
+                symbol,
+                version,
+                needed_by,
+            } => match version {
                 Some(v) => write!(f, "{needed_by}: undefined symbol: {symbol}, version {v}"),
                 None => write!(f, "{needed_by}: undefined symbol: {symbol}"),
             },
@@ -136,9 +158,9 @@ impl Closure {
 
     /// Find the loaded provider of a soname.
     pub fn provider(&self, soname: &str) -> Option<&LoadedObject> {
-        self.objects.iter().find(|o| {
-            o.meta.soname.as_deref() == Some(soname) || o.request == soname
-        })
+        self.objects
+            .iter()
+            .find(|o| o.meta.soname.as_deref() == Some(soname) || o.request == soname)
     }
 }
 
@@ -176,7 +198,12 @@ fn search_order(obj: &ObjectMeta, sess: &Session<'_>) -> Vec<String> {
     let mut dirs = Vec::new();
     let split = |s: &Option<String>| -> Vec<String> {
         s.as_deref()
-            .map(|v| v.split(':').filter(|d| !d.is_empty()).map(str::to_string).collect())
+            .map(|v| {
+                v.split(':')
+                    .filter(|d| !d.is_empty())
+                    .map(str::to_string)
+                    .collect()
+            })
             .unwrap_or_default()
     };
     if obj.runpath.is_none() {
@@ -194,8 +221,8 @@ fn search_order(obj: &ObjectMeta, sess: &Session<'_>) -> Vec<String> {
 /// defined by its provider, and every strong import is exported by some
 /// loaded object.
 pub fn resolve_closure(sess: &Session<'_>, root_path: &str) -> Result<Closure, LoadError> {
-    let root_meta = object_at(sess, root_path)
-        .ok_or_else(|| LoadError::NotLoadable(root_path.to_string()))?;
+    let root_meta =
+        object_at(sess, root_path).ok_or_else(|| LoadError::NotLoadable(root_path.to_string()))?;
     let class = root_meta.class;
     let machine = root_meta.machine;
 
@@ -222,7 +249,11 @@ pub fn resolve_closure(sess: &Session<'_>, root_path: &str) -> Result<Closure, L
             match found {
                 Some((path, meta)) => {
                     loaded.insert(dep.clone(), objects.len());
-                    objects.push(LoadedObject { request: dep, path, meta });
+                    objects.push(LoadedObject {
+                        request: dep,
+                        path,
+                        meta,
+                    });
                 }
                 None => {
                     return Err(LoadError::MissingLibrary {
@@ -296,9 +327,12 @@ pub fn resolve_closure(sess: &Session<'_>, root_path: &str) -> Result<Closure, L
 /// `ldd`-style listing: soname → resolved path (or None when missing).
 /// Unlike [`resolve_closure`], missing dependencies do not abort the walk —
 /// this is what the `ldd` emulation and FEAM's missing-library check use.
-pub fn ldd_map(sess: &Session<'_>, root_path: &str) -> Result<Vec<(String, Option<String>)>, LoadError> {
-    let root_meta = object_at(sess, root_path)
-        .ok_or_else(|| LoadError::NotLoadable(root_path.to_string()))?;
+pub fn ldd_map(
+    sess: &Session<'_>,
+    root_path: &str,
+) -> Result<Vec<(String, Option<String>)>, LoadError> {
+    let root_meta =
+        object_at(sess, root_path).ok_or_else(|| LoadError::NotLoadable(root_path.to_string()))?;
     let class = root_meta.class;
     let machine = root_meta.machine;
     let mut results: Vec<(String, Option<String>)> = Vec::new();
@@ -386,7 +420,11 @@ mod tests {
         let mut sess = Session::new(&s);
         let bin = app(
             &["libc.so.6"],
-            vec![ImportSpec::versioned("__isoc99_sscanf", "libc.so.6", "GLIBC_2.7")],
+            vec![ImportSpec::versioned(
+                "__isoc99_sscanf",
+                "libc.so.6",
+                "GLIBC_2.7",
+            )],
         );
         sess.stage_file("/home/user/a.out", bin);
         match resolve_closure(&sess, "/home/user/a.out") {
@@ -402,7 +440,10 @@ mod tests {
         let s = site();
         let mut sess = Session::new(&s);
         // memfrob-of-the-future: unversioned symbol libc does not export.
-        let bin = app(&["libc.so.6"], vec![ImportSpec::plain("__intel_rt_v12", "libc.so.6")]);
+        let bin = app(
+            &["libc.so.6"],
+            vec![ImportSpec::plain("__intel_rt_v12", "libc.so.6")],
+        );
         sess.stage_file("/home/user/a.out", bin);
         match resolve_closure(&sess, "/home/user/a.out") {
             Err(LoadError::MissingSymbol { symbol, .. }) => {
@@ -440,7 +481,10 @@ mod tests {
         let bin = app(&["libm.so.6", "libc.so.6"], vec![]);
         sess.stage_file("/home/user/a.out", bin);
         let c = resolve_closure(&sess, "/home/user/a.out").unwrap();
-        assert_eq!(c.provider("libm.so.6").unwrap().path, "/home/user/libs/libm.so.6");
+        assert_eq!(
+            c.provider("libm.so.6").unwrap().path,
+            "/home/user/libs/libm.so.6"
+        );
     }
 
     #[test]
@@ -464,10 +508,12 @@ mod tests {
         let s = site();
         let mut sess = Session::new(&s);
         // Stage a 32-bit impostor earlier on the path.
-        let mut spec32 =
-            ElfSpec::shared_library("libm.so.6", Machine::X86, feam_elf::Class::Elf32);
+        let mut spec32 = ElfSpec::shared_library("libm.so.6", Machine::X86, feam_elf::Class::Elf32);
         spec32.exports = vec![feam_elf::ExportSpec::new("sin", None)];
-        sess.stage_file("/home/user/libs/libm.so.6", Arc::new(spec32.build().unwrap()));
+        sess.stage_file(
+            "/home/user/libs/libm.so.6",
+            Arc::new(spec32.build().unwrap()),
+        );
         crate::site::env_prepend(&mut sess.env, "LD_LIBRARY_PATH", "/home/user/libs");
         let bin = app(&["libm.so.6", "libc.so.6"], vec![]);
         sess.stage_file("/home/user/a.out", bin);
@@ -487,6 +533,9 @@ mod tests {
         spec.rpath = Some("/app/private".into());
         sess.stage_file("/app/a.out", Arc::new(spec.build().unwrap()));
         let c = resolve_closure(&sess, "/app/a.out").unwrap();
-        assert_eq!(c.provider("libm.so.6").unwrap().path, "/app/private/libm.so.6");
+        assert_eq!(
+            c.provider("libm.so.6").unwrap().path,
+            "/app/private/libm.so.6"
+        );
     }
 }

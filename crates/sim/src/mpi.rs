@@ -118,13 +118,23 @@ pub struct MpiStack {
 
 impl MpiStack {
     pub fn new(mpi: MpiImpl, version: &str, compiler: Compiler, network: Network) -> Self {
-        MpiStack { mpi, version: version.to_string(), compiler, network }
+        MpiStack {
+            mpi,
+            version: version.to_string(),
+            compiler,
+            network,
+        }
     }
 
     /// Identifier like `openmpi-1.4.3-intel-11.1`, used as install-prefix
     /// leaf and module name.
     pub fn ident(&self) -> String {
-        format!("{}-{}-{}", self.mpi.tag(), self.version, self.compiler.ident())
+        format!(
+            "{}-{}-{}",
+            self.mpi.tag(),
+            self.version,
+            self.compiler.ident()
+        )
     }
 
     /// Install prefix on a site, e.g. `/opt/openmpi-1.4.3-intel-11.1`.
@@ -227,11 +237,16 @@ impl MpiStack {
         .iter()
         .map(|s| ExportSpec::new(s, None))
         .collect();
-        let fortran_exports: Vec<ExportSpec> =
-            ["mpi_init_", "mpi_finalize_", "mpi_comm_rank_", "mpi_send_", "mpi_recv_"]
-                .iter()
-                .map(|s| ExportSpec::new(s, None))
-                .collect();
+        let fortran_exports: Vec<ExportSpec> = [
+            "mpi_init_",
+            "mpi_finalize_",
+            "mpi_comm_rank_",
+            "mpi_send_",
+            "mpi_recv_",
+        ]
+        .iter()
+        .map(|s| ExportSpec::new(s, None))
+        .collect();
         let glibc_imp = |sym: &str| ImportSpec::versioned(sym, "libc.so.6", glibc_import);
         let sized = |base: usize, tag: &str| {
             let h = rng::hash_parts(seed, &[&self.ident(), tag]);
@@ -289,18 +304,21 @@ impl MpiStack {
 
         match self.mpi {
             MpiImpl::OpenMpi => {
-                for (soname, base, tag) in
-                    [("libopen-rte.so.0", 2_000_000usize, "rte"), ("libopen-pal.so.0", 1_500_000, "pal")]
-                {
-                    let mut b = LibraryBlueprint::new(
-                        soname,
-                        &format!("{soname}.0.0"),
-                        sized(base, tag),
-                    );
+                for (soname, base, tag) in [
+                    ("libopen-rte.so.0", 2_000_000usize, "rte"),
+                    ("libopen-pal.so.0", 1_500_000, "pal"),
+                ] {
+                    let mut b =
+                        LibraryBlueprint::new(soname, &format!("{soname}.0.0"), sized(base, tag));
                     b.exports = vec![ExportSpec::new(&format!("{tag}_init"), None)];
                     b.exports.extend(markers.iter().cloned());
                     b.needed = if soname == "libopen-rte.so.0" {
-                        vec!["libopen-pal.so.0".into(), "libnsl.so.1".into(), "libutil.so.1".into(), "libc.so.6".into()]
+                        vec![
+                            "libopen-pal.so.0".into(),
+                            "libnsl.so.1".into(),
+                            "libutil.so.1".into(),
+                            "libc.so.6".into(),
+                        ]
                     } else {
                         vec!["libutil.so.1".into(), "libc.so.6".into()]
                     };
@@ -309,9 +327,10 @@ impl MpiStack {
                 }
             }
             MpiImpl::Mpich2 => {
-                for (soname, base, tag) in
-                    [("libmpl.so.1", 260_000usize, "mpl"), ("libopa.so.1", 200_000, "opa")]
-                {
+                for (soname, base, tag) in [
+                    ("libmpl.so.1", 260_000usize, "mpl"),
+                    ("libopa.so.1", 200_000, "opa"),
+                ] {
                     let mut b =
                         LibraryBlueprint::new(soname, &format!("{soname}.0"), sized(base, tag));
                     b.exports = vec![ExportSpec::new(&format!("{tag}_trmem"), None)];
@@ -369,7 +388,13 @@ pub fn version_rank(v: &str) -> u64 {
     let suffix_num: u64 = v
         .rsplit(|c: char| !c.is_ascii_digit())
         .next()
-        .and_then(|s| if suffix.is_empty() { None } else { s.parse().ok() })
+        .and_then(|s| {
+            if suffix.is_empty() {
+                None
+            } else {
+                s.parse().ok()
+            }
+        })
         .unwrap_or(0);
     rank * 1000 + suffix_class + suffix_num
 }
@@ -378,15 +403,29 @@ pub fn version_rank(v: &str) -> u64 {
 pub fn infiniband_blueprints(glibc_import: &str) -> Vec<LibraryBlueprint> {
     let glibc_imp = |sym: &str| ImportSpec::versioned(sym, "libc.so.6", glibc_import);
     [
-        ("libibverbs.so.1", "libibverbs.so.1.0.0", 68_000usize, "ibv_open_device"),
+        (
+            "libibverbs.so.1",
+            "libibverbs.so.1.0.0",
+            68_000usize,
+            "ibv_open_device",
+        ),
         ("libibumad.so.3", "libibumad.so.3.0.2", 31_000, "umad_init"),
-        ("librdmacm.so.1", "librdmacm.so.1.0.0", 54_000, "rdma_create_id"),
+        (
+            "librdmacm.so.1",
+            "librdmacm.so.1.0.0",
+            54_000,
+            "rdma_create_id",
+        ),
     ]
     .into_iter()
     .map(|(soname, file, size, sym)| {
         let mut b = LibraryBlueprint::new(soname, file, size);
         b.exports = vec![ExportSpec::new(sym, None)];
-        b.needed = vec!["libdl.so.2".into(), "libpthread.so.0".into(), "libc.so.6".into()];
+        b.needed = vec![
+            "libdl.so.2".into(),
+            "libpthread.so.0".into(),
+            "libc.so.6".into(),
+        ];
         b.imports = vec![glibc_imp("malloc")];
         b
     })
@@ -399,7 +438,12 @@ mod tests {
     use crate::toolchain::CompilerFamily;
 
     fn stack(mpi: MpiImpl, v: &str) -> MpiStack {
-        MpiStack::new(mpi, v, Compiler::new(CompilerFamily::Gnu, "4.1.2"), Network::Infiniband)
+        MpiStack::new(
+            mpi,
+            v,
+            Compiler::new(CompilerFamily::Gnu, "4.1.2"),
+            Network::Infiniband,
+        )
     }
 
     #[test]
@@ -441,9 +485,15 @@ mod tests {
         // not vice versa.
         let m14 = stack(MpiImpl::Mpich2, "1.4");
         let m13 = stack(MpiImpl::Mpich2, "1.3");
-        assert!(m14.exported_abi_markers().contains(&"mpich2_abi_v1_3".to_string()));
-        assert!(m14.exported_abi_markers().contains(&"mpich2_abi_v1_4".to_string()));
-        assert!(!m13.exported_abi_markers().contains(&"mpich2_abi_v1_4".to_string()));
+        assert!(m14
+            .exported_abi_markers()
+            .contains(&"mpich2_abi_v1_3".to_string()));
+        assert!(m14
+            .exported_abi_markers()
+            .contains(&"mpich2_abi_v1_4".to_string()));
+        assert!(!m13
+            .exported_abi_markers()
+            .contains(&"mpich2_abi_v1_4".to_string()));
     }
 
     #[test]
@@ -459,16 +509,34 @@ mod tests {
     fn blueprints_include_rt_marker_and_backcompat() {
         let s = stack(MpiImpl::Mvapich2, "1.7a2");
         let bps = s.library_blueprints("GLIBC_2.5", 3);
-        let c_lib = bps.iter().find(|b| b.soname.starts_with("libmpich")).unwrap();
-        assert!(c_lib.exports.iter().any(|e| e.symbol == "mvapich2_rt_ident"));
-        assert!(c_lib.exports.iter().any(|e| e.symbol == "mvapich2_abi_v1_2"));
+        let c_lib = bps
+            .iter()
+            .find(|b| b.soname.starts_with("libmpich"))
+            .unwrap();
+        assert!(c_lib
+            .exports
+            .iter()
+            .any(|e| e.symbol == "mvapich2_rt_ident"));
+        assert!(c_lib
+            .exports
+            .iter()
+            .any(|e| e.symbol == "mvapich2_abi_v1_2"));
         // Markers are major.minor grained: every 1.7 flavour shares one.
-        assert!(c_lib.exports.iter().any(|e| e.symbol == "mvapich2_abi_v1_7"));
+        assert!(c_lib
+            .exports
+            .iter()
+            .any(|e| e.symbol == "mvapich2_abi_v1_7"));
         // A 1.2-era stack does not export the 1.7 marker.
         let old = stack(MpiImpl::Mvapich2, "1.2");
         let old_bps = old.library_blueprints("GLIBC_2.5", 3);
-        let old_c = old_bps.iter().find(|b| b.soname.starts_with("libmpich")).unwrap();
-        assert!(!old_c.exports.iter().any(|e| e.symbol == "mvapich2_abi_v1_7"));
+        let old_c = old_bps
+            .iter()
+            .find(|b| b.soname.starts_with("libmpich"))
+            .unwrap();
+        assert!(!old_c
+            .exports
+            .iter()
+            .any(|e| e.symbol == "mvapich2_abi_v1_7"));
     }
 
     #[test]

@@ -75,17 +75,57 @@ impl QueueOutcome {
     /// Total turnaround (wait + run) for completed jobs.
     pub fn turnaround(&self) -> Option<f64> {
         match self {
-            QueueOutcome::Completed { wait_seconds, run_seconds } => {
-                Some(wait_seconds + run_seconds)
-            }
+            QueueOutcome::Completed {
+                wait_seconds,
+                run_seconds,
+            } => Some(wait_seconds + run_seconds),
             _ => None,
         }
     }
 }
 
+/// [`submit`] wrapped in a trace span: records a `queue.submit` span, a
+/// `queue_outcome` event, and the simulated wait in the `queue.wait_s`
+/// histogram.
+pub fn submit_traced(
+    rec: &feam_obs::Recorder,
+    queue: &QueueSpec,
+    job_id: &str,
+    nprocs: u32,
+    cpu_seconds: f64,
+    seed: u64,
+) -> QueueOutcome {
+    let _span = rec.span("queue.submit");
+    let outcome = submit(queue, job_id, nprocs, cpu_seconds, seed);
+    let (status, wait) = match &outcome {
+        QueueOutcome::Completed { wait_seconds, .. } => ("completed", Some(*wait_seconds)),
+        QueueOutcome::WalltimeExceeded { .. } => ("walltime-exceeded", None),
+        QueueOutcome::Rejected { .. } => ("rejected", None),
+    };
+    rec.event(
+        "queue_outcome",
+        &[
+            ("queue", queue.name.as_str().into()),
+            ("job", job_id.into()),
+            ("status", status.into()),
+            ("wait_s", wait.unwrap_or(0.0).into()),
+        ],
+    );
+    if let Some(w) = wait {
+        rec.observe("queue.wait_s", w);
+    }
+    outcome
+}
+
 /// Submit a job needing `cpu_seconds` of work on `nprocs` processes.
 /// `seed`/`job_id` make the queue wait deterministic per submission.
-pub fn submit(queue: &QueueSpec, job_id: &str, nprocs: u32, cpu_seconds: f64, seed: u64) -> QueueOutcome {
+pub fn submit(
+    queue: &QueueSpec,
+    job_id: &str,
+    nprocs: u32,
+    cpu_seconds: f64,
+    seed: u64,
+) -> QueueOutcome {
     if nprocs > queue.max_procs {
         return QueueOutcome::Rejected {
             reason: format!(
@@ -98,11 +138,16 @@ pub fn submit(queue: &QueueSpec, job_id: &str, nprocs: u32, cpu_seconds: f64, se
     // fixed launch overhead.
     let run_seconds = cpu_seconds / nprocs.max(1) as f64 + 5.0;
     if run_seconds > queue.max_walltime {
-        return QueueOutcome::WalltimeExceeded { limit: queue.max_walltime };
+        return QueueOutcome::WalltimeExceeded {
+            limit: queue.max_walltime,
+        };
     }
     let u = rng::unit_f64(rng::hash_parts(seed, &[job_id, &queue.name, "wait"]));
     let wait_seconds = queue.base_wait + u * queue.max_extra_wait;
-    QueueOutcome::Completed { wait_seconds, run_seconds }
+    QueueOutcome::Completed {
+        wait_seconds,
+        run_seconds,
+    }
 }
 
 #[cfg(test)]

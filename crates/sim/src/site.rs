@@ -25,14 +25,23 @@ pub type EnvMap = BTreeMap<String, String>;
 /// Prepend `dir` to a `:`-separated path variable.
 pub fn env_prepend(env: &mut EnvMap, key: &str, dir: &str) {
     let old = env.get(key).cloned().unwrap_or_default();
-    let new = if old.is_empty() { dir.to_string() } else { format!("{dir}:{old}") };
+    let new = if old.is_empty() {
+        dir.to_string()
+    } else {
+        format!("{dir}:{old}")
+    };
     env.insert(key.to_string(), new);
 }
 
 /// Split a `:`-separated path variable into directories.
 pub fn env_dirs(env: &EnvMap, key: &str) -> Vec<String> {
     env.get(key)
-        .map(|v| v.split(':').filter(|s| !s.is_empty()).map(str::to_string).collect())
+        .map(|v| {
+            v.split(':')
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect()
+        })
         .unwrap_or_default()
 }
 
@@ -49,7 +58,11 @@ pub struct OsInfo {
 
 impl OsInfo {
     pub fn new(distro: &str, release: &str, kernel: &str) -> Self {
-        OsInfo { distro: distro.into(), release: release.into(), kernel: kernel.into() }
+        OsInfo {
+            distro: distro.into(),
+            release: release.into(),
+            kernel: kernel.into(),
+        }
     }
 
     /// One-line description, e.g. `CentOS 4.9`.
@@ -66,7 +79,10 @@ impl OsInfo {
             ),
             "Red Hat Enterprise Linux Server" => (
                 "/etc/redhat-release".into(),
-                format!("Red Hat Enterprise Linux Server release {} (Tikanga)", self.release),
+                format!(
+                    "Red Hat Enterprise Linux Server release {} (Tikanga)",
+                    self.release
+                ),
             ),
             "SUSE Linux Enterprise Server" => (
                 "/etc/SuSE-release".into(),
@@ -75,7 +91,10 @@ impl OsInfo {
                     self.release, self.release
                 ),
             ),
-            _ => ("/etc/os-release".into(), format!("NAME={}\nVERSION={}", self.distro, self.release)),
+            _ => (
+                "/etc/os-release".into(),
+                format!("NAME={}\nVERSION={}", self.distro, self.release),
+            ),
         }
     }
 
@@ -234,7 +253,10 @@ impl Site {
             vfs.mkdir_p(d);
         }
         vfs.write_text("/proc/version", config.os.proc_version());
-        vfs.write_text("/proc/cpuinfo", format!("model name : generic {}\n", config.arch.uname_p()));
+        vfs.write_text(
+            "/proc/cpuinfo",
+            format!("model name : generic {}\n", config.arch.uname_p()),
+        );
         let (rel_path, rel_text) = config.os.release_file();
         vfs.write_text(&rel_path, rel_text);
 
@@ -287,8 +309,11 @@ impl Site {
             let baseline = format!("GLIBC_{}", libc::baseline_for(class));
             let hot_ver = format!("GLIBC_{}", config.glibc);
             for mut bp in runtime_blueprints(c, &baseline, seed) {
-                if rng::chance(seed, &[&c.ident(), &bp.soname, "hot-glibc"], config.hot_glibc_bias)
-                {
+                if rng::chance(
+                    seed,
+                    &[&c.ident(), &bp.soname, "hot-glibc"],
+                    config.hot_glibc_bias,
+                ) {
                     for imp in &mut bp.imports {
                         if imp.file == "libc.so.6" {
                             imp.version = Some(hot_ver.clone());
@@ -305,7 +330,11 @@ impl Site {
                 &format!("{cbin}/{}", c.family.fc()),
                 Arc::new(compiler_driver_text(c).into_bytes()),
             );
-            compilers.push(InstalledCompiler { compiler: c.clone(), lib_dir: clib, bin_dir: cbin });
+            compilers.push(InstalledCompiler {
+                compiler: c.clone(),
+                lib_dir: clib,
+                bin_dir: cbin,
+            });
         }
 
         // --- compat runtime packages (system lib dirs, loader-visible) -----
@@ -321,7 +350,11 @@ impl Site {
         }
 
         // --- InfiniBand userspace (system level) ---------------------------
-        if config.stacks.iter().any(|(s, _)| s.network == Network::Infiniband) {
+        if config
+            .stacks
+            .iter()
+            .any(|(s, _)| s.network == Network::Infiniband)
+        {
             let glibc_imp = format!("GLIBC_{}", libc::baseline_for(class));
             for bp in infiniband_blueprints(&glibc_imp) {
                 install_blueprint(&mut vfs, usr_lib_dir, &bp, machine, class, endian);
@@ -435,7 +468,13 @@ impl Site {
             }
         }
 
-        Site { config, vfs, stacks, compilers, meta }
+        Site {
+            config,
+            vfs,
+            stacks,
+            compilers,
+            meta,
+        }
     }
 
     /// Site name.
@@ -492,8 +531,8 @@ fn install_blueprint(
     class: feam_elf::Class,
     endian: Endian,
 ) {
-    let img = build_library(bp, machine, class, endian)
-        .expect("blueprint must produce a valid ELF");
+    let img =
+        build_library(bp, machine, class, endian).expect("blueprint must produce a valid ELF");
     let real = format!("{dir}/{}", bp.filename);
     vfs.write_bytes(&real, img);
     for link in &bp.links {
@@ -536,12 +575,28 @@ pub struct Session<'s> {
     pub staged: BTreeMap<String, Arc<Vec<u8>>>,
     /// Accumulated simulated CPU seconds (for §VI.C's < 5 min statistic).
     pub cpu_seconds: f64,
+    /// Trace/metrics sink for everything executed in this session
+    /// (disabled — and nearly free — by default).
+    pub recorder: feam_obs::Recorder,
 }
 
 impl<'s> Session<'s> {
     /// New session with the site's default login environment.
     pub fn new(site: &'s Site) -> Self {
-        Session { site, env: site.default_env(), staged: BTreeMap::new(), cpu_seconds: 0.0 }
+        Session {
+            site,
+            env: site.default_env(),
+            staged: BTreeMap::new(),
+            cpu_seconds: 0.0,
+            recorder: feam_obs::Recorder::disabled(),
+        }
+    }
+
+    /// New session with an attached trace recorder.
+    pub fn with_recorder(site: &'s Site, recorder: feam_obs::Recorder) -> Self {
+        let mut sess = Session::new(site);
+        sess.recorder = recorder;
+        sess
     }
 
     /// Apply a stack selection (`module load` equivalent): prepend the
@@ -635,8 +690,16 @@ mod tests {
     #[test]
     fn site_has_os_description_files() {
         let s = tiny_site();
-        assert!(s.vfs.read_text("/proc/version").unwrap().contains("CentOS 5.6"));
-        assert!(s.vfs.read_text("/etc/redhat-release").unwrap().contains("5.6"));
+        assert!(s
+            .vfs
+            .read_text("/proc/version")
+            .unwrap()
+            .contains("CentOS 5.6"));
+        assert!(s
+            .vfs
+            .read_text("/etc/redhat-release")
+            .unwrap()
+            .contains("5.6"));
     }
 
     #[test]
@@ -664,11 +727,14 @@ mod tests {
         let mv = &s.stacks[1];
         assert!(!mv.functional);
         assert!(!s.vfs.exists(&format!("{}/libmpich.so.1.2", mv.lib_dir())));
-        assert!(s.vfs.exists(&format!("{}/lib.orig/libmpich.so.1.2", mv.prefix)));
-        // The module still advertises it.
         assert!(s
             .vfs
-            .exists(&format!("/usr/share/Modules/modulefiles/mpi/{}", mv.stack.ident())));
+            .exists(&format!("{}/lib.orig/libmpich.so.1.2", mv.prefix)));
+        // The module still advertises it.
+        assert!(s.vfs.exists(&format!(
+            "/usr/share/Modules/modulefiles/mpi/{}",
+            mv.stack.ident()
+        )));
     }
 
     #[test]
@@ -708,7 +774,10 @@ mod tests {
         assert!(!sess.exists("/staging/libfoo.so.1"));
         sess.stage_file("/staging/libfoo.so.1", Arc::new(vec![1, 2, 3]));
         assert!(sess.exists("/staging/libfoo.so.1"));
-        assert_eq!(sess.read_bytes("/staging/libfoo.so.1").unwrap().as_slice(), &[1, 2, 3]);
+        assert_eq!(
+            sess.read_bytes("/staging/libfoo.so.1").unwrap().as_slice(),
+            &[1, 2, 3]
+        );
     }
 
     #[test]

@@ -77,17 +77,28 @@ pub struct Compiler {
 impl Compiler {
     /// Construct.
     pub fn new(family: CompilerFamily, version: &str) -> Self {
-        Compiler { family, version: version.to_string() }
+        Compiler {
+            family,
+            version: version.to_string(),
+        }
     }
 
     /// Major version component.
     pub fn major(&self) -> u32 {
-        self.version.split('.').next().and_then(|s| s.parse().ok()).unwrap_or(0)
+        self.version
+            .split('.')
+            .next()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0)
     }
 
     /// Minor version component.
     pub fn minor(&self) -> u32 {
-        self.version.split('.').nth(1).and_then(|s| s.parse().ok()).unwrap_or(0)
+        self.version
+            .split('.')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0)
     }
 
     /// Identifier like `intel-11.1` used in paths and module names.
@@ -100,14 +111,20 @@ impl Compiler {
     pub fn comment_string(&self, distro_hint: &str) -> String {
         match self.family {
             CompilerFamily::Gnu => {
-                format!("GCC: (GNU) {} 20080704 ({} {}-50)", self.version, distro_hint, self.version)
+                format!(
+                    "GCC: (GNU) {} 20080704 ({} {}-50)",
+                    self.version, distro_hint, self.version
+                )
             }
             CompilerFamily::Intel => format!(
                 "Intel(R) C Intel(R) 64 Compiler Professional, Version {} Build 20100414",
                 self.version
             ),
             CompilerFamily::Pgi => {
-                format!("PGI Compilers and Tools pgcc {}-0 64-bit target", self.version)
+                format!(
+                    "PGI Compilers and Tools pgcc {}-0 64-bit target",
+                    self.version
+                )
             }
         }
     }
@@ -239,7 +256,8 @@ impl LibraryBlueprint {
 
     /// Add plain (unversioned) exports.
     pub fn with_exports(mut self, names: &[&str]) -> Self {
-        self.exports.extend(names.iter().map(|n| ExportSpec::new(n, None)));
+        self.exports
+            .extend(names.iter().map(|n| ExportSpec::new(n, None)));
         self
     }
 }
@@ -248,7 +266,11 @@ impl LibraryBlueprint {
 /// is the symbol version the runtime itself was built against — copies of a
 /// runtime built on a new-glibc site are unusable on old-glibc sites, the
 /// paper's main resolution-failure mechanism.
-pub fn runtime_blueprints(compiler: &Compiler, glibc_import: &str, seed: u64) -> Vec<LibraryBlueprint> {
+pub fn runtime_blueprints(
+    compiler: &Compiler,
+    glibc_import: &str,
+    seed: u64,
+) -> Vec<LibraryBlueprint> {
     let mut out = Vec::new();
     // Runtimes are backward compatible: a runtime of major M exports the
     // marker of every major ≤ M. Version skew in the *other* direction
@@ -259,8 +281,7 @@ pub fn runtime_blueprints(compiler: &Compiler, glibc_import: &str, seed: u64) ->
     let marker_exports: Vec<ExportSpec> = (1..=compiler.major())
         .map(|m| ExportSpec::new(&rt_marker(compiler.family, m), None))
         .collect();
-    let glibc_imp =
-        |sym: &str| ImportSpec::versioned(sym, "libc.so.6", glibc_import);
+    let glibc_imp = |sym: &str| ImportSpec::versioned(sym, "libc.so.6", glibc_import);
     let sized = |base: usize, tag: &str| -> usize {
         // Deterministic ±25% jitter so library sizes look organic.
         let h = rng::hash_parts(seed, &[&compiler.ident(), tag]);
@@ -274,12 +295,16 @@ pub fn runtime_blueprints(compiler: &Compiler, glibc_import: &str, seed: u64) ->
                 ExportSpec::new("__udivdi3", Some("GCC_3.0")),
                 ExportSpec::new("_Unwind_Resume", Some("GCC_3.0")),
             ];
-            gcc_s.defined_versions = vec![DefinedVersion { name: "GCC_3.0".into(), parents: vec![] }];
+            gcc_s.defined_versions = vec![DefinedVersion {
+                name: "GCC_3.0".into(),
+                parents: vec![],
+            }];
             gcc_s.imports = vec![glibc_imp("abort")];
             out.push(gcc_s);
 
             let fort = gnu_fortran_soname(compiler);
-            let mut f = LibraryBlueprint::new(fort, &format!("{fort}.0.0"), sized(2_400_000, "fortran"));
+            let mut f =
+                LibraryBlueprint::new(fort, &format!("{fort}.0.0"), sized(2_400_000, "fortran"));
             f.exports = vec![
                 ExportSpec::new("_gfortran_st_write", None),
                 ExportSpec::new("_gfortran_st_read", None),
@@ -287,7 +312,11 @@ pub fn runtime_blueprints(compiler: &Compiler, glibc_import: &str, seed: u64) ->
                 ExportSpec::new("_gfortran_stop_numeric", None),
             ];
             f.exports.extend(marker_exports.clone());
-            f.needed = vec!["libm.so.6".into(), "libgcc_s.so.1".into(), "libc.so.6".into()];
+            f.needed = vec![
+                "libm.so.6".into(),
+                "libgcc_s.so.1".into(),
+                "libc.so.6".into(),
+            ];
             f.imports = vec![glibc_imp("memcpy")];
             out.push(f);
 
@@ -300,7 +329,10 @@ pub fn runtime_blueprints(compiler: &Compiler, glibc_import: &str, seed: u64) ->
             // The GLIBCXX version ladder up to this GCC's level.
             let maxv = glibcxx_max_for_gcc(compiler);
             let mut parents = Vec::new();
-            c.defined_versions.push(DefinedVersion { name: "GLIBCXX_3.4".into(), parents: vec![] });
+            c.defined_versions.push(DefinedVersion {
+                name: "GLIBCXX_3.4".into(),
+                parents: vec![],
+            });
             parents.push("GLIBCXX_3.4".to_string());
             for v in 1..=maxv {
                 c.defined_versions.push(DefinedVersion {
@@ -309,7 +341,11 @@ pub fn runtime_blueprints(compiler: &Compiler, glibc_import: &str, seed: u64) ->
                 });
                 parents.push(format!("GLIBCXX_3.4.{v}"));
             }
-            c.needed = vec!["libm.so.6".into(), "libgcc_s.so.1".into(), "libc.so.6".into()];
+            c.needed = vec![
+                "libm.so.6".into(),
+                "libgcc_s.so.1".into(),
+                "libc.so.6".into(),
+            ];
             c.imports = vec![glibc_imp("memcpy")];
             out.push(c);
         }
@@ -337,16 +373,22 @@ pub fn runtime_blueprints(compiler: &Compiler, glibc_import: &str, seed: u64) ->
             intlc.imports = vec![glibc_imp("memcpy")];
             out.push(intlc);
 
-            let mut ifcore =
-                LibraryBlueprint::new("libifcore.so.5", "libifcore.so.5", sized(3_700_000, "ifcore"));
+            let mut ifcore = LibraryBlueprint::new(
+                "libifcore.so.5",
+                "libifcore.so.5",
+                sized(3_700_000, "ifcore"),
+            );
             ifcore.exports = vec![
                 ExportSpec::new("for_write_seq_lis", None),
                 ExportSpec::new("for_read_seq_lis", None),
                 ExportSpec::new("for_stop_core", None),
             ];
             ifcore.exports.extend(marker_exports.clone());
-            ifcore.needed =
-                vec!["libimf.so".into(), "libintlc.so.5".into(), "libc.so.6".into()];
+            ifcore.needed = vec![
+                "libimf.so".into(),
+                "libintlc.so.5".into(),
+                "libc.so.6".into(),
+            ];
             ifcore.imports = vec![glibc_imp("memcpy")];
             out.push(ifcore);
 
@@ -361,7 +403,10 @@ pub fn runtime_blueprints(compiler: &Compiler, glibc_import: &str, seed: u64) ->
             for soname in intel_versioned_sonames(compiler.major()) {
                 let mut b = LibraryBlueprint::new(soname, soname, sized(1_500_000, soname));
                 b.exports = vec![ExportSpec::new(
-                    &format!("{}_entry", soname.trim_start_matches("lib").trim_end_matches(".so")),
+                    &format!(
+                        "{}_entry",
+                        soname.trim_start_matches("lib").trim_end_matches(".so")
+                    ),
                     None,
                 )];
                 b.exports.extend(marker_exports.clone());
@@ -372,10 +417,30 @@ pub fn runtime_blueprints(compiler: &Compiler, glibc_import: &str, seed: u64) ->
         }
         CompilerFamily::Pgi => {
             for (soname, syms, base, tag) in [
-                ("libpgc.so", vec!["__c_mzero8", "__c_mcopy8"], 900_000usize, "pgc"),
-                ("libpgf90.so", vec!["pgf90_alloc", "pgf90_str_cpy"], 2_000_000, "pgf90"),
-                ("libpgf90rtl.so", vec!["f90io_open", "f90io_ldw"], 700_000, "pgf90rtl"),
-                ("libpgftnrtl.so", vec!["ftn_allocate", "ftn_stop"], 600_000, "pgftnrtl"),
+                (
+                    "libpgc.so",
+                    vec!["__c_mzero8", "__c_mcopy8"],
+                    900_000usize,
+                    "pgc",
+                ),
+                (
+                    "libpgf90.so",
+                    vec!["pgf90_alloc", "pgf90_str_cpy"],
+                    2_000_000,
+                    "pgf90",
+                ),
+                (
+                    "libpgf90rtl.so",
+                    vec!["f90io_open", "f90io_ldw"],
+                    700_000,
+                    "pgf90rtl",
+                ),
+                (
+                    "libpgftnrtl.so",
+                    vec!["ftn_allocate", "ftn_stop"],
+                    600_000,
+                    "pgftnrtl",
+                ),
             ] {
                 let mut b = LibraryBlueprint::new(soname, soname, sized(base, tag));
                 b.exports = syms.iter().map(|s| ExportSpec::new(s, None)).collect();
@@ -451,7 +516,11 @@ pub fn runtime_needed(compiler: &Compiler, language: Language) -> Vec<String> {
             out.push("libimf.so".to_string());
             out.push("libsvml.so".to_string());
             out.push("libintlc.so.5".to_string());
-            out.extend(intel_versioned_sonames(compiler.major()).iter().map(|s| s.to_string()));
+            out.extend(
+                intel_versioned_sonames(compiler.major())
+                    .iter()
+                    .map(|s| s.to_string()),
+            );
         }
         CompilerFamily::Pgi => {
             if language.needs_fortran_rt() {
@@ -460,7 +529,11 @@ pub fn runtime_needed(compiler: &Compiler, language: Language) -> Vec<String> {
                 out.push("libpgftnrtl.so".to_string());
             }
             out.push("libpgc.so".to_string());
-            out.extend(pgi_versioned_sonames(compiler.major()).iter().map(|s| s.to_string()));
+            out.extend(
+                pgi_versioned_sonames(compiler.major())
+                    .iter()
+                    .map(|s| s.to_string()),
+            );
         }
     }
     out
@@ -480,7 +553,10 @@ mod tests {
 
     #[test]
     fn gnu_fortran_soname_ladder() {
-        assert_eq!(gnu_fortran_soname(&Compiler::new(CompilerFamily::Gnu, "3.4.6")), "libg2c.so.0");
+        assert_eq!(
+            gnu_fortran_soname(&Compiler::new(CompilerFamily::Gnu, "3.4.6")),
+            "libg2c.so.0"
+        );
         assert_eq!(
             gnu_fortran_soname(&Compiler::new(CompilerFamily::Gnu, "4.1.2")),
             "libgfortran.so.1"

@@ -26,7 +26,11 @@ pub fn proc_version(site: &Site) -> Option<String> {
 
 /// Contents of the distribution's `/etc/*release` file.
 pub fn etc_release(site: &Site) -> Option<String> {
-    for path in ["/etc/redhat-release", "/etc/SuSE-release", "/etc/os-release"] {
+    for path in [
+        "/etc/redhat-release",
+        "/etc/SuSE-release",
+        "/etc/os-release",
+    ] {
         if let Ok(text) = site.vfs.read_text(path) {
             return Some(text.to_string());
         }
@@ -96,7 +100,10 @@ pub fn module_avail(site: &Site) -> Option<Vec<String>> {
     let mut names = Vec::new();
     if let Ok(groups) = site.vfs.list_dir("/usr/share/Modules/modulefiles") {
         for g in groups {
-            if let Ok(mods) = site.vfs.list_dir(&format!("/usr/share/Modules/modulefiles/{g}")) {
+            if let Ok(mods) = site
+                .vfs
+                .list_dir(&format!("/usr/share/Modules/modulefiles/{g}"))
+            {
                 names.extend(mods);
             }
         }
@@ -113,7 +120,12 @@ pub fn module_list(sess: &Session<'_>) -> Option<Vec<String>> {
     Some(
         sess.env
             .get("LOADEDMODULES")
-            .map(|v| v.split(':').filter(|s| !s.is_empty()).map(str::to_string).collect())
+            .map(|v| {
+                v.split(':')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect()
+            })
             .unwrap_or_default(),
     )
 }
@@ -188,11 +200,18 @@ pub fn which(sess: &Session<'_>, name: &str) -> Option<String> {
 /// primary C-library-version discovery method).
 pub fn run_libc_banner(site: &Site) -> Option<String> {
     // Locate libc.so.6 the same way the BDC searches for libraries.
-    let candidates = find_name(site, &["/lib64", "/lib", "/usr/lib64", "/usr/lib"], "libc.so.6");
+    let candidates = find_name(
+        site,
+        &["/lib64", "/lib", "/usr/lib64", "/usr/lib"],
+        "libc.so.6",
+    );
     if candidates.is_empty() {
         return None;
     }
-    Some(crate::libc::libc_banner(&site.config.glibc, &site.config.os.pretty()))
+    Some(crate::libc::libc_banner(
+        &site.config.glibc,
+        &site.config.os.pretty(),
+    ))
 }
 
 /// Read a staged or installed binary for description (used by BDC).
@@ -235,7 +254,9 @@ mod tests {
         let s = site(EnvMgmt::Modules);
         assert_eq!(uname_p(&s), "x86_64");
         assert!(proc_version(&s).unwrap().contains("SUSE"));
-        assert!(etc_release(&s).unwrap().contains("SUSE Linux Enterprise Server 11"));
+        assert!(etc_release(&s)
+            .unwrap()
+            .contains("SUSE Linux Enterprise Server 11"));
     }
 
     #[test]
@@ -280,7 +301,10 @@ mod tests {
         assert_eq!(info.mpi_version, "1.4");
         assert_eq!(info.compiler, "gnu");
         assert_eq!(info.prefix, ist.prefix);
-        assert!(wrapper_info(&s, "/usr/bin/gcc").is_none(), "not an MPI wrapper");
+        assert!(
+            wrapper_info(&s, "/usr/bin/gcc").is_none(),
+            "not an MPI wrapper"
+        );
     }
 
     #[test]
@@ -290,7 +314,10 @@ mod tests {
         assert!(which(&sess, "mpicc").is_none());
         let ist = s.stacks[0].clone();
         sess.load_stack(&ist);
-        assert_eq!(which(&sess, "mpicc").unwrap(), format!("{}/mpicc", ist.bin_dir()));
+        assert_eq!(
+            which(&sess, "mpicc").unwrap(),
+            format!("{}/mpicc", ist.bin_dir())
+        );
     }
 
     #[test]
@@ -312,7 +339,10 @@ mod tests {
         let s = Site::build(cfg);
         assert!(locate(&s, "libc").is_none());
         let s2 = site(EnvMgmt::Modules);
-        assert!(locate(&s2, "libc").unwrap().iter().any(|p| p.ends_with("libc.so.6")));
+        assert!(locate(&s2, "libc")
+            .unwrap()
+            .iter()
+            .any(|p| p.ends_with("libc.so.6")));
     }
 
     #[test]
@@ -328,9 +358,14 @@ mod tests {
         cfg.ldd_flaky_rate = 1.0; // always unrecognized
         let s = Site::build(cfg);
         let mut sess = Session::new(&s);
-        let img = crate::compile::compile(&s, None, &crate::compile::ProgramSpec::serial_hello_world(), 1)
-            .unwrap()
-            .image;
+        let img = crate::compile::compile(
+            &s,
+            None,
+            &crate::compile::ProgramSpec::serial_hello_world(),
+            1,
+        )
+        .unwrap()
+        .image;
         sess.stage_file("/home/user/x", img);
         assert_eq!(ldd(&sess, "/home/user/x"), LddResult::NotRecognized);
     }
@@ -348,9 +383,14 @@ mod tests {
         cfg.ldd_flaky_rate = 0.0;
         let s = Site::build(cfg);
         let mut sess = Session::new(&s);
-        let img = crate::compile::compile(&s, None, &crate::compile::ProgramSpec::serial_hello_world(), 1)
-            .unwrap()
-            .image;
+        let img = crate::compile::compile(
+            &s,
+            None,
+            &crate::compile::ProgramSpec::serial_hello_world(),
+            1,
+        )
+        .unwrap()
+        .image;
         sess.stage_file("/home/user/x", img);
         match ldd(&sess, "/home/user/x") {
             LddResult::Resolved(map) => {

@@ -148,7 +148,13 @@ impl Vfs {
     pub fn write(&mut self, path: &str, content: Content) {
         let path = normalize(path);
         self.mkdir_p(dirname(&path));
-        self.nodes.insert(path, Node::File { content, executable: false });
+        self.nodes.insert(
+            path,
+            Node::File {
+                content,
+                executable: false,
+            },
+        );
     }
 
     /// Write a text file.
@@ -165,8 +171,13 @@ impl Vfs {
     pub fn write_executable(&mut self, path: &str, bytes: Arc<Vec<u8>>) {
         let path = normalize(path);
         self.mkdir_p(dirname(&path));
-        self.nodes
-            .insert(path, Node::File { content: Content::Bytes(bytes), executable: true });
+        self.nodes.insert(
+            path,
+            Node::File {
+                content: Content::Bytes(bytes),
+                executable: true,
+            },
+        );
     }
 
     /// Mark an existing file executable.
@@ -187,14 +198,20 @@ impl Vfs {
     pub fn symlink(&mut self, path: &str, target: &str) {
         let path = normalize(path);
         self.mkdir_p(dirname(&path));
-        self.nodes.insert(path, Node::Symlink { target: target.to_string() });
+        self.nodes.insert(
+            path,
+            Node::Symlink {
+                target: target.to_string(),
+            },
+        );
     }
 
     /// Remove a file, symlink, or (recursively) a directory.
     pub fn remove(&mut self, path: &str) {
         let path = normalize(path);
         let prefix = format!("{path}/");
-        self.nodes.retain(|p, _| p != &path && !p.starts_with(&prefix));
+        self.nodes
+            .retain(|p, _| p != &path && !p.starts_with(&prefix));
     }
 
     /// Raw node lookup without following symlinks.
@@ -239,7 +256,16 @@ impl Vfs {
 
     /// Is the path an executable regular file (following symlinks)?
     pub fn is_executable(&self, path: &str) -> bool {
-        matches!(self.resolve(path), Ok((_, Node::File { executable: true, .. })))
+        matches!(
+            self.resolve(path),
+            Ok((
+                _,
+                Node::File {
+                    executable: true,
+                    ..
+                }
+            ))
+        )
     }
 
     /// Immediate children names of a directory.
@@ -248,7 +274,11 @@ impl Vfs {
         if !matches!(node, Node::Dir) {
             return Err(VfsError::NotADirectory(dir));
         }
-        let prefix = if dir == "/" { "/".to_string() } else { format!("{dir}/") };
+        let prefix = if dir == "/" {
+            "/".to_string()
+        } else {
+            format!("{dir}/")
+        };
         let mut out = Vec::new();
         for p in self.nodes.range(prefix.clone()..) {
             let (path, _) = p;
@@ -272,7 +302,11 @@ impl Vfs {
     /// whose basename equals `name`. Follows nothing; reports link paths.
     pub fn find_by_name(&self, root: &str, name: &str) -> Vec<String> {
         let root = normalize(root);
-        let prefix = if root == "/" { "/".to_string() } else { format!("{root}/") };
+        let prefix = if root == "/" {
+            "/".to_string()
+        } else {
+            format!("{root}/")
+        };
         self.nodes
             .keys()
             .filter(|p| (p.starts_with(&prefix) || **p == root) && basename(p) == name)
@@ -293,7 +327,11 @@ impl Vfs {
     /// Total bytes of all regular files under `root`.
     pub fn disk_usage(&self, root: &str) -> usize {
         let root = normalize(root);
-        let prefix = if root == "/" { "/".to_string() } else { format!("{root}/") };
+        let prefix = if root == "/" {
+            "/".to_string()
+        } else {
+            format!("{root}/")
+        };
         self.nodes
             .iter()
             .filter(|(p, _)| p.starts_with(&prefix) || **p == root)
@@ -328,7 +366,10 @@ mod tests {
     fn mkdir_write_read_round_trip() {
         let mut fs = Vfs::new();
         fs.write_text("/etc/redhat-release", "CentOS release 5.6 (Final)");
-        assert_eq!(fs.read_text("/etc/redhat-release").unwrap(), "CentOS release 5.6 (Final)");
+        assert_eq!(
+            fs.read_text("/etc/redhat-release").unwrap(),
+            "CentOS release 5.6 (Final)"
+        );
         assert!(fs.exists("/etc"));
         assert!(matches!(fs.lookup("/etc"), Some(Node::Dir)));
     }

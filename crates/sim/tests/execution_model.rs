@@ -1,12 +1,12 @@
 //! Integration tests of the execution model's failure taxonomy and retry
 //! discipline — the ground-truth side of the reproduction.
 
+use feam_elf::HostArch;
 use feam_sim::compile::{compile, ProgramSpec};
 use feam_sim::exec::{run_mpi, DEFAULT_ATTEMPTS};
 use feam_sim::mpi::{MpiImpl, MpiStack, Network};
 use feam_sim::site::{OsInfo, Session, Site, SiteConfig};
 use feam_sim::toolchain::{Compiler, CompilerFamily, Language};
-use feam_elf::HostArch;
 
 fn two_impl_site(seed: u64) -> Site {
     let mut cfg = SiteConfig::new(
@@ -21,8 +21,14 @@ fn two_impl_site(seed: u64) -> Site {
     cfg.compilers = vec![Compiler::new(CompilerFamily::Gnu, "4.1.2")];
     let gnu = Compiler::new(CompilerFamily::Gnu, "4.1.2");
     cfg.stacks = vec![
-        (MpiStack::new(MpiImpl::OpenMpi, "1.4", gnu.clone(), Network::Ethernet), true),
-        (MpiStack::new(MpiImpl::Mpich2, "1.4", gnu, Network::Ethernet), true),
+        (
+            MpiStack::new(MpiImpl::OpenMpi, "1.4", gnu.clone(), Network::Ethernet),
+            true,
+        ),
+        (
+            MpiStack::new(MpiImpl::Mpich2, "1.4", gnu, Network::Ethernet),
+            true,
+        ),
     ];
     Site::build(cfg)
 }
@@ -35,7 +41,13 @@ fn launcher_of_wrong_impl_fails_with_mismatch() {
     let site = two_impl_site(11);
     let openmpi = site.stacks[0].clone();
     let mpich = site.stacks[1].clone();
-    let bin = compile(&site, Some(&mpich), &ProgramSpec::new("is", Language::C), 11).unwrap();
+    let bin = compile(
+        &site,
+        Some(&mpich),
+        &ProgramSpec::new("is", Language::C),
+        11,
+    )
+    .unwrap();
     let mut sess = Session::new(&site);
     sess.load_stack(&openmpi);
     sess.load_stack(&mpich); // both lib dirs now visible
@@ -69,7 +81,10 @@ fn transient_errors_absorbed_by_retries() {
             saw_retry = true;
         }
     }
-    assert!(saw_retry, "transient layer should force at least one retry in 40 runs");
+    assert!(
+        saw_retry,
+        "transient layer should force at least one retry in 40 runs"
+    );
 }
 
 #[test]
@@ -99,7 +114,13 @@ fn single_attempt_mode_exposes_transients() {
 fn cpu_accounting_scales_with_attempts_and_procs() {
     let site = two_impl_site(17);
     let ist = site.stacks[0].clone();
-    let bin = compile(&site, Some(&ist), &ProgramSpec::new("ep", Language::Fortran), 1).unwrap();
+    let bin = compile(
+        &site,
+        Some(&ist),
+        &ProgramSpec::new("ep", Language::Fortran),
+        1,
+    )
+    .unwrap();
     let mut small = Session::new(&site);
     small.load_stack(&ist);
     small.stage_file("/r/ep", bin.image.clone());
@@ -120,8 +141,18 @@ fn cpu_accounting_scales_with_attempts_and_procs() {
 fn home_built_corpus_binaries_have_abi_tags() {
     let site = two_impl_site(19);
     let ist = site.stacks[0].clone();
-    let bin = compile(&site, Some(&ist), &ProgramSpec::new("bt", Language::Fortran), 1).unwrap();
+    let bin = compile(
+        &site,
+        Some(&ist),
+        &ProgramSpec::new("bt", Language::Fortran),
+        1,
+    )
+    .unwrap();
     let f = feam_elf::ElfFile::parse(&bin.image).unwrap();
     let tag = f.abi_tag().expect("compiled binaries carry NT_GNU_ABI_TAG");
-    assert_eq!(tag.kernel, (2, 6, 18), "kernel triple from the site's OS model");
+    assert_eq!(
+        tag.kernel,
+        (2, 6, 18),
+        "kernel triple from the site's OS model"
+    );
 }

@@ -1,10 +1,12 @@
-//! Property-based tests of the loader model's invariants.
+//! Property-style tests of the loader model's invariants, driven by a
+//! deterministic case generator (the registry is unreachable offline, so
+//! no proptest; the cases are seeded and reproducible).
 
+use feam_elf::{Class, ElfSpec, HostArch, ImportSpec, Machine};
 use feam_sim::loader::{ldd_map, resolve_closure};
+use feam_sim::rng::mix;
 use feam_sim::site::{OsInfo, Session, Site, SiteConfig};
 use feam_sim::toolchain::{Compiler, CompilerFamily};
-use feam_elf::{Class, ElfSpec, HostArch, ImportSpec, Machine};
-use proptest::prelude::*;
 use std::sync::Arc;
 
 fn site() -> Site {
@@ -40,6 +42,31 @@ const PRESENT: &[&str] = &[
 /// Sonames that do not exist anywhere on it.
 const ABSENT: &[&str] = &["libghost.so.1", "libvoid.so.2", "libnothere.so.9"];
 
+/// Tiny deterministic generator: a counter fed through SplitMix64's mixer.
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(mix(seed ^ 0x6c6f_6164_6572)) // "loader"
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix(self.0)
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+
+    /// `len` picks of indices into a slice of length `n` (repeats allowed,
+    /// like `proptest::collection::vec(0..n, ..)`).
+    fn picks(&mut self, n: usize, len: usize) -> Vec<usize> {
+        (0..len).map(|_| self.range(0, n)).collect()
+    }
+}
+
 fn binary_with(needed: &[String]) -> Arc<Vec<u8>> {
     let mut spec = ElfSpec::executable(Machine::X86_64, Class::Elf64);
     spec.needed = needed.to_vec();
@@ -47,65 +74,89 @@ fn binary_with(needed: &[String]) -> Arc<Vec<u8>> {
     Arc::new(spec.build().unwrap())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn session_with(site: &Site, bin: Arc<Vec<u8>>) -> Session<'_> {
+    let mut sess = Session::new(site);
+    // Make the intel runtime visible too.
+    let intel_dir = site
+        .compiler(CompilerFamily::Intel)
+        .unwrap()
+        .lib_dir
+        .clone();
+    feam_sim::site::env_prepend(&mut sess.env, "LD_LIBRARY_PATH", &intel_dir);
+    sess.stage_file("/p/bin", bin);
+    sess
+}
 
-    /// resolve_closure succeeds iff every transitively needed soname is
-    /// present, and ldd_map's missing set agrees.
-    #[test]
-    fn closure_and_ldd_agree_on_missing(
-        present_picks in proptest::collection::vec(0usize..PRESENT.len(), 1..6),
-        absent_picks in proptest::collection::vec(0usize..ABSENT.len(), 0..3),
-    ) {
-        let site = site();
-        let mut needed: Vec<String> = present_picks.iter().map(|&i| PRESENT[i].to_string()).collect();
+/// resolve_closure succeeds iff every transitively needed soname is
+/// present, and ldd_map's missing set agrees.
+#[test]
+fn closure_and_ldd_agree_on_missing() {
+    let site = site();
+    for case in 0..48u64 {
+        let mut g = Gen::new(case);
+        let present_picks = {
+            let len = g.range(1, 6);
+            g.picks(PRESENT.len(), len)
+        };
+        let absent_picks = {
+            let len = g.range(0, 3);
+            g.picks(ABSENT.len(), len)
+        };
+        let mut needed: Vec<String> = present_picks
+            .iter()
+            .map(|&i| PRESENT[i].to_string())
+            .collect();
         needed.extend(absent_picks.iter().map(|&i| ABSENT[i].to_string()));
         needed.dedup();
         if !needed.iter().any(|n| n == "libc.so.6") {
             needed.push("libc.so.6".to_string());
         }
         let bin = binary_with(&needed);
-        let mut sess = Session::new(&site);
-        // Make the intel runtime visible too.
-        let intel_dir = site.compiler(CompilerFamily::Intel).unwrap().lib_dir.clone();
-        feam_sim::site::env_prepend(&mut sess.env, "LD_LIBRARY_PATH", &intel_dir);
-        sess.stage_file("/p/bin", bin);
+        let sess = session_with(&site, bin);
 
         let ldd = ldd_map(&sess, "/p/bin").unwrap();
-        let ldd_missing: Vec<&str> =
-            ldd.iter().filter(|(_, p)| p.is_none()).map(|(n, _)| n.as_str()).collect();
+        let ldd_missing: Vec<&str> = ldd
+            .iter()
+            .filter(|(_, p)| p.is_none())
+            .map(|(n, _)| n.as_str())
+            .collect();
         let closure = resolve_closure(&sess, "/p/bin");
         let expect_missing = !absent_picks.is_empty();
-        prop_assert_eq!(closure.is_err(), expect_missing,
-            "closure: {:?}, ldd missing: {:?}", closure.as_ref().err(), ldd_missing);
-        prop_assert_eq!(!ldd_missing.is_empty(), expect_missing);
+        assert_eq!(
+            closure.is_err(),
+            expect_missing,
+            "case {case}: closure: {:?}, ldd missing: {:?}",
+            closure.as_ref().err(),
+            ldd_missing
+        );
+        assert_eq!(!ldd_missing.is_empty(), expect_missing, "case {case}");
         // Every reported-missing soname is genuinely from the absent set.
         for m in &ldd_missing {
-            prop_assert!(ABSENT.contains(m), "unexpectedly missing: {m}");
+            assert!(ABSENT.contains(m), "case {case}: unexpectedly missing: {m}");
         }
     }
+}
 
-    /// A successful closure loads the root plus only resolvable libraries,
-    /// each exactly once, and always includes libc.
-    #[test]
-    fn closure_members_unique_and_include_libc(
-        picks in proptest::collection::vec(0usize..PRESENT.len(), 1..8),
-    ) {
-        let site = site();
+/// A successful closure loads the root plus only resolvable libraries,
+/// each exactly once, and always includes libc.
+#[test]
+fn closure_members_unique_and_include_libc() {
+    let site = site();
+    for case in 0..48u64 {
+        let mut g = Gen::new(case ^ 0xbeef);
+        let len = g.range(1, 8);
+        let picks = g.picks(PRESENT.len(), len);
         let mut needed: Vec<String> = picks.iter().map(|&i| PRESENT[i].to_string()).collect();
         needed.push("libc.so.6".to_string());
         needed.dedup();
         let bin = binary_with(&needed);
-        let mut sess = Session::new(&site);
-        let intel_dir = site.compiler(CompilerFamily::Intel).unwrap().lib_dir.clone();
-        feam_sim::site::env_prepend(&mut sess.env, "LD_LIBRARY_PATH", &intel_dir);
-        sess.stage_file("/p/bin", bin);
+        let sess = session_with(&site, bin);
         let closure = resolve_closure(&sess, "/p/bin").unwrap();
         let mut paths: Vec<&str> = closure.paths();
         let before = paths.len();
         paths.sort();
         paths.dedup();
-        prop_assert_eq!(paths.len(), before, "no object loaded twice");
-        prop_assert!(closure.provider("libc.so.6").is_some());
+        assert_eq!(paths.len(), before, "case {case}: no object loaded twice");
+        assert!(closure.provider("libc.so.6").is_some(), "case {case}");
     }
 }

@@ -3,10 +3,16 @@ use feam_workloads::{standard_sites, Suite, TestSetBuilder};
 fn main() {
     let sites = standard_sites(42);
     let set = TestSetBuilder::new(42).build(&sites);
-    println!("NAS: {}  SPEC: {}  compile_failures: {}  home_failures: {}",
-        set.count(Suite::Npb), set.count(Suite::SpecMpi2007),
-        set.compile_failures, set.home_run_failures);
+    println!(
+        "NAS: {}  SPEC: {}  compile_failures: {}  home_failures: {}",
+        set.count(Suite::Npb),
+        set.count(Suite::SpecMpi2007),
+        set.compile_failures,
+        set.home_run_failures
+    );
     let mut per_site = [0usize; 5];
-    for b in set.binaries() { per_site[b.compiled_at] += 1; }
+    for b in set.binaries() {
+        per_site[b.compiled_at] += 1;
+    }
     println!("per-site: {:?}", per_site);
 }

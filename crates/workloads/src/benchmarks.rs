@@ -83,7 +83,11 @@ impl Benchmark {
         {
             return false; // NPB 2.4 Fortran vs old strict PGI f90
         }
-        rng::chance(seed, &[&self.name, &stack.ident(), "compiles"], self.compile_base)
+        rng::chance(
+            seed,
+            &[&self.name, &stack.ident(), "compiles"],
+            self.compile_base,
+        )
     }
 }
 
@@ -100,12 +104,48 @@ pub fn npb_benchmarks() -> Vec<Benchmark> {
     };
     vec![
         b("is", "integer sort kernel", Language::C, 96 * 1024, 0.80),
-        b("ep", "embarrassingly parallel kernel", Language::Fortran, 110 * 1024, 0.72),
-        b("cg", "conjugate gradient kernel", Language::Fortran, 150 * 1024, 0.72),
-        b("mg", "multi-grid kernel", Language::Fortran, 210 * 1024, 0.70),
-        b("bt", "block tridiagonal solver", Language::Fortran, 380 * 1024, 0.66),
-        b("sp", "scalar penta-diagonal solver", Language::Fortran, 340 * 1024, 0.66),
-        b("lu", "lower-upper Gauss-Seidel solver", Language::Fortran, 360 * 1024, 0.68),
+        b(
+            "ep",
+            "embarrassingly parallel kernel",
+            Language::Fortran,
+            110 * 1024,
+            0.72,
+        ),
+        b(
+            "cg",
+            "conjugate gradient kernel",
+            Language::Fortran,
+            150 * 1024,
+            0.72,
+        ),
+        b(
+            "mg",
+            "multi-grid kernel",
+            Language::Fortran,
+            210 * 1024,
+            0.70,
+        ),
+        b(
+            "bt",
+            "block tridiagonal solver",
+            Language::Fortran,
+            380 * 1024,
+            0.66,
+        ),
+        b(
+            "sp",
+            "scalar penta-diagonal solver",
+            Language::Fortran,
+            340 * 1024,
+            0.66,
+        ),
+        b(
+            "lu",
+            "lower-upper Gauss-Seidel solver",
+            Language::Fortran,
+            360 * 1024,
+            0.68,
+        ),
     ]
 }
 
@@ -121,13 +161,62 @@ pub fn spec_benchmarks() -> Vec<Benchmark> {
         compile_base,
     };
     vec![
-        b("104.milc", "quantum chromodynamics", Language::C, 420 * 1024, 0.12, 0.92),
-        b("107.leslie3d", "computational fluid dynamics", Language::Fortran, 530 * 1024, 0.10, 0.88),
-        b("115.fds4", "computational fluid dynamics (fire)", Language::MixedCFortran, 1_400 * 1024, 0.15, 0.84),
-        b("122.tachyon", "parallel ray tracing", Language::C, 310 * 1024, 0.14, 0.94),
-        b("126.lammps", "molecular dynamics", Language::Cxx, 1_900 * 1024, 0.06, 0.86),
-        b("127.GAPgeofem", "geofem weather/ground simulation", Language::MixedCFortran, 860 * 1024, 0.13, 0.86),
-        b("129.tera_tf", "3D Eulerian hydrodynamics", Language::Fortran, 640 * 1024, 0.11, 0.90),
+        b(
+            "104.milc",
+            "quantum chromodynamics",
+            Language::C,
+            420 * 1024,
+            0.12,
+            0.92,
+        ),
+        b(
+            "107.leslie3d",
+            "computational fluid dynamics",
+            Language::Fortran,
+            530 * 1024,
+            0.10,
+            0.88,
+        ),
+        b(
+            "115.fds4",
+            "computational fluid dynamics (fire)",
+            Language::MixedCFortran,
+            1_400 * 1024,
+            0.15,
+            0.84,
+        ),
+        b(
+            "122.tachyon",
+            "parallel ray tracing",
+            Language::C,
+            310 * 1024,
+            0.14,
+            0.94,
+        ),
+        b(
+            "126.lammps",
+            "molecular dynamics",
+            Language::Cxx,
+            1_900 * 1024,
+            0.06,
+            0.86,
+        ),
+        b(
+            "127.GAPgeofem",
+            "geofem weather/ground simulation",
+            Language::MixedCFortran,
+            860 * 1024,
+            0.13,
+            0.86,
+        ),
+        b(
+            "129.tera_tf",
+            "3D Eulerian hydrodynamics",
+            Language::Fortran,
+            640 * 1024,
+            0.11,
+            0.90,
+        ),
     ]
 }
 
@@ -154,15 +243,32 @@ mod tests {
     #[test]
     fn paper_names_present() {
         let names: Vec<String> = all_benchmarks().iter().map(|b| b.name.clone()).collect();
-        for n in ["is", "ep", "cg", "mg", "bt", "sp", "lu", "104.milc", "107.leslie3d",
-                  "115.fds4", "122.tachyon", "126.lammps", "127.GAPgeofem", "129.tera_tf"] {
+        for n in [
+            "is",
+            "ep",
+            "cg",
+            "mg",
+            "bt",
+            "sp",
+            "lu",
+            "104.milc",
+            "107.leslie3d",
+            "115.fds4",
+            "122.tachyon",
+            "126.lammps",
+            "127.GAPgeofem",
+            "129.tera_tf",
+        ] {
             assert!(names.iter().any(|x| x == n), "missing {n}");
         }
     }
 
     #[test]
     fn lammps_needs_modern_gcc() {
-        let lammps = spec_benchmarks().into_iter().find(|b| b.name == "126.lammps").unwrap();
+        let lammps = spec_benchmarks()
+            .into_iter()
+            .find(|b| b.name == "126.lammps")
+            .unwrap();
         let old = MpiStack::new(
             MpiImpl::OpenMpi,
             "1.3",
@@ -184,7 +290,10 @@ mod tests {
 
     #[test]
     fn npb_fortran_rejects_old_pgi() {
-        let bt = npb_benchmarks().into_iter().find(|b| b.name == "bt").unwrap();
+        let bt = npb_benchmarks()
+            .into_iter()
+            .find(|b| b.name == "bt")
+            .unwrap();
         let old_pgi = MpiStack::new(
             MpiImpl::Mvapich2,
             "1.2",
@@ -195,13 +304,19 @@ mod tests {
             assert!(!bt.compiles_with(&old_pgi, seed));
         }
         // But `is` (C) is allowed to compile with old PGI.
-        let is = npb_benchmarks().into_iter().find(|b| b.name == "is").unwrap();
+        let is = npb_benchmarks()
+            .into_iter()
+            .find(|b| b.name == "is")
+            .unwrap();
         assert!((0..20).any(|seed| is.compiles_with(&old_pgi, seed)));
     }
 
     #[test]
     fn compile_viability_deterministic_per_seed() {
-        let cg = npb_benchmarks().into_iter().find(|b| b.name == "cg").unwrap();
+        let cg = npb_benchmarks()
+            .into_iter()
+            .find(|b| b.name == "cg")
+            .unwrap();
         let s = MpiStack::new(
             MpiImpl::Mpich2,
             "1.4",
@@ -213,7 +328,10 @@ mod tests {
 
     #[test]
     fn program_spec_carries_model_fields() {
-        let lu = npb_benchmarks().into_iter().find(|b| b.name == "lu").unwrap();
+        let lu = npb_benchmarks()
+            .into_iter()
+            .find(|b| b.name == "lu")
+            .unwrap();
         let p = lu.program_spec();
         assert_eq!(p.name, "lu");
         assert_eq!(p.language, Language::Fortran);

@@ -14,10 +14,10 @@
 //! numbers land in the neighbourhood of the paper's Tables III/IV; every
 //! knob is an explicit constant here, not hidden in the harness.
 
+use feam_elf::HostArch;
 use feam_sim::mpi::{MpiImpl, MpiStack, Network};
 use feam_sim::site::{EnvMgmt, OsInfo, Site, SiteConfig};
 use feam_sim::toolchain::{Compiler, CompilerFamily};
-use feam_elf::HostArch;
 
 /// Index of Ranger in [`standard_sites`]' output.
 pub const RANGER: usize = 0;
@@ -82,7 +82,11 @@ pub fn forge(seed: u64) -> SiteConfig {
     let mut cfg = SiteConfig::new(
         "forge",
         HostArch::X86_64,
-        OsInfo::new("Red Hat Enterprise Linux Server", "6.1", "2.6.32-131.0.15.el6"),
+        OsInfo::new(
+            "Red Hat Enterprise Linux Server",
+            "6.1",
+            "2.6.32-131.0.15.el6",
+        ),
         "2.12",
         seed ^ 0x466f_7267,
     );
@@ -205,13 +209,22 @@ pub fn fir(seed: u64) -> SiteConfig {
 
 /// All five Table II site configurations, in paper order.
 pub fn standard_site_configs(seed: u64) -> Vec<SiteConfig> {
-    vec![ranger(seed), forge(seed), blacklight(seed), india(seed), fir(seed)]
+    vec![
+        ranger(seed),
+        forge(seed),
+        blacklight(seed),
+        india(seed),
+        fir(seed),
+    ]
 }
 
 /// Materialize the five sites. This builds every library image at every
 /// site; construction is deterministic in `seed`.
 pub fn standard_sites(seed: u64) -> Vec<Site> {
-    standard_site_configs(seed).into_iter().map(Site::build).collect()
+    standard_site_configs(seed)
+        .into_iter()
+        .map(Site::build)
+        .collect()
 }
 
 #[cfg(test)]

@@ -173,7 +173,12 @@ mod tests {
             sess.load_stack(&ist);
             sess.stage_file("/home/user/bin/check", item.image.clone());
             let out = run_mpi(&mut sess, "/home/user/bin/check", &ist, 4, DEFAULT_ATTEMPTS);
-            assert!(out.success, "{} no longer runs at home: {:?}", item.label(), out.failure);
+            assert!(
+                out.success,
+                "{} no longer runs at home: {:?}",
+                item.label(),
+                out.failure
+            );
         }
     }
 

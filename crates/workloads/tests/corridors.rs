@@ -9,8 +9,8 @@ use feam_sim::site::{Session, Site};
 use feam_sim::toolchain::Language;
 use feam_workloads::sites::{standard_sites, BLACKLIGHT, FIR, FORGE, INDIA, RANGER};
 
-fn run_at<'s>(
-    target: &'s Site,
+fn run_at(
+    target: &Site,
     image: &std::sync::Arc<Vec<u8>>,
     stack_pred: impl Fn(&feam_sim::site::InstalledStack) -> bool,
 ) -> feam_sim::exec::ExecOutcome {
@@ -50,7 +50,13 @@ fn ranger_gnu_binaries_run_everywhere_via_compat_packages() {
     // Ranger's gcc-3.4 binaries (libg2c era) run at every other site
     // because each carries compat-gcc runtime packages.
     let sites = standard_sites(55);
-    let img = build(&sites, RANGER, "openmpi-1.3-gnu-3.4.6", "ep", Language::Fortran);
+    let img = build(
+        &sites,
+        RANGER,
+        "openmpi-1.3-gnu-3.4.6",
+        "ep",
+        Language::Fortran,
+    );
     for target in [FORGE, BLACKLIGHT, INDIA, FIR] {
         let out = run_at(&sites[target], &img, |s| {
             s.stack.mpi == feam_sim::mpi::MpiImpl::OpenMpi
@@ -71,7 +77,13 @@ fn forge_gnu_fortran_missing_at_rhel5_sites() {
     // India/Fir only via the gcc44 compat package, which IS installed
     // there, so they run; but at Ranger (CentOS 4.9) nothing provides it.
     let sites = standard_sites(55);
-    let img = build(&sites, FORGE, "openmpi-1.4-gnu-4.4.5", "cg", Language::Fortran);
+    let img = build(
+        &sites,
+        FORGE,
+        "openmpi-1.4-gnu-4.4.5",
+        "cg",
+        Language::Fortran,
+    );
     let at_ranger = run_at(&sites[RANGER], &img, |s| {
         s.stack.mpi == feam_sim::mpi::MpiImpl::OpenMpi
             && s.stack.compiler.family == feam_sim::toolchain::CompilerFamily::Gnu
@@ -110,7 +122,13 @@ fn mvapich2_version_gap_breaks_at_ranger() {
     // MVAPICH2 1.7-built binaries import the 1.7 ABI marker; Ranger's 1.2
     // libraries don't export it.
     let sites = standard_sites(55);
-    let img = build(&sites, FIR, "mvapich2-1.7a-gnu-4.1.2", "mg", Language::Fortran);
+    let img = build(
+        &sites,
+        FIR,
+        "mvapich2-1.7a-gnu-4.1.2",
+        "mg",
+        Language::Fortran,
+    );
     let out = run_at(&sites[RANGER], &img, |s| {
         s.stack.mpi == feam_sim::mpi::MpiImpl::Mvapich2
             && s.stack.compiler.family == feam_sim::toolchain::CompilerFamily::Gnu
@@ -171,7 +189,11 @@ fn pgi_binaries_fail_everywhere_without_pgi() {
         let out = run_at(&sites[target], &img, |s| {
             s.stack.mpi == feam_sim::mpi::MpiImpl::OpenMpi
         });
-        assert!(!out.success, "pgi binary must fail at {}", sites[target].name());
+        assert!(
+            !out.success,
+            "pgi binary must fail at {}",
+            sites[target].name()
+        );
         assert_eq!(out.failure.unwrap().class(), "missing-library");
     }
 }

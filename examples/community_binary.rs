@@ -22,8 +22,13 @@ fn main() {
     // at Forge and published. We only have the bytes.
     let forge = &sites[FORGE];
     let stack = forge.stacks[0].clone();
-    let milc = compile(forge, Some(&stack), &ProgramSpec::new("104.milc", Language::C), 9)
-        .expect("milc compiles at Forge");
+    let milc = compile(
+        forge,
+        Some(&stack),
+        &ProgramSpec::new("104.milc", Language::C),
+        9,
+    )
+    .expect("milc compiles at Forge");
     println!(
         "received community binary {} ({} KiB) — provenance unknown to us\n",
         milc.program,

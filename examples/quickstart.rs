@@ -27,8 +27,13 @@ fn main() {
     // "Compile" the NPB block-tridiagonal solver at Ranger with its Open
     // MPI + GNU stack. The result is a genuine ELF binary.
     let stack = ranger.stacks[1].clone(); // openmpi-1.3-gnu-3.4.6
-    let bt = compile(ranger, Some(&stack), &ProgramSpec::new("bt", Language::Fortran), 42)
-        .expect("bt compiles at Ranger");
+    let bt = compile(
+        ranger,
+        Some(&stack),
+        &ProgramSpec::new("bt", Language::Fortran),
+        42,
+    )
+    .expect("bt compiles at Ranger");
     println!(
         "built {} at {} ({} bytes)",
         bt.program,
@@ -58,11 +63,21 @@ fn main() {
         .expect("a matching stack exists at India");
     let mut sess = plan.apply(india);
     sess.stage_file("/home/user/run/bt", bt.image.clone());
-    let exec = run_mpi(&mut sess, "/home/user/run/bt", &launcher, 4, DEFAULT_ATTEMPTS);
+    let exec = run_mpi(
+        &mut sess,
+        "/home/user/run/bt",
+        &launcher,
+        4,
+        DEFAULT_ATTEMPTS,
+    );
     println!(
         "ground truth: execution {} (prediction said {})",
         if exec.success { "SUCCEEDED" } else { "failed" },
-        if outcome.prediction.ready() { "ready" } else { "not ready" },
+        if outcome.prediction.ready() {
+            "ready"
+        } else {
+            "not ready"
+        },
     );
     assert_eq!(
         exec.success,

@@ -30,10 +30,22 @@ fn main() {
 
     // The paper's headline claims, asserted as invariants of this repro:
     let t3 = table3(&results);
-    assert!(t3.basic_nas > 90.0 && t3.basic_spec > 90.0, "prediction > 90% accurate");
-    assert!(t3.extended_nas >= t3.basic_nas, "extended beats basic on NAS");
+    assert!(
+        t3.basic_nas > 90.0 && t3.basic_spec > 90.0,
+        "prediction > 90% accurate"
+    );
+    assert!(
+        t3.extended_nas >= t3.basic_nas,
+        "extended beats basic on NAS"
+    );
     let t4 = table4(&results);
-    assert!(t4.before_nas > 40.0 && t4.before_nas < 70.0, "about half execute before");
-    assert!(t4.increase_nas > 15.0 && t4.increase_spec > 25.0, "resolution adds ~1/3");
+    assert!(
+        t4.before_nas > 40.0 && t4.before_nas < 70.0,
+        "about half execute before"
+    );
+    assert!(
+        t4.increase_nas > 15.0 && t4.increase_spec > 25.0,
+        "resolution adds ~1/3"
+    );
     println!("all paper-shape assertions hold ✓");
 }

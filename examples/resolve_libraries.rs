@@ -30,9 +30,19 @@ fn main() {
         .find(|s| s.stack.ident() == "openmpi-1.4-pgi-10.9")
         .expect("Fir has openmpi-1.4-pgi-10.9")
         .clone();
-    let sp = compile(fir, Some(&stack), &ProgramSpec::new("sp", Language::Fortran), 7)
-        .expect("sp compiles with PGI at Fir");
-    println!("built {} at {} with {}", sp.program, sp.built_at, stack.stack.ident());
+    let sp = compile(
+        fir,
+        Some(&stack),
+        &ProgramSpec::new("sp", Language::Fortran),
+        7,
+    )
+    .expect("sp compiles with PGI at Fir");
+    println!(
+        "built {} at {} with {}",
+        sp.program,
+        sp.built_at,
+        stack.stack.ident()
+    );
 
     // --- before resolution: naive matching-MPI selection -------------------
     let mut sess = feam::sim::site::Session::new(india);
@@ -46,33 +56,65 @@ fn main() {
     let launcher = india.stacks[naive.stack_index.expect("india has Open MPI")].clone();
     let mut before = naive.apply(india);
     before.stage_file("/home/user/run/sp", sp.image.clone());
-    let out_before = run_mpi(&mut before, "/home/user/run/sp", &launcher, 4, DEFAULT_ATTEMPTS);
+    let out_before = run_mpi(
+        &mut before,
+        "/home/user/run/sp",
+        &launcher,
+        4,
+        DEFAULT_ATTEMPTS,
+    );
     println!(
         "\nbefore resolution: {} — {}",
         if out_before.success { "ran" } else { "FAILED" },
-        out_before.failure.map(|f| f.to_string()).unwrap_or_default()
+        out_before
+            .failure
+            .map(|f| f.to_string())
+            .unwrap_or_default()
     );
 
     // --- FEAM extended: source phase + target phase with resolution --------
     let bundle = run_source_phase(fir, &sp.image, &cfg).expect("source phase");
     let outcome = run_target_phase(india, Some(&sp.image), Some(&bundle), &cfg);
-    let resolution = outcome.evaluation.resolution.as_ref().expect("resolution ran");
-    println!("\nresolution staged {} library copies:", resolution.staged_count());
+    let resolution = outcome
+        .evaluation
+        .resolution
+        .as_ref()
+        .expect("resolution ran");
+    println!(
+        "\nresolution staged {} library copies:",
+        resolution.staged_count()
+    );
     for (path, bytes) in &resolution.staged {
         println!("  {path} ({} KiB)", bytes.len() / 1024);
     }
-    assert!(outcome.prediction.ready(), "FEAM predicts ready after resolution");
+    assert!(
+        outcome.prediction.ready(),
+        "FEAM predicts ready after resolution"
+    );
 
     // --- after resolution ----------------------------------------------------
     let plan = &outcome.evaluation.plan;
     let launcher = india.stacks[plan.stack_index.expect("stack chosen")].clone();
     let mut after = plan.apply(india);
     after.stage_file("/home/user/run/sp", sp.image.clone());
-    let out_after = run_mpi(&mut after, "/home/user/run/sp", &launcher, 4, DEFAULT_ATTEMPTS);
+    let out_after = run_mpi(
+        &mut after,
+        "/home/user/run/sp",
+        &launcher,
+        4,
+        DEFAULT_ATTEMPTS,
+    );
     println!(
         "\nafter resolution: {}",
-        if out_after.success { "ran successfully" } else { "still failed" }
+        if out_after.success {
+            "ran successfully"
+        } else {
+            "still failed"
+        }
     );
-    assert!(!out_before.success && out_after.success, "the §IV mechanism in action");
+    assert!(
+        !out_before.success && out_after.success,
+        "the §IV mechanism in action"
+    );
     println!("\ngenerated setup script:\n{}", plan.setup_script());
 }

@@ -27,9 +27,13 @@ fn main() {
         .find(|s| s.stack.ident().starts_with("mvapich2") && s.stack.ident().contains("intel"))
         .expect("Fir has a MVAPICH2+Intel stack")
         .clone();
-    let lammps =
-        compile(fir, Some(&stack), &ProgramSpec::new("126.lammps", Language::Cxx), 42)
-            .expect("lammps compiles at Fir");
+    let lammps = compile(
+        fir,
+        Some(&stack),
+        &ProgramSpec::new("126.lammps", Language::Cxx),
+        42,
+    )
+    .expect("lammps compiles at Fir");
     println!(
         "surveying sites for {} (built at {} with {})\n",
         lammps.program,
@@ -43,11 +47,19 @@ fn main() {
     println!("{}", "-".repeat(60));
     for site in &sites {
         if site.name() == fir.name() {
-            println!("{:<12} {:<10} (guaranteed execution environment)", site.name(), "home");
+            println!(
+                "{:<12} {:<10} (guaranteed execution environment)",
+                site.name(),
+                "home"
+            );
             continue;
         }
         let outcome = run_target_phase(site, Some(&lammps.image), Some(&bundle), &cfg);
-        let verdict = if outcome.prediction.ready() { "READY" } else { "not ready" };
+        let verdict = if outcome.prediction.ready() {
+            "READY"
+        } else {
+            "not ready"
+        };
         let reason = outcome
             .prediction
             .first_failure()
@@ -61,10 +73,12 @@ fn main() {
                     .map(|s| format!("use {s}"))
                     .unwrap_or_default()
             });
-        let reason = if reason.len() > 90 { format!("{}…", &reason[..90]) } else { reason };
+        let reason = if reason.len() > 90 {
+            format!("{}…", &reason[..90])
+        } else {
+            reason
+        };
         println!("{:<12} {:<10} {}", site.name(), verdict, reason);
     }
-    println!(
-        "\n(each target phase consumed under five simulated minutes, as in §VI.C)"
-    );
+    println!("\n(each target phase consumed under five simulated minutes, as in §VI.C)");
 }

@@ -1,0 +1,424 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment for this repository has no access to a crate
+//! registry, so the real serde cannot be vendored. This shim provides the
+//! subset the workspace actually uses: `Serialize`/`Deserialize` traits
+//! over a small self-describing [`Content`] data model, plus derive macros
+//! (re-exported from the sibling `serde_derive` shim) for plain structs
+//! and enums without generics or `#[serde(...)]` attributes.
+//!
+//! The serialized shape mirrors serde's default JSON representation so
+//! that code written against the real crate keeps producing the same
+//! output: named structs become maps, newtype structs unwrap to their
+//! inner value, unit enum variants become strings, data-carrying variants
+//! become single-key maps.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::rc::Rc;
+use std::sync::Arc;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing value every `Serialize` impl lowers to and every
+/// `Deserialize` impl is built from. `serde_json` (the sibling shim)
+/// converts this 1:1 into its `Value`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    /// Insertion-ordered map (JSON object).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Look up a key in a `Map`.
+    pub fn get_key(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(pub String);
+
+impl Error {
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde shim: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize into the [`Content`] data model.
+pub trait Serialize {
+    fn to_content(&self) -> Content;
+}
+
+/// Deserialize from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    fn from_content(c: &Content) -> Result<Self, Error>;
+}
+
+// ---- helpers used by the derive-generated code ----------------------------
+
+/// Fetch and deserialize a named struct field. Missing keys deserialize
+/// from `Null`, which lets `Option<T>` fields default to `None` (matching
+/// serde's behavior for omitted optional fields closely enough).
+pub fn de_field<T: Deserialize>(c: &Content, key: &str) -> Result<T, Error> {
+    match c.get_key(key) {
+        Some(v) => T::from_content(v).map_err(|e| Error(format!("field `{key}`: {}", e.0))),
+        None => {
+            T::from_content(&Content::Null).map_err(|_| Error(format!("missing field `{key}`")))
+        }
+    }
+}
+
+/// Fetch and deserialize a positional element of a sequence.
+pub fn de_index<T: Deserialize>(c: &Content, idx: usize) -> Result<T, Error> {
+    match c {
+        Content::Seq(items) => match items.get(idx) {
+            Some(v) => T::from_content(v).map_err(|e| Error(format!("element {idx}: {}", e.0))),
+            None => Err(Error(format!("sequence too short: no element {idx}"))),
+        },
+        _ => Err(Error("expected a sequence".into())),
+    }
+}
+
+// ---- primitive impls ------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            _ => Err(Error("expected a bool".into())),
+        }
+    }
+}
+
+macro_rules! int_impl {
+    ($($t:ty => $variant:ident as $wide:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::$variant(*self as $wide)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                match c {
+                    Content::U64(v) => <$t>::try_from(*v)
+                        .map_err(|_| Error("integer out of range".into())),
+                    Content::I64(v) => <$t>::try_from(*v)
+                        .map_err(|_| Error("integer out of range".into())),
+                    _ => Err(Error(concat!("expected an integer (", stringify!($t), ")").into())),
+                }
+            }
+        }
+    )*};
+}
+
+int_impl!(
+    u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64, u64 => U64 as u64,
+    usize => U64 as u64,
+    i8 => I64 as i64, i16 => I64 as i64, i32 => I64 as i64, i64 => I64 as i64,
+    isize => I64 as i64,
+);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::F64(v) => Ok(*v),
+            Content::U64(v) => Ok(*v as f64),
+            Content::I64(v) => Ok(*v as f64),
+            _ => Err(Error("expected a number".into())),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        f64::from_content(c).map(|v| v as f32)
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(Error("expected a single-character string".into())),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(Error("expected a string".into())),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Null => Ok(()),
+            _ => Err(Error("expected null".into())),
+        }
+    }
+}
+
+// ---- composite impls ------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        T::from_content(c).map(Arc::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Rc<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            _ => Err(Error("expected a sequence".into())),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+macro_rules! tuple_impl {
+    ($(($($name:ident : $idx:tt),+)),* $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                Ok(($(de_index::<$name>(c, $idx)?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_impl!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+                .collect(),
+            _ => Err(Error("expected a map".into())),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_content(&self) -> Content {
+        // Sort for deterministic output, like serde_json's BTreeMap-backed
+        // objects.
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_content()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+                .collect(),
+            _ => Err(Error("expected a map".into())),
+        }
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        Ok(c.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_content(&42u32.to_content()).unwrap(), 42);
+        assert_eq!(i64::from_content(&(-7i64).to_content()).unwrap(), -7);
+        assert_eq!(
+            String::from_content(&"hi".to_string().to_content()).unwrap(),
+            "hi"
+        );
+        assert_eq!(Option::<u8>::from_content(&Content::Null).unwrap(), None);
+        assert_eq!(
+            Vec::<u8>::from_content(&vec![1u8, 2].to_content()).unwrap(),
+            vec![1, 2]
+        );
+        let pair = ("a".to_string(), 5usize);
+        assert_eq!(
+            <(String, usize)>::from_content(&pair.to_content()).unwrap(),
+            pair
+        );
+    }
+
+    #[test]
+    fn missing_optional_field_is_none() {
+        let map = Content::Map(vec![("present".into(), Content::U64(1))]);
+        let opt: Option<u64> = de_field(&map, "absent").unwrap();
+        assert_eq!(opt, None);
+        let present: u64 = de_field(&map, "present").unwrap();
+        assert_eq!(present, 1);
+        assert!(de_field::<u64>(&map, "absent").is_err());
+    }
+}

@@ -42,5 +42,6 @@
 pub use feam_core as core;
 pub use feam_elf as elf;
 pub use feam_eval as eval;
+pub use feam_obs as obs;
 pub use feam_sim as sim;
 pub use feam_workloads as workloads;

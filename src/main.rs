@@ -8,8 +8,14 @@
 //! feam identify /path/to/binary    # Table I MPI identification
 //! feam objdump  /path/to/binary    # objdump -p style private headers
 //! feam comment  /path/to/binary    # readelf -p .comment equivalent
+//! feam check    /path/to/binary    # lint; exits 1 on Error findings
 //! feam demo                        # one simulated migration, end to end
 //! ```
+//!
+//! `describe`, `identify` and `check` accept `--json` for machine-readable
+//! output. `demo` accepts `--trace <file>` (or the `FEAM_TRACE`
+//! environment variable) to write a JSONL trace of the whole pipeline and
+//! print a per-phase timing breakdown.
 
 use feam::core::bdc::{identify_mpi, BinaryDescription, MpiIdentification};
 use feam::elf::render::{render_comment_section, render_objdump_p, render_summary};
@@ -17,7 +23,7 @@ use feam::elf::ElfFile;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: feam <describe|identify|objdump|comment|check> <elf-file>\n       feam demo"
+        "usage: feam <describe|identify|objdump|comment|check> [--json] <elf-file>\n       feam demo [--trace <file>]"
     );
     std::process::exit(2);
 }
@@ -32,14 +38,40 @@ fn read_elf(path: &str) -> Vec<u8> {
     }
 }
 
+/// Split `[--json] <path>` in either order; returns (json, path).
+fn parse_file_args(args: &[String]) -> (bool, &str) {
+    let mut json = false;
+    let mut path: Option<&str> = None;
+    for a in args {
+        if a == "--json" {
+            json = true;
+        } else if path.is_none() {
+            path = Some(a.as_str());
+        } else {
+            usage();
+        }
+    }
+    match path {
+        Some(p) => (json, p),
+        None => usage(),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("describe") => {
-            let path = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            let (json, path) = parse_file_args(&args[1..]);
             let bytes = read_elf(path);
             match BinaryDescription::from_bytes(path, &bytes) {
                 Ok(desc) => {
+                    if json {
+                        println!(
+                            "{}",
+                            serde_json::to_string_pretty(&describe_json(path, &desc)).unwrap()
+                        );
+                        return;
+                    }
                     let f = ElfFile::parse(&bytes).expect("parsed above");
                     println!("== FEAM binary description: {path} ==");
                     print!("{}", render_summary(&f));
@@ -67,15 +99,37 @@ fn main() {
             }
         }
         Some("identify") => {
-            let path = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            let (json, path) = parse_file_args(&args[1..]);
             let bytes = read_elf(path);
             match ElfFile::parse(&bytes) {
-                Ok(f) => match identify_mpi(f.needed()) {
-                    MpiIdentification::Identified(i) => {
-                        println!("{path}: {} (Table I link-level signature)", i.name())
+                Ok(f) => {
+                    let mpi = identify_mpi(f.needed());
+                    if json {
+                        let name = match mpi {
+                            MpiIdentification::Identified(i) => {
+                                serde_json::Value::String(i.name().to_string())
+                            }
+                            MpiIdentification::NotMpi => serde_json::Value::Null,
+                        };
+                        println!(
+                            "{}",
+                            serde_json::to_string_pretty(&serde_json::json!({
+                                "path": path,
+                                "mpi": name,
+                            }))
+                            .unwrap()
+                        );
+                        return;
                     }
-                    MpiIdentification::NotMpi => println!("{path}: no MPI implementation detected"),
-                },
+                    match mpi {
+                        MpiIdentification::Identified(i) => {
+                            println!("{path}: {} (Table I link-level signature)", i.name())
+                        }
+                        MpiIdentification::NotMpi => {
+                            println!("{path}: no MPI implementation detected")
+                        }
+                    }
+                }
                 Err(e) => {
                     eprintln!("feam: {e}");
                     std::process::exit(1);
@@ -105,16 +159,44 @@ fn main() {
             }
         }
         Some("check") => {
-            let path = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            let (json, path) = parse_file_args(&args[1..]);
             let bytes = read_elf(path);
             match ElfFile::parse(&bytes) {
                 Ok(f) => {
                     let findings = feam::elf::check::check(&f);
-                    if findings.is_empty() {
-                        println!("{path}: no findings");
+                    let errors = findings
+                        .iter()
+                        .filter(|x| x.severity == feam::elf::check::Severity::Error)
+                        .count();
+                    if json {
+                        let items: Vec<serde_json::Value> = findings
+                            .iter()
+                            .map(|x| {
+                                serde_json::json!({
+                                    "severity": format!("{:?}", x.severity),
+                                    "message": x.message,
+                                })
+                            })
+                            .collect();
+                        println!(
+                            "{}",
+                            serde_json::to_string_pretty(&serde_json::json!({
+                                "path": path,
+                                "findings": items,
+                                "errors": errors as u64,
+                            }))
+                            .unwrap()
+                        );
+                    } else {
+                        if findings.is_empty() {
+                            println!("{path}: no findings");
+                        }
+                        for x in &findings {
+                            println!("{path}: {:?}: {}", x.severity, x.message);
+                        }
                     }
-                    for x in findings {
-                        println!("{path}: {:?}: {}", x.severity, x.message);
+                    if errors > 0 {
+                        std::process::exit(1);
                     }
                 }
                 Err(e) => {
@@ -123,20 +205,71 @@ fn main() {
                 }
             }
         }
-        Some("demo") => demo(),
+        Some("demo") => {
+            let mut trace: Option<String> = std::env::var("FEAM_TRACE").ok();
+            let mut rest = args[1..].iter();
+            while let Some(a) = rest.next() {
+                if a == "--trace" {
+                    match rest.next() {
+                        Some(p) => trace = Some(p.clone()),
+                        None => usage(),
+                    }
+                } else {
+                    usage();
+                }
+            }
+            demo(trace.as_deref());
+        }
         _ => usage(),
     }
 }
 
+fn describe_json(path: &str, desc: &BinaryDescription) -> serde_json::Value {
+    serde_json::json!({
+        "path": path,
+        "format": desc.format,
+        "machine": desc.machine.name(),
+        "class_bits": desc.class.bits() as u64,
+        "dynamic": desc.is_dynamic,
+        "needed": desc.needed,
+        "soname": desc.soname,
+        "required_glibc": desc.required_glibc.as_ref().map(|v| v.render()),
+        "mpi": match desc.mpi {
+            MpiIdentification::Identified(i) => Some(i.name().to_string()),
+            MpiIdentification::NotMpi => None,
+        },
+        "compiler": desc.build_env.compiler,
+        "build_os": desc.build_env.distro_hint,
+        "abi_tag": desc.abi_tag.as_ref().map(|t| t.render()),
+        "size": desc.size as u64,
+    })
+}
+
 /// One simulated migration end to end (the quickstart example, condensed).
-fn demo() {
+/// With `trace_path`, every phase is recorded to a JSONL trace file and a
+/// per-span timing breakdown is printed after the report.
+fn demo(trace_path: Option<&str>) {
     use feam::core::phases::{run_source_phase, run_target_phase, PhaseConfig};
     use feam::core::report::render_report;
+    use feam::obs::{trace, Recorder};
     use feam::sim::compile::{compile, ProgramSpec};
     use feam::sim::toolchain::Language;
     use feam::workloads::sites::{standard_sites, INDIA, RANGER};
 
-    let cfg = PhaseConfig::default();
+    let recorder = match trace_path {
+        Some(p) => match Recorder::jsonl_file(p) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("feam: cannot open trace file {p}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => Recorder::disabled(),
+    };
+    let cfg = PhaseConfig {
+        recorder: recorder.clone(),
+        ..PhaseConfig::default()
+    };
     let sites = standard_sites(42);
     let stack = sites[RANGER].stacks[1].clone();
     let bin = compile(
@@ -146,8 +279,19 @@ fn demo() {
         42,
     )
     .expect("demo binary compiles");
-    let bundle =
-        run_source_phase(&sites[RANGER], &bin.image, &cfg).expect("source phase succeeds");
+    let bundle = run_source_phase(&sites[RANGER], &bin.image, &cfg).expect("source phase succeeds");
     let outcome = run_target_phase(&sites[INDIA], Some(&bin.image), Some(&bundle), &cfg);
     print!("{}", render_report(&outcome));
+
+    if let Some(p) = trace_path {
+        recorder.flush();
+        match std::fs::read_to_string(p) {
+            Ok(text) => {
+                let events = trace::parse_trace(&text);
+                println!("\n==== trace breakdown ({p}, {} events) ====", events.len());
+                print!("{}", trace::render_breakdown(&events));
+            }
+            Err(e) => eprintln!("feam: cannot read back trace {p}: {e}"),
+        }
+    }
 }

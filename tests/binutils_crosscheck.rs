@@ -45,10 +45,20 @@ fn readelf_parses_dynamic_section() {
         return;
     }
     let path = write_sample().expect("sample written");
-    let out = Command::new("readelf").arg("-d").arg(&path).output().expect("readelf runs");
+    let out = Command::new("readelf")
+        .arg("-d")
+        .arg(&path)
+        .output()
+        .expect("readelf runs");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    for lib in ["libmpi.so.0", "libnsl.so.1", "libutil.so.1", "libgfortran.so.1", "libc.so.6"] {
+    for lib in [
+        "libmpi.so.0",
+        "libnsl.so.1",
+        "libutil.so.1",
+        "libgfortran.so.1",
+        "libc.so.6",
+    ] {
         assert!(text.contains(lib), "readelf -d must list {lib}:\n{text}");
     }
 }
@@ -60,7 +70,11 @@ fn readelf_parses_version_references() {
         return;
     }
     let path = write_sample().expect("sample written");
-    let out = Command::new("readelf").arg("-V").arg(&path).output().expect("readelf runs");
+    let out = Command::new("readelf")
+        .arg("-V")
+        .arg(&path)
+        .output()
+        .expect("readelf runs");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("GLIBC_2.2.5"), "{text}");
@@ -91,11 +105,18 @@ fn objdump_identifies_format_and_arch() {
         return;
     }
     let path = write_sample().expect("sample written");
-    let out = Command::new("objdump").arg("-p").arg(&path).output().expect("objdump runs");
+    let out = Command::new("objdump")
+        .arg("-p")
+        .arg(&path)
+        .output()
+        .expect("objdump runs");
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("elf64-x86-64"), "{text}");
     // The NEEDED list objdump prints is exactly what FEAM's BDC parses.
-    assert!(text.contains("NEEDED") && text.contains("libmpi.so.0"), "{text}");
+    assert!(
+        text.contains("NEEDED") && text.contains("libmpi.so.0"),
+        "{text}"
+    );
 }
 
 #[test]
@@ -103,7 +124,9 @@ fn our_reader_parses_a_real_host_binary() {
     // The inverse check: feam-elf's reader digests a genuine ELF produced
     // by a real toolchain.
     for candidate in ["/bin/ls", "/usr/bin/env", "/bin/cat"] {
-        let Ok(bytes) = std::fs::read(candidate) else { continue };
+        let Ok(bytes) = std::fs::read(candidate) else {
+            continue;
+        };
         if bytes.len() < 4 || &bytes[..4] != b"\x7fELF" {
             continue;
         }

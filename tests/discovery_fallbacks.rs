@@ -65,7 +65,11 @@ fn path_search_discovers_stacks_without_env_mgmt() {
         assert!(d.key.is_none(), "no module key without a module system");
     }
     // Path-name inference recovered the full stack identity.
-    let om = env.available_stacks.iter().find(|d| d.mpi == MpiImpl::OpenMpi).unwrap();
+    let om = env
+        .available_stacks
+        .iter()
+        .find(|d| d.mpi == MpiImpl::OpenMpi)
+        .unwrap();
     assert_eq!(om.mpi_version, "1.4");
     assert_eq!(om.compiler, "gnu");
     assert_eq!(om.compiler_version, "4.1.2");
@@ -86,7 +90,13 @@ fn full_prediction_works_on_bare_site() {
     // ready there, with discovery running entirely on fallbacks.
     let site = bare_site(5, true, true);
     let ist = site.stacks[0].clone();
-    let bin = compile(&site, Some(&ist), &ProgramSpec::new("cg", Language::Fortran), 5).unwrap();
+    let bin = compile(
+        &site,
+        Some(&ist),
+        &ProgramSpec::new("cg", Language::Fortran),
+        5,
+    )
+    .unwrap();
     let outcome = run_target_phase(&site, Some(&bin.image), None, &PhaseConfig::default());
     assert!(
         outcome.prediction.ready(),
@@ -101,7 +111,11 @@ fn missing_library_detection_without_ldd() {
     let site = bare_site(6, false, true);
     let mut sess = Session::new(&site);
     let mut spec = feam_elf::ElfSpec::executable(feam_elf::Machine::X86_64, feam_elf::Class::Elf64);
-    spec.needed = vec!["libnotthere.so.5".into(), "libm.so.6".into(), "libc.so.6".into()];
+    spec.needed = vec![
+        "libnotthere.so.5".into(),
+        "libm.so.6".into(),
+        "libc.so.6".into(),
+    ];
     sess.stage_file("/home/user/app", std::sync::Arc::new(spec.build().unwrap()));
     let missing = feam::core::edc::missing_libraries(&mut sess, "/home/user/app");
     assert_eq!(missing, vec!["libnotthere.so.5".to_string()]);
@@ -132,12 +146,21 @@ fn source_phase_collects_libraries_even_when_ldd_unreliable() {
     )];
     let gee = Site::build(cfg);
     let ist = gee.stacks[0].clone();
-    let bin = compile(&gee, Some(&ist), &ProgramSpec::new("bt", Language::Fortran), 8).unwrap();
+    let bin = compile(
+        &gee,
+        Some(&ist),
+        &ProgramSpec::new("bt", Language::Fortran),
+        8,
+    )
+    .unwrap();
     let bundle = run_source_phase(&gee, &bin.image, &PhaseConfig::default()).unwrap();
     assert!(
         bundle.libraries.keys().any(|k| k.starts_with("libmpi")),
         "fallback collection must still find the MPI libraries: {:?}",
         bundle.libraries.keys().collect::<Vec<_>>()
     );
-    assert!(bundle.libraries.keys().any(|k| k.starts_with("libgfortran")));
+    assert!(bundle
+        .libraries
+        .keys()
+        .any(|k| k.starts_with("libgfortran")));
 }

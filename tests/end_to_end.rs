@@ -27,7 +27,13 @@ fn intra_era_migration_is_ready_and_runs() {
         .find(|s| s.stack.ident() == "openmpi-1.4.3-gnu-4.1.2")
         .unwrap()
         .clone();
-    let bin = compile(india, Some(&stack), &ProgramSpec::new("cg", Language::Fortran), 5).unwrap();
+    let bin = compile(
+        india,
+        Some(&stack),
+        &ProgramSpec::new("cg", Language::Fortran),
+        5,
+    )
+    .unwrap();
     let bundle = run_source_phase(india, &bin.image, &cfg()).unwrap();
     let outcome = run_target_phase(fir, Some(&bin.image), Some(&bundle), &cfg());
     assert!(
@@ -98,7 +104,13 @@ fn resolution_turns_missing_library_failure_into_success() {
         .find(|s| s.stack.ident() == "openmpi-1.4-pgi-10.9")
         .unwrap()
         .clone();
-    let bin = compile(fir, Some(&stack), &ProgramSpec::new("lu", Language::Fortran), 5).unwrap();
+    let bin = compile(
+        fir,
+        Some(&stack),
+        &ProgramSpec::new("lu", Language::Fortran),
+        5,
+    )
+    .unwrap();
 
     // Naive run fails with a missing PGI library.
     let launcher = india
@@ -170,7 +182,10 @@ fn transported_hello_world_detects_fpe_that_basic_misses() {
 
     let bundle = run_source_phase(blacklight, &bin.image, &cfg()).unwrap();
     let extended = run_target_phase(fir, Some(&bin.image), Some(&bundle), &cfg());
-    assert!(!extended.prediction.ready(), "extended catches the FPE via transported hello world");
+    assert!(
+        !extended.prediction.ready(),
+        "extended catches the FPE via transported hello world"
+    );
     assert_eq!(
         extended.prediction.first_failure().unwrap().determinant,
         Determinant::MpiStack
@@ -193,7 +208,13 @@ fn misconfigured_stack_detected_by_native_hello_world() {
         .find(|s| s.stack.ident().starts_with("mvapich2") && s.stack.ident().contains("gnu"))
         .unwrap()
         .clone();
-    let bin = compile(fir, Some(&stack), &ProgramSpec::new("ep", Language::Fortran), 5).unwrap();
+    let bin = compile(
+        fir,
+        Some(&stack),
+        &ProgramSpec::new("ep", Language::Fortran),
+        5,
+    )
+    .unwrap();
     let outcome = run_target_phase(india, Some(&bin.image), None, &cfg());
     // The broken stack appears in the test log as non-functioning.
     let broken_test = outcome
@@ -202,7 +223,10 @@ fn misconfigured_stack_detected_by_native_hello_world() {
         .iter()
         .find(|t| t.stack_ident == broken.stack.ident());
     if let Some(t) = broken_test {
-        assert!(!t.native_ok, "misconfigured stack must fail its hello-world test");
+        assert!(
+            !t.native_ok,
+            "misconfigured stack must fail its hello-world test"
+        );
     }
     // Whatever stack FEAM ends up choosing, it is not the broken one.
     if let Some(chosen) = &outcome.evaluation.plan.stack_ident {
@@ -216,15 +240,26 @@ fn phase_outputs_are_deterministic() {
     let sites_b = standard_sites(77);
     let stack_a = sites_a[RANGER].stacks[0].clone();
     let stack_b = sites_b[RANGER].stacks[0].clone();
-    let bin_a =
-        compile(&sites_a[RANGER], Some(&stack_a), &ProgramSpec::new("bt", Language::Fortran), 3)
-            .unwrap();
-    let bin_b =
-        compile(&sites_b[RANGER], Some(&stack_b), &ProgramSpec::new("bt", Language::Fortran), 3)
-            .unwrap();
+    let bin_a = compile(
+        &sites_a[RANGER],
+        Some(&stack_a),
+        &ProgramSpec::new("bt", Language::Fortran),
+        3,
+    )
+    .unwrap();
+    let bin_b = compile(
+        &sites_b[RANGER],
+        Some(&stack_b),
+        &ProgramSpec::new("bt", Language::Fortran),
+        3,
+    )
+    .unwrap();
     assert_eq!(bin_a.image, bin_b.image);
     let o_a = run_target_phase(&sites_a[INDIA], Some(&bin_a.image), None, &cfg());
     let o_b = run_target_phase(&sites_b[INDIA], Some(&bin_b.image), None, &cfg());
     assert_eq!(o_a.prediction.ready(), o_b.prediction.ready());
-    assert_eq!(o_a.evaluation.plan.stack_ident, o_b.evaluation.plan.stack_ident);
+    assert_eq!(
+        o_a.evaluation.plan.stack_ident,
+        o_b.evaluation.plan.stack_ident
+    );
 }

@@ -1,109 +1,172 @@
-//! Property-based tests (proptest) over the core data structures and
-//! invariants that the whole reproduction rests on.
+//! Property-style tests over the core data structures and invariants the
+//! whole reproduction rests on. Cases come from a deterministic seeded
+//! generator (the registry is unreachable offline, so no proptest), which
+//! keeps every run reproducible and failures addressable by case number.
 
 use feam::elf::{
     Class, DefinedVersion, ElfFile, ElfSpec, Endian, ExportSpec, FileKind, ImportSpec, Machine,
     Soname, VersionName,
 };
-use proptest::prelude::*;
 
-// ---------- generators -----------------------------------------------------
+// ---------- generator -------------------------------------------------------
 
-fn arb_soname_text() -> impl Strategy<Value = String> {
-    ("[a-z][a-z0-9_]{1,12}", proptest::collection::vec(0u32..50, 0..3))
-        .prop_map(|(base, nums)| {
-            let mut s = format!("lib{base}.so");
-            for n in nums {
-                s.push_str(&format!(".{n}"));
-            }
-            s
-        })
-}
+/// SplitMix64-style deterministic generator.
+struct Gen(u64);
 
-fn arb_version_name() -> impl Strategy<Value = String> {
-    ("[A-Z]{2,8}", proptest::collection::vec(0u32..30, 1..4)).prop_map(|(pfx, nums)| {
-        let parts: Vec<String> = nums.iter().map(u32::to_string).collect();
-        format!("{pfx}_{}", parts.join("."))
-    })
-}
-
-fn arb_symbol() -> impl Strategy<Value = String> {
-    "[a-zA-Z_][a-zA-Z0-9_]{0,20}".prop_map(|s| s)
-}
-
-fn arb_machine() -> impl Strategy<Value = Machine> {
-    prop_oneof![
-        Just(Machine::X86_64),
-        Just(Machine::X86),
-        Just(Machine::Ppc),
-        Just(Machine::Ppc64),
-        Just(Machine::Aarch64),
-    ]
-}
-
-fn arb_class_endian() -> impl Strategy<Value = (Class, Endian)> {
-    prop_oneof![
-        Just((Class::Elf64, Endian::Little)),
-        Just((Class::Elf32, Endian::Little)),
-        Just((Class::Elf64, Endian::Big)),
-        Just((Class::Elf32, Endian::Big)),
-    ]
-}
-
-prop_compose! {
-    fn arb_spec()(
-        (class, endian) in arb_class_endian(),
-        machine in arb_machine(),
-        is_lib in any::<bool>(),
-        soname in arb_soname_text(),
-        needed in proptest::collection::vec(arb_soname_text(), 0..6),
-        import_syms in proptest::collection::vec((arb_symbol(), arb_version_name()), 0..6),
-        export_syms in proptest::collection::vec((arb_symbol(), proptest::option::of(arb_version_name())), 0..6),
-        comments in proptest::collection::vec("[ -~]{1,40}", 0..3),
-        text_size in 1usize..4096,
-    ) -> ElfSpec {
-        let mut spec = if is_lib {
-            ElfSpec::shared_library(&soname, machine, class)
-        } else {
-            ElfSpec::executable(machine, class)
-        };
-        spec.endian = endian;
-        spec.needed = needed;
-        spec.imports = import_syms
-            .into_iter()
-            .map(|(sym, ver)| ImportSpec::versioned(&sym, "libc.so.6", &ver))
-            .collect();
-        if is_lib {
-            spec.exports = export_syms
-                .into_iter()
-                .map(|(sym, ver)| ExportSpec::new(&sym, ver.as_deref()))
-                .collect();
-        }
-        spec.comments = comments;
-        spec.text_size = text_size;
-        spec
+impl Gen {
+    fn new(seed: u64) -> Self {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        Gen(z)
     }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    fn u32_below(&mut self, n: u32) -> u32 {
+        (self.next_u64() % n as u64) as u32
+    }
+
+    /// A string of `len` characters drawn from `charset`.
+    fn chars(&mut self, charset: &[u8], len: usize) -> String {
+        (0..len)
+            .map(|_| charset[self.range(0, charset.len())] as char)
+            .collect()
+    }
+}
+
+const LOWER: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+const LOWER_NUM: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+const UPPER: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+const IDENT_FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_";
+const IDENT_REST: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
+
+/// Like `"[a-z][a-z0-9_]{1,12}"` → `lib<base>.so(.<n>)*` with 0–2 numbers.
+fn gen_soname_text(g: &mut Gen) -> String {
+    let base_len = g.range(1, 13);
+    let mut s = format!(
+        "lib{}{}.so",
+        g.chars(LOWER, 1),
+        g.chars(LOWER_NUM, base_len)
+    );
+    for _ in 0..g.range(0, 3) {
+        s.push_str(&format!(".{}", g.u32_below(50)));
+    }
+    s
+}
+
+/// Like `"[A-Z]{2,8}"` prefix + 1–3 dot-joined numbers under 30.
+fn gen_version_name(g: &mut Gen) -> String {
+    let pfx_len = g.range(2, 9);
+    let pfx = g.chars(UPPER, pfx_len);
+    let parts: Vec<String> = (0..g.range(1, 4))
+        .map(|_| g.u32_below(30).to_string())
+        .collect();
+    format!("{pfx}_{}", parts.join("."))
+}
+
+fn gen_symbol(g: &mut Gen) -> String {
+    let mut s = g.chars(IDENT_FIRST, 1);
+    let rest_len = g.range(0, 21);
+    s.push_str(&g.chars(IDENT_REST, rest_len));
+    s
+}
+
+fn gen_machine(g: &mut Gen) -> Machine {
+    [
+        Machine::X86_64,
+        Machine::X86,
+        Machine::Ppc,
+        Machine::Ppc64,
+        Machine::Aarch64,
+    ][g.range(0, 5)]
+}
+
+fn gen_class_endian(g: &mut Gen) -> (Class, Endian) {
+    [
+        (Class::Elf64, Endian::Little),
+        (Class::Elf32, Endian::Little),
+        (Class::Elf64, Endian::Big),
+        (Class::Elf32, Endian::Big),
+    ][g.range(0, 4)]
+}
+
+fn gen_spec(g: &mut Gen) -> ElfSpec {
+    let (class, endian) = gen_class_endian(g);
+    let machine = gen_machine(g);
+    let is_lib = g.bool();
+    let soname = gen_soname_text(g);
+    let mut spec = if is_lib {
+        ElfSpec::shared_library(&soname, machine, class)
+    } else {
+        ElfSpec::executable(machine, class)
+    };
+    spec.endian = endian;
+    spec.needed = (0..g.range(0, 6)).map(|_| gen_soname_text(g)).collect();
+    spec.imports = (0..g.range(0, 6))
+        .map(|_| {
+            let sym = gen_symbol(g);
+            let ver = gen_version_name(g);
+            ImportSpec::versioned(&sym, "libc.so.6", &ver)
+        })
+        .collect();
+    if is_lib {
+        spec.exports = (0..g.range(0, 6))
+            .map(|_| {
+                let sym = gen_symbol(g);
+                let ver = if g.bool() {
+                    Some(gen_version_name(g))
+                } else {
+                    None
+                };
+                ExportSpec::new(&sym, ver.as_deref())
+            })
+            .collect();
+    }
+    spec.comments = (0..g.range(0, 3))
+        .map(|_| {
+            let printable: Vec<u8> = (b' '..=b'~').collect();
+            let len = g.range(1, 41);
+            g.chars(&printable, len)
+        })
+        .collect();
+    spec.text_size = g.range(1, 4096);
+    spec
 }
 
 // ---------- ELF build → parse round-trip ------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn build_parse_round_trip(spec in arb_spec()) {
+#[test]
+fn build_parse_round_trip() {
+    for case in 0..96u64 {
+        let mut g = Gen::new(case);
+        let spec = gen_spec(&mut g);
         let bytes = spec.build().expect("arbitrary spec builds");
         let f = ElfFile::parse(&bytes).expect("built image parses");
-        prop_assert_eq!(f.class(), spec.class);
-        prop_assert_eq!(f.machine(), spec.machine);
-        prop_assert_eq!(f.kind(), spec.kind);
+        assert_eq!(f.class(), spec.class, "case {case}");
+        assert_eq!(f.machine(), spec.machine, "case {case}");
+        assert_eq!(f.kind(), spec.kind, "case {case}");
         // NEEDED preserved in order, with import/extra-ref providers appended.
         let needed = f.needed();
         for (i, n) in spec.needed.iter().enumerate() {
-            prop_assert_eq!(&needed[i], n);
+            assert_eq!(&needed[i], n, "case {case}");
         }
         if spec.kind == FileKind::SharedObject {
-            prop_assert_eq!(f.soname(), spec.soname.as_deref());
+            assert_eq!(f.soname(), spec.soname.as_deref(), "case {case}");
         }
         // Every import appears as an undefined dynamic symbol with its
         // version binding intact.
@@ -112,18 +175,22 @@ proptest! {
                 .dynamic_symbols()
                 .iter()
                 .any(|s| s.undefined && s.name == imp.symbol && s.version == imp.version);
-            prop_assert!(found, "import {} lost", imp.symbol);
+            assert!(found, "case {case}: import {} lost", imp.symbol);
         }
         // Comments survive byte-exactly (deduplicated).
         for c in &spec.comments {
-            prop_assert!(f.comments().contains(c));
+            assert!(f.comments().contains(c), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn segment_route_agrees_with_section_route(spec in arb_spec()) {
-        // Parsing via PT_DYNAMIC (stripped binary) must agree with the
-        // section route on the dynamic facts FEAM relies on.
+#[test]
+fn segment_route_agrees_with_section_route() {
+    // Parsing via PT_DYNAMIC (stripped binary) must agree with the
+    // section route on the dynamic facts FEAM relies on.
+    for case in 0..96u64 {
+        let mut g = Gen::new(case ^ SEG_SEED);
+        let spec = gen_spec(&mut g);
         let mut bytes = spec.build().expect("builds");
         let f_sections = ElfFile::parse(&bytes).expect("parses");
         let sec_needed: Vec<String> = f_sections.needed().to_vec();
@@ -143,140 +210,211 @@ proptest! {
             }
         }
         let f_segments = ElfFile::parse(&bytes).expect("stripped image parses");
-        prop_assert!(f_segments.sections().is_empty());
-        prop_assert_eq!(f_segments.needed(), sec_needed.as_slice());
-        prop_assert_eq!(f_segments.required_glibc(), sec_glibc);
+        assert!(f_segments.sections().is_empty(), "case {case}");
+        assert_eq!(f_segments.needed(), sec_needed.as_slice(), "case {case}");
+        assert_eq!(f_segments.required_glibc(), sec_glibc, "case {case}");
     }
+}
 
-    #[test]
-    fn parser_never_panics_on_mutations(spec in arb_spec(), flips in proptest::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 1..16)) {
-        // Corrupting arbitrary bytes must yield Ok or Err, never a panic.
+const SEG_SEED: u64 = 0x7365_676d_656e_7473;
+
+#[test]
+fn parser_never_panics_on_mutations() {
+    // Corrupting arbitrary bytes must yield Ok or Err, never a panic.
+    for case in 0..96u64 {
+        let mut g = Gen::new(case ^ 0xf11b);
+        let spec = gen_spec(&mut g);
         let mut bytes = spec.build().expect("builds");
-        for (idx, val) in flips {
-            let i = idx.index(bytes.len());
-            bytes[i] = val;
+        for _ in 0..g.range(1, 16) {
+            let i = g.range(0, bytes.len());
+            bytes[i] = g.next_u64() as u8;
         }
         let _ = ElfFile::parse(&bytes);
     }
+}
 
-    #[test]
-    fn parser_never_panics_on_random_input(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+#[test]
+fn parser_never_panics_on_random_input() {
+    for case in 0..96u64 {
+        let mut g = Gen::new(case ^ 0xda7a);
+        let len = g.range(0, 2048);
+        let data: Vec<u8> = (0..len).map(|_| g.next_u64() as u8).collect();
         let _ = ElfFile::parse(&data);
     }
 }
 
 // ---------- Soname and version-name invariants ------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn soname_display_parse_round_trip(name in arb_soname_text()) {
+#[test]
+fn soname_display_parse_round_trip() {
+    for case in 0..256u64 {
+        let mut g = Gen::new(case ^ 0x50_4a);
+        let name = gen_soname_text(&mut g);
         let parsed = Soname::parse(&name).expect("generated sonames parse");
-        prop_assert_eq!(parsed.to_string(), name.clone());
+        assert_eq!(parsed.to_string(), name, "case {case}");
         // Compatibility is reflexive.
-        prop_assert!(parsed.api_compatible_with(&parsed));
-        prop_assert!(parsed.loader_matches(&parsed));
+        assert!(parsed.api_compatible_with(&parsed), "case {case}");
+        assert!(parsed.loader_matches(&parsed), "case {case}");
     }
+}
 
-    #[test]
-    fn soname_major_rule_is_exact(base in "[a-z]{2,8}", a in 0u32..20, b in 0u32..20) {
+#[test]
+fn soname_major_rule_is_exact() {
+    for case in 0..256u64 {
+        let mut g = Gen::new(case ^ 0x004d_414a_4f52);
+        let base_len = g.range(2, 9);
+        let base = g.chars(LOWER, base_len);
+        let a = g.u32_below(20);
+        let b = g.u32_below(20);
         let x = Soname::parse(&format!("lib{base}.so.{a}")).unwrap();
         let y = Soname::parse(&format!("lib{base}.so.{b}.1")).unwrap();
-        prop_assert_eq!(x.api_compatible_with(&y), a == b);
+        assert_eq!(
+            x.api_compatible_with(&y),
+            a == b,
+            "case {case}: a={a} b={b}"
+        );
     }
+}
 
-    #[test]
-    fn version_name_render_parse_round_trip(name in arb_version_name()) {
+#[test]
+fn version_name_render_parse_round_trip() {
+    for case in 0..256u64 {
+        let mut g = Gen::new(case ^ 0x7e51);
+        let name = gen_version_name(&mut g);
         let v = VersionName::parse(&name).expect("generated names parse");
-        prop_assert_eq!(v.render(), name.clone());
+        assert_eq!(v.render(), name, "case {case}");
         let again = VersionName::parse(&v.render()).unwrap();
-        prop_assert_eq!(v, again);
+        assert_eq!(v, again, "case {case}");
     }
+}
 
-    #[test]
-    fn version_ordering_is_total_within_prefix(
-        nums_a in proptest::collection::vec(0u32..50, 1..4),
-        nums_b in proptest::collection::vec(0u32..50, 1..4),
-    ) {
-        let a = VersionName { prefix: "GLIBC".into(), numbers: nums_a };
-        let b = VersionName { prefix: "GLIBC".into(), numbers: nums_b };
+#[test]
+fn version_ordering_is_total_within_prefix() {
+    for case in 0..256u64 {
+        let mut g = Gen::new(case ^ 0x04d);
+        let nums_a: Vec<u32> = (0..g.range(1, 4)).map(|_| g.u32_below(50)).collect();
+        let nums_b: Vec<u32> = (0..g.range(1, 4)).map(|_| g.u32_below(50)).collect();
+        let a = VersionName {
+            prefix: "GLIBC".into(),
+            numbers: nums_a,
+        };
+        let b = VersionName {
+            prefix: "GLIBC".into(),
+            numbers: nums_b,
+        };
         let ab = a.cmp_same_prefix(&b).unwrap();
         let ba = b.cmp_same_prefix(&a).unwrap();
-        prop_assert_eq!(ab, ba.reverse());
+        assert_eq!(ab, ba.reverse(), "case {case}");
         if ab == std::cmp::Ordering::Equal {
-            prop_assert_eq!(a.numbers, b.numbers);
+            assert_eq!(a.numbers, b.numbers, "case {case}");
         }
     }
 }
 
 // ---------- VFS path invariants ----------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn vfs_normalize_is_idempotent(path in "(/?[a-z.]{0,8}){0,8}") {
+#[test]
+fn vfs_normalize_is_idempotent() {
+    // Paths like "(/?[a-z.]{0,8}){0,8}" — segments of lowercase letters
+    // and dots, with and without leading slashes.
+    const PATH_CHARS: &[u8] = b"abcdefgh.";
+    for case in 0..256u64 {
+        let mut g = Gen::new(case ^ 0xacc5);
+        let mut path = String::new();
+        for _ in 0..g.range(0, 8) {
+            if g.bool() {
+                path.push('/');
+            }
+            let len = g.range(0, 9);
+            path.push_str(&g.chars(PATH_CHARS, len));
+        }
         let once = feam::sim::vfs::normalize(&path);
         let twice = feam::sim::vfs::normalize(&once);
-        prop_assert_eq!(&once, &twice);
-        prop_assert!(once.starts_with('/'));
-        prop_assert!(!once.contains("//"));
-        prop_assert!(!once.contains("/./"));
+        assert_eq!(once, twice, "case {case}: input {path:?}");
+        assert!(once.starts_with('/'), "case {case}: {once:?}");
+        assert!(!once.contains("//"), "case {case}: {once:?}");
+        assert!(!once.contains("/./"), "case {case}: {once:?}");
     }
+}
 
-    #[test]
-    fn vfs_write_read_round_trip(segments in proptest::collection::vec("[a-z]{1,8}", 1..6), content in "[ -~]{0,64}") {
+#[test]
+fn vfs_write_read_round_trip() {
+    let printable: Vec<u8> = (b' '..=b'~').collect();
+    for case in 0..256u64 {
+        let mut g = Gen::new(case ^ 0xfeed);
+        let segments: Vec<String> = (0..g.range(1, 6))
+            .map(|_| {
+                let len = g.range(1, 9);
+                g.chars(LOWER, len)
+            })
+            .collect();
+        let content_len = g.range(0, 65);
+        let content = g.chars(&printable, content_len);
         let mut fs = feam::sim::Vfs::new();
         let path = format!("/{}", segments.join("/"));
         fs.write_text(&path, content.clone());
-        prop_assert_eq!(fs.read_text(&path).unwrap(), content.as_str());
+        assert_eq!(
+            fs.read_text(&path).unwrap(),
+            content.as_str(),
+            "case {case}"
+        );
         // Every ancestor directory exists.
         let mut dir = String::new();
         for seg in &segments[..segments.len() - 1] {
             dir.push('/');
             dir.push_str(seg);
-            prop_assert!(fs.exists(&dir), "missing ancestor {dir}");
+            assert!(fs.exists(&dir), "case {case}: missing ancestor {dir}");
         }
     }
 }
 
 // ---------- prediction-model invariants ---------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn c_library_rule_monotone(
-        req in proptest::collection::vec(0u32..30, 1..3),
-        have_lo in proptest::collection::vec(0u32..30, 1..3),
-    ) {
+#[test]
+fn c_library_rule_monotone() {
+    for case in 0..128u64 {
+        let mut g = Gen::new(case ^ 0x91bc);
+        let req: Vec<u32> = (0..g.range(1, 3)).map(|_| g.u32_below(30)).collect();
+        let have: Vec<u32> = (0..g.range(1, 3)).map(|_| g.u32_below(30)).collect();
         use feam::core::predict::c_library_compatible;
-        let required = VersionName { prefix: "GLIBC".into(), numbers: req.clone() };
-        let target = VersionName { prefix: "GLIBC".into(), numbers: have_lo.clone() };
+        let required = VersionName {
+            prefix: "GLIBC".into(),
+            numbers: req,
+        };
+        let target = VersionName {
+            prefix: "GLIBC".into(),
+            numbers: have,
+        };
         let compat = c_library_compatible(Some(&required), Some(&target));
         // Compatible iff target >= required — cross-check with ordering.
         let ge = target.cmp_same_prefix(&required).unwrap().is_ge();
-        prop_assert_eq!(compat, ge);
+        assert_eq!(
+            compat, ge,
+            "case {case}: req {required:?} target {target:?}"
+        );
     }
+}
 
-    #[test]
-    fn verneed_encoding_round_trip(
-        refs in proptest::collection::vec(
-            (arb_soname_text(), proptest::collection::vec(arb_version_name(), 1..4)),
-            1..4
-        )
-    ) {
-        use feam::elf::versions::{encode_verneed, parse_verneed};
-        use feam::elf::{VersionRef, VersionRefEntry};
+#[test]
+fn verneed_encoding_round_trip() {
+    use feam::elf::versions::{encode_verneed, parse_verneed};
+    use feam::elf::{VersionRef, VersionRefEntry};
+    for case in 0..128u64 {
+        let mut g = Gen::new(case ^ 0x7e4d);
         let mut idx = 2u16;
         let mut input: Vec<VersionRef> = Vec::new();
-        for (file, names) in refs {
+        for _ in 0..g.range(1, 4) {
+            let file = gen_soname_text(&mut g);
             let mut versions = Vec::new();
             let mut seen = std::collections::HashSet::new();
-            for n in names {
+            for _ in 0..g.range(1, 4) {
+                let n = gen_version_name(&mut g);
                 if seen.insert(n.clone()) {
-                    versions.push(VersionRefEntry { name: n, index: idx, weak: false });
+                    versions.push(VersionRefEntry {
+                        name: n,
+                        index: idx,
+                        weak: false,
+                    });
                     idx += 1;
                 }
             }
@@ -292,14 +430,18 @@ proptest! {
             input.len(),
             &feam::elf::strtab::StrTab::new(&st_bytes),
             Endian::Little,
-        ).unwrap();
-        prop_assert_eq!(parsed, input);
+        )
+        .unwrap();
+        assert_eq!(parsed, input, "case {case}");
     }
 }
 
 // `DefinedVersion` is re-exported; silence unused-import pedantry by using it.
 #[test]
 fn defined_version_constructible() {
-    let d = DefinedVersion { name: "X_1.0".into(), parents: vec![] };
+    let d = DefinedVersion {
+        name: "X_1.0".into(),
+        parents: vec![],
+    };
     assert_eq!(d.name, "X_1.0");
 }

@@ -1,0 +1,107 @@
+//! Acceptance check for the observability layer: a traced end-to-end
+//! migration (the `feam demo --trace` pipeline) must produce a parseable
+//! JSONL trace containing a span for every pipeline component and at
+//! least one launch-attempt event, and the telemetry snapshot merged into
+//! the JSON report must agree with the span tree.
+
+use feam::core::phases::{run_source_phase, run_target_phase, PhaseConfig};
+use feam::core::report::report_json;
+use feam::obs::{trace, EventKind, Recorder};
+use feam::sim::compile::{compile, ProgramSpec};
+use feam::sim::toolchain::Language;
+use feam::workloads::sites::{standard_sites, INDIA, RANGER};
+
+#[test]
+fn traced_demo_pipeline_writes_complete_jsonl_trace() {
+    let path = std::env::temp_dir().join(format!("feam-trace-{}.jsonl", std::process::id()));
+    let path_str = path.to_str().expect("utf-8 temp path");
+
+    let recorder = Recorder::jsonl_file(path_str).expect("trace file opens");
+    let cfg = PhaseConfig {
+        recorder: recorder.clone(),
+        ..PhaseConfig::default()
+    };
+
+    // The demo scenario: NPB bt built at Ranger, migrated to India.
+    let sites = standard_sites(42);
+    let stack = sites[RANGER].stacks[1].clone();
+    let bin = compile(
+        &sites[RANGER],
+        Some(&stack),
+        &ProgramSpec::new("bt", Language::Fortran),
+        42,
+    )
+    .expect("demo binary compiles");
+    let bundle = run_source_phase(&sites[RANGER], &bin.image, &cfg).expect("source phase succeeds");
+    let outcome = run_target_phase(&sites[INDIA], Some(&bin.image), Some(&bundle), &cfg);
+    recorder.flush();
+
+    let text = std::fs::read_to_string(&path).expect("trace file readable");
+    let _ = std::fs::remove_file(&path);
+
+    // Every line is valid JSON with the documented schema.
+    let mut lines = 0;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        lines += 1;
+        let v: serde_json::Value = serde_json::from_str(line).expect("line parses as JSON");
+        assert!(v["ts_us"].as_u64().is_some(), "ts_us present: {line}");
+        assert!(v["kind"].as_str().is_some(), "kind present: {line}");
+        assert!(v["name"].as_str().is_some(), "name present: {line}");
+    }
+    assert!(lines > 0, "trace is non-empty");
+    let events = trace::parse_trace(&text);
+    assert_eq!(
+        events.len(),
+        lines,
+        "parse_trace keeps every well-formed line"
+    );
+
+    // Spans for every pipeline component.
+    let span_names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::SpanStart)
+        .map(|e| e.name.as_str())
+        .collect();
+    for required in ["source_phase", "target_phase", "bdc", "edc", "tec"] {
+        assert!(
+            span_names.contains(&required),
+            "trace has a {required} span"
+        );
+    }
+    // At least one launch attempt was traced (TEC hello-world runs).
+    assert!(
+        events
+            .iter()
+            .any(|e| e.kind == EventKind::Instant && e.name == "launch_attempt"),
+        "trace has a launch_attempt event"
+    );
+
+    // The report's telemetry mirrors the span tree: for each span name,
+    // count and total duration in the snapshot equal what the trace says.
+    let j = report_json(&outcome);
+    let spans_json = &j["telemetry"]["spans"];
+    for name in ["source_phase", "target_phase", "bdc", "edc", "tec"] {
+        let count = span_names.iter().filter(|n| **n == name).count() as u64;
+        assert_eq!(
+            spans_json[name]["count"].as_u64(),
+            Some(count),
+            "telemetry count for {name} matches the trace"
+        );
+        let total: u64 = events
+            .iter()
+            .filter(|e| e.kind == EventKind::SpanEnd && e.name == name)
+            .map(|e| e.dur_us.unwrap_or(0))
+            .sum();
+        assert_eq!(
+            spans_json[name]["total_us"].as_u64(),
+            Some(total),
+            "telemetry duration for {name} matches the trace"
+        );
+    }
+
+    // The human-readable breakdown renders every component.
+    let breakdown = trace::render_breakdown(&events);
+    for name in ["source_phase", "target_phase", "tec"] {
+        assert!(breakdown.contains(name), "breakdown lists {name}");
+    }
+}
