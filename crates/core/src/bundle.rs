@@ -125,6 +125,7 @@ mod tests {
             env_mgmt: None,
             available_stacks: vec![],
             loaded_stack: None,
+            unobserved: vec![],
         }
     }
 

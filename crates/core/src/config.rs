@@ -109,9 +109,21 @@ impl ConfigFile {
             })?;
         }
         if let Some(v) = self.entries.get("max_attempts") {
-            cfg.max_attempts = v.parse().map_err(|_| ConfigError {
+            cfg.retry.max_attempts = v.parse().map_err(|_| ConfigError {
                 line: 0,
                 message: format!("max_attempts must be a positive integer, got {v:?}"),
+            })?;
+        }
+        if let Some(v) = self.entries.get("retry_base_delay") {
+            cfg.retry.base_delay_seconds = v.parse().map_err(|_| ConfigError {
+                line: 0,
+                message: format!("retry_base_delay must be a number of seconds, got {v:?}"),
+            })?;
+        }
+        if let Some(v) = self.entries.get("retry_max_delay") {
+            cfg.retry.max_delay_seconds = v.parse().map_err(|_| ConfigError {
+                line: 0,
+                message: format!("retry_max_delay must be a number of seconds, got {v:?}"),
             })?;
         }
         if let Some(v) = self.entries.get("seed") {
@@ -146,7 +158,7 @@ mpiexec.mpich2  = mpiexec.hydra
         assert_eq!(cfg.serial_submit, "./run_serial.sh");
         assert_eq!(cfg.parallel_submit, "qsub -q debug run.pbs");
         assert_eq!(cfg.nprocs, 8);
-        assert_eq!(cfg.max_attempts, 5);
+        assert_eq!(cfg.retry.max_attempts, 5);
         assert_eq!(cfg.mpiexec_override.as_deref(), Some("mpiexec"));
     }
 

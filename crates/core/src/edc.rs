@@ -11,7 +11,9 @@
 //! * missing shared libraries for a given binary (`ldd`, with search
 //!   fallbacks).
 
+use crate::retry::RetryPolicy;
 use feam_elf::{HostArch, VersionName};
+use feam_sim::faults::Chokepoint;
 use feam_sim::mpi::MpiImpl;
 use feam_sim::site::{InstalledStack, Session, Site};
 use feam_sim::tools::{self, LddResult};
@@ -71,6 +73,10 @@ pub struct EnvironmentDescription {
     pub available_stacks: Vec<DiscoveredStack>,
     /// The stack currently loaded in the shell, if any.
     pub loaded_stack: Option<String>,
+    /// Observations that failed even after retries (e.g. `"os"`,
+    /// `"c_library"`): the graceful-degradation breadcrumbs that turn
+    /// into `Unknown` determinant verdicts downstream.
+    pub unobserved: Vec<String>,
 }
 
 impl EnvironmentDescription {
@@ -136,10 +142,58 @@ pub fn parse_stack_ident(ident: &str) -> Option<(MpiImpl, String, String, String
     Some((mpi, mpi_version, compiler, compiler_version))
 }
 
-/// Discover the MPI stacks at a site.
-fn discover_stacks(site: &Site) -> (Option<DiscoveryMethod>, Vec<DiscoveredStack>) {
+/// Run one observation with bounded retries against injected faults.
+///
+/// Retries only make sense when the session's fault plan can actually
+/// produce transient faults at this chokepoint — otherwise a `None` means
+/// "genuinely absent" and re-asking is pure waste, so a single attempt is
+/// made. Consumed retries charge backoff to the simulated clock and emit
+/// `retry_attempt` events.
+fn observe<T>(
+    sess: &mut Session<'_>,
+    retry: &RetryPolicy,
+    chokepoint: Chokepoint,
+    what: &str,
+    f: impl Fn(&Session<'_>, u32) -> Option<T>,
+) -> Option<T> {
+    let max = if sess.faults.rate(chokepoint).transient > 0.0 {
+        retry.max_attempts.max(1)
+    } else {
+        1
+    };
+    for attempt in 1..=max {
+        if let Some(v) = f(sess, attempt) {
+            return Some(v);
+        }
+        if attempt < max {
+            let delay = retry.delay_before(attempt + 1);
+            sess.charge(delay);
+            sess.recorder.event(
+                "retry_attempt",
+                &[
+                    ("what", what.into()),
+                    ("attempt", (attempt + 1).into()),
+                    ("delay_s", delay.into()),
+                ],
+            );
+            sess.recorder.count("retry.attempts", 1);
+        }
+    }
+    None
+}
+
+/// Discover the MPI stacks at a site. A corrupt module/softenv database
+/// (injected or real) degrades gracefully: discovery falls through to the
+/// next method, ending with raw filesystem search.
+fn discover_stacks(
+    sess: &mut Session<'_>,
+    retry: &RetryPolicy,
+) -> (Option<DiscoveryMethod>, Vec<DiscoveredStack>) {
+    let site = sess.site;
     // Environment Modules first.
-    if let Some(modules) = tools::module_avail(site) {
+    if let Some(modules) = observe(sess, retry, Chokepoint::ModuleDb, "module_avail", |s, a| {
+        tools::module_avail(s, a)
+    }) {
         let stacks = modules
             .iter()
             .filter_map(|m| {
@@ -162,7 +216,9 @@ fn discover_stacks(site: &Site) -> (Option<DiscoveryMethod>, Vec<DiscoveredStack
         return (Some(DiscoveryMethod::EnvironmentModules), stacks);
     }
     // SoftEnv next.
-    if let Some(keys) = tools::softenv_keys(site) {
+    if let Some(keys) = observe(sess, retry, Chokepoint::ModuleDb, "softenv_keys", |s, a| {
+        tools::softenv_keys(s, a)
+    }) {
         let stacks = keys
             .iter()
             .filter_map(|k| {
@@ -229,15 +285,40 @@ fn discover_stacks(site: &Site) -> (Option<DiscoveryMethod>, Vec<DiscoveredStack
 }
 
 /// Run the EDC against a session (the environment as the current shell
-/// sees it).
+/// sees it), with the default retry policy for faulted observations.
 pub fn discover(sess: &mut Session<'_>) -> EnvironmentDescription {
+    discover_with_retry(sess, &RetryPolicy::default())
+}
+
+/// [`discover`] with an explicit retry policy. Observations that fail even
+/// after retries are listed in [`EnvironmentDescription::unobserved`]
+/// instead of aborting discovery — the description simply has holes.
+pub fn discover_with_retry(sess: &mut Session<'_>, retry: &RetryPolicy) -> EnvironmentDescription {
     let site = sess.site;
     sess.charge(1.0);
+    let mut unobserved = Vec::new();
     let isa = tools::uname_p(site).to_string();
     let arch = parse_arch(&isa);
+    let pv = observe(
+        sess,
+        retry,
+        Chokepoint::DescriptionFile,
+        "proc_version",
+        tools::proc_version,
+    );
+    let rel = observe(
+        sess,
+        retry,
+        Chokepoint::DescriptionFile,
+        "etc_release",
+        tools::etc_release,
+    );
+    if pv.is_none() && rel.is_none() {
+        unobserved.push("os".to_string());
+    }
     let os = {
-        let pv = tools::proc_version(site).unwrap_or_default();
-        let rel = tools::etc_release(site).unwrap_or_default();
+        let pv = pv.unwrap_or_default();
+        let rel = rel.unwrap_or_default();
         let rel_line = rel.lines().next().unwrap_or("");
         if rel_line.is_empty() {
             pv
@@ -245,8 +326,18 @@ pub fn discover(sess: &mut Session<'_>) -> EnvironmentDescription {
             rel_line.to_string()
         }
     };
-    let c_library = tools::run_libc_banner(site).and_then(|b| parse_libc_banner(&b));
-    let (env_mgmt, available_stacks) = discover_stacks(site);
+    let banner = observe(
+        sess,
+        retry,
+        Chokepoint::DescriptionFile,
+        "libc_banner",
+        tools::run_libc_banner,
+    );
+    if banner.is_none() {
+        unobserved.push("c_library".to_string());
+    }
+    let c_library = banner.and_then(|b| parse_libc_banner(&b));
+    let (env_mgmt, available_stacks) = discover_stacks(sess, retry);
     let loaded_stack = tools::module_list(sess)
         .and_then(|l| l.into_iter().next())
         .or_else(|| {
@@ -263,6 +354,7 @@ pub fn discover(sess: &mut Session<'_>) -> EnvironmentDescription {
         env_mgmt: env_mgmt.or_else(|| available_stacks.first().map(|s| s.via)),
         available_stacks,
         loaded_stack,
+        unobserved,
     }
 }
 

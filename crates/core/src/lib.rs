@@ -49,6 +49,7 @@ pub mod phases;
 pub mod predict;
 pub mod report;
 pub mod resolve;
+pub mod retry;
 pub mod tec;
 
 pub use bdc::{identify_mpi, BinaryDescription, MpiIdentification};
@@ -57,6 +58,7 @@ pub use config::{ConfigError, ConfigFile};
 pub use edc::{discover, EnvironmentDescription};
 pub use error::{FeamError, Result};
 pub use phases::{run_source_phase, run_target_phase, PhaseConfig, TargetOutcome};
-pub use predict::{Determinant, Prediction, PredictionMode};
+pub use predict::{Determinant, Determination, Prediction, PredictionMode};
 pub use resolve::{ResolutionFailure, ResolutionPlan};
+pub use retry::RetryPolicy;
 pub use tec::{evaluate, ExecutionPlan, TargetEvaluation};

@@ -12,8 +12,10 @@ use crate::bdc::{self, BinaryDescription};
 use crate::bundle::{HelloWorldProbe, SourceBundle};
 use crate::edc::{self, EnvironmentDescription};
 use crate::error::{FeamError, Result};
+use crate::retry::{compile_with_retry, RetryPolicy};
 use crate::tec::{self, TargetEvaluation};
-use feam_sim::compile::{compile_traced, ProgramSpec};
+use feam_sim::compile::ProgramSpec;
+use feam_sim::faults::FaultPlan;
 use feam_sim::site::{Session, Site};
 use feam_sim::toolchain::Language;
 use std::sync::Arc;
@@ -32,8 +34,13 @@ pub struct PhaseConfig {
     pub mpiexec_override: Option<String>,
     /// Processes for test launches.
     pub nprocs: u32,
-    /// Launch attempts before declaring failure (§VI.C uses five).
-    pub max_attempts: u32,
+    /// Retry policy for probe compiles, launches and queue submissions
+    /// (generalizes §VI.C's five spaced attempts with backoff).
+    pub retry: RetryPolicy,
+    /// Fault plan injected into every session the phases open (defaults to
+    /// the environment-driven plan, which is silent unless
+    /// `FEAM_CHAOS_RATE` is set).
+    pub faults: Arc<FaultPlan>,
     /// Seed for FEAM's own probe compilations.
     pub seed: u64,
     /// Ablation switch: skip the transported hello-world compatibility
@@ -55,12 +62,24 @@ impl Default for PhaseConfig {
             parallel_submit: "./run_parallel.sh".into(),
             mpiexec_override: None,
             nprocs: 4,
-            max_attempts: feam_sim::exec::DEFAULT_ATTEMPTS,
+            retry: RetryPolicy::default(),
+            faults: feam_sim::faults::default_plan(),
             seed: 0xFEA4,
             disable_transported_tests: false,
             disable_resolution: false,
             recorder: feam_obs::Recorder::disabled(),
         }
+    }
+}
+
+impl PhaseConfig {
+    /// Open a session at `site` carrying this configuration's recorder and
+    /// fault plan — every session the phases create goes through here so
+    /// injected faults and telemetry are threaded uniformly.
+    pub fn session<'s>(&self, site: &'s Site) -> Session<'s> {
+        let mut sess = Session::with_recorder(site, self.recorder.clone());
+        sess.faults = self.faults.clone();
+        sess
     }
 }
 
@@ -95,7 +114,7 @@ pub fn run_source_phase(
 ) -> Result<SourceBundle> {
     let rec = cfg.recorder.clone();
     let _phase_span = rec.span("source_phase");
-    let mut sess = Session::with_recorder(gee, rec.clone());
+    let mut sess = cfg.session(gee);
     let app_path = "/home/user/feam/source_app.bin";
     sess.stage_file(app_path, binary.clone());
     let app = {
@@ -104,7 +123,7 @@ pub fn run_source_phase(
     };
     let gee_env = {
         let _span = rec.span("edc");
-        edc::discover(&mut sess)
+        edc::discover_with_retry(&mut sess, &cfg.retry)
     };
 
     // Match the application to a GEE stack: same MPI implementation and,
@@ -147,12 +166,12 @@ pub fn run_source_phase(
     let mut hello_worlds = Vec::new();
     for lang in [Language::C, app_language(&app)] {
         sess.charge(12.0);
-        if let Ok(hello) = compile_traced(
-            &rec,
-            gee,
+        if let Ok(hello) = compile_with_retry(
+            &mut sess,
             Some(ist),
             &ProgramSpec::mpi_hello_world(lang),
             cfg.seed,
+            &cfg.retry,
         ) {
             if hello_worlds
                 .iter()
@@ -210,17 +229,57 @@ pub fn run_target_phase(
 ) -> TargetOutcome {
     let rec = cfg.recorder.clone();
     let phase_span = rec.span("target_phase");
-    let mut sess = Session::with_recorder(target, rec.clone());
+    let mut sess = cfg.session(target);
     let environment = {
         let _span = rec.span("edc");
-        edc::discover(&mut sess)
+        edc::discover_with_retry(&mut sess, &cfg.retry)
     };
     let description: BinaryDescription = match (binary, bundle) {
         (Some(image), _) => {
             let _span = rec.span("bdc");
             sess.stage_file(tec::APP_PATH, (*image).clone());
-            BinaryDescription::from_session(&sess, tec::APP_PATH)
-                .expect("staged binary must be describable")
+            match BinaryDescription::from_session(&sess, tec::APP_PATH) {
+                Ok(d) => d,
+                // Graceful degradation: the staged binary could not be read
+                // back (injected VFS fault or corrupt copy). Fall back to
+                // the bundle's description when a source phase ran;
+                // otherwise return an all-Unknown degraded prediction
+                // instead of panicking.
+                Err(_) if bundle.is_some() => {
+                    rec.count("bdc.fallback_to_bundle", 1);
+                    bundle.expect("checked above").app.clone()
+                }
+                Err(e) => {
+                    let mut prediction =
+                        crate::predict::Prediction::new(crate::predict::PredictionMode::Basic);
+                    for d in crate::predict::Determinant::evaluation_order() {
+                        prediction.record_unknown(
+                            d,
+                            format!("binary unreadable at target ({e}); determinant unobservable"),
+                        );
+                    }
+                    rec.event(
+                        "degraded_verdict",
+                        &[("reason", "binary-unreadable".into())],
+                    );
+                    let evaluation = TargetEvaluation::conclude(
+                        prediction.clone(),
+                        Default::default(),
+                        None,
+                        Vec::new(),
+                        sess.cpu_seconds,
+                    );
+                    drop(phase_span);
+                    return TargetOutcome {
+                        prediction,
+                        evaluation,
+                        environment,
+                        binary: empty_description(),
+                        cpu_seconds: sess.cpu_seconds,
+                        telemetry: rec.snapshot(),
+                    };
+                }
+            }
         }
         (None, Some(b)) => {
             let _span = rec.span("bdc");
@@ -235,13 +294,13 @@ pub fn run_target_phase(
                 false,
                 "no binary and no bundle provided",
             );
-            let evaluation = TargetEvaluation {
-                prediction: prediction.clone(),
-                plan: Default::default(),
-                resolution: None,
-                stack_tests: Vec::new(),
-                cpu_seconds: sess.cpu_seconds,
-            };
+            let evaluation = TargetEvaluation::conclude(
+                prediction.clone(),
+                Default::default(),
+                None,
+                Vec::new(),
+                sess.cpu_seconds,
+            );
             drop(phase_span);
             return TargetOutcome {
                 prediction,

@@ -64,13 +64,59 @@ impl Determinant {
     }
 }
 
+/// Tri-state determination of one determinant.
+///
+/// `Unknown` is the graceful-degradation state: the evidence needed to
+/// decide the determinant could not be observed (description files
+/// unreadable, databases corrupt), so the prediction proceeds on partial
+/// evidence with lowered confidence instead of aborting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Determination {
+    Compatible,
+    Incompatible,
+    /// Could not be observed; counts against confidence, not readiness.
+    Unknown,
+}
+
+impl Determination {
+    /// Map a decided boolean onto the tri-state.
+    pub fn of(compatible: bool) -> Self {
+        if compatible {
+            Determination::Compatible
+        } else {
+            Determination::Incompatible
+        }
+    }
+
+    /// Stable short label used in reports and trace events.
+    pub fn label(self) -> &'static str {
+        match self {
+            Determination::Compatible => "compatible",
+            Determination::Incompatible => "incompatible",
+            Determination::Unknown => "unknown",
+        }
+    }
+}
+
 /// The verdict on one determinant.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DeterminantVerdict {
     pub determinant: Determinant,
-    pub compatible: bool,
+    pub verdict: Determination,
     /// Human-readable justification, written to the user's output file.
     pub detail: String,
+}
+
+impl DeterminantVerdict {
+    /// True only for a positively decided determinant.
+    pub fn compatible(&self) -> bool {
+        self.verdict == Determination::Compatible
+    }
+
+    /// True when the determinant could not be observed.
+    pub fn unknown(&self) -> bool {
+        self.verdict == Determination::Unknown
+    }
 }
 
 /// Which FEAM phases informed a prediction.
@@ -101,28 +147,66 @@ impl Prediction {
         }
     }
 
-    /// Record a verdict.
+    /// Record a decided (boolean) verdict.
     pub fn record(
         &mut self,
         determinant: Determinant,
         compatible: bool,
         detail: impl Into<String>,
     ) {
+        self.record_determination(determinant, Determination::of(compatible), detail);
+    }
+
+    /// Record a tri-state verdict.
+    pub fn record_determination(
+        &mut self,
+        determinant: Determinant,
+        verdict: Determination,
+        detail: impl Into<String>,
+    ) {
         self.verdicts.push(DeterminantVerdict {
             determinant,
-            compatible,
+            verdict,
             detail: detail.into(),
         });
     }
 
-    /// Ready iff every evaluated determinant is compatible.
-    pub fn ready(&self) -> bool {
-        !self.verdicts.is_empty() && self.verdicts.iter().all(|v| v.compatible)
+    /// Record an unobservable determinant (graceful degradation).
+    pub fn record_unknown(&mut self, determinant: Determinant, detail: impl Into<String>) {
+        self.record_determination(determinant, Determination::Unknown, detail);
     }
 
-    /// The first failing determinant, if any.
+    /// Ready iff no evaluated determinant is incompatible and at least one
+    /// was positively decided. `Unknown` verdicts do not veto readiness —
+    /// they lower [`Prediction::confidence`] instead.
+    pub fn ready(&self) -> bool {
+        self.verdicts.iter().any(|v| v.compatible())
+            && !self
+                .verdicts
+                .iter()
+                .any(|v| v.verdict == Determination::Incompatible)
+    }
+
+    /// The first incompatible determinant, if any.
     pub fn first_failure(&self) -> Option<&DeterminantVerdict> {
-        self.verdicts.iter().find(|v| !v.compatible)
+        self.verdicts
+            .iter()
+            .find(|v| v.verdict == Determination::Incompatible)
+    }
+
+    /// Degraded iff any determinant could not be observed.
+    pub fn degraded(&self) -> bool {
+        self.verdicts.iter().any(|v| v.unknown())
+    }
+
+    /// Fraction of evaluated determinants that were actually decided
+    /// (1.0 = fully observed, 0.0 = nothing evaluated or all unknown).
+    pub fn confidence(&self) -> f64 {
+        if self.verdicts.is_empty() {
+            return 0.0;
+        }
+        let decided = self.verdicts.iter().filter(|v| !v.unknown()).count();
+        decided as f64 / self.verdicts.len() as f64
     }
 }
 
@@ -184,6 +268,30 @@ mod tests {
             p.first_failure().unwrap().determinant,
             Determinant::MpiStack
         );
+    }
+
+    #[test]
+    fn unknown_verdicts_degrade_confidence_without_vetoing_readiness() {
+        let mut p = Prediction::new(PredictionMode::Basic);
+        p.record(Determinant::Isa, true, "x86-64 on x86_64");
+        p.record_unknown(Determinant::CLibrary, "target C library unobservable");
+        p.record(Determinant::MpiStack, true, "openmpi-1.4 functioning");
+        p.record(Determinant::SharedLibraries, true, "all resolved");
+        assert!(p.ready(), "Unknown does not veto readiness");
+        assert!(p.degraded());
+        assert!((p.confidence() - 0.75).abs() < 1e-9);
+        assert!(p.first_failure().is_none());
+
+        let mut all_unknown = Prediction::new(PredictionMode::Basic);
+        all_unknown.record_unknown(Determinant::Isa, "binary unreadable");
+        assert!(!all_unknown.ready(), "nothing positively decided");
+        assert_eq!(all_unknown.confidence(), 0.0);
+
+        let mut mixed = Prediction::new(PredictionMode::Basic);
+        mixed.record_unknown(Determinant::CLibrary, "unobservable");
+        mixed.record(Determinant::Isa, false, "ppc64 binary");
+        assert!(!mixed.ready());
+        assert_eq!(mixed.first_failure().unwrap().determinant, Determinant::Isa);
     }
 
     #[test]

@@ -12,6 +12,8 @@ pub fn report_json(outcome: &TargetOutcome) -> serde_json::Value {
     serde_json::json!({
         "mode": format!("{:?}", outcome.prediction.mode),
         "ready": outcome.prediction.ready(),
+        "degraded": outcome.prediction.degraded(),
+        "confidence": outcome.prediction.confidence(),
         "binary": {
             "summary": outcome.binary.summary(),
             "required_glibc": outcome.binary.required_glibc.as_ref().map(|v| v.render()),
@@ -26,7 +28,8 @@ pub fn report_json(outcome: &TargetOutcome) -> serde_json::Value {
         },
         "determinants": outcome.prediction.verdicts.iter().map(|v| serde_json::json!({
             "determinant": format!("{:?}", v.determinant),
-            "compatible": v.compatible,
+            "verdict": v.verdict.label(),
+            "compatible": v.compatible(),
             "detail": v.detail,
         })).collect::<Vec<_>>(),
         "plan": {
@@ -65,7 +68,11 @@ pub fn render_report(outcome: &TargetOutcome) -> String {
         let _ = writeln!(
             s,
             "[{}] {:?}: {}",
-            if v.compatible { "ok" } else { "FAIL" },
+            match v.verdict {
+                crate::predict::Determination::Compatible => "ok",
+                crate::predict::Determination::Incompatible => "FAIL",
+                crate::predict::Determination::Unknown => "??",
+            },
             v.determinant,
             v.detail
         );
@@ -108,6 +115,16 @@ pub fn render_report(outcome: &TargetOutcome) -> String {
             "READY for execution"
         } else {
             "NOT ready"
+        }
+    );
+    let _ = writeln!(
+        s,
+        "confidence: {:.2}{}",
+        outcome.prediction.confidence(),
+        if outcome.prediction.degraded() {
+            " (DEGRADED: some determinants could not be observed)"
+        } else {
+            ""
         }
     );
     if outcome.prediction.ready() {

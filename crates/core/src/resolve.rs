@@ -36,6 +36,20 @@ pub enum ResolutionFailure {
     DependencyUnresolvable { dependency: String },
 }
 
+impl ResolutionFailure {
+    /// Stable failure class, used as a metrics suffix
+    /// (`resolution.failed.<class>`) and a trace-event field so telemetry
+    /// can break failures down by cause instead of one generic bucket.
+    pub fn class(&self) -> &'static str {
+        match self {
+            ResolutionFailure::NoCopyAvailable => "no-copy-available",
+            ResolutionFailure::IsaIncompatible(_) => "isa-incompatible",
+            ResolutionFailure::CLibraryIncompatible { .. } => "c-library-incompatible",
+            ResolutionFailure::DependencyUnresolvable { .. } => "dependency-unresolvable",
+        }
+    }
+}
+
 impl std::fmt::Display for ResolutionFailure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -239,10 +253,13 @@ pub fn resolve_missing(
                     &[
                         ("soname", soname.as_str().into()),
                         ("outcome", "failed".into()),
+                        ("class", reason.class().into()),
                         ("reason", reason.to_string().as_str().into()),
                     ],
                 );
                 sess.recorder.count("resolution.failed", 1);
+                sess.recorder
+                    .count(&format!("resolution.failed.{}", reason.class()), 1);
                 plan.outcomes.push(LibraryResolution::Failed {
                     soname: soname.clone(),
                     reason,
@@ -327,6 +344,7 @@ mod tests {
                 env_mgmt: None,
                 available_stacks: vec![],
                 loaded_stack: None,
+                unobserved: vec![],
             },
             app_stack_ident: None,
             libraries: libs.into_iter().map(|l| (l.soname.clone(), l)).collect(),
@@ -447,6 +465,46 @@ mod tests {
             plan.failures()[0].1,
             ResolutionFailure::DependencyUnresolvable { .. }
         ));
+    }
+
+    #[test]
+    fn failure_classes_counted_per_cause() {
+        let site = target_site(); // glibc 2.5
+        let (rec, _sink) = feam_obs::Recorder::memory();
+        let mut sess = Session::with_recorder(&site, rec.clone());
+        let bundle = bundle_with(vec![lib_copy(
+            "libgfortran.so.3",
+            "GLIBC_2.12",
+            &["libc.so.6"],
+        )]);
+        let target_glibc = site.glibc_version();
+        let plan = resolve_missing(
+            &mut sess,
+            &bundle,
+            &[
+                "libgfortran.so.3".to_string(), // copy needs newer glibc
+                "libweird.so.4".to_string(),    // not in bundle at all
+            ],
+            HostArch::X86_64,
+            Some(&target_glibc),
+            "/stage",
+        );
+        assert!(!plan.complete());
+        assert_eq!(
+            plan.failures()[0].1.class(),
+            "c-library-incompatible",
+            "classes are stable strings"
+        );
+        let counters = rec.snapshot().counters;
+        assert_eq!(counters.get("resolution.failed"), Some(&2));
+        assert_eq!(
+            counters.get("resolution.failed.c-library-incompatible"),
+            Some(&1)
+        );
+        assert_eq!(
+            counters.get("resolution.failed.no-copy-available"),
+            Some(&1)
+        );
     }
 
     #[test]

@@ -12,10 +12,12 @@ use crate::bdc::{BinaryDescription, MpiIdentification};
 use crate::bundle::SourceBundle;
 use crate::edc::{self, EnvironmentDescription};
 use crate::phases::PhaseConfig;
-use crate::predict::{c_library_compatible, Determinant, Prediction, PredictionMode};
+use crate::predict::{
+    c_library_compatible, Determinant, Determination, Prediction, PredictionMode,
+};
 use crate::resolve::{resolve_missing, ResolutionPlan};
-use feam_sim::compile::{compile_traced, ProgramSpec};
-use feam_sim::exec::run_mpi;
+use crate::retry::{compile_with_retry, launch_with_retry};
+use feam_sim::compile::ProgramSpec;
 use feam_sim::site::{Session, Site};
 use feam_sim::toolchain::Language;
 use std::sync::Arc;
@@ -104,6 +106,37 @@ pub struct TargetEvaluation {
     pub stack_tests: Vec<StackTest>,
     /// Simulated CPU seconds consumed by the evaluation.
     pub cpu_seconds: f64,
+    /// Fraction of determinants positively decided (mirrors
+    /// [`Prediction::confidence`], denormalized for reports).
+    pub confidence: f64,
+    /// True when any determinant came back `Unknown` (mirrors
+    /// [`Prediction::degraded`]).
+    pub degraded: bool,
+}
+
+impl TargetEvaluation {
+    /// Assemble an evaluation, deriving the confidence/degradation summary
+    /// from the prediction — the single construction path, so the summary
+    /// fields can never drift from the verdict list.
+    pub fn conclude(
+        prediction: Prediction,
+        plan: ExecutionPlan,
+        resolution: Option<ResolutionPlan>,
+        stack_tests: Vec<StackTest>,
+        cpu_seconds: f64,
+    ) -> Self {
+        let confidence = prediction.confidence();
+        let degraded = prediction.degraded();
+        TargetEvaluation {
+            prediction,
+            plan,
+            resolution,
+            stack_tests,
+            cpu_seconds,
+            confidence,
+            degraded,
+        }
+    }
 }
 
 /// Record a determinant verdict in the prediction and mirror it into the
@@ -114,7 +147,7 @@ fn record_determinant(
     rec: &feam_obs::Recorder,
     prediction: &mut Prediction,
     determinant: Determinant,
-    compatible: bool,
+    verdict: Determination,
     detail: impl Into<String>,
 ) {
     let detail = detail.into();
@@ -122,13 +155,28 @@ fn record_determinant(
         "determinant",
         &[
             ("determinant", determinant.name().into()),
-            ("ok", compatible.into()),
+            ("ok", (verdict == Determination::Compatible).into()),
+            ("verdict", verdict.label().into()),
             ("detail", detail.as_str().into()),
         ],
     );
-    let verdict = if compatible { "pass" } else { "fail" };
-    rec.count(&format!("determinant.{}.{verdict}", determinant.name()), 1);
-    prediction.record(determinant, compatible, detail);
+    let tag = match verdict {
+        Determination::Compatible => "pass",
+        Determination::Incompatible => "fail",
+        Determination::Unknown => "unknown",
+    };
+    rec.count(&format!("determinant.{}.{tag}", determinant.name()), 1);
+    if verdict == Determination::Unknown {
+        rec.event(
+            "degraded_verdict",
+            &[
+                ("determinant", determinant.name().into()),
+                ("detail", detail.as_str().into()),
+            ],
+        );
+        rec.count("prediction.degraded_verdicts", 1);
+    }
+    prediction.record_determination(determinant, verdict, detail);
 }
 
 /// Evaluate execution readiness of a binary at a target site.
@@ -156,30 +204,48 @@ pub fn evaluate(
     let mut cpu = 0.0f64;
 
     // ---- Determinant 1: ISA --------------------------------------------------
-    let isa_ok = env
-        .arch
-        .map(|a| a.executes(description.machine, description.class))
-        .unwrap_or(false);
+    let isa_verdict = match env.arch {
+        Some(a) => Determination::of(a.executes(description.machine, description.class)),
+        // The target's ISA could not be parsed — no basis to veto, no
+        // basis to pass: degrade instead of deciding.
+        None => Determination::Unknown,
+    };
     record_determinant(
         &rec,
         &mut prediction,
         Determinant::Isa,
-        isa_ok,
+        isa_verdict,
         format!(
             "binary is {} {}-bit; target reports {}",
             description.machine.name(),
             description.class.bits(),
-            env.isa
+            if env.isa.is_empty() {
+                "unknown"
+            } else {
+                &env.isa
+            }
         ),
     );
 
     // ---- Determinant 3 (checked second, §V.C): C library ----------------------
-    let clib_ok = c_library_compatible(description.required_glibc.as_ref(), env.c_library.as_ref());
+    let clib_unobservable = description.required_glibc.is_some()
+        && env.c_library.is_none()
+        && env.unobserved.iter().any(|u| u == "c_library");
+    let clib_verdict = if clib_unobservable {
+        // The target has a C library — we just could not read its banner
+        // after retries. Degrade rather than veto on absent evidence.
+        Determination::Unknown
+    } else {
+        Determination::of(c_library_compatible(
+            description.required_glibc.as_ref(),
+            env.c_library.as_ref(),
+        ))
+    };
     record_determinant(
         &rec,
         &mut prediction,
         Determinant::CLibrary,
-        clib_ok,
+        clib_verdict,
         format!(
             "binary requires {}; target provides {}",
             description
@@ -190,7 +256,11 @@ pub fn evaluate(
             env.c_library
                 .as_ref()
                 .map(|v| v.render())
-                .unwrap_or_else(|| "unknown".into()),
+                .unwrap_or_else(|| if clib_unobservable {
+                    "unobservable (description faults persisted through retries)".into()
+                } else {
+                    "unknown".into()
+                }),
         ),
     );
 
@@ -203,16 +273,11 @@ pub fn evaluate(
         feam_sim::exec::compiler_from_comments(&description.comments).map(|(f, _)| f);
     let plan = naive_plan(site, env, bin_impl, bin_compiler);
 
-    if !isa_ok || !clib_ok {
+    if isa_verdict == Determination::Incompatible || clib_verdict == Determination::Incompatible {
         // §V.C: "If at any point we determine that execution cannot occur,
-        // the reasons are detailed to the user."
-        return TargetEvaluation {
-            prediction,
-            plan,
-            resolution: None,
-            stack_tests: Vec::new(),
-            cpu_seconds: cpu,
-        };
+        // the reasons are detailed to the user." Unknown verdicts do not
+        // stop here — evaluation continues on partial evidence.
+        return TargetEvaluation::conclude(prediction, plan, None, Vec::new(), cpu);
     }
 
     // ---- Determinant 2: a functioning, compatible MPI stack -------------------
@@ -221,16 +286,10 @@ pub fn evaluate(
             &rec,
             &mut prediction,
             Determinant::MpiStack,
-            false,
+            Determination::Incompatible,
             "binary is not an MPI application",
         );
-        return TargetEvaluation {
-            prediction,
-            plan,
-            resolution: None,
-            stack_tests: Vec::new(),
-            cpu_seconds: cpu,
-        };
+        return TargetEvaluation::conclude(prediction, plan, None, Vec::new(), cpu);
     };
     let candidates = env.stacks_of(bin_impl);
     if candidates.is_empty() {
@@ -238,16 +297,10 @@ pub fn evaluate(
             &rec,
             &mut prediction,
             Determinant::MpiStack,
-            false,
+            Determination::Incompatible,
             format!("no {} installation advertised at target", bin_impl.name()),
         );
-        return TargetEvaluation {
-            prediction,
-            plan,
-            resolution: None,
-            stack_tests: Vec::new(),
-            cpu_seconds: cpu,
-        };
+        return TargetEvaluation::conclude(prediction, plan, None, Vec::new(), cpu);
     }
 
     let mut stack_tests = Vec::new();
@@ -257,28 +310,28 @@ pub fn evaluate(
         let Some(ist) = edc::find_installed(site, cand) else {
             continue;
         };
-        let mut sess = Session::with_recorder(site, rec.clone());
+        let mut sess = cfg.session(site);
         sess.load_stack(ist);
 
         // Native hello-world functional test (§III.B: "Our methods decide
         // an MPI stack is useable if a basic MPI program is able to be
         // executed when the MPI stack is selected").
         sess.charge(12.0); // native compile cost
-        let native_ok = match compile_traced(
-            &rec,
-            site,
+        let native_ok = match compile_with_retry(
+            &mut sess,
             Some(ist),
             &ProgramSpec::mpi_hello_world(Language::C),
             cfg.seed,
+            &cfg.retry,
         ) {
             Ok(hello) => {
                 sess.stage_file("/home/user/feam/hello_native", hello.image.clone());
-                run_mpi(
+                launch_with_retry(
                     &mut sess,
                     "/home/user/feam/hello_native",
                     ist,
                     cfg.nprocs,
-                    cfg.max_attempts,
+                    &cfg.retry,
                 )
                 .success
             }
@@ -342,12 +395,15 @@ pub fn evaluate(
             format!("missing: {}", missing.join(", "))
         };
         if !missing.is_empty() && !cfg.disable_resolution {
-            if let Some(bundle) = bundle {
+            // Resolution needs the target ISA to vet copies; when the ISA
+            // determinant came back Unknown there is no arch to vet
+            // against, so resolution is skipped (degraded path).
+            if let (Some(bundle), Some(arch)) = (bundle, env.arch) {
                 let rp = resolve_missing(
                     &mut sess,
                     bundle,
                     &missing,
-                    env.arch.expect("isa determinant already passed"),
+                    arch,
                     env.c_library.as_ref(),
                     STAGING_DIR,
                 );
@@ -385,12 +441,12 @@ pub fn evaluate(
         let transported_ok = match transported_probe {
             Some(probe) => {
                 sess.stage_file("/home/user/feam/hello_transported", probe.image.clone());
-                let ok = run_mpi(
+                let ok = launch_with_retry(
                     &mut sess,
                     "/home/user/feam/hello_transported",
                     ist,
                     cfg.nprocs,
-                    cfg.max_attempts,
+                    &cfg.retry,
                 )
                 .success;
                 Some(ok)
@@ -441,7 +497,7 @@ pub fn evaluate(
                 &rec,
                 &mut prediction,
                 Determinant::MpiStack,
-                true,
+                Determination::Compatible,
                 format!(
                     "functioning {} stack: {}{}",
                     bin_impl.name(),
@@ -456,16 +512,10 @@ pub fn evaluate(
                 &rec,
                 &mut prediction,
                 Determinant::SharedLibraries,
-                true,
+                Determination::Compatible,
                 lib_detail,
             );
-            return TargetEvaluation {
-                prediction,
-                plan: cand_plan,
-                resolution,
-                stack_tests,
-                cpu_seconds: cpu,
-            };
+            return TargetEvaluation::conclude(prediction, cand_plan, resolution, stack_tests, cpu);
         }
         // Keep the most promising incomplete candidate for the best-effort
         // plan and its failure detail.
@@ -487,13 +537,19 @@ pub fn evaluate(
         Some((cand_plan, resolution, detail)) => {
             let transported_failed = detail.contains("transported");
             if transported_failed {
-                record_determinant(&rec, &mut prediction, Determinant::MpiStack, false, detail);
+                record_determinant(
+                    &rec,
+                    &mut prediction,
+                    Determinant::MpiStack,
+                    Determination::Incompatible,
+                    detail,
+                );
             } else {
                 record_determinant(
                     &rec,
                     &mut prediction,
                     Determinant::MpiStack,
-                    true,
+                    Determination::Compatible,
                     format!(
                         "functioning {} stack: {}",
                         bin_impl.name(),
@@ -504,36 +560,24 @@ pub fn evaluate(
                     &rec,
                     &mut prediction,
                     Determinant::SharedLibraries,
-                    false,
+                    Determination::Incompatible,
                     detail,
                 );
             }
-            TargetEvaluation {
-                prediction,
-                plan: cand_plan,
-                resolution,
-                stack_tests,
-                cpu_seconds: cpu,
-            }
+            TargetEvaluation::conclude(prediction, cand_plan, resolution, stack_tests, cpu)
         }
         None => {
             record_determinant(
                 &rec,
                 &mut prediction,
                 Determinant::MpiStack,
-                false,
+                Determination::Incompatible,
                 format!(
                     "{} advertised at target but no stack passed the hello-world test",
                     bin_impl.name()
                 ),
             );
-            TargetEvaluation {
-                prediction,
-                plan,
-                resolution: None,
-                stack_tests,
-                cpu_seconds: cpu,
-            }
+            TargetEvaluation::conclude(prediction, plan, None, stack_tests, cpu)
         }
     }
 }

@@ -143,6 +143,10 @@ mod tests {
             extended_failure_class: None,
             basic_failed_determinants: vec![],
             extended_failed_determinants: vec![],
+            basic_degraded: false,
+            basic_confidence: 1.0,
+            extended_degraded: false,
+            extended_confidence: 1.0,
             resolution_staged: 0,
             resolution_failures: 0,
             basic_cpu_seconds: 1.0,

@@ -20,10 +20,10 @@
 
 use feam_core::bdc::MpiIdentification;
 use feam_core::phases::{run_source_phase, run_target_phase, PhaseConfig};
-use feam_core::predict::Determinant;
+use feam_core::predict::{Determinant, Determination};
 use feam_core::tec;
 use feam_sim::exec::run_mpi;
-use feam_sim::site::{Session, Site};
+use feam_sim::site::Site;
 use feam_workloads::benchmarks::Suite;
 use feam_workloads::sites::standard_sites;
 use feam_workloads::testset::{TestSet, TestSetBuilder, TestSetItem};
@@ -58,6 +58,14 @@ pub struct MigrationRecord {
     pub basic_failed_determinants: Vec<Determinant>,
     /// Determinants that failed in the extended prediction.
     pub extended_failed_determinants: Vec<Determinant>,
+    /// Was the basic prediction degraded (any determinant `Unknown`)?
+    pub basic_degraded: bool,
+    /// Fraction of basic determinants positively decided.
+    pub basic_confidence: f64,
+    /// Was the extended prediction degraded?
+    pub extended_degraded: bool,
+    /// Fraction of extended determinants positively decided.
+    pub extended_confidence: f64,
     /// Library copies staged by resolution.
     pub resolution_staged: usize,
     /// Missing libraries resolution could not fix.
@@ -224,8 +232,8 @@ impl Experiment {
                 .expect("corpus binaries parse");
             let feam_matching = match desc.mpi {
                 MpiIdentification::Identified(imp) => {
-                    let mut sess = Session::new(target);
-                    let env = feam_core::edc::discover(&mut sess);
+                    let mut sess = self.config.session(target);
+                    let env = feam_core::edc::discover_with_retry(&mut sess, &self.config.retry);
                     !env.stacks_of(imp).is_empty()
                 }
                 MpiIdentification::NotMpi => false,
@@ -278,16 +286,20 @@ impl Experiment {
                     .prediction
                     .verdicts
                     .iter()
-                    .filter(|v| !v.compatible)
+                    .filter(|v| v.verdict == Determination::Incompatible)
                     .map(|v| v.determinant)
                     .collect(),
                 extended_failed_determinants: extended
                     .prediction
                     .verdicts
                     .iter()
-                    .filter(|v| !v.compatible)
+                    .filter(|v| v.verdict == Determination::Incompatible)
                     .map(|v| v.determinant)
                     .collect(),
+                basic_degraded: basic.prediction.degraded(),
+                basic_confidence: basic.prediction.confidence(),
+                extended_degraded: extended.prediction.degraded(),
+                extended_confidence: extended.prediction.confidence(),
                 resolution_staged: extended
                     .evaluation
                     .resolution
@@ -332,7 +344,7 @@ impl Experiment {
             path,
             &launcher,
             self.config.nprocs,
-            self.config.max_attempts,
+            self.config.retry.max_attempts,
         );
         let class = outcome.failure.as_ref().map(|f| f.class().to_string());
         (outcome.success, class)

@@ -14,6 +14,7 @@
 //! The `feam-eval` binary prints any of these; `--json` dumps the raw
 //! records for EXPERIMENTS.md.
 
+pub mod chaos;
 pub mod effort;
 pub mod experiment;
 pub mod mode_ablation;
@@ -21,6 +22,7 @@ pub mod recompile;
 pub mod tables;
 pub mod telemetry;
 
+pub use chaos::{chaos_sweep, render_chaos, ChaosPoint, ChaosSweep, DEFAULT_CHAOS_RATE};
 pub use effort::{effort, render_effort, EffortReport};
 pub use experiment::{EvalResults, ExcludedPair, Experiment, MigrationRecord};
 pub use mode_ablation::{mode_ablation, render_mode_ablation, ModeRow};

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! feam-eval [--seed N] [--table 1|2|3|4] [--figure 1|2|3|4]
-//!           [--stats] [--ablation] [--json PATH] [--all]
+//!           [--stats] [--ablation] [--chaos RATE] [--json PATH] [--all]
 //! ```
 //!
 //! With no selection flags, prints everything (`--all`).
@@ -23,6 +23,7 @@ struct Args {
     want_recompile: bool,
     want_mode_ablation: bool,
     want_telemetry: bool,
+    chaos: Option<f64>,
     json: Option<String>,
     all: bool,
 }
@@ -38,6 +39,7 @@ fn parse_args() -> Args {
         want_recompile: false,
         want_mode_ablation: false,
         want_telemetry: false,
+        chaos: None,
         json: None,
         all: false,
     };
@@ -70,6 +72,14 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--seeds needs a count"));
             }
+            "--chaos" => {
+                args.chaos = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|r| (0.0..=1.0).contains(r))
+                        .unwrap_or_else(|| die("--chaos needs a fault rate in [0, 1]")),
+                );
+            }
             "--stats" => args.want_stats = true,
             "--ablation" => args.want_ablation = true,
             "--recompile" => args.want_recompile = true,
@@ -82,7 +92,8 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "feam-eval [--seed N] [--seeds K] [--table 1|2|3|4] [--figure 1|2|3|4] \
-                     [--stats] [--ablation] [--recompile] [--telemetry] [--json PATH] [--all]"
+                     [--stats] [--ablation] [--recompile] [--telemetry] [--chaos RATE] \
+                     [--json PATH] [--all]"
                 );
                 std::process::exit(0);
             }
@@ -96,6 +107,7 @@ fn parse_args() -> Args {
         && !args.want_recompile
         && !args.want_mode_ablation
         && !args.want_telemetry
+        && args.chaos.is_none()
     {
         args.all = true;
     }
@@ -121,6 +133,7 @@ fn main() {
         || args.want_recompile
         || args.want_mode_ablation
         || args.want_telemetry
+        || args.chaos.is_some()
         || args.json.is_some();
     if !needs_run {
         return;
@@ -202,6 +215,14 @@ fn main() {
         );
         println!();
     }
+    let chaos_sweep = args.chaos.map(|rate| {
+        eprintln!("chaos sweep at rates up to {rate} (reruns the sweep per rate) ...");
+        feam_eval::chaos_sweep(args.seed, rate)
+    });
+    if let Some(sweep) = &chaos_sweep {
+        print!("{}", feam_eval::render_chaos(sweep));
+        println!();
+    }
     if args.all || args.want_recompile {
         print!(
             "{}",
@@ -275,6 +296,14 @@ fn main() {
                         "summary": feam_eval::telemetry_summary(&results, &snapshot),
                         "snapshot": snapshot.to_json(),
                     }),
+                );
+            }
+        }
+        if let Some(sweep) = &chaos_sweep {
+            if let serde_json::Value::Object(map) = &mut payload {
+                map.insert(
+                    "chaos".to_string(),
+                    serde_json::to_value(sweep).expect("serialize chaos sweep"),
                 );
             }
         }

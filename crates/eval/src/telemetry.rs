@@ -19,6 +19,8 @@ pub struct DeterminantTelemetry {
     /// Verdicts recorded by the TEC across every evaluation.
     pub passes: u64,
     pub fails: u64,
+    /// Verdicts the TEC could not decide (graceful degradation).
+    pub unknowns: u64,
     /// Migrations whose extended prediction blamed this determinant.
     pub blamed: usize,
     /// Of those, how many actually failed to execute — how often the
@@ -46,6 +48,15 @@ pub struct TelemetrySummary {
     pub mean_launch_attempts: f64,
     pub launch_runs: u64,
     pub launch_failures: u64,
+    /// Resolution failures broken down by class
+    /// (`resolution.failed.<class>` counters), instead of one generic
+    /// failure bucket.
+    pub resolution_failures_by_class: Vec<(String, u64)>,
+    /// Injected faults observed during the sweep (zero unless a fault
+    /// plan was active).
+    pub faults_injected: u64,
+    /// Retries consumed across compiles, launches and submissions.
+    pub retry_attempts: u64,
 }
 
 /// Join the sweep outcomes with the shared recorder's metrics snapshot.
@@ -64,6 +75,11 @@ pub fn telemetry_summary(results: &EvalResults, snapshot: &TelemetrySnapshot) ->
             .get(&format!("determinant.{name}.fail"))
             .copied()
             .unwrap_or(0);
+        let unknowns = snapshot
+            .counters
+            .get(&format!("determinant.{name}.unknown"))
+            .copied()
+            .unwrap_or(0);
         let blamed: Vec<_> = results
             .records
             .iter()
@@ -74,6 +90,7 @@ pub fn telemetry_summary(results: &EvalResults, snapshot: &TelemetrySnapshot) ->
             determinant: name.to_string(),
             passes,
             fails,
+            unknowns,
             blamed: blamed.len(),
             blame_accuracy: if blamed.is_empty() {
                 1.0
@@ -108,6 +125,24 @@ pub fn telemetry_summary(results: &EvalResults, snapshot: &TelemetrySnapshot) ->
         .get("launch.attempts")
         .map(|h| h.mean())
         .unwrap_or(0.0);
+    summary.resolution_failures_by_class = snapshot
+        .counters
+        .iter()
+        .filter_map(|(k, v)| {
+            k.strip_prefix("resolution.failed.")
+                .map(|class| (class.to_string(), *v))
+        })
+        .collect();
+    summary.faults_injected = snapshot
+        .counters
+        .get("faults.injected")
+        .copied()
+        .unwrap_or(0);
+    summary.retry_attempts = snapshot
+        .counters
+        .get("retry.attempts")
+        .copied()
+        .unwrap_or(0);
     summary
 }
 
@@ -115,13 +150,14 @@ pub fn telemetry_summary(results: &EvalResults, snapshot: &TelemetrySnapshot) ->
 pub fn render_telemetry(s: &TelemetrySummary) -> String {
     let mut out = String::new();
     out.push_str("TELEMETRY: per-determinant verdicts and blame accuracy\n");
-    out.push_str("determinant        passes   fails  blamed  blame-accuracy\n");
+    out.push_str("determinant        passes   fails unknown  blamed  blame-accuracy\n");
     for d in &s.determinants {
         out.push_str(&format!(
-            "{:<18} {:>6} {:>7} {:>7} {:>14.1}%\n",
+            "{:<18} {:>6} {:>7} {:>7} {:>7} {:>14.1}%\n",
             d.determinant,
             d.passes,
             d.fails,
+            d.unknowns,
             d.blamed,
             d.blame_accuracy * 100.0
         ));
@@ -141,6 +177,16 @@ pub fn render_telemetry(s: &TelemetrySummary) -> String {
     out.push_str(&format!(
         "\nlaunches: {} runs, {} failures, {:.2} mean attempts per run\n",
         s.launch_runs, s.launch_failures, s.mean_launch_attempts
+    ));
+    if !s.resolution_failures_by_class.is_empty() {
+        out.push_str("\nTELEMETRY: resolution failures by class\n");
+        for (class, n) in &s.resolution_failures_by_class {
+            out.push_str(&format!("{class:<26} {n:>6}\n"));
+        }
+    }
+    out.push_str(&format!(
+        "faults injected: {}; retries consumed: {}\n",
+        s.faults_injected, s.retry_attempts
     ));
     out
 }

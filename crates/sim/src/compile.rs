@@ -120,8 +120,18 @@ pub enum CompileError {
     },
     /// No such compiler at the site.
     CompilerMissing(CompilerFamily),
+    /// A transient toolchain failure (license-server timeout, NFS hiccup);
+    /// retrying the same compile can succeed.
+    TransientToolFailure(String),
     /// Internal ELF synthesis error.
     Synthesis(String),
+}
+
+impl CompileError {
+    /// True when a bounded retry can meaningfully clear the error.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, CompileError::TransientToolFailure(_))
+    }
 }
 
 impl std::fmt::Display for CompileError {
@@ -136,6 +146,9 @@ impl std::fmt::Display for CompileError {
             }
             CompileError::CompilerMissing(fam) => {
                 write!(f, "{} compiler not installed", fam.name())
+            }
+            CompileError::TransientToolFailure(msg) => {
+                write!(f, "transient toolchain failure: {msg}")
             }
             CompileError::Synthesis(msg) => write!(f, "toolchain error: {msg}"),
         }
@@ -169,6 +182,49 @@ pub fn compile_traced(
         rec.count("compile.failures", 1);
     }
     result
+}
+
+/// [`compile_traced`] with the session's fault plan consulted first: probe
+/// compiles can fail with injected transient flakiness (retryable) or a
+/// persistently broken toolchain. `attempt` re-rolls transient faults.
+pub fn compile_in_session(
+    sess: &crate::site::Session<'_>,
+    stack: Option<&InstalledStack>,
+    prog: &ProgramSpec,
+    seed: u64,
+    attempt: u32,
+) -> Result<CompiledBinary, CompileError> {
+    let site = sess.site;
+    let stack_tag = stack
+        .map(|i| i.stack.ident())
+        .unwrap_or_else(|| "serial".to_string());
+    let key = format!("{}@{}@{}", prog.name, stack_tag, site.name());
+    if let Some(kind) = sess.roll_fault(crate::faults::Chokepoint::ProbeCompile, &key, attempt) {
+        let rec = &sess.recorder;
+        let _span = rec.span("compile");
+        rec.event(
+            "compile_done",
+            &[
+                ("program", prog.name.as_str().into()),
+                ("site", site.name().into()),
+                ("ok", false.into()),
+            ],
+        );
+        rec.count("compile.runs", 1);
+        rec.count("compile.failures", 1);
+        return Err(match kind {
+            crate::faults::FaultKind::Transient => CompileError::TransientToolFailure(format!(
+                "{}: compiler license server timed out",
+                prog.name
+            )),
+            crate::faults::FaultKind::Persistent => CompileError::DoesNotCompile {
+                program: prog.name.clone(),
+                stack: stack_tag,
+                reason: "toolchain wrapper persistently broken".into(),
+            },
+        });
+    }
+    compile_traced(&sess.recorder, site, stack, prog, seed)
 }
 
 /// Compile `prog` at `site` using `stack` (or no stack for serial

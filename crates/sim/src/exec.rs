@@ -20,10 +20,6 @@ use serde::{Deserialize, Serialize};
 /// Default number of launch attempts (§VI.C: "five execution attempts").
 pub const DEFAULT_ATTEMPTS: u32 = 5;
 
-/// Transient per-attempt system error rate; retries absorb almost all of
-/// these, as the paper's spaced retries did.
-const TRANSIENT_RATE: f64 = 0.12;
-
 /// Kinds of unpredictable system errors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SystemErrorKind {
@@ -264,9 +260,15 @@ fn run_mpi_attempts(
                 FailureCause::StackMisconfigured(launcher.stack.ident()),
             );
         }
-        if persistent_syserr {
+        // Injected daemon-spawn storms (chaos testing): persistent faults
+        // behave like the site's own persistent system errors, transient
+        // ones like its per-attempt hiccups.
+        let injected = sess.roll_fault(crate::faults::Chokepoint::DaemonSpawn, &key, attempt);
+        if persistent_syserr || injected == Some(crate::faults::FaultKind::Persistent) {
             if attempt == max_attempts {
-                let kind = if rng::chance(site_seed, &[&key, "syserr-kind"], 0.5) {
+                let kind = if injected == Some(crate::faults::FaultKind::Persistent)
+                    || rng::chance(site_seed, &[&key, "syserr-kind"], 0.5)
+                {
                     SystemErrorKind::DaemonSpawn
                 } else {
                     SystemErrorKind::Timeout
@@ -278,11 +280,12 @@ fn run_mpi_attempts(
             continue;
         }
         // Transient launch failure; spaced retries absorb it.
-        let transient = rng::chance(
-            site_seed,
-            &[&key, "syserr-transient", &attempt.to_string()],
-            TRANSIENT_RATE,
-        );
+        let transient = injected == Some(crate::faults::FaultKind::Transient)
+            || rng::chance(
+                site_seed,
+                &[&key, "syserr-transient", &attempt.to_string()],
+                sess.site.config.transient_error_rate,
+            );
         if transient {
             if attempt == max_attempts {
                 attempt_event(sess, attempt, "system-error");

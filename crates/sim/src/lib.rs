@@ -18,6 +18,8 @@
 //!   version references, symbol binding) producing ground truth.
 //! * [`exec`] — job launches with the paper's failure taxonomy and
 //!   five-attempt retry discipline.
+//! * [`faults`] — deterministic seeded fault injection ([`faults::FaultPlan`])
+//!   at the pipeline's chokepoints, tagged transient vs persistent.
 //! * [`tools`] — emulated `uname`, `ldd`, `locate`, `find`, Environment
 //!   Modules, SoftEnv, wrapper probing.
 //!
@@ -50,6 +52,7 @@
 
 pub mod compile;
 pub mod exec;
+pub mod faults;
 pub mod libc;
 pub mod libgen;
 pub mod loader;
@@ -63,6 +66,7 @@ pub mod vfs;
 
 pub use compile::{compile, CompileError, CompiledBinary, ProgramSpec};
 pub use exec::{run_mpi, run_serial, ExecOutcome, FailureCause, SystemErrorKind, DEFAULT_ATTEMPTS};
+pub use faults::{Chokepoint, FaultKind, FaultPlan, FaultRate};
 pub use loader::{ldd_map, resolve_closure, Closure, LoadError, ObjectMeta};
 pub use mpi::{MpiImpl, MpiStack, Network};
 pub use queue::{submit, QueueOutcome, QueueSpec};

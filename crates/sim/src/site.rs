@@ -173,6 +173,11 @@ pub struct SiteConfig {
     /// (failed daemon spawning, communication timeouts) — the failure class
     /// §VI.C says the model cannot predict.
     pub system_error_rate: f64,
+    /// Per-attempt probability of a transient launch failure (daemon spawn
+    /// hiccup, momentary communication timeout) — the class the paper's
+    /// "five execution attempts spaced in time" absorbs. Sweeps vary this
+    /// instead of relying on a hard-coded constant.
+    pub transient_error_rate: f64,
     /// Exact compiler-runtime versions whose binaries raise floating-point
     /// exceptions at this site (detected only by extended prediction's
     /// transported hello-world tests).
@@ -209,6 +214,7 @@ impl SiteConfig {
             compilers: Vec::new(),
             stacks: Vec::new(),
             system_error_rate: 0.03,
+            transient_error_rate: 0.12,
             fpe_triggers: Vec::new(),
             compat_runtimes: Vec::new(),
             hot_glibc_bias: 0.5,
@@ -578,6 +584,10 @@ pub struct Session<'s> {
     /// Trace/metrics sink for everything executed in this session
     /// (disabled — and nearly free — by default).
     pub recorder: feam_obs::Recorder,
+    /// Deterministic fault-injection schedule consulted at every
+    /// chokepoint this session touches. Defaults to the process-wide plan
+    /// from `FEAM_CHAOS_RATE`/`FEAM_CHAOS_SEED` (silent when unset).
+    pub faults: Arc<crate::faults::FaultPlan>,
 }
 
 impl<'s> Session<'s> {
@@ -589,6 +599,7 @@ impl<'s> Session<'s> {
             staged: BTreeMap::new(),
             cpu_seconds: 0.0,
             recorder: feam_obs::Recorder::disabled(),
+            faults: crate::faults::default_plan(),
         }
     }
 
@@ -597,6 +608,41 @@ impl<'s> Session<'s> {
         let mut sess = Session::new(site);
         sess.recorder = recorder;
         sess
+    }
+
+    /// New session with an explicit fault plan.
+    pub fn with_faults(site: &'s Site, faults: Arc<crate::faults::FaultPlan>) -> Self {
+        let mut sess = Session::new(site);
+        sess.faults = faults;
+        sess
+    }
+
+    /// Roll for an injected fault and, if one fires, record it in the
+    /// session's telemetry. Returns the fault kind so callers decide how
+    /// the failure manifests at their chokepoint.
+    pub fn roll_fault(
+        &self,
+        c: crate::faults::Chokepoint,
+        key: &str,
+        attempt: u32,
+    ) -> Option<crate::faults::FaultKind> {
+        // Scope the draw to this site: the same chokepoint key (e.g.
+        // "/proc/version") must fault independently at different sites,
+        // not globally for every session sharing the plan seed.
+        let scoped = format!("{}:{}", self.site.name(), key);
+        let kind = self.faults.roll(c, &scoped, attempt)?;
+        self.recorder.event(
+            "fault_injected",
+            &[
+                ("chokepoint", c.label().into()),
+                ("key", key.into()),
+                ("kind", kind.label().into()),
+                ("attempt", attempt.into()),
+            ],
+        );
+        self.recorder.count("faults.injected", 1);
+        self.recorder.count(&format!("faults.{}", c.label()), 1);
+        Some(kind)
     }
 
     /// Apply a stack selection (`module load` equivalent): prepend the
@@ -618,9 +664,17 @@ impl<'s> Session<'s> {
         self.charge(0.01);
     }
 
-    /// Read a file: overlay first, then the site filesystem.
+    /// Read a file: overlay first, then the site filesystem. An injected
+    /// VFS fault makes the read fail as if the file were unreadable —
+    /// staged overlays included (NFS does not care who wrote the file).
     pub fn read_bytes(&self, path: &str) -> Option<Arc<Vec<u8>>> {
         let norm = crate::vfs::normalize(path);
+        if self
+            .roll_fault(crate::faults::Chokepoint::VfsRead, &norm, 1)
+            .is_some()
+        {
+            return None;
+        }
         if let Some(b) = self.staged.get(&norm) {
             return Some(b.clone());
         }

@@ -19,19 +19,44 @@ pub fn uname_p(site: &Site) -> &'static str {
     site.config.arch.uname_p()
 }
 
-/// `cat /proc/version`.
-pub fn proc_version(site: &Site) -> Option<String> {
-    site.vfs.read_text("/proc/version").ok().map(str::to_string)
+/// `cat /proc/version`. Observation attempt `attempt` — injected
+/// description-file faults are re-rolled per attempt when transient.
+pub fn proc_version(sess: &Session<'_>, attempt: u32) -> Option<String> {
+    if sess
+        .roll_fault(
+            crate::faults::Chokepoint::DescriptionFile,
+            "/proc/version",
+            attempt,
+        )
+        .is_some()
+    {
+        return None;
+    }
+    sess.site
+        .vfs
+        .read_text("/proc/version")
+        .ok()
+        .map(str::to_string)
 }
 
 /// Contents of the distribution's `/etc/*release` file.
-pub fn etc_release(site: &Site) -> Option<String> {
+pub fn etc_release(sess: &Session<'_>, attempt: u32) -> Option<String> {
+    if sess
+        .roll_fault(
+            crate::faults::Chokepoint::DescriptionFile,
+            "/etc/*release",
+            attempt,
+        )
+        .is_some()
+    {
+        return None;
+    }
     for path in [
         "/etc/redhat-release",
         "/etc/SuSE-release",
         "/etc/os-release",
     ] {
-        if let Ok(text) = site.vfs.read_text(path) {
+        if let Ok(text) = sess.site.vfs.read_text(path) {
             return Some(text.to_string());
         }
     }
@@ -92,9 +117,16 @@ pub fn find_name(site: &Site, roots: &[&str], name: &str) -> Vec<String> {
 }
 
 /// Emulated `module avail` → module names, or `None` when Environment
-/// Modules is not installed.
-pub fn module_avail(site: &Site) -> Option<Vec<String>> {
+/// Modules is not installed or its database read faults.
+pub fn module_avail(sess: &Session<'_>, attempt: u32) -> Option<Vec<String>> {
+    let site = sess.site;
     if site.config.env_mgmt != EnvMgmt::Modules {
+        return None;
+    }
+    if sess
+        .roll_fault(crate::faults::Chokepoint::ModuleDb, "modulefiles", attempt)
+        .is_some()
+    {
         return None;
     }
     let mut names = Vec::new();
@@ -131,9 +163,16 @@ pub fn module_list(sess: &Session<'_>) -> Option<Vec<String>> {
 }
 
 /// Emulated SoftEnv database listing (`softenv`) → keys, or `None` when
-/// SoftEnv is not installed.
-pub fn softenv_keys(site: &Site) -> Option<Vec<String>> {
+/// SoftEnv is not installed or its database read faults.
+pub fn softenv_keys(sess: &Session<'_>, attempt: u32) -> Option<Vec<String>> {
+    let site = sess.site;
     if site.config.env_mgmt != EnvMgmt::SoftEnv {
+        return None;
+    }
+    if sess
+        .roll_fault(crate::faults::Chokepoint::ModuleDb, "softenv.db", attempt)
+        .is_some()
+    {
         return None;
     }
     let db = site.vfs.read_text("/etc/softenv/softenv.db").ok()?;
@@ -198,7 +237,18 @@ pub fn which(sess: &Session<'_>, name: &str) -> Option<String> {
 
 /// Execute the C library binary directly and capture its banner (§V.B's
 /// primary C-library-version discovery method).
-pub fn run_libc_banner(site: &Site) -> Option<String> {
+pub fn run_libc_banner(sess: &Session<'_>, attempt: u32) -> Option<String> {
+    let site = sess.site;
+    if sess
+        .roll_fault(
+            crate::faults::Chokepoint::DescriptionFile,
+            "libc-banner",
+            attempt,
+        )
+        .is_some()
+    {
+        return None;
+    }
     // Locate libc.so.6 the same way the BDC searches for libraries.
     let candidates = find_name(
         site,
@@ -252,9 +302,10 @@ mod tests {
     #[test]
     fn uname_and_release_files() {
         let s = site(EnvMgmt::Modules);
+        let sess = Session::new(&s);
         assert_eq!(uname_p(&s), "x86_64");
-        assert!(proc_version(&s).unwrap().contains("SUSE"));
-        assert!(etc_release(&s)
+        assert!(proc_version(&sess, 1).unwrap().contains("SUSE"));
+        assert!(etc_release(&sess, 1)
             .unwrap()
             .contains("SUSE Linux Enterprise Server 11"));
     }
@@ -262,24 +313,43 @@ mod tests {
     #[test]
     fn module_avail_lists_stacks() {
         let s = site(EnvMgmt::Modules);
-        let mods = module_avail(&s).unwrap();
+        let sess = Session::new(&s);
+        let mods = module_avail(&sess, 1).unwrap();
         assert!(mods.iter().any(|m| m.starts_with("openmpi-1.4")));
-        assert!(softenv_keys(&s).is_none());
+        assert!(softenv_keys(&sess, 1).is_none());
     }
 
     #[test]
     fn softenv_lists_stacks() {
         let s = site(EnvMgmt::SoftEnv);
-        let keys = softenv_keys(&s).unwrap();
+        let sess = Session::new(&s);
+        let keys = softenv_keys(&sess, 1).unwrap();
         assert!(keys.iter().any(|k| k.starts_with("openmpi-1.4")));
-        assert!(module_avail(&s).is_none());
+        assert!(module_avail(&sess, 1).is_none());
     }
 
     #[test]
     fn no_env_mgmt_returns_none_for_both() {
         let s = site(EnvMgmt::None);
-        assert!(module_avail(&s).is_none());
-        assert!(softenv_keys(&s).is_none());
+        let sess = Session::new(&s);
+        assert!(module_avail(&sess, 1).is_none());
+        assert!(softenv_keys(&sess, 1).is_none());
+    }
+
+    #[test]
+    fn description_faults_suppress_observations() {
+        use crate::faults::FaultPlan;
+        use std::sync::Arc;
+        let s = site(EnvMgmt::Modules);
+        let faulty = Session::with_faults(&s, Arc::new(FaultPlan::persistent_edc(1, 1.0)));
+        assert!(proc_version(&faulty, 1).is_none());
+        assert!(etc_release(&faulty, 1).is_none());
+        assert!(run_libc_banner(&faulty, 1).is_none());
+        assert!(module_avail(&faulty, 1).is_none());
+        // The same reads succeed without the plan.
+        let clean = Session::with_faults(&s, Arc::new(FaultPlan::none()));
+        assert!(proc_version(&clean, 1).is_some());
+        assert!(module_avail(&clean, 1).is_some());
     }
 
     #[test]
@@ -323,7 +393,8 @@ mod tests {
     #[test]
     fn libc_banner_reports_site_version() {
         let s = site(EnvMgmt::Modules);
-        assert!(run_libc_banner(&s).unwrap().contains("2.11.1"));
+        let sess = Session::new(&s);
+        assert!(run_libc_banner(&sess, 1).unwrap().contains("2.11.1"));
     }
 
     #[test]

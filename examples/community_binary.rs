@@ -47,7 +47,7 @@ fn main() {
         for v in &outcome.prediction.verdicts {
             println!(
                 "  [{}] {:?}",
-                if v.compatible { "ok " } else { "no " },
+                if v.compatible() { "ok " } else { "no " },
                 v.determinant
             );
         }

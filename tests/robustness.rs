@@ -1,0 +1,166 @@
+//! Robustness acceptance tests: the pipeline under injected faults.
+//!
+//! * 100% persistent EDC description-file faults: `run_target_phase` must
+//!   still return a prediction — degraded, with `Unknown` determinants —
+//!   instead of panicking or erroring.
+//! * Persistent VFS faults: no panic anywhere in the phase.
+//! * Transient faults at realistic rates: the retry policy recovers and
+//!   the prediction matches the fault-free run.
+
+use feam::core::phases::{run_source_phase, run_target_phase, PhaseConfig};
+use feam::core::predict::Determination;
+use feam::core::report::report_json;
+use feam::sim::compile::{compile, ProgramSpec};
+use feam::sim::faults::{FaultPlan, FaultRate};
+use feam::sim::toolchain::Language;
+use feam::workloads::sites::{standard_sites, FIR, INDIA};
+use std::sync::Arc;
+
+fn gnu_binary(sites: &[feam::sim::site::Site]) -> Arc<Vec<u8>> {
+    let india = &sites[INDIA];
+    let stack = india
+        .stacks
+        .iter()
+        .find(|s| s.stack.ident() == "openmpi-1.4.3-gnu-4.1.2")
+        .unwrap()
+        .clone();
+    compile(
+        india,
+        Some(&stack),
+        &ProgramSpec::new("cg", Language::Fortran),
+        5,
+    )
+    .unwrap()
+    .image
+}
+
+#[test]
+fn persistent_edc_faults_degrade_instead_of_erroring() {
+    let sites = standard_sites(101);
+    let image = gnu_binary(&sites);
+    // Every description file and environment database is persistently
+    // unreadable at the target.
+    let cfg = PhaseConfig {
+        faults: Arc::new(FaultPlan::persistent_edc(7, 1.0)),
+        ..PhaseConfig::default()
+    };
+    let outcome = run_target_phase(&sites[FIR], Some(&image), None, &cfg);
+
+    // A prediction came back (no Err, no panic) and it is degraded.
+    assert!(
+        outcome.prediction.degraded(),
+        "persistent EDC faults must surface as a degraded prediction"
+    );
+    assert!(
+        outcome
+            .prediction
+            .verdicts
+            .iter()
+            .any(|v| v.verdict == Determination::Unknown),
+        "some determinant must be Unknown: {:?}",
+        outcome.prediction.verdicts
+    );
+    assert!(outcome.prediction.confidence() < 1.0);
+    // The unobservable evidence is named in the environment description.
+    assert!(
+        outcome
+            .environment
+            .unobserved
+            .iter()
+            .any(|u| u == "c_library"),
+        "unobserved: {:?}",
+        outcome.environment.unobserved
+    );
+    // And the report carries the degradation for the user.
+    let j = report_json(&outcome);
+    assert_eq!(j["degraded"], true);
+    assert!(j["confidence"].as_f64().unwrap() < 1.0);
+    assert!(j["determinants"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .any(|d| d["verdict"] == "unknown"));
+}
+
+#[test]
+fn persistent_vfs_faults_do_not_panic() {
+    let sites = standard_sites(101);
+    let image = gnu_binary(&sites);
+    let cfg = PhaseConfig {
+        faults: Arc::new(FaultPlan::persistent_vfs(11, 1.0)),
+        ..PhaseConfig::default()
+    };
+    // Every file read fails, including reading back the staged binary: the
+    // phase must conclude with an all-Unknown degraded outcome, not panic.
+    let outcome = run_target_phase(&sites[FIR], Some(&image), None, &cfg);
+    assert!(!outcome.prediction.ready());
+    assert!(outcome.prediction.degraded());
+    assert_eq!(outcome.prediction.confidence(), 0.0);
+}
+
+#[test]
+fn transient_faults_recover_to_the_fault_free_prediction() {
+    let sites = standard_sites(101);
+    let image = gnu_binary(&sites);
+    let clean = run_target_phase(&sites[FIR], Some(&image), None, &PhaseConfig::default());
+
+    // Realistic transient fault rates at every retried chokepoint.
+    let plan = FaultPlan {
+        seed: 21,
+        description_file: FaultRate {
+            transient: 0.2,
+            persistent: 0.0,
+        },
+        module_db: FaultRate {
+            transient: 0.2,
+            persistent: 0.0,
+        },
+        probe_compile: FaultRate {
+            transient: 0.2,
+            persistent: 0.0,
+        },
+        daemon_spawn: FaultRate {
+            transient: 0.2,
+            persistent: 0.0,
+        },
+        ..FaultPlan::default()
+    };
+    let cfg = PhaseConfig {
+        faults: Arc::new(plan),
+        ..PhaseConfig::default()
+    };
+    let faulted = run_target_phase(&sites[FIR], Some(&image), None, &cfg);
+    assert_eq!(
+        faulted.prediction.ready(),
+        clean.prediction.ready(),
+        "retries must absorb transient faults: {:?}",
+        faulted.prediction.verdicts
+    );
+    assert!(
+        !faulted.prediction.degraded(),
+        "no determinant should stay Unknown under transient-only faults"
+    );
+}
+
+#[test]
+fn source_phase_survives_transient_faults() {
+    let sites = standard_sites(101);
+    let image = gnu_binary(&sites);
+    let plan = FaultPlan {
+        seed: 3,
+        probe_compile: FaultRate {
+            transient: 0.3,
+            persistent: 0.0,
+        },
+        ..FaultPlan::default()
+    };
+    let cfg = PhaseConfig {
+        faults: Arc::new(plan),
+        ..PhaseConfig::default()
+    };
+    let bundle = run_source_phase(&sites[INDIA], &image, &cfg).expect("source phase retries");
+    assert!(
+        !bundle.hello_worlds.is_empty(),
+        "hello-world probes compiled despite transient compiler faults"
+    );
+}
