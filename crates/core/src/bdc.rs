@@ -105,6 +105,9 @@ pub struct BinaryDescription {
     pub abi_tag: Option<feam_elf::AbiTag>,
     /// Image size in bytes.
     pub size: usize,
+    /// Stable FNV-1a hash of the described image — the content-addressed
+    /// identity the description caches key on (`feam-core::cache`).
+    pub content_hash: u64,
 }
 
 impl BinaryDescription {
@@ -134,6 +137,7 @@ impl BinaryDescription {
             },
             abi_tag: f.abi_tag(),
             size: bytes.len(),
+            content_hash: feam_sim::rng::fnv1a(bytes),
         })
     }
 
@@ -220,6 +224,18 @@ pub fn collect_libraries(
     sess: &mut Session<'_>,
     path: &str,
 ) -> Result<BTreeMap<String, LibraryCopy>> {
+    collect_libraries_cached(sess, path, None)
+}
+
+/// [`collect_libraries`] with an optional description cache: every library
+/// image is content-hashed and its recursive description is reused across
+/// binaries that link the same bytes (the common case — a site's whole
+/// corpus shares one MPI stack's libraries).
+pub fn collect_libraries_cached(
+    sess: &mut Session<'_>,
+    path: &str,
+    caches: Option<&crate::cache::PhaseCaches>,
+) -> Result<BTreeMap<String, LibraryCopy>> {
     let mut out: BTreeMap<String, LibraryCopy> = BTreeMap::new();
     let mut pending: Vec<String> = vec![path.to_string()];
     let mut described: Vec<String> = Vec::new();
@@ -251,7 +267,31 @@ pub fn collect_libraries(
             let Some(bytes) = sess.read_bytes(&loc) else {
                 continue;
             };
-            let description = BinaryDescription::from_bytes(&loc, &bytes)?;
+            // Describing is pure in the bytes, so the content hash is a
+            // sound memoization key: identical images at different paths
+            // share one description (the path field is the cached origin).
+            let description = match caches {
+                Some(c) => {
+                    let hash = feam_sim::rng::fnv1a(&bytes);
+                    match c.bdc_get(hash) {
+                        Some(d) => {
+                            sess.recorder.count("cache.bdc.hit", 1);
+                            let mut d = (*d).clone();
+                            // The description is content-addressed; only the
+                            // origin path is site-local.
+                            d.path = loc.clone();
+                            d
+                        }
+                        None => {
+                            sess.recorder.count("cache.bdc.miss", 1);
+                            let d = BinaryDescription::from_bytes(&loc, &bytes)?;
+                            c.bdc_put(hash, Arc::new(d.clone()));
+                            d
+                        }
+                    }
+                }
+                None => BinaryDescription::from_bytes(&loc, &bytes)?,
+            };
             out.insert(
                 soname.clone(),
                 LibraryCopy {

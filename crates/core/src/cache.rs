@@ -1,0 +1,413 @@
+//! Description caches for the serving layer (`feam-svc`).
+//!
+//! FEAM's value proposition is answering "will this binary run there?"
+//! without trial execution; in production that question arrives as a
+//! stream of (binary, target-site) queries, and most queries repeat a
+//! binary or a site already described. Two memoization layers exploit
+//! that:
+//!
+//! * [`BdcCache`] — a **sharded, content-addressed** cache of binary
+//!   descriptions keyed by the FNV-1a hash of the ELF bytes. Identical
+//!   images share one description regardless of path or site; recursive
+//!   library descriptions gathered by the source phase go through the same
+//!   cache ([`crate::bdc::collect_libraries_cached`]).
+//! * [`EdcCache`] — environment descriptions keyed by **site name +
+//!   configuration epoch**, with an optional TTL on a logical clock. A
+//!   site reconfiguration bumps the epoch ([`EdcCache::invalidate`]) and
+//!   instantly orphans stale entries; the TTL bounds staleness even
+//!   without an explicit invalidation signal.
+//!
+//! **Poisoning guard:** only successful, non-degraded descriptions are
+//! inserted. A computation that observed an injected (or real) fault —
+//! `Session::faults_seen` moved, or the description carries `unobserved`
+//! holes — is served to its requester but never memoized, so one transient
+//! NFS hiccup cannot become every future client's answer. Caching is an
+//! optimization, never a semantic change: the Table III sweep produces
+//! byte-identical predictions with caches on and off (pinned by
+//! `tests/cache_equivalence.rs`).
+
+use crate::bdc::BinaryDescription;
+use crate::edc::EnvironmentDescription;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of independently locked shards in the BDC cache. Sharding keeps
+/// the service's worker pool from serializing on one mutex; 16 is far
+/// beyond the worker counts we run.
+pub const BDC_SHARDS: usize = 16;
+
+/// Is caching enabled for this process? `FEAM_CACHE=0` (or `false`/`off`)
+/// disables every cache layer — CI runs the suite once this way to pin
+/// that caching never changes results.
+pub fn caching_enabled_from_env() -> bool {
+    match std::env::var("FEAM_CACHE") {
+        Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | "no"),
+        Err(_) => true,
+    }
+}
+
+/// Hit/miss totals for one cache layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct CacheLayerStats {
+    pub hits: u64,
+    pub misses: u64,
+    /// Insertions refused by the poisoning guard (faulted or degraded
+    /// computations).
+    pub rejected: u64,
+}
+
+impl CacheLayerStats {
+    /// Hit fraction in [0, 1]; 0 when the layer was never consulted.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct LayerCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl LayerCounters {
+    fn snapshot(&self) -> CacheLayerStats {
+        CacheLayerStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Sharded content-addressed cache of binary descriptions.
+pub struct BdcCache {
+    shards: Vec<Mutex<HashMap<u64, Arc<BinaryDescription>>>>,
+    counters: LayerCounters,
+}
+
+impl Default for BdcCache {
+    fn default() -> Self {
+        BdcCache {
+            shards: (0..BDC_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            counters: LayerCounters::default(),
+        }
+    }
+}
+
+impl BdcCache {
+    fn shard(&self, hash: u64) -> &Mutex<HashMap<u64, Arc<BinaryDescription>>> {
+        &self.shards[(hash % BDC_SHARDS as u64) as usize]
+    }
+
+    /// Look up a description by content hash.
+    pub fn get(&self, hash: u64) -> Option<Arc<BinaryDescription>> {
+        let hit = self
+            .shard(hash)
+            .lock()
+            .expect("bdc shard")
+            .get(&hash)
+            .cloned();
+        match &hit {
+            Some(_) => self.counters.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.counters.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    /// Insert a description under its content hash.
+    pub fn put(&self, hash: u64, desc: Arc<BinaryDescription>) {
+        self.shard(hash)
+            .lock()
+            .expect("bdc shard")
+            .insert(hash, desc);
+    }
+
+    /// Record an insertion refused by the poisoning guard.
+    pub fn reject(&self) {
+        self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Entries currently cached (across all shards).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("bdc shard").len())
+            .sum()
+    }
+
+    /// True when no entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit/miss/reject totals so far.
+    pub fn stats(&self) -> CacheLayerStats {
+        self.counters.snapshot()
+    }
+}
+
+struct EdcEntry {
+    epoch: u64,
+    inserted_at: u64,
+    env: Arc<EnvironmentDescription>,
+}
+
+/// Environment-description cache keyed by site name + config epoch, with
+/// an optional TTL on a logical clock (the service advances the clock once
+/// per admitted request, so `ttl` is "requests of staleness tolerated").
+pub struct EdcCache {
+    /// 0 = entries never expire by age (epoch invalidation still applies).
+    ttl: u64,
+    clock: AtomicU64,
+    entries: Mutex<HashMap<String, EdcEntry>>,
+    epochs: Mutex<HashMap<String, u64>>,
+    counters: LayerCounters,
+}
+
+impl EdcCache {
+    /// New cache; `ttl` is in logical clock ticks (0 = no expiry).
+    pub fn new(ttl: u64) -> Self {
+        EdcCache {
+            ttl,
+            clock: AtomicU64::new(0),
+            entries: Mutex::new(HashMap::new()),
+            epochs: Mutex::new(HashMap::new()),
+            counters: LayerCounters::default(),
+        }
+    }
+
+    /// Advance the logical clock by one tick and return the new value.
+    pub fn advance_clock(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// The current configuration epoch of `site` (0 until invalidated).
+    pub fn epoch(&self, site: &str) -> u64 {
+        *self
+            .epochs
+            .lock()
+            .expect("edc epochs")
+            .get(site)
+            .unwrap_or(&0)
+    }
+
+    /// Bump `site`'s configuration epoch, orphaning any cached entry (the
+    /// "site was reconfigured" signal). Returns the new epoch.
+    pub fn invalidate(&self, site: &str) -> u64 {
+        let mut epochs = self.epochs.lock().expect("edc epochs");
+        let e = epochs.entry(site.to_string()).or_insert(0);
+        *e += 1;
+        *e
+    }
+
+    /// Look up the environment description for `site`, honoring epoch and
+    /// TTL.
+    pub fn get(&self, site: &str) -> Option<Arc<EnvironmentDescription>> {
+        let now = self.clock.load(Ordering::Relaxed);
+        let epoch = self.epoch(site);
+        let entries = self.entries.lock().expect("edc entries");
+        let hit = entries.get(site).and_then(|e| {
+            if e.epoch != epoch {
+                return None; // site reconfigured since this was described
+            }
+            if self.ttl > 0 && now.saturating_sub(e.inserted_at) > self.ttl {
+                return None; // older than the staleness budget
+            }
+            Some(e.env.clone())
+        });
+        match &hit {
+            Some(_) => self.counters.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.counters.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    /// Insert a description for `site` at the current epoch and clock.
+    pub fn put(&self, site: &str, env: Arc<EnvironmentDescription>) {
+        let entry = EdcEntry {
+            epoch: self.epoch(site),
+            inserted_at: self.clock.load(Ordering::Relaxed),
+            env,
+        };
+        self.entries
+            .lock()
+            .expect("edc entries")
+            .insert(site.to_string(), entry);
+    }
+
+    /// Record an insertion refused by the poisoning guard.
+    pub fn reject(&self) {
+        self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Is there a live (current-epoch, unexpired) entry for `site`? Does
+    /// not touch the hit/miss counters — for tests and introspection.
+    pub fn contains(&self, site: &str) -> bool {
+        let now = self.clock.load(Ordering::Relaxed);
+        let epoch = self.epoch(site);
+        self.entries
+            .lock()
+            .expect("edc entries")
+            .get(site)
+            .is_some_and(|e| {
+                e.epoch == epoch && (self.ttl == 0 || now.saturating_sub(e.inserted_at) <= self.ttl)
+            })
+    }
+
+    /// Hit/miss/reject totals so far.
+    pub fn stats(&self) -> CacheLayerStats {
+        self.counters.snapshot()
+    }
+}
+
+/// The cache bundle threaded through [`crate::phases::PhaseConfig`].
+///
+/// `PhaseConfig::caches = None` (the default) keeps every phase exactly as
+/// uncached — the CLI and the evaluation sweep pay nothing. The service
+/// layer installs one shared `PhaseCaches` across all workers.
+pub struct PhaseCaches {
+    pub bdc: BdcCache,
+    pub edc: EdcCache,
+}
+
+impl std::fmt::Debug for PhaseCaches {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PhaseCaches")
+            .field("bdc", &self.bdc.stats())
+            .field("edc", &self.edc.stats())
+            .finish()
+    }
+}
+
+impl PhaseCaches {
+    /// New cache bundle; `edc_ttl` in logical ticks (0 = no expiry).
+    pub fn new(edc_ttl: u64) -> Self {
+        PhaseCaches {
+            bdc: BdcCache::default(),
+            edc: EdcCache::new(edc_ttl),
+        }
+    }
+
+    /// Shorthands used by the phases.
+    pub fn bdc_get(&self, hash: u64) -> Option<Arc<BinaryDescription>> {
+        self.bdc.get(hash)
+    }
+
+    pub fn bdc_put(&self, hash: u64, desc: Arc<BinaryDescription>) {
+        self.bdc.put(hash, desc);
+    }
+
+    pub fn edc_get(&self, site: &str) -> Option<Arc<EnvironmentDescription>> {
+        self.edc.get(site)
+    }
+
+    pub fn edc_put(&self, site: &str, env: Arc<EnvironmentDescription>) {
+        self.edc.put(site, env);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env_desc(site: &str) -> Arc<EnvironmentDescription> {
+        Arc::new(EnvironmentDescription {
+            isa: "x86_64".into(),
+            arch: Some(feam_elf::HostArch::X86_64),
+            os: format!("os-of-{site}"),
+            c_library: feam_elf::VersionName::parse("GLIBC_2.5"),
+            env_mgmt: None,
+            available_stacks: vec![],
+            loaded_stack: None,
+            unobserved: vec![],
+        })
+    }
+
+    fn bin_desc() -> Arc<BinaryDescription> {
+        let mut spec =
+            feam_elf::ElfSpec::executable(feam_elf::Machine::X86_64, feam_elf::Class::Elf64);
+        spec.needed = vec!["libc.so.6".into()];
+        let bytes = spec.build().unwrap();
+        Arc::new(BinaryDescription::from_bytes("/tmp/app", &bytes).unwrap())
+    }
+
+    #[test]
+    fn bdc_cache_round_trips_by_hash() {
+        let c = BdcCache::default();
+        let d = bin_desc();
+        assert!(c.get(d.content_hash).is_none());
+        c.put(d.content_hash, d.clone());
+        let got = c.get(d.content_hash).unwrap();
+        assert_eq!(got.content_hash, d.content_hash);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn bdc_cache_spreads_across_shards() {
+        let c = BdcCache::default();
+        for h in 0..64u64 {
+            c.put(h, bin_desc());
+        }
+        assert_eq!(c.len(), 64);
+        let populated = c
+            .shards
+            .iter()
+            .filter(|s| !s.lock().unwrap().is_empty())
+            .count();
+        assert_eq!(populated, BDC_SHARDS, "sequential hashes fill every shard");
+    }
+
+    #[test]
+    fn edc_epoch_invalidation_orphans_entries() {
+        let c = EdcCache::new(0);
+        c.put("ranger", env_desc("ranger"));
+        assert!(c.get("ranger").is_some());
+        let e = c.invalidate("ranger");
+        assert_eq!(e, 1);
+        assert!(c.get("ranger").is_none(), "stale epoch must not serve");
+        // Re-described at the new epoch: serves again.
+        c.put("ranger", env_desc("ranger"));
+        assert!(c.get("ranger").is_some());
+    }
+
+    #[test]
+    fn edc_ttl_expires_on_logical_clock() {
+        let c = EdcCache::new(5);
+        c.put("india", env_desc("india"));
+        for _ in 0..5 {
+            c.advance_clock();
+        }
+        assert!(c.get("india").is_some(), "within the staleness budget");
+        c.advance_clock();
+        assert!(c.get("india").is_none(), "expired after ttl ticks");
+        assert!(!c.contains("india"));
+    }
+
+    #[test]
+    fn edc_zero_ttl_never_expires() {
+        let c = EdcCache::new(0);
+        c.put("fir", env_desc("fir"));
+        for _ in 0..10_000 {
+            c.advance_clock();
+        }
+        assert!(c.get("fir").is_some());
+    }
+
+    #[test]
+    fn env_gate_parses_common_spellings() {
+        // Only exercises the parser, not the process environment.
+        for off in ["0", "false", "off", "no"] {
+            assert!(matches!(off, "0" | "false" | "off" | "no"));
+        }
+    }
+}

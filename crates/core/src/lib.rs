@@ -42,6 +42,7 @@
 
 pub mod bdc;
 pub mod bundle;
+pub mod cache;
 pub mod config;
 pub mod edc;
 pub mod error;
@@ -54,6 +55,7 @@ pub mod tec;
 
 pub use bdc::{identify_mpi, BinaryDescription, MpiIdentification};
 pub use bundle::SourceBundle;
+pub use cache::{CacheLayerStats, PhaseCaches};
 pub use config::{ConfigError, ConfigFile};
 pub use edc::{discover, EnvironmentDescription};
 pub use error::{FeamError, Result};

@@ -53,6 +53,10 @@ pub struct PhaseConfig {
     /// Trace/metrics recorder threaded through both phases. Defaults to
     /// the disabled recorder, which costs one branch per call site.
     pub recorder: feam_obs::Recorder,
+    /// Shared description caches for the serving layer (`feam-svc`).
+    /// `None` (the default) disables memoization entirely, so CLI and
+    /// sweep behavior is bit-for-bit what it was before caching existed.
+    pub caches: Option<Arc<crate::cache::PhaseCaches>>,
 }
 
 impl Default for PhaseConfig {
@@ -68,8 +72,69 @@ impl Default for PhaseConfig {
             disable_transported_tests: false,
             disable_resolution: false,
             recorder: feam_obs::Recorder::disabled(),
+            caches: None,
         }
     }
+}
+
+/// Describe a binary whose bytes are already in hand, going through the
+/// content-addressed BDC cache when one is configured.
+///
+/// On a hit the cached description is reused with only the site-local
+/// `path` rewritten. On a miss the description is computed through the
+/// session (so injected faults still apply) and inserted **only** when no
+/// fault fired during the computation — a degraded read must be served to
+/// its requester but never memoized.
+fn describe_binary_cached(
+    sess: &Session<'_>,
+    path: &str,
+    image: &Arc<Vec<u8>>,
+    cfg: &PhaseConfig,
+) -> Result<BinaryDescription> {
+    let Some(caches) = cfg.caches.as_deref() else {
+        return BinaryDescription::from_session(sess, path);
+    };
+    let hash = feam_sim::rng::fnv1a(image);
+    if let Some(d) = caches.bdc_get(hash) {
+        sess.recorder.count("cache.bdc.hit", 1);
+        let mut d = (*d).clone();
+        d.path = path.to_string();
+        return Ok(d);
+    }
+    sess.recorder.count("cache.bdc.miss", 1);
+    let before = sess.faults_seen.get();
+    let d = BinaryDescription::from_session(sess, path)?;
+    if sess.faults_seen.get() == before {
+        caches.bdc_put(hash, Arc::new(d.clone()));
+    } else {
+        caches.bdc.reject();
+    }
+    Ok(d)
+}
+
+/// Discover the session's environment, going through the per-site EDC
+/// cache when one is configured.
+///
+/// Same poisoning guard as the BDC path: a discovery that saw an injected
+/// fault or left `unobserved` holes is returned but never cached.
+fn discover_cached(sess: &mut Session<'_>, cfg: &PhaseConfig) -> EnvironmentDescription {
+    let Some(caches) = cfg.caches.as_deref() else {
+        return edc::discover_with_retry(sess, &cfg.retry);
+    };
+    let site = sess.site.name().to_string();
+    if let Some(env) = caches.edc_get(&site) {
+        sess.recorder.count("cache.edc.hit", 1);
+        return (*env).clone();
+    }
+    sess.recorder.count("cache.edc.miss", 1);
+    let before = sess.faults_seen.get();
+    let env = edc::discover_with_retry(sess, &cfg.retry);
+    if sess.faults_seen.get() == before && env.unobserved.is_empty() {
+        caches.edc_put(&site, Arc::new(env.clone()));
+    } else {
+        caches.edc.reject();
+    }
+    env
 }
 
 impl PhaseConfig {
@@ -119,11 +184,11 @@ pub fn run_source_phase(
     sess.stage_file(app_path, binary.clone());
     let app = {
         let _span = rec.span("bdc");
-        BinaryDescription::from_session(&sess, app_path)?
+        describe_binary_cached(&sess, app_path, binary, cfg)?
     };
     let gee_env = {
         let _span = rec.span("edc");
-        edc::discover_with_retry(&mut sess, &cfg.retry)
+        discover_cached(&mut sess, cfg)
     };
 
     // Match the application to a GEE stack: same MPI implementation and,
@@ -159,7 +224,7 @@ pub fn run_source_phase(
     // running the app's own dependency scan under it, then collect copies.
     let libraries = {
         let _span = rec.span("bdc.collect_libraries");
-        bdc::collect_libraries(&mut sess, app_path)?
+        bdc::collect_libraries_cached(&mut sess, app_path, cfg.caches.as_deref())?
     };
 
     // Compile hello worlds with the application's stack for transport.
@@ -232,13 +297,13 @@ pub fn run_target_phase(
     let mut sess = cfg.session(target);
     let environment = {
         let _span = rec.span("edc");
-        edc::discover_with_retry(&mut sess, &cfg.retry)
+        discover_cached(&mut sess, cfg)
     };
     let description: BinaryDescription = match (binary, bundle) {
         (Some(image), _) => {
             let _span = rec.span("bdc");
             sess.stage_file(tec::APP_PATH, (*image).clone());
-            match BinaryDescription::from_session(&sess, tec::APP_PATH) {
+            match describe_binary_cached(&sess, tec::APP_PATH, image, cfg) {
                 Ok(d) => d,
                 // Graceful degradation: the staged binary could not be read
                 // back (injected VFS fault or corrupt copy). Fall back to
@@ -343,6 +408,7 @@ fn empty_description() -> BinaryDescription {
         build_env: Default::default(),
         abi_tag: None,
         size: 0,
+        content_hash: 0,
     }
 }
 
@@ -526,6 +592,86 @@ mod tests {
         let image = build_at(&sites, RANGER, 1);
         let outcome = run_target_phase(&sites[INDIA], Some(&image), None, &PhaseConfig::default());
         assert!(outcome.telemetry.is_empty(), "no recorder, no telemetry");
+    }
+
+    #[test]
+    fn cached_target_phase_reuses_descriptions_and_matches_uncached() {
+        let sites = standard_sites(23);
+        let image = build_at(&sites, RANGER, 1);
+        let india = &sites[INDIA];
+        let uncached = run_target_phase(india, Some(&image), None, &PhaseConfig::default());
+
+        let caches = Arc::new(crate::cache::PhaseCaches::new(0));
+        let cfg = PhaseConfig {
+            caches: Some(caches.clone()),
+            ..PhaseConfig::default()
+        };
+        let first = run_target_phase(india, Some(&image), None, &cfg);
+        let second = run_target_phase(india, Some(&image), None, &cfg);
+
+        // Warm run hits both layers; descriptions now populate the caches.
+        assert_eq!(caches.bdc.stats().misses, 1, "one cold BDC lookup");
+        assert!(caches.bdc.stats().hits >= 1, "warm run must hit the BDC");
+        assert_eq!(caches.edc.stats().misses, 1, "one cold EDC lookup");
+        assert!(caches.edc.stats().hits >= 1, "warm run must hit the EDC");
+
+        // Caching is an optimization, not a semantic change.
+        for outcome in [&first, &second] {
+            assert_eq!(outcome.prediction.ready(), uncached.prediction.ready());
+            assert_eq!(
+                outcome.prediction.verdicts.len(),
+                uncached.prediction.verdicts.len()
+            );
+            assert_eq!(outcome.binary.content_hash, uncached.binary.content_hash);
+        }
+    }
+
+    #[test]
+    fn faulted_computations_never_poison_caches() {
+        let sites = standard_sites(23);
+        let image = build_at(&sites, RANGER, 1);
+        let india = &sites[INDIA];
+        let caches = Arc::new(crate::cache::PhaseCaches::new(0));
+
+        // Persistent faults on every VFS read and every EDC observation:
+        // the staged binary is unreadable and the environment description
+        // degrades. The degraded outputs must be served but never inserted
+        // into the shared caches.
+        let plan = feam_sim::faults::FaultPlan {
+            vfs_read: feam_sim::faults::FaultPlan::persistent_vfs(77, 1.0).vfs_read,
+            ..feam_sim::faults::FaultPlan::persistent_edc(77, 1.0)
+        };
+        let chaotic = PhaseConfig {
+            caches: Some(caches.clone()),
+            faults: Arc::new(plan),
+            ..PhaseConfig::default()
+        };
+        let degraded = run_target_phase(india, Some(&image), None, &chaotic);
+        assert!(
+            caches.bdc.is_empty(),
+            "faulted BDC computation must not be memoized"
+        );
+        assert!(
+            !caches.edc.contains(india.name()),
+            "degraded EDC discovery must not be memoized"
+        );
+        assert!(caches.bdc.stats().rejected + caches.edc.stats().rejected > 0);
+
+        // A fault-free run afterwards fills the caches with clean entries
+        // and is not contaminated by the degraded run.
+        let clean = PhaseConfig {
+            caches: Some(caches.clone()),
+            ..PhaseConfig::default()
+        };
+        let healthy = run_target_phase(india, Some(&image), None, &clean);
+        assert!(!caches.bdc.is_empty(), "clean description is cached");
+        assert!(caches.edc.contains(india.name()));
+        assert!(healthy.environment.unobserved.is_empty());
+        assert_ne!(
+            degraded.environment.unobserved.len(),
+            0,
+            "chaotic run really was degraded"
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub mod effort;
 pub mod experiment;
 pub mod mode_ablation;
 pub mod recompile;
+pub mod serve;
 pub mod tables;
 pub mod telemetry;
 
@@ -27,6 +28,7 @@ pub use effort::{effort, render_effort, EffortReport};
 pub use experiment::{EvalResults, ExcludedPair, Experiment, MigrationRecord};
 pub use mode_ablation::{mode_ablation, render_mode_ablation, ModeRow};
 pub use recompile::{recompile_comparison, render_recompile, RecompileComparison};
+pub use serve::{build_service, render_serve, serve_bench};
 pub use tables::{
     ablation, confusion, per_site, render_ablation, render_confusion, render_figure,
     render_per_site, render_stats, render_table1, render_table2, render_table3, render_table4,

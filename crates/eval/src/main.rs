@@ -3,9 +3,14 @@
 //! ```text
 //! feam-eval [--seed N] [--table 1|2|3|4] [--figure 1|2|3|4]
 //!           [--stats] [--ablation] [--chaos RATE] [--json PATH] [--all]
+//! feam-eval --serve-bench [--quick] [--seed N] [--json PATH]
+//!           [--max-p99-us N] [--min-hit-rate F]
 //! ```
 //!
 //! With no selection flags, prints everything (`--all`).
+//! `--serve-bench` runs the `feam-svc` serving benchmark instead of the
+//! table machinery; the threshold flags turn it into a CI gate (non-zero
+//! exit when cached p99 latency or the result-cache hit rate regress).
 
 use feam_eval::{
     ablation, confusion, per_site, render_ablation, render_confusion, render_figure,
@@ -26,6 +31,10 @@ struct Args {
     chaos: Option<f64>,
     json: Option<String>,
     all: bool,
+    serve_bench: bool,
+    quick: bool,
+    max_p99_us: Option<u64>,
+    min_hit_rate: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -42,6 +51,10 @@ fn parse_args() -> Args {
         chaos: None,
         json: None,
         all: false,
+        serve_bench: false,
+        quick: false,
+        max_p99_us: None,
+        min_hit_rate: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(a) = iter.next() {
@@ -80,6 +93,23 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|| die("--chaos needs a fault rate in [0, 1]")),
                 );
             }
+            "--serve-bench" => args.serve_bench = true,
+            "--quick" => args.quick = true,
+            "--max-p99-us" => {
+                args.max_p99_us = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--max-p99-us needs microseconds")),
+                );
+            }
+            "--min-hit-rate" => {
+                args.min_hit_rate = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|r| (0.0..=1.0).contains(r))
+                        .unwrap_or_else(|| die("--min-hit-rate needs a fraction in [0, 1]")),
+                );
+            }
             "--stats" => args.want_stats = true,
             "--ablation" => args.want_ablation = true,
             "--recompile" => args.want_recompile = true,
@@ -93,7 +123,9 @@ fn parse_args() -> Args {
                 println!(
                     "feam-eval [--seed N] [--seeds K] [--table 1|2|3|4] [--figure 1|2|3|4] \
                      [--stats] [--ablation] [--recompile] [--telemetry] [--chaos RATE] \
-                     [--json PATH] [--all]"
+                     [--json PATH] [--all]\n\
+                     feam-eval --serve-bench [--quick] [--seed N] [--json PATH] \
+                     [--max-p99-us N] [--min-hit-rate F]"
                 );
                 std::process::exit(0);
             }
@@ -107,6 +139,7 @@ fn parse_args() -> Args {
         && !args.want_recompile
         && !args.want_mode_ablation
         && !args.want_telemetry
+        && !args.serve_bench
         && args.chaos.is_none()
     {
         args.all = true;
@@ -119,8 +152,54 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// `--serve-bench`: run the serving benchmark, optionally gate on
+/// thresholds, optionally write the JSON report. Exits the process.
+fn serve_bench_main(args: &Args) -> ! {
+    eprintln!(
+        "serving benchmark (seed {}, {}) ...",
+        args.seed,
+        if args.quick { "quick" } else { "standard" }
+    );
+    let cmp = feam_eval::serve_bench(args.seed, args.quick);
+    print!("{}", feam_eval::render_serve(&cmp));
+    if let Some(path) = &args.json {
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&serde_json::to_value(&cmp).expect("serialize"))
+                .expect("serialize"),
+        )
+        .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        eprintln!("wrote {path}");
+    }
+    let mut failed = false;
+    if let Some(max) = args.max_p99_us {
+        if cmp.cached.p99_us > max {
+            eprintln!(
+                "FAIL: cached p99 {}us exceeds threshold {}us",
+                cmp.cached.p99_us, max
+            );
+            failed = true;
+        }
+    }
+    if let Some(min) = args.min_hit_rate {
+        let hit_rate = cmp.cached.result_cache_hits as f64 / cmp.cached.completed.max(1) as f64;
+        if hit_rate < min {
+            eprintln!("FAIL: result-cache hit rate {hit_rate:.3} below threshold {min:.3}");
+            failed = true;
+        }
+    }
+    if !cmp.equivalent {
+        eprintln!("FAIL: cached and uncached predictions diverged");
+        failed = true;
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}
+
 fn main() {
     let args = parse_args();
+    if args.serve_bench {
+        serve_bench_main(&args);
+    }
     // Figures need no experiment run.
     for f in &args.figures {
         print!("{}", render_figure(*f));

@@ -1,0 +1,143 @@
+//! `feam-eval --serve-bench`: drive the [`feam_svc`] prediction service
+//! with the deterministic Zipf-skewed workload and report throughput,
+//! latency percentiles, cache hit rates and cached-vs-uncached
+//! equivalence. The committed baseline lives in `BENCH_serve.json`.
+
+use feam_svc::{
+    BenchParams, PredictService, RegisteredBinary, ServeBenchComparison, ServiceConfig,
+};
+
+/// Build a service over the standard testbed with a deterministic,
+/// popularity-ranked subset of the evaluation corpus registered.
+///
+/// The subset strides through the corpus (rather than taking a prefix) so
+/// it spans suites, home sites and MPI stacks; its order — and therefore
+/// which binaries the Zipf head lands on — depends only on `seed`.
+pub fn build_service(seed: u64, binaries: usize, caching: bool) -> PredictService {
+    let exp = crate::Experiment::new(seed);
+    let cfg = ServiceConfig {
+        caching,
+        sites_seed: seed,
+        ..ServiceConfig::default()
+    };
+    let mut svc = PredictService::with_sites(cfg, exp.sites);
+    let items = exp.corpus.binaries();
+    let stride = (items.len() / binaries.max(1)).max(1);
+    let site_names: Vec<String> = svc.site_names();
+    for (rank, item) in items.iter().step_by(stride).take(binaries).enumerate() {
+        let home = site_names
+            .get(item.compiled_at)
+            .cloned()
+            .unwrap_or_else(|| site_names[0].clone());
+        // Rank prefix makes registry order (and so Zipf popularity)
+        // deterministic and independent of corpus label collisions.
+        svc.register_binary(
+            &format!("{rank:03}-{}", item.label()),
+            RegisteredBinary::new(item.image.clone(), &home),
+        );
+    }
+    svc
+}
+
+/// Run the serving benchmark at `seed`; `quick` selects the CI-sized
+/// stream.
+pub fn serve_bench(seed: u64, quick: bool) -> ServeBenchComparison {
+    let params = if quick {
+        BenchParams::quick(seed)
+    } else {
+        BenchParams::standard(seed)
+    };
+    feam_svc::run_serve_bench(&params, |caching| {
+        build_service(seed, params.binaries, caching)
+    })
+}
+
+/// Human-readable report.
+pub fn render_serve(cmp: &ServeBenchComparison) -> String {
+    let mut out = String::new();
+    out.push_str("SERVING BENCHMARK (Zipf-skewed request stream)\n");
+    for r in [&cmp.cached, &cmp.uncached] {
+        out.push_str(&format!(
+            "  {:<9} {:>6} reqs in {:>7.2}s  {:>9.1} req/s  p50 {:>8}us p95 {:>8}us p99 {:>8}us\n",
+            if r.caching { "cached" } else { "uncached" },
+            r.completed,
+            r.wall_seconds,
+            r.throughput_rps,
+            r.p50_us,
+            r.p95_us,
+            r.p99_us,
+        ));
+    }
+    let c = &cmp.cached;
+    out.push_str(&format!(
+        "  cache hit rates: result {:.1}%  bdc {:.1}%  edc {:.1}%  (coalesced {}, shed {})\n",
+        100.0 * c.result_cache_hits as f64 / c.completed.max(1) as f64,
+        100.0 * c.bdc_hit_rate,
+        100.0 * c.edc_hit_rate,
+        c.coalesced,
+        c.shed,
+    ));
+    out.push_str(&format!(
+        "  speedup {:.1}x, predictions {} across cached/uncached twins\n",
+        cmp.speedup,
+        if cmp.equivalent {
+            "byte-identical"
+        } else {
+            "DIVERGED"
+        },
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_service_registers_the_requested_subset() {
+        let svc = build_service(5, 6, true);
+        assert_eq!(svc.registered(), 6);
+        assert!(svc.caches().is_some());
+        let names = svc.binary_names();
+        assert_eq!(names.len(), 6);
+        assert!(
+            names[0].starts_with("000-"),
+            "rank-prefixed: {:?}",
+            names[0]
+        );
+        // Deterministic: same seed, same registry.
+        assert_eq!(build_service(5, 6, false).binary_names(), names);
+    }
+
+    #[test]
+    fn render_serve_is_stable_shape() {
+        use feam_svc::ServeBenchReport;
+        let report = |caching: bool| ServeBenchReport {
+            seed: 1,
+            caching,
+            requests: 10,
+            completed: 10,
+            shed: 0,
+            result_cache_hits: if caching { 8 } else { 0 },
+            coalesced: 0,
+            wall_seconds: 0.5,
+            throughput_rps: 20.0,
+            p50_us: 100,
+            p95_us: 200,
+            p99_us: 300,
+            bdc_hit_rate: 0.9,
+            edc_hit_rate: 0.8,
+        };
+        let cmp = feam_svc::ServeBenchComparison {
+            cached: report(true),
+            uncached: report(false),
+            speedup: 6.0,
+            equivalent: true,
+        };
+        let s = render_serve(&cmp);
+        assert!(s.contains("speedup 6.0x"));
+        assert!(s.contains("byte-identical"));
+        assert!(s.contains("cached"));
+        assert!(s.contains("uncached"));
+    }
+}

@@ -1,0 +1,75 @@
+//! Golden test for the trace-rendering path: a small hand-written JSONL
+//! trace must parse and render to an exactly pinned breakdown table.
+//!
+//! `render_breakdown` is what `feam demo --trace` shows users; its column
+//! layout, duration formatting (us/ms/s), share arithmetic and footer are
+//! all load-bearing output. This pins the full rendered string so an
+//! accidental format change fails loudly instead of silently reshaping
+//! the table.
+
+use feam_obs::trace::{parse_trace, render_breakdown, span_tree};
+
+/// A target-phase-shaped trace with fixed timestamps: a 2.5s root, three
+/// component children (one sub-millisecond, to pin the `us` formatting),
+/// a nested grandchild, and three instant events.
+const TRACE: &str = r#"
+{"ts_us":1000,"kind":"span_start","name":"target_phase","span":1,"parent":null}
+{"ts_us":2000,"kind":"span_start","name":"edc","span":2,"parent":1}
+{"ts_us":52000,"kind":"span_end","name":"edc","span":2,"parent":1,"dur_us":50000}
+{"ts_us":60000,"kind":"span_start","name":"bdc","span":3,"parent":1}
+{"ts_us":60100,"kind":"event","name":"library","span":3,"fields":{"name":"libmpi.so.0"}}
+{"ts_us":60200,"kind":"event","name":"library","span":3,"fields":{"name":"libgfortran.so.1"}}
+{"ts_us":60900,"kind":"span_end","name":"bdc","span":3,"parent":1,"dur_us":900}
+{"ts_us":70000,"kind":"span_start","name":"tec","span":4,"parent":1}
+{"ts_us":80000,"kind":"span_start","name":"tec.stack_test","span":5,"parent":4}
+{"ts_us":90000,"kind":"event","name":"launch","span":5,"fields":{"nprocs":4,"ok":true}}
+{"ts_us":1330000,"kind":"span_end","name":"tec.stack_test","span":5,"parent":4,"dur_us":1250000}
+{"ts_us":2070000,"kind":"span_end","name":"tec","span":4,"parent":1,"dur_us":2000000}
+{"ts_us":2501000,"kind":"span_end","name":"target_phase","span":1,"parent":null,"dur_us":2500000}
+
+this line is not json and must be skipped
+{"kind":"bogus","ts_us":1,"name":"x"}
+"#;
+
+const GOLDEN: &str = "\
+span                                             duration   share  events
+-------------------------------------------- ------------ ------- -------
+target_phase                                        2.50s  100.0%       0
+  edc                                             50.00ms    2.0%       0
+  bdc                                               900us    0.0%       2
+  tec                                               2.00s   80.0%       0
+    tec.stack_test                                  1.25s   50.0%       1
+
+5 spans, 3 events, 2.50s total
+";
+
+#[test]
+fn breakdown_table_matches_golden() {
+    let events = parse_trace(TRACE);
+    assert_eq!(events.len(), 13, "malformed lines skipped, valid ones kept");
+    assert_eq!(render_breakdown(&events), GOLDEN);
+}
+
+#[test]
+fn golden_trace_parses_into_the_expected_tree() {
+    let events = parse_trace(TRACE);
+    let spans = span_tree(&events);
+    assert_eq!(spans.len(), 5);
+    let by_name = |n: &str| spans.iter().find(|s| s.name == n).unwrap();
+    assert_eq!(by_name("target_phase").depth, 0);
+    assert_eq!(by_name("edc").depth, 1);
+    assert_eq!(by_name("tec.stack_test").depth, 2);
+    assert_eq!(by_name("tec.stack_test").parent, Some(4));
+    assert_eq!(by_name("bdc").events, 2);
+    assert_eq!(by_name("bdc").dur_us, 900);
+    assert_eq!(by_name("target_phase").dur_us, 2_500_000);
+}
+
+#[test]
+fn empty_trace_renders_placeholder() {
+    assert_eq!(render_breakdown(&[]), "trace contains no spans\n");
+    assert_eq!(
+        render_breakdown(&parse_trace("garbage\n")),
+        "trace contains no spans\n"
+    );
+}

@@ -184,17 +184,48 @@ impl FaultPlan {
     /// unit tests keep passing while the retry paths stay exercised.
     /// Returns [`FaultPlan::none`] when the rate is unset or unparsable.
     pub fn from_env() -> Self {
-        let rate = match std::env::var("FEAM_CHAOS_RATE")
-            .ok()
-            .and_then(|v| v.parse::<f64>().ok())
-        {
-            Some(r) if r > 0.0 => r,
-            _ => return FaultPlan::none(),
+        Self::from_env_values(
+            std::env::var("FEAM_CHAOS_RATE").ok().as_deref(),
+            std::env::var("FEAM_CHAOS_SEED").ok().as_deref(),
+        )
+    }
+
+    /// The testable core of [`FaultPlan::from_env`]: build a plan from the
+    /// raw variable values. Malformed input never panics — an empty,
+    /// non-numeric, negative or non-finite rate falls back to the silent
+    /// plan with a stderr warning, a rate above 1.0 clamps to 1.0, and a
+    /// malformed seed falls back to seed 1.
+    pub fn from_env_values(rate: Option<&str>, seed: Option<&str>) -> Self {
+        let Some(raw_rate) = rate.map(str::trim).filter(|r| !r.is_empty()) else {
+            return FaultPlan::none();
         };
-        let seed = std::env::var("FEAM_CHAOS_SEED")
-            .ok()
-            .and_then(|v| v.parse::<u64>().ok())
-            .unwrap_or(1);
+        let rate = match raw_rate.parse::<f64>() {
+            Ok(r) if r.is_finite() && r > 1.0 => {
+                eprintln!("feam-sim: FEAM_CHAOS_RATE={raw_rate} is above 1.0; clamping to 1.0");
+                1.0
+            }
+            Ok(r) if r.is_finite() && r > 0.0 => r,
+            Ok(r) => {
+                if r != 0.0 {
+                    eprintln!(
+                        "feam-sim: FEAM_CHAOS_RATE={raw_rate} is not a probability in [0, 1]; \
+                         chaos disabled"
+                    );
+                }
+                return FaultPlan::none();
+            }
+            Err(_) => {
+                eprintln!("feam-sim: FEAM_CHAOS_RATE={raw_rate} is not a number; chaos disabled");
+                return FaultPlan::none();
+            }
+        };
+        let seed = match seed.map(str::trim).filter(|s| !s.is_empty()) {
+            None => 1,
+            Some(raw) => raw.parse::<u64>().unwrap_or_else(|_| {
+                eprintln!("feam-sim: FEAM_CHAOS_SEED={raw} is not a u64; using seed 1");
+                1
+            }),
+        };
         let r = FaultRate {
             transient: rate,
             persistent: 0.0,
@@ -327,6 +358,56 @@ mod tests {
         // Both keys fault at roughly the configured rate.
         assert!(hits_a > 0 && hits_a < 64);
         assert!(hits_b > 0 && hits_b < 64);
+    }
+
+    #[test]
+    fn env_plan_parses_well_formed_values() {
+        let p = FaultPlan::from_env_values(Some("0.05"), Some("7"));
+        assert_eq!(p.seed, 7);
+        assert_eq!(p.probe_compile.transient, 0.05);
+        assert_eq!(p.daemon_spawn.transient, 0.05);
+        assert_eq!(p.queue_submit.transient, 0.05);
+        assert!(p.vfs_read.is_zero(), "VFS reads stay out of ambient chaos");
+    }
+
+    #[test]
+    fn env_plan_unset_or_empty_rate_is_silent() {
+        assert!(FaultPlan::from_env_values(None, None).is_none());
+        assert!(FaultPlan::from_env_values(Some(""), Some("3")).is_none());
+        assert!(FaultPlan::from_env_values(Some("   "), None).is_none());
+        assert!(FaultPlan::from_env_values(Some("0"), None).is_none());
+        assert!(FaultPlan::from_env_values(Some("0.0"), None).is_none());
+    }
+
+    #[test]
+    fn env_plan_non_numeric_rate_disables_chaos() {
+        assert!(FaultPlan::from_env_values(Some("lots"), None).is_none());
+        assert!(FaultPlan::from_env_values(Some("0.05%"), None).is_none());
+        assert!(FaultPlan::from_env_values(Some("NaN"), None).is_none());
+    }
+
+    #[test]
+    fn env_plan_negative_rate_disables_chaos() {
+        assert!(FaultPlan::from_env_values(Some("-0.3"), None).is_none());
+        assert!(FaultPlan::from_env_values(Some("-inf"), None).is_none());
+    }
+
+    #[test]
+    fn env_plan_rate_above_one_clamps() {
+        let p = FaultPlan::from_env_values(Some("1.7"), None);
+        assert_eq!(p.probe_compile.transient, 1.0);
+        let p = FaultPlan::from_env_values(Some("inf"), None);
+        assert!(p.is_none(), "a non-finite rate cannot clamp meaningfully");
+    }
+
+    #[test]
+    fn env_plan_malformed_seed_falls_back_to_one() {
+        let p = FaultPlan::from_env_values(Some("0.1"), Some("not-a-seed"));
+        assert_eq!(p.seed, 1);
+        let p = FaultPlan::from_env_values(Some("0.1"), Some("-4"));
+        assert_eq!(p.seed, 1);
+        let p = FaultPlan::from_env_values(Some("0.1"), Some(""));
+        assert_eq!(p.seed, 1);
     }
 
     #[test]

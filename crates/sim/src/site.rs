@@ -588,6 +588,10 @@ pub struct Session<'s> {
     /// chokepoint this session touches. Defaults to the process-wide plan
     /// from `FEAM_CHAOS_RATE`/`FEAM_CHAOS_SEED` (silent when unset).
     pub faults: Arc<crate::faults::FaultPlan>,
+    /// Number of injected faults that actually fired in this session.
+    /// Cache layers compare before/after counts to refuse memoizing any
+    /// computation a fault touched (see `feam-core::cache`).
+    pub faults_seen: std::cell::Cell<u64>,
 }
 
 impl<'s> Session<'s> {
@@ -600,6 +604,7 @@ impl<'s> Session<'s> {
             cpu_seconds: 0.0,
             recorder: feam_obs::Recorder::disabled(),
             faults: crate::faults::default_plan(),
+            faults_seen: std::cell::Cell::new(0),
         }
     }
 
@@ -631,6 +636,7 @@ impl<'s> Session<'s> {
         // not globally for every session sharing the plan seed.
         let scoped = format!("{}:{}", self.site.name(), key);
         let kind = self.faults.roll(c, &scoped, attempt)?;
+        self.faults_seen.set(self.faults_seen.get() + 1);
         self.recorder.event(
             "fault_injected",
             &[
@@ -662,6 +668,15 @@ impl<'s> Session<'s> {
     pub fn stage_file(&mut self, path: &str, bytes: Arc<Vec<u8>>) {
         self.staged.insert(crate::vfs::normalize(path), bytes);
         self.charge(0.01);
+    }
+
+    /// Stable content hash of a staged file (the content-addressed cache
+    /// identity of a migrated binary). Reads the overlay directly, so
+    /// injected VFS faults cannot perturb the identity of the bytes.
+    pub fn staged_content_hash(&self, path: &str) -> Option<u64> {
+        self.staged
+            .get(&crate::vfs::normalize(path))
+            .map(|b| crate::rng::fnv1a(b))
     }
 
     /// Read a file: overlay first, then the site filesystem. An injected

@@ -1,0 +1,334 @@
+//! Deterministic serving benchmark: the engine behind
+//! `feam-eval --serve-bench`.
+//!
+//! The workload models what a prediction service actually sees: a
+//! Zipf-skewed stream — a few popular binaries dominate, the tail is
+//! long — of (binary, site, mode) queries over the simulated five-site
+//! testbed. Everything is seeded: the same `BenchParams::seed` produces
+//! the same request stream, so the cached service and its cache-disabled
+//! twin answer *identical* queries and their predictions can be compared
+//! request-for-request ([`ServeBenchComparison::equivalent`]).
+//!
+//! The twin runs a deterministic prefix of the same stream (full-length
+//! uncached runs would dominate CI wall clock); throughput is reported in
+//! requests/second so the comparison is length-independent.
+
+use crate::service::{Delivery, PredictRequest, PredictService, SvcError};
+use feam_core::predict::PredictionMode;
+use feam_sim::rng;
+use std::time::Instant;
+
+/// Load-generator parameters. Everything that shapes the stream is here
+/// and seeded — two runs with equal params issue identical requests.
+#[derive(Debug, Clone)]
+pub struct BenchParams {
+    /// Master seed for the request stream.
+    pub seed: u64,
+    /// Requests issued against the cached service.
+    pub requests: usize,
+    /// Requests issued against the cache-disabled twin (a prefix of the
+    /// same stream).
+    pub uncached_requests: usize,
+    /// Distinct binaries in the popularity distribution.
+    pub binaries: usize,
+    /// Zipf skew exponent (1.0 = classic Zipf; higher = more skew).
+    pub zipf_s: f64,
+    /// Fraction of requests asking for the extended prediction.
+    pub extended_share: f64,
+    /// Requests submitted before draining responses (bounds concurrent
+    /// in-flight work; keep at or below the service's queue capacity).
+    pub wave: usize,
+}
+
+impl BenchParams {
+    /// The committed-baseline configuration (`BENCH_serve.json`).
+    pub fn standard(seed: u64) -> Self {
+        BenchParams {
+            seed,
+            requests: 4000,
+            uncached_requests: 240,
+            binaries: 24,
+            zipf_s: 1.5,
+            extended_share: 0.3,
+            wave: 32,
+        }
+    }
+
+    /// CI-sized run (`--serve-bench --quick`).
+    pub fn quick(seed: u64) -> Self {
+        BenchParams {
+            seed,
+            requests: 800,
+            uncached_requests: 80,
+            binaries: 8,
+            zipf_s: 1.5,
+            extended_share: 0.25,
+            wave: 16,
+        }
+    }
+}
+
+/// One service run's results.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ServeBenchReport {
+    pub seed: u64,
+    pub caching: bool,
+    pub requests: u64,
+    pub completed: u64,
+    /// Retryable rejections observed (each shed request was retried until
+    /// admitted, so `completed` still covers the whole stream).
+    pub shed: u64,
+    /// Requests answered straight from the result cache.
+    pub result_cache_hits: u64,
+    /// Requests adopted by an in-flight evaluation.
+    pub coalesced: u64,
+    pub wall_seconds: f64,
+    pub throughput_rps: f64,
+    pub p50_us: u64,
+    pub p95_us: u64,
+    pub p99_us: u64,
+    pub bdc_hit_rate: f64,
+    pub edc_hit_rate: f64,
+}
+
+/// Cached run vs cache-disabled twin over the same seeded stream.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ServeBenchComparison {
+    pub cached: ServeBenchReport,
+    pub uncached: ServeBenchReport,
+    /// `cached.throughput_rps / uncached.throughput_rps`.
+    pub speedup: f64,
+    /// Predictions byte-identical, request-for-request, over the shared
+    /// stream prefix.
+    pub equivalent: bool,
+}
+
+/// One request of the seeded stream.
+fn nth_request(
+    params: &BenchParams,
+    names: &[String],
+    sites: &[String],
+    i: usize,
+) -> PredictRequest {
+    let idx = i.to_string();
+    // Zipf-skewed binary popularity: rank r drawn with weight 1/r^s.
+    let n = names.len().min(params.binaries).max(1);
+    let total: f64 = (1..=n).map(|r| 1.0 / (r as f64).powf(params.zipf_s)).sum();
+    let mut u = rng::unit_f64(rng::hash_parts(params.seed, &["bin", &idx])) * total;
+    let mut rank = n;
+    for r in 1..=n {
+        u -= 1.0 / (r as f64).powf(params.zipf_s);
+        if u <= 0.0 {
+            rank = r;
+            break;
+        }
+    }
+    let binary_ref = names[rank - 1].clone();
+    let target_site = rng::pick(params.seed, &["site", &idx], sites).clone();
+    let mode = if rng::chance(params.seed, &["mode", &idx], params.extended_share) {
+        PredictionMode::Extended
+    } else {
+        PredictionMode::Basic
+    };
+    PredictRequest {
+        binary_ref,
+        target_site,
+        mode,
+    }
+}
+
+/// Exact percentile from collected samples (nearest-rank on the sorted
+/// list); 0 when no samples were collected.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+struct RunOutput {
+    report: ServeBenchReport,
+    /// Per-request prediction fingerprints, in stream order.
+    fingerprints: Vec<String>,
+}
+
+fn run_one(
+    params: &BenchParams,
+    svc: &PredictService,
+    requests: usize,
+    caching: bool,
+) -> RunOutput {
+    let names = svc.binary_names();
+    let sites = svc.site_names();
+    assert!(!names.is_empty(), "serve bench needs registered binaries");
+
+    let mut latencies: Vec<u64> = Vec::with_capacity(requests);
+    let mut fingerprints: Vec<Option<String>> = vec![None; requests];
+    let mut shed = 0u64;
+    let mut result_cache_hits = 0u64;
+    let t0 = Instant::now();
+
+    let mut i = 0;
+    while i < requests {
+        let wave_end = (i + params.wave).min(requests);
+        let mut pending = Vec::new();
+        // `j` is the stream position, not just a `fingerprints` index.
+        #[allow(clippy::needless_range_loop)]
+        for j in i..wave_end {
+            let req = nth_request(params, &names, &sites, j);
+            // Shed requests are retried until admitted — the bench
+            // measures the cost of the whole stream, and counts how often
+            // admission control pushed back.
+            loop {
+                match svc.submit(&req) {
+                    Ok(Delivery::Ready(resp)) => {
+                        result_cache_hits += 1;
+                        latencies.push(resp.latency_us);
+                        fingerprints[j] = Some(fingerprint(&req, &resp.prediction));
+                        break;
+                    }
+                    Ok(Delivery::Pending(rx)) => {
+                        pending.push((j, req.clone(), rx));
+                        break;
+                    }
+                    Err(SvcError::Overloaded { .. }) => {
+                        shed += 1;
+                        std::thread::yield_now();
+                    }
+                    Err(e) => panic!("serve bench hit non-retryable error: {e}"),
+                }
+            }
+        }
+        for (j, req, rx) in pending {
+            let resp = rx.recv().expect("worker delivers every queued request");
+            latencies.push(resp.latency_us);
+            fingerprints[j] = Some(fingerprint(&req, &resp.prediction));
+        }
+        i = wave_end;
+    }
+
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    let completed = latencies.len() as u64;
+    latencies.sort_unstable();
+    let (bdc_hit_rate, edc_hit_rate) = match svc.caches() {
+        Some(c) => (c.bdc.stats().hit_rate(), c.edc.stats().hit_rate()),
+        None => (0.0, 0.0),
+    };
+    let coalesced = completed
+        .saturating_sub(result_cache_hits)
+        .saturating_sub(evaluations(svc));
+
+    RunOutput {
+        report: ServeBenchReport {
+            seed: params.seed,
+            caching,
+            requests: requests as u64,
+            completed,
+            shed,
+            result_cache_hits,
+            coalesced,
+            wall_seconds,
+            throughput_rps: if wall_seconds > 0.0 {
+                completed as f64 / wall_seconds
+            } else {
+                0.0
+            },
+            p50_us: percentile(&latencies, 0.50),
+            p95_us: percentile(&latencies, 0.95),
+            p99_us: percentile(&latencies, 0.99),
+            bdc_hit_rate,
+            edc_hit_rate,
+        },
+        fingerprints: fingerprints
+            .into_iter()
+            .map(|f| f.expect("all answered"))
+            .collect(),
+    }
+}
+
+/// Number of evaluations the worker pool actually ran (distinct keys that
+/// reached a worker): queued = completed - result-hits - coalesced.
+fn evaluations(svc: &PredictService) -> u64 {
+    svc.evaluations()
+}
+
+/// Canonical per-request answer: the serialized prediction. Byte-equal
+/// fingerprints mean byte-equal predictions.
+fn fingerprint(req: &PredictRequest, prediction: &feam_core::predict::Prediction) -> String {
+    format!(
+        "{}@{}:{}",
+        req.binary_ref,
+        req.target_site,
+        serde_json::to_string(prediction).expect("prediction serializes")
+    )
+}
+
+/// Run the benchmark: the full stream against a caching service, a prefix
+/// of the same stream against its cache-disabled twin, and compare.
+///
+/// `build` constructs a service (with its registry populated) for the
+/// given caching flag; both twins must be built identically otherwise.
+pub fn run_serve_bench<F>(params: &BenchParams, build: F) -> ServeBenchComparison
+where
+    F: Fn(bool) -> PredictService,
+{
+    let mut cached_svc = build(true);
+    cached_svc.start();
+    let cached = run_one(params, &cached_svc, params.requests, true);
+    drop(cached_svc);
+
+    let mut uncached_svc = build(false);
+    uncached_svc.start();
+    let uncached_n = params.uncached_requests.min(params.requests);
+    let uncached = run_one(params, &uncached_svc, uncached_n, false);
+    drop(uncached_svc);
+
+    let shared = uncached.fingerprints.len().min(cached.fingerprints.len());
+    let equivalent = cached.fingerprints[..shared] == uncached.fingerprints[..shared];
+    let speedup = if uncached.report.throughput_rps > 0.0 {
+        cached.report.throughput_rps / uncached.report.throughput_rps
+    } else {
+        0.0
+    };
+    ServeBenchComparison {
+        cached: cached.report,
+        uncached: uncached.report,
+        speedup,
+        equivalent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic_and_zipf_skewed() {
+        let params = BenchParams::quick(11);
+        let names: Vec<String> = (0..12).map(|i| format!("bin-{i:02}")).collect();
+        let sites = vec!["ranger".to_string(), "india".to_string()];
+        let a: Vec<String> = (0..200)
+            .map(|i| nth_request(&params, &names, &sites, i).binary_ref)
+            .collect();
+        let b: Vec<String> = (0..200)
+            .map(|i| nth_request(&params, &names, &sites, i).binary_ref)
+            .collect();
+        assert_eq!(a, b, "same seed, same stream");
+
+        // Rank-1 must dominate any single tail binary by a wide margin.
+        let count = |name: &str| a.iter().filter(|n| n.as_str() == name).count();
+        assert!(count("bin-00") > 4 * count("bin-11"));
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let s: Vec<u64> = (1..=100).collect();
+        // (len-1) * q rounds half away from zero: index 50, value 51.
+        assert_eq!(percentile(&s, 0.50), 51);
+        assert_eq!(percentile(&s, 0.95), 95);
+        assert_eq!(percentile(&s, 0.99), 99);
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.99), 7);
+    }
+}

@@ -1,0 +1,54 @@
+//! # feam-svc — the FEAM prediction service
+//!
+//! The paper evaluates FEAM as a one-shot tool: run the phases, read the
+//! prediction. In production the same question arrives as a *stream* —
+//! "will binary B run at site S?" — from schedulers and users, with heavy
+//! repetition (popular binaries, few sites). This crate wraps the
+//! existing phase machinery ([`feam_core::phases`]) in a long-running
+//! service shaped for that stream:
+//!
+//! * **Content-addressed memoization.** Binary descriptions are keyed by
+//!   the FNV-1a hash of the ELF image, environment descriptions by site
+//!   name + configuration epoch ([`feam_core::cache`]); full evaluations
+//!   by the `(binary, site, epoch, mode)` tuple. A site reconfiguration
+//!   ([`PredictService::reconfigure_site`]) bumps the epoch and orphans
+//!   everything derived from the stale environment.
+//! * **Single-flight coalescing.** Concurrent requests for the same key
+//!   share one evaluation — N callers, one phase run, N answers.
+//! * **Bounded admission.** A fixed-capacity queue feeds the worker pool;
+//!   when it is full the service sheds with a *retryable*
+//!   [`SvcError::Overloaded`] instead of building unbounded backlog.
+//!
+//! All of it is observable through [`feam_obs`]: per-request spans,
+//! `cache.{bdc,edc}.{hit,miss}` / `svc.result.{hit,miss}` counters, queue
+//! depth and shed counters, and latency histograms.
+//!
+//! [`bench`] provides the deterministic, Zipf-skewed load generator
+//! behind `feam-eval --serve-bench`, which pins the speedup caching buys
+//! and — run against a cache-disabled twin — that caching never changes a
+//! prediction.
+//!
+//! ```
+//! use feam_svc::{PredictService, PredictRequest, ServiceConfig};
+//! use feam_core::predict::PredictionMode;
+//!
+//! let mut svc = PredictService::new(ServiceConfig::default());
+//! svc.register_binary("cg.B.4", feam_svc::registry::demo_binary(7));
+//! svc.start();
+//! let resp = svc.predict(&PredictRequest {
+//!     binary_ref: "cg.B.4".into(),
+//!     target_site: "india".into(),
+//!     mode: PredictionMode::Basic,
+//! }).unwrap();
+//! assert!(!resp.prediction.verdicts.is_empty());
+//! ```
+
+pub mod bench;
+pub mod registry;
+pub mod service;
+
+pub use bench::{run_serve_bench, BenchParams, ServeBenchComparison, ServeBenchReport};
+pub use registry::{BinaryRegistry, RegisteredBinary};
+pub use service::{
+    Delivery, PredictRequest, PredictResponse, PredictService, ServiceConfig, SvcError,
+};

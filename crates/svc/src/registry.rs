@@ -1,0 +1,137 @@
+//! Binary registry: the service's name → image mapping.
+//!
+//! A [`PredictRequest`](crate::PredictRequest) carries a `binary_ref`
+//! string; the registry resolves it to the staged ELF image, its stable
+//! content hash (the BDC cache key) and — for extended predictions — the
+//! site whose guaranteed execution environment runs the source phase. The
+//! source-phase bundle is computed at most once per binary and memoized,
+//! whatever the number of extended requests.
+
+use feam_core::bundle::SourceBundle;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+/// One binary known to the service.
+pub struct RegisteredBinary {
+    /// The ELF image as staged at sites.
+    pub image: Arc<Vec<u8>>,
+    /// FNV-1a hash of the image — the content-addressed identity every
+    /// cache layer keys on.
+    pub content_hash: u64,
+    /// Site whose GEE runs the source phase for extended predictions.
+    pub home_site: String,
+    /// Source-phase output, computed on the first extended request.
+    /// `Some(None)` records a failed source phase (e.g. a non-MPI image)
+    /// so it is not retried per request.
+    bundle: OnceLock<Option<Arc<SourceBundle>>>,
+}
+
+impl RegisteredBinary {
+    /// Register an image built at (or considered native to) `home_site`.
+    pub fn new(image: Arc<Vec<u8>>, home_site: &str) -> Self {
+        let content_hash = feam_sim::rng::fnv1a(&image);
+        RegisteredBinary {
+            image,
+            content_hash,
+            home_site: home_site.to_string(),
+            bundle: OnceLock::new(),
+        }
+    }
+
+    /// The memoized source-phase bundle; `compute` runs at most once.
+    pub fn bundle_or_init(
+        &self,
+        compute: impl FnOnce() -> Option<Arc<SourceBundle>>,
+    ) -> Option<Arc<SourceBundle>> {
+        self.bundle.get_or_init(compute).clone()
+    }
+}
+
+/// Name → binary mapping. Immutable once the service starts, so lookups
+/// are lock-free.
+#[derive(Default)]
+pub struct BinaryRegistry {
+    entries: HashMap<String, RegisteredBinary>,
+}
+
+impl BinaryRegistry {
+    /// Register `name`; replaces an existing entry of the same name.
+    pub fn insert(&mut self, name: &str, binary: RegisteredBinary) {
+        self.entries.insert(name.to_string(), binary);
+    }
+
+    /// Resolve a request's `binary_ref`.
+    pub fn get(&self, name: &str) -> Option<&RegisteredBinary> {
+        self.entries.get(name)
+    }
+
+    /// Number of registered binaries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Registered names in sorted order (deterministic iteration for the
+    /// load generator).
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.entries.keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+/// A small MPI binary compiled at the first standard site — for examples
+/// and doctests.
+pub fn demo_binary(seed: u64) -> RegisteredBinary {
+    use feam_sim::compile::{compile, ProgramSpec};
+    use feam_sim::toolchain::Language;
+    use feam_workloads::sites::{standard_sites, RANGER};
+
+    let sites = standard_sites(seed);
+    let site = &sites[RANGER];
+    let ist = site.stacks[1].clone();
+    let bin = compile(
+        site,
+        Some(&ist),
+        &ProgramSpec::new("cg", Language::Fortran),
+        seed,
+    )
+    .expect("demo binary compiles");
+    RegisteredBinary::new(bin.image, site.name())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_resolves_and_hashes() {
+        let mut reg = BinaryRegistry::default();
+        assert!(reg.is_empty());
+        let b = demo_binary(3);
+        let hash = b.content_hash;
+        assert_ne!(hash, 0);
+        reg.insert("cg.B.4", b);
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.get("cg.B.4").unwrap().content_hash, hash);
+        assert!(reg.get("missing").is_none());
+        assert_eq!(reg.names(), vec!["cg.B.4".to_string()]);
+    }
+
+    #[test]
+    fn bundle_computed_at_most_once() {
+        let b = demo_binary(4);
+        let mut calls = 0;
+        for _ in 0..3 {
+            b.bundle_or_init(|| {
+                calls += 1;
+                None
+            });
+        }
+        assert_eq!(calls, 1, "source phase memoized, even when it failed");
+    }
+}

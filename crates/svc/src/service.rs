@@ -1,0 +1,524 @@
+//! The prediction service: bounded admission, single-flight coalescing,
+//! result memoization, and a worker pool running the FEAM phases.
+//!
+//! Request lifecycle:
+//!
+//! 1. **Resolve** — `binary_ref` and `target_site` must be registered;
+//!    unknown names fail fast without touching the queue.
+//! 2. **Result cache** — a completed evaluation for the same
+//!    `(binary, site, epoch, mode)` key answers immediately.
+//! 3. **Coalesce** — an in-flight evaluation for the same key adopts this
+//!    request as an extra waiter; one phase run fans out to all of them.
+//! 4. **Admit or shed** — a fixed-capacity queue feeds the workers; a
+//!    full queue sheds with the retryable [`SvcError::Overloaded`] rather
+//!    than queueing unboundedly.
+//!
+//! Workers run the ordinary [`feam_core::phases`] entry points with the
+//! shared [`PhaseCaches`] installed, so the BDC/EDC description caches are
+//! populated and consulted exactly as the phases themselves decide —
+//! including the poisoning guard that keeps faulted computations out.
+
+use feam_core::cache::PhaseCaches;
+use feam_core::phases::{run_source_phase, run_target_phase, PhaseConfig};
+use feam_core::predict::{Prediction, PredictionMode};
+use feam_core::tec::TargetEvaluation;
+use feam_sim::site::Site;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use crate::registry::{BinaryRegistry, RegisteredBinary};
+
+/// One prediction query.
+#[derive(Debug, Clone)]
+pub struct PredictRequest {
+    /// Registered name of the binary ([`crate::BinaryRegistry`]).
+    pub binary_ref: String,
+    /// Name of the target site.
+    pub target_site: String,
+    /// Basic (target-only) or extended (source + target) prediction.
+    pub mode: PredictionMode,
+}
+
+/// A completed prediction.
+#[derive(Debug, Clone)]
+pub struct PredictResponse {
+    pub binary_ref: String,
+    pub target_site: String,
+    /// The per-determinant prediction (mode may downgrade to `Basic` when
+    /// an extended request's source phase is impossible, e.g. no GEE).
+    pub prediction: Prediction,
+    /// The full TEC output backing the prediction.
+    pub evaluation: TargetEvaluation,
+    /// Whether this answer came straight from the result cache.
+    pub from_result_cache: bool,
+    /// This waiter's end-to-end latency, submit to delivery.
+    pub latency_us: u64,
+}
+
+/// Why a request was rejected without being evaluated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SvcError {
+    /// `binary_ref` is not registered.
+    UnknownBinary(String),
+    /// `target_site` names no known site.
+    UnknownSite(String),
+    /// The admission queue is full; retry after backoff.
+    Overloaded { queue_depth: usize },
+    /// The service is shutting down; in-flight work is abandoned.
+    ShuttingDown,
+}
+
+impl SvcError {
+    /// Should the caller retry (with backoff)? Shedding is a transient
+    /// condition; unknown names and shutdown are not.
+    pub fn retryable(&self) -> bool {
+        matches!(self, SvcError::Overloaded { .. })
+    }
+}
+
+impl std::fmt::Display for SvcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SvcError::UnknownBinary(b) => write!(f, "unknown binary {b:?}"),
+            SvcError::UnknownSite(s) => write!(f, "unknown site {s:?}"),
+            SvcError::Overloaded { queue_depth } => {
+                write!(f, "admission queue full ({queue_depth} deep); retry later")
+            }
+            SvcError::ShuttingDown => write!(f, "service shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SvcError {}
+
+/// Outcome of a non-blocking [`PredictService::submit`].
+// The Ready variant carries the full response inline: result-cache hits
+// are the hot path and boxing them would trade a variant-size lint for an
+// allocation per hit.
+#[allow(clippy::large_enum_variant)]
+pub enum Delivery {
+    /// Answered from the result cache without queueing.
+    Ready(PredictResponse),
+    /// Queued (or coalesced onto an in-flight evaluation); the response
+    /// arrives on the receiver.
+    Pending(mpsc::Receiver<PredictResponse>),
+}
+
+impl std::fmt::Debug for Delivery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Delivery::Ready(r) => f.debug_tuple("Ready").field(r).finish(),
+            Delivery::Pending(_) => f.write_str("Pending(..)"),
+        }
+    }
+}
+
+/// Service tuning knobs.
+#[derive(Clone)]
+pub struct ServiceConfig {
+    /// Worker threads evaluating queued requests.
+    pub workers: usize,
+    /// Admission queue capacity; submissions beyond it shed.
+    pub queue_capacity: usize,
+    /// EDC entry time-to-live in logical ticks (one tick per submitted
+    /// request); 0 = entries live until their site's epoch is bumped.
+    pub edc_ttl: u64,
+    /// Memoize full evaluations by `(binary, site, epoch, mode)`.
+    pub result_cache: bool,
+    /// Master cache switch; `false` turns every layer off (the
+    /// `FEAM_CACHE=0` twin used to pin result equivalence).
+    pub caching: bool,
+    /// Seed for the simulated standard sites.
+    pub sites_seed: u64,
+    /// Seed for FEAM's own probe compilations.
+    pub phase_seed: u64,
+    /// Telemetry recorder threaded through the service and the phases.
+    pub recorder: feam_obs::Recorder,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 64,
+            edc_ttl: 0,
+            result_cache: true,
+            caching: feam_core::cache::caching_enabled_from_env(),
+            sites_seed: 7,
+            phase_seed: 0xFEA4,
+            recorder: feam_obs::Recorder::disabled(),
+        }
+    }
+}
+
+/// The memoization key: content hash of the binary, target site at a
+/// specific configuration epoch, and the prediction mode.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct RequestKey {
+    binary_hash: u64,
+    site: String,
+    epoch: u64,
+    extended: bool,
+}
+
+struct Waiter {
+    since: Instant,
+    tx: mpsc::Sender<PredictResponse>,
+}
+
+struct Job {
+    key: RequestKey,
+    binary_ref: String,
+    site_idx: usize,
+    mode: PredictionMode,
+}
+
+struct Inner {
+    cfg: ServiceConfig,
+    sites: Vec<Site>,
+    site_idx: HashMap<String, usize>,
+    registry: BinaryRegistry,
+    phase_cfg: PhaseConfig,
+    caches: Option<Arc<PhaseCaches>>,
+    results: Mutex<HashMap<RequestKey, Arc<(Prediction, TargetEvaluation)>>>,
+    inflight: Mutex<HashMap<RequestKey, Vec<Waiter>>>,
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    /// Evaluations actually run by the worker pool (i.e. not answered by
+    /// the result cache or coalesced onto another request's flight).
+    evaluated: AtomicU64,
+}
+
+/// The long-running prediction service. Construct, register binaries,
+/// [`start`](PredictService::start) the workers, then
+/// [`predict`](PredictService::predict) / [`submit`](PredictService::submit)
+/// from any thread. Dropping the service joins the workers.
+pub struct PredictService {
+    inner: Arc<Inner>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl PredictService {
+    /// A service over the paper's standard simulated sites.
+    pub fn new(cfg: ServiceConfig) -> Self {
+        let sites = feam_workloads::sites::standard_sites(cfg.sites_seed);
+        Self::with_sites(cfg, sites)
+    }
+
+    /// A service over an explicit site list.
+    pub fn with_sites(cfg: ServiceConfig, sites: Vec<Site>) -> Self {
+        let caches = cfg.caching.then(|| Arc::new(PhaseCaches::new(cfg.edc_ttl)));
+        let phase_cfg = PhaseConfig {
+            seed: cfg.phase_seed,
+            recorder: cfg.recorder.clone(),
+            caches: caches.clone(),
+            ..PhaseConfig::default()
+        };
+        let site_idx = sites
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.name().to_string(), i))
+            .collect();
+        PredictService {
+            inner: Arc::new(Inner {
+                cfg,
+                sites,
+                site_idx,
+                registry: BinaryRegistry::default(),
+                phase_cfg,
+                caches,
+                results: Mutex::new(HashMap::new()),
+                inflight: Mutex::new(HashMap::new()),
+                queue: Mutex::new(VecDeque::new()),
+                available: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+                evaluated: AtomicU64::new(0),
+            }),
+            handles: Vec::new(),
+        }
+    }
+
+    /// Register a binary under `name`. Only valid before
+    /// [`start`](PredictService::start): the registry is immutable (and
+    /// therefore lock-free) once workers run.
+    pub fn register_binary(&mut self, name: &str, binary: RegisteredBinary) {
+        let inner =
+            Arc::get_mut(&mut self.inner).expect("register_binary must be called before start()");
+        inner.registry.insert(name, binary);
+    }
+
+    /// Spawn the worker pool. Idempotent; tests submit against an
+    /// unstarted service to observe queueing, coalescing and shedding
+    /// deterministically.
+    pub fn start(&mut self) {
+        if !self.handles.is_empty() {
+            return;
+        }
+        for i in 0..self.inner.cfg.workers.max(1) {
+            let inner = self.inner.clone();
+            self.handles.push(
+                std::thread::Builder::new()
+                    .name(format!("feam-svc-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker"),
+            );
+        }
+    }
+
+    /// Number of registered binaries.
+    pub fn registered(&self) -> usize {
+        self.inner.registry.len()
+    }
+
+    /// Site names served, in site order.
+    pub fn site_names(&self) -> Vec<String> {
+        self.inner
+            .sites
+            .iter()
+            .map(|s| s.name().to_string())
+            .collect()
+    }
+
+    /// Registered binary names, sorted (the load generator's universe).
+    pub fn binary_names(&self) -> Vec<String> {
+        self.inner.registry.names()
+    }
+
+    /// Evaluations the worker pool has actually run.
+    pub fn evaluations(&self) -> u64 {
+        self.inner.evaluated.load(Ordering::Relaxed)
+    }
+
+    /// Current admission-queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.queue.lock().expect("queue").len()
+    }
+
+    /// The shared description caches (None when caching is off).
+    pub fn caches(&self) -> Option<&Arc<PhaseCaches>> {
+        self.inner.caches.as_ref()
+    }
+
+    /// Entries currently memoized in the result cache.
+    pub fn result_cache_len(&self) -> usize {
+        self.inner.results.lock().expect("results").len()
+    }
+
+    /// Signal that `site` was reconfigured: bumps its EDC epoch so every
+    /// cached description and result derived from the stale environment is
+    /// orphaned. Returns the new epoch (0 when caching is off — there is
+    /// nothing to invalidate).
+    pub fn reconfigure_site(&self, site: &str) -> Result<u64, SvcError> {
+        if !self.inner.site_idx.contains_key(site) {
+            return Err(SvcError::UnknownSite(site.to_string()));
+        }
+        let Some(caches) = &self.inner.caches else {
+            return Ok(0);
+        };
+        let epoch = caches.edc.invalidate(site);
+        // Old-epoch results are unreachable (the key embeds the epoch);
+        // drop them eagerly so the map doesn't accumulate garbage.
+        self.inner
+            .results
+            .lock()
+            .expect("results")
+            .retain(|k, _| k.site != site);
+        self.inner.cfg.recorder.count("svc.epoch_bump", 1);
+        Ok(epoch)
+    }
+
+    /// Submit without blocking: either an immediate cached answer or a
+    /// receiver the worker pool will deliver on.
+    pub fn submit(&self, req: &PredictRequest) -> Result<Delivery, SvcError> {
+        let inner = &self.inner;
+        let rec = &inner.cfg.recorder;
+        let t0 = Instant::now();
+        rec.count("svc.requests", 1);
+
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return Err(SvcError::ShuttingDown);
+        }
+        let Some(&site_idx) = inner.site_idx.get(&req.target_site) else {
+            return Err(SvcError::UnknownSite(req.target_site.clone()));
+        };
+        let Some(binary) = inner.registry.get(&req.binary_ref) else {
+            return Err(SvcError::UnknownBinary(req.binary_ref.clone()));
+        };
+
+        // One logical tick per submitted request: the EDC TTL is measured
+        // in "requests of staleness".
+        let epoch = match &inner.caches {
+            Some(c) => {
+                c.edc.advance_clock();
+                c.edc.epoch(&req.target_site)
+            }
+            None => 0,
+        };
+        let key = RequestKey {
+            binary_hash: binary.content_hash,
+            site: req.target_site.clone(),
+            epoch,
+            extended: req.mode == PredictionMode::Extended,
+        };
+
+        // Fast path: a finished evaluation for this exact key.
+        if inner.cfg.result_cache && inner.caches.is_some() {
+            if let Some(hit) = inner.results.lock().expect("results").get(&key).cloned() {
+                rec.count("svc.result.hit", 1);
+                let latency_us = t0.elapsed().as_micros() as u64;
+                rec.observe("svc.latency_us", latency_us as f64);
+                return Ok(Delivery::Ready(PredictResponse {
+                    binary_ref: req.binary_ref.clone(),
+                    target_site: req.target_site.clone(),
+                    prediction: hit.0.clone(),
+                    evaluation: hit.1.clone(),
+                    from_result_cache: true,
+                    latency_us,
+                }));
+            }
+            rec.count("svc.result.miss", 1);
+        }
+
+        let (tx, rx) = mpsc::channel();
+        let waiter = Waiter { since: t0, tx };
+
+        // Single flight: adopt an in-flight evaluation when one exists.
+        let mut inflight = inner.inflight.lock().expect("inflight");
+        if let Some(waiters) = inflight.get_mut(&key) {
+            waiters.push(waiter);
+            rec.count("svc.coalesced", 1);
+            return Ok(Delivery::Pending(rx));
+        }
+
+        // Admission control: shed when the queue is full.
+        let mut queue = inner.queue.lock().expect("queue");
+        if queue.len() >= inner.cfg.queue_capacity {
+            rec.count("queue.shed", 1);
+            return Err(SvcError::Overloaded {
+                queue_depth: queue.len(),
+            });
+        }
+        inflight.insert(key.clone(), vec![waiter]);
+        queue.push_back(Job {
+            key,
+            binary_ref: req.binary_ref.clone(),
+            site_idx,
+            mode: req.mode,
+        });
+        rec.observe("queue.depth", queue.len() as f64);
+        drop(queue);
+        drop(inflight);
+        inner.available.notify_one();
+        Ok(Delivery::Pending(rx))
+    }
+
+    /// Submit and block until the answer arrives.
+    pub fn predict(&self, req: &PredictRequest) -> Result<PredictResponse, SvcError> {
+        match self.submit(req)? {
+            Delivery::Ready(resp) => Ok(resp),
+            Delivery::Pending(rx) => rx.recv().map_err(|_| SvcError::ShuttingDown),
+        }
+    }
+}
+
+impl Drop for PredictService {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.available.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let job = {
+            let mut queue = inner.queue.lock().expect("queue");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = inner.available.wait(queue).expect("queue wait");
+            }
+        };
+        process(inner, job);
+    }
+}
+
+/// Evaluate one queued request and fan the answer out to every waiter.
+fn process(inner: &Inner, job: Job) {
+    let rec = &inner.cfg.recorder;
+    let span = rec.span("svc.request");
+    inner.evaluated.fetch_add(1, Ordering::Relaxed);
+    let site = &inner.sites[job.site_idx];
+    let binary = inner
+        .registry
+        .get(&job.binary_ref)
+        .expect("queued jobs reference registered binaries");
+
+    // Extended predictions need the source-phase bundle from the binary's
+    // home site; computed once per binary ever, then memoized.
+    let bundle = if job.mode == PredictionMode::Extended {
+        binary.bundle_or_init(|| {
+            let _span = rec.span("svc.source_phase");
+            let home = inner
+                .site_idx
+                .get(&binary.home_site)
+                .map(|&i| &inner.sites[i])?;
+            run_source_phase(home, &binary.image, &inner.phase_cfg)
+                .ok()
+                .map(Arc::new)
+        })
+    } else {
+        None
+    };
+
+    let outcome = run_target_phase(
+        site,
+        Some(&binary.image),
+        bundle.as_deref(),
+        &inner.phase_cfg,
+    );
+
+    // Memoize only clean evaluations: a degraded outcome (faults,
+    // unreadable binary, unobservable environment) is delivered to its
+    // waiters but never becomes the canonical cached answer.
+    if inner.cfg.result_cache
+        && inner.caches.is_some()
+        && !outcome.evaluation.degraded
+        && outcome.environment.unobserved.is_empty()
+    {
+        inner.results.lock().expect("results").insert(
+            job.key.clone(),
+            Arc::new((outcome.prediction.clone(), outcome.evaluation.clone())),
+        );
+    }
+    drop(span);
+
+    let waiters = inner
+        .inflight
+        .lock()
+        .expect("inflight")
+        .remove(&job.key)
+        .unwrap_or_default();
+    for w in waiters {
+        let latency_us = w.since.elapsed().as_micros() as u64;
+        rec.observe("svc.latency_us", latency_us as f64);
+        // A waiter that gave up (dropped its receiver) is fine to miss.
+        let _ = w.tx.send(PredictResponse {
+            binary_ref: job.binary_ref.clone(),
+            target_site: job.key.site.clone(),
+            prediction: outcome.prediction.clone(),
+            evaluation: outcome.evaluation.clone(),
+            from_result_cache: false,
+            latency_us,
+        });
+    }
+}

@@ -1,0 +1,374 @@
+//! End-to-end tests of the prediction service: coalescing, shedding,
+//! cache behavior, epoch/TTL invalidation, and the guarantee that caching
+//! never changes a prediction.
+
+use feam_core::predict::PredictionMode;
+use feam_svc::{
+    Delivery, PredictRequest, PredictService, RegisteredBinary, ServiceConfig, SvcError,
+};
+use std::sync::Arc;
+
+/// A service over the standard sites with `n` small MPI binaries
+/// registered (compiled at Ranger under its Open MPI + GNU stack).
+fn small_service(cfg: ServiceConfig, n: usize) -> PredictService {
+    use feam_sim::compile::{compile, ProgramSpec};
+    use feam_sim::toolchain::Language;
+    use feam_workloads::sites::{standard_sites, RANGER};
+
+    let sites = standard_sites(cfg.sites_seed);
+    let ranger = &sites[RANGER];
+    let ist = ranger.stacks[1].clone();
+    let mut svc = PredictService::new(cfg);
+    let programs = ["cg", "mg", "ft", "lu", "bt", "sp", "ep", "is"];
+    for i in 0..n {
+        let name = programs[i % programs.len()];
+        let bin = compile(
+            ranger,
+            Some(&ist),
+            &ProgramSpec::new(name, Language::Fortran),
+            1000 + i as u64,
+        )
+        .expect("test binary compiles");
+        svc.register_binary(
+            &format!("{name}.{i}"),
+            RegisteredBinary::new(bin.image, ranger.name()),
+        );
+    }
+    svc
+}
+
+fn req(binary: &str, site: &str, mode: PredictionMode) -> PredictRequest {
+    PredictRequest {
+        binary_ref: binary.into(),
+        target_site: site.into(),
+        mode,
+    }
+}
+
+#[test]
+fn predicts_and_memoizes_repeat_requests() {
+    let (recorder, _sink) = feam_obs::Recorder::memory();
+    let cfg = ServiceConfig {
+        caching: true,
+        recorder,
+        ..ServiceConfig::default()
+    };
+    let mut svc = small_service(cfg, 1);
+    svc.start();
+    let r = req("cg.0", "india", PredictionMode::Basic);
+
+    let first = svc.predict(&r).unwrap();
+    assert!(!first.from_result_cache);
+    assert!(!first.prediction.verdicts.is_empty());
+
+    let second = svc.predict(&r).unwrap();
+    assert!(
+        second.from_result_cache,
+        "repeat answered from result cache"
+    );
+    assert_eq!(
+        serde_json::to_string(&first.prediction).unwrap(),
+        serde_json::to_string(&second.prediction).unwrap(),
+        "memoized answer is byte-identical"
+    );
+    assert_eq!(svc.evaluations(), 1, "one phase run served both requests");
+}
+
+#[test]
+fn unknown_names_fail_fast_and_are_not_retryable() {
+    let mut svc = small_service(ServiceConfig::default(), 1);
+    svc.start();
+    let e = svc
+        .predict(&req("nope", "india", PredictionMode::Basic))
+        .unwrap_err();
+    assert_eq!(e, SvcError::UnknownBinary("nope".into()));
+    assert!(!e.retryable());
+    let e = svc
+        .predict(&req("cg.0", "atlantis", PredictionMode::Basic))
+        .unwrap_err();
+    assert_eq!(e, SvcError::UnknownSite("atlantis".into()));
+    assert!(!e.retryable());
+}
+
+#[test]
+fn same_key_coalesces_onto_one_flight() {
+    // Unstarted service: submissions queue but nothing drains, so the
+    // coalescing decision is deterministic.
+    let (recorder, _sink) = feam_obs::Recorder::memory();
+    let cfg = ServiceConfig {
+        recorder: recorder.clone(),
+        ..ServiceConfig::default()
+    };
+    let mut svc = small_service(cfg, 1);
+    let r = req("cg.0", "india", PredictionMode::Basic);
+
+    let d1 = svc.submit(&r).unwrap();
+    let d2 = svc.submit(&r).unwrap();
+    let d3 = svc.submit(&r).unwrap();
+    assert_eq!(svc.queue_depth(), 1, "three submissions, one queued job");
+    assert_eq!(recorder.snapshot().counters["svc.coalesced"], 2);
+
+    // Different key (other site): its own flight.
+    let d4 = svc
+        .submit(&req("cg.0", "fir", PredictionMode::Basic))
+        .unwrap();
+    assert_eq!(svc.queue_depth(), 2);
+
+    svc.start();
+    for d in [d1, d2, d3, d4] {
+        match d {
+            Delivery::Pending(rx) => {
+                let resp = rx.recv().unwrap();
+                assert!(!resp.prediction.verdicts.is_empty());
+            }
+            Delivery::Ready(_) => panic!("cold cache cannot answer immediately"),
+        }
+    }
+    assert_eq!(svc.evaluations(), 2, "one evaluation per distinct key");
+}
+
+#[test]
+fn full_queue_sheds_with_retryable_error() {
+    let (recorder, _sink) = feam_obs::Recorder::memory();
+    let cfg = ServiceConfig {
+        queue_capacity: 3,
+        recorder: recorder.clone(),
+        ..ServiceConfig::default()
+    };
+    // Unstarted: the queue only fills.
+    let svc = small_service(cfg, 4);
+    for i in 0..3 {
+        let d = svc
+            .submit(&req(
+                ["cg.0", "mg.1", "ft.2"][i],
+                "india",
+                PredictionMode::Basic,
+            ))
+            .unwrap();
+        assert!(matches!(d, Delivery::Pending(_)));
+    }
+    let e = svc
+        .submit(&req("lu.3", "india", PredictionMode::Basic))
+        .unwrap_err();
+    assert!(matches!(e, SvcError::Overloaded { queue_depth: 3 }));
+    assert!(e.retryable(), "shedding must invite a retry");
+    assert_eq!(recorder.snapshot().counters["queue.shed"], 1);
+
+    // Coalescing still works at capacity: same key as a queued job does
+    // not need a queue slot.
+    let d = svc
+        .submit(&req("cg.0", "india", PredictionMode::Basic))
+        .unwrap();
+    assert!(matches!(d, Delivery::Pending(_)));
+}
+
+#[test]
+fn description_cache_counters_flow_through_recorder() {
+    let (recorder, _sink) = feam_obs::Recorder::memory();
+    let cfg = ServiceConfig {
+        caching: true,
+        recorder: recorder.clone(),
+        ..ServiceConfig::default()
+    };
+    let mut svc = small_service(cfg, 2);
+    svc.start();
+    // Two binaries, same site: second request re-describes nothing about
+    // the environment and misses only its own binary hash.
+    svc.predict(&req("cg.0", "india", PredictionMode::Basic))
+        .unwrap();
+    svc.predict(&req("mg.1", "india", PredictionMode::Basic))
+        .unwrap();
+    // Different site for a known binary: EDC miss, BDC hit.
+    svc.predict(&req("cg.0", "fir", PredictionMode::Basic))
+        .unwrap();
+
+    let counters = recorder.snapshot().counters;
+    assert_eq!(counters["cache.bdc.miss"], 2, "one miss per distinct image");
+    assert!(
+        counters["cache.bdc.hit"] >= 1,
+        "cg.0 at fir reuses its description"
+    );
+    assert_eq!(
+        counters["cache.edc.miss"], 2,
+        "india and fir each described once"
+    );
+    assert!(counters["cache.edc.hit"] >= 1);
+    let caches = svc.caches().unwrap();
+    assert_eq!(caches.bdc.stats().misses, 2);
+    assert_eq!(caches.edc.stats().misses, 2);
+}
+
+#[test]
+fn reconfigure_site_invalidates_cached_descriptions_and_results() {
+    let mut svc = small_service(
+        ServiceConfig {
+            caching: true,
+            ..ServiceConfig::default()
+        },
+        1,
+    );
+    svc.start();
+    let r = req("cg.0", "india", PredictionMode::Basic);
+    svc.predict(&r).unwrap();
+    assert!(svc.predict(&r).unwrap().from_result_cache);
+    assert_eq!(svc.result_cache_len(), 1);
+
+    let epoch = svc.reconfigure_site("india").unwrap();
+    assert_eq!(epoch, 1);
+    assert_eq!(svc.result_cache_len(), 0, "stale results dropped eagerly");
+    let after = svc.predict(&r).unwrap();
+    assert!(
+        !after.from_result_cache,
+        "post-reconfiguration request re-evaluates"
+    );
+    assert_eq!(svc.evaluations(), 2);
+    // Unrelated sites keep their entries.
+    svc.predict(&req("cg.0", "fir", PredictionMode::Basic))
+        .unwrap();
+    svc.reconfigure_site("india").unwrap();
+    assert_eq!(
+        svc.result_cache_len(),
+        1,
+        "fir's entry survives india's bump"
+    );
+
+    assert_eq!(
+        svc.reconfigure_site("atlantis"),
+        Err(SvcError::UnknownSite("atlantis".into()))
+    );
+}
+
+#[test]
+fn edc_ttl_expires_entries_after_enough_requests() {
+    let mut svc = small_service(
+        ServiceConfig {
+            caching: true,
+            edc_ttl: 3,
+            ..ServiceConfig::default()
+        },
+        1,
+    );
+    svc.start();
+    let r = req("cg.0", "india", PredictionMode::Basic);
+    svc.predict(&r).unwrap();
+    let caches = Arc::clone(svc.caches().unwrap());
+    assert!(caches.edc.contains("india"));
+    // Each submitted request advances the logical clock by one tick; after
+    // ttl+1 further requests the entry has aged out.
+    for _ in 0..4 {
+        svc.predict(&r).unwrap();
+    }
+    assert!(
+        !caches.edc.contains("india"),
+        "entry older than the TTL must expire"
+    );
+}
+
+#[test]
+fn extended_mode_runs_source_phase_once_and_upgrades_prediction() {
+    let mut svc = small_service(
+        ServiceConfig {
+            caching: true,
+            ..ServiceConfig::default()
+        },
+        1,
+    );
+    svc.start();
+    let r = req("cg.0", "india", PredictionMode::Extended);
+    let a = svc.predict(&r).unwrap();
+    assert_eq!(a.prediction.mode, PredictionMode::Extended);
+    let b = svc
+        .predict(&req("cg.0", "fir", PredictionMode::Extended))
+        .unwrap();
+    assert_eq!(b.prediction.mode, PredictionMode::Extended);
+    // Basic and extended answers for the same (binary, site) are distinct
+    // result-cache keys.
+    let c = svc
+        .predict(&req("cg.0", "india", PredictionMode::Basic))
+        .unwrap();
+    assert_eq!(c.prediction.mode, PredictionMode::Basic);
+    assert!(!c.from_result_cache);
+}
+
+#[test]
+fn caching_never_changes_predictions() {
+    let build = |caching: bool| {
+        small_service(
+            ServiceConfig {
+                caching,
+                ..ServiceConfig::default()
+            },
+            3,
+        )
+    };
+    let mut cached = build(true);
+    let mut uncached = build(false);
+    cached.start();
+    uncached.start();
+    assert!(cached.caches().is_some());
+    assert!(uncached.caches().is_none());
+
+    for site in ["ranger", "india", "fir"] {
+        for binary in ["cg.0", "mg.1", "ft.2"] {
+            for mode in [PredictionMode::Basic, PredictionMode::Extended] {
+                // Issue twice against the cached twin so the second answer
+                // really comes from the result cache.
+                let r = req(binary, site, mode);
+                cached.predict(&r).unwrap();
+                let hot = cached.predict(&r).unwrap();
+                let cold = uncached.predict(&r).unwrap();
+                assert!(!cold.from_result_cache);
+                assert_eq!(
+                    serde_json::to_string(&hot.prediction).unwrap(),
+                    serde_json::to_string(&cold.prediction).unwrap(),
+                    "{binary}@{site}: cached and uncached predictions must be byte-identical"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn concurrent_clients_get_consistent_answers() {
+    let mut svc = small_service(
+        ServiceConfig {
+            workers: 4,
+            caching: true,
+            ..ServiceConfig::default()
+        },
+        4,
+    );
+    svc.start();
+    let svc = Arc::new(svc);
+    let sites = ["ranger", "forge", "blacklight", "india", "fir"];
+    let mut joins = Vec::new();
+    for t in 0..8 {
+        let svc = Arc::clone(&svc);
+        joins.push(std::thread::spawn(move || {
+            let mut out = Vec::new();
+            for i in 0..10 {
+                let r = req(
+                    ["cg.0", "mg.1", "ft.2", "lu.3"][(t + i) % 4],
+                    sites[(t * 3 + i) % sites.len()],
+                    PredictionMode::Basic,
+                );
+                let resp = svc.predict(&r).unwrap();
+                out.push((
+                    r.binary_ref,
+                    r.target_site,
+                    serde_json::to_string(&resp.prediction).unwrap(),
+                ));
+            }
+            out
+        }));
+    }
+    let mut by_key = std::collections::HashMap::new();
+    for j in joins {
+        for (bin, site, fp) in j.join().unwrap() {
+            let prev = by_key.insert((bin.clone(), site.clone()), fp.clone());
+            if let Some(prev) = prev {
+                assert_eq!(prev, fp, "{bin}@{site}: all clients see one answer");
+            }
+        }
+    }
+}

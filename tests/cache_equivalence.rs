@@ -1,0 +1,91 @@
+//! Caching is an optimization, never a semantic change: the Table III
+//! migration sweep must produce byte-identical predictions with the
+//! description caches installed and without them.
+//!
+//! Simulated CPU seconds are the one legitimate difference — a cache hit
+//! skips the reads it memoized — so the comparison drops the
+//! `*_cpu_seconds` fields and pins everything else, per record, as
+//! serialized JSON.
+
+use feam_eval::{table3, Experiment, MigrationRecord};
+use std::sync::Arc;
+
+/// A trimmed experiment (every 6th corpus binary) at `seed`, with or
+/// without the shared phase caches installed.
+fn run_trimmed(seed: u64, cached: bool) -> feam_eval::EvalResults {
+    let mut e = Experiment::new(seed);
+    let kept: Vec<_> = e
+        .corpus
+        .binaries()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % 6 == 0)
+        .map(|(_, b)| b.clone())
+        .collect();
+    let mut corpus = feam_workloads::TestSet::default();
+    for k in kept {
+        corpus.push(k);
+    }
+    e.corpus = corpus;
+    if cached {
+        e.config.caches = Some(Arc::new(feam_core::cache::PhaseCaches::new(0)));
+    }
+    e.run()
+}
+
+/// Everything observable about a record except the CPU-time accounting.
+fn fingerprint(r: &MigrationRecord) -> String {
+    let v = serde_json::to_value(r).expect("record serializes");
+    let obj = v.as_object().expect("record is an object");
+    let mut out = String::new();
+    for (k, field) in obj.iter() {
+        if k.ends_with("cpu_seconds") {
+            continue;
+        }
+        out.push_str(k);
+        out.push('=');
+        out.push_str(&serde_json::to_string(field).expect("field serializes"));
+        out.push(';');
+    }
+    out
+}
+
+#[test]
+fn table3_sweep_is_byte_identical_with_and_without_caches() {
+    let seed = 1234;
+    let uncached = run_trimmed(seed, false);
+    let cached = run_trimmed(seed, true);
+
+    assert!(!uncached.records.is_empty());
+    assert_eq!(
+        uncached.records.len(),
+        cached.records.len(),
+        "same sweep, same record count"
+    );
+    for (u, c) in uncached.records.iter().zip(cached.records.iter()) {
+        assert_eq!(
+            fingerprint(u),
+            fingerprint(c),
+            "{}: {} -> {}: caching changed an observable field",
+            u.binary,
+            u.from_site,
+            u.to_site
+        );
+    }
+
+    // The aggregate Table III numbers follow from the records, but pin
+    // them too — they are the paper-facing artifact.
+    let tu = table3(&uncached);
+    let tc = table3(&cached);
+    assert_eq!(
+        serde_json::to_string(&tu).unwrap(),
+        serde_json::to_string(&tc).unwrap(),
+        "Table III must not move under caching"
+    );
+
+    // Exclusions (no matching MPI) are cache-independent too.
+    assert_eq!(
+        serde_json::to_string(&uncached.excluded).unwrap(),
+        serde_json::to_string(&cached.excluded).unwrap()
+    );
+}
