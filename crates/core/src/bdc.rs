@@ -272,8 +272,8 @@ pub fn collect_libraries_cached(
             // share one description (the path field is the cached origin).
             let description = match caches {
                 Some(c) => {
-                    let hash = feam_sim::rng::fnv1a(&bytes);
-                    match c.bdc_get(hash) {
+                    let key = crate::cache::BdcKey::of(&bytes);
+                    match c.bdc_get(&key) {
                         Some(d) => {
                             sess.recorder.count("cache.bdc.hit", 1);
                             let mut d = (*d).clone();
@@ -285,7 +285,7 @@ pub fn collect_libraries_cached(
                         None => {
                             sess.recorder.count("cache.bdc.miss", 1);
                             let d = BinaryDescription::from_bytes(&loc, &bytes)?;
-                            c.bdc_put(hash, Arc::new(d.clone()));
+                            c.bdc_put(key, Arc::new(d.clone()));
                             d
                         }
                     }

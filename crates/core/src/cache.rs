@@ -7,7 +7,10 @@
 //! that:
 //!
 //! * [`BdcCache`] — a **sharded, content-addressed** cache of binary
-//!   descriptions keyed by the FNV-1a hash of the ELF bytes. Identical
+//!   descriptions keyed by [`BdcKey`], a fast content hash of the ELF
+//!   bytes plus a length and second-hash discriminator (so a primary-hash
+//!   collision between two distinct byte strings can never cross-serve a
+//!   description — `crates/core/tests/cache_keys.rs` pins this). Identical
 //!   images share one description regardless of path or site; recursive
 //!   library descriptions gathered by the source phase go through the same
 //!   cache ([`crate::bdc::collect_libraries_cached`]).
@@ -36,6 +39,57 @@ use std::sync::{Arc, Mutex};
 /// the service's worker pool from serializing on one mutex; 16 is far
 /// beyond the worker counts we run.
 pub const BDC_SHARDS: usize = 16;
+
+/// Content identity of one byte string, used as the BDC cache key and as
+/// the binary component of every serving-layer key.
+///
+/// A single 64-bit hash admits collisions: two *distinct* ELF images can
+/// share it, and a content-addressed cache keyed on the bare hash would
+/// then serve one binary's description for the other. The key therefore
+/// carries two independent discriminators — the byte length and a second
+/// hash over a different accumulator — and every lookup matches the
+/// *whole* key. A forged key sharing only the primary hash misses.
+///
+/// Both hashes are computed in one word-at-a-time pass: the key is taken
+/// on every cached describe call (multi-hundred-KB images, hot serving
+/// path), so a per-byte loop would dominate the evaluation itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
+pub struct BdcKey {
+    /// Word-at-a-time FNV-style hash of the bytes — the primary
+    /// (sharding) hash.
+    pub hash: u64,
+    /// Byte length of the image.
+    pub len: u64,
+    /// Independent second hash (SplitMix64-mixed accumulation with a
+    /// different offset basis), so equal-length collisions also miss.
+    pub alt: u64,
+}
+
+impl BdcKey {
+    /// The content key of a byte string.
+    pub fn of(bytes: &[u8]) -> Self {
+        // FNV offset basis / golden-ratio basis; mixed per 8-byte word.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut alt: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            let w = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+            hash = (hash ^ w).wrapping_mul(0x0000_0100_0000_01B3);
+            alt = feam_sim::rng::mix(alt ^ w);
+        }
+        let mut tail: u64 = 0;
+        for (i, &b) in chunks.remainder().iter().enumerate() {
+            tail |= (b as u64) << (8 * i);
+        }
+        hash = (hash ^ tail).wrapping_mul(0x0000_0100_0000_01B3);
+        alt = feam_sim::rng::mix(alt ^ tail.wrapping_add(bytes.len() as u64));
+        BdcKey {
+            hash,
+            len: bytes.len() as u64,
+            alt,
+        }
+    }
+}
 
 /// Is caching enabled for this process? `FEAM_CACHE=0` (or `false`/`off`)
 /// disables every cache layer — CI runs the suite once this way to pin
@@ -88,7 +142,7 @@ impl LayerCounters {
 
 /// Sharded content-addressed cache of binary descriptions.
 pub struct BdcCache {
-    shards: Vec<Mutex<HashMap<u64, Arc<BinaryDescription>>>>,
+    shards: Vec<Mutex<HashMap<BdcKey, Arc<BinaryDescription>>>>,
     counters: LayerCounters,
 }
 
@@ -104,18 +158,14 @@ impl Default for BdcCache {
 }
 
 impl BdcCache {
-    fn shard(&self, hash: u64) -> &Mutex<HashMap<u64, Arc<BinaryDescription>>> {
-        &self.shards[(hash % BDC_SHARDS as u64) as usize]
+    fn shard(&self, key: &BdcKey) -> &Mutex<HashMap<BdcKey, Arc<BinaryDescription>>> {
+        &self.shards[(key.hash % BDC_SHARDS as u64) as usize]
     }
 
-    /// Look up a description by content hash.
-    pub fn get(&self, hash: u64) -> Option<Arc<BinaryDescription>> {
-        let hit = self
-            .shard(hash)
-            .lock()
-            .expect("bdc shard")
-            .get(&hash)
-            .cloned();
+    /// Look up a description by its full content key; a key agreeing only
+    /// on the primary hash (a collision) misses.
+    pub fn get(&self, key: &BdcKey) -> Option<Arc<BinaryDescription>> {
+        let hit = self.shard(key).lock().expect("bdc shard").get(key).cloned();
         match &hit {
             Some(_) => self.counters.hits.fetch_add(1, Ordering::Relaxed),
             None => self.counters.misses.fetch_add(1, Ordering::Relaxed),
@@ -123,12 +173,12 @@ impl BdcCache {
         hit
     }
 
-    /// Insert a description under its content hash.
-    pub fn put(&self, hash: u64, desc: Arc<BinaryDescription>) {
-        self.shard(hash)
+    /// Insert a description under its content key.
+    pub fn put(&self, key: BdcKey, desc: Arc<BinaryDescription>) {
+        self.shard(&key)
             .lock()
             .expect("bdc shard")
-            .insert(hash, desc);
+            .insert(key, desc);
     }
 
     /// Record an insertion refused by the poisoning guard.
@@ -298,12 +348,12 @@ impl PhaseCaches {
     }
 
     /// Shorthands used by the phases.
-    pub fn bdc_get(&self, hash: u64) -> Option<Arc<BinaryDescription>> {
-        self.bdc.get(hash)
+    pub fn bdc_get(&self, key: &BdcKey) -> Option<Arc<BinaryDescription>> {
+        self.bdc.get(key)
     }
 
-    pub fn bdc_put(&self, hash: u64, desc: Arc<BinaryDescription>) {
-        self.bdc.put(hash, desc);
+    pub fn bdc_put(&self, key: BdcKey, desc: Arc<BinaryDescription>) {
+        self.bdc.put(key, desc);
     }
 
     pub fn edc_get(&self, site: &str) -> Option<Arc<EnvironmentDescription>> {
@@ -341,12 +391,17 @@ mod tests {
     }
 
     #[test]
-    fn bdc_cache_round_trips_by_hash() {
+    fn bdc_cache_round_trips_by_content_key() {
         let c = BdcCache::default();
         let d = bin_desc();
-        assert!(c.get(d.content_hash).is_none());
-        c.put(d.content_hash, d.clone());
-        let got = c.get(d.content_hash).unwrap();
+        let key = BdcKey {
+            hash: d.content_hash,
+            len: d.size as u64,
+            alt: 7,
+        };
+        assert!(c.get(&key).is_none());
+        c.put(key, d.clone());
+        let got = c.get(&key).unwrap();
         assert_eq!(got.content_hash, d.content_hash);
         let s = c.stats();
         assert_eq!((s.hits, s.misses), (1, 1));
@@ -356,7 +411,14 @@ mod tests {
     fn bdc_cache_spreads_across_shards() {
         let c = BdcCache::default();
         for h in 0..64u64 {
-            c.put(h, bin_desc());
+            c.put(
+                BdcKey {
+                    hash: h,
+                    len: h,
+                    alt: h,
+                },
+                bin_desc(),
+            );
         }
         assert_eq!(c.len(), 64);
         let populated = c
@@ -365,6 +427,18 @@ mod tests {
             .filter(|s| !s.lock().unwrap().is_empty())
             .count();
         assert_eq!(populated, BDC_SHARDS, "sequential hashes fill every shard");
+    }
+
+    #[test]
+    fn bdc_key_discriminates_beyond_the_primary_hash() {
+        let a = BdcKey::of(b"one byte string");
+        let b = BdcKey::of(b"two byte string");
+        assert_ne!(a, b);
+        // Same bytes, same key — the identity is pure in the content.
+        assert_eq!(a, BdcKey::of(b"one byte string"));
+        // A forged key sharing only the primary hash is a different key.
+        let forged = BdcKey { hash: a.hash, ..b };
+        assert_ne!(a, forged);
     }
 
     #[test]

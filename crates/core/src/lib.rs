@@ -55,7 +55,7 @@ pub mod tec;
 
 pub use bdc::{identify_mpi, BinaryDescription, MpiIdentification};
 pub use bundle::SourceBundle;
-pub use cache::{CacheLayerStats, PhaseCaches};
+pub use cache::{BdcKey, CacheLayerStats, PhaseCaches};
 pub use config::{ConfigError, ConfigFile};
 pub use edc::{discover, EnvironmentDescription};
 pub use error::{FeamError, Result};

@@ -94,8 +94,8 @@ fn describe_binary_cached(
     let Some(caches) = cfg.caches.as_deref() else {
         return BinaryDescription::from_session(sess, path);
     };
-    let hash = feam_sim::rng::fnv1a(image);
-    if let Some(d) = caches.bdc_get(hash) {
+    let key = crate::cache::BdcKey::of(image);
+    if let Some(d) = caches.bdc_get(&key) {
         sess.recorder.count("cache.bdc.hit", 1);
         let mut d = (*d).clone();
         d.path = path.to_string();
@@ -105,7 +105,7 @@ fn describe_binary_cached(
     let before = sess.faults_seen.get();
     let d = BinaryDescription::from_session(sess, path)?;
     if sess.faults_seen.get() == before {
-        caches.bdc_put(hash, Arc::new(d.clone()));
+        caches.bdc_put(key, Arc::new(d.clone()));
     } else {
         caches.bdc.reject();
     }

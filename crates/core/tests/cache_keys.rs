@@ -1,0 +1,300 @@
+//! Collision-safety properties of the BDC cache key.
+//!
+//! The cache is content-addressed by [`BdcKey`] = (primary hash, length,
+//! second hash). A key carrying only the primary hash would let two
+//! distinct images alias one description; these tests *engineer* a genuine
+//! primary-hash collision between two valid, distinct ELF images and pin
+//! that the full key still discriminates — plus the poisoning-guard
+//! invariant that faulted or degraded computations are never memoized.
+
+use feam_core::bdc::BinaryDescription;
+use feam_core::cache::{BdcCache, BdcKey, PhaseCaches};
+use feam_core::phases::{run_target_phase, PhaseConfig};
+use feam_elf::{Class, ElfFile, ElfSpec, ImportSpec, Machine};
+use std::sync::Arc;
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Multiplicative inverse of the FNV prime mod 2^64 (Newton iteration —
+/// the prime is odd, so the inverse exists).
+fn fnv_prime_inv() -> u64 {
+    let mut x: u64 = 1;
+    for _ in 0..6 {
+        x = x.wrapping_mul(2u64.wrapping_sub(FNV_PRIME.wrapping_mul(x)));
+    }
+    assert_eq!(FNV_PRIME.wrapping_mul(x), 1);
+    x
+}
+
+fn words_of(bytes: &[u8]) -> Vec<u64> {
+    bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+/// The word-at-a-time FNV fold [`BdcKey::of`] uses for its primary hash
+/// (whole words only — both images below share length and trailing bytes,
+/// so the tail step cancels).
+fn word_fnv(words: &[u64]) -> u64 {
+    words
+        .iter()
+        .fold(FNV_BASIS, |h, &w| (h ^ w).wrapping_mul(FNV_PRIME))
+}
+
+/// Construct `b`: a copy of `a` that differs in the 8-byte words at
+/// aligned offsets `j` and `k` (j < k) yet folds to the *same* primary
+/// hash. Word `j` is perturbed arbitrarily; word `k` is solved so the FNV
+/// state re-converges: each fold step `h' = (h ^ w) * P` is invertible,
+/// so walk the target state backwards through the suffix and meet it.
+fn engineer_collision(a: &[u8], j: usize, k: usize) -> Vec<u8> {
+    assert!(j.is_multiple_of(8) && k.is_multiple_of(8) && j < k && k + 8 <= a.len());
+    let p_inv = fnv_prime_inv();
+    let words = words_of(a);
+    let (wj, wk) = (j / 8, k / 8);
+    let target = word_fnv(&words);
+
+    let mut b_words = words.clone();
+    b_words[wj] ^= 0xDEAD_BEEF_DEAD_BEEF;
+
+    // State after the prefix [0, wk) of the mutated stream.
+    let state_before_k = word_fnv(&b_words[..wk]);
+    // Walk the final target backwards through the unchanged suffix
+    // (wk, end) to find the state required right after word wk.
+    let mut need_after_k = target;
+    for &w in words[wk + 1..].iter().rev() {
+        need_after_k = need_after_k.wrapping_mul(p_inv) ^ w;
+    }
+    // Solve (state_before_k ^ w) * P = need_after_k for w.
+    b_words[wk] = state_before_k ^ need_after_k.wrapping_mul(p_inv);
+
+    let mut b = Vec::with_capacity(a.len());
+    for w in &b_words {
+        b.extend_from_slice(&w.to_le_bytes());
+    }
+    b.extend_from_slice(&a[words.len() * 8..]);
+    assert_eq!(b.len(), a.len());
+    b
+}
+
+/// A valid dynamic executable with a .text payload large enough to hide
+/// two engineered words without disturbing any parsed structure.
+fn base_image() -> Vec<u8> {
+    let mut spec = ElfSpec::executable(Machine::X86_64, Class::Elf64);
+    spec.needed = vec!["libc.so.6".into()];
+    spec.imports = vec![ImportSpec::versioned("fopen64", "libc.so.6", "GLIBC_2.3.4")];
+    spec.text_size = 512;
+    spec.build().expect("spec builds")
+}
+
+/// Aligned file offsets of two words inside the image's .text section.
+fn text_word_offsets(bytes: &[u8]) -> (usize, usize) {
+    let f = ElfFile::parse(bytes).expect("base image parses");
+    let (_, text) = f
+        .sections()
+        .iter()
+        .find(|(n, _)| n == ".text")
+        .expect(".text present")
+        .clone();
+    let start = (text.offset as usize).div_ceil(8) * 8;
+    let end = (text.offset + text.size) as usize;
+    assert!(
+        start + 64 <= end,
+        ".text large enough for two aligned words"
+    );
+    (start, start + 32)
+}
+
+#[test]
+fn engineered_fnv_collision_does_not_alias_cache_entries() {
+    let a = base_image();
+    let (j, k) = text_word_offsets(&a);
+    let b = engineer_collision(&a, j, k);
+
+    assert_ne!(a, b, "the images really are distinct byte strings");
+    // Both remain valid ELF images with identical parsed structure.
+    assert!(ElfFile::parse(&b).is_ok(), "mutated .text stays parseable");
+
+    let ka = BdcKey::of(&a);
+    let kb = BdcKey::of(&b);
+    assert_eq!(ka.hash, kb.hash, "collision engineering produced the hash");
+    assert_eq!(ka.len, kb.len, "same length — bare (hash, len) would alias");
+    assert_ne!(
+        ka, kb,
+        "the second-hash discriminator must separate colliding images"
+    );
+
+    // The cache must treat them as different binaries.
+    let cache = BdcCache::default();
+    let da = Arc::new(BinaryDescription::from_bytes("/a", &a).unwrap());
+    cache.put(ka, da.clone());
+    assert!(
+        cache.get(&kb).is_none(),
+        "a colliding distinct image must miss, not cross-serve"
+    );
+    let db = Arc::new(BinaryDescription::from_bytes("/b", &b).unwrap());
+    cache.put(kb, db.clone());
+    assert!(
+        Arc::ptr_eq(&cache.get(&ka).unwrap(), &da),
+        "image A round-trips its own description"
+    );
+    assert!(
+        Arc::ptr_eq(&cache.get(&kb).unwrap(), &db),
+        "image B round-trips its own description"
+    );
+}
+
+#[test]
+fn forged_keys_sharing_partial_identity_miss() {
+    let bytes = base_image();
+    let key = BdcKey::of(&bytes);
+    let cache = BdcCache::default();
+    cache.put(
+        key,
+        Arc::new(BinaryDescription::from_bytes("/x", &bytes).unwrap()),
+    );
+
+    for forged in [
+        BdcKey {
+            alt: key.alt ^ 1,
+            ..key
+        },
+        BdcKey {
+            len: key.len + 1,
+            ..key
+        },
+        BdcKey {
+            hash: key.hash ^ 1,
+            ..key
+        },
+    ] {
+        assert!(
+            cache.get(&forged).is_none(),
+            "partial key agreement must never serve: {forged:?}"
+        );
+    }
+    assert!(cache.get(&key).is_some(), "the true key still serves");
+}
+
+#[test]
+fn distinct_images_get_distinct_keys_and_round_trip() {
+    // Randomized-ish sweep: vary every spec axis that changes the bytes
+    // and require pairwise-distinct keys plus identity round-trips.
+    let mut images = Vec::new();
+    for i in 0..24usize {
+        let mut spec = ElfSpec::executable(Machine::X86_64, Class::Elf64);
+        spec.needed = vec![format!("lib{}.so.{}", (b'a' + (i % 26) as u8) as char, i)];
+        if i % 3 == 0 {
+            spec.imports = vec![ImportSpec::versioned(
+                "fopen64",
+                "libc.so.6",
+                &format!("GLIBC_2.{i}"),
+            )];
+        }
+        spec.text_size = 64 + 16 * i;
+        images.push(spec.build().expect("spec builds"));
+    }
+    // Same-length pairs with a one-byte difference, the tightest case the
+    // length discriminator cannot help with.
+    let tweaked = {
+        let mut t = images[0].clone();
+        let (j, _) = text_word_offsets(&t);
+        t[j] ^= 0x01;
+        t
+    };
+    images.push(tweaked);
+
+    let keys: Vec<BdcKey> = images.iter().map(|i| BdcKey::of(i)).collect();
+    for (i, ka) in keys.iter().enumerate() {
+        for kb in &keys[i + 1..] {
+            assert_ne!(ka, kb, "distinct images {i} share a full key");
+        }
+    }
+
+    let cache = BdcCache::default();
+    let descs: Vec<Arc<BinaryDescription>> = images
+        .iter()
+        .enumerate()
+        .map(|(i, img)| {
+            let d = Arc::new(BinaryDescription::from_bytes(&format!("/bin/{i}"), img).unwrap());
+            cache.put(keys[i], d.clone());
+            d
+        })
+        .collect();
+    for (i, key) in keys.iter().enumerate() {
+        assert!(
+            Arc::ptr_eq(&cache.get(key).unwrap(), &descs[i]),
+            "image {i} must round-trip its own description"
+        );
+    }
+    assert_eq!(cache.len(), images.len());
+}
+
+#[test]
+fn key_is_a_pure_function_of_content() {
+    let bytes = base_image();
+    assert_eq!(BdcKey::of(&bytes), BdcKey::of(&bytes.clone()));
+    // Every prefix gets its own key: truncation can never alias.
+    let k_full = BdcKey::of(&bytes);
+    let k_trunc = BdcKey::of(&bytes[..bytes.len() - 1]);
+    assert_ne!(k_full, k_trunc);
+    assert_eq!(k_full.len, bytes.len() as u64);
+}
+
+#[test]
+fn poisoning_guard_keeps_faulted_results_out_of_shared_caches() {
+    use feam_sim::faults::FaultPlan;
+    use feam_workloads::sites::{standard_sites, INDIA};
+
+    let sites = standard_sites(23);
+    let india = &sites[INDIA];
+    let image = Arc::new(base_image());
+    let caches = Arc::new(PhaseCaches::new(0));
+
+    // Persistent faults on every observation channel: the run degrades and
+    // nothing may be memoized — the guard must reject, not poison.
+    let plan = FaultPlan {
+        vfs_read: FaultPlan::persistent_vfs(77, 1.0).vfs_read,
+        ..FaultPlan::persistent_edc(77, 1.0)
+    };
+    let chaotic = PhaseConfig {
+        caches: Some(caches.clone()),
+        faults: Arc::new(plan),
+        ..PhaseConfig::default()
+    };
+    let degraded = run_target_phase(india, Some(&image), None, &chaotic);
+    assert!(
+        caches.bdc.is_empty(),
+        "faulted BDC result must not be cached"
+    );
+    assert!(
+        !caches.edc.contains(india.name()),
+        "degraded EDC discovery must not be cached"
+    );
+    assert!(
+        caches.bdc.stats().rejected + caches.edc.stats().rejected > 0,
+        "the guard records its rejections"
+    );
+    assert!(
+        !degraded.environment.unobserved.is_empty() || degraded.evaluation.degraded,
+        "the chaotic run really was degraded"
+    );
+
+    // A clean run afterwards populates the caches and serves under the
+    // same keys the degraded run was denied.
+    let clean = PhaseConfig {
+        caches: Some(caches.clone()),
+        faults: Arc::new(FaultPlan::none()),
+        ..PhaseConfig::default()
+    };
+    let healthy = run_target_phase(india, Some(&image), None, &clean);
+    assert!(!caches.bdc.is_empty(), "clean description is cached");
+    assert!(caches.edc.contains(india.name()));
+    assert!(healthy.environment.unobserved.is_empty());
+    assert_eq!(
+        caches.bdc.get(&BdcKey::of(&image)).unwrap().content_hash,
+        healthy.binary.content_hash,
+        "the cached entry is the clean run's description"
+    );
+}

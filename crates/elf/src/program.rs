@@ -153,8 +153,13 @@ pub fn parse_table(data: &[u8], hdr: &ElfHeader) -> Result<Vec<ProgramHeader>> {
     let e = hdr.ident.endian;
     let mut out = Vec::with_capacity(hdr.phnum as usize);
     for i in 0..hdr.phnum as usize {
-        let off = hdr.phoff as usize + i * hdr.phentsize as usize;
-        out.push(ProgramHeader::parse(data, off, class, e)?);
+        let off = hdr
+            .phoff
+            .checked_add(i as u64 * hdr.phentsize as u64)
+            .ok_or_else(|| {
+                crate::error::Error::Malformed("program header table offset overflow".into())
+            })?;
+        out.push(ProgramHeader::parse(data, off as usize, class, e)?);
     }
     Ok(out)
 }

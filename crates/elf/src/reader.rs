@@ -121,16 +121,34 @@ impl<'d> ElfFile<'d> {
     }
 
     /// Map a virtual address to a file offset through the `PT_LOAD`
-    /// segments.
+    /// segments. Segments whose address range or file offset would
+    /// overflow are treated as not covering anything.
     fn vaddr_to_offset(&self, vaddr: u64) -> Result<usize> {
         for p in &self.programs {
-            if p.kind == SegmentKind::Load && vaddr >= p.vaddr && vaddr < p.vaddr + p.filesz {
-                return Ok((p.offset + (vaddr - p.vaddr)) as usize);
+            if p.kind != SegmentKind::Load {
+                continue;
+            }
+            let Some(end) = p.vaddr.checked_add(p.filesz) else {
+                continue;
+            };
+            if vaddr >= p.vaddr && vaddr < end {
+                let off = p.offset.checked_add(vaddr - p.vaddr).ok_or_else(|| {
+                    Error::Malformed(format!("segment offset overflow at {vaddr:#x}"))
+                })?;
+                return Ok(off as usize);
             }
         }
         Err(Error::Malformed(format!(
             "vaddr {vaddr:#x} not covered by any PT_LOAD"
         )))
+    }
+
+    /// The image bytes from `off` to the end, bounds-checked.
+    fn tail(&self, off: usize) -> Result<&'d [u8]> {
+        self.data.get(off..).ok_or(Error::Truncated {
+            wanted: off,
+            have: self.data.len(),
+        })
     }
 
     fn parse_via_segments(&mut self, class: Class, e: Endian) -> Result<()> {
@@ -158,7 +176,7 @@ impl<'d> ElfFile<'d> {
             DynamicInfo::raw_value(&self.dyn_entries, Tag::VerNeedNum),
         ) {
             let off = self.vaddr_to_offset(vn_addr)?;
-            let tail = &self.data[off..];
+            let tail = self.tail(off)?;
             self.version_refs = versions::parse_verneed(tail, vn_num as usize, &dynstr, e)?;
         }
         if let (Some(vd_addr), Some(vd_num)) = (
@@ -166,7 +184,7 @@ impl<'d> ElfFile<'d> {
             DynamicInfo::raw_value(&self.dyn_entries, Tag::VerDefNum),
         ) {
             let off = self.vaddr_to_offset(vd_addr)?;
-            let tail = &self.data[off..];
+            let tail = self.tail(off)?;
             self.version_defs = versions::parse_verdef(tail, vd_num as usize, &dynstr, e)?;
         }
 

@@ -191,8 +191,11 @@ pub fn parse_table(data: &[u8], hdr: &ElfHeader) -> Result<Vec<(String, SectionH
     let e = hdr.ident.endian;
     let mut raw = Vec::with_capacity(hdr.shnum as usize);
     for i in 0..hdr.shnum as usize {
-        let off = hdr.shoff as usize + i * hdr.shentsize as usize;
-        raw.push(SectionHeader::parse(data, off, class, e)?);
+        let off = hdr
+            .shoff
+            .checked_add(i as u64 * hdr.shentsize as u64)
+            .ok_or_else(|| Error::Malformed("section header table offset overflow".into()))?;
+        raw.push(SectionHeader::parse(data, off as usize, class, e)?);
     }
     let shstr = raw
         .get(hdr.shstrndx as usize)

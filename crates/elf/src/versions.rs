@@ -76,7 +76,10 @@ pub fn parse_verneed(
     strtab: &StrTab<'_>,
     e: Endian,
 ) -> Result<Vec<VersionRef>> {
-    let mut out = Vec::with_capacity(count);
+    // `count` is attacker-controlled (sh_info / DT_VERNEEDNUM); each record
+    // occupies at least 16 bytes, so cap the pre-allocation by what the
+    // section could physically hold.
+    let mut out = Vec::with_capacity(count.min(data.len() / 16));
     let mut off = 0usize;
     for _ in 0..count {
         let version = e.read_u16(data, off)?;
@@ -126,7 +129,8 @@ pub fn parse_verdef(
     strtab: &StrTab<'_>,
     e: Endian,
 ) -> Result<Vec<VersionDef>> {
-    let mut out = Vec::with_capacity(count);
+    // Same guard as `parse_verneed`: a verdef record is at least 20 bytes.
+    let mut out = Vec::with_capacity(count.min(data.len() / 20));
     let mut off = 0usize;
     for _ in 0..count {
         let version = e.read_u16(data, off)?;

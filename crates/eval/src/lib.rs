@@ -18,6 +18,7 @@ pub mod chaos;
 pub mod effort;
 pub mod experiment;
 pub mod mode_ablation;
+pub mod plan;
 pub mod recompile;
 pub mod serve;
 pub mod tables;
@@ -27,6 +28,7 @@ pub use chaos::{chaos_sweep, render_chaos, ChaosPoint, ChaosSweep, DEFAULT_CHAOS
 pub use effort::{effort, render_effort, EffortReport};
 pub use experiment::{EvalResults, ExcludedPair, Experiment, MigrationRecord};
 pub use mode_ablation::{mode_ablation, render_mode_ablation, ModeRow};
+pub use plan::{build_plan_service, plan_bench, render_plan, PlanBenchParams, PlanBenchReport};
 pub use recompile::{recompile_comparison, render_recompile, RecompileComparison};
 pub use serve::{build_service, render_serve, serve_bench};
 pub use tables::{

@@ -5,12 +5,17 @@
 //!           [--stats] [--ablation] [--chaos RATE] [--json PATH] [--all]
 //! feam-eval --serve-bench [--quick] [--seed N] [--json PATH]
 //!           [--max-p99-us N] [--min-hit-rate F]
+//! feam-eval --plan-bench [--quick] [--seed N] [--json PATH]
+//!           [--max-p99-us N] [--min-speedup F]
 //! ```
 //!
 //! With no selection flags, prints everything (`--all`).
 //! `--serve-bench` runs the `feam-svc` serving benchmark instead of the
 //! table machinery; the threshold flags turn it into a CI gate (non-zero
 //! exit when cached p99 latency or the result-cache hit rate regress).
+//! `--plan-bench` benchmarks the all-sites placement planner against its
+//! sequential oracle; it always gates on ranking identity and stability,
+//! and optionally on p99 latency and minimum speedup.
 
 use feam_eval::{
     ablation, confusion, per_site, render_ablation, render_confusion, render_figure,
@@ -32,9 +37,11 @@ struct Args {
     json: Option<String>,
     all: bool,
     serve_bench: bool,
+    plan_bench: bool,
     quick: bool,
     max_p99_us: Option<u64>,
     min_hit_rate: Option<f64>,
+    min_speedup: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -52,9 +59,11 @@ fn parse_args() -> Args {
         json: None,
         all: false,
         serve_bench: false,
+        plan_bench: false,
         quick: false,
         max_p99_us: None,
         min_hit_rate: None,
+        min_speedup: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(a) = iter.next() {
@@ -94,6 +103,7 @@ fn parse_args() -> Args {
                 );
             }
             "--serve-bench" => args.serve_bench = true,
+            "--plan-bench" => args.plan_bench = true,
             "--quick" => args.quick = true,
             "--max-p99-us" => {
                 args.max_p99_us = Some(
@@ -108,6 +118,14 @@ fn parse_args() -> Args {
                         .and_then(|v| v.parse().ok())
                         .filter(|r| (0.0..=1.0).contains(r))
                         .unwrap_or_else(|| die("--min-hit-rate needs a fraction in [0, 1]")),
+                );
+            }
+            "--min-speedup" => {
+                args.min_speedup = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|r| *r >= 0.0)
+                        .unwrap_or_else(|| die("--min-speedup needs a ratio")),
                 );
             }
             "--stats" => args.want_stats = true,
@@ -125,7 +143,9 @@ fn parse_args() -> Args {
                      [--stats] [--ablation] [--recompile] [--telemetry] [--chaos RATE] \
                      [--json PATH] [--all]\n\
                      feam-eval --serve-bench [--quick] [--seed N] [--json PATH] \
-                     [--max-p99-us N] [--min-hit-rate F]"
+                     [--max-p99-us N] [--min-hit-rate F]\n\
+                     feam-eval --plan-bench [--quick] [--seed N] [--json PATH] \
+                     [--max-p99-us N] [--min-speedup F]"
                 );
                 std::process::exit(0);
             }
@@ -140,6 +160,7 @@ fn parse_args() -> Args {
         && !args.want_mode_ablation
         && !args.want_telemetry
         && !args.serve_bench
+        && !args.plan_bench
         && args.chaos.is_none()
     {
         args.all = true;
@@ -195,10 +216,64 @@ fn serve_bench_main(args: &Args) -> ! {
     std::process::exit(if failed { 1 } else { 0 });
 }
 
+/// `--plan-bench`: run the placement-planning benchmark. Always gates on
+/// ranking identity to the sequential oracle and on rank stability;
+/// `--max-p99-us` and `--min-speedup` add CI thresholds. Exits the
+/// process.
+fn plan_bench_main(args: &Args) -> ! {
+    eprintln!(
+        "placement planning benchmark (seed {}, {}) ...",
+        args.seed,
+        if args.quick { "quick" } else { "standard" }
+    );
+    let report = feam_eval::plan_bench(args.seed, args.quick);
+    print!("{}", feam_eval::render_plan(&report));
+    if let Some(path) = &args.json {
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&serde_json::to_value(&report).expect("serialize"))
+                .expect("serialize"),
+        )
+        .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        eprintln!("wrote {path}");
+    }
+    let mut failed = false;
+    if !report.rank_matches_oracle {
+        eprintln!("FAIL: parallel ranking diverged from the sequential oracle");
+        failed = true;
+    }
+    if !report.rank_stable {
+        eprintln!("FAIL: repeated runs produced different rankings (same seed)");
+        failed = true;
+    }
+    if let Some(max) = args.max_p99_us {
+        if report.p99_us > max {
+            eprintln!(
+                "FAIL: per-plan p99 {}us exceeds threshold {}us",
+                report.p99_us, max
+            );
+            failed = true;
+        }
+    }
+    if let Some(min) = args.min_speedup {
+        if report.speedup < min {
+            eprintln!(
+                "FAIL: speedup {:.2}x below threshold {:.2}x",
+                report.speedup, min
+            );
+            failed = true;
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}
+
 fn main() {
     let args = parse_args();
     if args.serve_bench {
         serve_bench_main(&args);
+    }
+    if args.plan_bench {
+        plan_bench_main(&args);
     }
     // Figures need no experiment run.
     for f in &args.figures {

@@ -1,0 +1,332 @@
+//! `feam-eval --plan-bench`: benchmark the site-placement planner.
+//!
+//! Drives a seeded, Zipf-skewed stream of all-sites [`PlanRequest`]s
+//! through [`feam_svc::plan::plan_batch`] — every plan fans its per-site
+//! evaluations out across the service's worker pool and the shared
+//! description caches. The committed baseline lives in `BENCH_plan.json`.
+//!
+//! The **speedup** is the planner's whole value proposition measured
+//! end-to-end: per-plan cost of the batched all-sites planner (shared
+//! caches, planner- and service-side coalescing, worker-pool fan-out)
+//! against naive sequential per-site evaluation — one blocking
+//! prediction at a time, single worker, no caches, which is what a
+//! client scripting `predict` in a loop would pay. On multi-core hosts
+//! the fan-out contributes too; on a single core the gain is all
+//! amortization, exactly like the serving benchmark's.
+//!
+//! Two correctness gates ride along with the throughput numbers:
+//!
+//! * **Oracle identity** — the parallel planner's ranking must be
+//!   byte-identical (fingerprint) to the sequential oracle's — the same
+//!   ranking computed one blocking prediction at a time on a
+//!   cache-disabled single-worker twin — for every plan in the shared
+//!   prefix.
+//! * **Rank stability** — a second fresh parallel run over the prefix
+//!   must reproduce the first run's fingerprints exactly.
+//!
+//! Fault injection is pinned off regardless of `FEAM_CHAOS_*`: the bench
+//! is a determinism gate, and an injected fault would make rankings
+//! legitimately diverge.
+
+use feam_sim::rng;
+use feam_svc::plan::{plan_batch, plan_sequential};
+use feam_svc::{PlanRequest, PredictService, RegisteredBinary, ServiceConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Plan-bench load parameters; fully seeded, so equal params produce an
+/// identical plan stream.
+#[derive(Debug, Clone)]
+pub struct PlanBenchParams {
+    /// Master seed for the plan stream and the testbed.
+    pub seed: u64,
+    /// Distinct binaries registered (Zipf popularity over them).
+    pub binaries: usize,
+    /// All-sites plans executed by the parallel planner.
+    pub plans: usize,
+    /// Plans (a prefix of the same stream) replayed on the sequential
+    /// oracle twin; kept small — each costs a full uncached per-site
+    /// sweep.
+    pub oracle_plans: usize,
+    /// Worker threads in the parallel planning service.
+    pub workers: usize,
+    /// Zipf skew exponent over binary popularity.
+    pub zipf_s: f64,
+    /// Plans submitted per `plan_batch` call (the batch window duplicate
+    /// pairs coalesce within).
+    pub batch: usize,
+}
+
+impl PlanBenchParams {
+    /// The committed-baseline configuration (`BENCH_plan.json`).
+    pub fn standard(seed: u64) -> Self {
+        PlanBenchParams {
+            seed,
+            binaries: 12,
+            plans: 96,
+            oracle_plans: 4,
+            workers: 4,
+            zipf_s: 1.3,
+            batch: 8,
+        }
+    }
+
+    /// CI-sized run (`--plan-bench --quick`).
+    pub fn quick(seed: u64) -> Self {
+        PlanBenchParams {
+            seed,
+            binaries: 6,
+            plans: 24,
+            oracle_plans: 2,
+            workers: 4,
+            zipf_s: 1.3,
+            batch: 6,
+        }
+    }
+}
+
+/// Results of the plan benchmark.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct PlanBenchReport {
+    pub seed: u64,
+    /// All-sites plans completed by the parallel planner.
+    pub plans: u64,
+    /// Candidate sites per plan.
+    pub sites_per_plan: u64,
+    /// `(binary, site)` pairs the planner submitted (after batch-window
+    /// coalescing).
+    pub pairs_evaluated: u64,
+    /// Duplicate pairs coalesced inside batch windows.
+    pub pairs_coalesced: u64,
+    /// Pairs whose evaluation came back degraded.
+    pub pairs_degraded: u64,
+    /// Fraction of submitted pairs answered from the service's result
+    /// cache.
+    pub pair_cache_hit_rate: f64,
+    pub wall_seconds: f64,
+    pub plans_per_sec: f64,
+    /// Per-plan wall latency percentiles (a plan's latency is the wall
+    /// time of its batch window divided by the window's plan count).
+    pub p50_us: u64,
+    pub p99_us: u64,
+    /// Naive sequential per-site evaluation cost per plan: one blocking
+    /// prediction at a time, single worker, caches off (averaged over the
+    /// oracle prefix).
+    pub sequential_plan_seconds: f64,
+    /// The batched parallel planner's per-plan cost over the full stream
+    /// (`wall_seconds / plans`).
+    pub parallel_plan_seconds: f64,
+    /// `sequential_plan_seconds / parallel_plan_seconds` — what batched
+    /// planning with shared caches and coalescing buys over scripting
+    /// per-site predictions in a loop.
+    pub speedup: f64,
+    /// Parallel rankings byte-identical to the sequential oracle's over
+    /// the prefix.
+    pub rank_matches_oracle: bool,
+    /// A second fresh parallel run reproduced the first run's rankings.
+    pub rank_stable: bool,
+}
+
+/// Build the planning service over the standard testbed: deterministic
+/// corpus subset, chaos pinned off, caches per `caching`.
+pub fn build_plan_service(
+    seed: u64,
+    binaries: usize,
+    caching: bool,
+    workers: usize,
+) -> PredictService {
+    let exp = crate::Experiment::new(seed);
+    let cfg = ServiceConfig {
+        caching,
+        result_cache: caching,
+        workers,
+        sites_seed: seed,
+        fault_plan: Some(Arc::new(feam_sim::faults::FaultPlan::none())),
+        // Keep counters and span stats, discard the event stream.
+        recorder: feam_obs::Recorder::with_sink(Box::new(feam_obs::NullSink)),
+        ..ServiceConfig::default()
+    };
+    let mut svc = PredictService::with_sites(cfg, exp.sites);
+    let items = exp.corpus.binaries();
+    let stride = (items.len() / binaries.max(1)).max(1);
+    let site_names: Vec<String> = svc.site_names();
+    for (rank, item) in items.iter().step_by(stride).take(binaries).enumerate() {
+        let home = site_names
+            .get(item.compiled_at)
+            .cloned()
+            .unwrap_or_else(|| site_names[0].clone());
+        svc.register_binary(
+            &format!("{rank:03}-{}", item.label()),
+            RegisteredBinary::new(item.image.clone(), &home),
+        )
+        .expect("rank-prefixed names are unique");
+    }
+    svc
+}
+
+/// The `i`th plan of the seeded stream: an all-sites basic plan for a
+/// Zipf-popular binary.
+fn nth_plan(params: &PlanBenchParams, names: &[String], i: usize) -> PlanRequest {
+    let idx = i.to_string();
+    let n = names.len().min(params.binaries).max(1);
+    let total: f64 = (1..=n).map(|r| 1.0 / (r as f64).powf(params.zipf_s)).sum();
+    let mut u = rng::unit_f64(rng::hash_parts(params.seed, &["plan", &idx])) * total;
+    let mut rank = n;
+    for r in 1..=n {
+        u -= 1.0 / (r as f64).powf(params.zipf_s);
+        if u <= 0.0 {
+            rank = r;
+            break;
+        }
+    }
+    PlanRequest::all_sites(&names[rank - 1])
+}
+
+/// Nearest-rank percentile.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Run the parallel planner over the full stream; returns per-plan
+/// latencies plus the first fingerprint seen per stream position of the
+/// oracle prefix.
+fn run_parallel(
+    params: &PlanBenchParams,
+    workers: usize,
+) -> (PredictService, Vec<u64>, Vec<String>, f64) {
+    let mut svc = build_plan_service(params.seed, params.binaries, true, workers);
+    svc.start();
+    let names = svc.binary_names();
+    let mut latencies: Vec<u64> = Vec::with_capacity(params.plans);
+    let mut prefix_fingerprints: Vec<String> = Vec::with_capacity(params.oracle_plans);
+    let t0 = Instant::now();
+    let mut i = 0;
+    while i < params.plans {
+        let window: Vec<PlanRequest> = (i..(i + params.batch).min(params.plans))
+            .map(|j| nth_plan(params, &names, j))
+            .collect();
+        let t = Instant::now();
+        let placements = plan_batch(&svc, &window);
+        let window_us = t.elapsed().as_micros() as u64;
+        let per_plan = window_us / window.len().max(1) as u64;
+        for (off, p) in placements.iter().enumerate() {
+            latencies.push(per_plan);
+            let p = p.as_ref().expect("registered binaries plan cleanly");
+            if i + off < params.oracle_plans {
+                prefix_fingerprints.push(p.fingerprint());
+            }
+        }
+        i += window.len();
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    (svc, latencies, prefix_fingerprints, wall)
+}
+
+/// Run the complete benchmark.
+pub fn plan_bench(seed: u64, quick: bool) -> PlanBenchReport {
+    let params = if quick {
+        PlanBenchParams::quick(seed)
+    } else {
+        PlanBenchParams::standard(seed)
+    };
+
+    // Parallel run over the full stream.
+    let (svc, mut latencies, prefix, wall) = run_parallel(&params, params.workers);
+    let sites_per_plan = svc.site_names().len() as u64;
+    let snap = svc.recorder().snapshot();
+    let pairs_evaluated = snap
+        .counters
+        .get("plan.pairs.evaluated")
+        .copied()
+        .unwrap_or(0);
+    let pairs_coalesced = snap
+        .counters
+        .get("plan.pairs.coalesced")
+        .copied()
+        .unwrap_or(0);
+    let pairs_degraded = snap
+        .counters
+        .get("plan.pairs.degraded")
+        .copied()
+        .unwrap_or(0);
+    let result_hits = snap.counters.get("svc.result.hit").copied().unwrap_or(0);
+    drop(svc);
+
+    // Rank stability: a second fresh parallel service must reproduce the
+    // prefix fingerprints byte-for-byte.
+    let (_svc2, _l2, prefix2, _w2) = run_parallel(&params, params.workers);
+    let rank_stable = prefix == prefix2;
+
+    // Rank oracle and sequential baseline in one pass: a cache-disabled
+    // single-worker twin planning one blocking per-site prediction at a
+    // time — what a client scripting `predict` in a loop would pay.
+    let mut oracle = build_plan_service(params.seed, params.binaries, false, 1);
+    oracle.start();
+    let names = oracle.binary_names();
+    let mut oracle_fingerprints: Vec<String> = Vec::with_capacity(params.oracle_plans);
+    let t0 = Instant::now();
+    for i in 0..params.oracle_plans {
+        let req = nth_plan(&params, &names, i);
+        let p = plan_sequential(&oracle, &req).expect("oracle plans cleanly");
+        oracle_fingerprints.push(p.fingerprint());
+    }
+    let sequential_plan_seconds = t0.elapsed().as_secs_f64() / params.oracle_plans.max(1) as f64;
+    let rank_matches_oracle = prefix == oracle_fingerprints;
+    drop(oracle);
+
+    let parallel_plan_seconds = wall / params.plans.max(1) as f64;
+    latencies.sort_unstable();
+    PlanBenchReport {
+        seed,
+        plans: params.plans as u64,
+        sites_per_plan,
+        pairs_evaluated,
+        pairs_coalesced,
+        pairs_degraded,
+        pair_cache_hit_rate: result_hits as f64 / pairs_evaluated.max(1) as f64,
+        wall_seconds: wall,
+        plans_per_sec: params.plans as f64 / wall.max(1e-9),
+        p50_us: percentile(&latencies, 50.0),
+        p99_us: percentile(&latencies, 99.0),
+        sequential_plan_seconds,
+        parallel_plan_seconds,
+        speedup: sequential_plan_seconds / parallel_plan_seconds.max(1e-9),
+        rank_matches_oracle,
+        rank_stable,
+    }
+}
+
+/// Human-readable report.
+pub fn render_plan(r: &PlanBenchReport) -> String {
+    let mut out = String::new();
+    out.push_str("PLACEMENT PLANNING BENCHMARK (all-sites batch evaluation)\n");
+    out.push_str(&format!(
+        "  {} plans x {} sites | {:.2} plans/s | wall {:.2}s | p50 {}us p99 {}us\n",
+        r.plans, r.sites_per_plan, r.plans_per_sec, r.wall_seconds, r.p50_us, r.p99_us
+    ));
+    out.push_str(&format!(
+        "  pairs: {} evaluated, {} coalesced, {} degraded | result-cache hit rate {:.1}%\n",
+        r.pairs_evaluated,
+        r.pairs_coalesced,
+        r.pairs_degraded,
+        100.0 * r.pair_cache_hit_rate
+    ));
+    out.push_str(&format!(
+        "  per plan: naive sequential {:.4}s vs batched planner {:.4}s -> speedup {:.2}x\n",
+        r.sequential_plan_seconds, r.parallel_plan_seconds, r.speedup
+    ));
+    out.push_str(&format!(
+        "  rank vs oracle: {} | rank stability: {}\n",
+        if r.rank_matches_oracle {
+            "IDENTICAL"
+        } else {
+            "DIVERGED"
+        },
+        if r.rank_stable { "STABLE" } else { "UNSTABLE" }
+    ));
+    out
+}

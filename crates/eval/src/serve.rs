@@ -34,7 +34,8 @@ pub fn build_service(seed: u64, binaries: usize, caching: bool) -> PredictServic
         svc.register_binary(
             &format!("{rank:03}-{}", item.label()),
             RegisteredBinary::new(item.image.clone(), &home),
-        );
+        )
+        .expect("rank-prefixed names are unique");
     }
     svc
 }

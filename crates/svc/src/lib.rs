@@ -18,6 +18,10 @@
 //! * **Bounded admission.** A fixed-capacity queue feeds the worker pool;
 //!   when it is full the service sheds with a *retryable*
 //!   [`SvcError::Overloaded`] instead of building unbounded backlog.
+//! * **Placement planning.** [`plan`] fans one binary out to per-site
+//!   evaluations running concurrently on the same pool and returns a
+//!   deterministic readiness ranking — degraded or errored sites rank
+//!   last but never abort the plan.
 //!
 //! All of it is observable through [`feam_obs`]: per-request spans,
 //! `cache.{bdc,edc}.{hit,miss}` / `svc.result.{hit,miss}` counters, queue
@@ -33,7 +37,7 @@
 //! use feam_core::predict::PredictionMode;
 //!
 //! let mut svc = PredictService::new(ServiceConfig::default());
-//! svc.register_binary("cg.B.4", feam_svc::registry::demo_binary(7));
+//! svc.register_binary("cg.B.4", feam_svc::registry::demo_binary(7)).unwrap();
 //! svc.start();
 //! let resp = svc.predict(&PredictRequest {
 //!     binary_ref: "cg.B.4".into(),
@@ -44,11 +48,13 @@
 //! ```
 
 pub mod bench;
+pub mod plan;
 pub mod registry;
 pub mod service;
 
 pub use bench::{run_serve_bench, BenchParams, ServeBenchComparison, ServeBenchReport};
-pub use registry::{BinaryRegistry, RegisteredBinary};
+pub use plan::{Placement, PlanRequest, SitePlacement, SiteSelection};
+pub use registry::{BinaryRegistry, RegisteredBinary, RegistryError};
 pub use service::{
     Delivery, PredictRequest, PredictResponse, PredictService, ServiceConfig, SvcError,
 };

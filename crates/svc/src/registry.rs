@@ -2,48 +2,119 @@
 //!
 //! A [`PredictRequest`](crate::PredictRequest) carries a `binary_ref`
 //! string; the registry resolves it to the staged ELF image, its stable
-//! content hash (the BDC cache key) and — for extended predictions — the
+//! content key (the BDC cache key) and — for extended predictions — the
 //! site whose guaranteed execution environment runs the source phase. The
-//! source-phase bundle is computed at most once per binary and memoized,
-//! whatever the number of extended requests.
+//! source-phase bundle is memoized **per home-site configuration epoch**:
+//! however many extended requests arrive, the source phase runs once, but
+//! a reconfiguration of the home site (epoch bump) orphans the memo so the
+//! planner can never rank against a source description gathered in a
+//! stale environment.
+//!
+//! Names are immutable bindings: re-registering an existing name with
+//! *different* content is rejected ([`RegistryError::ContentConflict`]) —
+//! a changed binary must be registered under a new name, so every cached
+//! result and ranking derived from the old name stays honest.
 
 use feam_core::bundle::SourceBundle;
+use feam_core::cache::BdcKey;
 use std::collections::HashMap;
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex};
+
+/// Why a registration was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The name is already bound to different content. Registering changed
+    /// bytes under an existing name would let memoized source bundles and
+    /// cached results answer for the wrong binary.
+    ContentConflict { name: String },
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::ContentConflict { name } => write!(
+                f,
+                "binary name {name:?} is already bound to different content; \
+                 register the changed binary under a new name"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// The memoized source phase for one home-site configuration epoch.
+struct BundleMemo {
+    /// Home-site EDC epoch the bundle was gathered under.
+    epoch: u64,
+    /// `None` records a failed source phase (e.g. a non-MPI image) so it
+    /// is not retried per request within the same epoch.
+    bundle: Option<Arc<SourceBundle>>,
+}
 
 /// One binary known to the service.
 pub struct RegisteredBinary {
     /// The ELF image as staged at sites.
     pub image: Arc<Vec<u8>>,
-    /// FNV-1a hash of the image — the content-addressed identity every
+    /// Full content key of the image (FNV-1a primary hash + length +
+    /// second-hash discriminators) — the content-addressed identity every
     /// cache layer keys on.
-    pub content_hash: u64,
+    pub content_key: BdcKey,
     /// Site whose GEE runs the source phase for extended predictions.
     pub home_site: String,
-    /// Source-phase output, computed on the first extended request.
-    /// `Some(None)` records a failed source phase (e.g. a non-MPI image)
-    /// so it is not retried per request.
-    bundle: OnceLock<Option<Arc<SourceBundle>>>,
+    /// Source-phase output, computed on the first extended request per
+    /// home-site configuration epoch.
+    bundle: Mutex<Option<BundleMemo>>,
 }
 
 impl RegisteredBinary {
     /// Register an image built at (or considered native to) `home_site`.
     pub fn new(image: Arc<Vec<u8>>, home_site: &str) -> Self {
-        let content_hash = feam_sim::rng::fnv1a(&image);
+        let content_key = BdcKey::of(&image);
         RegisteredBinary {
             image,
-            content_hash,
+            content_key,
             home_site: home_site.to_string(),
-            bundle: OnceLock::new(),
+            bundle: Mutex::new(None),
         }
     }
 
-    /// The memoized source-phase bundle; `compute` runs at most once.
-    pub fn bundle_or_init(
+    /// Primary content hash (the sharding component of the full key).
+    pub fn content_hash(&self) -> u64 {
+        self.content_key.hash
+    }
+
+    /// The memoized source-phase bundle for `epoch`; `compute` runs at
+    /// most once per epoch — a stale-epoch memo (the home site was
+    /// reconfigured since the bundle was gathered) is discarded and
+    /// recomputed. Concurrent extended requests for the same binary
+    /// serialize here, which is exactly the single-computation guarantee.
+    pub fn bundle_for_epoch(
         &self,
+        epoch: u64,
         compute: impl FnOnce() -> Option<Arc<SourceBundle>>,
     ) -> Option<Arc<SourceBundle>> {
-        self.bundle.get_or_init(compute).clone()
+        let mut memo = self.bundle.lock().expect("bundle memo");
+        if let Some(m) = memo.as_ref() {
+            if m.epoch == epoch {
+                return m.bundle.clone();
+            }
+        }
+        let bundle = compute();
+        *memo = Some(BundleMemo {
+            epoch,
+            bundle: bundle.clone(),
+        });
+        bundle
+    }
+
+    /// The epoch of the current memo, for introspection and tests.
+    pub fn bundle_epoch(&self) -> Option<u64> {
+        self.bundle
+            .lock()
+            .expect("bundle memo")
+            .as_ref()
+            .map(|m| m.epoch)
     }
 }
 
@@ -55,9 +126,21 @@ pub struct BinaryRegistry {
 }
 
 impl BinaryRegistry {
-    /// Register `name`; replaces an existing entry of the same name.
-    pub fn insert(&mut self, name: &str, binary: RegisteredBinary) {
+    /// Register `name`. Re-registering the same content under the same
+    /// name is an idempotent no-op (the existing entry, with its memoized
+    /// bundle, is kept); different content under an existing name is
+    /// rejected.
+    pub fn insert(&mut self, name: &str, binary: RegisteredBinary) -> Result<(), RegistryError> {
+        if let Some(existing) = self.entries.get(name) {
+            if existing.content_key != binary.content_key {
+                return Err(RegistryError::ContentConflict {
+                    name: name.to_string(),
+                });
+            }
+            return Ok(());
+        }
         self.entries.insert(name.to_string(), binary);
+        Ok(())
     }
 
     /// Resolve a request's `binary_ref`.
@@ -113,25 +196,66 @@ mod tests {
         let mut reg = BinaryRegistry::default();
         assert!(reg.is_empty());
         let b = demo_binary(3);
-        let hash = b.content_hash;
-        assert_ne!(hash, 0);
-        reg.insert("cg.B.4", b);
+        let key = b.content_key;
+        assert_ne!(key.hash, 0);
+        assert_ne!(key.len, 0);
+        reg.insert("cg.B.4", b).unwrap();
         assert_eq!(reg.len(), 1);
-        assert_eq!(reg.get("cg.B.4").unwrap().content_hash, hash);
+        assert_eq!(reg.get("cg.B.4").unwrap().content_key, key);
         assert!(reg.get("missing").is_none());
         assert_eq!(reg.names(), vec!["cg.B.4".to_string()]);
     }
 
     #[test]
-    fn bundle_computed_at_most_once() {
+    fn bundle_computed_at_most_once_per_epoch() {
         let b = demo_binary(4);
         let mut calls = 0;
         for _ in 0..3 {
-            b.bundle_or_init(|| {
+            b.bundle_for_epoch(0, || {
                 calls += 1;
                 None
             });
         }
         assert_eq!(calls, 1, "source phase memoized, even when it failed");
+        assert_eq!(b.bundle_epoch(), Some(0));
+
+        // An epoch bump (home site reconfigured) orphans the memo.
+        b.bundle_for_epoch(1, || {
+            calls += 1;
+            None
+        });
+        assert_eq!(calls, 2, "stale-epoch memo must be recomputed");
+        assert_eq!(b.bundle_epoch(), Some(1));
+        b.bundle_for_epoch(1, || {
+            calls += 1;
+            None
+        });
+        assert_eq!(calls, 2, "fresh-epoch memo is reused");
+    }
+
+    #[test]
+    fn changed_content_under_an_existing_name_is_rejected() {
+        let mut reg = BinaryRegistry::default();
+        let a = demo_binary(5);
+        let a_image = a.image.clone();
+        reg.insert("app", a).unwrap();
+
+        // Same name, same bytes: idempotent.
+        reg.insert("app", RegisteredBinary::new(a_image, "ranger"))
+            .unwrap();
+        assert_eq!(reg.len(), 1);
+
+        // Same name, different bytes: rejected, original entry kept.
+        let changed = demo_binary(6);
+        let before = reg.get("app").unwrap().content_key;
+        assert_eq!(
+            reg.insert("app", changed),
+            Err(RegistryError::ContentConflict { name: "app".into() })
+        );
+        assert_eq!(reg.get("app").unwrap().content_key, before);
+
+        // The changed binary registers fine under a new name.
+        reg.insert("app-v2", demo_binary(6)).unwrap();
+        assert_eq!(reg.len(), 2);
     }
 }

@@ -18,17 +18,18 @@
 //! populated and consulted exactly as the phases themselves decide —
 //! including the poisoning guard that keeps faulted computations out.
 
-use feam_core::cache::PhaseCaches;
+use feam_core::cache::{BdcKey, PhaseCaches};
 use feam_core::phases::{run_source_phase, run_target_phase, PhaseConfig};
 use feam_core::predict::{Prediction, PredictionMode};
 use feam_core::tec::TargetEvaluation;
+use feam_sim::faults::FaultPlan;
 use feam_sim::site::Site;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::Instant;
 
-use crate::registry::{BinaryRegistry, RegisteredBinary};
+use crate::registry::{BinaryRegistry, RegisteredBinary, RegistryError};
 
 /// One prediction query.
 #[derive(Debug, Clone)]
@@ -136,6 +137,10 @@ pub struct ServiceConfig {
     pub phase_seed: u64,
     /// Telemetry recorder threaded through the service and the phases.
     pub recorder: feam_obs::Recorder,
+    /// Explicit fault plan for the phases. `None` uses the ambient plan
+    /// from `FEAM_CHAOS_*`; tests that require strict determinism pin
+    /// [`FaultPlan::none`] here regardless of the environment.
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServiceConfig {
@@ -149,15 +154,17 @@ impl Default for ServiceConfig {
             sites_seed: 7,
             phase_seed: 0xFEA4,
             recorder: feam_obs::Recorder::disabled(),
+            fault_plan: None,
         }
     }
 }
 
-/// The memoization key: content hash of the binary, target site at a
-/// specific configuration epoch, and the prediction mode.
+/// The memoization key: full content key of the binary (primary hash +
+/// length + second-hash discriminators, so FNV collisions cannot alias),
+/// target site at a specific configuration epoch, and the prediction mode.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct RequestKey {
-    binary_hash: u64,
+    binary_key: BdcKey,
     site: String,
     epoch: u64,
     extended: bool,
@@ -211,12 +218,15 @@ impl PredictService {
     /// A service over an explicit site list.
     pub fn with_sites(cfg: ServiceConfig, sites: Vec<Site>) -> Self {
         let caches = cfg.caching.then(|| Arc::new(PhaseCaches::new(cfg.edc_ttl)));
-        let phase_cfg = PhaseConfig {
+        let mut phase_cfg = PhaseConfig {
             seed: cfg.phase_seed,
             recorder: cfg.recorder.clone(),
             caches: caches.clone(),
             ..PhaseConfig::default()
         };
+        if let Some(plan) = &cfg.fault_plan {
+            phase_cfg.faults = plan.clone();
+        }
         let site_idx = sites
             .iter()
             .enumerate()
@@ -243,11 +253,17 @@ impl PredictService {
 
     /// Register a binary under `name`. Only valid before
     /// [`start`](PredictService::start): the registry is immutable (and
-    /// therefore lock-free) once workers run.
-    pub fn register_binary(&mut self, name: &str, binary: RegisteredBinary) {
+    /// therefore lock-free) once workers run. Re-registering an existing
+    /// name with different content is rejected — a changed binary must
+    /// take a new name so cached answers never alias.
+    pub fn register_binary(
+        &mut self,
+        name: &str,
+        binary: RegisteredBinary,
+    ) -> Result<(), RegistryError> {
         let inner =
             Arc::get_mut(&mut self.inner).expect("register_binary must be called before start()");
-        inner.registry.insert(name, binary);
+        inner.registry.insert(name, binary)
     }
 
     /// Spawn the worker pool. Idempotent; tests submit against an
@@ -300,6 +316,20 @@ impl PredictService {
     /// The shared description caches (None when caching is off).
     pub fn caches(&self) -> Option<&Arc<PhaseCaches>> {
         self.inner.caches.as_ref()
+    }
+
+    /// The telemetry recorder threaded through the service.
+    pub fn recorder(&self) -> &feam_obs::Recorder {
+        &self.inner.cfg.recorder
+    }
+
+    /// Transient-error rate of `site`'s queueing system — the planner's
+    /// expected-launch-attempts input. `None` for unknown sites.
+    pub fn site_transient_rate(&self, site: &str) -> Option<f64> {
+        self.inner
+            .site_idx
+            .get(site)
+            .map(|&i| self.inner.sites[i].config.transient_error_rate)
     }
 
     /// Entries currently memoized in the result cache.
@@ -358,7 +388,7 @@ impl PredictService {
             None => 0,
         };
         let key = RequestKey {
-            binary_hash: binary.content_hash,
+            binary_key: binary.content_key,
             site: req.target_site.clone(),
             epoch,
             extended: req.mode == PredictionMode::Extended,
@@ -391,6 +421,28 @@ impl PredictService {
             waiters.push(waiter);
             rec.count("svc.coalesced", 1);
             return Ok(Delivery::Pending(rx));
+        }
+
+        // The flight may have landed between the fast-path probe and
+        // taking the inflight lock: `process` publishes its result and
+        // clears the inflight entry atomically under this lock, so a
+        // re-check here (lock order inflight → results, same as process)
+        // closes the window where a key is in neither map and would be
+        // evaluated twice.
+        if inner.cfg.result_cache && inner.caches.is_some() {
+            if let Some(hit) = inner.results.lock().expect("results").get(&key).cloned() {
+                rec.count("svc.result.hit", 1);
+                let latency_us = t0.elapsed().as_micros() as u64;
+                rec.observe("svc.latency_us", latency_us as f64);
+                return Ok(Delivery::Ready(PredictResponse {
+                    binary_ref: req.binary_ref.clone(),
+                    target_site: req.target_site.clone(),
+                    prediction: hit.0.clone(),
+                    evaluation: hit.1.clone(),
+                    from_result_cache: true,
+                    latency_us,
+                }));
+            }
         }
 
         // Admission control: shed when the queue is full.
@@ -464,9 +516,15 @@ fn process(inner: &Inner, job: Job) {
         .expect("queued jobs reference registered binaries");
 
     // Extended predictions need the source-phase bundle from the binary's
-    // home site; computed once per binary ever, then memoized.
+    // home site; computed once per home-site configuration epoch, then
+    // memoized. A reconfigured home site (epoch bump) orphans the memo.
     let bundle = if job.mode == PredictionMode::Extended {
-        binary.bundle_or_init(|| {
+        let home_epoch = inner
+            .caches
+            .as_ref()
+            .map(|c| c.edc.epoch(&binary.home_site))
+            .unwrap_or(0);
+        binary.bundle_for_epoch(home_epoch, || {
             let _span = rec.span("svc.source_phase");
             let home = inner
                 .site_idx
@@ -487,27 +545,30 @@ fn process(inner: &Inner, job: Job) {
         &inner.phase_cfg,
     );
 
+    // Publish and land the flight atomically: the result-cache insert and
+    // the inflight removal happen under the inflight lock (order inflight
+    // → results, matching submit's re-check), so at every instant a key
+    // is in at least one of the two maps and a racing submit either
+    // coalesces or hits the cache — never evaluates a second time.
+    //
     // Memoize only clean evaluations: a degraded outcome (faults,
     // unreadable binary, unobservable environment) is delivered to its
     // waiters but never becomes the canonical cached answer.
-    if inner.cfg.result_cache
-        && inner.caches.is_some()
-        && !outcome.evaluation.degraded
-        && outcome.environment.unobserved.is_empty()
-    {
-        inner.results.lock().expect("results").insert(
-            job.key.clone(),
-            Arc::new((outcome.prediction.clone(), outcome.evaluation.clone())),
-        );
-    }
+    let waiters = {
+        let mut inflight = inner.inflight.lock().expect("inflight");
+        if inner.cfg.result_cache
+            && inner.caches.is_some()
+            && !outcome.evaluation.degraded
+            && outcome.environment.unobserved.is_empty()
+        {
+            inner.results.lock().expect("results").insert(
+                job.key.clone(),
+                Arc::new((outcome.prediction.clone(), outcome.evaluation.clone())),
+            );
+        }
+        inflight.remove(&job.key).unwrap_or_default()
+    };
     drop(span);
-
-    let waiters = inner
-        .inflight
-        .lock()
-        .expect("inflight")
-        .remove(&job.key)
-        .unwrap_or_default();
     for w in waiters {
         let latency_us = w.since.elapsed().as_micros() as u64;
         rec.observe("svc.latency_us", latency_us as f64);

@@ -1,0 +1,179 @@
+//! Integration tests of the placement planner: parallel/sequential rank
+//! identity, planner-side pair coalescing, partial placements, and
+//! top-k truncation.
+
+use feam_core::predict::PredictionMode;
+use feam_svc::plan::{plan, plan_batch, plan_sequential};
+use feam_svc::{
+    PlanRequest, PredictService, RegisteredBinary, ServiceConfig, SiteSelection, SvcError,
+};
+use std::sync::Arc;
+
+/// A started service over the standard sites with `n` deterministic
+/// binaries, chaos pinned off so rankings are exactly reproducible.
+fn planning_service(n: usize, recorder: feam_obs::Recorder) -> PredictService {
+    use feam_sim::compile::{compile, ProgramSpec};
+    use feam_sim::toolchain::Language;
+    use feam_workloads::sites::{standard_sites, RANGER};
+
+    let cfg = ServiceConfig {
+        caching: true,
+        recorder,
+        fault_plan: Some(Arc::new(feam_sim::faults::FaultPlan::none())),
+        ..ServiceConfig::default()
+    };
+    let sites = standard_sites(cfg.sites_seed);
+    let ranger = &sites[RANGER];
+    let ist = ranger.stacks[1].clone();
+    let mut svc = PredictService::new(cfg);
+    let programs = ["cg", "mg", "ft", "lu"];
+    for i in 0..n {
+        let name = programs[i % programs.len()];
+        let bin = compile(
+            ranger,
+            Some(&ist),
+            &ProgramSpec::new(name, Language::Fortran),
+            2000 + i as u64,
+        )
+        .expect("test binary compiles");
+        svc.register_binary(
+            &format!("{name}.{i}"),
+            RegisteredBinary::new(bin.image, ranger.name()),
+        )
+        .expect("fresh name registers");
+    }
+    svc.start();
+    svc
+}
+
+#[test]
+fn parallel_plan_matches_the_sequential_oracle() {
+    let (recorder, _sink) = feam_obs::Recorder::memory();
+    let svc = planning_service(1, recorder);
+    let req = PlanRequest::all_sites("cg.0");
+
+    let parallel = plan(&svc, &req).unwrap();
+    assert_eq!(parallel.candidates, svc.site_names().len());
+    assert!(parallel.error_sites == 0, "all standard sites evaluate");
+    assert!(parallel.best().is_some());
+
+    // A cache-disabled sequential twin must produce the identical ranking.
+    let twin = {
+        let (rec2, _s2) = feam_obs::Recorder::memory();
+        let mut cfg = ServiceConfig {
+            caching: false,
+            workers: 1,
+            recorder: rec2,
+            fault_plan: Some(Arc::new(feam_sim::faults::FaultPlan::none())),
+            ..ServiceConfig::default()
+        };
+        cfg.result_cache = false;
+        let sites = feam_workloads::sites::standard_sites(cfg.sites_seed);
+        let ranger = &sites[feam_workloads::sites::RANGER];
+        let ist = ranger.stacks[1].clone();
+        let bin = feam_sim::compile::compile(
+            ranger,
+            Some(&ist),
+            &feam_sim::compile::ProgramSpec::new("cg", feam_sim::toolchain::Language::Fortran),
+            2000,
+        )
+        .unwrap();
+        let mut svc = PredictService::new(cfg);
+        svc.register_binary("cg.0", RegisteredBinary::new(bin.image, ranger.name()))
+            .unwrap();
+        svc.start();
+        svc
+    };
+    let oracle = plan_sequential(&twin, &req).unwrap();
+    assert_eq!(
+        parallel.fingerprint(),
+        oracle.fingerprint(),
+        "parallel all-sites ranking must be byte-identical to the sequential oracle"
+    );
+
+    // And a repeat parallel run (warm caches) is rank-stable.
+    let again = plan(&svc, &req).unwrap();
+    assert_eq!(parallel.fingerprint(), again.fingerprint());
+}
+
+#[test]
+fn batch_coalesces_duplicate_pairs() {
+    let (recorder, _sink) = feam_obs::Recorder::memory();
+    let svc = planning_service(2, recorder.clone());
+    let reqs = vec![
+        PlanRequest::all_sites("cg.0"),
+        PlanRequest::all_sites("cg.0"), // duplicate of every pair above
+        PlanRequest::all_sites("mg.1"),
+    ];
+    let placements = plan_batch(&svc, &reqs);
+    assert!(placements.iter().all(|p| p.is_ok()));
+    let n_sites = svc.site_names().len() as u64;
+
+    let counters = recorder.snapshot().counters;
+    assert_eq!(counters["plan.pairs.evaluated"], 2 * n_sites);
+    assert_eq!(counters["plan.pairs.coalesced"], n_sites);
+    // Duplicate requests share outcomes, so their rankings agree exactly.
+    let a = placements[0].as_ref().unwrap().fingerprint();
+    let b = placements[1].as_ref().unwrap().fingerprint();
+    assert_eq!(a, b);
+    // The worker pool never evaluated a pair twice.
+    assert!(svc.evaluations() <= 2 * n_sites);
+}
+
+#[test]
+fn unknown_binary_fails_only_its_own_request() {
+    let (recorder, _sink) = feam_obs::Recorder::memory();
+    let svc = planning_service(1, recorder);
+    let reqs = vec![
+        PlanRequest::all_sites("cg.0"),
+        PlanRequest::all_sites("missing"),
+    ];
+    let placements = plan_batch(&svc, &reqs);
+    assert!(placements[0].is_ok());
+    assert_eq!(
+        placements[1].as_ref().unwrap_err(),
+        &SvcError::UnknownBinary("missing".into())
+    );
+}
+
+#[test]
+fn unknown_candidate_sites_become_errored_entries_not_failures() {
+    let (recorder, _sink) = feam_obs::Recorder::memory();
+    let svc = planning_service(1, recorder);
+    let mut names = svc.site_names();
+    names.push("atlantis".to_string());
+    let req = PlanRequest {
+        binary_ref: "cg.0".into(),
+        sites: SiteSelection::Sites(names.clone()),
+        mode: PredictionMode::Basic,
+        k: None,
+    };
+    let p = plan(&svc, &req).unwrap();
+    assert_eq!(p.candidates, names.len());
+    assert_eq!(
+        p.error_sites, 1,
+        "the unknown site errors, the plan survives"
+    );
+    let last = p.sites.last().unwrap();
+    assert_eq!(last.site, "atlantis");
+    assert!(last.error.is_some(), "errored sites rank last");
+}
+
+#[test]
+fn top_k_truncates_after_ranking() {
+    let (recorder, _sink) = feam_obs::Recorder::memory();
+    let svc = planning_service(1, recorder);
+    let full = plan(&svc, &PlanRequest::all_sites("cg.0")).unwrap();
+    let req = PlanRequest {
+        k: Some(2),
+        ..PlanRequest::all_sites("cg.0")
+    };
+    let top2 = plan(&svc, &req).unwrap();
+    assert_eq!(top2.sites.len(), 2);
+    assert_eq!(
+        top2.candidates, full.candidates,
+        "counts cover all candidates"
+    );
+    assert_eq!(top2.sites[0].site, full.sites[0].site);
+    assert_eq!(top2.sites[1].site, full.sites[1].site);
+}

@@ -32,7 +32,8 @@ fn small_service(cfg: ServiceConfig, n: usize) -> PredictService {
         svc.register_binary(
             &format!("{name}.{i}"),
             RegisteredBinary::new(bin.image, ranger.name()),
-        );
+        )
+        .expect("fresh name registers");
     }
     svc
 }

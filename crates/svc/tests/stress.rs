@@ -1,0 +1,245 @@
+//! Concurrency stress: many threads hammering a hot-key Zipf stream must
+//! never cause a duplicate evaluation of the same `(binary, site, epoch,
+//! mode)` key, and a saturated admission queue must always answer — either
+//! `Pending`, a coalesced flight, or `Overloaded` — without deadlocking.
+
+use feam_core::predict::PredictionMode;
+use feam_sim::faults::FaultPlan;
+use feam_svc::{
+    Delivery, PredictRequest, PredictService, RegisteredBinary, ServiceConfig, SvcError,
+};
+use std::sync::Arc;
+
+/// A service over the standard sites with `n` small MPI binaries
+/// registered (compiled at Ranger), faults pinned off so every evaluation
+/// is clean and memoizable.
+fn stress_service(cfg: ServiceConfig, n: usize) -> PredictService {
+    use feam_sim::compile::{compile, ProgramSpec};
+    use feam_sim::toolchain::Language;
+    use feam_workloads::sites::{standard_sites, RANGER};
+
+    let sites = standard_sites(cfg.sites_seed);
+    let ranger = &sites[RANGER];
+    let ist = ranger.stacks[1].clone();
+    let mut svc = PredictService::new(cfg);
+    let programs = ["cg", "mg", "ft", "lu", "bt", "sp", "ep", "is"];
+    for i in 0..n {
+        let name = programs[i % programs.len()];
+        let bin = compile(
+            ranger,
+            Some(&ist),
+            &ProgramSpec::new(name, Language::Fortran),
+            3000 + i as u64,
+        )
+        .expect("test binary compiles");
+        svc.register_binary(
+            &format!("{name}.{i}"),
+            RegisteredBinary::new(bin.image, ranger.name()),
+        )
+        .expect("fresh name registers");
+    }
+    svc
+}
+
+fn pinned_cfg() -> ServiceConfig {
+    ServiceConfig {
+        caching: true,
+        result_cache: true,
+        fault_plan: Some(Arc::new(FaultPlan::none())),
+        workers: 4,
+        queue_capacity: 1024,
+        ..ServiceConfig::default()
+    }
+}
+
+/// SplitMix64 — deterministic per-thread streams.
+struct Gen(u64);
+
+impl Gen {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Zipf-flavored index in `[0, n)`: cubing the uniform variate piles
+    /// most of the mass onto the low (hot) indices.
+    fn zipfish(&mut self, n: usize) -> usize {
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        ((u * u * u) * n as f64) as usize % n
+    }
+}
+
+#[test]
+fn hot_key_stream_never_double_evaluates() {
+    let mut svc = stress_service(pinned_cfg(), 6);
+    svc.start();
+    let binaries = svc.binary_names();
+    let sites = svc.site_names();
+
+    // The request universe: every (binary, site, mode) triple, indexed so
+    // the Zipf pick concentrates threads on the same hot keys — the
+    // worst case for single-flight.
+    let mut universe = Vec::new();
+    for b in &binaries {
+        for s in &sites {
+            for mode in [PredictionMode::Basic, PredictionMode::Extended] {
+                universe.push(PredictRequest {
+                    binary_ref: b.clone(),
+                    target_site: s.clone(),
+                    mode,
+                });
+            }
+        }
+    }
+
+    let mut touched = std::collections::HashSet::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let universe = &universe;
+            let svc = &svc;
+            handles.push(scope.spawn(move || {
+                let mut g = Gen(0xC0FF_EE00 + t);
+                let mut seen = Vec::new();
+                for _ in 0..150 {
+                    let idx = g.zipfish(universe.len());
+                    let resp = svc.predict(&universe[idx]).expect("stream request");
+                    assert!(!resp.prediction.verdicts.is_empty());
+                    seen.push(idx);
+                }
+                seen
+            }));
+        }
+        for h in handles {
+            touched.extend(h.join().expect("stream thread"));
+        }
+    });
+
+    // With faults off, epochs constant and the result cache on, every key
+    // is evaluated exactly once no matter how many threads raced on it.
+    assert_eq!(
+        svc.evaluations(),
+        touched.len() as u64,
+        "one evaluation per distinct (binary, site, epoch, mode) key"
+    );
+}
+
+#[test]
+fn full_queue_sheds_overloaded_and_drains_without_deadlock() {
+    let cfg = ServiceConfig {
+        queue_capacity: 4,
+        ..pinned_cfg()
+    };
+    // Unstarted service: submissions queue up deterministically.
+    let mut svc = stress_service(cfg, 8);
+    let sites = svc.site_names();
+
+    // 8 binaries × 2 sites = 16 distinct keys against a 4-deep queue.
+    let mut pending = Vec::new();
+    let mut shed = Vec::new();
+    for (i, b) in svc.binary_names().iter().enumerate() {
+        for site in &sites[..2] {
+            let req = PredictRequest {
+                binary_ref: b.clone(),
+                target_site: site.clone(),
+                mode: if i % 2 == 0 {
+                    PredictionMode::Basic
+                } else {
+                    PredictionMode::Extended
+                },
+            };
+            match svc.submit(&req) {
+                Ok(Delivery::Pending(rx)) => pending.push(rx),
+                Ok(Delivery::Ready(_)) => panic!("nothing is cached yet"),
+                Err(SvcError::Overloaded { queue_depth }) => {
+                    assert_eq!(queue_depth, 4, "shed exactly at capacity");
+                    shed.push(req);
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+    }
+    assert_eq!(pending.len(), 4, "queue admits exactly its capacity");
+    assert_eq!(shed.len(), 12, "everything past capacity sheds");
+    assert_eq!(svc.queue_depth(), 4);
+
+    // A duplicate of a queued key coalesces even though the queue is
+    // full — coalescing must win over shedding.
+    let queued_again = PredictRequest {
+        binary_ref: svc.binary_names()[0].clone(),
+        target_site: sites[0].clone(),
+        mode: PredictionMode::Basic,
+    };
+    match svc.submit(&queued_again) {
+        Ok(Delivery::Pending(rx)) => pending.push(rx),
+        other => panic!("duplicate key must coalesce, got {other:?}"),
+    }
+    assert_eq!(svc.queue_depth(), 4, "coalesced request added no job");
+
+    // Start the pool and drain: every admitted waiter gets an answer.
+    svc.start();
+    for rx in pending {
+        let resp = rx.recv().expect("queued request completes");
+        assert!(!resp.prediction.verdicts.is_empty());
+    }
+
+    // Shed requests retry fine once the queue has drained.
+    for req in shed {
+        let resp = svc.predict(&req).expect("retry after shed");
+        assert!(!resp.prediction.verdicts.is_empty());
+    }
+}
+
+#[test]
+fn concurrent_shedding_never_deadlocks() {
+    let cfg = ServiceConfig {
+        queue_capacity: 2,
+        workers: 2,
+        ..pinned_cfg()
+    };
+    let mut svc = stress_service(cfg, 8);
+    svc.start();
+    let sites = svc.site_names();
+
+    // Saturate a 2-deep queue from 8 threads; Overloaded is the expected
+    // steady state, and every request must eventually land via retries.
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, b) in svc.binary_names().into_iter().enumerate() {
+            let site = sites[i % sites.len()].clone();
+            let svc = &svc;
+            handles.push(scope.spawn(move || {
+                let req = PredictRequest {
+                    binary_ref: b,
+                    target_site: site,
+                    mode: PredictionMode::Basic,
+                };
+                let mut sheds = 0u32;
+                loop {
+                    match svc.predict(&req) {
+                        Ok(resp) => {
+                            assert!(!resp.prediction.verdicts.is_empty());
+                            return sheds;
+                        }
+                        Err(SvcError::Overloaded { .. }) => {
+                            sheds += 1;
+                            assert!(sheds < 100_000, "livelock: shed forever");
+                            std::thread::yield_now();
+                        }
+                        Err(e) => panic!("unexpected error: {e}"),
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("saturating thread");
+        }
+    });
+
+    // All eight distinct keys were evaluated exactly once despite the
+    // shed/retry churn.
+    assert_eq!(svc.evaluations(), 8);
+}

@@ -15,6 +15,9 @@
 //!   Environment Discovery Component and Target Evaluation Component, the
 //!   four-determinant prediction model and the shared-library resolution
 //!   model.
+//! * [`svc`] — the long-running prediction service: description caches,
+//!   single-flight coalescing, bounded admission, and the site-placement
+//!   planner.
 //! * [`eval`] — the §VI evaluation harness regenerating Tables I–IV.
 //!
 //! ## Quickstart
@@ -44,4 +47,5 @@ pub use feam_elf as elf;
 pub use feam_eval as eval;
 pub use feam_obs as obs;
 pub use feam_sim as sim;
+pub use feam_svc as svc;
 pub use feam_workloads as workloads;

@@ -9,13 +9,16 @@
 //! feam objdump  /path/to/binary    # objdump -p style private headers
 //! feam comment  /path/to/binary    # readelf -p .comment equivalent
 //! feam check    /path/to/binary    # lint; exits 1 on Error findings
+//! feam plan     /path/to/binary    # rank the simulated sites by readiness
 //! feam demo                        # one simulated migration, end to end
 //! ```
 //!
-//! `describe`, `identify` and `check` accept `--json` for machine-readable
-//! output. `demo` accepts `--trace <file>` (or the `FEAM_TRACE`
-//! environment variable) to write a JSONL trace of the whole pipeline and
-//! print a per-phase timing breakdown.
+//! `describe`, `identify`, `check` and `plan` accept `--json` for
+//! machine-readable output. `plan` additionally accepts `-k N` (top-N
+//! sites only), `--extended` (source + target prediction) and repeated
+//! `--site S` to restrict the candidate list. `demo` accepts `--trace
+//! <file>` (or the `FEAM_TRACE` environment variable) to write a JSONL
+//! trace of the whole pipeline and print a per-phase timing breakdown.
 
 use feam::core::bdc::{identify_mpi, BinaryDescription, MpiIdentification};
 use feam::elf::render::{render_comment_section, render_objdump_p, render_summary};
@@ -23,7 +26,9 @@ use feam::elf::ElfFile;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: feam <describe|identify|objdump|comment|check> [--json] <elf-file>\n       feam demo [--trace <file>]"
+        "usage: feam <describe|identify|objdump|comment|check> [--json] <elf-file>\n       \
+         feam plan [--json] [-k N] [--extended] [--site S]... <elf-file>\n       \
+         feam demo [--trace <file>]"
     );
     std::process::exit(2);
 }
@@ -205,6 +210,7 @@ fn main() {
                 }
             }
         }
+        Some("plan") => plan_cmd(&args[1..]),
         Some("demo") => {
             let mut trace: Option<String> = std::env::var("FEAM_TRACE").ok();
             let mut rest = args[1..].iter();
@@ -221,6 +227,127 @@ fn main() {
             demo(trace.as_deref());
         }
         _ => usage(),
+    }
+}
+
+/// `feam plan [--json] [-k N] [--extended] [--site S]... <elf-file>`:
+/// evaluate the binary against the simulated standard sites concurrently
+/// and print the readiness ranking. Exits 1 when no site produced a
+/// prediction at all; degraded or errored sites otherwise just rank last.
+fn plan_cmd(args: &[String]) {
+    use feam::core::predict::PredictionMode;
+    use feam::svc::plan::plan;
+    use feam::svc::{PlanRequest, PredictService, RegisteredBinary, ServiceConfig, SiteSelection};
+    use std::sync::Arc;
+
+    let mut json = false;
+    let mut k: Option<usize> = None;
+    let mut extended = false;
+    let mut only_sites: Vec<String> = Vec::new();
+    let mut path: Option<&str> = None;
+    let mut rest = args.iter();
+    while let Some(a) = rest.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--extended" => extended = true,
+            "-k" => match rest.next().and_then(|v| v.parse().ok()) {
+                Some(n) => k = Some(n),
+                None => usage(),
+            },
+            "--site" => match rest.next() {
+                Some(s) => only_sites.push(s.clone()),
+                None => usage(),
+            },
+            other if path.is_none() && !other.starts_with('-') => path = Some(other),
+            _ => usage(),
+        }
+    }
+    let Some(path) = path else { usage() };
+    let bytes = read_elf(path);
+    if let Err(e) = ElfFile::parse(&bytes) {
+        eprintln!("feam: {e}");
+        std::process::exit(1);
+    }
+
+    let mut svc = PredictService::new(ServiceConfig::default());
+    let home = svc.site_names().first().cloned().unwrap_or_default();
+    svc.register_binary(path, RegisteredBinary::new(Arc::new(bytes), &home))
+        .expect("fresh registry accepts the binary");
+    svc.start();
+    let req = PlanRequest {
+        binary_ref: path.to_string(),
+        sites: if only_sites.is_empty() {
+            SiteSelection::All
+        } else {
+            SiteSelection::Sites(only_sites)
+        },
+        mode: if extended {
+            PredictionMode::Extended
+        } else {
+            PredictionMode::Basic
+        },
+        k,
+    };
+    let placement = match plan(&svc, &req) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("feam: {e}");
+            std::process::exit(1);
+        }
+    };
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde_json::to_value(&placement).expect("serialize"))
+                .unwrap()
+        );
+    } else {
+        println!(
+            "== FEAM placement: {} ({} prediction, {} candidate sites) ==",
+            path,
+            if extended { "extended" } else { "basic" },
+            placement.candidates
+        );
+        println!("rank  site          verdict     conf   ship        attempts  note");
+        for (i, s) in placement.sites.iter().enumerate() {
+            let note = s.error.clone().unwrap_or_else(|| {
+                s.prediction
+                    .as_ref()
+                    .and_then(|p| p.first_failure())
+                    .map(|v| format!("{}: {}", v.determinant.name(), v.detail))
+                    .unwrap_or_default()
+            });
+            println!(
+                "{:>4}  {:<12}  {:<10}  {:>4.2}  {:>3} libs {:>8}  {:>7.2}  {}",
+                i + 1,
+                s.site,
+                s.verdict(),
+                s.confidence,
+                s.resolution_libraries,
+                format_bytes(s.resolution_bytes),
+                s.expected_launch_attempts,
+                note,
+            );
+        }
+        if placement.degraded_sites > 0 || placement.error_sites > 0 {
+            println!(
+                "({} degraded, {} errored site(s) ranked last)",
+                placement.degraded_sites, placement.error_sites
+            );
+        }
+    }
+    if placement.best().is_none() {
+        std::process::exit(1);
+    }
+}
+
+fn format_bytes(n: u64) -> String {
+    if n >= 1024 * 1024 {
+        format!("{:.1}MiB", n as f64 / (1024.0 * 1024.0))
+    } else if n >= 1024 {
+        format!("{:.1}KiB", n as f64 / 1024.0)
+    } else {
+        format!("{n}B")
     }
 }
 

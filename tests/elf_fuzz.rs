@@ -1,0 +1,333 @@
+//! Corrupt-ELF fuzz sweep: the reader must return `Err` on structural
+//! corruption and must *never* panic, hang, or attempt absurd allocations,
+//! whatever bytes it is fed. Cases come from a deterministic SplitMix64
+//! mutator over valid builder-produced images, so every failure is
+//! reproducible from its case number.
+
+use feam::elf::versions::{parse_verneed, VersionRef, VersionRefEntry};
+use feam::elf::{Class, ElfFile, ElfSpec, Endian, ExportSpec, ImportSpec, Machine};
+
+/// SplitMix64-style deterministic generator.
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+}
+
+/// A pool of valid images covering both classes, byte orders, file kinds
+/// and both reader routes (with and without section headers).
+fn base_images() -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    for (class, endian) in [
+        (Class::Elf64, Endian::Little),
+        (Class::Elf64, Endian::Big),
+        (Class::Elf32, Endian::Little),
+    ] {
+        let mut spec = ElfSpec::executable(Machine::X86_64, class);
+        spec.endian = endian;
+        spec.needed = vec!["libmpi.so.0".into(), "libc.so.6".into()];
+        spec.imports = vec![
+            ImportSpec::versioned("fopen64", "libc.so.6", "GLIBC_2.3.4"),
+            ImportSpec::versioned("MPI_Init", "libmpi.so.0", "OMPI_1.4"),
+            ImportSpec::plain("main_helper", "libc.so.6"),
+        ];
+        spec.comments = vec!["GCC: (GNU) 4.4.7".into()];
+        out.push(spec.build().expect("valid executable spec builds"));
+
+        let mut lib = ElfSpec::shared_library("libdemo.so.1", Machine::X86_64, class);
+        lib.endian = endian;
+        lib.exports = vec![
+            ExportSpec::new("demo_fn", Some("DEMO_1.0")),
+            ExportSpec::new("demo_fn2", None),
+        ];
+        out.push(lib.build().expect("valid library spec builds"));
+    }
+    out
+}
+
+/// Parse mutated bytes; an `Err` is the expected outcome, an `Ok` is
+/// tolerated (the flip may have landed in a don't-care byte) but every
+/// accessor must then hold up without panicking.
+fn parse_must_not_panic(bytes: &[u8]) -> bool {
+    match ElfFile::parse(bytes) {
+        Err(_) => false,
+        Ok(f) => {
+            let _ = f.needed();
+            let _ = f.soname();
+            let _ = f.interp();
+            let _ = f.comments();
+            let _ = f.dynamic_symbols();
+            let _ = f.version_refs();
+            let _ = f.version_defs();
+            let _ = f.required_glibc();
+            let _ = f.abi_tag();
+            let _ = f.is_dynamic();
+            true
+        }
+    }
+}
+
+/// ELF64 header field offsets (little/big endian agnostic — we patch via
+/// raw byte positions and both byte orders read the same positions).
+const E_SHOFF64: usize = 40;
+const E_SHNUM64: usize = 60;
+const E_SHENTSIZE64: usize = 58;
+
+fn put_u16(bytes: &mut [u8], off: usize, v: u16, e: Endian) {
+    let b = match e {
+        Endian::Little => v.to_le_bytes(),
+        Endian::Big => v.to_be_bytes(),
+    };
+    bytes[off..off + 2].copy_from_slice(&b);
+}
+
+fn put_u64(bytes: &mut [u8], off: usize, v: u64, e: Endian) {
+    let b = match e {
+        Endian::Little => v.to_le_bytes(),
+        Endian::Big => v.to_be_bytes(),
+    };
+    bytes[off..off + 8].copy_from_slice(&b);
+}
+
+fn image_endian(bytes: &[u8]) -> Endian {
+    if bytes[5] == 2 {
+        Endian::Big
+    } else {
+        Endian::Little
+    }
+}
+
+fn is_elf64(bytes: &[u8]) -> bool {
+    bytes[4] == 2
+}
+
+// ---------- targeted corruptions --------------------------------------------
+
+#[test]
+fn truncated_headers_always_err() {
+    for img in base_images() {
+        // Any prefix shorter than the fixed-size file header must be
+        // rejected outright.
+        for n in 0..52.min(img.len()) {
+            assert!(
+                ElfFile::parse(&img[..n]).is_err(),
+                "{n}-byte header prefix parsed"
+            );
+        }
+        // Longer truncations may or may not cut a referenced table; they
+        // must never panic either way.
+        for n in (0..img.len()).step_by(7) {
+            parse_must_not_panic(&img[..n]);
+        }
+    }
+}
+
+#[test]
+fn oversized_section_count_is_rejected() {
+    for img in base_images().into_iter().filter(|i| is_elf64(i)) {
+        let e = image_endian(&img);
+
+        // e_shnum = 0xFFFF with a real entry size: the claimed table runs
+        // far past EOF.
+        let mut m = img.clone();
+        put_u16(&mut m, E_SHNUM64, 0xFFFF, e);
+        assert!(ElfFile::parse(&m).is_err(), "oversized e_shnum parsed");
+
+        // Table offset near u64::MAX: per-entry offset arithmetic must not
+        // overflow into a bogus small offset (or a debug-mode panic).
+        let mut m = img.clone();
+        put_u64(&mut m, E_SHOFF64, u64::MAX - 16, e);
+        put_u16(&mut m, E_SHNUM64, 4, e);
+        assert!(ElfFile::parse(&m).is_err(), "overflowing e_shoff parsed");
+
+        // Huge entry size walks the cursor off the file immediately.
+        let mut m = img.clone();
+        put_u16(&mut m, E_SHENTSIZE64, 0xFFFF, e);
+        assert!(ElfFile::parse(&m).is_err(), "oversized e_shentsize parsed");
+    }
+}
+
+#[test]
+fn bogus_string_table_offsets_are_rejected() {
+    // Corrupt each ELF64 section header's sh_offset in turn: any section
+    // the reader traverses (shstrtab, dynstr, dynamic, versions, …) now
+    // points past EOF, which must surface as Err, never as a panic.
+    for img in base_images().into_iter().filter(|i| is_elf64(i)) {
+        let e = image_endian(&img);
+        let shoff = {
+            let f = ElfFile::parse(&img).expect("base image parses");
+            f.header().shoff as usize
+        };
+        let shnum = ElfFile::parse(&img).unwrap().header().shnum as usize;
+        let mut any_rejected = 0;
+        for i in 1..shnum {
+            let mut m = img.clone();
+            // sh_offset lives at +24 within a 64-byte ELF64 entry.
+            put_u64(&mut m, shoff + i * 64 + 24, u64::MAX - 0x1000, e);
+            if !parse_must_not_panic(&m) {
+                any_rejected += 1;
+            }
+        }
+        assert!(any_rejected > 0, "no corrupted section offset was rejected");
+    }
+}
+
+#[test]
+fn cyclic_and_overlong_version_ref_chains_are_bounded() {
+    // Hand-crafted verneed bytes, driven straight through the parser the
+    // reader uses. `vn_next`/`vna_next` cannot step backwards (offsets are
+    // unsigned sums), so the cyclic-chain attack shows up as (a) a
+    // self-referential aux chain via vna_next=0 mid-chain and (b) a record
+    // count far beyond what the bytes can hold.
+    let strtab_bytes = b"\0libc.so.6\0GLIBC_2.0\0".to_vec();
+    let strtab = feam::elf::strtab::StrTab::new(&strtab_bytes);
+    let e = Endian::Little;
+
+    // (a) vn_cnt = 3 but the first aux entry terminates the chain.
+    let mut bytes = Vec::new();
+    for v in [1u16, 3u16] {
+        bytes.extend_from_slice(&v.to_le_bytes()); // vn_version, vn_cnt
+    }
+    for v in [1u32, 16u32, 0u32] {
+        bytes.extend_from_slice(&v.to_le_bytes()); // vn_file, vn_aux, vn_next
+    }
+    for v in [0u32, 0u32] {
+        bytes.extend_from_slice(&v.to_le_bytes()); // vna_hash, flags+other
+    }
+    for v in [11u32, 0u32] {
+        bytes.extend_from_slice(&v.to_le_bytes()); // vna_name, vna_next = 0 (early stop)
+    }
+    assert!(parse_verneed(&bytes, 1, &strtab, e).is_err());
+
+    // (b) a count of u32::MAX over 32 bytes of data: must terminate with
+    // Err quickly and without attempting a giant allocation.
+    let refs = vec![VersionRef {
+        file: "libc.so.6".into(),
+        versions: vec![VersionRefEntry {
+            name: "GLIBC_2.0".into(),
+            index: 2,
+            weak: false,
+        }],
+    }];
+    let mut st = feam::elf::strtab::StrTabBuilder::new();
+    let encoded = feam::elf::versions::encode_verneed(&refs, &mut st, e);
+    let st_bytes = st.into_bytes();
+    let result = parse_verneed(
+        &encoded,
+        u32::MAX as usize,
+        &feam::elf::strtab::StrTab::new(&st_bytes),
+        e,
+    );
+    // One valid record then the chain ends (vn_next = 0): parsed fine,
+    // bounded by the data, not by the absurd count.
+    assert_eq!(result.expect("chain end bounds the walk").len(), 1);
+
+    // (c) vn_next = 1: records stride forward one byte at a time; the walk
+    // must stay bounded by the slice length.
+    let mut m = encoded.clone();
+    m[12..16].copy_from_slice(&1u32.to_le_bytes()); // vn_next
+    let _ = parse_verneed(
+        &m,
+        u32::MAX as usize,
+        &feam::elf::strtab::StrTab::new(&st_bytes),
+        e,
+    );
+}
+
+#[test]
+fn segment_route_survives_corruption() {
+    // Strip section headers so the reader takes the PT_DYNAMIC route, then
+    // flip bytes in the remaining image. The dynamic-segment walker, the
+    // vaddr→offset mapping and the verneed/symbol-table loads must all
+    // fail soft.
+    let mut g = Gen::new(0xE1F5_EC70);
+    for img in base_images().into_iter().filter(|i| is_elf64(i)) {
+        let e = image_endian(&img);
+        let mut stripped = img.clone();
+        put_u64(&mut stripped, E_SHOFF64, 0, e);
+        put_u16(&mut stripped, E_SHNUM64, 0, e);
+        assert!(
+            ElfFile::parse(&stripped).is_ok(),
+            "section-stripped base image must still parse via segments"
+        );
+        for _ in 0..400 {
+            let mut m = stripped.clone();
+            for _ in 0..g.range(1, 9) {
+                let pos = g.range(0, m.len());
+                m[pos] = g.next_u64() as u8;
+            }
+            parse_must_not_panic(&m);
+        }
+    }
+}
+
+// ---------- random sweeps ----------------------------------------------------
+
+#[test]
+fn random_byte_flips_never_panic() {
+    let images = base_images();
+    let mut g = Gen::new(0xBADC_0FFE);
+    for case in 0..3000 {
+        let img = &images[case % images.len()];
+        let mut m = img.clone();
+        for _ in 0..g.range(1, 17) {
+            let pos = g.range(0, m.len());
+            m[pos] = g.next_u64() as u8;
+        }
+        parse_must_not_panic(&m);
+    }
+}
+
+#[test]
+fn random_block_corruption_and_truncation_never_panic() {
+    let images = base_images();
+    let mut g = Gen::new(0x5EED_F00D);
+    for case in 0..1500 {
+        let img = &images[case % images.len()];
+        let mut m = img.clone();
+        // Overwrite a random block with random bytes.
+        let start = g.range(0, m.len());
+        let len = g.range(1, (m.len() - start).min(256) + 1);
+        for b in &mut m[start..start + len] {
+            *b = g.next_u64() as u8;
+        }
+        // Sometimes also truncate.
+        if g.range(0, 4) == 0 {
+            m.truncate(g.range(4, m.len()));
+        }
+        parse_must_not_panic(&m);
+    }
+}
+
+#[test]
+fn pure_garbage_never_parses() {
+    let mut g = Gen::new(0xDEAD_BEEF);
+    for _ in 0..500 {
+        let len = g.range(0, 512);
+        let bytes: Vec<u8> = (0..len).map(|_| g.next_u64() as u8).collect();
+        assert!(
+            ElfFile::parse(&bytes).is_err(),
+            "random bytes parsed as ELF"
+        );
+    }
+    // Magic alone is not enough.
+    assert!(ElfFile::parse(b"\x7fELF").is_err());
+    let mut magic_only = vec![0u8; 200];
+    magic_only[..4].copy_from_slice(b"\x7fELF");
+    assert!(ElfFile::parse(&magic_only).is_err());
+}
