@@ -1,0 +1,35 @@
+//! Differential conformance harness (model-based testing).
+//!
+//! The pipeline under test (`feam-core` + `feam-svc`) has grown caches,
+//! retry loops, coalescing and a ranked planner on top of the paper's
+//! decision rules. This crate answers one question, at scale: *do all
+//! those fast paths still compute the same answer as the model?*
+//!
+//! Four pieces:
+//!
+//! - [`universe`]: a seeded generator that synthesizes randomized worlds
+//!   (sites × binaries) well beyond the hand-written scenarios in
+//!   `feam-workloads`.
+//! - [`oracle`]: an independent, straight-line reimplementation of the
+//!   prediction + resolution decision rules — no caches, no sessions, no
+//!   retry — computing the expected verdicts from ground truth.
+//! - [`driver`]: runs the real pipeline against every universe under all
+//!   mode crossings (caches on/off × chaos 0/r × point-predict vs plan)
+//!   and checks oracle equality plus the metamorphic invariants.
+//! - [`shrink`]: minimizes a diverging universe to a small repro and
+//!   prints a one-line replay seed.
+
+pub mod driver;
+pub mod oracle;
+pub mod shrink;
+pub mod universe;
+
+pub use driver::{check_universe, ConformConfig, ConformReport, Divergence};
+pub use oracle::OracleMutation;
+
+/// Run the full conformance sweep: generate `cfg.universes` universes from
+/// `cfg.seed`, check each under all mode crossings, and shrink the first
+/// divergence (if any) to a minimal repro.
+pub fn run(cfg: &ConformConfig) -> ConformReport {
+    driver::run_sweep(cfg)
+}

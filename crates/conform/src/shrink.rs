@@ -1,0 +1,139 @@
+//! Divergence shrinker: minimize a failing universe to a small repro.
+//!
+//! Greedy delta-debugging over the spec layer: repeatedly try dropping
+//! one site, one binary, one stack, one compat runtime or one FPE
+//! trigger, keeping any candidate in which the divergence still
+//! reproduces, until a fixpoint. Because [`UniverseSpec`] references
+//! sites by name and stacks by ident, dropping a site silently orphans
+//! the binaries homed there ([`UniverseSpec::live_binaries`] skips them)
+//! — no index bookkeeping.
+
+use crate::driver::{check_universe, ConformConfig, Divergence};
+use crate::universe::UniverseSpec;
+
+/// A minimized reproduction of a divergence.
+#[derive(Debug)]
+pub struct ShrunkRepro {
+    /// The minimized spec (still diverging).
+    pub spec: UniverseSpec,
+    /// The divergences the minimized spec still exhibits.
+    pub divergences: Vec<Divergence>,
+    /// One-line replay command, regenerating the *original* universe.
+    pub replay: String,
+}
+
+impl ShrunkRepro {
+    /// The full report a CI log should carry: replay line + world summary
+    /// + surviving divergences.
+    pub fn render(&self) -> String {
+        let mut out = format!("replay: {}\n", self.replay);
+        out.push_str(&format!(
+            "minimized to {} site(s) x {} binarie(s):\n",
+            self.spec.sites.len(),
+            self.spec.live_binaries().len()
+        ));
+        out.push_str(&self.spec.summary());
+        for d in &self.divergences {
+            out.push_str(&format!("  {}\n", d.render()));
+        }
+        out
+    }
+}
+
+fn still_fails(spec: &UniverseSpec, cfg: &ConformConfig) -> Vec<Divergence> {
+    check_universe(spec, cfg).divergences
+}
+
+/// Minimize `spec` (assumed diverging under `cfg`) to a fixpoint.
+pub fn shrink(spec: &UniverseSpec, cfg: &ConformConfig) -> ShrunkRepro {
+    // Shrinking re-checks candidates many times; never re-shrink inside.
+    let cfg = ConformConfig {
+        shrink: false,
+        ..cfg.clone()
+    };
+    let mut cur = spec.clone();
+    let mut divergences = still_fails(&cur, &cfg);
+
+    loop {
+        let mut progressed = false;
+
+        // Pass 1: drop whole sites (back-to-front keeps indices stable).
+        for i in (0..cur.sites.len()).rev() {
+            if cur.sites.len() <= 1 {
+                break;
+            }
+            let mut cand = cur.clone();
+            cand.sites.remove(i);
+            let divs = still_fails(&cand, &cfg);
+            if !divs.is_empty() {
+                cur = cand;
+                divergences = divs;
+                progressed = true;
+            }
+        }
+
+        // Pass 2: drop binaries (dead ones — orphaned by a site drop —
+        // vanish here too, since the divergence trivially persists).
+        for i in (0..cur.binaries.len()).rev() {
+            if cur.binaries.len() <= 1 {
+                break;
+            }
+            let mut cand = cur.clone();
+            cand.binaries.remove(i);
+            let divs = still_fails(&cand, &cfg);
+            if !divs.is_empty() {
+                cur = cand;
+                divergences = divs;
+                progressed = true;
+            }
+        }
+
+        // Pass 3: drop individual stacks, compat runtimes and FPE
+        // triggers inside each surviving site.
+        for si in 0..cur.sites.len() {
+            for ki in (0..cur.sites[si].stacks.len()).rev() {
+                if cur.sites[si].stacks.len() <= 1 {
+                    break;
+                }
+                let mut cand = cur.clone();
+                cand.sites[si].stacks.remove(ki);
+                let divs = still_fails(&cand, &cfg);
+                if !divs.is_empty() {
+                    cur = cand;
+                    divergences = divs;
+                    progressed = true;
+                }
+            }
+            for ki in (0..cur.sites[si].compat_runtimes.len()).rev() {
+                let mut cand = cur.clone();
+                cand.sites[si].compat_runtimes.remove(ki);
+                let divs = still_fails(&cand, &cfg);
+                if !divs.is_empty() {
+                    cur = cand;
+                    divergences = divs;
+                    progressed = true;
+                }
+            }
+            for ki in (0..cur.sites[si].fpe_triggers.len()).rev() {
+                let mut cand = cur.clone();
+                cand.sites[si].fpe_triggers.remove(ki);
+                let divs = still_fails(&cand, &cfg);
+                if !divs.is_empty() {
+                    cur = cand;
+                    divergences = divs;
+                    progressed = true;
+                }
+            }
+        }
+
+        if !progressed {
+            break;
+        }
+    }
+
+    ShrunkRepro {
+        replay: format!("feam-eval --conform --universe-seed 0x{:x}", spec.seed),
+        spec: cur,
+        divergences,
+    }
+}

@@ -1,0 +1,568 @@
+//! Seeded universe generator.
+//!
+//! A *universe* is a randomized world — N sites with varied ISAs, OS
+//! releases, C libraries, MPI stacks, environment-management databases and
+//! tool availability × M binaries with varied word sizes, `DT_NEEDED`
+//! closures, verneed chains, `.comment` provenance and MPI link
+//! signatures — synthesized deterministically from one seed, well beyond
+//! the five hand-written scenarios in `crates/workloads`.
+//!
+//! The spec layer ([`UniverseSpec`]) is plain data: sites reference
+//! nothing, binaries reference their home site *by name* and their build
+//! stack *by ident*, so the shrinker can drop sites, stacks or binaries
+//! and re-materialize what remains without index bookkeeping.
+//!
+//! Fault knobs are pinned to zero at materialization: conformance
+//! universes are fault-free by construction, so the real pipeline's
+//! behavior in them is deterministic and directly comparable to the
+//! reference oracle. Chaos is layered on by the driver via an explicit
+//! `FaultPlan`, never by the world itself.
+
+use feam_elf::HostArch;
+use feam_sim::compile::{compile, ProgramSpec};
+use feam_sim::mpi::{MpiImpl, MpiStack, Network};
+use feam_sim::rng;
+use feam_sim::site::{EnvMgmt, OsInfo, Site, SiteConfig};
+use feam_sim::toolchain::{Compiler, CompilerFamily, Language};
+use feam_workloads::vocab::{compiler_from_vocab, OS_TABLE};
+use std::sync::Arc;
+
+/// One MPI stack installation at a generated site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StackSpec {
+    pub mpi: MpiImpl,
+    pub version: String,
+    pub compiler: Compiler,
+    pub network: Network,
+    pub functional: bool,
+}
+
+impl StackSpec {
+    /// The module/prefix ident this stack materializes under.
+    pub fn ident(&self) -> String {
+        MpiStack::new(self.mpi, &self.version, self.compiler.clone(), self.network).ident()
+    }
+}
+
+/// One generated site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteSpec {
+    pub name: String,
+    pub arch: HostArch,
+    /// (distro, release, kernel) for [`OsInfo`].
+    pub os: (String, String, String),
+    pub glibc: String,
+    pub env_mgmt: EnvMgmt,
+    pub compilers: Vec<Compiler>,
+    pub stacks: Vec<StackSpec>,
+    pub compat_runtimes: Vec<Compiler>,
+    pub fpe_triggers: Vec<(CompilerFamily, String)>,
+    pub hot_glibc_bias: f64,
+    pub ldd_present: bool,
+    pub locate_present: bool,
+}
+
+/// One generated binary, built at its home site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinarySpec {
+    pub name: String,
+    /// Home site, by name (survives site drops during shrinking).
+    pub home_site: String,
+    /// Build stack, by ident; `None` = serial (non-MPI) binary.
+    pub stack_ident: Option<String>,
+    pub language: Language,
+    pub glibc_appetite: f64,
+    pub mpi_abi_marker_prob: f64,
+}
+
+/// A full generated world specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UniverseSpec {
+    /// The universe seed (also the replay handle).
+    pub seed: u64,
+    pub sites: Vec<SiteSpec>,
+    pub binaries: Vec<BinarySpec>,
+}
+
+impl UniverseSpec {
+    /// Binaries whose home site + build stack still exist in this spec
+    /// (the shrinker may have orphaned some).
+    pub fn live_binaries(&self) -> Vec<&BinarySpec> {
+        self.binaries
+            .iter()
+            .filter(|b| {
+                self.sites.iter().any(|s| {
+                    s.name == b.home_site
+                        && match &b.stack_ident {
+                            Some(id) => s.stacks.iter().any(|st| &st.ident() == id),
+                            None => true,
+                        }
+                })
+            })
+            .collect()
+    }
+
+    /// One-screen description, printed alongside a shrunk repro.
+    pub fn summary(&self) -> String {
+        let mut out = format!("universe seed 0x{:x}\n", self.seed);
+        for s in &self.sites {
+            out.push_str(&format!(
+                "  site {} arch={:?} glibc={} env={:?} ldd={} locate={} hot={} fpe={:?}\n",
+                s.name,
+                s.arch,
+                s.glibc,
+                s.env_mgmt,
+                s.ldd_present,
+                s.locate_present,
+                s.hot_glibc_bias,
+                s.fpe_triggers,
+            ));
+            for c in &s.compilers {
+                out.push_str(&format!("    compiler {}\n", c.ident()));
+            }
+            for c in &s.compat_runtimes {
+                out.push_str(&format!("    compat-runtime {}\n", c.ident()));
+            }
+            for st in &s.stacks {
+                out.push_str(&format!(
+                    "    stack {}{}\n",
+                    st.ident(),
+                    if st.functional { "" } else { " (broken)" }
+                ));
+            }
+        }
+        for b in self.live_binaries() {
+            out.push_str(&format!(
+                "  binary {} home={} stack={} lang={:?} appetite={} abi_prob={}\n",
+                b.name,
+                b.home_site,
+                b.stack_ident.as_deref().unwrap_or("(serial)"),
+                b.language,
+                b.glibc_appetite,
+                b.mpi_abi_marker_prob,
+            ));
+        }
+        out
+    }
+}
+
+/// A materialized binary: the compiled image plus its spec.
+pub struct UniverseBinary {
+    pub spec: BinarySpec,
+    pub image: Arc<Vec<u8>>,
+}
+
+/// A materialized universe: built sites + compiled binaries.
+pub struct Universe {
+    pub spec: UniverseSpec,
+    pub sites: Vec<Site>,
+    pub binaries: Vec<UniverseBinary>,
+}
+
+impl Universe {
+    pub fn site(&self, name: &str) -> Option<&Site> {
+        self.sites.iter().find(|s| s.name() == name)
+    }
+}
+
+/// glibc versions a site of `class` may run (≥ the architecture baseline,
+/// so locally built binaries always import satisfiable versions).
+fn glibc_choices(class: feam_elf::Class) -> Vec<&'static str> {
+    let base = feam_sim::libc::glibc_version(feam_sim::libc::baseline_for(class));
+    feam_sim::libc::GLIBC_LADDER
+        .iter()
+        .copied()
+        .filter(|v| {
+            feam_sim::libc::glibc_version(v)
+                .cmp_same_prefix(&base)
+                .map(|o| o.is_ge())
+                .unwrap_or(false)
+        })
+        .collect()
+}
+
+fn gen_stack(
+    seed: u64,
+    site_idx: usize,
+    stack_idx: usize,
+    site_compilers: &[Compiler],
+) -> StackSpec {
+    let si = site_idx.to_string();
+    let ki = stack_idx.to_string();
+    let parts = |tag: &str| -> u64 { rng::hash_parts(seed, &[&si, &ki, tag]) };
+    let mpi = *rng::pick(
+        parts("impl"),
+        &["mpi"],
+        &[MpiImpl::OpenMpi, MpiImpl::Mpich2, MpiImpl::Mvapich2],
+    );
+    let version = rng::pick(parts("ver"), &["ver"], mpi.known_versions()).to_string();
+    // ~80%: built with a compiler actually installed at the site (same
+    // version); otherwise a vocabulary compiler that may be absent or a
+    // different version of an installed family — the native-probe-failure
+    // coverage the paper's "advertised but not useable" stacks need.
+    let compiler = if !site_compilers.is_empty() && rng::chance(parts("cpick"), &["c"], 0.8) {
+        rng::pick(parts("cwhich"), &["c"], site_compilers).clone()
+    } else {
+        let family = *rng::pick(
+            parts("cfam"),
+            &["c"],
+            &[
+                CompilerFamily::Gnu,
+                CompilerFamily::Intel,
+                CompilerFamily::Pgi,
+            ],
+        );
+        compiler_from_vocab(family, parts("cver"), &["c"])
+    };
+    let network = if mpi == MpiImpl::Mvapich2 {
+        if rng::chance(parts("net"), &["n"], 0.9) {
+            Network::Infiniband
+        } else {
+            Network::Ethernet
+        }
+    } else if rng::chance(parts("net"), &["n"], 0.25) {
+        Network::Infiniband
+    } else {
+        Network::Ethernet
+    };
+    let functional = rng::chance(parts("fn"), &["f"], 0.85);
+    StackSpec {
+        mpi,
+        version,
+        compiler,
+        network,
+        functional,
+    }
+}
+
+fn gen_site(seed: u64, idx: usize) -> SiteSpec {
+    let si = idx.to_string();
+    let parts = |tag: &str| -> u64 { rng::hash_parts(seed, &[&si, tag]) };
+    let rich = idx == 0; // site 0 is the guaranteed-buildable home site
+
+    let arch = if rich {
+        HostArch::X86_64
+    } else {
+        *rng::pick(
+            parts("arch"),
+            &["a"],
+            &[
+                HostArch::X86_64,
+                HostArch::X86_64,
+                HostArch::X86_64,
+                HostArch::X86_64,
+                HostArch::Ppc64,
+                HostArch::X86,
+            ],
+        )
+    };
+    let class = arch.native_target().1;
+    let os = *rng::pick(parts("os"), &["o"], OS_TABLE);
+    let glibc = rng::pick(parts("glibc"), &["g"], &glibc_choices(class)).to_string();
+
+    // ≤ 1 compiler per family; a rich site always has GNU (serial builds).
+    let mut compilers = Vec::new();
+    if rich || rng::chance(parts("has-gnu"), &["g"], 0.8) {
+        compilers.push(compiler_from_vocab(
+            CompilerFamily::Gnu,
+            parts("gnu"),
+            &["v"],
+        ));
+    }
+    if rng::chance(parts("has-intel"), &["i"], 0.4) {
+        compilers.push(compiler_from_vocab(
+            CompilerFamily::Intel,
+            parts("intel"),
+            &["v"],
+        ));
+    }
+    if rng::chance(parts("has-pgi"), &["p"], 0.25) {
+        compilers.push(compiler_from_vocab(
+            CompilerFamily::Pgi,
+            parts("pgi"),
+            &["v"],
+        ));
+    }
+
+    let n_stacks = 1 + (rng::unit_f64(parts("nstacks")) * 3.0) as usize; // 1..=3
+    let mut stacks: Vec<StackSpec> = Vec::new();
+    for k in 0..n_stacks {
+        let st = gen_stack(seed, idx, k, &compilers);
+        if stacks.iter().all(|s| s.ident() != st.ident()) {
+            stacks.push(st);
+        }
+    }
+    if rich {
+        // Guarantee one functional stack built with an installed compiler.
+        stacks[0].compiler = compilers[0].clone();
+        stacks[0].functional = true;
+        let mut seen: Vec<String> = Vec::new();
+        stacks.retain(|s| {
+            let id = s.ident();
+            if seen.contains(&id) {
+                false
+            } else {
+                seen.push(id);
+                true
+            }
+        });
+    }
+
+    let mut compat_runtimes = Vec::new();
+    if rng::chance(parts("compat1"), &["c"], 0.3) {
+        compat_runtimes.push(compiler_from_vocab(
+            CompilerFamily::Gnu,
+            parts("compatg"),
+            &["v"],
+        ));
+    }
+    if rng::chance(parts("compat2"), &["c"], 0.15) {
+        compat_runtimes.push(compiler_from_vocab(
+            CompilerFamily::Intel,
+            parts("compati"),
+            &["v"],
+        ));
+    }
+
+    let mut fpe_triggers = Vec::new();
+    if !rich && rng::chance(parts("fpe"), &["f"], 0.2) {
+        let family = *rng::pick(
+            parts("fpe-fam"),
+            &["f"],
+            &[
+                CompilerFamily::Gnu,
+                CompilerFamily::Intel,
+                CompilerFamily::Pgi,
+            ],
+        );
+        let c = compiler_from_vocab(family, parts("fpe-ver"), &["f"]);
+        fpe_triggers.push((family, c.version));
+    }
+
+    SiteSpec {
+        name: format!("s{idx}"),
+        arch,
+        os: (os.0.to_string(), os.1.to_string(), os.2.to_string()),
+        glibc,
+        env_mgmt: if rich {
+            EnvMgmt::Modules
+        } else {
+            *rng::pick(
+                parts("env"),
+                &["e"],
+                &[
+                    EnvMgmt::Modules,
+                    EnvMgmt::Modules,
+                    EnvMgmt::SoftEnv,
+                    EnvMgmt::None,
+                ],
+            )
+        },
+        compilers,
+        stacks,
+        compat_runtimes,
+        fpe_triggers,
+        hot_glibc_bias: *rng::pick(parts("hot"), &["h"], &[0.0, 0.5, 1.0]),
+        ldd_present: rich || rng::chance(parts("ldd"), &["l"], 0.9),
+        locate_present: rich || rng::chance(parts("locate"), &["l"], 0.9),
+    }
+}
+
+/// Generate a universe spec from a seed. `quick` shrinks the default
+/// 3 sites × 3 binaries to 2 × 2 for fast sweeps.
+pub fn generate(seed: u64, quick: bool) -> UniverseSpec {
+    let n_sites = if quick { 2 } else { 3 };
+    let n_bins = if quick { 2 } else { 3 };
+    let sites: Vec<SiteSpec> = (0..n_sites).map(|i| gen_site(seed, i)).collect();
+
+    // (site name, stack ident) pairs a binary can actually be built on:
+    // functional stack whose compiler family is installed at the site.
+    let buildable: Vec<(String, String)> = sites
+        .iter()
+        .flat_map(|s| {
+            s.stacks
+                .iter()
+                .filter(|st| {
+                    st.functional && s.compilers.iter().any(|c| c.family == st.compiler.family)
+                })
+                .map(|st| (s.name.clone(), st.ident()))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    let mut binaries = Vec::new();
+    for i in 0..n_bins {
+        let bi = i.to_string();
+        let parts = |tag: &str| -> u64 { rng::hash_parts(seed, &["bin", &bi, tag]) };
+        let serial = rng::chance(parts("serial"), &["s"], 0.1);
+        let (home_site, stack_ident) = if serial || buildable.is_empty() {
+            // Serial binary (or no buildable MPI stack anywhere): built
+            // with the rich site's GNU toolchain.
+            (sites[0].name.clone(), None)
+        } else {
+            // Prefer the guaranteed pair at site 0 so most universes have
+            // at least one bundle-producing home; sometimes build
+            // elsewhere for home-site diversity.
+            let home_pairs: Vec<(String, String)> = buildable
+                .iter()
+                .filter(|(s, _)| s == &sites[0].name)
+                .cloned()
+                .collect();
+            let pool: &[(String, String)] =
+                if home_pairs.is_empty() || rng::chance(parts("roam"), &["r"], 0.3) {
+                    &buildable
+                } else {
+                    &home_pairs
+                };
+            let chosen = rng::pick(parts("pair"), &["p"], pool);
+            (chosen.0.clone(), Some(chosen.1.clone()))
+        };
+        binaries.push(BinarySpec {
+            name: format!("app{i}"),
+            home_site,
+            stack_ident,
+            language: *rng::pick(
+                parts("lang"),
+                &["l"],
+                &[
+                    Language::C,
+                    Language::C,
+                    Language::Fortran,
+                    Language::Cxx,
+                    Language::MixedCFortran,
+                ],
+            ),
+            glibc_appetite: *rng::pick(parts("appetite"), &["a"], &[0.0, 0.25, 1.0]),
+            mpi_abi_marker_prob: *rng::pick(parts("abi"), &["m"], &[0.0, 0.5, 1.0]),
+        });
+    }
+
+    UniverseSpec {
+        seed,
+        sites,
+        binaries,
+    }
+}
+
+/// Build the sites and compile the binaries of a spec. All fault knobs are
+/// zero: a conformance universe is deterministic by construction.
+pub fn materialize(spec: &UniverseSpec) -> Universe {
+    let sites: Vec<Site> = spec
+        .sites
+        .iter()
+        .map(|s| {
+            let mut cfg = SiteConfig::new(
+                &s.name,
+                s.arch,
+                OsInfo::new(&s.os.0, &s.os.1, &s.os.2),
+                &s.glibc,
+                rng::hash_parts(spec.seed, &["site-seed", &s.name]),
+            );
+            cfg.env_mgmt = s.env_mgmt;
+            cfg.compilers = s.compilers.clone();
+            cfg.stacks = s
+                .stacks
+                .iter()
+                .map(|st| {
+                    (
+                        MpiStack::new(st.mpi, &st.version, st.compiler.clone(), st.network),
+                        st.functional,
+                    )
+                })
+                .collect();
+            cfg.compat_runtimes = s.compat_runtimes.clone();
+            cfg.fpe_triggers = s.fpe_triggers.clone();
+            cfg.hot_glibc_bias = s.hot_glibc_bias;
+            cfg.ldd_present = s.ldd_present;
+            cfg.locate_present = s.locate_present;
+            Site::build(cfg.deterministic())
+        })
+        .collect();
+
+    let mut binaries = Vec::new();
+    for b in spec.live_binaries() {
+        let Some(site) = sites.iter().find(|s| s.name() == b.home_site) else {
+            continue;
+        };
+        let ist = match &b.stack_ident {
+            Some(id) => match site.stacks.iter().find(|i| i.stack.ident() == *id) {
+                Some(i) => Some(i.clone()),
+                None => continue,
+            },
+            None => None,
+        };
+        let mut prog = ProgramSpec::new(&b.name, b.language);
+        prog.uses_mpi = ist.is_some();
+        prog.glibc_appetite = b.glibc_appetite;
+        prog.mpi_abi_marker_prob = b.mpi_abi_marker_prob;
+        let bin_seed = rng::hash_parts(spec.seed, &["bin-image", &b.name]);
+        if let Ok(out) = compile(site, ist.as_ref(), &prog, bin_seed) {
+            binaries.push(UniverseBinary {
+                spec: b.clone(),
+                image: out.image,
+            });
+        }
+    }
+
+    Universe {
+        spec: spec.clone(),
+        sites,
+        binaries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(0xC0FFEE, false);
+        let b = generate(0xC0FFEE, false);
+        assert_eq!(a, b);
+        assert_ne!(a, generate(0xC0FFEF, false));
+        assert_eq!(a.sites.len(), 3);
+        assert!(!a.binaries.is_empty());
+    }
+
+    #[test]
+    fn universes_materialize_with_fault_knobs_zeroed() {
+        for seed in [1u64, 2, 3, 4, 5] {
+            let u = materialize(&generate(seed, true));
+            assert_eq!(u.sites.len(), 2);
+            assert!(
+                !u.binaries.is_empty(),
+                "seed {seed}: no binary could be built:\n{}",
+                u.spec.summary()
+            );
+            for s in &u.sites {
+                assert_eq!(s.config.system_error_rate, 0.0);
+                assert_eq!(s.config.transient_error_rate, 0.0);
+                assert_eq!(s.config.ldd_flaky_rate, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn home_site_always_buildable() {
+        for seed in 0..20u64 {
+            let spec = generate(seed, false);
+            let u = materialize(&spec);
+            // Every MPI binary spec that references the rich site must have
+            // compiled (site 0 guarantees a functional stack + compiler).
+            let home_named: Vec<_> = spec
+                .binaries
+                .iter()
+                .filter(|b| b.home_site == spec.sites[0].name)
+                .collect();
+            for b in home_named {
+                assert!(
+                    u.binaries.iter().any(|ub| ub.spec.name == b.name),
+                    "seed {seed}: {} failed to build at rich site\n{}",
+                    b.name,
+                    spec.summary()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! The harness must be able to fail: a differential test whose oracle is
+//! never wrong proves nothing. These tests mutate the oracle behind the
+//! test-only hook and require the sweep to catch the divergence and
+//! shrink it to a minimal repro with a printed replay seed.
+
+use feam_conform::{ConformConfig, OracleMutation};
+
+fn quick_cfg() -> ConformConfig {
+    ConformConfig {
+        universes: 3,
+        quick: true,
+        ..ConformConfig::default()
+    }
+}
+
+#[test]
+fn clean_quick_sweep_has_no_divergences() {
+    let report = feam_conform::run(&quick_cfg());
+    assert!(
+        report.ok(),
+        "conformance divergences in a clean sweep:\n{}",
+        report
+            .divergences
+            .iter()
+            .map(|d| d.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert_eq!(report.universes, 3);
+    assert!(report.pairs >= 3 * 4, "2x2 universes yield >= 4 pairs each");
+    assert!(
+        report.runs > report.pairs,
+        "every pair runs several crossings"
+    );
+}
+
+#[test]
+fn mutated_oracle_is_caught_and_shrinks_to_minimal_repro() {
+    let cfg = ConformConfig {
+        mutation: Some(OracleMutation::InvertCLibraryRule),
+        max_divergences: 1,
+        ..quick_cfg()
+    };
+    let report = feam_conform::run(&cfg);
+    assert!(
+        !report.ok(),
+        "an inverted C-library rule must diverge from the pipeline"
+    );
+    let shrunk = report
+        .shrunk
+        .as_ref()
+        .expect("a diverging sweep must produce a shrunk repro");
+    assert!(
+        shrunk.spec.sites.len() <= 2,
+        "repro should shrink to <= 2 sites, got {}:\n{}",
+        shrunk.spec.sites.len(),
+        shrunk.spec.summary()
+    );
+    assert!(
+        shrunk.spec.live_binaries().len() <= 2,
+        "repro should shrink to <= 2 binaries, got {}:\n{}",
+        shrunk.spec.live_binaries().len(),
+        shrunk.spec.summary()
+    );
+    assert!(
+        !shrunk.divergences.is_empty(),
+        "the shrunk universe must still diverge"
+    );
+    let rendered = shrunk.render();
+    assert!(
+        rendered.contains("feam-eval --conform --universe-seed 0x"),
+        "repro must print a one-line replay seed, got:\n{rendered}"
+    );
+}

@@ -1,0 +1,181 @@
+//! Property tests for `feam_core::retry`: generated `RetryPolicy`
+//! configurations pin that backoff delays are monotone (for growth
+//! factors ≥ 1), never exceed `max_delay_seconds`, and that consumed
+//! attempt counts never exceed `max_attempts` — including the degenerate
+//! zero- and one-attempt configurations.
+
+use feam_core::retry::{compile_with_retry, launch_with_retry};
+use feam_core::RetryPolicy;
+use feam_elf::HostArch;
+use feam_sim::compile::ProgramSpec;
+use feam_sim::faults::{FaultPlan, FaultRate};
+use feam_sim::mpi::{MpiImpl, MpiStack, Network};
+use feam_sim::site::{OsInfo, Session, Site, SiteConfig};
+use feam_sim::toolchain::{Compiler, CompilerFamily, Language};
+use std::sync::Arc;
+
+/// SplitMix64: a tiny, well-distributed generator for the policy corpus.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+fn unit(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn gen_policy(state: &mut u64) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: (splitmix64(state) % 9) as u32, // 0..=8, incl. degenerates
+        base_delay_seconds: unit(state) * 10.0,
+        multiplier: 1.0 + unit(state) * 3.0, // growth factor >= 1
+        max_delay_seconds: unit(state) * 20.0,
+    }
+}
+
+#[test]
+fn generated_backoff_curves_are_monotone_capped_and_summable() {
+    let mut state = 0xB0FF_u64;
+    for case in 0..500 {
+        let p = gen_policy(&mut state);
+        let mut prev = 0.0_f64;
+        let mut total = 0.0_f64;
+        for attempt in 1..=40u32 {
+            let d = p.delay_before(attempt);
+            assert!(d.is_finite() && d >= 0.0, "case {case}: delay {d} ({p:?})");
+            assert!(
+                d <= p.max_delay_seconds + 1e-12,
+                "case {case}: attempt {attempt} delay {d} exceeds cap {} ({p:?})",
+                p.max_delay_seconds
+            );
+            assert!(
+                d >= prev - 1e-12,
+                "case {case}: delays not monotone at attempt {attempt}: {d} < {prev} ({p:?})"
+            );
+            prev = d;
+            if attempt >= 2 {
+                total += d;
+            }
+            assert!(
+                (p.total_backoff(attempt) - total).abs() < 1e-9,
+                "case {case}: total_backoff({attempt}) disagrees with the per-attempt sum"
+            );
+        }
+        // The first attempt is always free.
+        assert_eq!(p.delay_before(0), 0.0);
+        assert_eq!(p.delay_before(1), 0.0);
+        assert_eq!(p.total_backoff(0), 0.0);
+        assert_eq!(p.total_backoff(1), 0.0);
+    }
+}
+
+#[test]
+fn with_attempts_clamps_the_degenerate_zero() {
+    assert_eq!(RetryPolicy::with_attempts(0).max_attempts, 1);
+    assert_eq!(RetryPolicy::with_attempts(1).max_attempts, 1);
+    assert_eq!(RetryPolicy::with_attempts(5).max_attempts, 5);
+}
+
+fn probe_site() -> Site {
+    let mut cfg = SiteConfig::new(
+        "retry-prop",
+        HostArch::X86_64,
+        OsInfo::new("CentOS", "5.6", "2.6.18"),
+        "2.5",
+        23,
+    );
+    cfg.compilers = vec![Compiler::new(CompilerFamily::Gnu, "4.1.2")];
+    cfg.stacks = vec![(
+        MpiStack::new(
+            MpiImpl::OpenMpi,
+            "1.4",
+            Compiler::new(CompilerFamily::Gnu, "4.1.2"),
+            Network::Ethernet,
+        ),
+        true,
+    )];
+    cfg.system_error_rate = 0.0;
+    Site::build(cfg)
+}
+
+/// Count the retries a compile actually consumed under an
+/// always-transient fault plan: never more than `max_attempts - 1`
+/// (one initial attempt plus retries), for every generated policy
+/// including `max_attempts` of 0 and 1 (both mean "one attempt, no
+/// retries" in `compile_with_retry`).
+#[test]
+fn consumed_attempts_never_exceed_max_attempts() {
+    let site = probe_site();
+    let ist = site.stacks[0].clone();
+    let prog = ProgramSpec::mpi_hello_world(Language::C);
+    let always_transient = Arc::new(FaultPlan {
+        seed: 77,
+        probe_compile: FaultRate {
+            transient: 1.0,
+            persistent: 0.0,
+        },
+        ..FaultPlan::default()
+    });
+    let mut state = 0xA77E_u64;
+    for case in 0..40 {
+        let p = gen_policy(&mut state);
+        let (rec, sink) = feam_obs::Recorder::memory();
+        let mut sess = Session::with_faults(&site, always_transient.clone());
+        sess.recorder = rec;
+        let before = sess.cpu_seconds;
+        let result = compile_with_retry(&mut sess, Some(&ist), &prog, 7, &p);
+        assert!(result.is_err(), "case {case}: always-transient must fail");
+        let retries = sink
+            .events()
+            .iter()
+            .filter(|e| e.name == "retry_attempt")
+            .count() as u32;
+        let effective_max = p.max_attempts.max(1);
+        assert!(
+            retries <= effective_max.saturating_sub(1),
+            "case {case}: {retries} retries exceed max_attempts {} ({p:?})",
+            p.max_attempts
+        );
+        // Every consumed retry charged exactly its backoff to the clock.
+        let charged = sess.cpu_seconds - before;
+        let expected = p.total_backoff(retries + 1);
+        assert!(
+            charged >= expected - 1e-9,
+            "case {case}: charged {charged} < expected backoff {expected} ({p:?})"
+        );
+        if p.max_attempts <= 1 {
+            assert_eq!(retries, 0, "case {case}: degenerate config must not retry");
+        }
+    }
+}
+
+/// A fault-free launch consumes exactly one attempt regardless of policy,
+/// and a faulting launch under the paper's five-attempt policy never
+/// exceeds it.
+#[test]
+fn launch_attempts_respect_the_policy_bound() {
+    let site = probe_site();
+    let ist = site.stacks[0].clone();
+    let bin = feam_sim::compile::compile(
+        &site,
+        Some(&ist),
+        &ProgramSpec::mpi_hello_world(Language::C),
+        7,
+    )
+    .expect("probe compiles at a clean site");
+    for max_attempts in [1u32, 2, 5, 8] {
+        let p = RetryPolicy::with_attempts(max_attempts);
+        let mut sess = Session::new(&site);
+        sess.stage_file("/tmp/hello", bin.image.clone());
+        let outcome = launch_with_retry(&mut sess, "/tmp/hello", &ist, 4, &p);
+        assert!(outcome.attempts >= 1);
+        assert!(
+            outcome.attempts <= max_attempts,
+            "attempts {} exceed policy max {max_attempts}",
+            outcome.attempts
+        );
+    }
+}

@@ -7,6 +7,8 @@
 //!           [--max-p99-us N] [--min-hit-rate F]
 //! feam-eval --plan-bench [--quick] [--seed N] [--json PATH]
 //!           [--max-p99-us N] [--min-speedup F]
+//! feam-eval --conform [--universes N] [--seed S] [--quick]
+//!           [--universe-seed X] [--json PATH]
 //! ```
 //!
 //! With no selection flags, prints everything (`--all`).
@@ -38,6 +40,9 @@ struct Args {
     all: bool,
     serve_bench: bool,
     plan_bench: bool,
+    conform: bool,
+    universes: usize,
+    universe_seed: Option<u64>,
     quick: bool,
     max_p99_us: Option<u64>,
     min_hit_rate: Option<f64>,
@@ -60,6 +65,9 @@ fn parse_args() -> Args {
         all: false,
         serve_bench: false,
         plan_bench: false,
+        conform: false,
+        universes: 100,
+        universe_seed: None,
         quick: false,
         max_p99_us: None,
         min_hit_rate: None,
@@ -104,6 +112,21 @@ fn parse_args() -> Args {
             }
             "--serve-bench" => args.serve_bench = true,
             "--plan-bench" => args.plan_bench = true,
+            "--conform" => args.conform = true,
+            "--universes" => {
+                args.universes = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|n| *n > 0)
+                    .unwrap_or_else(|| die("--universes needs a positive count"));
+            }
+            "--universe-seed" => {
+                args.universe_seed = Some(
+                    iter.next()
+                        .and_then(|v| parse_seed(&v))
+                        .unwrap_or_else(|| die("--universe-seed needs a (hex or decimal) seed")),
+                );
+            }
             "--quick" => args.quick = true,
             "--max-p99-us" => {
                 args.max_p99_us = Some(
@@ -145,7 +168,9 @@ fn parse_args() -> Args {
                      feam-eval --serve-bench [--quick] [--seed N] [--json PATH] \
                      [--max-p99-us N] [--min-hit-rate F]\n\
                      feam-eval --plan-bench [--quick] [--seed N] [--json PATH] \
-                     [--max-p99-us N] [--min-speedup F]"
+                     [--max-p99-us N] [--min-speedup F]\n\
+                     feam-eval --conform [--universes N] [--seed S] [--quick] \
+                     [--universe-seed X] [--json PATH]"
                 );
                 std::process::exit(0);
             }
@@ -161,6 +186,7 @@ fn parse_args() -> Args {
         && !args.want_telemetry
         && !args.serve_bench
         && !args.plan_bench
+        && !args.conform
         && args.chaos.is_none()
     {
         args.all = true;
@@ -171,6 +197,68 @@ fn parse_args() -> Args {
 fn die(msg: &str) -> ! {
     eprintln!("feam-eval: {msg}");
     std::process::exit(2);
+}
+
+/// Parse a seed in decimal or `0x`-prefixed hex (the form the
+/// conformance shrinker prints in its replay line).
+fn parse_seed(v: &str) -> Option<u64> {
+    match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => v.parse().ok(),
+    }
+}
+
+/// `--conform`: run the differential conformance sweep (or replay one
+/// universe with `--universe-seed`). Exits non-zero on any divergence,
+/// with the minimized repro seed in the log. Exits the process.
+fn conform_main(args: &Args) -> ! {
+    let cfg = feam_conform::ConformConfig {
+        universes: args.universes,
+        seed: args.seed,
+        quick: args.quick,
+        ..feam_conform::ConformConfig::default()
+    };
+    let report = match args.universe_seed {
+        Some(useed) => {
+            eprintln!("conformance replay of universe 0x{useed:x} ...");
+            feam_conform::driver::check_seed(useed, &cfg)
+        }
+        None => {
+            eprintln!(
+                "conformance sweep: {} universes from seed {} ({}) ...",
+                cfg.universes,
+                cfg.seed,
+                if cfg.quick { "quick 2x2" } else { "3x3" }
+            );
+            feam_conform::run(&cfg)
+        }
+    };
+    println!(
+        "checked {} universes, {} (binary, site) pairs, {} pipeline runs: {}",
+        report.universes,
+        report.pairs,
+        report.runs,
+        if report.ok() {
+            "zero divergences".to_string()
+        } else {
+            format!("{} DIVERGENCES", report.divergences.len())
+        }
+    );
+    for d in &report.divergences {
+        println!("  {}", d.render());
+    }
+    if let Some(shrunk) = &report.shrunk {
+        print!("{}", shrunk.render());
+    }
+    if let Some(path) = &args.json {
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&report.to_json()).expect("serialize"),
+        )
+        .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        eprintln!("wrote {path}");
+    }
+    std::process::exit(if report.ok() { 0 } else { 1 });
 }
 
 /// `--serve-bench`: run the serving benchmark, optionally gate on
@@ -274,6 +362,9 @@ fn main() {
     }
     if args.plan_bench {
         plan_bench_main(&args);
+    }
+    if args.conform {
+        conform_main(&args);
     }
     // Figures need no experiment run.
     for f in &args.figures {

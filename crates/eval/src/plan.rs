@@ -146,7 +146,7 @@ pub fn build_plan_service(
         recorder: feam_obs::Recorder::with_sink(Box::new(feam_obs::NullSink)),
         ..ServiceConfig::default()
     };
-    let mut svc = PredictService::with_sites(cfg, exp.sites);
+    let svc = PredictService::with_sites(cfg, exp.sites);
     let items = exp.corpus.binaries();
     let stride = (items.len() / binaries.max(1)).max(1);
     let site_names: Vec<String> = svc.site_names();

@@ -20,7 +20,7 @@ pub fn build_service(seed: u64, binaries: usize, caching: bool) -> PredictServic
         sites_seed: seed,
         ..ServiceConfig::default()
     };
-    let mut svc = PredictService::with_sites(cfg, exp.sites);
+    let svc = PredictService::with_sites(cfg, exp.sites);
     let items = exp.corpus.binaries();
     let stride = (items.len() / binaries.max(1)).max(1);
     let site_names: Vec<String> = svc.site_names();

@@ -1,0 +1,115 @@
+//! Golden schema tests for `feam-eval --json` outputs.
+//!
+//! Same convention as the workspace-root `json_schema_golden` suite: each
+//! JSON report is reduced to a sorted `path: type` signature and compared
+//! against a checked-in golden file. Re-bless intentional shape changes
+//! with `FEAM_BLESS=1`.
+
+use serde_json::Value;
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn walk(path: &str, v: &Value, out: &mut BTreeSet<String>) {
+    match v {
+        Value::Null => {
+            out.insert(format!("{path}: null"));
+        }
+        Value::Bool(_) => {
+            out.insert(format!("{path}: bool"));
+        }
+        Value::Number(_) => {
+            out.insert(format!("{path}: number"));
+        }
+        Value::String(_) => {
+            out.insert(format!("{path}: string"));
+        }
+        Value::Array(items) => {
+            out.insert(format!("{path}: array"));
+            for item in items {
+                walk(&format!("{path}[]"), item, out);
+            }
+        }
+        Value::Object(map) => {
+            out.insert(format!("{path}: object"));
+            for (k, item) in map.iter() {
+                walk(&format!("{path}.{k}"), item, out);
+            }
+        }
+    }
+}
+
+fn signature(v: &Value) -> String {
+    let mut out = BTreeSet::new();
+    walk("$", v, &mut out);
+    let mut s: String = out.into_iter().collect::<Vec<_>>().join("\n");
+    s.push('\n');
+    s
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.schema"))
+}
+
+fn assert_matches_golden(name: &str, v: &Value) {
+    let sig = signature(v);
+    let path = golden_path(name);
+    if std::env::var_os("FEAM_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &sig).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden schema {} ({e}); run with FEAM_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        sig,
+        golden,
+        "JSON schema for {name} drifted from {}; if the change is intentional, \
+         re-bless with FEAM_BLESS=1",
+        path.display()
+    );
+}
+
+/// Run `feam-eval` with `args` plus `--json <tmpfile>` and parse the file.
+fn eval_json(name: &str, args: &[&str]) -> Value {
+    let path = std::env::temp_dir().join(format!(
+        "feam-eval-golden-{}-{name}.json",
+        std::process::id()
+    ));
+    let out = Command::new(env!("CARGO_BIN_EXE_feam-eval"))
+        .args(args)
+        .arg("--json")
+        .arg(&path)
+        .output()
+        .expect("feam-eval runs");
+    assert!(
+        out.status.success(),
+        "feam-eval {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&path).expect("JSON report written");
+    let _ = std::fs::remove_file(&path);
+    serde_json::from_str(&text).expect("report parses")
+}
+
+#[test]
+fn conform_report_json_schema_is_stable() {
+    let v = eval_json(
+        "conform",
+        &["--conform", "--universes", "1", "--quick", "--seed", "42"],
+    );
+    assert_matches_golden("feam_eval_conform", &v);
+}
+
+#[test]
+#[ignore = "runs the full table evaluation (~1 min debug); exercised by CI with --ignored"]
+fn table_eval_json_schema_is_stable() {
+    let v = eval_json("tables", &["--table", "1", "--table", "3", "--seeds", "1"]);
+    assert_matches_golden("feam_eval_tables", &v);
+}

@@ -224,6 +224,18 @@ impl SiteConfig {
             seed,
         }
     }
+
+    /// Zero every stochastic fault knob (system errors, transient launch
+    /// failures, flaky `ldd`). Generated conformance universes and any
+    /// other harness that asserts exact outcome equality build their
+    /// sites through this hook so nondeterminism is impossible by
+    /// construction rather than by configuration discipline.
+    pub fn deterministic(mut self) -> Self {
+        self.system_error_rate = 0.0;
+        self.transient_error_rate = 0.0;
+        self.ldd_flaky_rate = 0.0;
+        self
+    }
 }
 
 /// A fully materialized site. Immutable after construction; share freely

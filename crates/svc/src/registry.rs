@@ -10,10 +10,14 @@
 //! planner can never rank against a source description gathered in a
 //! stale environment.
 //!
-//! Names are immutable bindings: re-registering an existing name with
-//! *different* content is rejected ([`RegistryError::ContentConflict`]) —
-//! a changed binary must be registered under a new name, so every cached
-//! result and ranking derived from the old name stays honest.
+//! Names bind content: re-registering an existing name with *different*
+//! content is rejected ([`RegistryError::ContentConflict`]) so every
+//! cached result and ranking derived from the old name stays honest. The
+//! sanctioned way to change a name's bytes is [`BinaryRegistry::update`],
+//! which bumps the name's **generation**; the service compares the
+//! generation it captured at submit time against the current one before
+//! memoizing, so an evaluation that raced an update can never publish a
+//! stale result.
 
 use feam_core::bundle::SourceBundle;
 use feam_core::cache::BdcKey;
@@ -118,34 +122,80 @@ impl RegisteredBinary {
     }
 }
 
-/// Name → binary mapping. Immutable once the service starts, so lookups
-/// are lock-free.
+/// One registry slot: the binding plus its generation (bumped by every
+/// [`BinaryRegistry::update`], never by an idempotent re-insert).
+struct Slot {
+    generation: u64,
+    binary: Arc<RegisteredBinary>,
+}
+
+/// Name → binary mapping with per-name generations.
 #[derive(Default)]
 pub struct BinaryRegistry {
-    entries: HashMap<String, RegisteredBinary>,
+    entries: HashMap<String, Slot>,
 }
 
 impl BinaryRegistry {
     /// Register `name`. Re-registering the same content under the same
     /// name is an idempotent no-op (the existing entry, with its memoized
-    /// bundle, is kept); different content under an existing name is
-    /// rejected.
+    /// bundle and generation, is kept); different content under an
+    /// existing name is rejected — changed bytes go through
+    /// [`update`](BinaryRegistry::update) or take a new name.
     pub fn insert(&mut self, name: &str, binary: RegisteredBinary) -> Result<(), RegistryError> {
         if let Some(existing) = self.entries.get(name) {
-            if existing.content_key != binary.content_key {
+            if existing.binary.content_key != binary.content_key {
                 return Err(RegistryError::ContentConflict {
                     name: name.to_string(),
                 });
             }
             return Ok(());
         }
-        self.entries.insert(name.to_string(), binary);
+        self.entries.insert(
+            name.to_string(),
+            Slot {
+                generation: 0,
+                binary: Arc::new(binary),
+            },
+        );
         Ok(())
     }
 
+    /// Replace `name`'s content (or create the binding), bumping its
+    /// generation. Returns `(new generation, displaced binary)` — the
+    /// displaced entry's content key is what the service uses to purge
+    /// results derived from the old bytes.
+    pub fn update(
+        &mut self,
+        name: &str,
+        binary: RegisteredBinary,
+    ) -> (u64, Option<Arc<RegisteredBinary>>) {
+        match self.entries.get_mut(name) {
+            Some(slot) => {
+                let old = std::mem::replace(&mut slot.binary, Arc::new(binary));
+                slot.generation += 1;
+                (slot.generation, Some(old))
+            }
+            None => {
+                self.entries.insert(
+                    name.to_string(),
+                    Slot {
+                        generation: 0,
+                        binary: Arc::new(binary),
+                    },
+                );
+                (0, None)
+            }
+        }
+    }
+
     /// Resolve a request's `binary_ref`.
-    pub fn get(&self, name: &str) -> Option<&RegisteredBinary> {
-        self.entries.get(name)
+    pub fn get(&self, name: &str) -> Option<&Arc<RegisteredBinary>> {
+        self.entries.get(name).map(|s| &s.binary)
+    }
+
+    /// The current generation of `name`'s binding.
+    pub fn generation(&self, name: &str) -> Option<u64> {
+        self.entries.get(name).map(|s| s.generation)
     }
 
     /// Number of registered binaries.

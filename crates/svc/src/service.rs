@@ -26,7 +26,7 @@ use feam_sim::faults::FaultPlan;
 use feam_sim::site::Site;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
 use std::time::Instant;
 
 use crate::registry::{BinaryRegistry, RegisteredBinary, RegistryError};
@@ -67,6 +67,12 @@ pub enum SvcError {
     UnknownSite(String),
     /// The admission queue is full; retry after backoff.
     Overloaded { queue_depth: usize },
+    /// A registration presented different bytes for an already-bound
+    /// name. Changed content goes through
+    /// [`PredictService::update_binary`] (which bumps the name's
+    /// generation) or takes a new name; silently rebinding would let
+    /// coalesced waiters and cached results answer for the wrong binary.
+    ContentChanged { name: String },
     /// The service is shutting down; in-flight work is abandoned.
     ShuttingDown,
 }
@@ -87,6 +93,11 @@ impl std::fmt::Display for SvcError {
             SvcError::Overloaded { queue_depth } => {
                 write!(f, "admission queue full ({queue_depth} deep); retry later")
             }
+            SvcError::ContentChanged { name } => write!(
+                f,
+                "binary name {name:?} is already bound to different content; \
+                 use update_binary or register under a new name"
+            ),
             SvcError::ShuttingDown => write!(f, "service shutting down"),
         }
     }
@@ -178,6 +189,14 @@ struct Waiter {
 struct Job {
     key: RequestKey,
     binary_ref: String,
+    /// The binding as resolved at submit time: the evaluation always runs
+    /// over the bytes the waiters asked about, even if the name is
+    /// updated mid-flight.
+    binary: Arc<RegisteredBinary>,
+    /// Registry generation of the binding at submit time; compared
+    /// against the current generation before memoizing, so an evaluation
+    /// that raced an update never publishes a stale result.
+    generation: u64,
     site_idx: usize,
     mode: PredictionMode,
 }
@@ -186,7 +205,7 @@ struct Inner {
     cfg: ServiceConfig,
     sites: Vec<Site>,
     site_idx: HashMap<String, usize>,
-    registry: BinaryRegistry,
+    registry: RwLock<BinaryRegistry>,
     phase_cfg: PhaseConfig,
     caches: Option<Arc<PhaseCaches>>,
     results: Mutex<HashMap<RequestKey, Arc<(Prediction, TargetEvaluation)>>>,
@@ -237,7 +256,7 @@ impl PredictService {
                 cfg,
                 sites,
                 site_idx,
-                registry: BinaryRegistry::default(),
+                registry: RwLock::new(BinaryRegistry::default()),
                 phase_cfg,
                 caches,
                 results: Mutex::new(HashMap::new()),
@@ -251,19 +270,45 @@ impl PredictService {
         }
     }
 
-    /// Register a binary under `name`. Only valid before
-    /// [`start`](PredictService::start): the registry is immutable (and
-    /// therefore lock-free) once workers run. Re-registering an existing
-    /// name with different content is rejected — a changed binary must
-    /// take a new name so cached answers never alias.
-    pub fn register_binary(
-        &mut self,
-        name: &str,
-        binary: RegisteredBinary,
-    ) -> Result<(), RegistryError> {
-        let inner =
-            Arc::get_mut(&mut self.inner).expect("register_binary must be called before start()");
-        inner.registry.insert(name, binary)
+    /// Register a binary under `name`; valid before or after
+    /// [`start`](PredictService::start). Re-registering the same content
+    /// is an idempotent no-op; different content under an existing name
+    /// is rejected with [`SvcError::ContentChanged`] — a changed binary
+    /// goes through [`update_binary`](PredictService::update_binary) (or
+    /// takes a new name) so cached answers and coalesced waiters never
+    /// alias.
+    pub fn register_binary(&self, name: &str, binary: RegisteredBinary) -> Result<(), SvcError> {
+        self.inner
+            .registry
+            .write()
+            .expect("registry")
+            .insert(name, binary)
+            .map_err(|RegistryError::ContentConflict { name }| SvcError::ContentChanged { name })
+    }
+
+    /// Replace `name`'s bytes (or create the binding), bumping its
+    /// generation. Results memoized for the displaced content are purged,
+    /// and any evaluation already in flight for the old bytes will
+    /// deliver to its waiters but is barred from the result cache by the
+    /// generation check in `process`. Returns the new generation.
+    pub fn update_binary(&self, name: &str, binary: RegisteredBinary) -> u64 {
+        let (generation, displaced) = self
+            .inner
+            .registry
+            .write()
+            .expect("registry")
+            .update(name, binary);
+        if let Some(old) = displaced {
+            // Results derived from the displaced bytes are unreachable
+            // (the key embeds the content key) — drop them eagerly.
+            self.inner
+                .results
+                .lock()
+                .expect("results")
+                .retain(|k, _| k.binary_key != old.content_key);
+        }
+        self.inner.cfg.recorder.count("svc.binary_update", 1);
+        generation
     }
 
     /// Spawn the worker pool. Idempotent; tests submit against an
@@ -286,7 +331,17 @@ impl PredictService {
 
     /// Number of registered binaries.
     pub fn registered(&self) -> usize {
-        self.inner.registry.len()
+        self.inner.registry.read().expect("registry").len()
+    }
+
+    /// The current generation of `name`'s binding (bumped by every
+    /// [`update_binary`](PredictService::update_binary)).
+    pub fn binary_generation(&self, name: &str) -> Option<u64> {
+        self.inner
+            .registry
+            .read()
+            .expect("registry")
+            .generation(name)
     }
 
     /// Site names served, in site order.
@@ -300,7 +355,7 @@ impl PredictService {
 
     /// Registered binary names, sorted (the load generator's universe).
     pub fn binary_names(&self) -> Vec<String> {
-        self.inner.registry.names()
+        self.inner.registry.read().expect("registry").names()
     }
 
     /// Evaluations the worker pool has actually run.
@@ -374,8 +429,17 @@ impl PredictService {
         let Some(&site_idx) = inner.site_idx.get(&req.target_site) else {
             return Err(SvcError::UnknownSite(req.target_site.clone()));
         };
-        let Some(binary) = inner.registry.get(&req.binary_ref) else {
-            return Err(SvcError::UnknownBinary(req.binary_ref.clone()));
+        let (binary, generation) = {
+            let registry = inner.registry.read().expect("registry");
+            let Some(binary) = registry.get(&req.binary_ref) else {
+                return Err(SvcError::UnknownBinary(req.binary_ref.clone()));
+            };
+            (
+                binary.clone(),
+                registry
+                    .generation(&req.binary_ref)
+                    .expect("resolved names have a generation"),
+            )
         };
 
         // One logical tick per submitted request: the EDC TTL is measured
@@ -457,6 +521,8 @@ impl PredictService {
         queue.push_back(Job {
             key,
             binary_ref: req.binary_ref.clone(),
+            binary,
+            generation,
             site_idx,
             mode: req.mode,
         });
@@ -510,10 +576,7 @@ fn process(inner: &Inner, job: Job) {
     let span = rec.span("svc.request");
     inner.evaluated.fetch_add(1, Ordering::Relaxed);
     let site = &inner.sites[job.site_idx];
-    let binary = inner
-        .registry
-        .get(&job.binary_ref)
-        .expect("queued jobs reference registered binaries");
+    let binary = &job.binary;
 
     // Extended predictions need the source-phase bundle from the binary's
     // home site; computed once per home-site configuration epoch, then
@@ -553,11 +616,26 @@ fn process(inner: &Inner, job: Job) {
     //
     // Memoize only clean evaluations: a degraded outcome (faults,
     // unreadable binary, unobservable environment) is delivered to its
-    // waiters but never becomes the canonical cached answer.
+    // waiters but never becomes the canonical cached answer. Likewise an
+    // evaluation whose binding was updated mid-flight: the waiters asked
+    // about the old bytes and get their answer, but the stale result must
+    // not linger in the cache. (The generation is read before the
+    // inflight lock — the registry lock never nests inside the
+    // inflight/results pair.)
+    let generation_current = inner
+        .registry
+        .read()
+        .expect("registry")
+        .generation(&job.binary_ref)
+        == Some(job.generation);
+    if !generation_current {
+        rec.count("svc.stale_result_dropped", 1);
+    }
     let waiters = {
         let mut inflight = inner.inflight.lock().expect("inflight");
         if inner.cfg.result_cache
             && inner.caches.is_some()
+            && generation_current
             && !outcome.evaluation.degraded
             && outcome.environment.unobserved.is_empty()
         {

@@ -21,7 +21,7 @@ fn stress_service(cfg: ServiceConfig, n: usize) -> PredictService {
     let sites = standard_sites(cfg.sites_seed);
     let ranger = &sites[RANGER];
     let ist = ranger.stacks[1].clone();
-    let mut svc = PredictService::new(cfg);
+    let svc = PredictService::new(cfg);
     let programs = ["cg", "mg", "ft", "lu", "bt", "sp", "ep", "is"];
     for i in 0..n {
         let name = programs[i % programs.len()];

@@ -9,6 +9,7 @@
 pub mod benchmarks;
 pub mod sites;
 pub mod testset;
+pub mod vocab;
 
 pub use benchmarks::{all_benchmarks, npb_benchmarks, spec_benchmarks, Benchmark, Suite};
 pub use sites::{standard_site_configs, standard_sites};

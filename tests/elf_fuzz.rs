@@ -7,6 +7,16 @@
 use feam::elf::versions::{parse_verneed, VersionRef, VersionRefEntry};
 use feam::elf::{Class, ElfFile, ElfSpec, Endian, ExportSpec, ImportSpec, Machine};
 
+/// Per-sweep iteration count: `FEAM_FUZZ_ITERS=N` overrides every sweep
+/// (local quick runs set a small N); unset keeps the CI-sized default.
+fn fuzz_iters(default: usize) -> usize {
+    std::env::var("FEAM_FUZZ_ITERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|n| *n > 0)
+        .unwrap_or(default)
+}
+
 /// SplitMix64-style deterministic generator.
 struct Gen(u64);
 
@@ -265,7 +275,7 @@ fn segment_route_survives_corruption() {
             ElfFile::parse(&stripped).is_ok(),
             "section-stripped base image must still parse via segments"
         );
-        for _ in 0..400 {
+        for _ in 0..fuzz_iters(400) {
             let mut m = stripped.clone();
             for _ in 0..g.range(1, 9) {
                 let pos = g.range(0, m.len());
@@ -282,7 +292,7 @@ fn segment_route_survives_corruption() {
 fn random_byte_flips_never_panic() {
     let images = base_images();
     let mut g = Gen::new(0xBADC_0FFE);
-    for case in 0..3000 {
+    for case in 0..fuzz_iters(3000) {
         let img = &images[case % images.len()];
         let mut m = img.clone();
         for _ in 0..g.range(1, 17) {
@@ -297,7 +307,7 @@ fn random_byte_flips_never_panic() {
 fn random_block_corruption_and_truncation_never_panic() {
     let images = base_images();
     let mut g = Gen::new(0x5EED_F00D);
-    for case in 0..1500 {
+    for case in 0..fuzz_iters(1500) {
         let img = &images[case % images.len()];
         let mut m = img.clone();
         // Overwrite a random block with random bytes.
@@ -317,7 +327,7 @@ fn random_block_corruption_and_truncation_never_panic() {
 #[test]
 fn pure_garbage_never_parses() {
     let mut g = Gen::new(0xDEAD_BEEF);
-    for _ in 0..500 {
+    for _ in 0..fuzz_iters(500) {
         let len = g.range(0, 512);
         let bytes: Vec<u8> = (0..len).map(|_| g.next_u64() as u8).collect();
         assert!(
