@@ -53,6 +53,14 @@ pub struct PhaseConfig {
     /// Trace/metrics recorder threaded through both phases. Defaults to
     /// the disabled recorder, which costs one branch per call site.
     pub recorder: feam_obs::Recorder,
+    /// Explicit trace context to root this phase's spans under. `None`
+    /// (the default) inherits the caller thread's live span — or mints a
+    /// fresh trace when there is none, so a directly-driven phase is its
+    /// own request. Callers that manage requests across threads (the
+    /// service worker pool) set the request's [`feam_obs::TraceCtx`]
+    /// here or open an enclosing span via
+    /// [`feam_obs::Recorder::span_in`].
+    pub ctx: Option<feam_obs::TraceCtx>,
     /// Shared description caches for the serving layer (`feam-svc`).
     /// `None` (the default) disables memoization entirely, so CLI and
     /// sweep behavior is bit-for-bit what it was before caching existed.
@@ -72,6 +80,7 @@ impl Default for PhaseConfig {
             disable_transported_tests: false,
             disable_resolution: false,
             recorder: feam_obs::Recorder::disabled(),
+            ctx: None,
             caches: None,
         }
     }
@@ -178,7 +187,7 @@ pub fn run_source_phase(
     cfg: &PhaseConfig,
 ) -> Result<SourceBundle> {
     let rec = cfg.recorder.clone();
-    let _phase_span = rec.span("source_phase");
+    let _phase_span = rec.span_in("source_phase", cfg.ctx);
     let mut sess = cfg.session(gee);
     let app_path = "/home/user/feam/source_app.bin";
     sess.stage_file(app_path, binary.clone());
@@ -293,7 +302,7 @@ pub fn run_target_phase(
     cfg: &PhaseConfig,
 ) -> TargetOutcome {
     let rec = cfg.recorder.clone();
-    let phase_span = rec.span("target_phase");
+    let phase_span = rec.span_in("target_phase", cfg.ctx);
     let mut sess = cfg.session(target);
     let environment = {
         let _span = rec.span("edc");

@@ -18,6 +18,7 @@ pub mod chaos;
 pub mod effort;
 pub mod experiment;
 pub mod mode_ablation;
+pub mod obs_bench;
 pub mod plan;
 pub mod recompile;
 pub mod serve;
@@ -28,9 +29,10 @@ pub use chaos::{chaos_sweep, render_chaos, ChaosPoint, ChaosSweep, DEFAULT_CHAOS
 pub use effort::{effort, render_effort, EffortReport};
 pub use experiment::{EvalResults, ExcludedPair, Experiment, MigrationRecord};
 pub use mode_ablation::{mode_ablation, render_mode_ablation, ModeRow};
+pub use obs_bench::{obs_bench, render_obs_bench, ObsBenchReport, ObsConfigReport};
 pub use plan::{build_plan_service, plan_bench, render_plan, PlanBenchParams, PlanBenchReport};
 pub use recompile::{recompile_comparison, render_recompile, RecompileComparison};
-pub use serve::{build_service, render_serve, serve_bench};
+pub use serve::{build_service, build_service_with, render_serve, serve_bench};
 pub use tables::{
     ablation, confusion, per_site, render_ablation, render_confusion, render_figure,
     render_per_site, render_stats, render_table1, render_table2, render_table3, render_table4,

@@ -7,6 +7,8 @@
 //!           [--max-p99-us N] [--min-hit-rate F]
 //! feam-eval --plan-bench [--quick] [--seed N] [--json PATH]
 //!           [--max-p99-us N] [--min-speedup F]
+//! feam-eval --obs-bench [--quick] [--seed N] [--json PATH]
+//!           [--max-overhead F]
 //! feam-eval --conform [--universes N] [--seed S] [--quick]
 //!           [--universe-seed X] [--json PATH]
 //! ```
@@ -18,6 +20,9 @@
 //! `--plan-bench` benchmarks the all-sites placement planner against its
 //! sequential oracle; it always gates on ranking identity and stability,
 //! and optionally on p99 latency and minimum speedup.
+//! `--obs-bench` measures telemetry overhead on the cached serving path
+//! (serving recorder vs null-sink vs disabled) and gates on the
+//! cached-path p99 regression.
 
 use feam_eval::{
     ablation, confusion, per_site, render_ablation, render_confusion, render_figure,
@@ -40,6 +45,7 @@ struct Args {
     all: bool,
     serve_bench: bool,
     plan_bench: bool,
+    obs_bench: bool,
     conform: bool,
     universes: usize,
     universe_seed: Option<u64>,
@@ -47,6 +53,7 @@ struct Args {
     max_p99_us: Option<u64>,
     min_hit_rate: Option<f64>,
     min_speedup: Option<f64>,
+    max_overhead: f64,
 }
 
 fn parse_args() -> Args {
@@ -65,6 +72,7 @@ fn parse_args() -> Args {
         all: false,
         serve_bench: false,
         plan_bench: false,
+        obs_bench: false,
         conform: false,
         universes: 100,
         universe_seed: None,
@@ -72,6 +80,7 @@ fn parse_args() -> Args {
         max_p99_us: None,
         min_hit_rate: None,
         min_speedup: None,
+        max_overhead: 0.05,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(a) = iter.next() {
@@ -112,6 +121,7 @@ fn parse_args() -> Args {
             }
             "--serve-bench" => args.serve_bench = true,
             "--plan-bench" => args.plan_bench = true,
+            "--obs-bench" => args.obs_bench = true,
             "--conform" => args.conform = true,
             "--universes" => {
                 args.universes = iter
@@ -151,6 +161,13 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|| die("--min-speedup needs a ratio")),
                 );
             }
+            "--max-overhead" => {
+                args.max_overhead = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|r| *r >= 0.0)
+                    .unwrap_or_else(|| die("--max-overhead needs a non-negative fraction"));
+            }
             "--stats" => args.want_stats = true,
             "--ablation" => args.want_ablation = true,
             "--recompile" => args.want_recompile = true,
@@ -169,6 +186,8 @@ fn parse_args() -> Args {
                      [--max-p99-us N] [--min-hit-rate F]\n\
                      feam-eval --plan-bench [--quick] [--seed N] [--json PATH] \
                      [--max-p99-us N] [--min-speedup F]\n\
+                     feam-eval --obs-bench [--quick] [--seed N] [--json PATH] \
+                     [--max-overhead F]\n\
                      feam-eval --conform [--universes N] [--seed S] [--quick] \
                      [--universe-seed X] [--json PATH]"
                 );
@@ -186,6 +205,7 @@ fn parse_args() -> Args {
         && !args.want_telemetry
         && !args.serve_bench
         && !args.plan_bench
+        && !args.obs_bench
         && !args.conform
         && args.chaos.is_none()
     {
@@ -304,6 +324,38 @@ fn serve_bench_main(args: &Args) -> ! {
     std::process::exit(if failed { 1 } else { 0 });
 }
 
+/// `--obs-bench`: measure telemetry overhead on the cached serving path
+/// and gate on it. Exits the process.
+fn obs_bench_main(args: &Args) -> ! {
+    eprintln!(
+        "telemetry overhead benchmark (seed {}, {}) ...",
+        args.seed,
+        if args.quick { "quick" } else { "standard" }
+    );
+    let report = feam_eval::obs_bench(args.seed, args.quick, args.max_overhead);
+    print!("{}", feam_eval::render_obs_bench(&report));
+    if let Some(path) = &args.json {
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&serde_json::to_value(&report).expect("serialize"))
+                .expect("serialize"),
+        )
+        .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        eprintln!("wrote {path}");
+    }
+    if !report.pass {
+        eprintln!(
+            "FAIL: serving-recorder cached-path p99 {}us exceeds budget \
+             (null-sink p99 {}us x {:.2} + {}us slack)",
+            report.full.hit_p99_us,
+            report.null_sink.hit_p99_us,
+            1.0 + report.max_overhead,
+            report.slack_us
+        );
+    }
+    std::process::exit(if report.pass { 0 } else { 1 });
+}
+
 /// `--plan-bench`: run the placement-planning benchmark. Always gates on
 /// ranking identity to the sequential oracle and on rank stability;
 /// `--max-p99-us` and `--min-speedup` add CI thresholds. Exits the
@@ -362,6 +414,9 @@ fn main() {
     }
     if args.plan_bench {
         plan_bench_main(&args);
+    }
+    if args.obs_bench {
+        obs_bench_main(&args);
     }
     if args.conform {
         conform_main(&args);

@@ -14,10 +14,23 @@ use feam_svc::{
 /// it spans suites, home sites and MPI stacks; its order — and therefore
 /// which binaries the Zipf head lands on — depends only on `seed`.
 pub fn build_service(seed: u64, binaries: usize, caching: bool) -> PredictService {
+    build_service_with(seed, binaries, caching, feam_obs::Recorder::disabled())
+}
+
+/// [`build_service`] with an explicit telemetry recorder — the telemetry
+/// overhead bench builds otherwise-identical services that differ only in
+/// their recorder.
+pub fn build_service_with(
+    seed: u64,
+    binaries: usize,
+    caching: bool,
+    recorder: feam_obs::Recorder,
+) -> PredictService {
     let exp = crate::Experiment::new(seed);
     let cfg = ServiceConfig {
         caching,
         sites_seed: seed,
+        recorder,
         ..ServiceConfig::default()
     };
     let svc = PredictService::with_sites(cfg, exp.sites);

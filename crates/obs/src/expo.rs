@@ -1,0 +1,140 @@
+//! Exposition: rendering a [`MetricsSnapshot`] as Prometheus text format
+//! or JSON.
+//!
+//! The Prometheus rendering follows text-format conventions: metric
+//! names are sanitized (`svc.latency_us` → `feam_svc_latency_us`),
+//! counters get a `_total` suffix, histograms expose cumulative
+//! `_bucket{le="…"}` series at their occupied log2 bounds plus `+Inf`,
+//! and every family carries `# TYPE`. Values are windowed (the snapshot
+//! horizon) except counter totals, which are since-process-start as
+//! Prometheus counters must be.
+
+use crate::window::MetricsSnapshot;
+
+/// `feam_` + the metric name with every non-alphanumeric squashed to
+/// `_` (Prometheus-legal identifier).
+pub fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    out.push_str("feam_");
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render the snapshot in Prometheus text exposition format.
+pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# HELP feam_obs_window_ms sliding window length backing windowed series\n\
+         # TYPE feam_obs_window_ms gauge\n\
+         feam_obs_window_ms {}\n",
+        snap.window_ms
+    ));
+    for (name, c) in &snap.counters {
+        let id = sanitize(name);
+        out.push_str(&format!(
+            "# TYPE {id}_total counter\n{id}_total {}\n",
+            c.total
+        ));
+        out.push_str(&format!(
+            "# TYPE {id}_windowed gauge\n{id}_windowed {}\n",
+            c.windowed
+        ));
+    }
+    for (name, g) in &snap.gauges {
+        let id = sanitize(name);
+        out.push_str(&format!("# TYPE {id} gauge\n{id} {}\n", fmt_f64(g.last)));
+    }
+    for (name, h) in &snap.histograms {
+        let id = sanitize(name);
+        out.push_str(&format!("# TYPE {id} histogram\n"));
+        let mut cumulative = 0;
+        for b in &h.buckets {
+            cumulative += b.count;
+            out.push_str(&format!("{id}_bucket{{le=\"{}\"}} {cumulative}\n", b.le));
+        }
+        out.push_str(&format!("{id}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+        out.push_str(&format!("{id}_sum {}\n{id}_count {}\n", h.sum, h.count));
+    }
+    for s in &snap.slos {
+        let id = sanitize(&format!("slo.{}", s.name));
+        let code = match s.state {
+            crate::SloState::Ok => 0,
+            crate::SloState::Warning => 1,
+            crate::SloState::Page => 2,
+        };
+        out.push_str(&format!(
+            "# TYPE {id}_state gauge\n{id}_state {code}\n\
+             # TYPE {id}_burn_short gauge\n{id}_burn_short {}\n\
+             # TYPE {id}_burn_long gauge\n{id}_burn_long {}\n",
+            fmt_f64((s.short_burn * 1000.0).round() / 1000.0),
+            fmt_f64((s.long_burn * 1000.0).round() / 1000.0),
+        ));
+    }
+    out
+}
+
+/// Render the snapshot as pretty-printed JSON.
+pub fn render_json(snap: &MetricsSnapshot) -> String {
+    let value = serde_json::to_value(snap).expect("metrics snapshot serializes");
+    let mut text = serde_json::to_string_pretty(&value).expect("json renders");
+    text.push('\n');
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::{WindowSpec, WindowedRegistry};
+
+    #[test]
+    fn sanitize_squashes_punctuation() {
+        assert_eq!(sanitize("svc.latency_us"), "feam_svc_latency_us");
+        assert_eq!(sanitize("queue.wait-p99"), "feam_queue_wait_p99");
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative() {
+        let reg = WindowedRegistry::new(WindowSpec::default());
+        reg.count("svc.requests", 7, 100);
+        reg.gauge("queue.depth", 2.0, 100);
+        for v in [10.0, 20.0, 5_000.0] {
+            reg.observe("svc.latency_us", v, 100);
+        }
+        let snap = reg.snapshot(500, 60_000);
+        let text = render_prometheus(&snap);
+        assert!(text.contains("feam_svc_requests_total 7"));
+        assert!(text.contains("feam_queue_depth 2"));
+        assert!(text.contains("# TYPE feam_svc_latency_us histogram"));
+        // 10 → le=16 (1), 20 → le=32 (cumulative 2), 5000 → le=8192 (3).
+        assert!(text.contains("feam_svc_latency_us_bucket{le=\"16\"} 1"));
+        assert!(text.contains("feam_svc_latency_us_bucket{le=\"32\"} 2"));
+        assert!(text.contains("feam_svc_latency_us_bucket{le=\"8192\"} 3"));
+        assert!(text.contains("feam_svc_latency_us_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("feam_svc_latency_us_count 3"));
+    }
+
+    #[test]
+    fn json_rendering_parses_back() {
+        let reg = WindowedRegistry::new(WindowSpec::default());
+        reg.count("svc.requests", 1, 100);
+        let snap = reg.snapshot(500, 60_000);
+        let text = render_json(&snap);
+        let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(v["counters"]["svc.requests"]["total"].as_u64(), Some(1));
+        assert_eq!(v["window_ms"].as_u64(), Some(60_000));
+    }
+}

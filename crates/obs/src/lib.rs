@@ -7,10 +7,17 @@
 //!
 //! * **Spans** — nested, monotonically timed regions (`source_phase` →
 //!   `bdc` → `bdc.collect_libraries`, …) with parent/child links.
+//! * **Traces** — every root span mints a request-scoped trace id; child
+//!   spans and events inherit it through the thread-local context, and a
+//!   [`TraceCtx`] carries it explicitly across thread hops (worker pools,
+//!   coalesced requests) where thread-locals would orphan the tree.
 //! * **Events** — point-in-time records (a determinant verdict, a launch
 //!   attempt, a library resolution outcome) attached to the current span.
 //! * **Metrics** — named counters and histograms plus per-span-name
-//!   duration statistics, exportable as a [`TelemetrySnapshot`].
+//!   duration statistics, exportable as a [`TelemetrySnapshot`]; a
+//!   serving recorder additionally maintains a [`WindowedRegistry`] of
+//!   sliding-window counters/gauges/histograms and a bounded
+//!   [`ExemplarStore`] of span trees for tail-latency outliers.
 //! * **Sinks** — where events go: nowhere ([`Recorder::disabled`], the
 //!   no-op default threaded through the pipeline at ~zero cost), an
 //!   in-memory buffer ([`MemorySink`], for tests and aggregation), or a
@@ -22,27 +29,37 @@
 //! One JSON object per line, in emission order:
 //!
 //! ```json
-//! {"ts_us":12,"kind":"span_start","name":"target_phase","span":1,"parent":null}
-//! {"ts_us":90,"kind":"event","name":"determinant","span":2,"parent":2,"fields":{"determinant":"Isa","compatible":true}}
-//! {"ts_us":151,"kind":"span_end","name":"target_phase","span":1,"parent":null,"dur_us":139}
+//! {"ts_us":12,"kind":"span_start","name":"target_phase","span":1,"parent":null,"trace":1}
+//! {"ts_us":90,"kind":"event","name":"determinant","span":2,"parent":2,"trace":1,"fields":{"determinant":"Isa","compatible":true}}
+//! {"ts_us":151,"kind":"span_end","name":"target_phase","span":1,"parent":null,"trace":1,"dur_us":139}
 //! ```
 //!
 //! `ts_us` is microseconds since the recorder was created (monotonic).
 //! `span` is the event's own span id for span records, or the enclosing
 //! span id for instant events. `dur_us` is present on `span_end` only.
+//! `trace` groups all records of one request (0 = untraced; readers must
+//! treat a missing key as 0 for traces written before the field existed).
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+pub mod exemplar;
+pub mod expo;
 mod metrics;
 mod sink;
+pub mod slo;
 pub mod trace;
+pub mod window;
 
+pub use exemplar::{Exemplar, ExemplarStore, ExemplarSummary};
 pub use metrics::{HistStat, SpanStat, TelemetrySnapshot};
 pub use sink::{JsonlSink, MemorySink, NullSink, Sink};
+pub use slo::{SloEvaluation, SloKind, SloSpec, SloState};
+pub use window::{MetricsSnapshot, WindowSpec, WindowedRegistry};
 
+use exemplar::TraceBufs;
 use metrics::Metrics;
 
 /// A field value attached to an event.
@@ -145,6 +162,8 @@ pub struct Event {
     pub span: u64,
     /// Parent span id, when inside a span.
     pub parent: Option<u64>,
+    /// Trace id grouping all records of one request (0 = untraced).
+    pub trace: u64,
     /// Span duration in microseconds; `span_end` only.
     pub dur_us: Option<u64>,
     pub fields: Vec<(String, FieldValue)>,
@@ -163,10 +182,51 @@ impl Event {
             "name": self.name,
             "span": self.span,
             "parent": self.parent,
+            "trace": self.trace,
             "dur_us": self.dur_us,
             "fields": serde_json::Value::Object(fields),
         })
     }
+}
+
+/// Explicit trace context for crossing thread boundaries.
+///
+/// The thread-local context makes same-thread nesting automatic; a
+/// `TraceCtx` is the hand-off token for everywhere that model breaks:
+/// a request enqueued for a worker pool, a waiter coalesced onto another
+/// request's evaluation, a phase driven on behalf of a remote caller.
+/// `span_id` is the span that children should parent on; `trace_id` is
+/// the request-scoped correlation key shared by every record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceCtx {
+    pub trace_id: u64,
+    pub span_id: u64,
+}
+
+impl TraceCtx {
+    /// The absent context: no trace, no parent.
+    pub const NONE: TraceCtx = TraceCtx {
+        trace_id: 0,
+        span_id: 0,
+    };
+
+    pub fn is_none(&self) -> bool {
+        self.trace_id == 0 && self.span_id == 0
+    }
+}
+
+impl Default for TraceCtx {
+    fn default() -> Self {
+        TraceCtx::NONE
+    }
+}
+
+/// The serving-grade telemetry layer: sliding-window metrics, per-trace
+/// event buffers, and the bounded tail-exemplar store.
+struct Serving {
+    registry: Arc<WindowedRegistry>,
+    exemplars: Arc<ExemplarStore>,
+    bufs: TraceBufs,
 }
 
 struct Inner {
@@ -174,13 +234,14 @@ struct Inner {
     next_id: AtomicU64,
     sink: Box<dyn Sink>,
     metrics: Metrics,
+    serving: Option<Serving>,
 }
 
 thread_local! {
-    /// The innermost live span on this thread (0 = none). Guards restore
-    /// the previous value on drop, so independent recorders interleave
-    /// correctly.
-    static CURRENT_SPAN: Cell<u64> = const { Cell::new(0) };
+    /// The innermost live (span, trace) pair on this thread (0 = none).
+    /// Guards restore the previous pair on drop, so independent recorders
+    /// interleave correctly.
+    static CURRENT: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
 }
 
 /// Handle to the tracing/metrics layer. Cheap to clone; a disabled
@@ -194,6 +255,7 @@ impl std::fmt::Debug for Recorder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Recorder")
             .field("enabled", &self.is_enabled())
+            .field("serving", &self.registry().is_some())
             .finish()
     }
 }
@@ -206,12 +268,33 @@ impl Recorder {
 
     /// A recorder delivering events to `sink`.
     pub fn with_sink(sink: Box<dyn Sink>) -> Self {
+        Self::build(sink, None)
+    }
+
+    /// A serving-grade recorder: events go to `sink` as usual, and the
+    /// recorder additionally maintains a [`WindowedRegistry`] (sliding
+    /// windows per `spec`), buffers events per live trace, and captures
+    /// tail exemplars (at most `exemplar_cap`) via
+    /// [`Recorder::observe_tail`].
+    pub fn serving(sink: Box<dyn Sink>, spec: WindowSpec, exemplar_cap: usize) -> Self {
+        Self::build(
+            sink,
+            Some(Serving {
+                registry: Arc::new(WindowedRegistry::new(spec)),
+                exemplars: Arc::new(ExemplarStore::new(exemplar_cap)),
+                bufs: TraceBufs::default(),
+            }),
+        )
+    }
+
+    fn build(sink: Box<dyn Sink>, serving: Option<Serving>) -> Self {
         Recorder {
             inner: Some(Arc::new(Inner {
                 start: Instant::now(),
                 next_id: AtomicU64::new(1),
                 sink,
                 metrics: Metrics::default(),
+                serving,
             })),
         }
     }
@@ -231,64 +314,226 @@ impl Recorder {
         self.inner.is_some()
     }
 
+    /// The windowed metrics registry (serving recorders only).
+    pub fn registry(&self) -> Option<Arc<WindowedRegistry>> {
+        self.inner
+            .as_ref()
+            .and_then(|i| i.serving.as_ref())
+            .map(|s| s.registry.clone())
+    }
+
+    /// The tail-exemplar store (serving recorders only).
+    pub fn exemplars(&self) -> Option<Arc<ExemplarStore>> {
+        self.inner
+            .as_ref()
+            .and_then(|i| i.serving.as_ref())
+            .map(|s| s.exemplars.clone())
+    }
+
     fn now_us(inner: &Inner) -> u64 {
         inner.start.elapsed().as_micros() as u64
     }
 
+    /// Milliseconds since the recorder was created (the clock the
+    /// windowed registry rotates on).
+    pub fn now_ms(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.start.elapsed().as_millis() as u64,
+            None => 0,
+        }
+    }
+
+    fn emit(inner: &Inner, event: Event) {
+        inner.sink.record(&event);
+        if let Some(s) = &inner.serving {
+            if event.trace != 0 {
+                s.bufs.push(event);
+            }
+        }
+    }
+
+    /// Mint a fresh trace context (a new trace id whose root span id is
+    /// not yet bound to any emitted span). Emits nothing — the fast path
+    /// for requests that may never open a span (e.g. cache hits).
+    pub fn mint_ctx(&self) -> TraceCtx {
+        let Some(inner) = &self.inner else {
+            return TraceCtx::NONE;
+        };
+        let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+        TraceCtx {
+            trace_id: id,
+            span_id: id,
+        }
+    }
+
     /// Open a span; it closes (and is timed) when the guard drops.
+    ///
+    /// Parent and trace come from the thread-local context. A root span
+    /// (no live enclosing span) mints a fresh trace id, so every span
+    /// tree belongs to some trace.
     pub fn span(&self, name: &str) -> Span {
+        self.span_in(name, None)
+    }
+
+    /// Open a span under an explicit [`TraceCtx`] (parent = `ctx.span_id`,
+    /// trace = `ctx.trace_id`), or under the thread-local context when
+    /// `ctx` is `None`. This is the worker-pool entry point: the first
+    /// span a pool thread opens for a request passes the request's
+    /// context here, and everything nested below inherits it through the
+    /// thread-local.
+    pub fn span_in(&self, name: &str, ctx: Option<TraceCtx>) -> Span {
         let Some(inner) = &self.inner else {
             return Span {
                 rec: None,
                 id: 0,
-                prev: 0,
+                trace: 0,
+                prev: (0, 0),
                 name: String::new(),
                 started: None,
             };
         };
         let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
-        let prev = CURRENT_SPAN.with(|c| c.replace(id));
-        let parent = if prev == 0 { None } else { Some(prev) };
-        inner.sink.record(&Event {
-            ts_us: Self::now_us(inner),
-            kind: EventKind::SpanStart,
-            name: name.to_string(),
-            span: id,
-            parent,
-            dur_us: None,
-            fields: Vec::new(),
-        });
+        let (cur_span, cur_trace) = CURRENT.with(|c| c.get());
+        let (parent, trace) = match ctx {
+            Some(c) if !c.is_none() => (
+                if c.span_id == 0 {
+                    None
+                } else {
+                    Some(c.span_id)
+                },
+                c.trace_id,
+            ),
+            _ => (if cur_span == 0 { None } else { Some(cur_span) }, cur_trace),
+        };
+        // Root spans start a trace of their own.
+        let trace = if trace == 0 { id } else { trace };
+        let prev = CURRENT.with(|c| c.replace((id, trace)));
+        Self::emit(
+            inner,
+            Event {
+                ts_us: Self::now_us(inner),
+                kind: EventKind::SpanStart,
+                name: name.to_string(),
+                span: id,
+                parent,
+                trace,
+                dur_us: None,
+                fields: Vec::new(),
+            },
+        );
         Span {
             rec: Some(self.clone()),
             id,
+            trace,
             prev,
             name: name.to_string(),
             started: Some(Instant::now()),
         }
     }
 
+    /// Emit a `span_start` for `ctx` without touching the thread-local
+    /// context. This is for spans whose begin and end happen on different
+    /// threads (a service request begins on the caller thread and ends on
+    /// the worker that delivers the response); pair with
+    /// [`Recorder::span_end_at`].
+    pub fn span_begin_at(&self, name: &str, ctx: TraceCtx, parent: Option<TraceCtx>) {
+        let Some(inner) = &self.inner else { return };
+        if ctx.is_none() {
+            return;
+        }
+        Self::emit(
+            inner,
+            Event {
+                ts_us: Self::now_us(inner),
+                kind: EventKind::SpanStart,
+                name: name.to_string(),
+                span: ctx.span_id,
+                parent: parent.filter(|p| !p.is_none()).map(|p| p.span_id),
+                trace: ctx.trace_id,
+                dur_us: None,
+                fields: Vec::new(),
+            },
+        );
+    }
+
+    /// Emit the matching `span_end` for a [`Recorder::span_begin_at`],
+    /// folding `dur_us` into the span statistics.
+    pub fn span_end_at(&self, name: &str, ctx: TraceCtx, dur_us: u64) {
+        let Some(inner) = &self.inner else { return };
+        if ctx.is_none() {
+            return;
+        }
+        inner.metrics.span_finished(name, dur_us);
+        Self::emit(
+            inner,
+            Event {
+                ts_us: Self::now_us(inner),
+                kind: EventKind::SpanEnd,
+                name: name.to_string(),
+                span: ctx.span_id,
+                parent: None,
+                trace: ctx.trace_id,
+                dur_us: Some(dur_us),
+                fields: Vec::new(),
+            },
+        );
+    }
+
     /// Emit an instant event attached to the current span.
     pub fn event(&self, name: &str, fields: &[(&str, FieldValue)]) {
         let Some(inner) = &self.inner else { return };
-        let current = CURRENT_SPAN.with(|c| c.get());
-        inner.sink.record(&Event {
-            ts_us: Self::now_us(inner),
-            kind: EventKind::Instant,
-            name: name.to_string(),
-            span: current,
-            parent: if current == 0 { None } else { Some(current) },
-            dur_us: None,
-            fields: fields
-                .iter()
-                .map(|(k, v)| (k.to_string(), v.clone()))
-                .collect(),
-        });
+        let (current, trace) = CURRENT.with(|c| c.get());
+        Self::emit(
+            inner,
+            Event {
+                ts_us: Self::now_us(inner),
+                kind: EventKind::Instant,
+                name: name.to_string(),
+                span: current,
+                parent: if current == 0 { None } else { Some(current) },
+                trace,
+                dur_us: None,
+                fields: fields
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.clone()))
+                    .collect(),
+            },
+        );
+    }
+
+    /// Emit an instant event attached to an explicit [`TraceCtx`]
+    /// (ignores the thread-local context; safe from any thread).
+    pub fn event_at(&self, name: &str, ctx: TraceCtx, fields: &[(&str, FieldValue)]) {
+        let Some(inner) = &self.inner else { return };
+        Self::emit(
+            inner,
+            Event {
+                ts_us: Self::now_us(inner),
+                kind: EventKind::Instant,
+                name: name.to_string(),
+                span: ctx.span_id,
+                parent: if ctx.span_id == 0 {
+                    None
+                } else {
+                    Some(ctx.span_id)
+                },
+                trace: ctx.trace_id,
+                dur_us: None,
+                fields: fields
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.clone()))
+                    .collect(),
+            },
+        );
     }
 
     /// Add `delta` to the named counter.
     pub fn count(&self, name: &str, delta: u64) {
         if let Some(inner) = &self.inner {
             inner.metrics.count(name, delta);
+            if let Some(s) = &inner.serving {
+                s.registry.count(name, delta, Self::now_us(inner) / 1000);
+            }
         }
     }
 
@@ -296,6 +541,57 @@ impl Recorder {
     pub fn observe(&self, name: &str, value: f64) {
         if let Some(inner) = &self.inner {
             inner.metrics.observe(name, value);
+            if let Some(s) = &inner.serving {
+                s.registry.observe(name, value, Self::now_us(inner) / 1000);
+            }
+        }
+    }
+
+    /// Set the named gauge to `value` (windowed registry only; a no-op on
+    /// non-serving recorders).
+    pub fn gauge(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            if let Some(s) = &inner.serving {
+                s.registry.gauge(name, value, Self::now_us(inner) / 1000);
+            }
+        }
+    }
+
+    /// Record an observation that may capture a tail exemplar: when the
+    /// value lands in the top bucket region of the metric's window (within
+    /// one log2 bucket of the window max), the trace's buffered span tree
+    /// is moved into the exemplar store. Consumes the trace buffer either
+    /// way on capture; call [`Recorder::finish_trace`] afterwards to drop
+    /// the buffer for non-captured traces.
+    pub fn observe_tail(&self, name: &str, value: f64, ctx: TraceCtx) {
+        let Some(inner) = &self.inner else { return };
+        inner.metrics.observe(name, value);
+        let Some(s) = &inner.serving else { return };
+        let now_ms = Self::now_us(inner) / 1000;
+        let is_tail = s.registry.observe_tail(name, value, now_ms);
+        if is_tail && ctx.trace_id != 0 {
+            if let Some(events) = s.bufs.take(ctx.trace_id) {
+                if !events.is_empty() {
+                    s.exemplars.offer(Exemplar {
+                        trace_id: ctx.trace_id,
+                        metric: name.to_string(),
+                        value,
+                        at_ms: now_ms,
+                        events,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Declare a trace finished: its buffered events (if any remain) are
+    /// discarded. Idempotent; call after the last [`Recorder::observe_tail`]
+    /// for the request.
+    pub fn finish_trace(&self, ctx: TraceCtx) {
+        if let Some(inner) = &self.inner {
+            if let Some(s) = &inner.serving {
+                s.bufs.remove(ctx.trace_id);
+            }
         }
     }
 
@@ -306,6 +602,24 @@ impl Recorder {
             Some(inner) => inner.metrics.snapshot(),
             None => TelemetrySnapshot::default(),
         }
+    }
+
+    /// A windowed [`MetricsSnapshot`] over the last `window_ms`
+    /// milliseconds, including exemplar summaries. `None` for recorders
+    /// without a serving layer. SLO evaluations are left empty — callers
+    /// fill them via [`slo::evaluate_all`].
+    pub fn metrics_snapshot(&self, window_ms: u64) -> Option<MetricsSnapshot> {
+        let inner = self.inner.as_ref()?;
+        let s = inner.serving.as_ref()?;
+        let now_ms = Self::now_us(inner) / 1000;
+        let mut snap = s.registry.snapshot(now_ms, window_ms);
+        snap.exemplars = s
+            .exemplars
+            .snapshot()
+            .iter()
+            .map(Exemplar::summary)
+            .collect();
+        Some(snap)
     }
 
     /// Flush the sink (meaningful for file sinks).
@@ -321,7 +635,8 @@ impl Recorder {
 pub struct Span {
     rec: Option<Recorder>,
     id: u64,
-    prev: u64,
+    trace: u64,
+    prev: (u64, u64),
     name: String,
     started: Option<Instant>,
 }
@@ -331,31 +646,44 @@ impl Span {
     pub fn id(&self) -> u64 {
         self.id
     }
+
+    /// This span's context, for handing work to another thread that
+    /// should parent on it.
+    pub fn ctx(&self) -> TraceCtx {
+        TraceCtx {
+            trace_id: self.trace,
+            span_id: self.id,
+        }
+    }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
         let Some(rec) = &self.rec else { return };
         let Some(inner) = &rec.inner else { return };
-        CURRENT_SPAN.with(|c| c.set(self.prev));
+        CURRENT.with(|c| c.set(self.prev));
         let dur_us = self
             .started
             .map(|t| t.elapsed().as_micros() as u64)
             .unwrap_or(0);
         inner.metrics.span_finished(&self.name, dur_us);
-        inner.sink.record(&Event {
-            ts_us: Recorder::now_us(inner),
-            kind: EventKind::SpanEnd,
-            name: std::mem::take(&mut self.name),
-            span: self.id,
-            parent: if self.prev == 0 {
-                None
-            } else {
-                Some(self.prev)
+        Recorder::emit(
+            inner,
+            Event {
+                ts_us: Recorder::now_us(inner),
+                kind: EventKind::SpanEnd,
+                name: std::mem::take(&mut self.name),
+                span: self.id,
+                parent: if self.prev.0 == 0 {
+                    None
+                } else {
+                    Some(self.prev.0)
+                },
+                trace: self.trace,
+                dur_us: Some(dur_us),
+                fields: Vec::new(),
             },
-            dur_us: Some(dur_us),
-            fields: Vec::new(),
-        });
+        );
     }
 }
 
@@ -371,9 +699,12 @@ mod tests {
             rec.event("ev", &[("k", 1u64.into())]);
             rec.count("c", 3);
             rec.observe("h", 1.0);
+            rec.gauge("g", 2.0);
         }
         assert!(!rec.is_enabled());
         assert!(rec.snapshot().is_empty());
+        assert!(rec.mint_ctx().is_none());
+        assert!(rec.registry().is_none());
     }
 
     #[test]
@@ -404,6 +735,64 @@ mod tests {
         let snap = rec.snapshot();
         assert_eq!(snap.spans["outer"].count, 1);
         assert_eq!(snap.spans["inner"].count, 1);
+    }
+
+    #[test]
+    fn root_spans_mint_traces_and_children_inherit() {
+        let (rec, sink) = Recorder::memory();
+        {
+            let _outer = rec.span("outer");
+            rec.event("marker", &[]);
+            let _inner = rec.span("inner");
+        }
+        {
+            let _second = rec.span("second");
+        }
+        let events = sink.events();
+        let outer_trace = events[0].trace;
+        assert_ne!(outer_trace, 0);
+        // Everything inside `outer` shares its trace.
+        for ev in &events[..5] {
+            assert_eq!(ev.trace, outer_trace, "{}", ev.name);
+        }
+        // A fresh root span gets a fresh trace.
+        let second = events.iter().find(|e| e.name == "second").unwrap();
+        assert_ne!(second.trace, outer_trace);
+        assert_ne!(second.trace, 0);
+    }
+
+    #[test]
+    fn explicit_ctx_crosses_threads() {
+        let (rec, sink) = Recorder::memory();
+        let ctx = rec.mint_ctx();
+        rec.span_begin_at("request", ctx, None);
+        let rec2 = rec.clone();
+        std::thread::spawn(move || {
+            let eval = rec2.span_in("eval", Some(ctx));
+            rec2.event("step", &[]);
+            drop(eval);
+        })
+        .join()
+        .unwrap();
+        rec.span_end_at("request", ctx, 42);
+        let events = sink.events();
+        assert_eq!(events.len(), 5);
+        for ev in &events {
+            assert_eq!(ev.trace, ctx.trace_id, "{}", ev.name);
+        }
+        let eval_start = events
+            .iter()
+            .find(|e| e.name == "eval" && e.kind == EventKind::SpanStart)
+            .unwrap();
+        assert_eq!(eval_start.parent, Some(ctx.span_id));
+        let step = events.iter().find(|e| e.name == "step").unwrap();
+        assert_eq!(step.span, eval_start.span);
+        let end = events
+            .iter()
+            .find(|e| e.name == "request" && e.kind == EventKind::SpanEnd)
+            .unwrap();
+        assert_eq!(end.dur_us, Some(42));
+        assert_eq!(rec.snapshot().spans["request"].count, 1);
     }
 
     #[test]
@@ -446,6 +835,29 @@ mod tests {
     }
 
     #[test]
+    fn serving_recorder_collects_windows_and_exemplars() {
+        let rec = Recorder::serving(Box::new(NullSink), WindowSpec::default(), 4);
+        let ctx = rec.mint_ctx();
+        rec.span_begin_at("svc.request", ctx, None);
+        rec.event_at("svc.cache_miss", ctx, &[("layer", "bdc".into())]);
+        rec.span_end_at("svc.request", ctx, 1000);
+        rec.observe_tail("svc.latency_us", 1000.0, ctx);
+        rec.finish_trace(ctx);
+
+        let reg = rec.registry().expect("serving registry");
+        let snap = reg.snapshot(rec.now_ms(), 60_000);
+        assert_eq!(snap.histograms["svc.latency_us"].count, 1);
+        let store = rec.exemplars().expect("exemplar store");
+        let exemplars = store.snapshot();
+        assert_eq!(exemplars.len(), 1, "first observation is the window max");
+        assert_eq!(exemplars[0].trace_id, ctx.trace_id);
+        assert!(exemplars[0]
+            .events
+            .iter()
+            .any(|e| e.name == "svc.cache_miss"));
+    }
+
+    #[test]
     fn events_serialize_to_jsonl_schema() {
         let (rec, sink) = Recorder::memory();
         {
@@ -464,6 +876,7 @@ mod tests {
             let v: serde_json::Value = serde_json::from_str(line).unwrap();
             assert!(v["ts_us"].as_u64().is_some());
             assert!(v["kind"].as_str().is_some());
+            assert!(v["trace"].as_u64().is_some());
         }
         let v: serde_json::Value = serde_json::from_str(&lines[1]).unwrap();
         assert_eq!(v["kind"], "event");

@@ -48,6 +48,8 @@ fn parse_line(line: &str) -> Option<Event> {
         name: v["name"].as_str()?.to_string(),
         span: v["span"].as_u64().unwrap_or(0),
         parent: v["parent"].as_u64(),
+        // Traces written before the field existed parse as untraced.
+        trace: v["trace"].as_u64().unwrap_or(0),
         dur_us: v["dur_us"].as_u64(),
         fields,
     })
@@ -152,6 +154,95 @@ pub fn render_breakdown(events: &[Event]) -> String {
     out
 }
 
+/// Per-trace analytics over a whole JSONL document: group events by
+/// trace id, summarize each request (root spans, duration, span/event
+/// counts, injected faults), and render full breakdowns for the `top`
+/// slowest traces. The `feam obs report` view.
+pub fn render_trace_report(events: &[Event], top: usize) -> String {
+    let mut by_trace: BTreeMap<u64, Vec<Event>> = BTreeMap::new();
+    let mut untraced = 0usize;
+    for ev in events {
+        if ev.trace == 0 {
+            untraced += 1;
+        } else {
+            by_trace.entry(ev.trace).or_default().push(ev.clone());
+        }
+    }
+    if by_trace.is_empty() {
+        return format!(
+            "no traced requests ({untraced} untraced records). \
+             Traces written before the `trace` field existed report here; \
+             re-record with a current build for per-request analytics.\n"
+        );
+    }
+
+    struct Row {
+        trace: u64,
+        root: String,
+        dur_us: u64,
+        spans: usize,
+        events: usize,
+        faults: usize,
+    }
+    let mut rows: Vec<Row> = by_trace
+        .iter()
+        .map(|(&trace, evs)| {
+            let spans = span_tree(evs);
+            let roots: Vec<&SpanRecord> = spans.iter().filter(|s| s.parent.is_none()).collect();
+            let root = roots
+                .first()
+                .map(|s| s.name.clone())
+                .unwrap_or_else(|| "(no root span)".to_string());
+            let dur_us = roots.iter().map(|s| s.dur_us).sum();
+            let n_events = evs.iter().filter(|e| e.kind == EventKind::Instant).count();
+            let faults = evs
+                .iter()
+                .filter(|e| e.kind == EventKind::Instant && e.name == "fault_injected")
+                .count();
+            Row {
+                trace,
+                root,
+                dur_us,
+                spans: spans.len(),
+                events: n_events,
+                faults,
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| b.dur_us.cmp(&a.dur_us).then(a.trace.cmp(&b.trace)));
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} traces, {} untraced records\n\n",
+        rows.len(),
+        untraced
+    ));
+    out.push_str(&format!(
+        "{:>8} {:<28} {:>12} {:>6} {:>7} {:>7}\n",
+        "trace", "root", "duration", "spans", "events", "faults"
+    ));
+    out.push_str(&format!(
+        "{:->8} {:-<28} {:->12} {:->6} {:->7} {:->7}\n",
+        "", "", "", "", "", ""
+    ));
+    for r in &rows {
+        out.push_str(&format!(
+            "{:>8} {:<28} {:>12} {:>6} {:>7} {:>7}\n",
+            r.trace,
+            r.root,
+            format_us(r.dur_us),
+            r.spans,
+            r.events,
+            r.faults
+        ));
+    }
+    for r in rows.iter().take(top) {
+        out.push_str(&format!("\n── trace {} ({}) ──\n", r.trace, r.root));
+        out.push_str(&render_breakdown(&by_trace[&r.trace]));
+    }
+    out
+}
+
 fn format_us(us: u64) -> String {
     if us >= 1_000_000 {
         format!("{:.2}s", us as f64 / 1e6)
@@ -213,6 +304,42 @@ mod tests {
         assert!(text.contains("  bdc"));
         assert!(text.contains("  tec"));
         assert!(text.contains("3 spans"));
+    }
+
+    #[test]
+    fn trace_report_groups_and_ranks_requests() {
+        let (rec, sink) = Recorder::memory();
+        {
+            let _a = rec.span("svc.request");
+            rec.event("fault_injected", &[("chokepoint", "edc".into())]);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        {
+            let _b = rec.span("plan.request");
+        }
+        rec.event("stray", &[]); // outside any span → untraced
+        let text = render_trace_report(&sink.events(), 1);
+        assert!(text.contains("2 traces, 1 untraced records"));
+        assert!(text.contains("svc.request"));
+        assert!(text.contains("plan.request"));
+        // The slowest trace gets a full breakdown section.
+        assert!(text.contains("── trace"));
+        let first_row = text
+            .lines()
+            .find(|l| l.contains("svc.request") || l.contains("plan.request"))
+            .unwrap();
+        assert!(
+            first_row.contains("svc.request"),
+            "slept trace ranks first: {first_row}"
+        );
+    }
+
+    #[test]
+    fn traces_without_trace_field_parse_as_untraced() {
+        let line = r#"{"ts_us":1,"kind":"span_start","name":"x","span":1,"parent":null}"#;
+        let events = parse_trace(line);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].trace, 0);
     }
 
     #[test]

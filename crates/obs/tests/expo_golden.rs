@@ -1,0 +1,134 @@
+//! Golden tests for the metric exposition formats.
+//!
+//! Same convention as `breakdown_golden` and the `feam-eval` JSON schema
+//! suite: a fully deterministic snapshot — logical clock, fixed metric
+//! stream, hand-written exemplar — is rendered to Prometheus text and to
+//! JSON, and both full documents are pinned against checked-in golden
+//! files. Scrapers and dashboards parse these formats; an accidental
+//! rename or layout change must fail loudly. Re-bless intentional
+//! changes with `FEAM_BLESS=1`.
+
+use std::path::PathBuf;
+
+use feam_obs::exemplar::ExemplarSummary;
+use feam_obs::expo::{render_json, render_prometheus};
+use feam_obs::slo::evaluate_all;
+use feam_obs::{MetricsSnapshot, SloKind, SloSpec, WindowSpec};
+
+fn slos() -> Vec<SloSpec> {
+    vec![
+        SloSpec {
+            name: "latency".into(),
+            kind: SloKind::LatencyBudget {
+                metric: "svc.latency_us".into(),
+                threshold: 1_000,
+                allowed_fraction: 0.02,
+            },
+            short_ms: 5_000,
+            long_ms: 30_000,
+            warn_burn: 2.0,
+            page_burn: 10.0,
+        },
+        SloSpec {
+            name: "fault-rate".into(),
+            kind: SloKind::RatioBudget {
+                bad: "faults.injected".into(),
+                total: "svc.responses".into(),
+                allowed_fraction: 0.002,
+            },
+            short_ms: 5_000,
+            long_ms: 30_000,
+            warn_burn: 2.0,
+            page_burn: 10.0,
+        },
+    ]
+}
+
+/// Thirty seconds of logical-clock activity: steady requests, a gauge
+/// sawtooth, a latency spread crossing several log2 buckets, and an
+/// occasional injected fault. No wall clock anywhere, so the snapshot is
+/// byte-identical on every run.
+fn sample_snapshot() -> MetricsSnapshot {
+    let reg = feam_obs::WindowedRegistry::new(WindowSpec {
+        slots: 60,
+        slot_ms: 1_000,
+    });
+    for s in 0..30u64 {
+        let now = s * 1_000;
+        reg.count("svc.requests", 10, now);
+        reg.count("svc.responses", 10, now);
+        if s % 10 == 0 {
+            reg.count("faults.injected", 1, now);
+        }
+        reg.gauge("svc.queue.depth", (s % 7) as f64, now);
+        for i in 0..10u64 {
+            reg.observe("svc.latency_us", (20 + s * 3 + i * 111) as f64, now);
+        }
+    }
+    let now = 29_999;
+    let mut snap = reg.snapshot(now, 60_000);
+    snap.slos = evaluate_all(&slos(), &reg, now);
+    snap.exemplars = vec![ExemplarSummary {
+        trace_id: 7,
+        metric: "svc.latency_us".into(),
+        value: 1_139.0,
+        at_ms: 29_500,
+        events: 9,
+        spans: vec![
+            "svc.request".into(),
+            "svc.eval".into(),
+            "target_phase".into(),
+        ],
+        faults: vec!["module_db".into()],
+    }];
+    snap
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("FEAM_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with FEAM_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        golden,
+        "exposition format drifted from {}; if the change is intentional, \
+         re-bless with FEAM_BLESS=1",
+        path.display()
+    );
+}
+
+#[test]
+fn prometheus_exposition_matches_golden() {
+    let text = render_prometheus(&sample_snapshot());
+    // Shape sanity independent of the golden: histogram type line,
+    // cumulative +Inf bucket, SLO state gauge.
+    assert!(text.contains("# TYPE feam_svc_latency_us histogram"));
+    assert!(text.contains("feam_svc_latency_us_bucket{le=\"+Inf\"} 300"));
+    assert!(text.contains("feam_slo_fault_rate_state"));
+    assert_matches_golden("expo_prometheus.txt", &text);
+}
+
+#[test]
+fn json_exposition_matches_golden() {
+    let text = render_json(&sample_snapshot());
+    // Must parse back, and carry the exemplar's fault chokepoint.
+    let v: serde_json::Value = serde_json::from_str(&text).expect("snapshot JSON parses");
+    assert_eq!(v["exemplars"][0]["faults"][0], "module_db");
+    assert_eq!(v["window_ms"].as_u64(), Some(60_000));
+    assert_matches_golden("expo_snapshot.json", &text);
+}

@@ -103,8 +103,10 @@ pub struct ServeBenchComparison {
     pub equivalent: bool,
 }
 
-/// One request of the seeded stream.
-fn nth_request(
+/// One request of the seeded stream. Public so other drivers (the obs
+/// check harness, the telemetry overhead bench) can replay the exact
+/// workload the serve bench measures.
+pub fn stream_request(
     params: &BenchParams,
     names: &[String],
     sites: &[String],
@@ -176,7 +178,7 @@ fn run_one(
         // `j` is the stream position, not just a `fingerprints` index.
         #[allow(clippy::needless_range_loop)]
         for j in i..wave_end {
-            let req = nth_request(params, &names, &sites, j);
+            let req = stream_request(params, &names, &sites, j);
             // Shed requests are retried until admitted — the bench
             // measures the cost of the whole stream, and counts how often
             // admission control pushed back.
@@ -309,10 +311,10 @@ mod tests {
         let names: Vec<String> = (0..12).map(|i| format!("bin-{i:02}")).collect();
         let sites = vec!["ranger".to_string(), "india".to_string()];
         let a: Vec<String> = (0..200)
-            .map(|i| nth_request(&params, &names, &sites, i).binary_ref)
+            .map(|i| stream_request(&params, &names, &sites, i).binary_ref)
             .collect();
         let b: Vec<String> = (0..200)
-            .map(|i| nth_request(&params, &names, &sites, i).binary_ref)
+            .map(|i| stream_request(&params, &names, &sites, i).binary_ref)
             .collect();
         assert_eq!(a, b, "same seed, same stream");
 

@@ -48,11 +48,13 @@
 //! ```
 
 pub mod bench;
+pub mod obsctl;
 pub mod plan;
 pub mod registry;
 pub mod service;
 
 pub use bench::{run_serve_bench, BenchParams, ServeBenchComparison, ServeBenchReport};
+pub use obsctl::{default_slos, run_observed, ObsRunOutcome, ObsRunParams};
 pub use plan::{Placement, PlanRequest, SitePlacement, SiteSelection};
 pub use registry::{BinaryRegistry, RegisteredBinary, RegistryError};
 pub use service::{

@@ -271,9 +271,17 @@ enum PairOutcome {
 const SHED_RETRIES: u32 = 400;
 
 fn submit_with_retry(svc: &PredictService, req: &PredictRequest) -> Result<Delivery, SvcError> {
+    submit_traced_with_retry(svc, req, feam_obs::TraceCtx::NONE)
+}
+
+fn submit_traced_with_retry(
+    svc: &PredictService,
+    req: &PredictRequest,
+    parent: feam_obs::TraceCtx,
+) -> Result<Delivery, SvcError> {
     let mut attempt = 0u32;
     loop {
-        match svc.submit(req) {
+        match svc.submit_traced(req, parent) {
             Err(e) if e.retryable() && attempt < SHED_RETRIES => {
                 attempt += 1;
                 if attempt < 8 {
@@ -347,7 +355,10 @@ pub fn plan_batch(svc: &PredictService, reqs: &[PlanRequest]) -> Vec<Result<Plac
                 PredictionMode::Basic
             },
         };
-        let delivery = submit_with_retry(svc, &preq);
+        // The service request joins the plan's trace, parented on this
+        // pair's `plan.site` span, so one trace id covers the whole plan
+        // through the pool-side evaluations.
+        let delivery = submit_traced_with_retry(svc, &preq, span.ctx());
         pending.push((key.clone(), delivery, span));
     }
     rec.count("plan.pairs.evaluated", pair_order.len() as u64);

@@ -22,6 +22,7 @@ use feam_core::cache::{BdcKey, PhaseCaches};
 use feam_core::phases::{run_source_phase, run_target_phase, PhaseConfig};
 use feam_core::predict::{Prediction, PredictionMode};
 use feam_core::tec::TargetEvaluation;
+use feam_obs::TraceCtx;
 use feam_sim::faults::FaultPlan;
 use feam_sim::site::Site;
 use std::collections::{HashMap, VecDeque};
@@ -183,11 +184,28 @@ struct RequestKey {
 
 struct Waiter {
     since: Instant,
+    /// This waiter's own request context: every waiter gets its own
+    /// `svc.request` span (begun at submit, ended at delivery) and trace
+    /// id, even when coalesced onto another request's evaluation.
+    ctx: TraceCtx,
     tx: mpsc::Sender<PredictResponse>,
+}
+
+/// One in-flight evaluation: the leader request whose context the worker
+/// evaluates under, plus every waiter (leader included) to fan out to.
+struct Flight {
+    leader: TraceCtx,
+    waiters: Vec<Waiter>,
 }
 
 struct Job {
     key: RequestKey,
+    /// The leader's trace context; the worker parents `svc.eval` (and
+    /// thereby the phases) on it across the thread hop.
+    ctx: TraceCtx,
+    /// Queue entry time, for `svc.queue.wait_us` (wall-clock time spent
+    /// waiting for a worker, separate from evaluation time).
+    enqueued: Instant,
     binary_ref: String,
     /// The binding as resolved at submit time: the evaluation always runs
     /// over the bytes the waiters asked about, even if the name is
@@ -209,7 +227,7 @@ struct Inner {
     phase_cfg: PhaseConfig,
     caches: Option<Arc<PhaseCaches>>,
     results: Mutex<HashMap<RequestKey, Arc<(Prediction, TargetEvaluation)>>>,
-    inflight: Mutex<HashMap<RequestKey, Vec<Waiter>>>,
+    inflight: Mutex<HashMap<RequestKey, Flight>>,
     queue: Mutex<VecDeque<Job>>,
     available: Condvar,
     shutdown: AtomicBool,
@@ -418,6 +436,20 @@ impl PredictService {
     /// Submit without blocking: either an immediate cached answer or a
     /// receiver the worker pool will deliver on.
     pub fn submit(&self, req: &PredictRequest) -> Result<Delivery, SvcError> {
+        self.submit_traced(req, TraceCtx::NONE)
+    }
+
+    /// [`submit`](PredictService::submit) with an explicit parent trace
+    /// context: the request's `svc.request` span parents on
+    /// `parent.span_id` and joins `parent.trace_id` (the planner hands
+    /// its per-site span context here so a whole plan correlates under
+    /// one trace id). Pass [`TraceCtx::NONE`] for a standalone request —
+    /// it mints its own trace.
+    pub fn submit_traced(
+        &self,
+        req: &PredictRequest,
+        parent: TraceCtx,
+    ) -> Result<Delivery, SvcError> {
         let inner = &self.inner;
         let rec = &inner.cfg.recorder;
         let t0 = Instant::now();
@@ -458,12 +490,31 @@ impl PredictService {
             extended: req.mode == PredictionMode::Extended,
         };
 
+        // Every request gets a trace context. A cache hit never opens a
+        // span (keeping the hot path to a handful of atomics), so its
+        // trace id appears only in the latency observation; queued and
+        // coalesced requests get a full `svc.request` span.
+        let ctx = {
+            let minted = rec.mint_ctx();
+            if parent.is_none() || minted.is_none() {
+                minted
+            } else {
+                TraceCtx {
+                    trace_id: parent.trace_id,
+                    span_id: minted.span_id,
+                }
+            }
+        };
+        let parent_opt = (!parent.is_none()).then_some(parent);
+
         // Fast path: a finished evaluation for this exact key.
         if inner.cfg.result_cache && inner.caches.is_some() {
             if let Some(hit) = inner.results.lock().expect("results").get(&key).cloned() {
                 rec.count("svc.result.hit", 1);
+                rec.count("svc.responses", 1);
                 let latency_us = t0.elapsed().as_micros() as u64;
-                rec.observe("svc.latency_us", latency_us as f64);
+                rec.observe_tail("svc.latency_us", latency_us as f64, ctx);
+                rec.finish_trace(ctx);
                 return Ok(Delivery::Ready(PredictResponse {
                     binary_ref: req.binary_ref.clone(),
                     target_site: req.target_site.clone(),
@@ -476,13 +527,24 @@ impl PredictService {
             rec.count("svc.result.miss", 1);
         }
 
+        // This request will wait on a worker (its own flight or another
+        // request's): open its span now; it ends at delivery.
+        rec.span_begin_at("svc.request", ctx, parent_opt);
         let (tx, rx) = mpsc::channel();
-        let waiter = Waiter { since: t0, tx };
+        let waiter = Waiter { since: t0, ctx, tx };
 
         // Single flight: adopt an in-flight evaluation when one exists.
+        // The waiter keeps its own span and trace; the explicit
+        // `svc.coalesced_onto` link records whose evaluation will answer
+        // it, so the leader's trace is reachable from the waiter's.
         let mut inflight = inner.inflight.lock().expect("inflight");
-        if let Some(waiters) = inflight.get_mut(&key) {
-            waiters.push(waiter);
+        if let Some(flight) = inflight.get_mut(&key) {
+            rec.event_at(
+                "svc.coalesced_onto",
+                ctx,
+                &[("leader_trace", flight.leader.trace_id.into())],
+            );
+            flight.waiters.push(waiter);
             rec.count("svc.coalesced", 1);
             return Ok(Delivery::Pending(rx));
         }
@@ -496,8 +558,11 @@ impl PredictService {
         if inner.cfg.result_cache && inner.caches.is_some() {
             if let Some(hit) = inner.results.lock().expect("results").get(&key).cloned() {
                 rec.count("svc.result.hit", 1);
+                rec.count("svc.responses", 1);
                 let latency_us = t0.elapsed().as_micros() as u64;
-                rec.observe("svc.latency_us", latency_us as f64);
+                rec.span_end_at("svc.request", ctx, latency_us);
+                rec.observe_tail("svc.latency_us", latency_us as f64, ctx);
+                rec.finish_trace(ctx);
                 return Ok(Delivery::Ready(PredictResponse {
                     binary_ref: req.binary_ref.clone(),
                     target_site: req.target_site.clone(),
@@ -513,13 +578,25 @@ impl PredictService {
         let mut queue = inner.queue.lock().expect("queue");
         if queue.len() >= inner.cfg.queue_capacity {
             rec.count("queue.shed", 1);
-            return Err(SvcError::Overloaded {
-                queue_depth: queue.len(),
-            });
+            let depth = queue.len();
+            drop(queue);
+            drop(inflight);
+            rec.event_at("svc.shed", ctx, &[("queue_depth", depth.into())]);
+            rec.span_end_at("svc.request", ctx, t0.elapsed().as_micros() as u64);
+            rec.finish_trace(ctx);
+            return Err(SvcError::Overloaded { queue_depth: depth });
         }
-        inflight.insert(key.clone(), vec![waiter]);
+        inflight.insert(
+            key.clone(),
+            Flight {
+                leader: ctx,
+                waiters: vec![waiter],
+            },
+        );
         queue.push_back(Job {
             key,
+            ctx,
+            enqueued: Instant::now(),
             binary_ref: req.binary_ref.clone(),
             binary,
             generation,
@@ -527,6 +604,7 @@ impl PredictService {
             mode: req.mode,
         });
         rec.observe("queue.depth", queue.len() as f64);
+        rec.gauge("svc.queue.depth", queue.len() as f64);
         drop(queue);
         drop(inflight);
         inner.available.notify_one();
@@ -554,11 +632,11 @@ impl Drop for PredictService {
 
 fn worker_loop(inner: &Inner) {
     loop {
-        let job = {
+        let (job, depth) = {
             let mut queue = inner.queue.lock().expect("queue");
             loop {
                 if let Some(job) = queue.pop_front() {
-                    break job;
+                    break (job, queue.len());
                 }
                 if inner.shutdown.load(Ordering::SeqCst) {
                     return;
@@ -566,6 +644,9 @@ fn worker_loop(inner: &Inner) {
                 queue = inner.available.wait(queue).expect("queue wait");
             }
         };
+        // Sample the depth at dequeue as well as at enqueue, so a
+        // draining queue is visible even with no new submissions.
+        inner.cfg.recorder.gauge("svc.queue.depth", depth as f64);
         process(inner, job);
     }
 }
@@ -573,7 +654,17 @@ fn worker_loop(inner: &Inner) {
 /// Evaluate one queued request and fan the answer out to every waiter.
 fn process(inner: &Inner, job: Job) {
     let rec = &inner.cfg.recorder;
-    let span = rec.span("svc.request");
+    // Queue wait is everything between enqueue and this dequeue —
+    // separated from evaluation time so breakdowns can tell "slow
+    // because busy" from "slow because expensive".
+    rec.observe(
+        "svc.queue.wait_us",
+        job.enqueued.elapsed().as_micros() as f64,
+    );
+    // The evaluation span parents on the leader's request span across
+    // the thread hop; the phases underneath inherit trace and parent
+    // through the thread-local context this guard installs.
+    let span = rec.span_in("svc.eval", Some(job.ctx));
     inner.evaluated.fetch_add(1, Ordering::Relaxed);
     let site = &inner.sites[job.site_idx];
     let binary = &job.binary;
@@ -644,12 +735,25 @@ fn process(inner: &Inner, job: Job) {
                 Arc::new((outcome.prediction.clone(), outcome.evaluation.clone())),
             );
         }
-        inflight.remove(&job.key).unwrap_or_default()
+        inflight
+            .remove(&job.key)
+            .map(|f| f.waiters)
+            .unwrap_or_default()
     };
     drop(span);
+    let degraded = outcome.evaluation.degraded;
     for w in waiters {
         let latency_us = w.since.elapsed().as_micros() as u64;
-        rec.observe("svc.latency_us", latency_us as f64);
+        rec.count("svc.responses", 1);
+        if degraded {
+            rec.count("svc.response.degraded", 1);
+        }
+        // Close this waiter's request span (begun on its submit thread),
+        // then let the latency observation decide whether its buffered
+        // span tree becomes a tail exemplar.
+        rec.span_end_at("svc.request", w.ctx, latency_us);
+        rec.observe_tail("svc.latency_us", latency_us as f64, w.ctx);
+        rec.finish_trace(w.ctx);
         // A waiter that gave up (dropped its receiver) is fine to miss.
         let _ = w.tx.send(PredictResponse {
             binary_ref: job.binary_ref.clone(),

@@ -1,0 +1,254 @@
+//! Trace-context regression tests: every span and event recorded while a
+//! service (or planner) request is in flight must carry that request's
+//! trace id — including work done on worker-pool threads and requests
+//! coalesced onto another request's evaluation.
+//!
+//! These pin the explicit-context model: before it, spans opened on pool
+//! threads fell back to the thread-local parent stack of *that* thread
+//! and came out parentless and untraced.
+
+use feam_core::predict::PredictionMode;
+use feam_obs::{Event, EventKind};
+use feam_svc::plan::plan;
+use feam_svc::{
+    Delivery, PlanRequest, PredictRequest, PredictService, RegisteredBinary, ServiceConfig,
+    SiteSelection,
+};
+use std::sync::Arc;
+
+/// A service with `n` small MPI binaries and a memory-sink recorder;
+/// faults pinned off so the event stream is deterministic under ambient
+/// `FEAM_CHAOS_RATE`.
+fn observed_service(n: usize) -> (PredictService, std::sync::Arc<feam_obs::MemorySink>) {
+    use feam_sim::compile::{compile, ProgramSpec};
+    use feam_sim::toolchain::Language;
+    use feam_workloads::sites::{standard_sites, RANGER};
+
+    let (recorder, sink) = feam_obs::Recorder::memory();
+    let cfg = ServiceConfig {
+        recorder,
+        fault_plan: Some(Arc::new(feam_sim::faults::FaultPlan::none())),
+        ..ServiceConfig::default()
+    };
+    let sites = standard_sites(cfg.sites_seed);
+    let ranger = &sites[RANGER];
+    let ist = ranger.stacks[1].clone();
+    let svc = PredictService::new(cfg);
+    let programs = ["cg", "mg", "ft", "lu"];
+    for i in 0..n {
+        let name = programs[i % programs.len()];
+        let bin = compile(
+            ranger,
+            Some(&ist),
+            &ProgramSpec::new(name, Language::Fortran),
+            2000 + i as u64,
+        )
+        .expect("test binary compiles");
+        svc.register_binary(
+            &format!("{name}.{i}"),
+            RegisteredBinary::new(bin.image, ranger.name()),
+        )
+        .expect("fresh name registers");
+    }
+    (svc, sink)
+}
+
+fn req(binary: &str, site: &str) -> PredictRequest {
+    PredictRequest {
+        binary_ref: binary.into(),
+        target_site: site.into(),
+        mode: PredictionMode::Basic,
+    }
+}
+
+/// Root spans of the serving plane; everything else must have a parent.
+fn is_root_name(name: &str) -> bool {
+    name == "svc.request" || name == "plan.request"
+}
+
+fn span_starts(events: &[Event]) -> Vec<&Event> {
+    events
+        .iter()
+        .filter(|e| e.kind == EventKind::SpanStart)
+        .collect()
+}
+
+#[test]
+fn every_event_in_a_request_carries_its_trace_and_a_parent() {
+    let (mut svc, sink) = observed_service(2);
+    svc.start();
+    for r in [req("cg.0", "india"), req("mg.1", "forge")] {
+        match svc.submit(&r).expect("valid request") {
+            Delivery::Ready(_) => {}
+            Delivery::Pending(rx) => {
+                rx.recv().expect("worker answers");
+            }
+        }
+    }
+    // Repeat: a result-cache hit (no new spans, but also no orphans).
+    match svc.submit(&req("cg.0", "india")).expect("valid request") {
+        Delivery::Ready(_) => {}
+        Delivery::Pending(rx) => {
+            rx.recv().expect("worker answers");
+        }
+    }
+    drop(svc);
+
+    let events = sink.events();
+    assert!(!events.is_empty());
+    for e in &events {
+        assert_ne!(
+            e.trace, 0,
+            "untraced {:?} record `{}` (span {})",
+            e.kind, e.name, e.span
+        );
+    }
+    let starts = span_starts(&events);
+    assert!(starts.iter().any(|e| e.name == "svc.request"));
+    assert!(starts.iter().any(|e| e.name == "svc.eval"));
+    // Phases ran on pool threads; they must still be parented and traced.
+    assert!(starts.iter().any(|e| e.name == "target_phase"));
+    for e in &starts {
+        if is_root_name(&e.name) {
+            assert!(e.parent.is_none(), "{} grew a parent", e.name);
+        } else {
+            assert!(
+                e.parent.is_some(),
+                "parentless span `{}` (trace {}) — cross-thread context lost",
+                e.name,
+                e.trace
+            );
+        }
+    }
+    // Each svc.request trace covers its whole evaluation: the svc.eval
+    // span belongs to the (leader) request's trace.
+    let request_traces: Vec<u64> = starts
+        .iter()
+        .filter(|e| e.name == "svc.request")
+        .map(|e| e.trace)
+        .collect();
+    for e in &starts {
+        if e.name == "svc.eval" || e.name == "target_phase" {
+            assert!(
+                request_traces.contains(&e.trace),
+                "{} ran under trace {} which is not a request trace",
+                e.name,
+                e.trace
+            );
+        }
+    }
+}
+
+#[test]
+fn coalesced_requests_keep_their_own_trace_and_link_to_the_leader() {
+    let (mut svc, sink) = observed_service(1);
+    // Submit twice before starting the workers: the second submission
+    // deterministically coalesces onto the first one's flight.
+    let r = req("cg.0", "india");
+    let rx1 = match svc.submit(&r).expect("valid request") {
+        Delivery::Pending(rx) => rx,
+        Delivery::Ready(_) => panic!("nothing cached yet"),
+    };
+    let rx2 = match svc.submit(&r).expect("valid request") {
+        Delivery::Pending(rx) => rx,
+        Delivery::Ready(_) => panic!("must coalesce, not hit"),
+    };
+    svc.start();
+    rx1.recv().expect("leader answered");
+    rx2.recv().expect("waiter answered");
+    drop(svc);
+
+    let events = sink.events();
+    let starts = span_starts(&events);
+    let request_traces: Vec<u64> = starts
+        .iter()
+        .filter(|e| e.name == "svc.request")
+        .map(|e| e.trace)
+        .collect();
+    assert_eq!(request_traces.len(), 2, "one span per waiter");
+    assert_ne!(
+        request_traces[0], request_traces[1],
+        "coalesced waiter keeps its own trace"
+    );
+    // Both spans complete (span_end each) even though only one evaluated.
+    let ends = events
+        .iter()
+        .filter(|e| e.kind == EventKind::SpanEnd && e.name == "svc.request")
+        .count();
+    assert_eq!(ends, 2);
+
+    let link = events
+        .iter()
+        .find(|e| e.kind == EventKind::Instant && e.name == "svc.coalesced_onto")
+        .expect("coalescing emits the link event");
+    let leader_trace = link
+        .fields
+        .iter()
+        .find(|(k, _)| k == "leader_trace")
+        .map(|(_, v)| match v {
+            feam_obs::FieldValue::U64(u) => *u,
+            other => panic!("leader_trace has unexpected type {other:?}"),
+        })
+        .expect("link names the leader trace");
+    assert!(request_traces.contains(&leader_trace));
+    assert_ne!(
+        link.trace, leader_trace,
+        "the link is recorded under the waiter's trace and points at the leader"
+    );
+    // The single evaluation ran under the leader's trace.
+    let eval = starts
+        .iter()
+        .find(|e| e.name == "svc.eval")
+        .expect("one eval");
+    assert_eq!(eval.trace, leader_trace);
+}
+
+#[test]
+fn plan_fans_out_under_one_trace() {
+    let (mut svc, sink) = observed_service(1);
+    svc.start();
+    let placement = plan(
+        &svc,
+        &PlanRequest {
+            binary_ref: "cg.0".into(),
+            sites: SiteSelection::All,
+            mode: PredictionMode::Basic,
+            k: None,
+        },
+    )
+    .expect("plan succeeds");
+    assert!(placement.best().is_some());
+    drop(svc);
+
+    let events = sink.events();
+    let starts = span_starts(&events);
+    let root = starts
+        .iter()
+        .find(|e| e.name == "plan.request")
+        .expect("plan root span");
+    assert!(root.parent.is_none());
+    assert_ne!(root.trace, 0, "root spans mint their own trace");
+    let mut site_spans = 0;
+    let mut request_spans = 0;
+    for e in &starts {
+        match e.name.as_str() {
+            "plan.site" => {
+                site_spans += 1;
+                assert_eq!(e.trace, root.trace, "plan.site inherits the plan trace");
+            }
+            "svc.request" => {
+                request_spans += 1;
+                assert_eq!(
+                    e.trace, root.trace,
+                    "per-site service requests join the plan trace across the pool hop"
+                );
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(site_spans, placement.candidates);
+    assert_eq!(request_spans, placement.candidates);
+    for e in &events {
+        assert_ne!(e.trace, 0, "untraced record `{}` during a plan", e.name);
+    }
+}

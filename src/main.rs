@@ -28,7 +28,10 @@ fn usage() -> ! {
     eprintln!(
         "usage: feam <describe|identify|objdump|comment|check> [--json] <elf-file>\n       \
          feam plan [--json] [-k N] [--extended] [--site S]... <elf-file>\n       \
-         feam demo [--trace <file>]"
+         feam demo [--trace <file>]\n       \
+         feam obs report <trace.jsonl> [--top N]\n       \
+         feam obs snapshot [--json|--prom] [--seed N] [--chaos R] [--quick]\n       \
+         feam obs check --slo [--json] [--seed N] [--chaos R] [--quick]"
     );
     std::process::exit(2);
 }
@@ -211,6 +214,7 @@ fn main() {
             }
         }
         Some("plan") => plan_cmd(&args[1..]),
+        Some("obs") => obs_cmd(&args[1..]),
         Some("demo") => {
             let mut trace: Option<String> = std::env::var("FEAM_TRACE").ok();
             let mut rest = args[1..].iter();
@@ -338,6 +342,160 @@ fn plan_cmd(args: &[String]) {
     }
     if placement.best().is_none() {
         std::process::exit(1);
+    }
+}
+
+/// `feam obs <report|snapshot|check>` — the observability plane CLI.
+///
+/// * `report <trace.jsonl> [--top N]` — per-request analytics over a
+///   recorded trace: one row per trace id, full breakdowns for the N
+///   slowest requests.
+/// * `snapshot [--json|--prom] [--seed N] [--chaos R] [--quick]` — run
+///   the seeded observed workload and print the windowed metrics
+///   snapshot (SLO evaluations and tail exemplars included) as
+///   Prometheus text (default) or JSON.
+/// * `check --slo [--json] [--seed N] [--chaos R] [--quick]` — same run,
+///   then evaluate the default SLO set and exit non-zero when any
+///   objective pages.
+///
+/// `--chaos R` pins an explicit transient fault plan at rate R; without
+/// it the ambient `FEAM_CHAOS_RATE` plan applies, so environment chaos
+/// shows up in the verdict.
+fn obs_cmd(args: &[String]) {
+    use feam::obs::{expo, trace};
+    use feam::sim::faults::FaultPlan;
+    use feam::svc::obsctl::{default_slos, run_observed, ObsRunParams};
+    use std::sync::Arc;
+
+    let Some(sub) = args.first().map(String::as_str) else {
+        usage()
+    };
+    match sub {
+        "report" => {
+            let mut top = 3usize;
+            let mut path: Option<&str> = None;
+            let mut rest = args[1..].iter();
+            while let Some(a) = rest.next() {
+                match a.as_str() {
+                    "--top" => match rest.next().and_then(|v| v.parse().ok()) {
+                        Some(n) => top = n,
+                        None => usage(),
+                    },
+                    other if path.is_none() && !other.starts_with('-') => path = Some(other),
+                    _ => usage(),
+                }
+            }
+            let Some(path) = path else { usage() };
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("feam: cannot read {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            print!(
+                "{}",
+                trace::render_trace_report(&trace::parse_trace(&text), top)
+            );
+        }
+        "snapshot" | "check" => {
+            let mut json = false;
+            let mut prom = false;
+            let mut slo = false;
+            let mut quick = false;
+            let mut seed = 42u64;
+            let mut chaos: Option<f64> = None;
+            let mut rest = args[1..].iter();
+            while let Some(a) = rest.next() {
+                match a.as_str() {
+                    "--json" => json = true,
+                    "--prom" => prom = true,
+                    "--slo" => slo = true,
+                    "--quick" => quick = true,
+                    "--seed" => match rest.next().and_then(|v| v.parse().ok()) {
+                        Some(n) => seed = n,
+                        None => usage(),
+                    },
+                    "--chaos" => match rest.next().and_then(|v| v.parse().ok()) {
+                        Some(r) if (0.0..=1.0).contains(&r) => chaos = Some(r),
+                        _ => usage(),
+                    },
+                    _ => usage(),
+                }
+            }
+            if sub == "check" && !slo {
+                usage();
+            }
+            let mut params = if quick {
+                ObsRunParams::quick(seed)
+            } else {
+                ObsRunParams::standard(seed)
+            };
+            params.fault_plan = chaos.map(|r| Arc::new(FaultPlan::chaos(seed, r)));
+            eprintln!(
+                "observed run: {} requests over {} binaries (seed {seed}{}) ...",
+                params.requests,
+                params.binaries,
+                match chaos {
+                    Some(r) => format!(", chaos {r}"),
+                    None => String::new(),
+                }
+            );
+            let slos = default_slos();
+            let outcome = run_observed(&params, &slos);
+            if sub == "snapshot" {
+                if json && prom {
+                    usage();
+                }
+                if json {
+                    print!("{}", expo::render_json(&outcome.snapshot));
+                } else {
+                    print!("{}", expo::render_prometheus(&outcome.snapshot));
+                }
+                return;
+            }
+            // check --slo
+            if json {
+                print!("{}", expo::render_json(&outcome.snapshot));
+            } else {
+                println!("SLO check ({} objectives):", outcome.evaluations.len());
+                for e in &outcome.evaluations {
+                    println!(
+                        "  {:<14} {:<8} burn short {:>7.2} long {:>7.2}  {}",
+                        e.name,
+                        e.state.as_str(),
+                        e.short_burn,
+                        e.long_burn,
+                        e.detail
+                    );
+                }
+                if outcome.snapshot.exemplars.is_empty() {
+                    println!("no tail exemplars captured");
+                } else {
+                    println!("tail exemplars (slowest first):");
+                    for ex in &outcome.snapshot.exemplars {
+                        println!(
+                            "  trace {:>6} {:<14} {:>10.0}us  {} events{}",
+                            ex.trace_id,
+                            ex.metric,
+                            ex.value,
+                            ex.events,
+                            if ex.faults.is_empty() {
+                                String::new()
+                            } else {
+                                format!("  faults: {}", ex.faults.join(", "))
+                            }
+                        );
+                    }
+                }
+            }
+            let worst = outcome.worst;
+            eprintln!("worst SLO state: {}", worst.as_str());
+            if worst == feam::obs::SloState::Page {
+                std::process::exit(1);
+            }
+        }
+        _ => usage(),
     }
 }
 
