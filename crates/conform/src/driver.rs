@@ -437,6 +437,11 @@ pub fn check_universe(spec: &UniverseSpec, cfg: &ConformConfig) -> UniverseCheck
     // vs the oracle.
     check_service(spec, &uni, &expectations, &mut check);
 
+    // Crossing 6: the sharded fleet vs the oracle, with a node killed
+    // mid-crossing — routing, failover and replication must never change
+    // an answer.
+    check_fleet(spec, &uni, &expectations, &mut check);
+
     check
 }
 
@@ -543,6 +548,7 @@ fn check_service(
                     binary_ref: bin.clone(),
                     target_site: sp.site.clone(),
                     mode,
+                    deadline: None,
                 }) {
                     Ok(r) => r,
                     Err(e) => {
@@ -605,6 +611,112 @@ fn check_service(
                         });
                     }
                 }
+            }
+        }
+    }
+}
+
+/// Drive the sharded fleet over the universe: every request answered by
+/// the fleet — routed, failed over, hedge-free for determinism — must
+/// match the oracle's expectation for the answered mode, exactly as a
+/// single node would. One node is killed halfway through the request
+/// list and revived at three quarters, so the crossing also covers
+/// failover routing and rejoin catch-up.
+fn check_fleet(
+    spec: &UniverseSpec,
+    uni: &universe::Universe,
+    expectations: &HashMap<(String, String, &'static str), Expectation>,
+    check: &mut UniverseCheck,
+) {
+    let node_cfg = ServiceConfig {
+        workers: 2,
+        queue_capacity: 256,
+        edc_ttl: 0,
+        result_cache: true,
+        caching: true,
+        phase_seed: PHASE_SEED,
+        recorder: feam_obs::Recorder::disabled(),
+        fault_plan: Some(Arc::new(FaultPlan::none())),
+        ..ServiceConfig::default()
+    };
+    let fleet_cfg = feam_svc::FleetConfig {
+        replication: 2,
+        hedge_after: None,
+        recorder: feam_obs::Recorder::disabled(),
+        ..feam_svc::FleetConfig::default()
+    };
+    let mut fleet = feam_svc::Fleet::with_factory(fleet_cfg, 3, |_| {
+        // Each node gets its own identical copy of the world (Site is
+        // consumed by value).
+        let node_uni = universe::materialize(spec);
+        PredictService::with_sites(node_cfg.clone(), node_uni.sites)
+    });
+    for ub in &uni.binaries {
+        fleet
+            .register_binary(&ub.spec.name, ub.image.clone(), &ub.spec.home_site)
+            .expect("distinct universe binaries register fleet-wide");
+    }
+    fleet.start();
+
+    let mut requests = Vec::new();
+    for ub in &uni.binaries {
+        for site in &uni.sites {
+            for mode in [PredictionMode::Basic, PredictionMode::Extended] {
+                requests.push((ub.spec.name.clone(), site.name().to_string(), mode));
+            }
+        }
+    }
+    let kill_at = requests.len() / 2;
+    let revive_at = (requests.len() * 3) / 4;
+
+    for (i, (bin, site, mode)) in requests.iter().enumerate() {
+        if i == kill_at {
+            fleet.kill_node(0);
+        } else if i == revive_at {
+            fleet.revive_node(0);
+        }
+        let mode_tag = match mode {
+            PredictionMode::Basic => "basic",
+            PredictionMode::Extended => "extended",
+        };
+        let resp = match fleet.predict_replicated(&PredictRequest {
+            binary_ref: bin.clone(),
+            target_site: site.clone(),
+            mode: *mode,
+            deadline: None,
+        }) {
+            Ok(r) => r,
+            Err(e) => {
+                check.divergences.push(Divergence {
+                    universe_seed: spec.seed,
+                    kind: format!("fleet-error-{mode_tag}"),
+                    binary: bin.clone(),
+                    site: site.clone(),
+                    detail: format!("fleet request failed: {e:?}"),
+                });
+                continue;
+            }
+        };
+        check.runs += 1;
+        let got = realized(&resp.response.prediction, &resp.response.evaluation);
+        let answered = match resp.response.prediction.mode {
+            PredictionMode::Basic => "basic",
+            PredictionMode::Extended => "extended",
+        };
+        if let Some(expected) = expectations.get(&(bin.clone(), site.clone(), answered)) {
+            if &got != expected {
+                check.divergences.push(Divergence {
+                    universe_seed: spec.seed,
+                    kind: format!("fleet-oracle-{mode_tag}"),
+                    binary: bin.clone(),
+                    site: site.clone(),
+                    detail: format!(
+                        "served by {} ({} failovers): {}",
+                        resp.node,
+                        resp.failovers,
+                        diff(expected, &got)
+                    ),
+                });
             }
         }
     }

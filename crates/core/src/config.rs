@@ -126,6 +126,25 @@ impl ConfigFile {
                 message: format!("retry_max_delay must be a number of seconds, got {v:?}"),
             })?;
         }
+        if let Some(v) = self.entries.get("retry_jitter") {
+            let jitter: f64 = v.parse().map_err(|_| ConfigError {
+                line: 0,
+                message: format!("retry_jitter must be a fraction in [0, 1], got {v:?}"),
+            })?;
+            if !(0.0..=1.0).contains(&jitter) {
+                return Err(ConfigError {
+                    line: 0,
+                    message: format!("retry_jitter must be a fraction in [0, 1], got {v:?}"),
+                });
+            }
+            cfg.retry.jitter = jitter;
+        }
+        if let Some(v) = self.entries.get("retry_jitter_seed") {
+            cfg.retry.jitter_seed = v.parse().map_err(|_| ConfigError {
+                line: 0,
+                message: format!("retry_jitter_seed must be a u64, got {v:?}"),
+            })?;
+        }
         if let Some(v) = self.entries.get("seed") {
             cfg.seed = v.parse().map_err(|_| ConfigError {
                 line: 0,
@@ -160,6 +179,35 @@ mpiexec.mpich2  = mpiexec.hydra
         assert_eq!(cfg.nprocs, 8);
         assert_eq!(cfg.retry.max_attempts, 5);
         assert_eq!(cfg.mpiexec_override.as_deref(), Some("mpiexec"));
+    }
+
+    #[test]
+    fn retry_jitter_keys_parse_and_validate() {
+        let cf = ConfigFile::parse("retry_jitter = 0.5\nretry_jitter_seed = 42\n").unwrap();
+        let cfg = cf.to_phase_config().unwrap();
+        assert_eq!(cfg.retry.jitter, 0.5);
+        assert_eq!(cfg.retry.jitter_seed, 42);
+        // Defaults: no jitter, seed 0.
+        let cfg = ConfigFile::parse("").unwrap().to_phase_config().unwrap();
+        assert_eq!(cfg.retry.jitter, 0.0);
+        assert_eq!(cfg.retry.jitter_seed, 0);
+        // Out-of-range or malformed values are hard errors.
+        assert!(ConfigFile::parse("retry_jitter = 1.5")
+            .unwrap()
+            .to_phase_config()
+            .is_err());
+        assert!(ConfigFile::parse("retry_jitter = -0.1")
+            .unwrap()
+            .to_phase_config()
+            .is_err());
+        assert!(ConfigFile::parse("retry_jitter = lots")
+            .unwrap()
+            .to_phase_config()
+            .is_err());
+        assert!(ConfigFile::parse("retry_jitter_seed = -1")
+            .unwrap()
+            .to_phase_config()
+            .is_err());
     }
 
     #[test]

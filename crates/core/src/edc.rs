@@ -166,7 +166,7 @@ fn observe<T>(
             return Some(v);
         }
         if attempt < max {
-            let delay = retry.delay_before(attempt + 1);
+            let delay = retry.jittered_delay_before(attempt + 1, what);
             sess.charge(delay);
             sess.recorder.event(
                 "retry_attempt",

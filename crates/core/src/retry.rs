@@ -23,6 +23,15 @@ pub struct RetryPolicy {
     pub multiplier: f64,
     /// Upper bound on a single delay.
     pub max_delay_seconds: f64,
+    /// Jitter fraction in `[0, 1]`: each backoff delay is scaled by a
+    /// deterministic per-key draw in `[1 - jitter, 1]`, so a fleet of
+    /// clients backing off from the same incident spreads out instead of
+    /// retrying in lockstep. `0.0` (the default) is the pure exponential
+    /// schedule.
+    pub jitter: f64,
+    /// Seed for the jitter draws; the schedule is a pure function of
+    /// `(jitter_seed, key, attempt)`, so a run replays exactly.
+    pub jitter_seed: u64,
 }
 
 impl Default for RetryPolicy {
@@ -32,6 +41,8 @@ impl Default for RetryPolicy {
             base_delay_seconds: 1.0,
             multiplier: 2.0,
             max_delay_seconds: 8.0,
+            jitter: 0.0,
+            jitter_seed: 0,
         }
     }
 }
@@ -45,8 +56,19 @@ impl RetryPolicy {
         }
     }
 
+    /// This policy with seeded jitter enabled (fraction clamped to
+    /// `[0, 1]`).
+    pub fn with_jitter(self, jitter: f64, jitter_seed: u64) -> Self {
+        RetryPolicy {
+            jitter: jitter.clamp(0.0, 1.0),
+            jitter_seed,
+            ..self
+        }
+    }
+
     /// Backoff delay charged before `attempt` (1-based; the first attempt
-    /// is free).
+    /// is free). This is the deterministic exponential envelope — the
+    /// upper bound a jittered delay is drawn under.
     pub fn delay_before(&self, attempt: u32) -> f64 {
         if attempt <= 1 {
             return 0.0;
@@ -55,7 +77,27 @@ impl RetryPolicy {
         (self.base_delay_seconds * self.multiplier.powi(exp as i32)).min(self.max_delay_seconds)
     }
 
-    /// Total backoff spent when `attempts` attempts were consumed.
+    /// [`delay_before`](RetryPolicy::delay_before) with the policy's
+    /// seeded jitter applied: a deterministic draw for
+    /// `(jitter_seed, key, attempt)` scales the envelope into
+    /// `[envelope · (1 − jitter), envelope]`. Two clients retrying the
+    /// same incident under different seeds (or keys) desynchronize; the
+    /// same `(seed, key, attempt)` always yields the same delay.
+    pub fn jittered_delay_before(&self, attempt: u32, key: &str) -> f64 {
+        let envelope = self.delay_before(attempt);
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        if envelope <= 0.0 || jitter <= 0.0 {
+            return envelope;
+        }
+        let u = feam_sim::rng::unit_f64(feam_sim::rng::hash_parts(
+            self.jitter_seed,
+            &["retry-jitter", key, &attempt.to_string()],
+        ));
+        envelope * (1.0 - jitter * u)
+    }
+
+    /// Total backoff spent when `attempts` attempts were consumed
+    /// (jitter-free envelope; an upper bound on any jittered schedule).
     pub fn total_backoff(&self, attempts: u32) -> f64 {
         (2..=attempts).map(|a| self.delay_before(a)).sum()
     }
@@ -88,7 +130,12 @@ pub fn launch_with_retry(
 ) -> ExecOutcome {
     let outcome = run_mpi(sess, path, launcher, nprocs, policy.max_attempts);
     for attempt in 2..=outcome.attempts {
-        note_retry(sess, "launch", attempt, policy.delay_before(attempt));
+        note_retry(
+            sess,
+            "launch",
+            attempt,
+            policy.jittered_delay_before(attempt, path),
+        );
     }
     outcome
 }
@@ -112,7 +159,7 @@ pub fn compile_with_retry(
                     sess,
                     "compile",
                     attempt + 1,
-                    policy.delay_before(attempt + 1),
+                    policy.jittered_delay_before(attempt + 1, &prog.name),
                 );
                 last = Some(Err(e));
             }
@@ -143,6 +190,43 @@ mod tests {
         assert_eq!(p.delay_before(6), 8.0, "capped at max_delay_seconds");
         assert_eq!(p.total_backoff(1), 0.0);
         assert_eq!(p.total_backoff(5), 15.0);
+    }
+
+    #[test]
+    fn jitter_draws_are_seeded_bounded_and_decorrelated() {
+        let p = RetryPolicy::default().with_jitter(0.5, 7);
+        for attempt in 2..=6 {
+            let envelope = p.delay_before(attempt);
+            let d = p.jittered_delay_before(attempt, "compile@site-a");
+            assert!(
+                d > 0.0 && d <= envelope && d >= envelope * 0.5,
+                "attempt {attempt}: jittered {d} outside [{}, {envelope}]",
+                envelope * 0.5
+            );
+            // Pure function of (seed, key, attempt): replays exactly.
+            assert_eq!(d, p.jittered_delay_before(attempt, "compile@site-a"));
+        }
+        // Different seeds (fleet clients) desynchronize the schedule.
+        let q = RetryPolicy::default().with_jitter(0.5, 8);
+        let schedule = |pol: &RetryPolicy| -> Vec<f64> {
+            (2..=6)
+                .map(|a| pol.jittered_delay_before(a, "compile@site-a"))
+                .collect()
+        };
+        assert_ne!(schedule(&p), schedule(&q));
+        // Different keys desynchronize too.
+        assert_ne!(
+            schedule(&p),
+            (2..=6)
+                .map(|a| p.jittered_delay_before(a, "compile@site-b"))
+                .collect::<Vec<f64>>()
+        );
+        // The first attempt stays free, and zero jitter is the envelope.
+        assert_eq!(p.jittered_delay_before(1, "x"), 0.0);
+        let plain = RetryPolicy::default();
+        for a in 2..=6 {
+            assert_eq!(plain.jittered_delay_before(a, "x"), plain.delay_before(a));
+        }
     }
 
     fn probe_site(f: impl FnOnce(&mut SiteConfig)) -> Site {

@@ -33,6 +33,8 @@ fn gen_policy(state: &mut u64) -> RetryPolicy {
         base_delay_seconds: unit(state) * 10.0,
         multiplier: 1.0 + unit(state) * 3.0, // growth factor >= 1
         max_delay_seconds: unit(state) * 20.0,
+        jitter: 0.0,
+        jitter_seed: 0,
     }
 }
 
@@ -69,6 +71,41 @@ fn generated_backoff_curves_are_monotone_capped_and_summable() {
         assert_eq!(p.delay_before(1), 0.0);
         assert_eq!(p.total_backoff(0), 0.0);
         assert_eq!(p.total_backoff(1), 0.0);
+    }
+}
+
+/// For every generated policy and jitter fraction, the jittered delay
+/// stays inside `[envelope · (1 − jitter), envelope]`, replays exactly
+/// for the same `(seed, key, attempt)`, and never disturbs the
+/// jitter-free envelope itself.
+#[test]
+fn generated_jittered_delays_are_bounded_and_replayable() {
+    let mut state = 0x7177E2_u64;
+    for case in 0..200 {
+        let base = gen_policy(&mut state);
+        let jitter = unit(&mut state);
+        let seed = splitmix64(&mut state);
+        let p = base.clone().with_jitter(jitter, seed);
+        for attempt in 1..=20u32 {
+            let envelope = p.delay_before(attempt);
+            assert_eq!(
+                envelope,
+                base.delay_before(attempt),
+                "case {case}: enabling jitter must not change the envelope"
+            );
+            let d = p.jittered_delay_before(attempt, "prop-key");
+            assert!(
+                d <= envelope + 1e-12,
+                "case {case}: attempt {attempt} jittered {d} exceeds envelope {envelope} ({p:?})"
+            );
+            assert!(
+                d >= envelope * (1.0 - jitter) - 1e-12,
+                "case {case}: attempt {attempt} jittered {d} below floor ({p:?})"
+            );
+            // Pure function of (seed, key, attempt): replays exactly.
+            assert_eq!(d, p.jittered_delay_before(attempt, "prop-key"));
+        }
+        assert_eq!(p.jittered_delay_before(1, "prop-key"), 0.0);
     }
 }
 

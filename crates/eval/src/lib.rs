@@ -17,6 +17,7 @@
 pub mod chaos;
 pub mod effort;
 pub mod experiment;
+pub mod fleet_bench;
 pub mod mode_ablation;
 pub mod obs_bench;
 pub mod plan;
@@ -28,6 +29,7 @@ pub mod telemetry;
 pub use chaos::{chaos_sweep, render_chaos, ChaosPoint, ChaosSweep, DEFAULT_CHAOS_RATE};
 pub use effort::{effort, render_effort, EffortReport};
 pub use experiment::{EvalResults, ExcludedPair, Experiment, MigrationRecord};
+pub use fleet_bench::{fleet_bench, render_fleet, FleetBenchParams, FleetBenchReport};
 pub use mode_ablation::{mode_ablation, render_mode_ablation, ModeRow};
 pub use obs_bench::{obs_bench, render_obs_bench, ObsBenchReport, ObsConfigReport};
 pub use plan::{build_plan_service, plan_bench, render_plan, PlanBenchParams, PlanBenchReport};

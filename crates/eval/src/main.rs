@@ -9,6 +9,8 @@
 //!           [--max-p99-us N] [--min-speedup F]
 //! feam-eval --obs-bench [--quick] [--seed N] [--json PATH]
 //!           [--max-overhead F]
+//! feam-eval --fleet-bench [--quick] [--seed N] [--json PATH]
+//!           [--min-availability F] [--max-p99-inflation R]
 //! feam-eval --conform [--universes N] [--seed S] [--quick]
 //!           [--universe-seed X] [--json PATH]
 //! ```
@@ -46,6 +48,7 @@ struct Args {
     serve_bench: bool,
     plan_bench: bool,
     obs_bench: bool,
+    fleet_bench: bool,
     conform: bool,
     universes: usize,
     universe_seed: Option<u64>,
@@ -54,6 +57,8 @@ struct Args {
     min_hit_rate: Option<f64>,
     min_speedup: Option<f64>,
     max_overhead: f64,
+    min_availability: Option<f64>,
+    max_p99_inflation: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -73,6 +78,7 @@ fn parse_args() -> Args {
         serve_bench: false,
         plan_bench: false,
         obs_bench: false,
+        fleet_bench: false,
         conform: false,
         universes: 100,
         universe_seed: None,
@@ -81,6 +87,8 @@ fn parse_args() -> Args {
         min_hit_rate: None,
         min_speedup: None,
         max_overhead: 0.05,
+        min_availability: None,
+        max_p99_inflation: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(a) = iter.next() {
@@ -122,6 +130,7 @@ fn parse_args() -> Args {
             "--serve-bench" => args.serve_bench = true,
             "--plan-bench" => args.plan_bench = true,
             "--obs-bench" => args.obs_bench = true,
+            "--fleet-bench" => args.fleet_bench = true,
             "--conform" => args.conform = true,
             "--universes" => {
                 args.universes = iter
@@ -161,6 +170,22 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|| die("--min-speedup needs a ratio")),
                 );
             }
+            "--min-availability" => {
+                args.min_availability = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|r| (0.0..=1.0).contains(r))
+                        .unwrap_or_else(|| die("--min-availability needs a fraction in [0, 1]")),
+                );
+            }
+            "--max-p99-inflation" => {
+                args.max_p99_inflation = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|r| *r >= 1.0)
+                        .unwrap_or_else(|| die("--max-p99-inflation needs a ratio >= 1")),
+                );
+            }
             "--max-overhead" => {
                 args.max_overhead = iter
                     .next()
@@ -188,6 +213,8 @@ fn parse_args() -> Args {
                      [--max-p99-us N] [--min-speedup F]\n\
                      feam-eval --obs-bench [--quick] [--seed N] [--json PATH] \
                      [--max-overhead F]\n\
+                     feam-eval --fleet-bench [--quick] [--seed N] [--json PATH] \
+                     [--min-availability F] [--max-p99-inflation R]\n\
                      feam-eval --conform [--universes N] [--seed S] [--quick] \
                      [--universe-seed X] [--json PATH]"
                 );
@@ -206,6 +233,7 @@ fn parse_args() -> Args {
         && !args.serve_bench
         && !args.plan_bench
         && !args.obs_bench
+        && !args.fleet_bench
         && !args.conform
         && args.chaos.is_none()
     {
@@ -356,6 +384,56 @@ fn obs_bench_main(args: &Args) -> ! {
     std::process::exit(if report.pass { 0 } else { 1 });
 }
 
+/// `--fleet-bench`: run the sharded-fleet benchmark — scale-out curve
+/// plus the mid-stream node-kill drill. Always gates on fleet-vs-oracle
+/// equivalence; `--min-availability` and `--max-p99-inflation` add CI
+/// thresholds on the brownout. Exits the process.
+fn fleet_bench_main(args: &Args) -> ! {
+    eprintln!(
+        "fleet benchmark (seed {}, {}) ...",
+        args.seed,
+        if args.quick { "quick" } else { "standard" }
+    );
+    let report = feam_eval::fleet_bench(args.seed, args.quick);
+    print!("{}", feam_eval::render_fleet(&report));
+    if let Some(path) = &args.json {
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&serde_json::to_value(&report).expect("serialize"))
+                .expect("serialize"),
+        )
+        .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        eprintln!("wrote {path}");
+    }
+    let mut failed = false;
+    if !report.kill_drill.equivalent {
+        eprintln!(
+            "FAIL: {} fleet answers diverged from the single-node oracle",
+            report.kill_drill.wrong_answers
+        );
+        failed = true;
+    }
+    if let Some(min) = args.min_availability {
+        if report.kill_drill.availability < min {
+            eprintln!(
+                "FAIL: availability {:.4} below threshold {:.4}",
+                report.kill_drill.availability, min
+            );
+            failed = true;
+        }
+    }
+    if let Some(max) = args.max_p99_inflation {
+        if report.kill_drill.p99_inflation_during > max {
+            eprintln!(
+                "FAIL: p99 inflated {:.2}x during the outage (threshold {:.2}x)",
+                report.kill_drill.p99_inflation_during, max
+            );
+            failed = true;
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}
+
 /// `--plan-bench`: run the placement-planning benchmark. Always gates on
 /// ranking identity to the sequential oracle and on rank stability;
 /// `--max-p99-us` and `--min-speedup` add CI thresholds. Exits the
@@ -417,6 +495,9 @@ fn main() {
     }
     if args.obs_bench {
         obs_bench_main(&args);
+    }
+    if args.fleet_bench {
+        fleet_bench_main(&args);
     }
     if args.conform {
         conform_main(&args);

@@ -113,7 +113,10 @@ fn run_stream(svc: &PredictService, params: &BenchParams, config: &str) -> ObsCo
             }
         }
         for rx in pending {
-            let resp = rx.recv().expect("worker delivers every queued request");
+            let resp = rx
+                .recv()
+                .expect("worker delivers every queued request")
+                .expect("deadline-free bench requests are never shed post-admission");
             all.push(resp.latency_us);
         }
         i = wave_end;

@@ -113,3 +113,61 @@ fn table_eval_json_schema_is_stable() {
     let v = eval_json("tables", &["--table", "1", "--table", "3", "--seeds", "1"]);
     assert_matches_golden("feam_eval_tables", &v);
 }
+
+/// Fast guard on the `--fleet-bench` report shape: a fully populated
+/// in-process report serializes to the same signature the binary writes,
+/// because `fleet_bench_main` serializes this exact struct.
+#[test]
+fn fleet_bench_struct_schema_matches_golden() {
+    use feam_eval::fleet_bench::{KillDrillReport, PhaseStats, ScalePoint};
+    let phase = PhaseStats {
+        issued: 100,
+        answered: 99,
+        shed: 1,
+        p50_us: 10,
+        p99_us: 90,
+        failovers: 2,
+        hedged: 1,
+        degraded_routes: 1,
+    };
+    let report = feam_eval::FleetBenchReport {
+        seed: 42,
+        quick: true,
+        scale_out: vec![ScalePoint {
+            nodes: 1,
+            requests: 100,
+            answered: 100,
+            shed: 0,
+            wall_seconds: 1.0,
+            throughput_rps: 100.0,
+            p50_us: 10,
+            p99_us: 90,
+        }],
+        kill_drill: KillDrillReport {
+            nodes: 4,
+            replication: 2,
+            killed_node: 1,
+            before: phase.clone(),
+            during: phase.clone(),
+            after: phase,
+            availability: 1.0,
+            availability_during: 1.0,
+            wrong_answers: 0,
+            equivalent: true,
+            p99_inflation_during: 1.1,
+            replication_applied: 3,
+            replication_dropped: 0,
+            hedges_fired: 1,
+            hedges_won: 1,
+        },
+    };
+    let v = serde_json::to_value(&report).expect("serialize");
+    assert_matches_golden("feam_eval_fleet", &v);
+}
+
+#[test]
+#[ignore = "runs the quick fleet bench (~1 min debug); exercised by CI with --ignored"]
+fn fleet_bench_json_schema_is_stable() {
+    let v = eval_json("fleet", &["--fleet-bench", "--quick", "--seed", "42"]);
+    assert_matches_golden("feam_eval_fleet", &v);
+}

@@ -136,6 +136,7 @@ pub fn stream_request(
         binary_ref,
         target_site,
         mode,
+        deadline: None,
     }
 }
 
@@ -203,7 +204,10 @@ fn run_one(
             }
         }
         for (j, req, rx) in pending {
-            let resp = rx.recv().expect("worker delivers every queued request");
+            let resp = rx
+                .recv()
+                .expect("worker delivers every queued request")
+                .expect("deadline-free bench requests are never shed post-admission");
             latencies.push(resp.latency_us);
             fingerprints[j] = Some(fingerprint(&req, &resp.prediction));
         }

@@ -1,0 +1,330 @@
+//! Per-node health tracking for the serving fleet: a circuit breaker
+//! driven by consecutive errors and a latency EWMA.
+//!
+//! Every fleet node carries a [`HealthTracker`]. The router consults it
+//! before dispatch and feeds it every outcome:
+//!
+//! - **Closed** — healthy; requests route normally.
+//! - **Open** — tripped by `error_threshold` consecutive errors *or* a
+//!   latency EWMA above `latency_threshold_us` (a browned-out node is as
+//!   useless as a dead one); no traffic until `open_cooldown_ms` passes.
+//! - **HalfOpen** — the cooldown elapsed; up to `halfopen_probes`
+//!   in-flight probes are allowed through. `halfopen_successes` clean
+//!   answers close the breaker; any error reopens it and restarts the
+//!   cooldown.
+//!
+//! Time is an explicit `now_ms` argument on every transition (the same
+//! convention as `feam_obs`' windowed metrics), so breaker behaviour is
+//! fully deterministic under test and in the simulated fleet bench.
+
+/// Breaker tuning.
+#[derive(Debug, Clone)]
+pub struct HealthConfig {
+    /// Consecutive errors that trip Closed → Open.
+    pub error_threshold: u32,
+    /// Latency EWMA (µs) above which the node is considered browned out
+    /// and the breaker trips; `f64::INFINITY` disables the latency trip.
+    pub latency_threshold_us: f64,
+    /// EWMA smoothing factor in `(0, 1]`; higher = more reactive.
+    pub ewma_alpha: f64,
+    /// How long an Open breaker blocks traffic before probing, in ms.
+    pub open_cooldown_ms: u64,
+    /// Concurrent probes admitted while HalfOpen.
+    pub halfopen_probes: u32,
+    /// Clean probe answers required to close from HalfOpen.
+    pub halfopen_successes: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            error_threshold: 3,
+            latency_threshold_us: f64::INFINITY,
+            ewma_alpha: 0.3,
+            open_cooldown_ms: 500,
+            halfopen_probes: 1,
+            halfopen_successes: 1,
+        }
+    }
+}
+
+/// Breaker state, in escalation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeState {
+    /// Healthy; full traffic.
+    Closed,
+    /// Tripped; no traffic until the cooldown elapses.
+    Open,
+    /// Probing; limited traffic decides whether to close or reopen.
+    HalfOpen,
+}
+
+impl NodeState {
+    /// Stable numeric encoding for the `fleet.node.state` gauge
+    /// (0 = Closed, 1 = HalfOpen, 2 = Open — higher is sicker).
+    pub fn as_gauge(self) -> f64 {
+        match self {
+            NodeState::Closed => 0.0,
+            NodeState::HalfOpen => 1.0,
+            NodeState::Open => 2.0,
+        }
+    }
+}
+
+/// One node's health state machine. Not internally synchronized — the
+/// fleet wraps each tracker in a mutex.
+#[derive(Debug, Clone)]
+pub struct HealthTracker {
+    cfg: HealthConfig,
+    consecutive_errors: u32,
+    /// Latency EWMA in µs; `None` until the first success.
+    ewma_us: Option<f64>,
+    /// `Some(when)` while Open: the instant the breaker tripped.
+    opened_at_ms: Option<u64>,
+    /// Probes admitted since entering HalfOpen.
+    halfopen_inflight: u32,
+    /// Clean answers since entering HalfOpen.
+    halfopen_ok: u32,
+    /// Lifetime trips, for the bench report.
+    trips: u64,
+}
+
+impl HealthTracker {
+    pub fn new(cfg: HealthConfig) -> Self {
+        HealthTracker {
+            cfg,
+            consecutive_errors: 0,
+            ewma_us: None,
+            opened_at_ms: None,
+            halfopen_inflight: 0,
+            halfopen_ok: 0,
+            trips: 0,
+        }
+    }
+
+    /// Current state at `now_ms`. Open lazily decays to HalfOpen once the
+    /// cooldown has elapsed — there is no background timer.
+    pub fn state(&self, now_ms: u64) -> NodeState {
+        match self.opened_at_ms {
+            None => NodeState::Closed,
+            Some(at) if now_ms.saturating_sub(at) >= self.cfg.open_cooldown_ms => {
+                NodeState::HalfOpen
+            }
+            Some(_) => NodeState::Open,
+        }
+    }
+
+    /// May a request be dispatched to this node right now? Closed always
+    /// admits; HalfOpen admits while probe slots remain; Open refuses.
+    /// An admitted HalfOpen probe consumes a slot — the caller must
+    /// report its outcome via [`record_success`](Self::record_success) /
+    /// [`record_error`](Self::record_error).
+    pub fn admit(&mut self, now_ms: u64) -> bool {
+        match self.state(now_ms) {
+            NodeState::Closed => true,
+            NodeState::Open => false,
+            NodeState::HalfOpen => {
+                if self.halfopen_inflight < self.cfg.halfopen_probes {
+                    self.halfopen_inflight += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Record a clean answer observed at `now_ms` with the given latency.
+    pub fn record_success(&mut self, now_ms: u64, latency_us: f64) {
+        self.consecutive_errors = 0;
+        let ewma = match self.ewma_us {
+            None => latency_us,
+            Some(prev) => self.cfg.ewma_alpha * latency_us + (1.0 - self.cfg.ewma_alpha) * prev,
+        };
+        self.ewma_us = Some(ewma);
+        match self.state(now_ms) {
+            NodeState::HalfOpen => {
+                // The probe resolved: return its slot and count it.
+                self.halfopen_inflight = self.halfopen_inflight.saturating_sub(1);
+                self.halfopen_ok += 1;
+                if self.halfopen_ok >= self.cfg.halfopen_successes {
+                    self.close();
+                }
+            }
+            NodeState::Closed => {
+                // A browned-out node trips on latency alone: answering
+                // slowly enough is indistinguishable from failing.
+                if ewma > self.cfg.latency_threshold_us {
+                    self.trip(now_ms);
+                }
+            }
+            NodeState::Open => {}
+        }
+    }
+
+    /// Record a dispatch failure observed at `now_ms`.
+    pub fn record_error(&mut self, now_ms: u64) {
+        self.consecutive_errors += 1;
+        match self.state(now_ms) {
+            // Any HalfOpen error reopens immediately and restarts the
+            // cooldown — the node gets no further traffic for a while.
+            NodeState::HalfOpen => self.trip(now_ms),
+            NodeState::Closed => {
+                if self.consecutive_errors >= self.cfg.error_threshold {
+                    self.trip(now_ms);
+                }
+            }
+            NodeState::Open => {}
+        }
+    }
+
+    /// Force the breaker open (e.g. the fleet killed the node): no point
+    /// burning the error threshold on a node known to be down.
+    pub fn force_open(&mut self, now_ms: u64) {
+        if self.opened_at_ms.is_none() {
+            self.trip(now_ms);
+        } else {
+            // Restart the cooldown; the node just went down again.
+            self.opened_at_ms = Some(now_ms);
+        }
+    }
+
+    /// Reset to Closed (e.g. the node rejoined after catch-up).
+    pub fn reset(&mut self) {
+        self.close();
+    }
+
+    /// Latency EWMA in µs (`None` before the first success).
+    pub fn ewma_us(&self) -> Option<f64> {
+        self.ewma_us
+    }
+
+    /// Lifetime Closed/HalfOpen → Open transitions.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    fn trip(&mut self, now_ms: u64) {
+        self.opened_at_ms = Some(now_ms);
+        self.halfopen_inflight = 0;
+        self.halfopen_ok = 0;
+        // A latency trip must not instantly re-trip on the stale EWMA
+        // when the breaker half-opens: start the next life fresh.
+        self.ewma_us = None;
+        self.trips += 1;
+    }
+
+    fn close(&mut self) {
+        self.opened_at_ms = None;
+        self.consecutive_errors = 0;
+        self.halfopen_inflight = 0;
+        self.halfopen_ok = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> HealthConfig {
+        HealthConfig {
+            error_threshold: 3,
+            latency_threshold_us: 10_000.0,
+            ewma_alpha: 0.5,
+            open_cooldown_ms: 100,
+            halfopen_probes: 1,
+            halfopen_successes: 2,
+        }
+    }
+
+    #[test]
+    fn consecutive_errors_trip_and_cooldown_halfopens() {
+        let mut h = HealthTracker::new(cfg());
+        assert_eq!(h.state(0), NodeState::Closed);
+        h.record_error(0);
+        h.record_error(1);
+        assert_eq!(h.state(1), NodeState::Closed, "two errors: not yet");
+        h.record_error(2);
+        assert_eq!(h.state(2), NodeState::Open, "third consecutive trips");
+        assert!(!h.admit(50), "open refuses traffic");
+        assert_eq!(h.state(101), NodeState::Open, "cooldown measured from trip");
+        assert_eq!(h.state(102), NodeState::HalfOpen);
+        assert_eq!(h.trips(), 1);
+    }
+
+    #[test]
+    fn success_between_errors_resets_the_streak() {
+        let mut h = HealthTracker::new(cfg());
+        h.record_error(0);
+        h.record_error(1);
+        h.record_success(2, 100.0);
+        h.record_error(3);
+        h.record_error(4);
+        assert_eq!(h.state(4), NodeState::Closed, "streak was reset");
+    }
+
+    #[test]
+    fn halfopen_probe_budget_then_close_or_reopen() {
+        let mut h = HealthTracker::new(cfg());
+        for t in 0..3 {
+            h.record_error(t);
+        }
+        // After cooldown: exactly one probe slot.
+        assert!(h.admit(200));
+        assert!(!h.admit(200), "probe budget exhausted");
+        // First success returns the probe slot but needs a second clean
+        // answer to close.
+        h.record_success(201, 50.0);
+        assert_eq!(h.state(201), NodeState::HalfOpen, "one of two successes");
+        assert!(h.admit(202), "resolved probe returned its slot");
+        h.record_success(203, 50.0);
+        assert_eq!(h.state(203), NodeState::Closed, "two successes close");
+
+        // Reopen path: an error while HalfOpen trips immediately.
+        for t in 300..303 {
+            h.record_error(t);
+        }
+        assert_eq!(h.state(303), NodeState::Open);
+        assert!(h.admit(500), "half-open again after cooldown");
+        h.record_error(501);
+        assert_eq!(h.state(501), NodeState::Open, "probe failure reopens");
+        assert_eq!(h.state(550), NodeState::Open, "cooldown restarted");
+        assert_eq!(h.state(602), NodeState::HalfOpen);
+    }
+
+    #[test]
+    fn latency_ewma_trips_the_breaker() {
+        let mut h = HealthTracker::new(cfg());
+        h.record_success(0, 1_000.0);
+        assert_eq!(h.state(0), NodeState::Closed);
+        // One slow answer: EWMA 0.5·30k + 0.5·1k = 15.5k > 10k — brownout.
+        h.record_success(1, 30_000.0);
+        assert_eq!(h.state(1), NodeState::Open, "brownout trips on latency");
+        // After cooldown + clean probes, the EWMA restarts rather than
+        // instantly re-tripping on stale history.
+        assert!(h.admit(200));
+        h.record_success(201, 1_000.0);
+        assert!(h.admit(202));
+        h.record_success(203, 1_000.0);
+        assert_eq!(h.state(204), NodeState::Closed);
+        assert_eq!(h.ewma_us(), Some(1_000.0));
+    }
+
+    #[test]
+    fn force_open_and_reset() {
+        let mut h = HealthTracker::new(cfg());
+        h.force_open(10);
+        assert_eq!(h.state(10), NodeState::Open);
+        assert_eq!(h.state(109), NodeState::Open);
+        h.force_open(109); // went down again: cooldown restarts
+        assert_eq!(h.state(208), NodeState::Open);
+        h.reset();
+        assert_eq!(h.state(208), NodeState::Closed);
+    }
+
+    #[test]
+    fn gauge_encoding_orders_by_sickness() {
+        assert!(NodeState::Closed.as_gauge() < NodeState::HalfOpen.as_gauge());
+        assert!(NodeState::HalfOpen.as_gauge() < NodeState::Open.as_gauge());
+    }
+}

@@ -43,20 +43,27 @@
 //!     binary_ref: "cg.B.4".into(),
 //!     target_site: "india".into(),
 //!     mode: PredictionMode::Basic,
+//!     deadline: None,
 //! }).unwrap();
 //! assert!(!resp.prediction.verdicts.is_empty());
 //! ```
 
 pub mod bench;
+pub mod fleet;
+pub mod health;
 pub mod obsctl;
 pub mod plan;
 pub mod registry;
+pub mod router;
 pub mod service;
 
 pub use bench::{run_serve_bench, BenchParams, ServeBenchComparison, ServeBenchReport};
+pub use fleet::{Fleet, FleetConfig, FleetError, FleetResponse};
+pub use health::{HealthConfig, HealthTracker, NodeState};
 pub use obsctl::{default_slos, run_observed, ObsRunOutcome, ObsRunParams};
 pub use plan::{Placement, PlanRequest, SitePlacement, SiteSelection};
 pub use registry::{BinaryRegistry, RegisteredBinary, RegistryError};
+pub use router::HashRing;
 pub use service::{
     Delivery, PredictRequest, PredictResponse, PredictService, ServiceConfig, SvcError,
 };

@@ -191,7 +191,9 @@ pub fn run_observed(params: &ObsRunParams, slos: &[SloSpec]) -> ObsRunOutcome {
             }
         }
         for rx in pending {
-            rx.recv().expect("worker delivers every queued request");
+            rx.recv()
+                .expect("worker delivers every queued request")
+                .expect("deadline-free obs requests are never shed post-admission");
         }
         i = wave_end;
     }

@@ -34,7 +34,7 @@
 use crate::service::{Delivery, PredictRequest, PredictResponse, PredictService, SvcError};
 use feam_core::predict::{Prediction, PredictionMode};
 use std::collections::HashMap;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Which sites to evaluate.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,6 +57,12 @@ pub struct PlanRequest {
     pub mode: PredictionMode,
     /// Truncate the ranking to the top `k` sites (`None` = all).
     pub k: Option<usize>,
+    /// Optional deadline, propagated to every per-site prediction. A
+    /// pair shared by several plan requests carries the *latest* of
+    /// their deadlines (and no deadline at all if any sharer is
+    /// unbounded) — the evaluation runs as long as anyone still wants
+    /// it; a pair shed at dequeue ranks as an errored site.
+    pub deadline: Option<Instant>,
 }
 
 impl PlanRequest {
@@ -67,6 +73,7 @@ impl PlanRequest {
             sites: SiteSelection::All,
             mode: PredictionMode::Basic,
             k: None,
+            deadline: None,
         }
     }
 }
@@ -318,7 +325,9 @@ pub fn plan_batch(svc: &PredictService, reqs: &[PlanRequest]) -> Vec<Result<Plac
     // Collect the unique pairs in first-seen order (deterministic).
     let known: std::collections::HashSet<String> = svc.binary_names().into_iter().collect();
     let mut pair_order: Vec<PairKey> = Vec::new();
-    let mut seen: HashMap<PairKey, ()> = HashMap::new();
+    // A shared pair evaluates under the most generous deadline among its
+    // sharers: `Some(None)` (unbounded sharer) beats any instant.
+    let mut deadlines: HashMap<PairKey, Option<Instant>> = HashMap::new();
     let mut coalesced = 0u64;
     for req in reqs {
         if !known.contains(&req.binary_ref) {
@@ -330,10 +339,19 @@ pub fn plan_batch(svc: &PredictService, reqs: &[PlanRequest]) -> Vec<Result<Plac
                 site,
                 extended: req.mode == PredictionMode::Extended,
             };
-            if seen.insert(key.clone(), ()).is_none() {
-                pair_order.push(key);
-            } else {
-                coalesced += 1;
+            match deadlines.entry(key.clone()) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(req.deadline);
+                    pair_order.push(key);
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let merged = match (*e.get(), req.deadline) {
+                        (Some(a), Some(b)) => Some(a.max(b)),
+                        _ => None,
+                    };
+                    e.insert(merged);
+                    coalesced += 1;
+                }
             }
         }
     }
@@ -354,6 +372,7 @@ pub fn plan_batch(svc: &PredictService, reqs: &[PlanRequest]) -> Vec<Result<Plac
             } else {
                 PredictionMode::Basic
             },
+            deadline: deadlines.get(key).copied().flatten(),
         };
         // The service request joins the plan's trace, parented on this
         // pair's `plan.site` span, so one trace id covers the whole plan
@@ -370,7 +389,8 @@ pub fn plan_batch(svc: &PredictService, reqs: &[PlanRequest]) -> Vec<Result<Plac
         let outcome = match delivery {
             Ok(Delivery::Ready(resp)) => PairOutcome::Done(Box::new(resp)),
             Ok(Delivery::Pending(rx)) => match rx.recv() {
-                Ok(resp) => PairOutcome::Done(Box::new(resp)),
+                Ok(Ok(resp)) => PairOutcome::Done(Box::new(resp)),
+                Ok(Err(e)) => PairOutcome::Failed(e.to_string()),
                 Err(_) => PairOutcome::Failed(SvcError::ShuttingDown.to_string()),
             },
             Err(e) => PairOutcome::Failed(e.to_string()),
@@ -421,11 +441,13 @@ pub fn plan_sequential(svc: &PredictService, req: &PlanRequest) -> Result<Placem
             binary_ref: req.binary_ref.clone(),
             target_site: site,
             mode: req.mode,
+            deadline: req.deadline,
         };
         let outcome = match submit_with_retry(svc, &preq) {
             Ok(Delivery::Ready(resp)) => PairOutcome::Done(Box::new(resp)),
             Ok(Delivery::Pending(rx)) => match rx.recv() {
-                Ok(resp) => PairOutcome::Done(Box::new(resp)),
+                Ok(Ok(resp)) => PairOutcome::Done(Box::new(resp)),
+                Ok(Err(e)) => PairOutcome::Failed(e.to_string()),
                 Err(_) => PairOutcome::Failed(SvcError::ShuttingDown.to_string()),
             },
             Err(e) => PairOutcome::Failed(e.to_string()),

@@ -41,6 +41,13 @@ pub struct PredictRequest {
     pub target_site: String,
     /// Basic (target-only) or extended (source + target) prediction.
     pub mode: PredictionMode,
+    /// Optional deadline. Checked when a worker dequeues the request: an
+    /// expired waiter is answered with [`SvcError::DeadlineExceeded`]
+    /// instead of being evaluated, and a flight whose every waiter has
+    /// expired is dropped without running the phases at all. Result-cache
+    /// hits always answer (the work is already done). `None` never
+    /// expires.
+    pub deadline: Option<Instant>,
 }
 
 /// A completed prediction.
@@ -55,6 +62,10 @@ pub struct PredictResponse {
     pub evaluation: TargetEvaluation,
     /// Whether this answer came straight from the result cache.
     pub from_result_cache: bool,
+    /// Whether this answer was clean enough to memoize (current
+    /// generation, not degraded, fully observed environment). Fleet
+    /// replication forwards only cacheable answers to replica peers.
+    pub cacheable: bool,
     /// This waiter's end-to-end latency, submit to delivery.
     pub latency_us: u64,
 }
@@ -74,6 +85,10 @@ pub enum SvcError {
     /// generation) or takes a new name; silently rebinding would let
     /// coalesced waiters and cached results answer for the wrong binary.
     ContentChanged { name: String },
+    /// The request's deadline passed before a worker dequeued it; it was
+    /// shed without being evaluated. Not retryable as-is — the caller
+    /// must extend or drop the deadline.
+    DeadlineExceeded,
     /// The service is shutting down; in-flight work is abandoned.
     ShuttingDown,
 }
@@ -99,6 +114,9 @@ impl std::fmt::Display for SvcError {
                 "binary name {name:?} is already bound to different content; \
                  use update_binary or register under a new name"
             ),
+            SvcError::DeadlineExceeded => {
+                write!(f, "deadline expired before evaluation; request shed")
+            }
             SvcError::ShuttingDown => write!(f, "service shutting down"),
         }
     }
@@ -114,9 +132,10 @@ impl std::error::Error for SvcError {}
 pub enum Delivery {
     /// Answered from the result cache without queueing.
     Ready(PredictResponse),
-    /// Queued (or coalesced onto an in-flight evaluation); the response
-    /// arrives on the receiver.
-    Pending(mpsc::Receiver<PredictResponse>),
+    /// Queued (or coalesced onto an in-flight evaluation); the response —
+    /// or a post-admission rejection such as
+    /// [`SvcError::DeadlineExceeded`] — arrives on the receiver.
+    Pending(mpsc::Receiver<Result<PredictResponse, SvcError>>),
 }
 
 impl std::fmt::Debug for Delivery {
@@ -184,11 +203,13 @@ struct RequestKey {
 
 struct Waiter {
     since: Instant,
+    /// This waiter's deadline; checked when its flight is dequeued.
+    deadline: Option<Instant>,
     /// This waiter's own request context: every waiter gets its own
     /// `svc.request` span (begun at submit, ended at delivery) and trace
     /// id, even when coalesced onto another request's evaluation.
     ctx: TraceCtx,
-    tx: mpsc::Sender<PredictResponse>,
+    tx: mpsc::Sender<Result<PredictResponse, SvcError>>,
 }
 
 /// One in-flight evaluation: the leader request whose context the worker
@@ -521,6 +542,7 @@ impl PredictService {
                     prediction: hit.0.clone(),
                     evaluation: hit.1.clone(),
                     from_result_cache: true,
+                    cacheable: true,
                     latency_us,
                 }));
             }
@@ -531,7 +553,12 @@ impl PredictService {
         // request's): open its span now; it ends at delivery.
         rec.span_begin_at("svc.request", ctx, parent_opt);
         let (tx, rx) = mpsc::channel();
-        let waiter = Waiter { since: t0, ctx, tx };
+        let waiter = Waiter {
+            since: t0,
+            deadline: req.deadline,
+            ctx,
+            tx,
+        };
 
         // Single flight: adopt an in-flight evaluation when one exists.
         // The waiter keeps its own span and trace; the explicit
@@ -569,6 +596,7 @@ impl PredictService {
                     prediction: hit.0.clone(),
                     evaluation: hit.1.clone(),
                     from_result_cache: true,
+                    cacheable: true,
                     latency_us,
                 }));
             }
@@ -611,11 +639,63 @@ impl PredictService {
         Ok(Delivery::Pending(rx))
     }
 
+    /// Install a completed evaluation into the result cache, as if this
+    /// node had evaluated it itself — the fleet's asynchronous
+    /// replication path. The key is re-derived from the *current*
+    /// registry binding and site epoch, so the caller must ensure the
+    /// payload was computed under the same configuration state (the
+    /// fleet gates on fleet-epoch equality before calling); a name that
+    /// resolved to different bytes since the origin evaluated simply
+    /// lands under the new content key's slot, which the origin's bytes
+    /// can no longer reach. Degraded payloads are refused. Returns
+    /// whether the entry was installed.
+    pub fn install_result(
+        &self,
+        binary_ref: &str,
+        site: &str,
+        mode: PredictionMode,
+        prediction: &Prediction,
+        evaluation: &TargetEvaluation,
+    ) -> bool {
+        let inner = &self.inner;
+        if !inner.cfg.result_cache || evaluation.degraded {
+            return false;
+        }
+        let Some(caches) = &inner.caches else {
+            return false;
+        };
+        if !inner.site_idx.contains_key(site) {
+            return false;
+        }
+        let Some(binary) = inner
+            .registry
+            .read()
+            .expect("registry")
+            .get(binary_ref)
+            .cloned()
+        else {
+            return false;
+        };
+        let key = RequestKey {
+            binary_key: binary.content_key,
+            site: site.to_string(),
+            epoch: caches.edc.epoch(site),
+            extended: mode == PredictionMode::Extended,
+        };
+        inner
+            .results
+            .lock()
+            .expect("results")
+            .insert(key, Arc::new((prediction.clone(), evaluation.clone())));
+        inner.cfg.recorder.count("svc.result.replicated_in", 1);
+        true
+    }
+
     /// Submit and block until the answer arrives.
     pub fn predict(&self, req: &PredictRequest) -> Result<PredictResponse, SvcError> {
         match self.submit(req)? {
             Delivery::Ready(resp) => Ok(resp),
-            Delivery::Pending(rx) => rx.recv().map_err(|_| SvcError::ShuttingDown),
+            Delivery::Pending(rx) => rx.recv().map_err(|_| SvcError::ShuttingDown)?,
         }
     }
 }
@@ -661,6 +741,48 @@ fn process(inner: &Inner, job: Job) {
         "svc.queue.wait_us",
         job.enqueued.elapsed().as_micros() as f64,
     );
+
+    // Deadline check at dequeue: waiters whose deadline passed while the
+    // job sat in the queue are answered with `DeadlineExceeded` now, and
+    // a flight left with no live waiter is dropped without running the
+    // phases — the whole point of a deadline is not to spend worker time
+    // on an answer nobody is waiting for. (A deadline that expires *mid*
+    // evaluation still gets its answer: the work was already sunk.)
+    let now = Instant::now();
+    let evaluate = {
+        let mut inflight = inner.inflight.lock().expect("inflight");
+        let Some(flight) = inflight.get_mut(&job.key) else {
+            return;
+        };
+        let (expired, live): (Vec<Waiter>, Vec<Waiter>) = flight
+            .waiters
+            .drain(..)
+            .partition(|w| w.deadline.is_some_and(|d| d <= now));
+        flight.waiters = live;
+        let evaluate = !flight.waiters.is_empty();
+        if !evaluate {
+            inflight.remove(&job.key);
+        }
+        drop(inflight);
+        for w in expired {
+            let waited_us = w.since.elapsed().as_micros() as u64;
+            rec.count("svc.deadline.shed", 1);
+            rec.event_at(
+                "svc.deadline_shed",
+                w.ctx,
+                &[("waited_us", waited_us.into())],
+            );
+            rec.span_end_at("svc.request", w.ctx, waited_us);
+            rec.finish_trace(w.ctx);
+            let _ = w.tx.send(Err(SvcError::DeadlineExceeded));
+        }
+        evaluate
+    };
+    if !evaluate {
+        rec.count("svc.deadline.flight_dropped", 1);
+        return;
+    }
+
     // The evaluation span parents on the leader's request span across
     // the thread hop; the phases underneath inherit trace and parent
     // through the thread-local context this guard installs.
@@ -722,14 +844,14 @@ fn process(inner: &Inner, job: Job) {
     if !generation_current {
         rec.count("svc.stale_result_dropped", 1);
     }
+    // One flag for "clean enough to memoize": it also rides out on every
+    // response so the fleet knows which answers are safe to replicate.
+    let cacheable = generation_current
+        && !outcome.evaluation.degraded
+        && outcome.environment.unobserved.is_empty();
     let waiters = {
         let mut inflight = inner.inflight.lock().expect("inflight");
-        if inner.cfg.result_cache
-            && inner.caches.is_some()
-            && generation_current
-            && !outcome.evaluation.degraded
-            && outcome.environment.unobserved.is_empty()
-        {
+        if inner.cfg.result_cache && inner.caches.is_some() && cacheable {
             inner.results.lock().expect("results").insert(
                 job.key.clone(),
                 Arc::new((outcome.prediction.clone(), outcome.evaluation.clone())),
@@ -755,13 +877,14 @@ fn process(inner: &Inner, job: Job) {
         rec.observe_tail("svc.latency_us", latency_us as f64, w.ctx);
         rec.finish_trace(w.ctx);
         // A waiter that gave up (dropped its receiver) is fine to miss.
-        let _ = w.tx.send(PredictResponse {
+        let _ = w.tx.send(Ok(PredictResponse {
             binary_ref: job.binary_ref.clone(),
             target_site: job.key.site.clone(),
             prediction: outcome.prediction.clone(),
             evaluation: outcome.evaluation.clone(),
             from_result_cache: false,
+            cacheable,
             latency_us,
-        });
+        }));
     }
 }

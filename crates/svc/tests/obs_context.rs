@@ -58,6 +58,7 @@ fn req(binary: &str, site: &str) -> PredictRequest {
         binary_ref: binary.into(),
         target_site: site.into(),
         mode: PredictionMode::Basic,
+        deadline: None,
     }
 }
 
@@ -81,7 +82,7 @@ fn every_event_in_a_request_carries_its_trace_and_a_parent() {
         match svc.submit(&r).expect("valid request") {
             Delivery::Ready(_) => {}
             Delivery::Pending(rx) => {
-                rx.recv().expect("worker answers");
+                rx.recv().expect("worker answers").expect("answered");
             }
         }
     }
@@ -89,7 +90,7 @@ fn every_event_in_a_request_carries_its_trace_and_a_parent() {
     match svc.submit(&req("cg.0", "india")).expect("valid request") {
         Delivery::Ready(_) => {}
         Delivery::Pending(rx) => {
-            rx.recv().expect("worker answers");
+            rx.recv().expect("worker answers").expect("answered");
         }
     }
     drop(svc);
@@ -154,8 +155,8 @@ fn coalesced_requests_keep_their_own_trace_and_link_to_the_leader() {
         Delivery::Ready(_) => panic!("must coalesce, not hit"),
     };
     svc.start();
-    rx1.recv().expect("leader answered");
-    rx2.recv().expect("waiter answered");
+    rx1.recv().expect("leader answered").expect("answered");
+    rx2.recv().expect("waiter answered").expect("answered");
     drop(svc);
 
     let events = sink.events();
@@ -214,6 +215,7 @@ fn plan_fans_out_under_one_trace() {
             sites: SiteSelection::All,
             mode: PredictionMode::Basic,
             k: None,
+            deadline: None,
         },
     )
     .expect("plan succeeds");

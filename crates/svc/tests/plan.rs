@@ -147,6 +147,7 @@ fn unknown_candidate_sites_become_errored_entries_not_failures() {
         sites: SiteSelection::Sites(names.clone()),
         mode: PredictionMode::Basic,
         k: None,
+        deadline: None,
     };
     let p = plan(&svc, &req).unwrap();
     assert_eq!(p.candidates, names.len());

@@ -34,6 +34,7 @@ fn basic(binary_ref: &str, target_site: &str) -> PredictRequest {
         binary_ref: binary_ref.to_string(),
         target_site: target_site.to_string(),
         mode: PredictionMode::Basic,
+        deadline: None,
     }
 }
 
@@ -55,7 +56,8 @@ fn update_during_inflight_evaluation_drops_the_stale_result() {
     svc.start();
     let resp = rx
         .recv()
-        .expect("the stale flight still answers its waiter");
+        .expect("the stale flight still answers its waiter")
+        .expect("deadline-free request is never shed post-admission");
     assert!(!resp.from_result_cache);
 
     // The stale evaluation must not have been memoized: the next request
@@ -152,8 +154,14 @@ fn content_changed_rejection_racing_a_coalesced_waiter() {
     );
 
     svc.start();
-    let r1 = rx1.recv().expect("first waiter answered");
-    let r2 = rx2.recv().expect("coalesced waiter answered");
+    let r1 = rx1
+        .recv()
+        .expect("first waiter answered")
+        .expect("answered");
+    let r2 = rx2
+        .recv()
+        .expect("coalesced waiter answered")
+        .expect("answered");
     assert_eq!(
         format!("{:?}", r1.prediction),
         format!("{:?}", r2.prediction),

@@ -43,6 +43,7 @@ fn req(binary: &str, site: &str, mode: PredictionMode) -> PredictRequest {
         binary_ref: binary.into(),
         target_site: site.into(),
         mode,
+        deadline: None,
     }
 }
 
@@ -119,7 +120,7 @@ fn same_key_coalesces_onto_one_flight() {
     for d in [d1, d2, d3, d4] {
         match d {
             Delivery::Pending(rx) => {
-                let resp = rx.recv().unwrap();
+                let resp = rx.recv().unwrap().unwrap();
                 assert!(!resp.prediction.verdicts.is_empty());
             }
             Delivery::Ready(_) => panic!("cold cache cannot answer immediately"),

@@ -90,6 +90,7 @@ fn hot_key_stream_never_double_evaluates() {
                     binary_ref: b.clone(),
                     target_site: s.clone(),
                     mode,
+                    deadline: None,
                 });
             }
         }
@@ -150,6 +151,7 @@ fn full_queue_sheds_overloaded_and_drains_without_deadlock() {
                 } else {
                     PredictionMode::Extended
                 },
+                deadline: None,
             };
             match svc.submit(&req) {
                 Ok(Delivery::Pending(rx)) => pending.push(rx),
@@ -172,6 +174,7 @@ fn full_queue_sheds_overloaded_and_drains_without_deadlock() {
         binary_ref: svc.binary_names()[0].clone(),
         target_site: sites[0].clone(),
         mode: PredictionMode::Basic,
+        deadline: None,
     };
     match svc.submit(&queued_again) {
         Ok(Delivery::Pending(rx)) => pending.push(rx),
@@ -182,7 +185,10 @@ fn full_queue_sheds_overloaded_and_drains_without_deadlock() {
     // Start the pool and drain: every admitted waiter gets an answer.
     svc.start();
     for rx in pending {
-        let resp = rx.recv().expect("queued request completes");
+        let resp = rx
+            .recv()
+            .expect("queued request completes")
+            .expect("deadline-free request is never shed post-admission");
         assert!(!resp.prediction.verdicts.is_empty());
     }
 
@@ -216,6 +222,7 @@ fn concurrent_shedding_never_deadlocks() {
                     binary_ref: b,
                     target_site: site,
                     mode: PredictionMode::Basic,
+                    deadline: None,
                 };
                 let mut sheds = 0u32;
                 loop {

@@ -291,6 +291,7 @@ fn plan_cmd(args: &[String]) {
             PredictionMode::Basic
         },
         k,
+        deadline: None,
     };
     let placement = match plan(&svc, &req) {
         Ok(p) => p,
