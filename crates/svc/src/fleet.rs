@@ -30,12 +30,17 @@
 //! ever dispatched to again — a rejoined node can never serve from stale
 //! configuration. Result replication is asynchronous and epoch-gated:
 //! each cacheable answer is forwarded to the rest of its replica set
-//! tagged with the fleet epoch it was computed under, and the installer
-//! drops any payload whose epoch no longer matches both the target node
-//! and the current fleet epoch (`fleet.replication.{applied,dropped}`,
-//! lag on `fleet.replication.lag_us`). Dropping is always safe — a
-//! replica that misses a replicated result merely re-evaluates on its
-//! first hit.
+//! tagged with the fleet epoch captured *before* the answer was
+//! computed — so any config op landing while the answer was in flight
+//! makes the stamp stale — and the installer drops any payload whose
+//! epoch no longer matches both the target node and the current fleet
+//! epoch (`fleet.replication.{applied,dropped}`, lag on
+//! `fleet.replication.lag_us`). As a last line of defence the install
+//! itself re-verifies the payload's origin coordinates (content key,
+//! EDC epoch) against the target's current state and keys the entry by
+//! those coordinates, so an op racing the install can only orphan the
+//! entry, never relabel it. Dropping is always safe — a replica that
+//! misses a replicated result merely re-evaluates on its first hit.
 
 use crate::health::{HealthConfig, HealthTracker, NodeState};
 use crate::registry::RegisteredBinary;
@@ -158,15 +163,20 @@ impl FleetNode {
 }
 
 /// An asynchronous replication payload: one cacheable answer headed for
-/// the rest of its replica set, tagged with the fleet epoch it was
-/// computed under.
+/// the rest of its replica set, tagged with the fleet epoch captured
+/// before it was computed and the origin coordinates (content key, EDC
+/// epoch) it was computed under.
 struct ReplicationJob {
     binary_ref: String,
     site: String,
     mode: PredictionMode,
     prediction: Prediction,
     evaluation: TargetEvaluation,
+    /// Fleet epoch captured before the winner evaluated.
     epoch: u64,
+    /// The coordinates (content key, EDC epoch) the answer was computed
+    /// under.
+    origin: crate::service::ResultOrigin,
     targets: Vec<usize>,
     enqueued: Instant,
 }
@@ -407,6 +417,20 @@ impl Fleet {
         self.inner.publish_state_gauges();
     }
 
+    /// Trip node `i`'s breaker without marking the process down — models
+    /// a browned-out node that must re-earn traffic through HalfOpen
+    /// probes once the cooldown elapses.
+    pub fn trip_breaker(&self, i: usize) {
+        let now = self.inner.now_ms();
+        self.inner.nodes[i]
+            .health
+            .lock()
+            .expect("health")
+            .force_open(now);
+        self.inner.cfg.recorder.count("fleet.node.tripped", 1);
+        self.inner.publish_state_gauges();
+    }
+
     /// Partition node `i` from the router: dispatch errors, config ops
     /// miss it, but the node itself keeps running.
     pub fn partition_node(&self, i: usize) {
@@ -503,7 +527,14 @@ impl Fleet {
                     }
                     continue;
                 }
-                Err(e) => return Err(FleetError::Svc(e)),
+                Err(e) => {
+                    // A request-level rejection (unknown site, expired
+                    // deadline) says nothing about the node: return the
+                    // admitted probe slot without an outcome so a
+                    // HalfOpen breaker is not wedged by it.
+                    inner.release_probe(i);
+                    return Err(FleetError::Svc(e));
+                }
             }
         }
         rec.count("fleet.unavailable", 1);
@@ -530,8 +561,13 @@ impl Fleet {
             None => {
                 return match rx.recv() {
                     Ok(out) => inner.settle(primary, out, failovers, false, degraded_route),
-                    Err(_) => Err(FleetError::Svc(SvcError::ShuttingDown)),
-                }
+                    Err(_) => {
+                        // The answer channel died without an outcome to
+                        // attribute: free the admitted probe slot.
+                        inner.release_probe(primary);
+                        Err(FleetError::Svc(SvcError::ShuttingDown))
+                    }
+                };
             }
         };
 
@@ -539,7 +575,8 @@ impl Fleet {
         match rx.recv_timeout(hedge_after) {
             Ok(out) => return inner.settle(primary, out, failovers, false, degraded_route),
             Err(mpsc::RecvTimeoutError::Disconnected) => {
-                return Err(FleetError::Svc(SvcError::ShuttingDown))
+                inner.release_probe(primary);
+                return Err(FleetError::Svc(SvcError::ShuttingDown));
             }
             Err(mpsc::RecvTimeoutError::Timeout) => {}
         }
@@ -558,6 +595,9 @@ impl Fleet {
                     rec.count("fleet.hedge.fired", 1);
                     rec.count("fleet.hedge.won", 1);
                     inner.observe_success(b, &resp);
+                    // The primary's eventual answer is discarded — its
+                    // probe slot comes back without an outcome.
+                    inner.release_probe(primary);
                     return Ok(FleetResponse {
                         node: inner.nodes[b].name.clone(),
                         failovers,
@@ -582,30 +622,49 @@ impl Fleet {
             // No viable hedge target: wait the primary out.
             return match rx.recv() {
                 Ok(out) => inner.settle(primary, out, failovers, false, degraded_route),
-                Err(_) => Err(FleetError::Svc(SvcError::ShuttingDown)),
+                Err(_) => {
+                    inner.release_probe(primary);
+                    Err(FleetError::Svc(SvcError::ShuttingDown))
+                }
             };
         };
 
-        // Phase 3: race primary and hedge; first answer wins.
+        // Phase 3: race primary and hedge; first answer wins. The loser's
+        // discarded dispatch returns its probe slot without an outcome —
+        // exactly once, guarded by the alive flags.
         let tick = Duration::from_millis(1);
         let mut primary_alive = true;
         let mut hedge_alive = true;
         loop {
             if primary_alive {
                 match rx.recv_timeout(tick) {
-                    Ok(out) => return inner.settle(primary, out, failovers, false, degraded_route),
+                    Ok(out) => {
+                        if hedge_alive {
+                            inner.release_probe(hb);
+                        }
+                        return inner.settle(primary, out, failovers, false, degraded_route);
+                    }
                     Err(mpsc::RecvTimeoutError::Timeout) => {}
-                    Err(mpsc::RecvTimeoutError::Disconnected) => primary_alive = false,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        primary_alive = false;
+                        inner.release_probe(primary);
+                    }
                 }
             }
             if hedge_alive {
                 match hrx.recv_timeout(tick) {
                     Ok(out) => {
                         rec.count("fleet.hedge.won", 1);
+                        if primary_alive {
+                            inner.release_probe(primary);
+                        }
                         return inner.settle(hb, out, failovers, true, degraded_route);
                     }
                     Err(mpsc::RecvTimeoutError::Timeout) => {}
-                    Err(mpsc::RecvTimeoutError::Disconnected) => hedge_alive = false,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        hedge_alive = false;
+                        inner.release_probe(hb);
+                    }
                 }
             }
             if !primary_alive && !hedge_alive {
@@ -632,7 +691,14 @@ impl Drop for Fleet {
 
 impl Fleet {
     /// Hand a cacheable answer to the replication thread (non-blocking).
-    fn replicate(&self, req: &PredictRequest, winner: usize, resp: &PredictResponse) {
+    /// `epoch` is the fleet epoch captured *before* the answer was
+    /// computed; the origin coordinates (content key, EDC epoch) are
+    /// read from the winner. Any config op landing anywhere in the
+    /// window is caught by the epoch gate in `replication_loop` (epochs
+    /// only grow, so a stale stamp can never match again) or, for ops
+    /// racing the install itself, by the coordinate verification inside
+    /// `install_result`.
+    fn replicate(&self, req: &PredictRequest, winner: usize, resp: &PredictResponse, epoch: u64) {
         let Some(tx) = &self.repl_tx else { return };
         let Some(replicas) = self.replica_set(&req.binary_ref, &req.target_site) else {
             return;
@@ -641,13 +707,18 @@ impl Fleet {
         if targets.is_empty() {
             return;
         }
+        let svc = &self.inner.nodes[winner].svc;
+        let Some(origin) = svc.result_origin(&req.binary_ref, &req.target_site) else {
+            return;
+        };
         let _ = tx.send(ReplicationJob {
             binary_ref: req.binary_ref.clone(),
             site: req.target_site.clone(),
             mode: req.mode,
             prediction: resp.prediction.clone(),
             evaluation: resp.evaluation.clone(),
-            epoch: self.epoch(),
+            epoch,
+            origin,
             targets,
             enqueued: Instant::now(),
         });
@@ -656,10 +727,16 @@ impl Fleet {
     /// `predict`, then replicate the answer if it is clean and fresh.
     /// The public entry point used by the bench and conform crossing.
     pub fn predict_replicated(&self, req: &PredictRequest) -> Result<FleetResponse, FleetError> {
+        // Capture the epoch BEFORE evaluating, so a config op landing
+        // while the answer is in flight leaves the job stamped with the
+        // pre-op epoch and the freshness gate drops it. Stamping after
+        // the fact would let an answer computed against old bytes or a
+        // stale environment slip through under the new epoch.
+        let epoch = self.epoch();
         let out = self.predict(req)?;
         if out.response.cacheable && !out.response.from_result_cache {
             if let Some(winner) = self.inner.nodes.iter().position(|n| n.name == out.node) {
-                self.replicate(req, winner, &out.response);
+                self.replicate(req, winner, &out.response, epoch);
             }
         }
         Ok(out)
@@ -755,7 +832,12 @@ impl FleetInner {
             }
             // A deadline shed is the *request's* failure, not the
             // node's: the worker was healthy enough to shed on time.
-            Err(SvcError::DeadlineExceeded) => Err(FleetError::Svc(SvcError::DeadlineExceeded)),
+            // Hand back the admitted probe slot without an outcome so a
+            // HalfOpen breaker cannot be wedged by expired requests.
+            Err(SvcError::DeadlineExceeded) => {
+                self.release_probe(node_idx);
+                Err(FleetError::Svc(SvcError::DeadlineExceeded))
+            }
             Err(e) => {
                 self.observe_error(node_idx);
                 Err(FleetError::Svc(e))
@@ -771,6 +853,17 @@ impl FleetInner {
             .expect("health")
             .record_success(now, resp.latency_us as f64);
         self.publish_state_gauges();
+    }
+
+    /// Return node `i`'s admitted probe slot without recording an
+    /// outcome — the dispatch resolved in a way that says nothing about
+    /// the node's health (request-scoped rejection, discarded hedge
+    /// loser, dead answer channel). Every `admit` must be balanced by
+    /// exactly one of `observe_success` / `observe_error` /
+    /// `release_probe`, or a HalfOpen breaker leaks its probe budget and
+    /// wedges.
+    fn release_probe(&self, i: usize) {
+        self.nodes[i].health.lock().expect("health").release_probe();
     }
 
     fn observe_error(&self, i: usize) {
@@ -812,6 +905,7 @@ fn replication_loop(inner: &FleetInner, rx: mpsc::Receiver<ReplicationJob>) {
                     &job.binary_ref,
                     &job.site,
                     job.mode,
+                    job.origin,
                     &job.prediction,
                     &job.evaluation,
                 );

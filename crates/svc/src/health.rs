@@ -162,6 +162,18 @@ impl HealthTracker {
         }
     }
 
+    /// Return an admitted probe slot without recording an outcome — for
+    /// dispatches that resolved in a way that says nothing about the
+    /// node's health (an expired deadline, a request-level rejection, a
+    /// hedge loser whose answer was discarded). Without this, a probe
+    /// whose outcome is never attributed would permanently consume a
+    /// HalfOpen slot and wedge the breaker: with `halfopen_probes = 1`
+    /// no further probe could ever be admitted, so no outcome could ever
+    /// close *or* reopen it.
+    pub fn release_probe(&mut self) {
+        self.halfopen_inflight = self.halfopen_inflight.saturating_sub(1);
+    }
+
     /// Record a dispatch failure observed at `now_ms`.
     pub fn record_error(&mut self, now_ms: u64) {
         self.consecutive_errors += 1;
@@ -290,6 +302,27 @@ mod tests {
         assert_eq!(h.state(501), NodeState::Open, "probe failure reopens");
         assert_eq!(h.state(550), NodeState::Open, "cooldown restarted");
         assert_eq!(h.state(602), NodeState::HalfOpen);
+    }
+
+    #[test]
+    fn released_probe_slots_return_without_an_outcome() {
+        let mut h = HealthTracker::new(cfg());
+        for t in 0..3 {
+            h.record_error(t);
+        }
+        // After cooldown: the single probe slot is admitted, then the
+        // dispatch resolves with a request-scoped failure — no outcome.
+        assert!(h.admit(200));
+        assert!(!h.admit(200), "slot consumed");
+        h.release_probe();
+        assert_eq!(h.state(201), NodeState::HalfOpen, "nothing was counted");
+        // The returned slot admits a fresh probe, which can still close
+        // the breaker — the node is not wedged.
+        assert!(h.admit(201), "released slot admits again");
+        h.record_success(202, 50.0);
+        assert!(h.admit(203));
+        h.record_success(204, 50.0);
+        assert_eq!(h.state(204), NodeState::Closed);
     }
 
     #[test]

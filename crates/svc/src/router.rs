@@ -9,6 +9,7 @@
 //! movement, no global reshuffle.
 
 use feam_sim::rng::hash_parts;
+use std::collections::HashMap;
 
 /// A consistent-hash ring over named nodes.
 #[derive(Debug, Clone)]
@@ -17,9 +18,16 @@ pub struct HashRing {
     vnodes: usize,
     /// Sorted `(point, node index)` pairs.
     ring: Vec<(u64, usize)>,
-    /// Node names by index; a removed node leaves a `None` tombstone so
-    /// rejoin restores the same index (and thus identical ring points).
+    /// Node names by index; a removed node leaves a `None` tombstone.
     nodes: Vec<Option<String>>,
+    /// Every name's permanently reserved index. Rejoin restores the
+    /// exact former slot — even when several nodes leave and rejoin out
+    /// of order — so callers comparing `replicas()` index sets across
+    /// churn never see a name re-bind to a different index. Fresh names
+    /// always extend the index space rather than reusing a departed
+    /// node's slot; the index space therefore grows with distinct names
+    /// ever added, not with current membership.
+    home: HashMap<String, usize>,
 }
 
 impl HashRing {
@@ -31,27 +39,33 @@ impl HashRing {
             vnodes: vnodes.max(1),
             ring: Vec::new(),
             nodes: Vec::new(),
+            home: HashMap::new(),
         }
     }
 
     /// Add a node, returning its index. A name that previously left
-    /// rejoins under its old index with byte-identical ring points.
+    /// rejoins under its reserved former index with byte-identical ring
+    /// points, regardless of how many other nodes departed or joined in
+    /// between; a fresh name gets a fresh index (never a departed
+    /// node's slot).
     pub fn add(&mut self, name: &str) -> usize {
         if let Some(idx) = self.index_of(name) {
             return idx; // already present
         }
-        let idx = match self
-            .nodes
-            .iter()
-            .position(|slot| slot.as_deref() == Some(name) || slot.is_none())
-        {
-            Some(free) => {
-                self.nodes[free] = Some(name.to_string());
-                free
+        let idx = match self.home.get(name) {
+            Some(&reserved) => {
+                debug_assert!(
+                    self.nodes[reserved].is_none(),
+                    "reserved slot occupied by another name"
+                );
+                self.nodes[reserved] = Some(name.to_string());
+                reserved
             }
             None => {
                 self.nodes.push(Some(name.to_string()));
-                self.nodes.len() - 1
+                let idx = self.nodes.len() - 1;
+                self.home.insert(name.to_string(), idx);
+                idx
             }
         };
         for v in 0..self.vnodes {
@@ -222,6 +236,34 @@ mod tests {
                 "leave + rejoin must restore the exact mapping"
             );
         }
+    }
+
+    #[test]
+    fn out_of_order_rejoins_restore_original_indices() {
+        let original = ring_of(&["n0", "n1", "n2", "n3"]);
+        let mut churned = original.clone();
+        churned.remove("n1");
+        churned.remove("n2");
+        // Rejoin in the opposite order of departure: each name must get
+        // its own reserved slot back, not the first free tombstone.
+        assert_eq!(churned.add("n2"), original.index_of("n2").unwrap());
+        assert_eq!(churned.add("n1"), original.index_of("n1").unwrap());
+        for key in sample_keys(&original, 1000) {
+            assert_eq!(
+                original.replicas(key, 2),
+                churned.replicas(key, 2),
+                "out-of-order churn must restore the exact index mapping"
+            );
+        }
+    }
+
+    #[test]
+    fn new_nodes_never_steal_a_departed_nodes_slot() {
+        let mut ring = ring_of(&["n0", "n1", "n2"]);
+        ring.remove("n1");
+        assert_eq!(ring.add("n3"), 3, "fresh name extends the index space");
+        assert_eq!(ring.add("n1"), 1, "n1 rejoins under its reserved index");
+        assert_eq!(ring.len(), 4);
     }
 
     #[test]

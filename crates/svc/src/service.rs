@@ -201,6 +201,21 @@ struct RequestKey {
     extended: bool,
 }
 
+/// The configuration coordinates an evaluation was computed under: the
+/// binding's content key and the target site's EDC epoch. Replicated
+/// results carry their origin's coordinates so
+/// [`install_result`](PredictService::install_result) can refuse a
+/// payload whose configuration has moved on — and key accepted entries
+/// by the state they actually derive from, never by state read at
+/// install time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResultOrigin {
+    /// Content key of the binary the answer was computed for.
+    pub content: BdcKey,
+    /// EDC epoch of the target site the answer was computed under.
+    pub edc_epoch: u64,
+}
+
 struct Waiter {
     since: Instant,
     /// This waiter's deadline; checked when its flight is dequeued.
@@ -639,21 +654,46 @@ impl PredictService {
         Ok(Delivery::Pending(rx))
     }
 
+    /// The configuration coordinates a result was computed under — the
+    /// binding's content key and the target site's EDC epoch. A
+    /// replicated payload carries its origin's coordinates so the
+    /// installer can verify them against (and key the entry by) the
+    /// state the answer actually derives from.
+    pub fn result_origin(&self, binary_ref: &str, site: &str) -> Option<ResultOrigin> {
+        let content = self
+            .inner
+            .registry
+            .read()
+            .expect("registry")
+            .get(binary_ref)
+            .map(|b| b.content_key)?;
+        let edc_epoch = self
+            .inner
+            .caches
+            .as_ref()
+            .map(|c| c.edc.epoch(site))
+            .unwrap_or(0);
+        Some(ResultOrigin { content, edc_epoch })
+    }
+
     /// Install a completed evaluation into the result cache, as if this
     /// node had evaluated it itself — the fleet's asynchronous
-    /// replication path. The key is re-derived from the *current*
-    /// registry binding and site epoch, so the caller must ensure the
-    /// payload was computed under the same configuration state (the
-    /// fleet gates on fleet-epoch equality before calling); a name that
-    /// resolved to different bytes since the origin evaluated simply
-    /// lands under the new content key's slot, which the origin's bytes
-    /// can no longer reach. Degraded payloads are refused. Returns
-    /// whether the entry was installed.
+    /// replication path. The caller passes the [`ResultOrigin`] the
+    /// payload was computed under, and the cache key is derived from
+    /// those coordinates after verifying they still match this node's
+    /// current binding and epoch. A config op racing the install
+    /// therefore cannot land an old payload under a new-state key: if
+    /// the op is observed here the payload is refused, and if it lands
+    /// after the checks the entry's key still embeds the old
+    /// coordinates (content- and epoch-addressed), so the new binding
+    /// can never reach it and the op's own purge sweeps it. Degraded
+    /// payloads are refused. Returns whether the entry was installed.
     pub fn install_result(
         &self,
         binary_ref: &str,
         site: &str,
         mode: PredictionMode,
+        origin: ResultOrigin,
         prediction: &Prediction,
         evaluation: &TargetEvaluation,
     ) -> bool {
@@ -667,19 +707,22 @@ impl PredictService {
         if !inner.site_idx.contains_key(site) {
             return false;
         }
-        let Some(binary) = inner
+        let current = inner
             .registry
             .read()
             .expect("registry")
             .get(binary_ref)
-            .cloned()
-        else {
-            return false;
-        };
+            .map(|b| b.content_key);
+        if current != Some(origin.content) {
+            return false; // the binding moved since the origin evaluated
+        }
+        if caches.edc.epoch(site) != origin.edc_epoch {
+            return false; // the site was reconfigured since
+        }
         let key = RequestKey {
-            binary_key: binary.content_key,
+            binary_key: origin.content,
             site: site.to_string(),
-            epoch: caches.edc.epoch(site),
+            epoch: origin.edc_epoch,
             extended: mode == PredictionMode::Extended,
         };
         inner

@@ -4,10 +4,12 @@
 //! epoch catch-up for nodes that missed configuration ops, hedging, and
 //! fleet-level deadline propagation.
 
+use feam_core::cache::BdcKey;
 use feam_core::predict::PredictionMode;
 use feam_sim::faults::FaultPlan;
 use feam_svc::{
-    Fleet, FleetConfig, FleetError, PredictRequest, PredictService, ServiceConfig, SvcError,
+    Fleet, FleetConfig, FleetError, HealthConfig, NodeState, PredictRequest, PredictService,
+    ResultOrigin, ServiceConfig, SvcError,
 };
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -265,6 +267,164 @@ fn hedging_fires_for_slow_primaries() {
         Some(&1),
         "cold evaluation is slower than a zero hedge window"
     );
+}
+
+/// Request-scoped failures (expired deadlines, unknown sites) admitted
+/// as HalfOpen probes must hand their probe slot back: with the default
+/// single-probe budget, a leaked slot would wedge the node HalfOpen
+/// forever — no probe could ever be admitted again, so no outcome could
+/// ever close or re-trip the breaker.
+#[test]
+fn request_scoped_failures_do_not_wedge_a_halfopen_breaker() {
+    let (recorder, _sink) = feam_obs::Recorder::memory();
+    let cfg = FleetConfig {
+        replication: 2,
+        hedge_after: None,
+        // Zero cooldown: a tripped breaker is immediately HalfOpen.
+        health: HealthConfig {
+            open_cooldown_ms: 0,
+            ..HealthConfig::default()
+        },
+        recorder: recorder.clone(),
+        ..FleetConfig::default()
+    };
+    let mut fleet = Fleet::with_factory(cfg, 3, |_| {
+        let mut node_cfg = ServiceConfig {
+            workers: 2,
+            caching: true,
+            fault_plan: Some(Arc::new(FaultPlan::none())),
+            ..ServiceConfig::default()
+        };
+        node_cfg.result_cache = true;
+        PredictService::new(node_cfg)
+    });
+    let demo = feam_svc::registry::demo_binary(7);
+    fleet
+        .register_binary("app", demo.image.clone(), &demo.home_site)
+        .expect("registers");
+    fleet.start();
+
+    let replicas = fleet.replica_set("app", "india").expect("registered");
+    let primary = replicas[0];
+    fleet.trip_breaker(primary);
+    assert_eq!(fleet.node_state(primary), NodeState::HalfOpen);
+
+    // Probe 1: an expired deadline is shed — the request's failure.
+    let expired = PredictRequest {
+        deadline: Some(Instant::now() - Duration::from_millis(1)),
+        ..req("india")
+    };
+    let err = fleet.predict(&expired).expect_err("expired request sheds");
+    assert!(
+        matches!(err, FleetError::Svc(SvcError::DeadlineExceeded)),
+        "{err:?}"
+    );
+    assert_eq!(
+        fleet.node_state(primary),
+        NodeState::HalfOpen,
+        "no outcome was recorded against the probing node"
+    );
+
+    // Probe 2: an unknown site is rejected before evaluation — also not
+    // the node's fault.
+    let err = fleet
+        .predict(&req("atlantis"))
+        .expect_err("unknown site is rejected");
+    assert!(
+        matches!(err, FleetError::Svc(SvcError::UnknownSite(_))),
+        "{err:?}"
+    );
+
+    // Probe 3: both slots came back, so a clean request is still
+    // admitted at the primary and its success closes the breaker.
+    let ok = fleet
+        .predict(&req("india"))
+        .expect("clean probe is admitted");
+    assert_eq!(
+        ok.node,
+        format!("node-{primary}"),
+        "the primary took the probe instead of being failed over"
+    );
+    assert_eq!(ok.failovers, 0);
+    assert_eq!(
+        fleet.node_state(primary),
+        NodeState::Closed,
+        "the probe's success closed the breaker"
+    );
+}
+
+/// The replication installer verifies the payload's origin coordinates
+/// (content key, EDC epoch) against the target's current state and keys
+/// the entry by those coordinates — an answer computed against old bytes
+/// or a stale environment is refused, never installed under a new key.
+#[test]
+fn replication_install_verifies_origin_coordinates() {
+    let solo = || {
+        let mut cfg = ServiceConfig {
+            workers: 2,
+            caching: true,
+            fault_plan: Some(Arc::new(FaultPlan::none())),
+            ..ServiceConfig::default()
+        };
+        cfg.result_cache = true;
+        let mut svc = PredictService::new(cfg);
+        svc.register_binary("app", feam_svc::registry::demo_binary(7))
+            .expect("registers");
+        svc.start();
+        svc
+    };
+    let origin = solo();
+    let peer = solo();
+    let resp = origin.predict(&req("india")).expect("origin evaluates");
+    assert!(resp.cacheable);
+
+    let coords = peer.result_origin("app", "india").expect("registered");
+
+    // A payload computed for different bytes (the binding moved since
+    // the origin evaluated) is refused.
+    let moved_binding = ResultOrigin {
+        content: BdcKey {
+            hash: coords.content.hash ^ 1,
+            ..coords.content
+        },
+        ..coords
+    };
+    assert!(!peer.install_result(
+        "app",
+        "india",
+        PredictionMode::Basic,
+        moved_binding,
+        &resp.prediction,
+        &resp.evaluation,
+    ));
+    // A payload computed under a stale site configuration is refused.
+    let stale_site = ResultOrigin {
+        edc_epoch: coords.edc_epoch + 1,
+        ..coords
+    };
+    assert!(!peer.install_result(
+        "app",
+        "india",
+        PredictionMode::Basic,
+        stale_site,
+        &resp.prediction,
+        &resp.evaluation,
+    ));
+    assert_eq!(peer.result_cache_len(), 0, "refused payloads never land");
+
+    // Matching coordinates install, and the peer serves from its result
+    // cache without ever evaluating.
+    assert!(peer.install_result(
+        "app",
+        "india",
+        PredictionMode::Basic,
+        coords,
+        &resp.prediction,
+        &resp.evaluation,
+    ));
+    let hit = peer.predict(&req("india")).expect("peer answers");
+    assert!(hit.from_result_cache);
+    assert_eq!(peer.evaluations(), 0, "the peer never evaluated");
 }
 
 /// An expired deadline is the request's failure, not the node's: the
