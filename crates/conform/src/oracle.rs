@@ -13,10 +13,14 @@
 //!   fresh from first principles.
 //!
 //! What it *does* share, deliberately: the `feam-elf` container parser
-//! (both sides must read the same file format) and `feam_sim::compile`
+//! (both sides must read the same file format), `feam_sim::compile`
 //! for probe synthesis (what binary a compiler would produce is world
-//! physics, not a decision rule). The `SourceBundle` is consumed as data
-//! produced by the real source phase.
+//! physics, not a decision rule), and the `feam-provenance` signature
+//! matcher (a seeded database lookup over code bytes — shared data, like
+//! the parser). The `SourceBundle` is consumed as data produced by the
+//! real source phase. The *decision rules* over provenance claims —
+//! when fallback evidence applies, how statically linked binaries
+//! degrade, how claims feed the naive plan — are reimplemented here.
 
 use feam_core::bundle::SourceBundle;
 use feam_elf::{Class, ElfFile, Machine, VersionName};
@@ -65,6 +69,11 @@ pub struct Expectation {
 pub struct Meta {
     class: Class,
     machine: Machine,
+    /// Whether the object carries a dynamic section at all.
+    is_dynamic: bool,
+    /// Fallback evidence, present only when direct evidence channels are
+    /// missing (mirrors the BDC's gating on the evidence survey).
+    provenance: Option<feam_provenance::ProvenanceReport>,
     soname: Option<String>,
     needed: Vec<String>,
     rpath: Option<String>,
@@ -80,9 +89,17 @@ pub struct Meta {
 
 fn parse_meta(bytes: &[u8]) -> Option<Meta> {
     let f = ElfFile::parse(bytes).ok()?;
+    let evidence = f.evidence();
+    let provenance = if evidence.needs_fallback() {
+        Some(feam_provenance::analyze(&f)).filter(|r| !r.is_empty())
+    } else {
+        None
+    };
     Some(Meta {
         class: f.class(),
         machine: f.machine(),
+        is_dynamic: f.is_dynamic(),
+        provenance,
         soname: f.soname().map(str::to_string),
         needed: f.needed().to_vec(),
         rpath: f.dynamic_info().rpath.clone(),
@@ -752,9 +769,18 @@ pub fn expect(
     }
     verdicts.push(("CLibrary".to_string(), label(clib_ok)));
 
+    // Provenance claims stand in where direct evidence is absent — for the
+    // naive plan only, never for a hard verdict.
+    let prov = meta.provenance.as_ref();
+    let prov_family = prov.and_then(|p| p.compiler.as_ref()).map(|c| c.family);
+    let prov_mpi = prov
+        .and_then(|p| p.mpi_stack.as_ref())
+        .map(|m| m.implementation);
     let bin_impl = identify_mpi(&meta.needed);
-    let bin_family = compiler_version(&meta.comments).map(|(f, _)| f);
-    let naive = naive_plan_stack(site, bin_impl, bin_family);
+    let bin_family = compiler_version(&meta.comments)
+        .map(|(f, _)| f)
+        .or(prov_family);
+    let naive = naive_plan_stack(site, bin_impl.or(prov_mpi), bin_family);
 
     if !isa_ok || !clib_ok {
         return finish(verdicts, naive, Vec::new());
@@ -762,7 +788,15 @@ pub fn expect(
 
     // Determinant 2: a functioning, compatible MPI stack.
     let Some(bin_impl) = bin_impl else {
-        verdicts.push(("MpiStack".to_string(), "incompatible".to_string()));
+        if !meta.is_dynamic {
+            // Statically linked: `DT_NEEDED` silence is absence of the
+            // channel, not evidence of a serial binary — degrade to
+            // unknown; no shared-library dependencies exist to check.
+            verdicts.push(("MpiStack".to_string(), "unknown".to_string()));
+            verdicts.push(("SharedLibraries".to_string(), "compatible".to_string()));
+        } else {
+            verdicts.push(("MpiStack".to_string(), "incompatible".to_string()));
+        }
         return finish(verdicts, naive, Vec::new());
     };
     let candidates: Vec<&InstalledStack> = discovered_order(site)

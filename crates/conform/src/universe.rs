@@ -19,12 +19,12 @@
 //! `FaultPlan`, never by the world itself.
 
 use feam_elf::HostArch;
-use feam_sim::compile::{compile, ProgramSpec};
+use feam_sim::compile::{compile_variant, BinaryVariant, ProgramSpec};
 use feam_sim::mpi::{MpiImpl, MpiStack, Network};
 use feam_sim::rng;
 use feam_sim::site::{EnvMgmt, OsInfo, Site, SiteConfig};
 use feam_sim::toolchain::{Compiler, CompilerFamily, Language};
-use feam_workloads::vocab::{compiler_from_vocab, OS_TABLE};
+use feam_sim::vocab::{compiler_from_vocab, OS_TABLE};
 use std::sync::Arc;
 
 /// One MPI stack installation at a generated site.
@@ -73,6 +73,9 @@ pub struct BinarySpec {
     pub language: Language,
     pub glibc_appetite: f64,
     pub mpi_abi_marker_prob: f64,
+    /// Packaging shape: cooperative, or one of the evidence-hiding
+    /// hostile variants (stripped / static / cross-compiled).
+    pub variant: BinaryVariant,
 }
 
 /// A full generated world specification.
@@ -133,13 +136,14 @@ impl UniverseSpec {
         }
         for b in self.live_binaries() {
             out.push_str(&format!(
-                "  binary {} home={} stack={} lang={:?} appetite={} abi_prob={}\n",
+                "  binary {} home={} stack={} lang={:?} appetite={} abi_prob={} variant={}\n",
                 b.name,
                 b.home_site,
                 b.stack_ident.as_deref().unwrap_or("(serial)"),
                 b.language,
                 b.glibc_appetite,
                 b.mpi_abi_marker_prob,
+                b.variant.tag(),
             ));
         }
         out
@@ -434,6 +438,22 @@ pub fn generate(seed: u64, quick: bool) -> UniverseSpec {
             ),
             glibc_appetite: *rng::pick(parts("appetite"), &["a"], &[0.0, 0.25, 1.0]),
             mpi_abi_marker_prob: *rng::pick(parts("abi"), &["m"], &[0.0, 0.5, 1.0]),
+            variant: {
+                // Mostly cooperative packaging, with a steady minority of
+                // the hostile shapes so the provenance fallback is part of
+                // every sweep: ~70% normal, 12% stripped, 10% static, 8%
+                // cross-compiled.
+                let r = rng::unit_f64(parts("variant"));
+                if r < 0.70 {
+                    BinaryVariant::Normal
+                } else if r < 0.82 {
+                    BinaryVariant::Stripped
+                } else if r < 0.92 {
+                    BinaryVariant::Static
+                } else {
+                    BinaryVariant::Cross
+                }
+            },
         });
     }
 
@@ -496,7 +516,7 @@ pub fn materialize(spec: &UniverseSpec) -> Universe {
         prog.glibc_appetite = b.glibc_appetite;
         prog.mpi_abi_marker_prob = b.mpi_abi_marker_prob;
         let bin_seed = rng::hash_parts(spec.seed, &["bin-image", &b.name]);
-        if let Ok(out) = compile(site, ist.as_ref(), &prog, bin_seed) {
+        if let Ok(out) = compile_variant(site, ist.as_ref(), &prog, bin_seed, b.variant) {
             binaries.push(UniverseBinary {
                 spec: b.clone(),
                 image: out.image,
@@ -541,6 +561,31 @@ mod tests {
                 assert_eq!(s.config.ldd_flaky_rate, 0.0);
             }
         }
+    }
+
+    #[test]
+    fn hostile_variants_are_sampled() {
+        // Over a modest seed range the generator must emit every packaging
+        // shape, with cooperative binaries still in the majority.
+        let mut counts = std::collections::HashMap::new();
+        let mut total = 0usize;
+        for seed in 0..60u64 {
+            for b in &generate(seed, false).binaries {
+                *counts.entry(b.variant).or_insert(0usize) += 1;
+                total += 1;
+            }
+        }
+        for v in BinaryVariant::ALL {
+            assert!(
+                counts.get(&v).copied().unwrap_or(0) > 0,
+                "variant {} never sampled in {total} binaries",
+                v.tag()
+            );
+        }
+        assert!(
+            counts[&BinaryVariant::Normal] * 2 > total,
+            "cooperative binaries should stay the majority: {counts:?}"
+        );
     }
 
     #[test]

@@ -103,6 +103,14 @@ pub struct BinaryDescription {
     pub build_env: BuildEnvironment,
     /// `NT_GNU_ABI_TAG` (OS + minimum kernel), when present.
     pub abi_tag: Option<feam_elf::AbiTag>,
+    /// Which evidence tables the image actually carries (absence is a
+    /// finding, not a fault).
+    pub evidence: feam_elf::EvidenceSurvey,
+    /// Fallback provenance claims from signature matching. Attached only
+    /// when direct evidence is missing (`.comment` empty or the binary is
+    /// statically linked), so cooperative binaries describe identically to
+    /// earlier releases.
+    pub provenance: Option<feam_provenance::ProvenanceReport>,
     /// Image size in bytes.
     pub size: usize,
     /// Stable FNV-1a hash of the described image — the content-addressed
@@ -117,6 +125,14 @@ impl BinaryDescription {
             .map_err(|e| FeamError::BinaryUnreadable(format!("{path}: {e}")))?;
         let provenance: Provenance = extract_provenance(f.comments());
         let needed = f.needed().to_vec();
+        let evidence = f.evidence();
+        // Fall back to signature matching only when a direct channel is
+        // missing; a non-empty report then carries the calibrated claims.
+        let fallback = if evidence.needs_fallback() {
+            Some(feam_provenance::analyze(&f)).filter(|r| !r.is_empty())
+        } else {
+            None
+        };
         Ok(BinaryDescription {
             path: path.to_string(),
             format: "ELF".to_string(),
@@ -136,6 +152,8 @@ impl BinaryDescription {
                 distro_hint: provenance.distro_hint,
             },
             abi_tag: f.abi_tag(),
+            evidence,
+            provenance: fallback,
             size: bytes.len(),
             content_hash: feam_sim::rng::fnv1a(bytes),
         })

@@ -416,6 +416,8 @@ fn empty_description() -> BinaryDescription {
         comments: Vec::new(),
         build_env: Default::default(),
         abi_tag: None,
+        evidence: Default::default(),
+        provenance: None,
         size: 0,
         content_hash: 0,
     }

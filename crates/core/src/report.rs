@@ -19,6 +19,8 @@ pub fn report_json(outcome: &TargetOutcome) -> serde_json::Value {
             "required_glibc": outcome.binary.required_glibc.as_ref().map(|v| v.render()),
             "needed": outcome.binary.needed,
             "abi_tag": outcome.binary.abi_tag.as_ref().map(|t| t.render()),
+            "evidence": evidence_json(&outcome.binary.evidence),
+            "provenance": outcome.binary.provenance.as_ref().map(provenance_json),
         },
         "target": {
             "isa": outcome.environment.isa,
@@ -45,12 +47,61 @@ pub fn report_json(outcome: &TargetOutcome) -> serde_json::Value {
     })
 }
 
+/// The evidence survey as JSON (which tables the image actually carries).
+pub fn evidence_json(e: &feam_elf::EvidenceSurvey) -> serde_json::Value {
+    serde_json::json!({
+        "has_section_headers": e.has_section_headers,
+        "has_symtab": e.has_symtab,
+        "has_comment": e.has_comment,
+        "has_dynamic": e.has_dynamic,
+        "has_verneed": e.has_verneed,
+        "needs_fallback": e.needs_fallback(),
+    })
+}
+
+/// A provenance report as JSON (claims with tiers and calibrated
+/// confidences — the fallback evidence surface of `feam identify`).
+pub fn provenance_json(p: &feam_provenance::ProvenanceReport) -> serde_json::Value {
+    serde_json::json!({
+        "db_version": p.db_version,
+        "confidence": p.confidence,
+        "compiler": p.compiler.as_ref().map(|c| serde_json::json!({
+            "family": c.family.tag(),
+            "version": c.version,
+            "tier": c.tier.label(),
+            "confidence": c.confidence,
+        })),
+        "mpi_stack": p.mpi_stack.as_ref().map(|m| serde_json::json!({
+            "implementation": m.implementation.name(),
+            "tier": m.tier.label(),
+            "confidence": m.confidence,
+        })),
+        "runtime": p.runtime.iter().map(|r| serde_json::json!({
+            "runtime": r.runtime,
+            "evidence": r.evidence,
+            "confidence": r.confidence,
+        })).collect::<Vec<_>>(),
+    })
+}
+
 /// Render the target-phase outcome as the report file FEAM writes.
 pub fn render_report(outcome: &TargetOutcome) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "==== FEAM target evaluation report ====");
     let _ = writeln!(s, "mode: {:?}", outcome.prediction.mode);
     let _ = writeln!(s, "binary: {}", outcome.binary.summary());
+    if let Some(p) = &outcome.binary.provenance {
+        let _ = writeln!(s, "---- provenance (fallback evidence) ----");
+        if let Some(c) = &p.compiler {
+            let _ = writeln!(s, "compiler: {}", c.render());
+        }
+        if let Some(m) = &p.mpi_stack {
+            let _ = writeln!(s, "MPI stack: {}", m.render());
+        }
+        for r in &p.runtime {
+            let _ = writeln!(s, "runtime: {} (via {})", r.runtime, r.evidence);
+        }
+    }
     let _ = writeln!(s, "target ISA: {}", outcome.environment.isa);
     let _ = writeln!(s, "target OS: {}", outcome.environment.os);
     let _ = writeln!(

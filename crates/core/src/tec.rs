@@ -265,13 +265,24 @@ pub fn evaluate(
     );
 
     // Naive fallback plan: first advertised stack of the matching MPI type.
+    // When direct evidence is absent the provenance claims stand in — at
+    // their calibrated confidence, never upgraded to a hard verdict.
     let bin_impl = match description.mpi {
         MpiIdentification::Identified(i) => Some(i),
         MpiIdentification::NotMpi => None,
     };
-    let bin_compiler =
-        feam_sim::exec::compiler_from_comments(&description.comments).map(|(f, _)| f);
-    let plan = naive_plan(site, env, bin_impl, bin_compiler);
+    let prov = description.provenance.as_ref();
+    let prov_compiler = prov.and_then(|p| p.compiler.as_ref()).map(|c| c.family);
+    let prov_mpi = prov.and_then(|p| p.mpi_stack.as_ref());
+    let bin_compiler = feam_sim::exec::compiler_from_comments(&description.comments)
+        .map(|(f, _)| f)
+        .or(prov_compiler);
+    let plan = naive_plan(
+        site,
+        env,
+        bin_impl.or(prov_mpi.map(|m| m.implementation)),
+        bin_compiler,
+    );
 
     if isa_verdict == Determination::Incompatible || clib_verdict == Determination::Incompatible {
         // §V.C: "If at any point we determine that execution cannot occur,
@@ -282,6 +293,36 @@ pub fn evaluate(
 
     // ---- Determinant 2: a functioning, compatible MPI stack -------------------
     let Some(bin_impl) = bin_impl else {
+        if !description.is_dynamic {
+            // Statically linked: the DT_NEEDED channel does not exist, so
+            // its silence is not evidence the binary is non-MPI. Degrade on
+            // the provenance claim (calibrated below direct evidence)
+            // instead of vetoing.
+            let detail = match prov_mpi {
+                Some(m) => format!(
+                    "statically linked; provenance claims {} ({}, confidence {:.2})",
+                    m.implementation.name(),
+                    m.tier.label(),
+                    m.confidence
+                ),
+                None => "statically linked; no provenance signal for an MPI runtime".to_string(),
+            };
+            record_determinant(
+                &rec,
+                &mut prediction,
+                Determinant::MpiStack,
+                Determination::Unknown,
+                detail,
+            );
+            record_determinant(
+                &rec,
+                &mut prediction,
+                Determinant::SharedLibraries,
+                Determination::Compatible,
+                "statically linked; no shared library dependencies",
+            );
+            return TargetEvaluation::conclude(prediction, plan, None, Vec::new(), cpu);
+        }
         record_determinant(
             &rec,
             &mut prediction,
@@ -708,6 +749,159 @@ mod tests {
             eval.prediction.first_failure().unwrap().determinant,
             Determinant::MpiStack
         );
+    }
+
+    #[test]
+    fn static_mpi_binary_degrades_to_unknown_with_provenance_plan() {
+        // A statically linked MPI binary has no DT_NEEDED channel at all:
+        // the stack determinant must degrade to Unknown on the provenance
+        // claim — never veto — and shared libraries are trivially satisfied.
+        let sites = standard_sites(13);
+        let fir = &sites[FIR];
+        let ist = fir.stacks[0].clone();
+        let bin = feam_sim::compile::compile_variant(
+            fir,
+            Some(&ist),
+            &ProgramSpec::new("cg", feam_sim::toolchain::Language::Fortran),
+            13,
+            feam_sim::compile::BinaryVariant::Static,
+        )
+        .unwrap();
+        let desc = BinaryDescription::from_bytes("/home/user/cg", &bin.image).unwrap();
+        assert!(!desc.is_dynamic);
+        let prov = desc
+            .provenance
+            .as_ref()
+            .expect("fallback evidence attached");
+        assert_eq!(
+            prov.mpi_stack.as_ref().unwrap().implementation,
+            ist.stack.mpi
+        );
+        let mut sess = Session::new(fir);
+        let env = discover(&mut sess);
+        let eval = evaluate(fir, &desc, Some(&bin.image), &env, None, &cfg());
+        assert!(eval.prediction.degraded(), "MpiStack must be Unknown");
+        assert!(eval.prediction.first_failure().is_none(), "never a veto");
+        let verdicts = &eval.prediction.verdicts;
+        let mpi = verdicts
+            .iter()
+            .find(|v| v.determinant == Determinant::MpiStack)
+            .unwrap();
+        assert_eq!(mpi.verdict, Determination::Unknown);
+        assert!(mpi.detail.contains("provenance claims"), "{}", mpi.detail);
+        let libs = verdicts
+            .iter()
+            .find(|v| v.determinant == Determinant::SharedLibraries)
+            .unwrap();
+        assert_eq!(libs.verdict, Determination::Compatible);
+        // The plan still names a stack, ranked through the claim.
+        assert!(eval.plan.stack_ident.is_some());
+        assert!(eval.confidence < 1.0);
+    }
+
+    #[test]
+    fn static_non_mpi_binary_reports_no_provenance_signal() {
+        let sites = standard_sites(13);
+        let fir = &sites[FIR];
+        let mut prog = ProgramSpec::serial_hello_world();
+        prog.text_size = 16 * 1024;
+        let bin = feam_sim::compile::compile_variant(
+            fir,
+            None,
+            &prog,
+            7,
+            feam_sim::compile::BinaryVariant::Static,
+        )
+        .unwrap();
+        let desc = BinaryDescription::from_bytes("/home/user/tool", &bin.image).unwrap();
+        let mut sess = Session::new(fir);
+        let env = discover(&mut sess);
+        let eval = evaluate(fir, &desc, Some(&bin.image), &env, None, &cfg());
+        let mpi = eval
+            .prediction
+            .verdicts
+            .iter()
+            .find(|v| v.determinant == Determinant::MpiStack)
+            .unwrap();
+        assert_eq!(mpi.verdict, Determination::Unknown);
+        assert!(
+            mpi.detail.contains("no provenance signal"),
+            "{}",
+            mpi.detail
+        );
+    }
+
+    #[test]
+    fn dynamic_non_mpi_binary_still_vetoes() {
+        // The Unknown degrade is reserved for binaries whose DT_NEEDED
+        // channel does not exist; a dynamic binary without MPI libraries
+        // is positively not an MPI application.
+        let sites = standard_sites(13);
+        let fir = &sites[FIR];
+        let bin = sim_compile(fir, None, &ProgramSpec::serial_hello_world(), 7).unwrap();
+        let desc = BinaryDescription::from_bytes("/home/user/tool", &bin.image).unwrap();
+        assert!(desc.is_dynamic);
+        let mut sess = Session::new(fir);
+        let env = discover(&mut sess);
+        let eval = evaluate(fir, &desc, Some(&bin.image), &env, None, &cfg());
+        assert_eq!(
+            eval.prediction.first_failure().unwrap().determinant,
+            Determinant::MpiStack
+        );
+    }
+
+    #[test]
+    fn stripped_binary_evaluates_like_its_normal_twin() {
+        // Stripping loses `.comment` but keeps the dynamic segment route,
+        // so the stack determinant works off direct evidence and the
+        // provenance report rides along for the compiler claim.
+        let sites = standard_sites(13);
+        let fir = &sites[FIR];
+        let ist = fir.stacks[0].clone();
+        let prog = ProgramSpec::new("cg", feam_sim::toolchain::Language::Fortran);
+        let bin = feam_sim::compile::compile_variant(
+            fir,
+            Some(&ist),
+            &prog,
+            13,
+            feam_sim::compile::BinaryVariant::Stripped,
+        )
+        .unwrap();
+        let desc = BinaryDescription::from_bytes("/home/user/cg", &bin.image).unwrap();
+        assert!(desc.comments.is_empty());
+        let prov = desc
+            .provenance
+            .as_ref()
+            .expect("fallback evidence attached");
+        assert_eq!(
+            prov.compiler.as_ref().unwrap().family,
+            ist.stack.compiler.family
+        );
+        let mut sess = Session::new(fir);
+        let env = discover(&mut sess);
+        let eval = evaluate(fir, &desc, Some(&bin.image), &env, None, &cfg());
+        assert!(
+            eval.prediction.ready(),
+            "{:?}",
+            eval.prediction.first_failure()
+        );
+    }
+
+    #[test]
+    fn cooperative_binary_carries_no_provenance_report() {
+        let sites = standard_sites(13);
+        let fir = &sites[FIR];
+        let ist = fir.stacks[0].clone();
+        let bin = sim_compile(
+            fir,
+            Some(&ist),
+            &ProgramSpec::new("cg", feam_sim::toolchain::Language::Fortran),
+            13,
+        )
+        .unwrap();
+        let desc = BinaryDescription::from_bytes("/home/user/cg", &bin.image).unwrap();
+        assert!(!desc.evidence.needs_fallback());
+        assert!(desc.provenance.is_none());
     }
 
     #[test]

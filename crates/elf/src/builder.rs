@@ -125,6 +125,15 @@ pub struct ElfSpec {
     pub comments: Vec<String>,
     /// Size of the synthetic `.text` payload in bytes (models file size).
     pub text_size: usize,
+    /// Bytes written at the head of `.text` — the compiler/runtime code
+    /// idiom (see `feam_sim::stamp`). `.text` grows to fit when the stamp
+    /// exceeds `text_size`. Because the entry point addresses `.text`,
+    /// these bytes stay recoverable even from a fully stripped image.
+    pub text_stamp: Vec<u8>,
+    /// Emit a statically linked executable: no interpreter, no dynamic
+    /// section or symbols, no version tables, no `PT_INTERP`/`PT_DYNAMIC`.
+    /// Incompatible with the dynamic-linking fields.
+    pub static_link: bool,
 }
 
 impl Default for ElfSpec {
@@ -146,6 +155,8 @@ impl Default for ElfSpec {
             abi_tag: None,
             comments: Vec::new(),
             text_size: 256,
+            text_stamp: Vec::new(),
+            static_link: false,
         }
     }
 }
@@ -220,6 +231,27 @@ pub fn build(spec: &ElfSpec) -> Result<Vec<u8>> {
         return Err(Error::InvalidSpec(
             "shared object spec requires a soname".into(),
         ));
+    }
+    if spec.static_link {
+        if spec.kind != FileKind::Executable {
+            return Err(Error::InvalidSpec(
+                "static_link only applies to executables".into(),
+            ));
+        }
+        if !spec.needed.is_empty()
+            || !spec.imports.is_empty()
+            || !spec.exports.is_empty()
+            || !spec.extra_version_refs.is_empty()
+            || !spec.defined_versions.is_empty()
+            || spec.soname.is_some()
+            || spec.interp.is_some()
+        {
+            return Err(Error::InvalidSpec(
+                "static_link excludes dynamic-linking fields \
+                 (needed/imports/exports/versions/soname/interp)"
+                    .into(),
+            ));
+        }
     }
     let class = spec.class;
     let e = spec.endian;
@@ -414,17 +446,23 @@ pub fn build(spec: &ElfSpec) -> Result<Vec<u8>> {
     } else {
         encode_comment(&spec.comments)
     };
-    // Deterministic filler; the value is irrelevant, the size models the
-    // real on-disk footprint used by the bundle-size statistics.
-    let text_bytes = vec![0xC3u8; spec.text_size.max(1)];
+    // Deterministic filler; the size models the real on-disk footprint used
+    // by the bundle-size statistics. The head carries the toolchain's code
+    // stamp so provenance matching has real bytes to work on.
+    let mut text_bytes = vec![0xC3u8; spec.text_size.max(1).max(spec.text_stamp.len())];
+    text_bytes[..spec.text_stamp.len()].copy_from_slice(&spec.text_stamp);
 
-    let interp_str = match spec.kind {
-        FileKind::Executable => Some(
-            spec.interp
-                .clone()
-                .unwrap_or_else(|| default_interp(class).to_string()),
-        ),
-        _ => spec.interp.clone(),
+    let interp_str = if spec.static_link {
+        None
+    } else {
+        match spec.kind {
+            FileKind::Executable => Some(
+                spec.interp
+                    .clone()
+                    .unwrap_or_else(|| default_interp(class).to_string()),
+            ),
+            _ => spec.interp.clone(),
+        }
     };
 
     // ---- dynamic section size (must be known before layout) ---------------
@@ -482,82 +520,84 @@ pub fn build(spec: &ElfSpec) -> Result<Vec<u8>> {
             align: 4,
         });
     }
-    plans.push(SectionPlan {
-        name: ".hash",
-        kind: SectionKind::Hash,
-        flags: SHF_ALLOC,
-        bytes: hash_bytes,
-        link_name: Some(".dynsym"),
-        info: 0,
-        entsize: 4,
-        align: class.word_size(),
-    });
-    plans.push(SectionPlan {
-        name: ".dynsym",
-        kind: SectionKind::DynSym,
-        flags: SHF_ALLOC,
-        bytes: dynsym_bytes,
-        link_name: Some(".dynstr"),
-        info: 1, // one local symbol (the null entry)
-        entsize: crate::symbols::sym_size(class) as u64,
-        align: class.word_size(),
-    });
-    plans.push(SectionPlan {
-        name: ".dynstr",
-        kind: SectionKind::StrTab,
-        flags: SHF_ALLOC,
-        bytes: dynstr_bytes,
-        link_name: None,
-        info: 0,
-        entsize: 0,
-        align: 1,
-    });
-    if has_versions {
+    if !spec.static_link {
         plans.push(SectionPlan {
-            name: ".gnu.version",
-            kind: SectionKind::GnuVerSym,
+            name: ".hash",
+            kind: SectionKind::Hash,
             flags: SHF_ALLOC,
-            bytes: versym_bytes,
+            bytes: hash_bytes,
             link_name: Some(".dynsym"),
             info: 0,
-            entsize: 2,
-            align: 2,
+            entsize: 4,
+            align: class.word_size(),
         });
-    }
-    if !verneeds.is_empty() {
         plans.push(SectionPlan {
-            name: ".gnu.version_r",
-            kind: SectionKind::GnuVerNeed,
+            name: ".dynsym",
+            kind: SectionKind::DynSym,
             flags: SHF_ALLOC,
-            bytes: verneed_bytes,
+            bytes: dynsym_bytes,
             link_name: Some(".dynstr"),
-            info: verneeds.len() as u32,
+            info: 1, // one local symbol (the null entry)
+            entsize: crate::symbols::sym_size(class) as u64,
+            align: class.word_size(),
+        });
+        plans.push(SectionPlan {
+            name: ".dynstr",
+            kind: SectionKind::StrTab,
+            flags: SHF_ALLOC,
+            bytes: dynstr_bytes,
+            link_name: None,
+            info: 0,
             entsize: 0,
+            align: 1,
+        });
+        if has_versions {
+            plans.push(SectionPlan {
+                name: ".gnu.version",
+                kind: SectionKind::GnuVerSym,
+                flags: SHF_ALLOC,
+                bytes: versym_bytes,
+                link_name: Some(".dynsym"),
+                info: 0,
+                entsize: 2,
+                align: 2,
+            });
+        }
+        if !verneeds.is_empty() {
+            plans.push(SectionPlan {
+                name: ".gnu.version_r",
+                kind: SectionKind::GnuVerNeed,
+                flags: SHF_ALLOC,
+                bytes: verneed_bytes,
+                link_name: Some(".dynstr"),
+                info: verneeds.len() as u32,
+                entsize: 0,
+                align: class.word_size(),
+            });
+        }
+        if !verdefs.is_empty() {
+            plans.push(SectionPlan {
+                name: ".gnu.version_d",
+                kind: SectionKind::GnuVerDef,
+                flags: SHF_ALLOC,
+                bytes: verdef_bytes,
+                link_name: Some(".dynstr"),
+                info: verdefs.len() as u32,
+                entsize: 0,
+                align: class.word_size(),
+            });
+        }
+        plans.push(SectionPlan {
+            name: ".dynamic",
+            kind: SectionKind::Dynamic,
+            flags: SHF_ALLOC | SHF_WRITE,
+            bytes: vec![0; dynamic_size], // patched after layout
+            link_name: Some(".dynstr"),
+            info: 0,
+            entsize: dyn_size(class) as u64,
             align: class.word_size(),
         });
     }
-    if !verdefs.is_empty() {
-        plans.push(SectionPlan {
-            name: ".gnu.version_d",
-            kind: SectionKind::GnuVerDef,
-            flags: SHF_ALLOC,
-            bytes: verdef_bytes,
-            link_name: Some(".dynstr"),
-            info: verdefs.len() as u32,
-            entsize: 0,
-            align: class.word_size(),
-        });
-    }
-    plans.push(SectionPlan {
-        name: ".dynamic",
-        kind: SectionKind::Dynamic,
-        flags: SHF_ALLOC | SHF_WRITE,
-        bytes: vec![0; dynamic_size], // patched after layout
-        link_name: Some(".dynstr"),
-        info: 0,
-        entsize: dyn_size(class) as u64,
-        align: class.word_size(),
-    });
     plans.push(SectionPlan {
         name: ".text",
         kind: SectionKind::ProgBits,
@@ -584,8 +624,11 @@ pub fn build(spec: &ElfSpec) -> Result<Vec<u8>> {
     // ---- layout -------------------------------------------------------------
     let base = base_vaddr(spec.kind, class);
     let ehdr_len = ehdr_size(class);
-    // PHDR, LOAD, DYNAMIC (+INTERP) (+NOTE)
-    let n_phdrs = 3 + usize::from(interp_str.is_some()) + usize::from(spec.abi_tag.is_some());
+    // PHDR, LOAD (+DYNAMIC) (+INTERP) (+NOTE)
+    let n_phdrs = 2
+        + usize::from(!spec.static_link)
+        + usize::from(interp_str.is_some())
+        + usize::from(spec.abi_tag.is_some());
     let phdr_len = n_phdrs * phent_size(class);
     let mut cursor = ehdr_len + phdr_len;
     let mut offsets: Vec<usize> = Vec::with_capacity(plans.len());
@@ -633,90 +676,97 @@ pub fn build(spec: &ElfSpec) -> Result<Vec<u8>> {
         )
     });
     let text_off = plan_off(".text");
-    let dynamic_off = plan_off(".dynamic");
-    let dynstr_len = plans[find_plan(&plans, ".dynstr")].bytes.len();
+    let dyn_meta = (!spec.static_link).then(|| {
+        (
+            plan_off(".dynamic"),
+            plans[find_plan(&plans, ".dynstr")].bytes.len(),
+        )
+    });
 
     // ---- dynamic section content (now that vaddrs are known) ---------------
-    let mut dents: Vec<DynEntry> = Vec::new();
-    for off in &needed_offs {
+    let mut dyn_len = 0usize;
+    if let Some((_, dynstr_len)) = dyn_meta {
+        let mut dents: Vec<DynEntry> = Vec::new();
+        for off in &needed_offs {
+            dents.push(DynEntry {
+                tag: Tag::Needed,
+                value: *off as u64,
+            });
+        }
+        if let Some(off) = soname_off {
+            dents.push(DynEntry {
+                tag: Tag::SoName,
+                value: off as u64,
+            });
+        }
+        if let Some(off) = rpath_off {
+            dents.push(DynEntry {
+                tag: Tag::RPath,
+                value: off as u64,
+            });
+        }
+        if let Some(off) = runpath_off {
+            dents.push(DynEntry {
+                tag: Tag::RunPath,
+                value: off as u64,
+            });
+        }
         dents.push(DynEntry {
-            tag: Tag::Needed,
-            value: *off as u64,
+            tag: Tag::Hash,
+            value: plan_vaddr(".hash"),
         });
+        dents.push(DynEntry {
+            tag: Tag::StrTab,
+            value: plan_vaddr(".dynstr"),
+        });
+        dents.push(DynEntry {
+            tag: Tag::SymTab,
+            value: plan_vaddr(".dynsym"),
+        });
+        dents.push(DynEntry {
+            tag: Tag::StrSz,
+            value: dynstr_len as u64,
+        });
+        dents.push(DynEntry {
+            tag: Tag::SymEnt,
+            value: crate::symbols::sym_size(class) as u64,
+        });
+        if has_versions {
+            dents.push(DynEntry {
+                tag: Tag::VerSym,
+                value: plan_vaddr(".gnu.version"),
+            });
+        }
+        if !verneeds.is_empty() {
+            dents.push(DynEntry {
+                tag: Tag::VerNeed,
+                value: plan_vaddr(".gnu.version_r"),
+            });
+            dents.push(DynEntry {
+                tag: Tag::VerNeedNum,
+                value: verneeds.len() as u64,
+            });
+        }
+        if !verdefs.is_empty() {
+            dents.push(DynEntry {
+                tag: Tag::VerDef,
+                value: plan_vaddr(".gnu.version_d"),
+            });
+            dents.push(DynEntry {
+                tag: Tag::VerDefNum,
+                value: verdefs.len() as u64,
+            });
+        }
+        let dyn_bytes = dynamic::encode_entries(&dents, class, e);
+        debug_assert_eq!(
+            dyn_bytes.len(),
+            dynamic_size,
+            "dynamic size precomputation mismatch"
+        );
+        let dyn_plan = find_plan(&plans, ".dynamic");
+        dyn_len = dyn_bytes.len();
+        plans[dyn_plan].bytes = dyn_bytes;
     }
-    if let Some(off) = soname_off {
-        dents.push(DynEntry {
-            tag: Tag::SoName,
-            value: off as u64,
-        });
-    }
-    if let Some(off) = rpath_off {
-        dents.push(DynEntry {
-            tag: Tag::RPath,
-            value: off as u64,
-        });
-    }
-    if let Some(off) = runpath_off {
-        dents.push(DynEntry {
-            tag: Tag::RunPath,
-            value: off as u64,
-        });
-    }
-    dents.push(DynEntry {
-        tag: Tag::Hash,
-        value: plan_vaddr(".hash"),
-    });
-    dents.push(DynEntry {
-        tag: Tag::StrTab,
-        value: plan_vaddr(".dynstr"),
-    });
-    dents.push(DynEntry {
-        tag: Tag::SymTab,
-        value: plan_vaddr(".dynsym"),
-    });
-    dents.push(DynEntry {
-        tag: Tag::StrSz,
-        value: dynstr_len as u64,
-    });
-    dents.push(DynEntry {
-        tag: Tag::SymEnt,
-        value: crate::symbols::sym_size(class) as u64,
-    });
-    if has_versions {
-        dents.push(DynEntry {
-            tag: Tag::VerSym,
-            value: plan_vaddr(".gnu.version"),
-        });
-    }
-    if !verneeds.is_empty() {
-        dents.push(DynEntry {
-            tag: Tag::VerNeed,
-            value: plan_vaddr(".gnu.version_r"),
-        });
-        dents.push(DynEntry {
-            tag: Tag::VerNeedNum,
-            value: verneeds.len() as u64,
-        });
-    }
-    if !verdefs.is_empty() {
-        dents.push(DynEntry {
-            tag: Tag::VerDef,
-            value: plan_vaddr(".gnu.version_d"),
-        });
-        dents.push(DynEntry {
-            tag: Tag::VerDefNum,
-            value: verdefs.len() as u64,
-        });
-    }
-    let dyn_bytes = dynamic::encode_entries(&dents, class, e);
-    debug_assert_eq!(
-        dyn_bytes.len(),
-        dynamic_size,
-        "dynamic size precomputation mismatch"
-    );
-    let dyn_plan = find_plan(&plans, ".dynamic");
-    let dyn_len = dyn_bytes.len();
-    plans[dyn_plan].bytes = dyn_bytes;
 
     // ---- emit ---------------------------------------------------------------
     let entry = base + text_off as u64;
@@ -796,18 +846,20 @@ pub fn build(spec: &ElfSpec) -> Result<Vec<u8>> {
             memsz: load_end as u64,
             align: 0x1000,
         });
-        let doff = dynamic_off as u64;
-        let dsz = dyn_len as u64;
-        v.push(ProgramHeader {
-            kind: SegmentKind::Dynamic,
-            flags: pflags::R | pflags::W,
-            offset: doff,
-            vaddr: base + doff,
-            paddr: base + doff,
-            filesz: dsz,
-            memsz: dsz,
-            align: class.word_size() as u64,
-        });
+        if let Some((dynamic_off, _)) = dyn_meta {
+            let doff = dynamic_off as u64;
+            let dsz = dyn_len as u64;
+            v.push(ProgramHeader {
+                kind: SegmentKind::Dynamic,
+                flags: pflags::R | pflags::W,
+                offset: doff,
+                vaddr: base + doff,
+                paddr: base + doff,
+                filesz: dsz,
+                memsz: dsz,
+                align: class.word_size() as u64,
+            });
+        }
         v
     };
     for p in &phdrs {
@@ -874,6 +926,31 @@ pub fn build(spec: &ElfSpec) -> Result<Vec<u8>> {
     out.extend(shstr_sh.to_bytes(class, e));
     debug_assert_eq!(out.len(), total);
     Ok(out)
+}
+
+/// What `strip` leaves behind for the loader: zero the section-header
+/// references in the ELF header (`e_shoff`, `e_shnum`, `e_shstrndx`) so
+/// only the program-header (segment) route remains. Section-route-only
+/// evidence — `.comment` provenance above all — becomes unreachable,
+/// while `DT_NEEDED`, dynamic symbols and version tables survive through
+/// `PT_DYNAMIC`. Class- and endian-aware; fails on non-ELF input.
+pub fn strip_section_headers(bytes: &mut [u8]) -> Result<()> {
+    let ident = Ident::parse(bytes)?;
+    let e = ident.endian;
+    match ident.class {
+        // e_shoff / e_shnum / e_shstrndx field offsets per class.
+        Class::Elf64 => {
+            e.set_u64(bytes, 40, 0);
+            e.set_u16(bytes, 60, 0);
+            e.set_u16(bytes, 62, 0);
+        }
+        Class::Elf32 => {
+            e.set_u32(bytes, 32, 0);
+            e.set_u16(bytes, 48, 0);
+            e.set_u16(bytes, 50, 0);
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -1076,5 +1153,84 @@ mod tests {
         assert!(f.needed().is_empty());
         assert!(f.version_refs().is_empty());
         assert!(f.required_glibc().is_none());
+    }
+
+    #[test]
+    fn static_link_omits_interp_and_dynamic_machinery() {
+        let mut spec = ElfSpec::executable(Machine::X86_64, Class::Elf64);
+        spec.static_link = true;
+        spec.comments = vec!["GCC: (GNU) 4.4.5".into()];
+        let bytes = spec.build().unwrap();
+        let f = ElfFile::parse(&bytes).unwrap();
+        assert!(!f.is_dynamic());
+        assert_eq!(f.interp(), None);
+        assert!(f.needed().is_empty());
+        assert!(f.dynamic_symbols().is_empty());
+        assert!(f
+            .sections()
+            .iter()
+            .all(|(n, _)| n != ".dynamic" && n != ".dynsym" && n != ".interp"));
+        assert!(f
+            .programs()
+            .iter()
+            .all(|p| p.kind != SegmentKind::Dynamic && p.kind != SegmentKind::Interp));
+        // `.comment` is a plain section and survives static linking.
+        assert_eq!(f.comments(), spec.comments.as_slice());
+    }
+
+    #[test]
+    fn static_link_rejects_dynamic_fields() {
+        let mut spec = ElfSpec::executable(Machine::X86_64, Class::Elf64);
+        spec.static_link = true;
+        spec.needed = vec!["libc.so.6".into()];
+        assert!(matches!(spec.build(), Err(Error::InvalidSpec(_))));
+    }
+
+    #[test]
+    fn text_stamp_lands_at_the_entry_point() {
+        let stamp = vec![0xAB; 24];
+        for static_link in [false, true] {
+            let mut spec = ElfSpec::executable(Machine::X86_64, Class::Elf64);
+            spec.static_link = static_link;
+            if !static_link {
+                spec.needed = vec!["libc.so.6".into()];
+            }
+            spec.text_stamp = stamp.clone();
+            spec.text_size = 128;
+            let bytes = spec.build().unwrap();
+            let f = ElfFile::parse(&bytes).unwrap();
+            let code = f.code_bytes().expect("code bytes");
+            assert_eq!(&code[..24], stamp.as_slice());
+        }
+    }
+
+    #[test]
+    fn strip_section_headers_keeps_segment_route_loses_comments() {
+        let spec = mpi_app_spec();
+        let mut bytes = spec.build().unwrap();
+        strip_section_headers(&mut bytes).unwrap();
+        let f = ElfFile::parse(&bytes).unwrap();
+        assert!(f.sections().is_empty());
+        assert!(f.comments().is_empty());
+        assert_eq!(f.needed(), spec.needed.as_slice());
+        assert_eq!(f.required_glibc().unwrap().render(), "GLIBC_2.7");
+        // Entry-point mapping still exposes the code bytes.
+        assert!(f.code_bytes().is_some());
+    }
+
+    #[test]
+    fn strip_section_headers_is_class_and_endian_aware() {
+        let mut spec = ElfSpec::executable(Machine::Ppc, Class::Elf32);
+        spec.endian = Endian::Big;
+        spec.needed = vec!["libc.so.6".into()];
+        spec.comments = vec!["GCC: (GNU) 4.1.2".into()];
+        let mut bytes = spec.build().unwrap();
+        strip_section_headers(&mut bytes).unwrap();
+        let f = ElfFile::parse(&bytes).unwrap();
+        assert!(f.sections().is_empty());
+        assert!(f.comments().is_empty());
+        assert_eq!(f.needed(), &["libc.so.6".to_string()]);
+        let mut junk = vec![0u8; 16];
+        assert!(strip_section_headers(&mut junk).is_err());
     }
 }

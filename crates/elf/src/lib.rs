@@ -52,13 +52,13 @@ pub mod strtab;
 pub mod symbols;
 pub mod versions;
 
-pub use builder::{DefinedVersion, ElfSpec, ExportSpec, ImportSpec};
+pub use builder::{strip_section_headers, DefinedVersion, ElfSpec, ExportSpec, ImportSpec};
 pub use endian::Endian;
 pub use error::{Error, Result};
 pub use header::FileKind;
 pub use ident::Class;
 pub use machine::{HostArch, Machine};
 pub use notes::{AbiTag, AbiTagOs};
-pub use reader::ElfFile;
+pub use reader::{ElfFile, EvidenceSurvey};
 pub use soname::Soname;
 pub use versions::{VersionDef, VersionName, VersionRef, VersionRefEntry};

@@ -22,6 +22,36 @@ use crate::versions::{
     self, newest_with_prefix, VersionDef, VersionName, VersionRef, VER_NDX_GLOBAL, VER_NDX_LOCAL,
 };
 
+/// Which evidence tables an image actually carries.
+///
+/// Absence of a table is a *finding*, not a parse failure: a stripped
+/// binary legitimately has no section headers (and therefore no reachable
+/// `.comment` or `.symtab`), a static binary legitimately has no dynamic
+/// section. Downstream components use this survey to pick an evidence
+/// tier instead of treating the gap as an error.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct EvidenceSurvey {
+    /// Section header table present (the `objdump`/`readelf` route).
+    pub has_section_headers: bool,
+    /// Any symbol table reachable (`.symtab` section or dynamic symbols
+    /// recovered through either route).
+    pub has_symtab: bool,
+    /// `.comment` provenance strings reachable.
+    pub has_comment: bool,
+    /// Dynamic section present (dynamically linked).
+    pub has_dynamic: bool,
+    /// GNU version references (`.gnu.version_r`) present.
+    pub has_verneed: bool,
+}
+
+impl EvidenceSurvey {
+    /// True when the direct provenance channels (`.comment`, version
+    /// references) are all absent and a fallback tier is required.
+    pub fn needs_fallback(&self) -> bool {
+        !self.has_comment || !self.has_dynamic
+    }
+}
+
 /// A fully parsed ELF image.
 #[derive(Debug, Clone)]
 pub struct ElfFile<'d> {
@@ -386,6 +416,46 @@ impl<'d> ElfFile<'d> {
     pub fn size(&self) -> usize {
         self.data.len()
     }
+
+    /// Survey which evidence tables this image carries. Gaps are reported
+    /// as structured absence, never as parse errors.
+    pub fn evidence(&self) -> EvidenceSurvey {
+        EvidenceSurvey {
+            has_section_headers: !self.sections.is_empty(),
+            has_symtab: !self.dynamic_symbols.is_empty() || self.section(".symtab").is_some(),
+            has_comment: !self.comments.is_empty(),
+            has_dynamic: self.is_dynamic(),
+            has_verneed: !self.version_refs.is_empty(),
+        }
+    }
+
+    /// The executable code bytes: `.text` when section headers survive,
+    /// otherwise the loadable bytes from the entry point to the end of its
+    /// `PT_LOAD` segment — the window a signature matcher scans on a
+    /// stripped binary.
+    pub fn code_bytes(&self) -> Option<&'d [u8]> {
+        if let Some(b) = self.section_bytes(".text") {
+            return Some(b);
+        }
+        let entry = self.header.entry;
+        if entry == 0 {
+            return None;
+        }
+        for p in &self.programs {
+            if p.kind != SegmentKind::Load {
+                continue;
+            }
+            let Some(end) = p.vaddr.checked_add(p.filesz) else {
+                continue;
+            };
+            if entry >= p.vaddr && entry < end {
+                let off = p.offset.checked_add(entry - p.vaddr)? as usize;
+                let seg_end = p.offset.checked_add(p.filesz)? as usize;
+                return self.data.get(off..seg_end.min(self.data.len()));
+            }
+        }
+        None
+    }
 }
 
 fn read_path(data: &[u8], off: usize, len: usize) -> Result<String> {
@@ -403,6 +473,28 @@ mod tests {
     fn parse_rejects_garbage() {
         assert!(ElfFile::parse(&[0u8; 100]).is_err());
         assert!(ElfFile::parse(b"\x7fELF").is_err());
+    }
+
+    #[test]
+    fn evidence_survey_reports_structured_absence() {
+        use crate::builder::{strip_section_headers, ElfSpec};
+        let mut spec = ElfSpec::executable(Machine::X86_64, Class::Elf64);
+        spec.needed = vec!["libc.so.6".into()];
+        spec.comments = vec!["GCC: (GNU) 4.1.2".into()];
+        let mut bytes = spec.build().unwrap();
+        {
+            let f = ElfFile::parse(&bytes).unwrap();
+            let ev = f.evidence();
+            assert!(ev.has_section_headers && ev.has_comment && ev.has_dynamic);
+            assert!(!ev.needs_fallback());
+        }
+        strip_section_headers(&mut bytes).unwrap();
+        // Stripping is not a parse error: the gaps surface in the survey.
+        let f = ElfFile::parse(&bytes).unwrap();
+        let ev = f.evidence();
+        assert!(!ev.has_section_headers && !ev.has_comment);
+        assert!(ev.has_dynamic && ev.has_symtab);
+        assert!(ev.needs_fallback());
     }
 
     // Full reader coverage lives in the builder round-trip tests

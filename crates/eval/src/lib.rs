@@ -21,6 +21,7 @@ pub mod fleet_bench;
 pub mod mode_ablation;
 pub mod obs_bench;
 pub mod plan;
+pub mod provenance_bench;
 pub mod recompile;
 pub mod serve;
 pub mod tables;
@@ -33,6 +34,9 @@ pub use fleet_bench::{fleet_bench, render_fleet, FleetBenchParams, FleetBenchRep
 pub use mode_ablation::{mode_ablation, render_mode_ablation, ModeRow};
 pub use obs_bench::{obs_bench, render_obs_bench, ObsBenchReport, ObsConfigReport};
 pub use plan::{build_plan_service, plan_bench, render_plan, PlanBenchParams, PlanBenchReport};
+pub use provenance_bench::{
+    provenance_bench, render_provenance, ProvenanceBenchReport, MIN_FAMILY_ACCURACY,
+};
 pub use recompile::{recompile_comparison, render_recompile, RecompileComparison};
 pub use serve::{build_service, build_service_with, render_serve, serve_bench};
 pub use tables::{

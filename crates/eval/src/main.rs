@@ -11,6 +11,7 @@
 //!           [--max-overhead F]
 //! feam-eval --fleet-bench [--quick] [--seed N] [--json PATH]
 //!           [--min-availability F] [--max-p99-inflation R]
+//! feam-eval --provenance-bench [--quick] [--seed N] [--json PATH]
 //! feam-eval --conform [--universes N] [--seed S] [--quick]
 //!           [--universe-seed X] [--json PATH]
 //! ```
@@ -49,6 +50,7 @@ struct Args {
     plan_bench: bool,
     obs_bench: bool,
     fleet_bench: bool,
+    provenance_bench: bool,
     conform: bool,
     universes: usize,
     universe_seed: Option<u64>,
@@ -79,6 +81,7 @@ fn parse_args() -> Args {
         plan_bench: false,
         obs_bench: false,
         fleet_bench: false,
+        provenance_bench: false,
         conform: false,
         universes: 100,
         universe_seed: None,
@@ -131,6 +134,7 @@ fn parse_args() -> Args {
             "--plan-bench" => args.plan_bench = true,
             "--obs-bench" => args.obs_bench = true,
             "--fleet-bench" => args.fleet_bench = true,
+            "--provenance-bench" => args.provenance_bench = true,
             "--conform" => args.conform = true,
             "--universes" => {
                 args.universes = iter
@@ -215,6 +219,7 @@ fn parse_args() -> Args {
                      [--max-overhead F]\n\
                      feam-eval --fleet-bench [--quick] [--seed N] [--json PATH] \
                      [--min-availability F] [--max-p99-inflation R]\n\
+                     feam-eval --provenance-bench [--quick] [--seed N] [--json PATH]\n\
                      feam-eval --conform [--universes N] [--seed S] [--quick] \
                      [--universe-seed X] [--json PATH]"
                 );
@@ -234,6 +239,7 @@ fn parse_args() -> Args {
         && !args.plan_bench
         && !args.obs_bench
         && !args.fleet_bench
+        && !args.provenance_bench
         && !args.conform
         && args.chaos.is_none()
     {
@@ -485,10 +491,46 @@ fn plan_bench_main(args: &Args) -> ! {
     std::process::exit(if failed { 1 } else { 0 });
 }
 
+/// `--provenance-bench`: grade the fallback evidence tier on the hostile
+/// corpus. Gates on compiler-family accuracy and zero confidence
+/// inversions. Exits the process.
+fn provenance_bench_main(args: &Args) -> ! {
+    eprintln!(
+        "provenance benchmark (seed {}, {}) ...",
+        args.seed,
+        if args.quick { "quick" } else { "standard" }
+    );
+    let report = feam_eval::provenance_bench(args.seed, args.quick);
+    print!("{}", feam_eval::render_provenance(&report));
+    if let Some(path) = &args.json {
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&serde_json::to_value(&report).expect("serialize"))
+                .expect("serialize"),
+        )
+        .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        eprintln!("wrote {path}");
+    }
+    if !report.pass {
+        eprintln!(
+            "FAIL: family accuracy {:.3} (floor {:.3}), {} claim-level and {} \
+             prediction-level confidence inversions",
+            report.family_accuracy,
+            report.min_family_accuracy,
+            report.claim_inversions,
+            report.prediction_inversions
+        );
+    }
+    std::process::exit(if report.pass { 0 } else { 1 });
+}
+
 fn main() {
     let args = parse_args();
     if args.serve_bench {
         serve_bench_main(&args);
+    }
+    if args.provenance_bench {
+        provenance_bench_main(&args);
     }
     if args.plan_bench {
         plan_bench_main(&args);

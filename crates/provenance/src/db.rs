@@ -1,0 +1,174 @@
+//! The seeded, versioned signature database.
+//!
+//! Entries are enumerated from the workspace's shared toolchain vocabulary
+//! ([`feam_sim::vocab`]) through the same stamp physics the simulated
+//! toolchain writes into `.text` ([`feam_sim::stamp`]). The database
+//! therefore contains byte signatures for exactly the compiler versions in
+//! circulation across the testbed era; a version outside it degrades to a
+//! family-idiom match by construction.
+
+use feam_sim::mpi::MpiImpl;
+use feam_sim::stamp;
+use feam_sim::toolchain::CompilerFamily;
+use feam_sim::vocab;
+use std::sync::OnceLock;
+
+/// Bump when signature layout or the seeding vocabulary changes shape.
+pub const DB_VERSION: u32 = 1;
+
+/// Byte signature of one compiler version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompilerSignature {
+    pub family: CompilerFamily,
+    pub version: String,
+    /// The 8 idiom bytes shared by every version of the family.
+    pub idiom: [u8; 8],
+    /// The 8 bytes distinguishing this exact version.
+    pub version_bytes: [u8; 8],
+}
+
+/// Fingerprints of one MPI implementation's runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MpiSignature {
+    pub implementation: MpiImpl,
+    /// The 8 code bytes the runtime's init thunk leaves in `.text`.
+    pub code_bytes: [u8; 8],
+    /// The runtime identity symbol dynamic binaries import.
+    pub rt_symbol: &'static str,
+}
+
+/// The full database: compiler signatures + MPI runtime fingerprints.
+#[derive(Debug, Clone)]
+pub struct SignatureDb {
+    pub version: u32,
+    compilers: Vec<CompilerSignature>,
+    mpi: Vec<MpiSignature>,
+}
+
+impl SignatureDb {
+    /// The builtin database, seeded from the shared vocabulary.
+    pub fn builtin() -> Self {
+        let compilers = vocab::known_compilers()
+            .into_iter()
+            .map(|c| CompilerSignature {
+                idiom: stamp::family_idiom(c.family),
+                version_bytes: stamp::version_bytes(&c),
+                family: c.family,
+                version: c.version,
+            })
+            .collect();
+        let mpi = [MpiImpl::OpenMpi, MpiImpl::Mpich2, MpiImpl::Mvapich2]
+            .into_iter()
+            .map(|m| MpiSignature {
+                implementation: m,
+                code_bytes: stamp::mpi_runtime_bytes(m),
+                rt_symbol: m.rt_marker(),
+            })
+            .collect();
+        SignatureDb {
+            version: DB_VERSION,
+            compilers,
+            mpi,
+        }
+    }
+
+    /// Process-wide shared builtin database.
+    pub fn shared() -> &'static SignatureDb {
+        static DB: OnceLock<SignatureDb> = OnceLock::new();
+        DB.get_or_init(SignatureDb::builtin)
+    }
+
+    /// All compiler signatures.
+    pub fn compilers(&self) -> &[CompilerSignature] {
+        &self.compilers
+    }
+
+    /// All MPI runtime fingerprints.
+    pub fn mpi(&self) -> &[MpiSignature] {
+        &self.mpi
+    }
+
+    /// The family whose idiom lane matches `bytes`, if any.
+    pub fn family_for_idiom(&self, bytes: &[u8]) -> Option<CompilerFamily> {
+        self.compilers
+            .iter()
+            .find(|s| s.idiom.as_slice() == bytes)
+            .map(|s| s.family)
+    }
+
+    /// The exact version whose version lane matches `bytes` within `family`.
+    pub fn version_for_bytes(&self, family: CompilerFamily, bytes: &[u8]) -> Option<&str> {
+        self.compilers
+            .iter()
+            .find(|s| s.family == family && s.version_bytes.as_slice() == bytes)
+            .map(|s| s.version.as_str())
+    }
+
+    /// The MPI implementation whose code fingerprint matches `bytes`.
+    pub fn mpi_for_bytes(&self, bytes: &[u8]) -> Option<MpiImpl> {
+        self.mpi
+            .iter()
+            .find(|s| s.code_bytes.as_slice() == bytes)
+            .map(|s| s.implementation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_covers_the_entire_shared_vocabulary() {
+        let db = SignatureDb::builtin();
+        assert_eq!(db.version, DB_VERSION);
+        assert_eq!(db.compilers().len(), vocab::KNOWN_COMPILERS.len());
+        for (family, version) in vocab::KNOWN_COMPILERS {
+            assert!(
+                db.compilers()
+                    .iter()
+                    .any(|s| s.family == *family && s.version == *version),
+                "{family:?} {version} missing"
+            );
+        }
+        assert_eq!(db.mpi().len(), 3);
+    }
+
+    #[test]
+    fn signatures_are_pairwise_distinct() {
+        let db = SignatureDb::builtin();
+        for (i, a) in db.compilers().iter().enumerate() {
+            for b in &db.compilers()[i + 1..] {
+                assert_ne!(a.version_bytes, b.version_bytes, "{a:?} vs {b:?}");
+                if a.family != b.family {
+                    assert_ne!(a.idiom, b.idiom);
+                } else {
+                    assert_eq!(a.idiom, b.idiom, "idiom is a family property");
+                }
+            }
+        }
+        for (i, a) in db.mpi().iter().enumerate() {
+            for b in &db.mpi()[i + 1..] {
+                assert_ne!(a.code_bytes, b.code_bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn lookups_round_trip_through_the_stamp_physics() {
+        let db = SignatureDb::shared();
+        let c = feam_sim::toolchain::Compiler::new(CompilerFamily::Intel, "11.1");
+        assert_eq!(
+            db.family_for_idiom(&stamp::family_idiom(CompilerFamily::Intel)),
+            Some(CompilerFamily::Intel)
+        );
+        assert_eq!(
+            db.version_for_bytes(CompilerFamily::Intel, &stamp::version_bytes(&c)),
+            Some("11.1")
+        );
+        assert_eq!(
+            db.mpi_for_bytes(&stamp::mpi_runtime_bytes(MpiImpl::Mpich2)),
+            Some(MpiImpl::Mpich2)
+        );
+        assert_eq!(db.family_for_idiom(&[0u8; 8]), None);
+    }
+}

@@ -1,0 +1,253 @@
+//! The three-tier provenance matcher.
+//!
+//! Tier order mirrors evidence strength:
+//!
+//! 1. **Version signature** — the code bytes at the entry point match a
+//!    database entry's family idiom *and* version bytes (confidence 0.9).
+//! 2. **Family idiom** — only the family idiom matches: a release of a
+//!    known family that is absent from the database (confidence 0.7).
+//! 3. **Symbol shape** — no code-signature match at all; runtime-library
+//!    function names and sonames vote for a family (confidence 0.5).
+//!
+//! Runtime-library claims (which language runtimes the binary drags in)
+//! and MPI-stack claims are collected alongside on the same calibration.
+
+use crate::db::SignatureDb;
+use crate::report::{CompilerClaim, EvidenceTier, MpiClaim, ProvenanceReport, RuntimeClaim};
+use feam_elf::ElfFile;
+use feam_sim::toolchain::CompilerFamily;
+
+/// Scan `elf` against the shared builtin database.
+pub fn analyze(elf: &ElfFile) -> ProvenanceReport {
+    SignatureDb::shared().analyze(elf)
+}
+
+/// Function-name prefixes and sonames that betray a compiler family even
+/// when every code signature fails. Sonames are matched by prefix so
+/// versioned names (`libgfortran.so.3`) hit.
+const FAMILY_SHAPES: &[(CompilerFamily, &[&str])] = &[
+    (
+        CompilerFamily::Gnu,
+        &["_gfortran_", "__gnu_rt_", "libgfortran", "libgcc_s"],
+    ),
+    (
+        CompilerFamily::Intel,
+        &["for_", "__intel_rt_", "libifcore", "libimf"],
+    ),
+    (
+        CompilerFamily::Pgi,
+        &["pgf90_", "__c_m", "__pgi_rt_", "libpgc", "libpgf90"],
+    ),
+];
+
+/// Runtime libraries worth reporting, with the runtime they imply.
+const RUNTIME_SHAPES: &[(&str, &str)] = &[
+    ("libgfortran", "gfortran runtime"),
+    ("libstdc++", "gnu c++ runtime"),
+    ("libgcc_s", "gcc support runtime"),
+    ("libifcore", "intel fortran runtime"),
+    ("libimf", "intel math runtime"),
+    ("libpgf90", "pgi fortran runtime"),
+    ("libpgc", "pgi c runtime"),
+];
+
+impl SignatureDb {
+    /// Scan one parsed image and emit a calibrated report.
+    pub fn analyze(&self, elf: &ElfFile) -> ProvenanceReport {
+        let mut report = ProvenanceReport::empty(self.version);
+        let code = elf.code_bytes().unwrap_or(&[]);
+
+        // ---- tier 1/2: code signatures at the entry point ------------------
+        if code.len() >= 16 {
+            if let Some(family) = self.family_for_idiom(&code[0..8]) {
+                report.compiler = Some(match self.version_for_bytes(family, &code[8..16]) {
+                    Some(v) => CompilerClaim::new(family, Some(v), EvidenceTier::VersionSignature),
+                    None => CompilerClaim::new(family, None, EvidenceTier::FamilyIdiom),
+                });
+            }
+        }
+        if code.len() >= 24 {
+            if let Some(m) = self.mpi_for_bytes(&code[16..24]) {
+                // The code lane names the implementation but not its
+                // version — calibrate at the family tier.
+                report.mpi_stack = Some(MpiClaim::new(m, EvidenceTier::FamilyIdiom));
+            }
+        }
+
+        // ---- observed names: dynamic symbols + DT_NEEDED -------------------
+        let names: Vec<&str> = elf
+            .dynamic_symbols()
+            .iter()
+            .map(|s| s.name.as_str())
+            .chain(elf.needed().iter().map(|n| n.as_str()))
+            .filter(|n| !n.is_empty())
+            .collect();
+
+        // ---- tier 3: symbol-shape family vote (gap-filling only) -----------
+        if report.compiler.is_none() {
+            let mut best: Option<(CompilerFamily, usize)> = None;
+            for (family, shapes) in FAMILY_SHAPES {
+                let hits = names
+                    .iter()
+                    .filter(|n| shapes.iter().any(|s| n.starts_with(s)))
+                    .count();
+                if hits > 0 && best.map(|(_, h)| hits > h).unwrap_or(true) {
+                    best = Some((*family, hits));
+                }
+            }
+            if let Some((family, _)) = best {
+                report.compiler = Some(CompilerClaim::new(family, None, EvidenceTier::SymbolShape));
+            }
+        }
+        if report.mpi_stack.is_none() {
+            for sig in self.mpi() {
+                if names.contains(&sig.rt_symbol) {
+                    report.mpi_stack =
+                        Some(MpiClaim::new(sig.implementation, EvidenceTier::SymbolShape));
+                    break;
+                }
+            }
+        }
+
+        // ---- runtime-library claims ---------------------------------------
+        for (prefix, runtime) in RUNTIME_SHAPES {
+            if let Some(n) = names.iter().find(|n| n.starts_with(prefix)) {
+                report.runtime.push(RuntimeClaim {
+                    runtime: (*runtime).to_string(),
+                    evidence: (*n).to_string(),
+                    confidence: EvidenceTier::SymbolShape.confidence(),
+                });
+            }
+        }
+
+        report.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feam_elf::{Class, ElfSpec, HostArch, ImportSpec, Machine};
+    use feam_sim::compile::{compile_variant, BinaryVariant, ProgramSpec};
+    use feam_sim::mpi::{MpiImpl, MpiStack, Network};
+    use feam_sim::site::{OsInfo, Site, SiteConfig};
+    use feam_sim::stamp;
+    use feam_sim::toolchain::{Compiler, Language};
+
+    fn build_site(family: CompilerFamily, version: &str, mpi: MpiImpl) -> Site {
+        let mut cfg = SiteConfig::new(
+            "fingerprint-site",
+            HostArch::X86_64,
+            OsInfo::new("CentOS", "5.6", "2.6.18-238.el5"),
+            "2.5",
+            17,
+        );
+        let compiler = Compiler::new(family, version);
+        cfg.compilers = vec![
+            compiler.clone(),
+            Compiler::new(CompilerFamily::Gnu, "4.1.2"),
+        ];
+        cfg.stacks = vec![(
+            MpiStack::new(mpi, mpi.known_versions()[0], compiler, Network::Ethernet),
+            true,
+        )];
+        Site::build(cfg)
+    }
+
+    #[test]
+    fn stripped_binary_yields_exact_version_claim() {
+        let site = build_site(CompilerFamily::Intel, "11.1", MpiImpl::Mvapich2);
+        let ist = site.stacks[0].clone();
+        let prog = ProgramSpec::new("milc", Language::C);
+        let bin = compile_variant(&site, Some(&ist), &prog, 5, BinaryVariant::Stripped).unwrap();
+        let f = ElfFile::parse(&bin.image).unwrap();
+        assert!(f.comments().is_empty(), "strip removed direct evidence");
+        let r = analyze(&f);
+        let c = r.compiler.unwrap();
+        assert_eq!(c.family, CompilerFamily::Intel);
+        assert_eq!(c.version.as_deref(), Some("11.1"));
+        assert_eq!(c.tier, EvidenceTier::VersionSignature);
+        assert_eq!(c.confidence, 0.9);
+        assert_eq!(r.mpi_stack.unwrap().implementation, MpiImpl::Mvapich2);
+        assert!(r.confidence < 1.0);
+    }
+
+    #[test]
+    fn static_binary_recovers_mpi_from_code_alone() {
+        let site = build_site(CompilerFamily::Gnu, "4.4.5", MpiImpl::Mpich2);
+        let ist = site.stacks[0].clone();
+        let prog = ProgramSpec::new("pop2", Language::Fortran);
+        let bin = compile_variant(&site, Some(&ist), &prog, 8, BinaryVariant::Static).unwrap();
+        let f = ElfFile::parse(&bin.image).unwrap();
+        assert!(f.needed().is_empty(), "no link footprint to read");
+        let r = analyze(&f);
+        assert_eq!(r.compiler.unwrap().version.as_deref(), Some("4.4.5"));
+        let m = r.mpi_stack.unwrap();
+        assert_eq!(m.implementation, MpiImpl::Mpich2);
+        assert_eq!(m.confidence, 0.7);
+    }
+
+    #[test]
+    fn unknown_version_of_known_family_degrades_to_family_idiom() {
+        // gcc 9.9 is outside the era vocabulary: idiom matches, version
+        // bytes don't.
+        let ghost = Compiler::new(CompilerFamily::Gnu, "9.9");
+        let mut spec = ElfSpec::executable(Machine::X86_64, Class::Elf64);
+        spec.text_stamp = stamp::text_stamp(&ghost, None);
+        spec.needed = vec!["libc.so.6".into()];
+        let bytes = spec.build().unwrap();
+        let r = analyze(&ElfFile::parse(&bytes).unwrap());
+        let c = r.compiler.unwrap();
+        assert_eq!(c.family, CompilerFamily::Gnu);
+        assert_eq!(c.version, None);
+        assert_eq!(c.tier, EvidenceTier::FamilyIdiom);
+        assert_eq!(c.confidence, 0.7);
+    }
+
+    #[test]
+    fn stampless_binary_falls_back_to_symbol_shapes() {
+        let mut spec = ElfSpec::executable(Machine::X86_64, Class::Elf64);
+        spec.needed = vec!["libifcore.so.5".into(), "libc.so.6".into()];
+        spec.imports = vec![
+            ImportSpec::plain("for_write_seq_lis", "libifcore.so.5"),
+            ImportSpec::plain("mvapich2_rt_ident", "libmpich.so.1.2"),
+        ];
+        let bytes = spec.build().unwrap();
+        let r = analyze(&ElfFile::parse(&bytes).unwrap());
+        let c = r.compiler.unwrap();
+        assert_eq!(c.family, CompilerFamily::Intel);
+        assert_eq!(c.tier, EvidenceTier::SymbolShape);
+        assert_eq!(c.confidence, 0.5);
+        assert_eq!(r.mpi_stack.unwrap().implementation, MpiImpl::Mvapich2);
+        assert!(r
+            .runtime
+            .iter()
+            .any(|rt| rt.runtime == "intel fortran runtime"));
+    }
+
+    #[test]
+    fn evidence_free_binary_yields_empty_report() {
+        let mut spec = ElfSpec::executable(Machine::X86_64, Class::Elf64);
+        spec.static_link = true;
+        let bytes = spec.build().unwrap();
+        let r = analyze(&ElfFile::parse(&bytes).unwrap());
+        assert!(r.is_empty());
+        assert_eq!(r.confidence, 0.0);
+    }
+
+    #[test]
+    fn every_variant_of_every_family_stays_below_direct_evidence() {
+        for (family, version) in feam_sim::vocab::KNOWN_COMPILERS {
+            let site = build_site(*family, version, MpiImpl::OpenMpi);
+            let ist = site.stacks[0].clone();
+            let prog = ProgramSpec::new("bench", Language::C);
+            for v in BinaryVariant::ALL {
+                let bin = compile_variant(&site, Some(&ist), &prog, 3, v).unwrap();
+                let r = analyze(&ElfFile::parse(&bin.image).unwrap());
+                assert!(r.confidence < 1.0, "{family:?} {version} {v:?}");
+                let c = r.compiler.expect("family recoverable from every variant");
+                assert_eq!(c.family, *family, "{version} {v:?}");
+            }
+        }
+    }
+}

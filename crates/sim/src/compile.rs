@@ -22,12 +22,69 @@ use crate::libc;
 use crate::mpi::MpiImpl;
 use crate::rng;
 use crate::site::{InstalledStack, Site};
+use crate::stamp;
 use crate::toolchain::{
     glibcxx_max_for_gcc, gnu_cxx_soname, rt_marker, runtime_needed, CompilerFamily, Language,
 };
-use feam_elf::{ElfSpec, ImportSpec};
+use feam_elf::{strip_section_headers, Class, ElfSpec, ImportSpec, Machine};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+
+/// How a binary is packaged — the hostile-binary axes of the provenance
+/// evaluation. `Normal` is a cooperative dynamic executable; the others
+/// progressively remove direct evidence channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinaryVariant {
+    /// Dynamic executable with full section headers and `.comment`.
+    Normal,
+    /// `strip`ped: section headers gone, so `.comment` is unreachable;
+    /// `DT_NEEDED` and dynamic symbols survive through `PT_DYNAMIC`.
+    Stripped,
+    /// Statically linked: no dynamic section, symbols or version tables
+    /// at all. `.comment` survives; the MPI runtime is recoverable only
+    /// from code bytes.
+    Static,
+    /// Cross-compiled for a foreign ISA; the cross toolchain's packaging
+    /// drops the `.comment` strings.
+    Cross,
+}
+
+impl BinaryVariant {
+    /// All variants, `Normal` first.
+    pub const ALL: [BinaryVariant; 4] = [
+        BinaryVariant::Normal,
+        BinaryVariant::Stripped,
+        BinaryVariant::Static,
+        BinaryVariant::Cross,
+    ];
+
+    /// Short lowercase tag for identities and reports.
+    pub fn tag(self) -> &'static str {
+        match self {
+            BinaryVariant::Normal => "normal",
+            BinaryVariant::Stripped => "stripped",
+            BinaryVariant::Static => "static",
+            BinaryVariant::Cross => "cross",
+        }
+    }
+}
+
+/// The foreign target a cross build aims at from a given native machine:
+/// a same-word-size ISA the testbed actually fields.
+fn cross_target(native: Machine) -> (Machine, Class) {
+    match native {
+        Machine::Ppc64 | Machine::Ia64 | Machine::Aarch64 => (Machine::X86_64, Class::Elf64),
+        Machine::X86 | Machine::Ppc => (
+            if native == Machine::X86 {
+                Machine::Ppc
+            } else {
+                Machine::X86
+            },
+            Class::Elf32,
+        ),
+        _ => (Machine::Ppc64, Class::Elf64),
+    }
+}
 
 /// A program to compile (a benchmark model or a hello-world probe).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -244,7 +301,26 @@ pub fn compile(
     prog: &ProgramSpec,
     seed: u64,
 ) -> Result<CompiledBinary, CompileError> {
-    let (machine, class) = site.config.arch.native_target();
+    compile_variant(site, stack, prog, seed, BinaryVariant::Normal)
+}
+
+/// [`compile`] with a packaging variant: the same deterministic build,
+/// post-processed (`Stripped`) or re-linked (`Static`, `Cross`) into the
+/// hostile shapes the provenance fallback is evaluated on. Sampling is
+/// keyed by the base identity, so a `Stripped` image is byte-for-byte the
+/// `Normal` image with its section headers zeroed.
+pub fn compile_variant(
+    site: &Site,
+    stack: Option<&InstalledStack>,
+    prog: &ProgramSpec,
+    seed: u64,
+    variant: BinaryVariant,
+) -> Result<CompiledBinary, CompileError> {
+    let native = site.config.arch.native_target();
+    let (machine, class) = match variant {
+        BinaryVariant::Cross => cross_target(native.0),
+        _ => native,
+    };
     let compiler = match stack {
         Some(ist) => ist.stack.compiler.clone(),
         None => site
@@ -266,6 +342,12 @@ pub fn compile(
     let mut spec = ElfSpec::executable(machine, class);
     spec.text_size =
         prog.text_size + (rng::unit_f64(h("size")) * prog.text_size as f64 * 0.5) as usize;
+    // The toolchain's code idiom at the head of `.text` — the evidence
+    // channel that survives stripping and static linking.
+    spec.text_stamp = stamp::text_stamp(
+        &compiler,
+        stack.filter(|_| prog.uses_mpi).map(|i| i.stack.mpi),
+    );
 
     // ---- DT_NEEDED assembly (link order: MPI, runtimes, system) ----------
     if let Some(ist) = stack {
@@ -409,16 +491,40 @@ pub fn compile(
         kernel: kernel_triple(&site.config.os.kernel),
     });
 
-    let image = spec
+    // ---- packaging variant --------------------------------------------------------
+    match variant {
+        BinaryVariant::Static => {
+            // The static linker folds every runtime into `.text`; the link
+            // footprint disappears, the stamp and `.comment` remain.
+            spec.static_link = true;
+            spec.needed.clear();
+            spec.imports.clear();
+            spec.extra_version_refs.clear();
+        }
+        BinaryVariant::Cross => {
+            // Cross toolchain packaging drops the comment strings.
+            spec.comments.clear();
+        }
+        _ => {}
+    }
+
+    let mut image = spec
         .build()
         .map_err(|e| CompileError::Synthesis(e.to_string()))?;
+    if variant == BinaryVariant::Stripped {
+        strip_section_headers(&mut image).map_err(|e| CompileError::Synthesis(e.to_string()))?;
+    }
+    let identity = match variant {
+        BinaryVariant::Normal => ident,
+        v => format!("{ident}#{}", v.tag()),
+    };
     Ok(CompiledBinary {
         image: Arc::new(image),
         program: prog.name.clone(),
         language: prog.language,
         built_at: site.name().to_string(),
         stack: stack.map(|ist| ist.stack.clone()),
-        identity: ident,
+        identity,
     })
 }
 
@@ -578,6 +684,67 @@ mod tests {
             compile(&s, Some(&ist), &prog, 1),
             Err(CompileError::CompilerMissing(CompilerFamily::Pgi))
         ));
+    }
+
+    #[test]
+    fn stripped_variant_is_the_normal_image_with_headers_zeroed() {
+        let s = site();
+        let ist = s.stacks[0].clone();
+        let prog = ProgramSpec::new("bt.A.4", Language::Fortran);
+        let normal = compile(&s, Some(&ist), &prog, 42).unwrap();
+        let stripped = compile_variant(&s, Some(&ist), &prog, 42, BinaryVariant::Stripped).unwrap();
+        assert_eq!(normal.image.len(), stripped.image.len());
+        assert!(stripped.identity.ends_with("#stripped"));
+        let f = ElfFile::parse(&stripped.image).unwrap();
+        assert!(f.sections().is_empty());
+        assert!(f.comments().is_empty());
+        assert!(!f.needed().is_empty(), "segment route survives");
+        // Same stamp at the entry point as the normal build.
+        let fs = ElfFile::parse(&normal.image).unwrap();
+        assert_eq!(
+            &f.code_bytes().unwrap()[..24],
+            &fs.code_bytes().unwrap()[..24]
+        );
+    }
+
+    #[test]
+    fn static_variant_keeps_comment_and_stamp_only() {
+        let s = site();
+        let ist = s.stacks[0].clone();
+        let prog = ProgramSpec::new("sp.B.9", Language::C);
+        let bin = compile_variant(&s, Some(&ist), &prog, 7, BinaryVariant::Static).unwrap();
+        let f = ElfFile::parse(&bin.image).unwrap();
+        assert!(!f.is_dynamic());
+        assert!(f.needed().is_empty());
+        assert!(f.comments()[0].starts_with("GCC:"));
+        let expected = stamp::text_stamp(&ist.stack.compiler, Some(ist.stack.mpi));
+        assert_eq!(&f.code_bytes().unwrap()[..expected.len()], &expected[..]);
+    }
+
+    #[test]
+    fn cross_variant_targets_foreign_isa_without_comments() {
+        let s = site(); // x86_64 native
+        let ist = s.stacks[0].clone();
+        let prog = ProgramSpec::new("mg.C.16", Language::C);
+        let bin = compile_variant(&s, Some(&ist), &prog, 9, BinaryVariant::Cross).unwrap();
+        let f = ElfFile::parse(&bin.image).unwrap();
+        assert_eq!(f.machine(), Machine::Ppc64);
+        assert!(f.comments().is_empty());
+        assert!(!f.needed().is_empty(), "cross build is still dynamic");
+    }
+
+    #[test]
+    fn every_variant_carries_the_same_stamp_lanes() {
+        let s = site();
+        let ist = s.stacks[0].clone();
+        let prog = ProgramSpec::new("lu.B.8", Language::Fortran);
+        let expected = stamp::text_stamp(&ist.stack.compiler, Some(ist.stack.mpi));
+        for v in BinaryVariant::ALL {
+            let bin = compile_variant(&s, Some(&ist), &prog, 11, v).unwrap();
+            let f = ElfFile::parse(&bin.image).unwrap();
+            let code = f.code_bytes().expect("code bytes for every variant");
+            assert_eq!(&code[..expected.len()], &expected[..], "{v:?}");
+        }
     }
 
     #[test]

@@ -60,11 +60,15 @@ pub mod mpi;
 pub mod queue;
 pub mod rng;
 pub mod site;
+pub mod stamp;
 pub mod toolchain;
 pub mod tools;
 pub mod vfs;
+pub mod vocab;
 
-pub use compile::{compile, CompileError, CompiledBinary, ProgramSpec};
+pub use compile::{
+    compile, compile_variant, BinaryVariant, CompileError, CompiledBinary, ProgramSpec,
+};
 pub use exec::{run_mpi, run_serial, ExecOutcome, FailureCause, SystemErrorKind, DEFAULT_ATTEMPTS};
 pub use faults::{Chokepoint, FaultKind, FaultPlan, FaultRate};
 pub use loader::{ldd_map, resolve_closure, Closure, LoadError, ObjectMeta};

@@ -28,6 +28,8 @@ pub fn build_library(
         abi_tag: None,
         comments: bp.comments.clone(),
         text_size: bp.size,
+        text_stamp: Vec::new(),
+        static_link: false,
     };
     Ok(Arc::new(spec.build()?))
 }

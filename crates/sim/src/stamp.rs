@@ -1,0 +1,91 @@
+//! Code-section provenance physics.
+//!
+//! Real compilers leave recognizable byte idioms in the code they emit —
+//! prologue shapes, runtime-call thunks, padding habits — and the
+//! signature-matching literature (arXiv:1302.1591) recovers compiler
+//! family and version from them even when `.comment` is stripped. The
+//! simulator's equivalent is a deterministic *stamp* written at the head
+//! of every `.text` the toolchain model emits:
+//!
+//! ```text
+//!  0 .. 8   family idiom  — shared by every version of the family
+//!  8 .. 16  version bytes — distinct per (family, version)
+//! 16 .. 24  MPI runtime bytes (only when the program links an MPI stack)
+//! ```
+//!
+//! Each lane is an FNV-1a digest of a labelled identity string, so stamps
+//! are a pure function of the build environment: identical toolchains
+//! produce identical idioms everywhere, different toolchains collide with
+//! negligible probability. `feam-provenance` enumerates the shared
+//! vocabulary through this same function to build its signature database;
+//! a matcher hit therefore means "the bytes a build like this would have
+//! produced", never string comparison smuggled through a side channel.
+
+use crate::mpi::MpiImpl;
+use crate::rng;
+use crate::toolchain::{Compiler, CompilerFamily};
+
+/// Stamp length without an MPI lane.
+pub const COMPILER_STAMP_LEN: usize = 16;
+/// Stamp length with the MPI runtime lane appended.
+pub const FULL_STAMP_LEN: usize = 24;
+
+/// The 8 idiom bytes every binary built by `family` carries.
+pub fn family_idiom(family: CompilerFamily) -> [u8; 8] {
+    rng::fnv1a(format!("code-idiom:{}", family.tag()).as_bytes()).to_le_bytes()
+}
+
+/// The 8 version-discriminating bytes of `compiler`.
+pub fn version_bytes(compiler: &Compiler) -> [u8; 8] {
+    rng::fnv1a(format!("code-ver:{}:{}", compiler.family.tag(), compiler.version).as_bytes())
+        .to_le_bytes()
+}
+
+/// The 8 bytes the MPI runtime's init thunk leaves in `.text`. Survives
+/// static linking — the external-function identity EFACT-style matching
+/// recovers (arXiv:2405.09132).
+pub fn mpi_runtime_bytes(mpi: MpiImpl) -> [u8; 8] {
+    rng::fnv1a(format!("code-mpirt:{}", mpi.rt_marker()).as_bytes()).to_le_bytes()
+}
+
+/// The full stamp `compile` writes at the head of `.text`.
+pub fn text_stamp(compiler: &Compiler, mpi: Option<MpiImpl>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FULL_STAMP_LEN);
+    out.extend_from_slice(&family_idiom(compiler.family));
+    out.extend_from_slice(&version_bytes(compiler));
+    if let Some(m) = mpi {
+        out.extend_from_slice(&mpi_runtime_bytes(m));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamps_are_deterministic_and_distinct() {
+        let a = text_stamp(&Compiler::new(CompilerFamily::Gnu, "4.1.2"), None);
+        let b = text_stamp(&Compiler::new(CompilerFamily::Gnu, "4.1.2"), None);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), COMPILER_STAMP_LEN);
+        let c = text_stamp(&Compiler::new(CompilerFamily::Gnu, "4.4.5"), None);
+        let d = text_stamp(&Compiler::new(CompilerFamily::Intel, "4.1.2"), None);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        // Same family ⇒ same idiom lane, different version lane.
+        assert_eq!(a[..8], c[..8]);
+        assert_ne!(a[8..16], c[8..16]);
+        assert_ne!(a[..8], d[..8]);
+    }
+
+    #[test]
+    fn mpi_lane_appends_and_discriminates() {
+        let gnu = Compiler::new(CompilerFamily::Gnu, "4.1.2");
+        let open = text_stamp(&gnu, Some(MpiImpl::OpenMpi));
+        let mpich = text_stamp(&gnu, Some(MpiImpl::Mpich2));
+        assert_eq!(open.len(), FULL_STAMP_LEN);
+        assert_eq!(open[..16], mpich[..16]);
+        assert_ne!(open[16..], mpich[16..]);
+    }
+}

@@ -1,0 +1,127 @@
+//! The shared compiler / OS / toolchain-era vocabulary.
+//!
+//! One table, three consumers:
+//!
+//! * the hand-written Table II sites (`feam-workloads::sites`) transcribe
+//!   historic configurations whose versions must all appear here,
+//! * generators (the conformance universe builder, hostile-corpus
+//!   synthesis) *sample* from the era pools below,
+//! * the provenance signature database (`feam-provenance`) enumerates
+//!   [`known_compilers`] to seed its byte-signature entries — a compiler
+//!   version missing from this table is by definition unrecoverable from
+//!   a stripped binary, which is exactly the family-only degradation the
+//!   matcher calibrates for.
+//!
+//! MPI stack versions already live on [`crate::mpi::MpiImpl::known_versions`];
+//! this module completes the dedup for the compiler/OS side.
+
+use crate::rng;
+use crate::toolchain::{Compiler, CompilerFamily};
+
+/// GNU compiler versions the generators sample from (paper-era pool).
+pub const GNU_VERSIONS: &[&str] = &["3.4.6", "4.1.2", "4.4.5"];
+/// Intel compiler versions the generators sample from.
+pub const INTEL_VERSIONS: &[&str] = &["10.1", "11.1", "12.0"];
+/// PGI compiler versions the generators sample from.
+pub const PGI_VERSIONS: &[&str] = &["7.2", "10.9"];
+
+/// Every compiler version in circulation across the testbed era: the
+/// generator pools plus the Table II literals that only appear in the
+/// hand-written sites (Blacklight's gcc 4.4.3). This is the table the
+/// provenance signature database keys on.
+pub const KNOWN_COMPILERS: &[(CompilerFamily, &str)] = &[
+    (CompilerFamily::Gnu, "3.4.6"),
+    (CompilerFamily::Gnu, "4.1.2"),
+    (CompilerFamily::Gnu, "4.4.3"),
+    (CompilerFamily::Gnu, "4.4.5"),
+    (CompilerFamily::Intel, "10.1"),
+    (CompilerFamily::Intel, "11.1"),
+    (CompilerFamily::Intel, "12.0"),
+    (CompilerFamily::Pgi, "7.2"),
+    (CompilerFamily::Pgi, "10.9"),
+];
+
+/// `(distro, release, kernel)` triples a generated site may run —
+/// contemporaries of the Table II machines.
+pub const OS_TABLE: &[(&str, &str, &str)] = &[
+    ("CentOS", "4.9", "2.6.9-103.ELsmp"),
+    ("CentOS", "5.6", "2.6.18-238.el5"),
+    (
+        "Red Hat Enterprise Linux Server",
+        "6.1",
+        "2.6.32-131.0.15.el6",
+    ),
+    ("SUSE Linux Enterprise Server", "11.1", "2.6.32.29-0.3"),
+];
+
+/// All known compilers, materialized.
+pub fn known_compilers() -> Vec<Compiler> {
+    KNOWN_COMPILERS
+        .iter()
+        .map(|(f, v)| Compiler::new(*f, v))
+        .collect()
+}
+
+/// Is `(family, version)` in the shared vocabulary?
+pub fn is_known(family: CompilerFamily, version: &str) -> bool {
+    KNOWN_COMPILERS
+        .iter()
+        .any(|(f, v)| *f == family && *v == version)
+}
+
+/// A seeded pick of a `family` compiler from the era sampling pools.
+pub fn compiler_from_vocab(family: CompilerFamily, seed: u64, parts: &[&str]) -> Compiler {
+    let v = match family {
+        CompilerFamily::Gnu => rng::pick(seed, parts, GNU_VERSIONS),
+        CompilerFamily::Intel => rng::pick(seed, parts, INTEL_VERSIONS),
+        CompilerFamily::Pgi => rng::pick(seed, parts, PGI_VERSIONS),
+    };
+    Compiler::new(family, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocab_picks_are_seed_deterministic_and_in_vocabulary() {
+        for family in [
+            CompilerFamily::Gnu,
+            CompilerFamily::Intel,
+            CompilerFamily::Pgi,
+        ] {
+            let a = compiler_from_vocab(family, 7, &["t"]);
+            let b = compiler_from_vocab(family, 7, &["t"]);
+            assert_eq!(a.ident(), b.ident());
+            let pool = match family {
+                CompilerFamily::Gnu => GNU_VERSIONS,
+                CompilerFamily::Intel => INTEL_VERSIONS,
+                CompilerFamily::Pgi => PGI_VERSIONS,
+            };
+            assert!(pool.contains(&a.version.as_str()));
+        }
+    }
+
+    #[test]
+    fn sampling_pools_are_subsets_of_the_known_table() {
+        for (pool, family) in [
+            (GNU_VERSIONS, CompilerFamily::Gnu),
+            (INTEL_VERSIONS, CompilerFamily::Intel),
+            (PGI_VERSIONS, CompilerFamily::Pgi),
+        ] {
+            for v in pool {
+                assert!(is_known(family, v), "{family:?} {v} missing from table");
+            }
+        }
+    }
+
+    #[test]
+    fn known_table_has_no_duplicates() {
+        let all = known_compilers();
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a.ident(), b.ident());
+            }
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! The hostile corpus — uncooperative twins of every corpus binary.
+//!
+//! Field binaries are frequently stripped, statically linked or
+//! cross-compiled, which removes the direct evidence channels the BDC
+//! reads (`.comment`, `DT_NEEDED`, `.gnu.version_r`). This module
+//! synthesizes those shapes for every binary in the §VI.A test set —
+//! [`BinaryVariant::Stripped`], [`BinaryVariant::Static`] and
+//! [`BinaryVariant::Cross`] — keeping the build ground truth alongside so
+//! the provenance matcher can be graded against it
+//! (`feam-eval --provenance-bench`).
+//!
+//! The hostile corpus is a separate builder, not part of
+//! [`TestSetBuilder::build`](crate::testset::TestSetBuilder), so the
+//! default corpus shape (and everything seeded off it) is unchanged.
+
+use crate::testset::TestSet;
+use feam_sim::compile::{compile_variant, BinaryVariant, CompiledBinary};
+use feam_sim::mpi::MpiImpl;
+use feam_sim::site::Site;
+use feam_sim::toolchain::Compiler;
+use std::sync::Arc;
+
+/// The hostile variants synthesized for each corpus binary.
+pub const HOSTILE_VARIANTS: [BinaryVariant; 3] = [
+    BinaryVariant::Stripped,
+    BinaryVariant::Static,
+    BinaryVariant::Cross,
+];
+
+/// One uncooperative twin, with the ground truth it hides.
+#[derive(Debug, Clone)]
+pub struct HostileItem {
+    /// The compiled variant (image + identity with a `#variant` suffix).
+    pub binary: CompiledBinary,
+    /// Which hostile shape this is.
+    pub variant: BinaryVariant,
+    /// Index of the base binary in the source [`TestSet`].
+    pub base_index: usize,
+    /// Site index where it was compiled.
+    pub compiled_at: usize,
+    /// Index into that site's `stacks` of the stack used.
+    pub stack_index: usize,
+    /// Ground truth: the compiler that built it.
+    pub truth_compiler: Compiler,
+    /// Ground truth: the MPI implementation linked.
+    pub truth_mpi: MpiImpl,
+    /// Shortcut to the ELF image.
+    pub image: Arc<Vec<u8>>,
+}
+
+impl HostileItem {
+    /// Human-readable identity (`bt@openmpi-…@ranger#stripped`).
+    pub fn label(&self) -> &str {
+        &self.binary.identity
+    }
+}
+
+/// The full hostile corpus.
+#[derive(Debug, Clone, Default)]
+pub struct HostileCorpus {
+    items: Vec<HostileItem>,
+    /// (base binary, variant) combos whose re-compile failed (should be
+    /// zero: every base binary compiled once already).
+    pub failures: usize,
+}
+
+impl HostileCorpus {
+    /// All hostile binaries.
+    pub fn binaries(&self) -> &[HostileItem] {
+        &self.items
+    }
+
+    /// Number of binaries of `variant`.
+    pub fn count(&self, variant: BinaryVariant) -> usize {
+        self.items.iter().filter(|i| i.variant == variant).count()
+    }
+}
+
+/// Synthesize the hostile twins of every binary in `base`.
+///
+/// `seed` must be the seed `base` was built with: the variants re-run the
+/// same compilation draws, so a stripped twin is byte-identical to its
+/// base binary with the section-header route removed.
+pub fn hostile_corpus(seed: u64, sites: &[Site], base: &TestSet) -> HostileCorpus {
+    let mut corpus = HostileCorpus::default();
+    for (base_index, item) in base.binaries().iter().enumerate() {
+        let site = &sites[item.compiled_at];
+        let ist = &site.stacks[item.stack_index];
+        let prog = item.benchmark.program_spec();
+        for variant in HOSTILE_VARIANTS {
+            let Ok(bin) = compile_variant(site, Some(ist), &prog, seed, variant) else {
+                corpus.failures += 1;
+                continue;
+            };
+            corpus.items.push(HostileItem {
+                image: bin.image.clone(),
+                binary: bin,
+                variant,
+                base_index,
+                compiled_at: item.compiled_at,
+                stack_index: item.stack_index,
+                truth_compiler: ist.stack.compiler.clone(),
+                truth_mpi: ist.stack.mpi,
+            });
+        }
+    }
+    corpus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sites::standard_sites;
+    use crate::testset::TestSetBuilder;
+    use feam_elf::ElfFile;
+
+    #[test]
+    fn hostile_corpus_covers_every_base_binary_three_ways() {
+        let sites = standard_sites(42);
+        let base = TestSetBuilder::new(42).build(&sites);
+        let hostile = hostile_corpus(42, &sites, &base);
+        assert_eq!(hostile.failures, 0, "every base binary recompiles");
+        assert_eq!(hostile.binaries().len(), base.binaries().len() * 3);
+        for v in HOSTILE_VARIANTS {
+            assert_eq!(hostile.count(v), base.binaries().len());
+        }
+    }
+
+    #[test]
+    fn hostile_items_hide_the_direct_evidence_they_claim_to() {
+        let sites = standard_sites(7);
+        let base = TestSetBuilder::new(7).build(&sites);
+        let hostile = hostile_corpus(7, &sites, &base);
+        for item in hostile.binaries().iter().take(30) {
+            let f = ElfFile::parse(&item.image).expect("hostile twins still parse");
+            match item.variant {
+                BinaryVariant::Stripped => {
+                    assert!(f.comments().is_empty(), "{}", item.label());
+                    assert!(!f.needed().is_empty(), "segment route keeps DT_NEEDED");
+                }
+                BinaryVariant::Static => {
+                    assert!(!f.is_dynamic(), "{}", item.label());
+                    assert!(f.needed().is_empty());
+                }
+                BinaryVariant::Cross => {
+                    assert!(f.comments().is_empty(), "{}", item.label());
+                    let (native, _) = sites[item.compiled_at].config.arch.native_target();
+                    assert_ne!(f.machine(), native, "cross targets a foreign ISA");
+                }
+                BinaryVariant::Normal => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn ground_truth_matches_the_build_stack() {
+        let sites = standard_sites(7);
+        let base = TestSetBuilder::new(7).build(&sites);
+        let hostile = hostile_corpus(7, &sites, &base);
+        for item in hostile.binaries().iter().take(20) {
+            let ist = &sites[item.compiled_at].stacks[item.stack_index];
+            assert_eq!(item.truth_compiler, ist.stack.compiler);
+            assert_eq!(item.truth_mpi, ist.stack.mpi);
+            let base_item = &base.binaries()[item.base_index];
+            assert!(
+                item.label().starts_with(base_item.label()),
+                "{} should extend {}",
+                item.label(),
+                base_item.label()
+            );
+        }
+    }
+}

@@ -7,10 +7,12 @@
 //! combinations that do not compile or do not run where built).
 
 pub mod benchmarks;
+pub mod hostile;
 pub mod sites;
 pub mod testset;
 pub mod vocab;
 
 pub use benchmarks::{all_benchmarks, npb_benchmarks, spec_benchmarks, Benchmark, Suite};
+pub use hostile::{hostile_corpus, HostileCorpus, HostileItem, HOSTILE_VARIANTS};
 pub use sites::{standard_site_configs, standard_sites};
 pub use testset::{TestSet, TestSetBuilder, TestSetItem};

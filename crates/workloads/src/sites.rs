@@ -30,14 +30,25 @@ pub const INDIA: usize = 3;
 /// Index of Fir.
 pub const FIR: usize = 4;
 
+/// Table II literals must come from the shared era vocabulary
+/// ([`feam_sim::vocab`]) — the provenance signature database enumerates
+/// that table, so a version only written here would be invisible to
+/// signature matching.
+fn vocab_compiler(family: CompilerFamily, v: &str) -> Compiler {
+    debug_assert!(
+        feam_sim::vocab::is_known(family, v),
+        "{family:?} {v} missing from feam_sim::vocab::KNOWN_COMPILERS"
+    );
+    Compiler::new(family, v)
+}
 fn gnu(v: &str) -> Compiler {
-    Compiler::new(CompilerFamily::Gnu, v)
+    vocab_compiler(CompilerFamily::Gnu, v)
 }
 fn intel(v: &str) -> Compiler {
-    Compiler::new(CompilerFamily::Intel, v)
+    vocab_compiler(CompilerFamily::Intel, v)
 }
 fn pgi(v: &str) -> Compiler {
-    Compiler::new(CompilerFamily::Pgi, v)
+    vocab_compiler(CompilerFamily::Pgi, v)
 }
 
 fn stack(mpi: MpiImpl, v: &str, c: Compiler, net: Network) -> (MpiStack, bool) {

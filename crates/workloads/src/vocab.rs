@@ -1,65 +1,27 @@
-//! Generator-grade scenario vocabulary.
+//! Generator-grade scenario vocabulary — re-exported from the canonical
+//! shared table.
 //!
-//! The hand-written Table II sites ([`crate::sites`]) pin one historic
-//! configuration each; generators (the conformance universe builder,
-//! future stress corpora) instead *sample* from the same era's
-//! vocabulary. This module is that vocabulary: the compiler versions,
-//! OS releases and helpers shared by everything that synthesizes sites
-//! rather than transcribing them.
+//! The vocabulary used to live here, duplicated against the versions
+//! hand-written into the Table II site configs. It is now owned by
+//! [`feam_sim::vocab`] (one table shared by the Table II sites, the
+//! conformance universe generator and the provenance signature
+//! database); this module remains as the compatibility surface for
+//! workload-side consumers.
 
-use feam_sim::rng;
-use feam_sim::toolchain::{Compiler, CompilerFamily};
-
-/// GNU compiler versions in circulation across the paper's site era.
-pub const GNU_VERSIONS: &[&str] = &["3.4.6", "4.1.2", "4.4.5"];
-/// Intel compiler versions in circulation across the paper's site era.
-pub const INTEL_VERSIONS: &[&str] = &["10.1", "11.1", "12.0"];
-/// PGI compiler versions in circulation across the paper's site era.
-pub const PGI_VERSIONS: &[&str] = &["7.2", "10.9"];
-
-/// `(distro, release, kernel)` triples a generated site may run —
-/// contemporaries of the Table II machines.
-pub const OS_TABLE: &[(&str, &str, &str)] = &[
-    ("CentOS", "4.9", "2.6.9-103.ELsmp"),
-    ("CentOS", "5.6", "2.6.18-238.el5"),
-    (
-        "Red Hat Enterprise Linux Server",
-        "6.1",
-        "2.6.32-131.0.15.el6",
-    ),
-    ("SUSE Linux Enterprise Server", "11.1", "2.6.32.29-0.3"),
-];
-
-/// A seeded pick of a `family` compiler from the era vocabulary.
-pub fn compiler_from_vocab(family: CompilerFamily, seed: u64, parts: &[&str]) -> Compiler {
-    let v = match family {
-        CompilerFamily::Gnu => rng::pick(seed, parts, GNU_VERSIONS),
-        CompilerFamily::Intel => rng::pick(seed, parts, INTEL_VERSIONS),
-        CompilerFamily::Pgi => rng::pick(seed, parts, PGI_VERSIONS),
-    };
-    Compiler::new(family, v)
-}
+pub use feam_sim::vocab::{
+    compiler_from_vocab, is_known, known_compilers, GNU_VERSIONS, INTEL_VERSIONS, KNOWN_COMPILERS,
+    OS_TABLE, PGI_VERSIONS,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use feam_sim::toolchain::CompilerFamily;
 
     #[test]
-    fn vocab_picks_are_seed_deterministic_and_in_vocabulary() {
-        for family in [
-            CompilerFamily::Gnu,
-            CompilerFamily::Intel,
-            CompilerFamily::Pgi,
-        ] {
-            let a = compiler_from_vocab(family, 7, &["t"]);
-            let b = compiler_from_vocab(family, 7, &["t"]);
-            assert_eq!(a.ident(), b.ident());
-            let pool = match family {
-                CompilerFamily::Gnu => GNU_VERSIONS,
-                CompilerFamily::Intel => INTEL_VERSIONS,
-                CompilerFamily::Pgi => PGI_VERSIONS,
-            };
-            assert!(pool.contains(&a.version.as_str()));
-        }
+    fn reexport_points_at_the_shared_table() {
+        let c = compiler_from_vocab(CompilerFamily::Gnu, 7, &["t"]);
+        assert!(GNU_VERSIONS.contains(&c.version.as_str()));
+        assert!(is_known(CompilerFamily::Gnu, &c.version));
     }
 }

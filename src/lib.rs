@@ -15,6 +15,9 @@
 //!   Environment Discovery Component and Target Evaluation Component, the
 //!   four-determinant prediction model and the shared-library resolution
 //!   model.
+//! * [`provenance`] — the fallback evidence tier: a seeded signature
+//!   database and calibrated matcher recovering compiler, runtime and MPI
+//!   stack from stripped, static and cross-compiled binaries.
 //! * [`svc`] — the long-running prediction service: description caches,
 //!   single-flight coalescing, bounded admission, and the site-placement
 //!   planner.
@@ -46,6 +49,7 @@ pub use feam_core as core;
 pub use feam_elf as elf;
 pub use feam_eval as eval;
 pub use feam_obs as obs;
+pub use feam_provenance as provenance;
 pub use feam_sim as sim;
 pub use feam_svc as svc;
 pub use feam_workloads as workloads;

@@ -112,6 +112,14 @@ fn main() {
             match ElfFile::parse(&bytes) {
                 Ok(f) => {
                     let mpi = identify_mpi(f.needed());
+                    let evidence = f.evidence();
+                    // Fallback tier mirrors the BDC's gate: signature
+                    // matching runs only when direct evidence is missing.
+                    let provenance = if evidence.needs_fallback() {
+                        Some(feam::provenance::analyze(&f)).filter(|r| !r.is_empty())
+                    } else {
+                        None
+                    };
                     if json {
                         let name = match mpi {
                             MpiIdentification::Identified(i) => {
@@ -124,6 +132,10 @@ fn main() {
                             serde_json::to_string_pretty(&serde_json::json!({
                                 "path": path,
                                 "mpi": name,
+                                "evidence": feam::core::report::evidence_json(&evidence),
+                                "provenance": provenance
+                                    .as_ref()
+                                    .map(feam::core::report::provenance_json),
                             }))
                             .unwrap()
                         );
@@ -133,8 +145,23 @@ fn main() {
                         MpiIdentification::Identified(i) => {
                             println!("{path}: {} (Table I link-level signature)", i.name())
                         }
+                        MpiIdentification::NotMpi if !evidence.has_dynamic => {
+                            println!("{path}: statically linked; no link-level signature to read")
+                        }
                         MpiIdentification::NotMpi => {
                             println!("{path}: no MPI implementation detected")
+                        }
+                    }
+                    if let Some(p) = &provenance {
+                        println!("provenance (fallback evidence, db v{}):", p.db_version);
+                        if let Some(c) = &p.compiler {
+                            println!("  compiler : {}", c.render());
+                        }
+                        if let Some(m) = &p.mpi_stack {
+                            println!("  MPI stack: {}", m.render());
+                        }
+                        for r in &p.runtime {
+                            println!("  runtime  : {} (via {})", r.runtime, r.evidence);
                         }
                     }
                 }
@@ -527,6 +554,8 @@ fn describe_json(path: &str, desc: &BinaryDescription) -> serde_json::Value {
         "compiler": desc.build_env.compiler,
         "build_os": desc.build_env.distro_hint,
         "abi_tag": desc.abi_tag.as_ref().map(|t| t.render()),
+        "evidence": feam::core::report::evidence_json(&desc.evidence),
+        "provenance": desc.provenance.as_ref().map(feam::core::report::provenance_json),
         "size": desc.size as u64,
     })
 }

@@ -5,7 +5,9 @@
 //! reproducible from its case number.
 
 use feam::elf::versions::{parse_verneed, VersionRef, VersionRefEntry};
-use feam::elf::{Class, ElfFile, ElfSpec, Endian, ExportSpec, ImportSpec, Machine};
+use feam::elf::{
+    strip_section_headers, Class, ElfFile, ElfSpec, Endian, ExportSpec, ImportSpec, Machine,
+};
 
 /// Per-sweep iteration count: `FEAM_FUZZ_ITERS=N` overrides every sweep
 /// (local quick runs set a small N); unset keeps the CI-sized default.
@@ -87,6 +89,8 @@ fn parse_must_not_panic(bytes: &[u8]) -> bool {
             let _ = f.required_glibc();
             let _ = f.abi_tag();
             let _ = f.is_dynamic();
+            let _ = f.evidence();
+            let _ = f.code_bytes();
             true
         }
     }
@@ -282,6 +286,91 @@ fn segment_route_survives_corruption() {
                 m[pos] = g.next_u64() as u8;
             }
             parse_must_not_panic(&m);
+        }
+    }
+}
+
+/// Hostile packaging shapes as produced by the real toolchain paths:
+/// properly stripped images (via [`strip_section_headers`], not just
+/// zeroed header fields) and statically linked executables with no
+/// dynamic machinery at all.
+fn hostile_images() -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    for img in base_images() {
+        let mut stripped = img.clone();
+        if strip_section_headers(&mut stripped).is_ok() {
+            out.push(stripped);
+        }
+    }
+    for class in [Class::Elf64, Class::Elf32] {
+        let mut spec = ElfSpec::executable(Machine::X86_64, class);
+        spec.static_link = true;
+        spec.comments = vec!["GCC: (GNU) 4.4.7".into()];
+        spec.text_stamp = vec![0x5A; 24];
+        out.push(spec.build().expect("valid static spec builds"));
+    }
+    out
+}
+
+#[test]
+fn stripped_and_static_images_survive_corruption() {
+    // Every hostile shape must parse cleanly when intact — reporting the
+    // *absence* of its missing evidence channels through the survey, not a
+    // parse error — and must fail soft under random corruption.
+    let mut g = Gen::new(0x57A7_1C57);
+    for img in hostile_images() {
+        let f = ElfFile::parse(&img).expect("intact hostile image parses");
+        let ev = f.evidence();
+        assert!(
+            ev.needs_fallback(),
+            "hostile shapes are exactly the fallback trigger: {ev:?}"
+        );
+        assert!(
+            f.code_bytes().is_some(),
+            "code bytes reachable on every hostile shape"
+        );
+        for _ in 0..fuzz_iters(300) {
+            let mut m = img.clone();
+            for _ in 0..g.range(1, 13) {
+                let pos = g.range(0, m.len());
+                m[pos] = g.next_u64() as u8;
+            }
+            parse_must_not_panic(&m);
+        }
+    }
+}
+
+#[test]
+fn provenance_on_corrupt_images_never_panics_or_reaches_direct_confidence() {
+    // The provenance matcher consumes whatever the reader accepted. Fuzz
+    // it over corrupted hostile images: no panic, and — the calibration
+    // contract — no claim ever reaches the 1.0 that direct evidence
+    // carries, whatever garbage the stamp bytes decoded to.
+    let mut g = Gen::new(0x9807_E4A4);
+    for (i, img) in hostile_images().into_iter().enumerate() {
+        for case in 0..fuzz_iters(200) {
+            let mut m = img.clone();
+            for _ in 0..g.range(1, 9) {
+                let pos = g.range(0, m.len());
+                m[pos] = g.next_u64() as u8;
+            }
+            if let Ok(f) = ElfFile::parse(&m) {
+                let r = feam::provenance::analyze(&f);
+                assert!(
+                    r.confidence < 1.0,
+                    "image {i} case {case}: corrupt evidence calibrated at {}",
+                    r.confidence
+                );
+                if let Some(c) = &r.compiler {
+                    assert!(c.confidence < 1.0, "image {i} case {case}");
+                }
+                for c in &r.runtime {
+                    assert!(c.confidence < 1.0, "image {i} case {case}");
+                }
+                if let Some(mc) = &r.mpi_stack {
+                    assert!(mc.confidence < 1.0, "image {i} case {case}");
+                }
+            }
         }
     }
 }

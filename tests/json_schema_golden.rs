@@ -148,6 +148,44 @@ fn feam_describe_json_schema_is_stable() {
     );
 }
 
+/// The stripped twin of [`probe_elf`]: `.comment` gone, so `feam identify`
+/// exercises the fallback provenance tier and its JSON surface carries
+/// populated claims.
+fn stripped_probe_elf() -> PathBuf {
+    use feam::sim::compile::{compile_variant, BinaryVariant, ProgramSpec};
+    use feam::sim::toolchain::Language;
+    use feam::workloads::sites::{standard_sites, RANGER};
+
+    let sites = standard_sites(42);
+    let site = &sites[RANGER];
+    let stack = site.stacks[1].clone();
+    let bin = compile_variant(
+        site,
+        Some(&stack),
+        &ProgramSpec::new("bt", Language::Fortran),
+        42,
+        BinaryVariant::Stripped,
+    )
+    .expect("stripped probe compiles");
+    let path =
+        std::env::temp_dir().join(format!("feam-golden-stripped-{}.elf", std::process::id()));
+    std::fs::write(&path, bin.image.as_slice()).unwrap();
+    path
+}
+
+#[test]
+fn feam_identify_json_schema_is_stable() {
+    let elf = stripped_probe_elf();
+    let v = cli_json(&["identify", "--json", elf.to_str().unwrap()]);
+    // The fallback tier must be populated on a stripped binary — an empty
+    // provenance object would silently pin the wrong schema.
+    assert!(
+        v["provenance"]["compiler"]["family"].as_str().is_some(),
+        "{v}"
+    );
+    assert_matches_golden("feam_identify", &v);
+}
+
 #[test]
 fn feam_check_json_schema_is_stable() {
     let elf = probe_elf();
