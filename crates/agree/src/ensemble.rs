@@ -1,0 +1,170 @@
+//! The ensemble runner: all members over one (binary, site) pair, and
+//! the synthesis of member votes into a [`Dissent`] record.
+
+use crate::checkers::{
+    closure_check, feam_member, symbol_diff_check, MemberOutcome, MemberVerdict,
+};
+use crate::inventory::SiteInventory;
+use feam_core::phases::{run_target_phase, PhaseConfig, TargetOutcome};
+use feam_core::predict::{Dissent, MemberVote};
+use feam_core::SourceBundle;
+use feam_sim::faults::FaultPlan;
+use feam_sim::site::Site;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Member names in canonical listing order. FEAM leads: it is the tie
+/// breaker in [`crate::stats::ensemble_verdict`].
+pub const MEMBER_NAMES: [&str; 3] = ["feam", "symdiff", "closure"];
+
+/// Fold member votes into the [`Dissent`] record carried on a
+/// prediction. Unknown members are listed but excluded from the pair
+/// counts; disagreeing pairs are exactly the Ready × NotReady cross
+/// product.
+pub fn dissent_of(members: &[MemberOutcome]) -> Dissent {
+    let ready = members
+        .iter()
+        .filter(|m| m.verdict == MemberVerdict::Ready)
+        .count() as u32;
+    let not_ready = members
+        .iter()
+        .filter(|m| m.verdict == MemberVerdict::NotReady)
+        .count() as u32;
+    let decided = ready + not_ready;
+    Dissent {
+        members: members
+            .iter()
+            .map(|m| MemberVote {
+                member: m.member.to_string(),
+                verdict: m.verdict.label().to_string(),
+            })
+            .collect(),
+        decided,
+        disagreeing_pairs: ready * not_ready,
+        total_pairs: decided * decided.saturating_sub(1) / 2,
+    }
+}
+
+/// Everything the ensemble learned about one (binary, site) pair.
+#[derive(Debug)]
+pub struct EnsembleOutcome {
+    pub site: String,
+    /// Member outcomes in [`MEMBER_NAMES`] order.
+    pub members: Vec<MemberOutcome>,
+    pub dissent: Dissent,
+    /// The FEAM pipeline outcome the `feam` member was derived from —
+    /// produced by the one and only `run_target_phase` call this
+    /// ensemble run made, so callers can pin it byte-identical to a
+    /// standalone pipeline run.
+    pub feam: TargetOutcome,
+}
+
+impl EnsembleOutcome {
+    /// The ensemble's synthesized verdict.
+    pub fn verdict(&self) -> MemberVerdict {
+        crate::stats::ensemble_verdict(&self.members)
+    }
+}
+
+/// Runs all ensemble members over (binary, site) pairs, caching one
+/// parsed library inventory per site so sweeping a corpus over a fixed
+/// site set scans each site once. Inventory collection is deterministic
+/// under a fixed fault plan (fault draws are pure functions of their
+/// chokepoint keys), so caching cannot change any verdict.
+pub struct Ensemble {
+    faults: Arc<FaultPlan>,
+    inventories: HashMap<String, Arc<SiteInventory>>,
+}
+
+impl Ensemble {
+    pub fn new(faults: Arc<FaultPlan>) -> Self {
+        Ensemble {
+            faults,
+            inventories: HashMap::new(),
+        }
+    }
+
+    /// An ensemble under whatever ambient chaos environment is active
+    /// (`FEAM_CHAOS_RATE` / `FEAM_CHAOS_SEED`).
+    pub fn ambient() -> Self {
+        Ensemble::new(feam_sim::faults::default_plan())
+    }
+
+    /// The cached (collecting on first use) inventory for `site`.
+    pub fn inventory(&mut self, site: &Site) -> Arc<SiteInventory> {
+        self.inventories
+            .entry(site.name().to_string())
+            .or_insert_with(|| Arc::new(SiteInventory::collect(site, &self.faults)))
+            .clone()
+    }
+
+    /// Run the two static checkers (everything except FEAM) over one
+    /// (binary, site) pair, in [`MEMBER_NAMES`] order sans `feam`.
+    pub fn static_members(&mut self, site: &Site, image: &[u8]) -> Vec<MemberOutcome> {
+        let inv = self.inventory(site);
+        vec![
+            symbol_diff_check(image, site, &inv),
+            closure_check(image, site, &inv),
+        ]
+    }
+
+    /// Run the full ensemble: one FEAM pipeline pass plus both static
+    /// checkers. The FEAM member is a read-only adapter over the
+    /// pipeline outcome — identical inputs give an outcome
+    /// byte-identical to calling [`run_target_phase`] directly.
+    pub fn run(
+        &mut self,
+        site: &Site,
+        image: &Arc<Vec<u8>>,
+        bundle: Option<&SourceBundle>,
+        cfg: &PhaseConfig,
+    ) -> EnsembleOutcome {
+        let feam = run_target_phase(site, Some(image), bundle, cfg);
+        let mut members = vec![feam_member(&feam.prediction)];
+        members.extend(self.static_members(site, image));
+        let dissent = dissent_of(&members);
+        EnsembleOutcome {
+            site: site.name().to_string(),
+            members,
+            dissent,
+            feam,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vote(member: &'static str, verdict: MemberVerdict) -> MemberOutcome {
+        MemberOutcome {
+            member,
+            verdict,
+            detail: String::new(),
+            fault_observed: false,
+        }
+    }
+
+    #[test]
+    fn dissent_counts_pairs() {
+        use MemberVerdict::*;
+        let d = dissent_of(&[
+            vote("feam", Ready),
+            vote("symdiff", NotReady),
+            vote("closure", Ready),
+        ]);
+        assert_eq!(d.decided, 3);
+        assert_eq!(d.total_pairs, 3);
+        assert_eq!(d.disagreeing_pairs, 2);
+        assert!(d.contested());
+        assert!((d.agreement() - 1.0 / 3.0).abs() < 1e-12);
+
+        let u = dissent_of(&[vote("feam", Unknown), vote("symdiff", Ready)]);
+        assert_eq!(u.decided, 1);
+        assert_eq!(u.total_pairs, 0);
+        assert!(!u.contested());
+        assert_eq!(u.agreement(), 1.0);
+        assert_eq!(u.members.len(), 2);
+        assert_eq!(u.members[0].verdict, "unknown");
+    }
+}

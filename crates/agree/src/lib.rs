@@ -1,0 +1,42 @@
+//! Compatibility-checker ensemble (ROADMAP open item 3).
+//!
+//! "Binary-level Software Compatibility Tool Agreement" observes that
+//! independent compatibility checkers run over the same binaries disagree
+//! in practice, and that the agreement itself is a signal. This crate
+//! builds that signal for FEAM: two additional readiness checkers that
+//! share only the `feam-elf` parser and the simulated site model with the
+//! FEAM pipeline, an adapter wrapping the FEAM predictor as a third
+//! member, and the agreement statistics (pair agreement, Cohen's kappa,
+//! per-checker confusion matrices) that turn member votes into a
+//! [`Dissent`](feam_core::predict::Dissent) record on the prediction.
+//!
+//! Checker independence boundaries:
+//!
+//! * [`symbol_diff_check`] — a libabigail-style symbol/version diff: the
+//!   binary's undefined symbols and `.gnu.version_r` requirements against
+//!   the union of exported symbol/version sets of every library installed
+//!   at the site. No load order, no `LD_LIBRARY_PATH`, no stack
+//!   functional tests — pure interface subtraction.
+//! * [`closure_check`] — an `ldd`-closure walk: `DT_NEEDED` resolved
+//!   transitively against the site's library inventory; readiness is
+//!   closure completeness and nothing else. Symbols and versions are
+//!   deliberately not consulted.
+//! * [`feam_member`] — the existing FEAM prediction mapped onto the
+//!   member verdict scale. The ensemble never re-runs or perturbs the
+//!   pipeline: the adapter is a read-only view, so the FEAM member is
+//!   request-for-request byte-identical to the standalone pipeline.
+//!
+//! Neither new checker consults MPI stack functionality, launcher
+//! configuration or the resolution model — those are exactly the evidence
+//! channels FEAM alone reads, and the places the conformance harness
+//! expects (and pins) principled disagreement.
+
+pub mod checkers;
+pub mod ensemble;
+pub mod inventory;
+pub mod stats;
+
+pub use checkers::{closure_check, feam_member, symbol_diff_check, MemberOutcome, MemberVerdict};
+pub use ensemble::{dissent_of, Ensemble, EnsembleOutcome, MEMBER_NAMES};
+pub use inventory::{LibEntry, SiteInventory};
+pub use stats::{cohen_kappa, ensemble_verdict, majority_agreement, Confusion};

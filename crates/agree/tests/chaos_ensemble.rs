@@ -1,0 +1,146 @@
+//! Chaos discipline for the checker ensemble: under an injected fault
+//! plan the ensemble never panics, fault-degraded members abstain
+//! (`unknown`) rather than guessing, and abstentions stay out of the
+//! agreement statistics.
+//!
+//! Two plans cover the two fault surfaces: [`FaultPlan::chaos`] (the
+//! `FEAM_CHAOS_RATE` shape — transient faults at the retry-covered
+//! chokepoints, which can degrade the FEAM member's pipeline run) and
+//! [`FaultPlan::persistent_vfs`] (unreadable library files, which
+//! degrade the static checkers' inventories).
+
+use feam_agree::{dissent_of, feam_member, Ensemble, MemberVerdict};
+use feam_core::phases::PhaseConfig;
+use feam_sim::compile::{compile, ProgramSpec};
+use feam_sim::faults::FaultPlan;
+use feam_sim::toolchain::Language;
+use feam_workloads::sites::standard_sites;
+use std::sync::Arc;
+
+const CHAOS_RATE: f64 = 0.05;
+
+/// One sweep of the ensemble over every (program, site) pair under the
+/// given fault plan, asserting the chaos invariants along the way.
+/// Returns the number of fault-degraded member verdicts seen.
+fn sweep(plan: Arc<FaultPlan>) -> u32 {
+    let sites = standard_sites(42);
+    let programs = ["bt", "cg", "lu"];
+    let cfg = PhaseConfig {
+        faults: plan.clone(),
+        ..PhaseConfig::default()
+    };
+    let mut ensemble = Ensemble::new(plan);
+    let mut fault_observed_members = 0u32;
+    for (pi, prog) in programs.iter().enumerate() {
+        let home = &sites[pi % sites.len()];
+        let stack = &home.stacks[0];
+        let bin = compile(
+            home,
+            Some(stack),
+            &ProgramSpec::new(prog, Language::Fortran),
+            42,
+        )
+        .expect("compile without session faults");
+        for site in &sites {
+            let out = ensemble.run(site, &bin.image, None, &cfg);
+            assert_eq!(out.members.len(), 3);
+            assert_eq!(out.members[0].member, "feam");
+            for m in &out.members {
+                if m.fault_observed {
+                    fault_observed_members += 1;
+                    assert_eq!(
+                        m.verdict,
+                        MemberVerdict::Unknown,
+                        "{}: fault-degraded member must abstain, got {:?}",
+                        m.member,
+                        m.verdict
+                    );
+                }
+            }
+            // Abstaining members are invisible to the pair counts:
+            // the dissent over decided members only must match the
+            // full record.
+            let decided: Vec<_> = out
+                .members
+                .iter()
+                .filter(|m| m.verdict.decided())
+                .cloned()
+                .collect();
+            let d2 = dissent_of(&decided);
+            assert_eq!(out.dissent.decided, d2.decided);
+            assert_eq!(out.dissent.disagreeing_pairs, d2.disagreeing_pairs);
+            assert_eq!(out.dissent.total_pairs, d2.total_pairs);
+            // The FEAM adapter is consistent with its prediction.
+            let readback = feam_member(&out.feam.prediction);
+            assert_eq!(out.members[0].verdict, readback.verdict);
+        }
+    }
+    fault_observed_members
+}
+
+/// Under the ambient `FEAM_CHAOS_RATE` shape the ensemble never panics
+/// and any fault-degraded member abstains. `FaultPlan::chaos` drives only
+/// the transient, retry-covered chokepoints — it deliberately leaves VFS
+/// reads alone — so inventories stay intact here and abstention is not
+/// required to occur.
+#[test]
+fn chaotic_ensemble_never_panics() {
+    for chaos_seed in 0..6u64 {
+        sweep(Arc::new(FaultPlan::chaos(chaos_seed, CHAOS_RATE)));
+    }
+}
+
+/// Persistent VFS faults — unreadable library files — are the surface
+/// that actually degrades the static checkers' inventories. Here the
+/// degrade path must fire: fault-observed members abstain (`unknown`)
+/// and the pair counts stay clean (checked inside `sweep`).
+#[test]
+fn persistent_vfs_faults_degrade_members_to_unknown() {
+    let mut fault_observed = 0u32;
+    for seed in 0..4u64 {
+        fault_observed += sweep(Arc::new(FaultPlan::persistent_vfs(seed, 0.2)));
+    }
+    // The fault rate is high enough that abstentions actually happened —
+    // otherwise this test silently stops covering the degrade path.
+    assert!(
+        fault_observed > 0,
+        "no member ever observed a fault under persistent VFS faults; dead test"
+    );
+}
+
+/// The same chaos plan replayed gives the identical ensemble outcome:
+/// fault draws are pure functions of their chokepoint keys, so chaos is
+/// deterministic noise, not flakiness.
+#[test]
+fn chaotic_ensemble_is_replayable() {
+    let sites = standard_sites(7);
+    let bin = compile(
+        &sites[0],
+        Some(&sites[0].stacks[0]),
+        &ProgramSpec::new("mg", Language::C),
+        7,
+    )
+    .expect("compiles");
+    let fingerprint = |verdicts: &mut String| {
+        let plan = Arc::new(FaultPlan::chaos(99, CHAOS_RATE));
+        let cfg = PhaseConfig {
+            faults: plan.clone(),
+            ..PhaseConfig::default()
+        };
+        let mut ensemble = Ensemble::new(plan);
+        for site in &sites {
+            let out = ensemble.run(site, &bin.image, None, &cfg);
+            for m in &out.members {
+                verdicts.push_str(m.member);
+                verdicts.push('=');
+                verdicts.push_str(m.verdict.label());
+                verdicts.push(' ');
+            }
+            verdicts.push('\n');
+        }
+    };
+    let (mut a, mut b) = (String::new(), String::new());
+    fingerprint(&mut a);
+    fingerprint(&mut b);
+    assert_eq!(a, b, "chaos must be replayable");
+}

@@ -1,0 +1,171 @@
+//! Golden verdict tables for the two static checkers.
+//!
+//! A fixture matrix of binaries — cleanly migratable, missing-library,
+//! missing-version-node and statically linked — is judged by both
+//! checkers against every Table II site, and the full verdict table is
+//! pinned as a golden file. Re-bless intentional semantic changes with
+//! `FEAM_BLESS=1`; anything else flagging here is a checker behavior
+//! regression.
+
+use feam_agree::{closure_check, symbol_diff_check, MemberVerdict, SiteInventory};
+use feam_sim::faults::FaultPlan;
+use feam_sim::site::Site;
+use feam_sim::toolchain::Language;
+use feam_sim::{compile, compile_variant, BinaryVariant, ProgramSpec};
+use feam_workloads::sites::{standard_sites, FIR, FORGE, INDIA, RANGER};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const SEED: u64 = 42;
+
+struct Fixture {
+    label: &'static str,
+    image: Arc<Vec<u8>>,
+}
+
+/// The fixture matrix. Every scenario the issue calls out:
+/// * `ready` — built at Fir with a stack Fir itself runs;
+/// * `missing-lib` — built against Ranger's PGI MVAPICH2, judged at
+///   sites with no MVAPICH2 1.2 / PGI runtime installed;
+/// * `missing-version` — built glibc-hungry at Forge (glibc 2.12), so
+///   older sites lack the referenced GLIBC version nodes;
+/// * `static` — statically linked, invisible to both checkers.
+fn fixtures(sites: &[Site]) -> Vec<Fixture> {
+    let fir_stack = sites[FIR]
+        .stacks
+        .iter()
+        .find(|s| s.stack.ident() == "openmpi-1.4-gnu-4.1.2")
+        .expect("fir runs openmpi-1.4-gnu-4.1.2");
+    let ready = compile(
+        &sites[FIR],
+        Some(fir_stack),
+        &ProgramSpec::new("bt", Language::Fortran),
+        SEED,
+    )
+    .expect("fir build");
+
+    let pgi_stack = sites[RANGER]
+        .stacks
+        .iter()
+        .find(|s| s.stack.ident() == "mvapich2-1.2-pgi-7.2")
+        .expect("ranger runs mvapich2-1.2-pgi-7.2");
+    let missing_lib = compile(
+        &sites[RANGER],
+        Some(pgi_stack),
+        &ProgramSpec::new("lu", Language::Fortran),
+        SEED,
+    )
+    .expect("ranger build");
+
+    let forge_stack = sites[FORGE]
+        .stacks
+        .iter()
+        .find(|s| s.stack.ident() == "openmpi-1.4-gnu-4.4.5")
+        .expect("forge runs openmpi-1.4-gnu-4.4.5");
+    let mut hungry = ProgramSpec::new("cg", Language::C);
+    hungry.glibc_appetite = 1.0;
+    let missing_version =
+        compile(&sites[FORGE], Some(forge_stack), &hungry, SEED).expect("forge build");
+
+    let india_stack = sites[INDIA]
+        .stacks
+        .iter()
+        .find(|s| s.stack.ident() == "openmpi-1.4.3-gnu-4.1.2")
+        .expect("india runs openmpi-1.4.3-gnu-4.1.2");
+    let static_bin = compile_variant(
+        &sites[INDIA],
+        Some(india_stack),
+        &ProgramSpec::new("ep", Language::C),
+        SEED,
+        BinaryVariant::Static,
+    )
+    .expect("india static build");
+
+    vec![
+        Fixture {
+            label: "ready",
+            image: ready.image,
+        },
+        Fixture {
+            label: "missing-lib",
+            image: missing_lib.image,
+        },
+        Fixture {
+            label: "missing-version",
+            image: missing_version.image,
+        },
+        Fixture {
+            label: "static",
+            image: static_bin.image,
+        },
+    ]
+}
+
+fn verdict_table(sites: &[Site]) -> (String, Vec<(String, MemberVerdict, MemberVerdict)>) {
+    let plan = Arc::new(FaultPlan::none());
+    let inventories: Vec<_> = sites
+        .iter()
+        .map(|s| SiteInventory::collect(s, &plan))
+        .collect();
+    let mut rows = Vec::new();
+    let mut table = String::new();
+    for fx in fixtures(sites) {
+        for (site, inv) in sites.iter().zip(&inventories) {
+            let sym = symbol_diff_check(&fx.image, site, inv);
+            let clo = closure_check(&fx.image, site, inv);
+            table.push_str(&format!(
+                "{:<16} {:<10} symdiff={:<9} closure={}\n",
+                fx.label,
+                site.name(),
+                sym.verdict.label(),
+                clo.verdict.label()
+            ));
+            rows.push((fx.label.to_string(), sym.verdict, clo.verdict));
+        }
+    }
+    (table, rows)
+}
+
+#[test]
+fn checker_verdict_table_matches_golden() {
+    let sites = standard_sites(SEED);
+    let (table, rows) = verdict_table(&sites);
+
+    // Hard semantic pins independent of the golden:
+    // a static binary is invisible to both checkers at every site...
+    for (label, sym, clo) in rows.iter().filter(|(l, _, _)| l == "static") {
+        assert_eq!(*sym, MemberVerdict::Unknown, "{label}: {table}");
+        assert_eq!(*clo, MemberVerdict::Unknown, "{label}: {table}");
+    }
+    // ...the clean Fir build passes both checkers at home...
+    let home = &rows[sites.iter().position(|s| s.name() == "fir").unwrap()];
+    assert_eq!(home.1, MemberVerdict::Ready, "ready@fir symdiff: {table}");
+    assert_eq!(home.2, MemberVerdict::Ready, "ready@fir closure: {table}");
+    // ...and each degenerate fixture trips at least one checker somewhere.
+    for needle in ["missing-lib", "missing-version"] {
+        assert!(
+            rows.iter().any(|(l, sym, clo)| l == needle
+                && (*sym == MemberVerdict::NotReady || *clo == MemberVerdict::NotReady)),
+            "{needle} never rejected: {table}"
+        );
+    }
+
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/checker_verdicts.txt");
+    if std::env::var_os("FEAM_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &table).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run with FEAM_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        table,
+        golden,
+        "checker verdict table drifted from {}; re-bless with FEAM_BLESS=1 if intentional",
+        path.display()
+    );
+}

@@ -1,0 +1,200 @@
+//! Property tests over the vote combiner: agreement statistics and the
+//! dissent-discounted confidence. Cases come from a seeded SplitMix64
+//! generator (offline — no proptest), so failures are addressable by
+//! case number.
+
+use feam_agree::{dissent_of, majority_agreement, MemberOutcome, MemberVerdict};
+use feam_core::predict::{Determinant, Prediction, PredictionMode};
+
+/// SplitMix64-style deterministic generator.
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        Gen(z)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+}
+
+const NAMES: [&str; 5] = ["feam", "symdiff", "closure", "aux-a", "aux-b"];
+
+fn gen_members(g: &mut Gen) -> Vec<MemberOutcome> {
+    let n = g.range(1, 6);
+    (0..n)
+        .map(|i| {
+            let verdict = match g.range(0, 3) {
+                0 => MemberVerdict::Ready,
+                1 => MemberVerdict::NotReady,
+                _ => MemberVerdict::Unknown,
+            };
+            MemberOutcome {
+                member: NAMES[i],
+                verdict,
+                detail: String::new(),
+                fault_observed: verdict == MemberVerdict::Unknown && g.range(0, 2) == 0,
+            }
+        })
+        .collect()
+}
+
+/// A permutation of `v` driven by the generator (Fisher–Yates).
+fn shuffled(g: &mut Gen, v: &[MemberOutcome]) -> Vec<MemberOutcome> {
+    let mut out = v.to_vec();
+    for i in (1..out.len()).rev() {
+        out.swap(i, g.range(0, i + 1));
+    }
+    out
+}
+
+#[test]
+fn agreement_is_permutation_invariant() {
+    let mut g = Gen::new(0xA62EE);
+    for case in 0..500 {
+        let members = gen_members(&mut g);
+        let d = dissent_of(&members);
+        let m = majority_agreement(&members);
+        for _ in 0..4 {
+            let perm = shuffled(&mut g, &members);
+            let dp = dissent_of(&perm);
+            assert_eq!(
+                (dp.decided, dp.disagreeing_pairs, dp.total_pairs),
+                (d.decided, d.disagreeing_pairs, d.total_pairs),
+                "case {case}: dissent depends on member order: {members:?}"
+            );
+            assert!(
+                (majority_agreement(&perm) - m).abs() < 1e-12,
+                "case {case}: agreement depends on member order"
+            );
+        }
+    }
+}
+
+#[test]
+fn identical_decided_verdicts_agree_perfectly() {
+    let mut g = Gen::new(0x1DEA1);
+    for case in 0..300 {
+        let n = g.range(1, 6);
+        let verdict = if g.range(0, 2) == 0 {
+            MemberVerdict::Ready
+        } else {
+            MemberVerdict::NotReady
+        };
+        let members: Vec<_> = (0..n)
+            .map(|i| MemberOutcome {
+                member: NAMES[i],
+                verdict,
+                detail: String::new(),
+                fault_observed: false,
+            })
+            .collect();
+        let d = dissent_of(&members);
+        assert_eq!(d.disagreeing_pairs, 0, "case {case}");
+        assert!(!d.contested(), "case {case}");
+        assert_eq!(d.agreement(), 1.0, "case {case}");
+        assert_eq!(majority_agreement(&members), 1.0, "case {case}");
+    }
+}
+
+/// Agreement is symmetric in the Ready/NotReady camps: swapping every
+/// decided verdict leaves every pair count unchanged.
+#[test]
+fn agreement_is_symmetric_under_verdict_swap() {
+    let mut g = Gen::new(0x5_CA1E);
+    for case in 0..500 {
+        let members = gen_members(&mut g);
+        let swapped: Vec<_> = members
+            .iter()
+            .map(|m| MemberOutcome {
+                verdict: match m.verdict {
+                    MemberVerdict::Ready => MemberVerdict::NotReady,
+                    MemberVerdict::NotReady => MemberVerdict::Ready,
+                    MemberVerdict::Unknown => MemberVerdict::Unknown,
+                },
+                ..m.clone()
+            })
+            .collect();
+        let a = dissent_of(&members);
+        let b = dissent_of(&swapped);
+        assert_eq!(a.decided, b.decided, "case {case}");
+        assert_eq!(a.disagreeing_pairs, b.disagreeing_pairs, "case {case}");
+        assert_eq!(a.total_pairs, b.total_pairs, "case {case}");
+    }
+}
+
+/// Flipping one agreeing member to the opposing camp never *increases*
+/// confidence: `Prediction::confidence()` is monotonically non-increasing
+/// in the number of disagreeing pairs.
+#[test]
+fn confidence_is_monotone_in_disagreement() {
+    let mut g = Gen::new(0xC0F_1DE);
+    for case in 0..300 {
+        // A fully decided base prediction (base confidence 1.0).
+        let mut pred = Prediction::new(PredictionMode::Basic);
+        pred.record(Determinant::Isa, true, "isa ok");
+        pred.record(Determinant::CLibrary, true, "libc ok");
+
+        // Start from unanimity, then defect members one at a time and
+        // watch confidence fall (or hold) at every step.
+        let n = g.range(2, 6);
+        let mut members: Vec<_> = (0..n)
+            .map(|i| MemberOutcome {
+                member: NAMES[i],
+                verdict: MemberVerdict::Ready,
+                detail: String::new(),
+                fault_observed: false,
+            })
+            .collect();
+        let mut last = f64::INFINITY;
+        let mut last_pairs = 0;
+        for defectors in 0..=n {
+            if defectors > 0 {
+                members[defectors - 1].verdict = MemberVerdict::NotReady;
+            }
+            let d = dissent_of(&members);
+            // More defections up to the halfway point = more disagreeing
+            // pairs; past it the count falls again, but confidence we
+            // track against the *pair count*, the actual input.
+            pred.dissent = Some(d.clone());
+            let c = pred.confidence();
+            if d.disagreeing_pairs >= last_pairs {
+                assert!(
+                    c <= last + 1e-12,
+                    "case {case}: confidence rose with disagreement \
+                     ({last} -> {c} at {} pairs)",
+                    d.disagreeing_pairs
+                );
+            }
+            last = c;
+            last_pairs = d.disagreeing_pairs;
+            assert!((0.0..=1.0).contains(&c), "case {case}: confidence {c}");
+        }
+
+        // And the endpoints: unanimity keeps base confidence, any
+        // disagreement strictly lowers it.
+        pred.dissent = None;
+        let base = pred.confidence();
+        let unanimous: Vec<_> = (0..n)
+            .map(|i| MemberOutcome {
+                member: NAMES[i],
+                verdict: MemberVerdict::Ready,
+                detail: String::new(),
+                fault_observed: false,
+            })
+            .collect();
+        pred.dissent = Some(dissent_of(&unanimous));
+        assert!((pred.confidence() - base).abs() < 1e-12, "case {case}");
+    }
+}

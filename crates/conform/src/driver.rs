@@ -24,6 +24,14 @@
 //! [`plan`](feam_svc::plan) must agree with its own point predictions,
 //! the point predictions must agree with the oracle, and the ranking must
 //! be sorted under [`feam_svc::rank_cmp`].
+//!
+//! Per (binary, site), a checker-ensemble crossing runs `feam-agree`
+//! fault-free: the FEAM member's pipeline outcome must fingerprint
+//! byte-identical to crossing 1 (the ensemble wraps the pipeline, never
+//! forks it), both static checkers must match their straight-line oracle
+//! mirrors, and the dissent bookkeeping must be consistent — so any
+//! checker disagreement is exactly where the oracle's evidence model
+//! predicts it.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -285,6 +293,10 @@ pub fn check_universe(spec: &UniverseSpec, cfg: &ConformConfig) -> UniverseCheck
     let uni = universe::materialize(spec);
     let mut check = UniverseCheck::default();
     let mut meta_caches: HashMap<String, MetaCache> = HashMap::new();
+    // The ensemble crossing: real checkers (left) and their oracle
+    // mirrors (right), both fault-free, inventories memoized per site.
+    let mut ensemble = feam_agree::Ensemble::new(Arc::new(FaultPlan::none()));
+    let mut mirror_invs: HashMap<String, oracle::CheckerInventory> = HashMap::new();
     // Oracle expectations per (binary, site, mode), reused by the service
     // crossing.
     let mut expectations: HashMap<(String, String, &'static str), Expectation> = HashMap::new();
@@ -358,6 +370,68 @@ pub fn check_universe(spec: &UniverseSpec, cfg: &ConformConfig) -> UniverseCheck
                             fingerprint(&out_cached)
                         ),
                     );
+                }
+
+                // Ensemble crossing (basic mode — the static checkers
+                // never consume a bundle): FEAM-member identity, checker
+                // verdicts vs their mirrors, dissent bookkeeping.
+                if mode == PredictionMode::Basic {
+                    let ens = ensemble.run(site, &ub.image, None, &base_phase_cfg(None));
+                    check.runs += 1;
+                    if fingerprint(&ens.feam) != fp_base {
+                        diverge(
+                            &mut check,
+                            "ensemble-feam-identity",
+                            bin,
+                            site.name(),
+                            format!(
+                                "ensemble's internal FEAM run differs from the standalone \
+                                 pipeline: standalone={fp_base} ensemble={}",
+                                fingerprint(&ens.feam)
+                            ),
+                        );
+                    }
+                    let mirror = mirror_invs
+                        .entry(site.name().to_string())
+                        .or_insert_with(|| oracle::checker_inventory(site));
+                    for (idx, expected) in [
+                        (1, oracle::expect_symdiff(site, &ub.image, mirror)),
+                        (2, oracle::expect_closure(site, &ub.image, mirror)),
+                    ] {
+                        let m = &ens.members[idx];
+                        if m.verdict.label() != expected {
+                            diverge(
+                                &mut check,
+                                &format!("ensemble-{}", m.member),
+                                bin,
+                                site.name(),
+                                format!(
+                                    "{} verdict {} but the oracle mirror expects {expected} \
+                                     ({})",
+                                    m.member,
+                                    m.verdict.label(),
+                                    m.detail
+                                ),
+                            );
+                        }
+                    }
+                    let decided = ens.members.iter().filter(|m| m.verdict.decided()).count() as u32;
+                    if ens.dissent.decided != decided
+                        || ens.dissent.total_pairs != decided * decided.saturating_sub(1) / 2
+                        || ens.dissent.contested() != (ens.dissent.disagreeing_pairs > 0)
+                    {
+                        diverge(
+                            &mut check,
+                            "ensemble-dissent",
+                            bin,
+                            site.name(),
+                            format!(
+                                "dissent bookkeeping inconsistent with member verdicts: \
+                                 {:?} vs {} decided members",
+                                ens.dissent, decided
+                            ),
+                        );
+                    }
                 }
 
                 // Crossings 3 + 4: chaos, caches off then on, same plan.

@@ -709,6 +709,175 @@ fn resolve_from_bundle(
     (staged_outcomes, complete)
 }
 
+// ---------------------------------------------------------------------------
+// Checker-ensemble mirrors
+// ---------------------------------------------------------------------------
+//
+// Straight-line reimplementations of the `feam-agree` symbol-diff and
+// ldd-closure checkers, reading site ground truth directly (no Session,
+// no faults — oracle universes are fault-free, so a mirrored inventory is
+// never degraded). The only sharing is the `feam-elf` parser, same as the
+// rest of the oracle.
+
+/// One installed library as the mirror's inventory sees it.
+pub struct InvEntry {
+    name: String,
+    soname: Option<String>,
+    class: Class,
+    machine: Machine,
+    exports: Vec<(String, Option<String>)>,
+    version_defs: Vec<String>,
+    needed: Vec<String>,
+}
+
+impl InvEntry {
+    fn provides(&self, soname: &str) -> bool {
+        self.name == soname || self.soname.as_deref() == Some(soname)
+    }
+}
+
+/// The mirrored site inventory: every ELF under the loader defaults,
+/// every installed stack's `lib/` and every compiler runtime directory,
+/// deduped in that order (the checkers' published scan order).
+pub type CheckerInventory = Vec<InvEntry>;
+
+pub fn checker_inventory(site: &Site) -> CheckerInventory {
+    let mut dirs = site.default_lib_dirs();
+    for ist in &site.stacks {
+        dirs.push(ist.lib_dir());
+    }
+    for ic in &site.compilers {
+        dirs.push(ic.lib_dir.clone());
+    }
+    let mut seen = HashSet::new();
+    dirs.retain(|d| seen.insert(d.clone()));
+
+    let mut entries = Vec::new();
+    for dir in &dirs {
+        let Ok(names) = site.vfs.list_dir(dir) else {
+            continue;
+        };
+        for name in names {
+            let Ok(content) = site.vfs.read(&format!("{dir}/{name}")) else {
+                continue;
+            };
+            let bytes = content.as_bytes();
+            if bytes.len() < 4 || bytes[..4] != [0x7f, b'E', b'L', b'F'] {
+                continue;
+            }
+            let Ok(f) = ElfFile::parse(bytes) else {
+                continue;
+            };
+            entries.push(InvEntry {
+                name,
+                soname: f.soname().map(str::to_string),
+                class: f.class(),
+                machine: f.machine(),
+                exports: f
+                    .dynamic_symbols()
+                    .iter()
+                    .filter(|s| !s.undefined && !s.name.is_empty())
+                    .map(|s| (s.name.clone(), s.version.clone()))
+                    .collect(),
+                version_defs: f.version_defs().iter().map(|d| d.name.clone()).collect(),
+                needed: f.needed().to_vec(),
+            });
+        }
+    }
+    entries
+}
+
+/// Shared preamble of both checker mirrors: `Err` carries the early
+/// verdict, `Ok` the parsed metadata with the inventory candidates.
+fn checker_preamble<'a>(
+    site: &Site,
+    image: &[u8],
+    inv: &'a CheckerInventory,
+) -> Result<(Meta, Vec<&'a InvEntry>), &'static str> {
+    let Some(meta) = parse_meta(image) else {
+        return Err("unknown");
+    };
+    if !site.config.arch.executes(meta.machine, meta.class) {
+        return Err("not-ready");
+    }
+    if !meta.is_dynamic {
+        return Err("unknown");
+    }
+    let candidates = inv
+        .iter()
+        .filter(|e| e.machine == meta.machine && e.class == meta.class)
+        .collect();
+    Ok((meta, candidates))
+}
+
+/// Expected symbol-diff verdict label (`ready` / `not-ready` / `unknown`).
+pub fn expect_symdiff(site: &Site, image: &[u8], inv: &CheckerInventory) -> &'static str {
+    let (meta, candidates) = match checker_preamble(site, image, inv) {
+        Ok(x) => x,
+        Err(v) => return v,
+    };
+    for (file, versions) in &meta.version_refs {
+        let providers: Vec<_> = candidates.iter().filter(|e| e.provides(file)).collect();
+        if providers.is_empty() {
+            continue; // no provider at all: the closure mirror's evidence
+        }
+        for (name, weak) in versions {
+            if *weak {
+                continue;
+            }
+            if !providers
+                .iter()
+                .any(|p| p.version_defs.iter().any(|d| d == name))
+            {
+                return "not-ready";
+            }
+        }
+    }
+    let mut versioned: HashSet<(&str, &str)> = HashSet::new();
+    let mut names: HashSet<&str> = HashSet::new();
+    for e in &candidates {
+        for (name, ver) in &e.exports {
+            names.insert(name.as_str());
+            if let Some(v) = ver {
+                versioned.insert((name.as_str(), v.as_str()));
+            }
+        }
+    }
+    for (name, ver, weak) in &meta.imports {
+        if *weak {
+            continue;
+        }
+        let satisfied = match ver.as_deref() {
+            Some(v) => versioned.contains(&(name.as_str(), v)),
+            None => names.contains(name.as_str()),
+        };
+        if !satisfied {
+            return "not-ready";
+        }
+    }
+    "ready"
+}
+
+/// Expected ldd-closure verdict label (`ready` / `not-ready` / `unknown`).
+pub fn expect_closure(site: &Site, image: &[u8], inv: &CheckerInventory) -> &'static str {
+    let (meta, candidates) = match checker_preamble(site, image, inv) {
+        Ok(x) => x,
+        Err(v) => return v,
+    };
+    let mut frontier: Vec<String> = meta.needed.clone();
+    let mut seen: HashSet<String> = HashSet::new();
+    while let Some(dep) = frontier.pop() {
+        if !seen.insert(dep.clone()) {
+            continue;
+        }
+        match candidates.iter().find(|e| e.provides(&dep)) {
+            Some(e) => frontier.extend(e.needed.iter().cloned()),
+            None => return "not-ready",
+        }
+    }
+    "ready"
+}
+
 fn label(ok: bool) -> String {
     if ok { "compatible" } else { "incompatible" }.to_string()
 }

@@ -60,7 +60,7 @@ pub use config::{ConfigError, ConfigFile};
 pub use edc::{discover, EnvironmentDescription};
 pub use error::{FeamError, Result};
 pub use phases::{run_source_phase, run_target_phase, PhaseConfig, TargetOutcome};
-pub use predict::{Determinant, Determination, Prediction, PredictionMode};
+pub use predict::{Determinant, Determination, Dissent, MemberVote, Prediction, PredictionMode};
 pub use resolve::{ResolutionFailure, ResolutionPlan};
 pub use retry::RetryPolicy;
 pub use tec::{evaluate, ExecutionPlan, TargetEvaluation};

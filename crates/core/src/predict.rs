@@ -129,6 +129,48 @@ pub enum PredictionMode {
     Extended,
 }
 
+/// One ensemble member's readiness verdict, as recorded in a
+/// [`Dissent`] report.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemberVote {
+    /// Checker name (`feam`, `symdiff`, `closure`).
+    pub member: String,
+    /// `ready`, `not-ready` or `unknown`.
+    pub verdict: String,
+}
+
+/// Ensemble disagreement attached to a prediction by the checker
+/// ensemble (`feam-agree`). Absent on every prediction the standalone
+/// pipeline produces — only the ensemble/serving layer fills it in.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dissent {
+    /// Every member's verdict, in canonical member order.
+    pub members: Vec<MemberVote>,
+    /// Members that reached a decided (non-`unknown`) verdict.
+    pub decided: u32,
+    /// Unordered decided-member pairs that disagreed.
+    pub disagreeing_pairs: u32,
+    /// Total unordered decided-member pairs.
+    pub total_pairs: u32,
+}
+
+impl Dissent {
+    /// Contested: at least one decided pair of members disagreed.
+    pub fn contested(&self) -> bool {
+        self.disagreeing_pairs > 0
+    }
+
+    /// Chance-free agreement factor in `[0, 1]`: the fraction of decided
+    /// member pairs that agreed (1.0 with fewer than two decided members
+    /// — a lone voice cannot disagree with itself).
+    pub fn agreement(&self) -> f64 {
+        if self.total_pairs == 0 {
+            return 1.0;
+        }
+        1.0 - self.disagreeing_pairs as f64 / self.total_pairs as f64
+    }
+}
+
 /// A complete prediction for one (binary, target site) pair.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Prediction {
@@ -136,6 +178,10 @@ pub struct Prediction {
     /// Verdicts in evaluation order; evaluation may stop early when a
     /// determinant fails (the paper details the reasons to the user).
     pub verdicts: Vec<DeterminantVerdict>,
+    /// Checker-ensemble disagreement, when an ensemble ran (`feam-agree`).
+    /// `None` — the default everywhere in the standalone pipeline —
+    /// leaves confidence exactly at its pre-ensemble value.
+    pub dissent: Option<Dissent>,
 }
 
 impl Prediction {
@@ -144,6 +190,7 @@ impl Prediction {
         Prediction {
             mode,
             verdicts: Vec::new(),
+            dissent: None,
         }
     }
 
@@ -200,13 +247,26 @@ impl Prediction {
     }
 
     /// Fraction of evaluated determinants that were actually decided
-    /// (1.0 = fully observed, 0.0 = nothing evaluated or all unknown).
+    /// (1.0 = fully observed, 0.0 = nothing evaluated or all unknown),
+    /// discounted by the ensemble agreement factor when a checker
+    /// ensemble attached a [`Dissent`] — each disagreeing member pair
+    /// shaves a proportional slice off, so confidence is monotonically
+    /// non-increasing in the disagreement count.
     pub fn confidence(&self) -> f64 {
         if self.verdicts.is_empty() {
             return 0.0;
         }
         let decided = self.verdicts.iter().filter(|v| !v.unknown()).count();
-        decided as f64 / self.verdicts.len() as f64
+        let base = decided as f64 / self.verdicts.len() as f64;
+        match &self.dissent {
+            Some(d) => base * d.agreement(),
+            None => base,
+        }
+    }
+
+    /// Contested: an ensemble ran and its decided members disagreed.
+    pub fn contested(&self) -> bool {
+        self.dissent.as_ref().is_some_and(Dissent::contested)
     }
 }
 
@@ -329,6 +389,57 @@ mod tests {
             Machine::Ppc64,
             Class::Elf64
         ));
+    }
+
+    #[test]
+    fn dissent_discounts_confidence_and_marks_contested() {
+        let mut p = Prediction::new(PredictionMode::Basic);
+        p.record(Determinant::Isa, true, "ok");
+        p.record(Determinant::CLibrary, true, "ok");
+        assert_eq!(p.confidence(), 1.0);
+        assert!(!p.contested(), "no ensemble, nothing contested");
+
+        // Three decided members, one dissenter: 2 of 3 pairs disagree.
+        p.dissent = Some(Dissent {
+            members: vec![
+                MemberVote {
+                    member: "feam".into(),
+                    verdict: "ready".into(),
+                },
+                MemberVote {
+                    member: "symdiff".into(),
+                    verdict: "not-ready".into(),
+                },
+                MemberVote {
+                    member: "closure".into(),
+                    verdict: "ready".into(),
+                },
+            ],
+            decided: 3,
+            disagreeing_pairs: 2,
+            total_pairs: 3,
+        });
+        assert!(p.contested());
+        assert!((p.confidence() - 1.0 / 3.0).abs() < 1e-9);
+
+        // Unanimous ensembles change nothing.
+        let d = p.dissent.as_mut().unwrap();
+        d.disagreeing_pairs = 0;
+        assert!(!p.contested());
+        assert_eq!(p.confidence(), 1.0);
+
+        // A lone decided member has no pairs and full agreement.
+        let lone = Dissent {
+            members: vec![MemberVote {
+                member: "feam".into(),
+                verdict: "ready".into(),
+            }],
+            decided: 1,
+            disagreeing_pairs: 0,
+            total_pairs: 0,
+        };
+        assert_eq!(lone.agreement(), 1.0);
+        assert!(!lone.contested());
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! The `feam-eval` binary prints any of these; `--json` dumps the raw
 //! records for EXPERIMENTS.md.
 
+pub mod agreement;
 pub mod chaos;
 pub mod effort;
 pub mod experiment;
@@ -27,6 +28,9 @@ pub mod serve;
 pub mod tables;
 pub mod telemetry;
 
+pub use agreement::{
+    agreement_study, render_agreement, AgreementReport, CheckerReport, PairwiseReport,
+};
 pub use chaos::{chaos_sweep, render_chaos, ChaosPoint, ChaosSweep, DEFAULT_CHAOS_RATE};
 pub use effort::{effort, render_effort, EffortReport};
 pub use experiment::{EvalResults, ExcludedPair, Experiment, MigrationRecord};

@@ -12,6 +12,7 @@
 //! feam-eval --fleet-bench [--quick] [--seed N] [--json PATH]
 //!           [--min-availability F] [--max-p99-inflation R]
 //! feam-eval --provenance-bench [--quick] [--seed N] [--json PATH]
+//! feam-eval --agreement [--quick] [--seed N] [--json PATH]
 //! feam-eval --conform [--universes N] [--seed S] [--quick]
 //!           [--universe-seed X] [--json PATH]
 //! ```
@@ -51,6 +52,7 @@ struct Args {
     obs_bench: bool,
     fleet_bench: bool,
     provenance_bench: bool,
+    agreement: bool,
     conform: bool,
     universes: usize,
     universe_seed: Option<u64>,
@@ -82,6 +84,7 @@ fn parse_args() -> Args {
         obs_bench: false,
         fleet_bench: false,
         provenance_bench: false,
+        agreement: false,
         conform: false,
         universes: 100,
         universe_seed: None,
@@ -135,6 +138,7 @@ fn parse_args() -> Args {
             "--obs-bench" => args.obs_bench = true,
             "--fleet-bench" => args.fleet_bench = true,
             "--provenance-bench" => args.provenance_bench = true,
+            "--agreement" => args.agreement = true,
             "--conform" => args.conform = true,
             "--universes" => {
                 args.universes = iter
@@ -220,6 +224,7 @@ fn parse_args() -> Args {
                      feam-eval --fleet-bench [--quick] [--seed N] [--json PATH] \
                      [--min-availability F] [--max-p99-inflation R]\n\
                      feam-eval --provenance-bench [--quick] [--seed N] [--json PATH]\n\
+                     feam-eval --agreement [--quick] [--seed N] [--json PATH]\n\
                      feam-eval --conform [--universes N] [--seed S] [--quick] \
                      [--universe-seed X] [--json PATH]"
                 );
@@ -240,6 +245,7 @@ fn parse_args() -> Args {
         && !args.obs_bench
         && !args.fleet_bench
         && !args.provenance_bench
+        && !args.agreement
         && !args.conform
         && args.chaos.is_none()
     {
@@ -491,6 +497,35 @@ fn plan_bench_main(args: &Args) -> ! {
     std::process::exit(if failed { 1 } else { 0 });
 }
 
+/// `--agreement`: run the tool-agreement study. Gates on ensemble
+/// accuracy (>= FEAM alone) and zero FEAM divergences. Exits the
+/// process.
+fn agreement_main(args: &Args) -> ! {
+    eprintln!(
+        "tool agreement study (seed {}, {}) ...",
+        args.seed,
+        if args.quick { "quick" } else { "standard" }
+    );
+    let report = feam_eval::agreement_study(args.seed, args.quick);
+    print!("{}", feam_eval::render_agreement(&report));
+    if let Some(path) = &args.json {
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&serde_json::to_value(&report).expect("serialize"))
+                .expect("serialize"),
+        )
+        .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        eprintln!("wrote {path}");
+    }
+    if !report.pass {
+        eprintln!(
+            "FAIL: ensemble accuracy {:.3} vs feam alone {:.3}, {} feam divergences",
+            report.ensemble_accuracy, report.feam_accuracy, report.feam_divergences
+        );
+    }
+    std::process::exit(if report.pass { 0 } else { 1 });
+}
+
 /// `--provenance-bench`: grade the fallback evidence tier on the hostile
 /// corpus. Gates on compiler-family accuracy and zero confidence
 /// inversions. Exits the process.
@@ -531,6 +566,9 @@ fn main() {
     }
     if args.provenance_bench {
         provenance_bench_main(&args);
+    }
+    if args.agreement {
+        agreement_main(&args);
     }
     if args.plan_bench {
         plan_bench_main(&args);

@@ -49,6 +49,7 @@
 //! ```
 
 pub mod bench;
+pub mod ensemble;
 pub mod fleet;
 pub mod health;
 pub mod obsctl;
@@ -58,6 +59,7 @@ pub mod router;
 pub mod service;
 
 pub use bench::{run_serve_bench, BenchParams, ServeBenchComparison, ServeBenchReport};
+pub use ensemble::annotate_with_ensemble;
 pub use fleet::{Fleet, FleetConfig, FleetError, FleetResponse};
 pub use health::{HealthConfig, HealthTracker, NodeState};
 pub use obsctl::{default_slos, run_observed, ObsRunOutcome, ObsRunParams};

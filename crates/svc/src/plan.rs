@@ -89,6 +89,10 @@ pub struct SitePlacement {
     pub ready: bool,
     /// Any determinant unobservable (faults, missing tooling)?
     pub degraded: bool,
+    /// Did checker-ensemble members disagree on this verdict? Only ever
+    /// true after [`crate::ensemble::annotate_with_ensemble`] ran; the
+    /// bare planner leaves it false.
+    pub contested: bool,
     /// Fraction of determinants positively decided.
     pub confidence: f64,
     /// Libraries FEAM must ship for the binary to run.
@@ -116,6 +120,7 @@ pub struct SitePlacement {
 struct RankFingerprint {
     site: String,
     class: u8,
+    contested: bool,
     prediction: Option<Prediction>,
     confidence: f64,
     resolution_libraries: usize,
@@ -162,6 +167,7 @@ impl SitePlacement {
             prediction: Some(resp.prediction.clone()),
             ready: resp.prediction.ready(),
             degraded: resp.evaluation.degraded,
+            contested: resp.prediction.contested(),
             confidence: resp.evaluation.confidence,
             resolution_libraries: libs,
             resolution_bytes: bytes,
@@ -179,6 +185,7 @@ impl SitePlacement {
             prediction: None,
             ready: false,
             degraded: false,
+            contested: false,
             confidence: 0.0,
             resolution_libraries: 0,
             resolution_bytes: 0,
@@ -195,6 +202,9 @@ impl SitePlacement {
 pub fn rank_cmp(a: &SitePlacement, b: &SitePlacement) -> std::cmp::Ordering {
     a.class()
         .cmp(&b.class())
+        // At equal readiness a contested verdict (ensemble members
+        // disagreed) ranks below an uncontested one.
+        .then_with(|| a.contested.cmp(&b.contested))
         .then_with(|| b.confidence.total_cmp(&a.confidence))
         .then_with(|| a.resolution_libraries.cmp(&b.resolution_libraries))
         .then_with(|| a.resolution_bytes.cmp(&b.resolution_bytes))
@@ -239,6 +249,7 @@ impl Placement {
             .map(|s| RankFingerprint {
                 site: s.site.clone(),
                 class: s.class(),
+                contested: s.contested,
                 prediction: s.prediction.clone(),
                 confidence: s.confidence,
                 resolution_libraries: s.resolution_libraries,
@@ -525,6 +536,7 @@ mod tests {
             prediction: None,
             ready,
             degraded,
+            contested: false,
             confidence,
             resolution_libraries: 0,
             resolution_bytes: 0,
@@ -574,6 +586,24 @@ mod tests {
         let mut v = [slow, fast];
         v.sort_by(rank_cmp);
         assert_eq!(v[0].site, "z", "fewer expected launch attempts first");
+    }
+
+    #[test]
+    fn contested_ranks_below_uncontested_at_equal_readiness() {
+        // Same class, same confidence: the contested verdict loses.
+        let clean = stub("b-clean", (true, false), 0.8);
+        let mut contested = stub("a-contested", (true, false), 0.8);
+        contested.contested = true;
+        let mut v = [contested.clone(), clean.clone()];
+        v.sort_by(rank_cmp);
+        assert_eq!(v[0].site, "b-clean", "contested loses the tiebreak");
+
+        // But contested never outranks class: a contested ready site
+        // still beats an uncontested not-ready one.
+        let not_ready = stub("c", (false, false), 1.0);
+        let mut v = [not_ready, contested];
+        v.sort_by(rank_cmp);
+        assert_eq!(v[0].site, "a-contested", "class still dominates");
     }
 
     #[test]

@@ -441,6 +441,29 @@ impl PredictService {
             .map(|&i| self.inner.sites[i].config.transient_error_rate)
     }
 
+    /// The served [`Site`] named `name`, if any. Checker ensembles scan
+    /// site library inventories through this.
+    pub fn site(&self, name: &str) -> Option<&Site> {
+        self.inner.site_idx.get(name).map(|&i| &self.inner.sites[i])
+    }
+
+    /// The registered ELF image behind `name`, if any.
+    pub fn binary_image(&self, name: &str) -> Option<Arc<Vec<u8>>> {
+        self.inner
+            .registry
+            .read()
+            .expect("registry")
+            .get(name)
+            .map(|b| b.image.clone())
+    }
+
+    /// The fault plan every service-side session runs under. Ensemble
+    /// checkers collect inventories under the same plan so chaos
+    /// perturbs them exactly like the pipeline's own reads.
+    pub fn fault_plan(&self) -> Arc<feam_sim::faults::FaultPlan> {
+        self.inner.phase_cfg.faults.clone()
+    }
+
     /// Entries currently memoized in the result cache.
     pub fn result_cache_len(&self) -> usize {
         self.inner.results.lock().expect("results").len()

@@ -18,6 +18,9 @@
 //! * [`provenance`] — the fallback evidence tier: a seeded signature
 //!   database and calibrated matcher recovering compiler, runtime and MPI
 //!   stack from stripped, static and cross-compiled binaries.
+//! * [`agree`] — the compatibility-checker ensemble: independent
+//!   symbol-diff and ldd-closure readiness checkers, agreement statistics
+//!   (Cohen's kappa, confusion matrices) and contested-verdict synthesis.
 //! * [`svc`] — the long-running prediction service: description caches,
 //!   single-flight coalescing, bounded admission, and the site-placement
 //!   planner.
@@ -45,6 +48,7 @@
 //! println!("ready: {}", outcome.prediction.ready());
 //! ```
 
+pub use feam_agree as agree;
 pub use feam_core as core;
 pub use feam_elf as elf;
 pub use feam_eval as eval;

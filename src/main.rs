@@ -27,6 +27,7 @@ use feam::elf::ElfFile;
 fn usage() -> ! {
     eprintln!(
         "usage: feam <describe|identify|objdump|comment|check> [--json] <elf-file>\n       \
+         feam check [--sites] <elf-file>   (--sites: ensemble verdicts per simulated site)\n       \
          feam plan [--json] [-k N] [--extended] [--site S]... <elf-file>\n       \
          feam demo [--trace <file>]\n       \
          feam obs report <trace.jsonl> [--top N]\n       \
@@ -194,7 +195,18 @@ fn main() {
             }
         }
         Some("check") => {
-            let (json, path) = parse_file_args(&args[1..]);
+            let mut json = false;
+            let mut sites = false;
+            let mut path: Option<&str> = None;
+            for a in &args[1..] {
+                match a.as_str() {
+                    "--json" => json = true,
+                    "--sites" => sites = true,
+                    other if path.is_none() => path = Some(other),
+                    _ => usage(),
+                }
+            }
+            let Some(path) = path else { usage() };
             let bytes = read_elf(path);
             match ElfFile::parse(&bytes) {
                 Ok(f) => {
@@ -230,6 +242,12 @@ fn main() {
                             println!("{path}: {:?}: {}", x.severity, x.message);
                         }
                     }
+                    if sites && !json {
+                        check_sites(path, &bytes);
+                    }
+                    // Exit status is the lint's alone: readiness and
+                    // contested ensemble verdicts are advisory and never
+                    // fail the check — only Error findings do.
                     if errors > 0 {
                         std::process::exit(1);
                     }
@@ -258,6 +276,43 @@ fn main() {
             demo(trace.as_deref());
         }
         _ => usage(),
+    }
+}
+
+/// `feam check --sites`: judge the binary's readiness at every standard
+/// simulated site with the full checker ensemble (FEAM basic prediction,
+/// symbol/version diff, ldd closure) and print one row per site with the
+/// member votes and a contested marker. Advisory only — the caller's
+/// exit status still comes exclusively from lint Error findings.
+fn check_sites(path: &str, bytes: &[u8]) {
+    use feam::agree::{dissent_of, feam_member, Ensemble};
+    use feam::core::phases::{run_target_phase, PhaseConfig};
+    use std::sync::Arc;
+
+    let sites = feam::workloads::sites::standard_sites(7);
+    let image = Arc::new(bytes.to_vec());
+    let cfg = PhaseConfig::default();
+    let mut ensemble = Ensemble::new(cfg.faults.clone());
+    println!("{path}: ensemble readiness at the standard sites:");
+    println!("  site          feam       symdiff    closure    agreement");
+    for site in &sites {
+        let outcome = run_target_phase(site, Some(&image), None, &cfg);
+        let mut members = vec![feam_member(&outcome.prediction)];
+        members.extend(ensemble.static_members(site, bytes));
+        let dissent = dissent_of(&members);
+        println!(
+            "  {:<12}  {:<9}  {:<9}  {:<9}  {:.2}{}",
+            site.name(),
+            members[0].verdict.label(),
+            members[1].verdict.label(),
+            members[2].verdict.label(),
+            dissent.agreement(),
+            if dissent.contested() {
+                "  contested"
+            } else {
+                ""
+            },
+        );
     }
 }
 
@@ -320,13 +375,16 @@ fn plan_cmd(args: &[String]) {
         k,
         deadline: None,
     };
-    let placement = match plan(&svc, &req) {
+    let mut placement = match plan(&svc, &req) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("feam: {e}");
             std::process::exit(1);
         }
     };
+    // Second opinions: attach checker-ensemble dissent to every verdict
+    // and re-rank (contested sinks below uncontested at equal readiness).
+    let contested = feam::svc::annotate_with_ensemble(&svc, &mut placement);
     if json {
         println!(
             "{}",
@@ -353,12 +411,18 @@ fn plan_cmd(args: &[String]) {
                 "{:>4}  {:<12}  {:<10}  {:>4.2}  {:>3} libs {:>8}  {:>7.2}  {}",
                 i + 1,
                 s.site,
-                s.verdict(),
+                format!("{}{}", s.verdict(), if s.contested { "!" } else { "" }),
                 s.confidence,
                 s.resolution_libraries,
                 format_bytes(s.resolution_bytes),
                 s.expected_launch_attempts,
                 note,
+            );
+        }
+        if contested > 0 {
+            println!(
+                "({contested} contested verdict(s) marked `!`: checker-ensemble members \
+                 disagreed; contested ranks below uncontested at equal readiness)"
             );
         }
         if placement.degraded_sites > 0 || placement.error_sites > 0 {

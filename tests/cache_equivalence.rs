@@ -50,6 +50,63 @@ fn fingerprint(r: &MigrationRecord) -> String {
     out
 }
 
+/// The checker ensemble rides on the same phase machinery, so its
+/// agreement record — member verdicts, details, dissent pair counts —
+/// must also be invariant under caching.
+#[test]
+fn ensemble_agreement_is_identical_with_and_without_caches() {
+    use feam::agree::Ensemble;
+    use feam::core::phases::PhaseConfig;
+    use feam::sim::compile::{compile, ProgramSpec};
+    use feam::sim::toolchain::Language;
+    use feam::workloads::sites::standard_sites;
+
+    let agreement_fingerprint = |cached: bool| -> String {
+        let sites = standard_sites(42);
+        let mut cfg = PhaseConfig::default();
+        if cached {
+            cfg.caches = Some(Arc::new(feam_core::cache::PhaseCaches::new(0)));
+        }
+        let mut ensemble = Ensemble::new(cfg.faults.clone());
+        let mut out = String::new();
+        for (pi, prog) in ["bt", "cg"].iter().enumerate() {
+            let home = &sites[pi];
+            let bin = compile(
+                home,
+                Some(&home.stacks[0]),
+                &ProgramSpec::new(prog, Language::Fortran),
+                42,
+            )
+            .expect("probe compiles");
+            for site in &sites {
+                let o = ensemble.run(site, &bin.image, None, &cfg);
+                out.push_str(&format!("{prog}@{}:", site.name()));
+                for m in &o.members {
+                    out.push_str(&format!(
+                        " {}={}({})",
+                        m.member,
+                        m.verdict.label(),
+                        m.detail
+                    ));
+                }
+                out.push_str(&format!(
+                    " dissent={}/{}/{}\n",
+                    o.dissent.decided, o.dissent.disagreeing_pairs, o.dissent.total_pairs
+                ));
+            }
+        }
+        out
+    };
+
+    let uncached = agreement_fingerprint(false);
+    let cached = agreement_fingerprint(true);
+    assert!(!uncached.is_empty());
+    assert_eq!(
+        uncached, cached,
+        "caching changed an observable agreement field"
+    );
+}
+
 #[test]
 fn table3_sweep_is_byte_identical_with_and_without_caches() {
     let seed = 1234;
