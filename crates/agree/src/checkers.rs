@@ -8,7 +8,7 @@
 //! FEAM member are principled, not bugs.
 
 use crate::inventory::SiteInventory;
-use feam_elf::ElfFile;
+use feam_elf::LazyElf;
 use feam_sim::faults::FaultPlan;
 use feam_sim::site::Site;
 use std::sync::Arc;
@@ -79,7 +79,7 @@ impl MemberOutcome {
 /// 7. otherwise → `Ready`.
 pub fn symbol_diff_check(image: &[u8], site: &Site, inv: &SiteInventory) -> MemberOutcome {
     const M: &str = "symdiff";
-    let Ok(f) = ElfFile::parse(image) else {
+    let Ok(f) = LazyElf::parse(image) else {
         return MemberOutcome::new(M, MemberVerdict::Unknown, "unparseable image");
     };
     if !site.config.arch.executes(f.machine(), f.class()) {
@@ -106,7 +106,7 @@ pub fn symbol_diff_check(image: &[u8], site: &Site, inv: &SiteInventory) -> Memb
     // Version-node diff: every non-weak verneed version must be defined
     // by some installed provider of its file.
     for vr in f.version_refs() {
-        let providers: Vec<_> = candidates.iter().filter(|e| e.provides(&vr.file)).collect();
+        let providers: Vec<_> = candidates.iter().filter(|e| e.provides(vr.file)).collect();
         if providers.is_empty() {
             continue;
         }
@@ -116,7 +116,7 @@ pub fn symbol_diff_check(image: &[u8], site: &Site, inv: &SiteInventory) -> Memb
             }
             if !providers
                 .iter()
-                .any(|p| p.version_defs.iter().any(|d| d == &v.name))
+                .any(|p| p.version_defs.iter().any(|d| d == v.name))
             {
                 return MemberOutcome::new(
                     M,
@@ -143,9 +143,9 @@ pub fn symbol_diff_check(image: &[u8], site: &Site, inv: &SiteInventory) -> Memb
         if !s.undefined || s.weak || s.name.is_empty() {
             continue;
         }
-        let satisfied = match s.version.as_deref() {
-            Some(v) => versioned.contains(&(s.name.as_str(), v)),
-            None => names.contains(s.name.as_str()),
+        let satisfied = match s.version {
+            Some(v) => versioned.contains(&(s.name, v)),
+            None => names.contains(s.name),
         };
         if !satisfied {
             return MemberOutcome::new(
@@ -154,10 +154,7 @@ pub fn symbol_diff_check(image: &[u8], site: &Site, inv: &SiteInventory) -> Memb
                 format!(
                     "undefined symbol {}{} unsatisfied",
                     s.name,
-                    s.version
-                        .as_deref()
-                        .map(|v| format!("@{v}"))
-                        .unwrap_or_default()
+                    s.version.map(|v| format!("@{v}")).unwrap_or_default()
                 ),
             );
         }
@@ -175,7 +172,7 @@ pub fn symbol_diff_check(image: &[u8], site: &Site, inv: &SiteInventory) -> Memb
 /// machine/class → `NotReady`; else `Ready`.
 pub fn closure_check(image: &[u8], site: &Site, inv: &SiteInventory) -> MemberOutcome {
     const M: &str = "closure";
-    let Ok(f) = ElfFile::parse(image) else {
+    let Ok(f) = LazyElf::parse(image) else {
         return MemberOutcome::new(M, MemberVerdict::Unknown, "unparseable image");
     };
     if !site.config.arch.executes(f.machine(), f.class()) {
@@ -198,7 +195,7 @@ pub fn closure_check(image: &[u8], site: &Site, inv: &SiteInventory) -> MemberOu
         return out;
     }
     let candidates = inv.candidates(f.machine(), f.class());
-    let mut frontier: Vec<String> = f.needed().to_vec();
+    let mut frontier: Vec<String> = f.needed().iter().map(|n| n.to_string()).collect();
     let mut seen: std::collections::HashSet<String> = Default::default();
     while let Some(dep) = frontier.pop() {
         if !seen.insert(dep.clone()) {

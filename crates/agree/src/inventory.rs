@@ -8,7 +8,7 @@
 //! degraded inventory degrades the member verdict to `unknown` rather
 //! than silently judging against a partial world.
 
-use feam_elf::{Class, ElfFile, Machine};
+use feam_elf::{Class, LazyElf, Machine};
 use feam_sim::faults::FaultPlan;
 use feam_sim::site::{Session, Site};
 use std::sync::Arc;
@@ -96,7 +96,7 @@ impl SiteInventory {
                 if bytes.len() < 4 || bytes[..4] != [0x7f, b'E', b'L', b'F'] {
                     continue;
                 }
-                let Ok(f) = ElfFile::parse(&bytes) else {
+                let Ok(f) = LazyElf::parse(&bytes) else {
                     continue;
                 };
                 inv.entries.push(LibEntry {
@@ -108,10 +108,14 @@ impl SiteInventory {
                         .dynamic_symbols()
                         .iter()
                         .filter(|s| !s.undefined && !s.name.is_empty())
-                        .map(|s| (s.name.clone(), s.version.clone()))
+                        .map(|s| (s.name.to_string(), s.version.map(str::to_string)))
                         .collect(),
-                    version_defs: f.version_defs().iter().map(|d| d.name.clone()).collect(),
-                    needed: f.needed().to_vec(),
+                    version_defs: f
+                        .version_defs()
+                        .iter()
+                        .map(|d| d.name.to_string())
+                        .collect(),
+                    needed: f.needed().iter().map(|n| n.to_string()).collect(),
                 });
             }
         }

@@ -2,7 +2,7 @@
 //! loader closure resolution, and site materialization.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use feam_elf::{Class, ElfFile, ElfSpec, ImportSpec, Machine};
+use feam_elf::{Class, ElfSpec, ImportSpec, LazyElf, Machine};
 use feam_sim::loader::resolve_closure;
 use feam_sim::site::{Session, Site};
 use feam_workloads::sites::{ranger, standard_sites, FIR};
@@ -40,7 +40,15 @@ fn bench(c: &mut Criterion) {
         b.iter(|| black_box(spec.build().unwrap()))
     });
     g.bench_function("parse_256k_binary", |b| {
-        b.iter(|| black_box(ElfFile::parse(black_box(&bytes)).unwrap()))
+        b.iter(|| black_box(LazyElf::parse(black_box(&bytes)).unwrap()))
+    });
+    g.bench_function("describe_256k_binary", |b| {
+        b.iter(|| {
+            black_box(
+                feam_core::bdc::BinaryDescription::from_bytes("/bench/app", black_box(&bytes))
+                    .unwrap(),
+            )
+        })
     });
     g.finish();
 
@@ -62,6 +70,20 @@ fn bench(c: &mut Criterion) {
             sess.load_stack(&item_stack);
             sess.stage_file("/r/bt", Arc::clone(&bin.image));
             black_box(resolve_closure(&sess, "/r/bt").unwrap())
+        })
+    });
+    g.finish();
+
+    // The BDC cache-miss path end to end: recursive library collection
+    // with every dependency read and described from scratch.
+    let mut g = c.benchmark_group("bdc");
+    g.sample_size(10);
+    g.bench_function("collect_libraries_miss_path", |b| {
+        b.iter(|| {
+            let mut sess = Session::new(fir);
+            sess.load_stack(&item_stack);
+            sess.stage_file("/r/bt", Arc::clone(&bin.image));
+            black_box(feam_core::bdc::collect_libraries(&mut sess, "/r/bt").unwrap())
         })
     });
     g.finish();

@@ -19,7 +19,7 @@ fn bench(c: &mut Criterion) {
         .take(32)
         .map(|b| b.image.clone())
         .collect();
-    let needed_lists: Vec<Vec<String>> = images
+    let needed_lists: Vec<Vec<feam_core::IStr>> = images
         .iter()
         .map(|img| BinaryDescription::from_bytes("b", img).unwrap().needed)
         .collect();

@@ -23,7 +23,7 @@
 //! degrade, how claims feed the naive plan — are reimplemented here.
 
 use feam_core::bundle::SourceBundle;
-use feam_elf::{Class, ElfFile, Machine, VersionName};
+use feam_elf::{Class, LazyElf, Machine, VersionName};
 use feam_sim::compile::{compile, ProgramSpec};
 use feam_sim::mpi::MpiImpl;
 use feam_sim::site::{EnvMgmt, InstalledStack, Site};
@@ -88,7 +88,7 @@ pub struct Meta {
 }
 
 fn parse_meta(bytes: &[u8]) -> Option<Meta> {
-    let f = ElfFile::parse(bytes).ok()?;
+    let f = LazyElf::parse(bytes).ok()?;
     let evidence = f.evidence();
     let provenance = if evidence.needs_fallback() {
         Some(feam_provenance::analyze(&f)).filter(|r| !r.is_empty())
@@ -101,34 +101,38 @@ fn parse_meta(bytes: &[u8]) -> Option<Meta> {
         is_dynamic: f.is_dynamic(),
         provenance,
         soname: f.soname().map(str::to_string),
-        needed: f.needed().to_vec(),
-        rpath: f.dynamic_info().rpath.clone(),
-        runpath: f.dynamic_info().runpath.clone(),
+        needed: f.needed().iter().map(|n| n.to_string()).collect(),
+        rpath: f.rpath().map(str::to_string),
+        runpath: f.runpath().map(str::to_string),
         version_refs: f
             .version_refs()
             .iter()
             .map(|vr| {
                 (
-                    vr.file.clone(),
+                    vr.file.to_string(),
                     vr.versions
                         .iter()
-                        .map(|v| (v.name.clone(), v.weak))
+                        .map(|v| (v.name.to_string(), v.weak))
                         .collect(),
                 )
             })
             .collect(),
-        version_defs: f.version_defs().iter().map(|d| d.name.clone()).collect(),
+        version_defs: f
+            .version_defs()
+            .iter()
+            .map(|d| d.name.to_string())
+            .collect(),
         exports: f
             .dynamic_symbols()
             .iter()
             .filter(|s| !s.undefined && !s.name.is_empty())
-            .map(|s| (s.name.clone(), s.version.clone()))
+            .map(|s| (s.name.to_string(), s.version.map(str::to_string)))
             .collect(),
         imports: f
             .dynamic_symbols()
             .iter()
             .filter(|s| s.undefined && !s.name.is_empty())
-            .map(|s| (s.name.clone(), s.version.clone(), s.weak))
+            .map(|s| (s.name.to_string(), s.version.map(str::to_string), s.weak))
             .collect(),
         required_glibc: f.required_glibc(),
         comments: f.comments().to_vec(),
@@ -699,10 +703,10 @@ fn resolve_from_bundle(
         for dep in &copy.description.needed {
             if !is_c_library(dep)
                 && !library_visible(world, dep)
-                && bundle.libraries.contains_key(dep)
-                && !staged_set.contains(dep)
+                && bundle.libraries.contains_key(dep.as_str())
+                && !staged_set.contains(dep.as_str())
             {
-                to_stage.push(dep.clone());
+                to_stage.push(dep.to_string());
             }
         }
     }
@@ -765,7 +769,7 @@ pub fn checker_inventory(site: &Site) -> CheckerInventory {
             if bytes.len() < 4 || bytes[..4] != [0x7f, b'E', b'L', b'F'] {
                 continue;
             }
-            let Ok(f) = ElfFile::parse(bytes) else {
+            let Ok(f) = LazyElf::parse(bytes) else {
                 continue;
             };
             entries.push(InvEntry {
@@ -777,10 +781,14 @@ pub fn checker_inventory(site: &Site) -> CheckerInventory {
                     .dynamic_symbols()
                     .iter()
                     .filter(|s| !s.undefined && !s.name.is_empty())
-                    .map(|s| (s.name.clone(), s.version.clone()))
+                    .map(|s| (s.name.to_string(), s.version.map(str::to_string)))
                     .collect(),
-                version_defs: f.version_defs().iter().map(|d| d.name.clone()).collect(),
-                needed: f.needed().to_vec(),
+                version_defs: f
+                    .version_defs()
+                    .iter()
+                    .map(|d| d.name.to_string())
+                    .collect(),
+                needed: f.needed().iter().map(|n| n.to_string()).collect(),
             });
         }
     }

@@ -14,13 +14,14 @@
 //! `locate`/`find` fallbacks when `ldd` is absent or unreliable.
 
 use crate::error::{FeamError, Result};
+use crate::intern::{IStr, Interner};
 use feam_elf::comment::{extract_provenance, Provenance};
-use feam_elf::{Class, ElfFile, FileKind, Machine, Soname, VersionName, VersionRef};
+use feam_elf::{Class, FileKind, LazyElf, Machine, Soname, VersionName, VersionRef, VersionRefV};
 use feam_sim::mpi::MpiImpl;
 use feam_sim::site::Session;
 use feam_sim::tools::{self, LddResult};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
 /// Identification of the MPI implementation a binary was compiled with,
@@ -38,8 +39,8 @@ pub enum MpiIdentification {
 /// * MVAPICH2 — `libmpich`/`libmpichf90` **and** `libibverbs` + `libibumad`;
 /// * Open MPI — `libnsl` + `libutil` (and `libmpi`);
 /// * MPICH2 — `libmpich`/`libmpichf90` and *not* the other identifiers.
-pub fn identify_mpi(needed: &[String]) -> MpiIdentification {
-    let has = |prefix: &str| needed.iter().any(|n| n.starts_with(prefix));
+pub fn identify_mpi<S: AsRef<str>>(needed: &[S]) -> MpiIdentification {
+    let has = |prefix: &str| needed.iter().any(|n| n.as_ref().starts_with(prefix));
     let has_mpich = has("libmpich");
     let has_ibverbs = has("libibverbs");
     let has_ibumad = has("libibumad");
@@ -86,9 +87,9 @@ pub struct BinaryDescription {
     /// Whether the binary is dynamically linked.
     pub is_dynamic: bool,
     /// `DT_NEEDED` sonames.
-    pub needed: Vec<String>,
+    pub needed: Vec<IStr>,
     /// For shared libraries: the official shared-object name…
-    pub soname: Option<String>,
+    pub soname: Option<IStr>,
     /// …and the version information embedded in it.
     pub embedded_version: Option<Soname>,
     /// The required C library version (§III.C).
@@ -98,7 +99,7 @@ pub struct BinaryDescription {
     /// MPI implementation identification (Table I).
     pub mpi: MpiIdentification,
     /// Raw `.comment` strings.
-    pub comments: Vec<String>,
+    pub comments: Vec<IStr>,
     /// Parsed build-environment hints.
     pub build_env: BuildEnvironment,
     /// `NT_GNU_ABI_TAG` (OS + minimum kernel), when present.
@@ -113,18 +114,32 @@ pub struct BinaryDescription {
     pub provenance: Option<feam_provenance::ProvenanceReport>,
     /// Image size in bytes.
     pub size: usize,
-    /// Stable FNV-1a hash of the described image — the content-addressed
-    /// identity the description caches key on (`feam-core::cache`).
+    /// Stable content hash of the described image — the primary lane of
+    /// the [`crate::cache::BdcKey`] the description caches key on, so the
+    /// image is hashed once per describe, not once per consumer.
     pub content_hash: u64,
 }
 
 impl BinaryDescription {
     /// Describe an ELF image read from `path` bytes.
     pub fn from_bytes(path: &str, bytes: &[u8]) -> Result<Self> {
-        let f = ElfFile::parse(bytes)
+        Self::from_bytes_keyed(path, bytes, crate::cache::BdcKey::of(bytes), None)
+    }
+
+    /// [`from_bytes`](Self::from_bytes) with the content key precomputed —
+    /// `content_hash` is the key's primary lane, so an image is hashed
+    /// exactly once per describe instead of once per consumer — and an
+    /// optional per-request name arena so every description in a request's
+    /// library graph shares one allocation per distinct soname/comment.
+    pub fn from_bytes_keyed(
+        path: &str,
+        bytes: &[u8],
+        key: crate::cache::BdcKey,
+        mut arena: Option<&mut Interner>,
+    ) -> Result<Self> {
+        let f = LazyElf::parse(bytes)
             .map_err(|e| FeamError::BinaryUnreadable(format!("{path}: {e}")))?;
         let provenance: Provenance = extract_provenance(f.comments());
-        let needed = f.needed().to_vec();
         let evidence = f.evidence();
         // Fall back to signature matching only when a direct channel is
         // missing; a non-empty report then carries the calibrated claims.
@@ -133,6 +148,13 @@ impl BinaryDescription {
         } else {
             None
         };
+        let mut name = |s: &str| match arena.as_deref_mut() {
+            Some(a) => a.istr(s),
+            None => IStr::new(s),
+        };
+        let needed: Vec<IStr> = f.needed().iter().map(|s| name(s)).collect();
+        let soname = f.soname().map(&mut name);
+        let comments: Vec<IStr> = f.comments().iter().map(|s| name(s)).collect();
         Ok(BinaryDescription {
             path: path.to_string(),
             format: "ELF".to_string(),
@@ -140,13 +162,13 @@ impl BinaryDescription {
             class: f.class(),
             kind: f.kind(),
             is_dynamic: f.is_dynamic(),
-            soname: f.soname().map(str::to_string),
             embedded_version: f.soname().and_then(Soname::parse),
             required_glibc: f.required_glibc(),
-            version_refs: f.version_refs().to_vec(),
+            version_refs: f.version_refs().iter().map(VersionRefV::owned).collect(),
             mpi: identify_mpi(&needed),
             needed,
-            comments: f.comments().to_vec(),
+            soname,
+            comments,
             build_env: BuildEnvironment {
                 compiler: provenance.compiler,
                 distro_hint: provenance.distro_hint,
@@ -155,16 +177,61 @@ impl BinaryDescription {
             evidence,
             provenance: fallback,
             size: bytes.len(),
-            content_hash: feam_sim::rng::fnv1a(bytes),
+            content_hash: key.hash,
         })
     }
 
-    /// Describe the binary at `path` within a session.
+    /// The historical eager twin of [`from_bytes`](Self::from_bytes), kept
+    /// for the differential suite (`tests/elf_differential.rs`): parses
+    /// with the owned `reader::ElfFile` and must serialize byte-identically
+    /// to the lazy path on every input both accept.
+    #[cfg(feature = "eager")]
+    pub fn from_bytes_eager(path: &str, bytes: &[u8]) -> Result<Self> {
+        let f = feam_elf::ElfFile::parse(bytes)
+            .map_err(|e| FeamError::BinaryUnreadable(format!("{path}: {e}")))?;
+        let provenance: Provenance = extract_provenance(f.comments());
+        let evidence = f.evidence();
+        let fallback = if evidence.needs_fallback() {
+            Some(feam_provenance::analyze_eager(&f)).filter(|r| !r.is_empty())
+        } else {
+            None
+        };
+        let needed: Vec<IStr> = f.needed().iter().map(|s| IStr::new(s)).collect();
+        Ok(BinaryDescription {
+            path: path.to_string(),
+            format: "ELF".to_string(),
+            machine: f.machine(),
+            class: f.class(),
+            kind: f.kind(),
+            is_dynamic: f.is_dynamic(),
+            soname: f.soname().map(IStr::new),
+            embedded_version: f.soname().and_then(Soname::parse),
+            required_glibc: f.required_glibc(),
+            version_refs: f.version_refs().to_vec(),
+            mpi: identify_mpi(&needed),
+            needed,
+            comments: f.comments().iter().map(|s| IStr::new(s)).collect(),
+            build_env: BuildEnvironment {
+                compiler: provenance.compiler,
+                distro_hint: provenance.distro_hint,
+            },
+            abi_tag: f.abi_tag(),
+            evidence,
+            provenance: fallback,
+            size: bytes.len(),
+            content_hash: crate::cache::BdcKey::of(bytes).hash,
+        })
+    }
+
+    /// Describe the binary at `path` within a session. The content key is
+    /// taken from the pointer-memoized [`crate::cache::content_key_of`], so
+    /// a buffer shared with the VFS is hashed once per process, not once
+    /// per request.
     pub fn from_session(sess: &Session<'_>, path: &str) -> Result<Self> {
         let bytes = sess
             .read_bytes(path)
             .ok_or_else(|| FeamError::BinaryUnreadable(format!("{path}: no such file")))?;
-        Self::from_bytes(path, &bytes)
+        Self::from_bytes_keyed(path, &bytes, crate::cache::content_key_of(&bytes), None)
     }
 
     /// One-line summary for reports.
@@ -254,24 +321,40 @@ pub fn collect_libraries_cached(
     path: &str,
     caches: Option<&crate::cache::PhaseCaches>,
 ) -> Result<BTreeMap<String, LibraryCopy>> {
+    let mut arena = Interner::new();
     let mut out: BTreeMap<String, LibraryCopy> = BTreeMap::new();
     let mut pending: Vec<String> = vec![path.to_string()];
-    let mut described: Vec<String> = Vec::new();
+    let mut described: HashSet<String> = HashSet::new();
+    // `DT_NEEDED` recorded per described object, so the `ldd`-fallback path
+    // reuses work already done instead of reading and describing the same
+    // image a second time.
+    let mut needed_of: HashMap<String, Vec<IStr>> = HashMap::new();
     while let Some(obj_path) = pending.pop() {
-        if described.contains(&obj_path) {
+        if !described.insert(obj_path.clone()) {
             continue;
         }
-        described.push(obj_path.clone());
         sess.charge(0.2);
         // Primary: ldd gives sonames with locations.
         let entries: Vec<(String, Option<String>)> = match tools::ldd(sess, &obj_path) {
             LddResult::Resolved(map) => map,
-            // Fallback: parse DT_NEEDED ourselves and search each one.
+            // Fallback: take DT_NEEDED ourselves and search each one.
             LddResult::NotRecognized | LddResult::NotPresent => {
-                let desc = BinaryDescription::from_session(sess, &obj_path)?;
-                desc.needed
+                let needed = match needed_of.get(&obj_path) {
+                    Some(n) => n.clone(),
+                    // Not described yet (the root object): one read, one
+                    // zero-copy parse, for the dependency list alone.
+                    None => {
+                        let bytes = sess.read_bytes(&obj_path).ok_or_else(|| {
+                            FeamError::BinaryUnreadable(format!("{obj_path}: no such file"))
+                        })?;
+                        let f = LazyElf::parse(&bytes)
+                            .map_err(|e| FeamError::BinaryUnreadable(format!("{obj_path}: {e}")))?;
+                        f.needed().iter().map(|so| arena.istr(so)).collect()
+                    }
+                };
+                needed
                     .iter()
-                    .map(|so| (so.clone(), locate_library(sess, so)))
+                    .map(|so| (so.to_string(), locate_library(sess, so)))
                     .collect()
             }
         };
@@ -285,31 +368,35 @@ pub fn collect_libraries_cached(
             let Some(bytes) = sess.read_bytes(&loc) else {
                 continue;
             };
-            // Describing is pure in the bytes, so the content hash is a
+            // Describing is pure in the bytes, so the content key is a
             // sound memoization key: identical images at different paths
             // share one description (the path field is the cached origin).
+            let key = crate::cache::content_key_of(&bytes);
             let description = match caches {
-                Some(c) => {
-                    let key = crate::cache::BdcKey::of(&bytes);
-                    match c.bdc_get(&key) {
-                        Some(d) => {
-                            sess.recorder.count("cache.bdc.hit", 1);
-                            let mut d = (*d).clone();
-                            // The description is content-addressed; only the
-                            // origin path is site-local.
-                            d.path = loc.clone();
-                            d
-                        }
-                        None => {
-                            sess.recorder.count("cache.bdc.miss", 1);
-                            let d = BinaryDescription::from_bytes(&loc, &bytes)?;
-                            c.bdc_put(key, Arc::new(d.clone()));
-                            d
-                        }
+                Some(c) => match c.bdc_get(&key) {
+                    Some(d) => {
+                        sess.recorder.count("cache.bdc.hit", 1);
+                        let mut d = (*d).clone();
+                        // The description is content-addressed; only the
+                        // origin path is site-local.
+                        d.path = loc.clone();
+                        d
                     }
-                }
-                None => BinaryDescription::from_bytes(&loc, &bytes)?,
+                    None => {
+                        sess.recorder.count("cache.bdc.miss", 1);
+                        let d = BinaryDescription::from_bytes_keyed(
+                            &loc,
+                            &bytes,
+                            key,
+                            Some(&mut arena),
+                        )?;
+                        c.bdc_put(key, Arc::new(d.clone()));
+                        d
+                    }
+                },
+                None => BinaryDescription::from_bytes_keyed(&loc, &bytes, key, Some(&mut arena))?,
             };
+            needed_of.insert(loc.clone(), description.needed.clone());
             out.insert(
                 soname.clone(),
                 LibraryCopy {

@@ -76,7 +76,7 @@ impl SourceBundle {
                 origin: l.origin.clone(),
                 size: l.bytes.len(),
                 required_glibc: l.description.required_glibc.as_ref().map(|v| v.render()),
-                needed: l.description.needed.clone(),
+                needed: l.description.needed.iter().map(|n| n.to_string()).collect(),
             })
             .collect();
         serde_json::json!({

@@ -395,6 +395,7 @@ pub fn missing_libraries(sess: &mut Session<'_>, path: &str) -> Vec<String> {
                 .filter(|so| {
                     !session_lib_visible(sess, so) && crate::bdc::locate_library(sess, so).is_none()
                 })
+                .map(|so| so.to_string())
                 .collect()
         }
     }
@@ -411,11 +412,12 @@ fn session_lib_visible(sess: &Session<'_>, soname: &str) -> bool {
 /// Directories (beyond the loader defaults and current `LD_LIBRARY_PATH`)
 /// where needed libraries were found by search — FEAM adds these to the
 /// generated environment setup.
-pub fn extra_lib_dirs(sess: &mut Session<'_>, needed: &[String]) -> Vec<String> {
+pub fn extra_lib_dirs<S: AsRef<str>>(sess: &mut Session<'_>, needed: &[S]) -> Vec<String> {
     let mut out: Vec<String> = Vec::new();
     let mut visible_dirs = sess.ld_library_path();
     visible_dirs.extend(sess.site.default_lib_dirs());
     for so in needed {
+        let so = so.as_ref();
         if crate::bdc::is_c_library(so) {
             continue;
         }

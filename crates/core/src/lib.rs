@@ -46,6 +46,7 @@ pub mod cache;
 pub mod config;
 pub mod edc;
 pub mod error;
+pub mod intern;
 pub mod phases;
 pub mod predict;
 pub mod report;
@@ -59,6 +60,7 @@ pub use cache::{BdcKey, CacheLayerStats, PhaseCaches};
 pub use config::{ConfigError, ConfigFile};
 pub use edc::{discover, EnvironmentDescription};
 pub use error::{FeamError, Result};
+pub use intern::{IStr, Interner, NameId};
 pub use phases::{run_source_phase, run_target_phase, PhaseConfig, TargetOutcome};
 pub use predict::{Determinant, Determination, Dissent, MemberVote, Prediction, PredictionMode};
 pub use resolve::{ResolutionFailure, ResolutionPlan};

@@ -103,7 +103,9 @@ fn describe_binary_cached(
     let Some(caches) = cfg.caches.as_deref() else {
         return BinaryDescription::from_session(sess, path);
     };
-    let key = crate::cache::BdcKey::of(image);
+    // Pointer-memoized: repeat requests for the same registered image skip
+    // rehashing its bytes entirely.
+    let key = crate::cache::content_key_of(image);
     if let Some(d) = caches.bdc_get(&key) {
         sess.recorder.count("cache.bdc.hit", 1);
         let mut d = (*d).clone();

@@ -183,7 +183,7 @@ fn copy_usable(
         .is_err()
         {
             verdict = Err(ResolutionFailure::DependencyUnresolvable {
-                dependency: dep.clone(),
+                dependency: dep.to_string(),
             });
             break;
         }
@@ -283,10 +283,10 @@ pub fn resolve_missing(
         for dep in &copy.description.needed {
             if !crate::bdc::is_c_library(dep)
                 && !library_visible(sess, dep)
-                && bundle.libraries.contains_key(dep)
-                && !staged_set.contains(dep)
+                && bundle.libraries.contains_key(dep.as_str())
+                && !staged_set.contains(dep.as_str())
             {
-                to_stage.push(dep.clone());
+                to_stage.push(dep.to_string());
             }
         }
     }

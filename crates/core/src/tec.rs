@@ -356,27 +356,60 @@ pub fn evaluate(
 
         // Native hello-world functional test (§III.B: "Our methods decide
         // an MPI stack is useable if a basic MPI program is able to be
-        // executed when the MPI stack is selected").
-        sess.charge(12.0); // native compile cost
-        let native_ok = match compile_with_retry(
-            &mut sess,
-            Some(ist),
-            &ProgramSpec::mpi_hello_world(Language::C),
-            cfg.seed,
-            &cfg.retry,
-        ) {
-            Ok(hello) => {
-                sess.stage_file("/home/user/feam/hello_native", hello.image.clone());
-                launch_with_retry(
+        // executed when the MPI stack is selected"). The verdict depends
+        // only on (site, stack, seed, nprocs) — never on the binary under
+        // evaluation — so it is memoized across evaluations when caches
+        // are installed, under the EDC's configuration epoch.
+        let caches = cfg.caches.as_deref();
+        let epoch = caches.map(|c| c.edc.epoch(site.name())).unwrap_or(0);
+        let memo = caches.and_then(|c| {
+            c.stack_tests
+                .get(site.name(), &cand.ident(), cfg.seed, cfg.nprocs, epoch)
+        });
+        let native_ok = match memo {
+            Some(ok) => ok,
+            None => {
+                sess.charge(12.0); // native compile cost
+                let faults_before = sess.faults_seen.get();
+                let ok = match compile_with_retry(
                     &mut sess,
-                    "/home/user/feam/hello_native",
-                    ist,
-                    cfg.nprocs,
+                    Some(ist),
+                    &ProgramSpec::mpi_hello_world(Language::C),
+                    cfg.seed,
                     &cfg.retry,
-                )
-                .success
+                ) {
+                    Ok(hello) => {
+                        sess.stage_file("/home/user/feam/hello_native", hello.image.clone());
+                        launch_with_retry(
+                            &mut sess,
+                            "/home/user/feam/hello_native",
+                            ist,
+                            cfg.nprocs,
+                            &cfg.retry,
+                        )
+                        .success
+                    }
+                    Err(_) => false,
+                };
+                if let Some(c) = caches {
+                    // Same poisoning guard as the description caches: a
+                    // test that saw an injected fault is delivered but
+                    // never becomes the memoized verdict.
+                    if sess.faults_seen.get() == faults_before {
+                        c.stack_tests.put(
+                            site.name(),
+                            &cand.ident(),
+                            cfg.seed,
+                            cfg.nprocs,
+                            epoch,
+                            ok,
+                        );
+                    } else {
+                        c.stack_tests.reject();
+                    }
+                }
+                ok
             }
-            Err(_) => false,
         };
         if !native_ok {
             rec.event(
@@ -417,7 +450,7 @@ pub fn evaluate(
                             && crate::bdc::locate_library(&sess, so).is_none()
                             && !visible_on_paths(&sess, so)
                     })
-                    .cloned()
+                    .map(|so| so.to_string())
                     .collect();
                 (missing, dirs)
             }

@@ -1,0 +1,144 @@
+//! Property tests for the per-request name arena (`feam_core::intern`):
+//! id stability under insertion-order permutations, resolve round-trips,
+//! collision freedom over seeded random names, and reset safety.
+
+use feam_core::intern::{IStr, Interner, NameId};
+
+/// SplitMix64-style deterministic generator.
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+
+    /// A soname-shaped random string.
+    fn name(&mut self) -> String {
+        let stem_len = self.range(3, 12);
+        let stem: String = (0..stem_len)
+            .map(|_| (b'a' + (self.next_u64() % 26) as u8) as char)
+            .collect();
+        format!("lib{}.so.{}", stem, self.range(0, 10))
+    }
+}
+
+#[test]
+fn resolve_round_trips_every_interned_name() {
+    let mut g = Gen::new(0xA_1E4A);
+    let mut arena = Interner::new();
+    let mut pairs: Vec<(NameId, String)> = Vec::new();
+    for _ in 0..1_000 {
+        let n = g.name();
+        let id = arena.intern(&n);
+        pairs.push((id, n));
+    }
+    for (id, n) in &pairs {
+        assert_eq!(arena.resolve(*id), n, "resolve(intern(s)) == s");
+        // istr() must agree with resolve() and with the original string.
+        assert_eq!(arena.istr(n), IStr::new(n));
+    }
+}
+
+#[test]
+fn ids_are_stable_under_insertion_order_permutations() {
+    // First-intern order assigns ids; re-interning in any permuted order
+    // afterwards must return the original ids unchanged.
+    let names: Vec<String> = (0..64).map(|i| format!("libperm{i}.so")).collect();
+    let mut arena = Interner::new();
+    let original: Vec<NameId> = names.iter().map(|n| arena.intern(n)).collect();
+
+    let mut g = Gen::new(0xD_DE5);
+    for _round in 0..50 {
+        // Fisher-Yates shuffle of the probe order.
+        let mut order: Vec<usize> = (0..names.len()).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, g.range(0, i + 1));
+        }
+        for &i in &order {
+            assert_eq!(
+                arena.intern(&names[i]),
+                original[i],
+                "re-interning {} under a permuted order changed its id",
+                names[i]
+            );
+        }
+    }
+    assert_eq!(arena.len(), names.len(), "no phantom entries appeared");
+}
+
+#[test]
+fn ten_thousand_seeded_names_never_collide() {
+    let mut g = Gen::new(0x0C01_11DE);
+    let mut arena = Interner::new();
+    let mut seen: std::collections::HashMap<NameId, String> = Default::default();
+    for _ in 0..10_000 {
+        let n = g.name();
+        let id = arena.intern(&n);
+        match seen.get(&id) {
+            // Same id must always mean same name ...
+            Some(prev) => assert_eq!(prev, &n, "id {id:?} handed to two distinct names"),
+            None => {
+                seen.insert(id, n);
+            }
+        }
+    }
+    // ... and distinct names must get distinct ids.
+    assert_eq!(seen.len(), arena.len(), "distinct-name/distinct-id count");
+    // Dense ids: every index below len() resolves.
+    for (id, n) in &seen {
+        assert!(id.index() < arena.len());
+        assert_eq!(arena.resolve(*id), n);
+    }
+}
+
+#[test]
+fn equal_names_share_storage_and_serialize_like_strings() {
+    let mut arena = Interner::new();
+    let a = arena.istr("libc.so.6");
+    let b = arena.istr("libc.so.6");
+    assert_eq!(a, b);
+    // Shared storage: both IStrs view the same address.
+    assert_eq!(a.as_str().as_ptr(), b.as_str().as_ptr());
+    // Byte-identical serialization with String (golden-report safety).
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&"libc.so.6".to_string()).unwrap()
+    );
+}
+
+#[test]
+fn reset_recycles_the_arena_and_keeps_issued_istrs_valid() {
+    let mut arena = Interner::new();
+    let kept = arena.istr("libmpi.so.0");
+    let id_before = arena.intern("libmpi.so.0");
+    assert_eq!(id_before.index(), 0);
+    arena.reset();
+    assert!(arena.is_empty());
+
+    // Previously issued IStrs own their storage and survive the reset.
+    assert_eq!(kept, "libmpi.so.0");
+
+    // A new generation starts from a clean slate: ids are reassigned in
+    // first-intern order again.
+    let id_x = arena.intern("libxyz.so.9");
+    assert_eq!(id_x.index(), 0);
+    assert_eq!(arena.resolve(id_x), "libxyz.so.9");
+    assert_eq!(arena.len(), 1);
+
+    // Re-interning the pre-reset name allocates a fresh entry rather than
+    // resurrecting the old id.
+    let id_again = arena.intern("libmpi.so.0");
+    assert_eq!(id_again.index(), 1);
+}

@@ -6,7 +6,7 @@
 //! a warning, not an error: real-world ELF files violate pedantic rules
 //! routinely, and FEAM must describe them anyway.
 
-use crate::reader::ElfFile;
+use crate::lazy::LazyElf;
 use crate::section::SectionKind;
 use crate::symbols::sym_size;
 
@@ -43,7 +43,7 @@ impl Finding {
 }
 
 /// Run all checks over a parsed image.
-pub fn check(f: &ElfFile<'_>) -> Vec<Finding> {
+pub fn check(f: &LazyElf<'_>) -> Vec<Finding> {
     let mut findings = Vec::new();
     check_versym_length(f, &mut findings);
     check_version_indices(f, &mut findings);
@@ -55,7 +55,7 @@ pub fn check(f: &ElfFile<'_>) -> Vec<Finding> {
 }
 
 /// `.gnu.version` must hold exactly one entry per dynamic symbol.
-fn check_versym_length(f: &ElfFile<'_>, out: &mut Vec<Finding>) {
+fn check_versym_length(f: &LazyElf<'_>, out: &mut Vec<Finding>) {
     let (Some(versym), Some(dynsym)) =
         (f.section_bytes(".gnu.version"), f.section_bytes(".dynsym"))
     else {
@@ -72,7 +72,7 @@ fn check_versym_length(f: &ElfFile<'_>, out: &mut Vec<Finding>) {
 }
 
 /// Version indices in verneed/verdef must be unique across both tables.
-fn check_version_indices(f: &ElfFile<'_>, out: &mut Vec<Finding>) {
+fn check_version_indices(f: &LazyElf<'_>, out: &mut Vec<Finding>) {
     let mut seen = std::collections::HashMap::new();
     for d in f.version_defs() {
         if let Some(prev) = seen.insert(d.index, format!("definition {}", d.name)) {
@@ -95,7 +95,7 @@ fn check_version_indices(f: &ElfFile<'_>, out: &mut Vec<Finding>) {
 }
 
 /// `DT_NEEDED` entries should look like sonames.
-fn check_needed_are_sonames(f: &ElfFile<'_>, out: &mut Vec<Finding>) {
+fn check_needed_are_sonames(f: &LazyElf<'_>, out: &mut Vec<Finding>) {
     for n in f.needed() {
         if !n.contains(".so") && !n.starts_with("ld-") {
             out.push(Finding::warning(format!(
@@ -106,7 +106,7 @@ fn check_needed_are_sonames(f: &ElfFile<'_>, out: &mut Vec<Finding>) {
 }
 
 /// Shared objects should carry a `DT_SONAME`.
-fn check_shared_object_has_soname(f: &ElfFile<'_>, out: &mut Vec<Finding>) {
+fn check_shared_object_has_soname(f: &LazyElf<'_>, out: &mut Vec<Finding>) {
     if f.kind() == crate::header::FileKind::SharedObject
         && f.is_dynamic()
         && f.soname().is_none()
@@ -120,7 +120,7 @@ fn check_shared_object_has_soname(f: &ElfFile<'_>, out: &mut Vec<Finding>) {
 }
 
 /// Every version-reference file should appear in `DT_NEEDED`.
-fn check_version_refs_have_needed(f: &ElfFile<'_>, out: &mut Vec<Finding>) {
+fn check_version_refs_have_needed(f: &LazyElf<'_>, out: &mut Vec<Finding>) {
     for r in f.version_refs() {
         if !f.needed().iter().any(|n| n == &r.file) {
             out.push(Finding::warning(format!(
@@ -132,7 +132,7 @@ fn check_version_refs_have_needed(f: &ElfFile<'_>, out: &mut Vec<Finding>) {
 }
 
 /// Sections must lie within the file (NOBITS excepted).
-fn check_section_sanity(f: &ElfFile<'_>, out: &mut Vec<Finding>) {
+fn check_section_sanity(f: &LazyElf<'_>, out: &mut Vec<Finding>) {
     for (name, sh) in f.sections() {
         if sh.kind == SectionKind::NoBits || sh.kind == SectionKind::Null {
             continue;
@@ -165,7 +165,7 @@ mod tests {
     #[test]
     fn builder_output_is_clean() {
         let bytes = clean_spec().build().unwrap();
-        let f = ElfFile::parse(&bytes).unwrap();
+        let f = LazyElf::parse(&bytes).unwrap();
         let findings = check(&f);
         assert!(
             findings.is_empty(),
@@ -179,7 +179,7 @@ mod tests {
         spec.needed = vec!["libc.so.6".into()];
         spec.exports = vec![ExportSpec::new("x_init", Some("X_1.0"))];
         let bytes = spec.build().unwrap();
-        let f = ElfFile::parse(&bytes).unwrap();
+        let f = LazyElf::parse(&bytes).unwrap();
         assert!(check(&f).is_empty());
     }
 
@@ -188,7 +188,7 @@ mod tests {
         let mut spec = clean_spec();
         spec.needed.push("not-a-library".into());
         let bytes = spec.build().unwrap();
-        let f = ElfFile::parse(&bytes).unwrap();
+        let f = LazyElf::parse(&bytes).unwrap();
         let findings = check(&f);
         assert!(findings
             .iter()
@@ -203,7 +203,7 @@ mod tests {
         // cut inside the last section's body; instead corrupt a section
         // header's size field directly via a reparse of truncated data
         // being an Err — so synthesize the case by growing a section size.
-        let f = ElfFile::parse(&bytes).unwrap();
+        let f = LazyElf::parse(&bytes).unwrap();
         // Instead of byte surgery, validate the rule directly on a crafted
         // case: the check compares against f.size(), so any section whose
         // offset+size exceeds the image must be reported. The clean image
@@ -211,7 +211,7 @@ mod tests {
         assert!(check_all_within(&f));
     }
 
-    fn check_all_within(f: &ElfFile<'_>) -> bool {
+    fn check_all_within(f: &LazyElf<'_>) -> bool {
         check(f).iter().all(|x| !x.message.contains("extends past"))
     }
 
@@ -223,7 +223,7 @@ mod tests {
             let Ok(bytes) = std::fs::read(candidate) else {
                 continue;
             };
-            let Ok(f) = ElfFile::parse(&bytes) else {
+            let Ok(f) = LazyElf::parse(&bytes) else {
                 continue;
             };
             let errors: Vec<_> = check(&f)

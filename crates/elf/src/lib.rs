@@ -13,13 +13,19 @@
 //! * the `.comment` provenance section (`readelf -p .comment`).
 //!
 //! The writer ([`builder::ElfSpec`]) produces conforming images that the
-//! reader ([`reader::ElfFile`]) digests through *both* the section-header
+//! reader ([`lazy::LazyElf`]) digests through *both* the section-header
 //! route (binutils-style) and the `PT_DYNAMIC` segment route (ld.so-style),
 //! so stripped binaries exercise a distinct code path, exactly as the
 //! paper's `ldd`-sometimes-fails fallback logic requires.
 //!
+//! The production reader is zero-copy: every string it exposes borrows
+//! from the input image, and `.comment` decoding is deferred until first
+//! access. The historical eager reader ([`reader::ElfFile`]) is kept
+//! behind the test-only `eager` feature as the differential oracle for
+//! `tests/elf_differential.rs`.
+//!
 //! ```
-//! use feam_elf::{Class, ElfFile, ElfSpec, ImportSpec, Machine};
+//! use feam_elf::{Class, ElfSpec, ImportSpec, LazyElf, Machine};
 //!
 //! // Synthesize a dynamic executable ...
 //! let mut spec = ElfSpec::executable(Machine::X86_64, Class::Elf64);
@@ -27,9 +33,9 @@
 //! spec.imports = vec![ImportSpec::versioned("fopen64", "libc.so.6", "GLIBC_2.3.4")];
 //! let bytes = spec.build().unwrap();
 //!
-//! // ... and read back exactly what FEAM's BDC needs.
-//! let f = ElfFile::parse(&bytes).unwrap();
-//! assert_eq!(f.needed(), &["libmpi.so.0".to_string(), "libc.so.6".to_string()]);
+//! // ... and read back exactly what FEAM's BDC needs, without copying.
+//! let f = LazyElf::parse(&bytes).unwrap();
+//! assert_eq!(f.needed(), &["libmpi.so.0", "libc.so.6"]);
 //! assert_eq!(f.required_glibc().unwrap().render(), "GLIBC_2.3.4");
 //! ```
 
@@ -41,9 +47,11 @@ pub mod endian;
 pub mod error;
 pub mod header;
 pub mod ident;
+pub mod lazy;
 pub mod machine;
 pub mod notes;
 pub mod program;
+#[cfg(any(test, feature = "eager"))]
 pub mod reader;
 pub mod render;
 pub mod section;
@@ -57,8 +65,13 @@ pub use endian::Endian;
 pub use error::{Error, Result};
 pub use header::FileKind;
 pub use ident::Class;
+pub use lazy::{EvidenceSurvey, LazyElf, SymView};
 pub use machine::{HostArch, Machine};
 pub use notes::{AbiTag, AbiTagOs};
-pub use reader::{ElfFile, EvidenceSurvey};
+#[cfg(any(test, feature = "eager"))]
+pub use reader::ElfFile;
 pub use soname::Soname;
-pub use versions::{VersionDef, VersionName, VersionRef, VersionRefEntry};
+pub use versions::{
+    VersionDef, VersionDefV, VersionName, VersionRef, VersionRefEntry, VersionRefEntryV,
+    VersionRefV,
+};

@@ -12,6 +12,7 @@ use crate::endian::{slice, Endian};
 use crate::error::{Error, Result};
 use crate::header::{ElfHeader, FileKind};
 use crate::ident::Class;
+use crate::lazy::EvidenceSurvey;
 use crate::machine::Machine;
 use crate::notes::{find_abi_tag, parse_notes, AbiTag};
 use crate::program::{self, ProgramHeader, SegmentKind};
@@ -21,36 +22,6 @@ use crate::symbols::{self, NamedSymbol};
 use crate::versions::{
     self, newest_with_prefix, VersionDef, VersionName, VersionRef, VER_NDX_GLOBAL, VER_NDX_LOCAL,
 };
-
-/// Which evidence tables an image actually carries.
-///
-/// Absence of a table is a *finding*, not a parse failure: a stripped
-/// binary legitimately has no section headers (and therefore no reachable
-/// `.comment` or `.symtab`), a static binary legitimately has no dynamic
-/// section. Downstream components use this survey to pick an evidence
-/// tier instead of treating the gap as an error.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
-pub struct EvidenceSurvey {
-    /// Section header table present (the `objdump`/`readelf` route).
-    pub has_section_headers: bool,
-    /// Any symbol table reachable (`.symtab` section or dynamic symbols
-    /// recovered through either route).
-    pub has_symtab: bool,
-    /// `.comment` provenance strings reachable.
-    pub has_comment: bool,
-    /// Dynamic section present (dynamically linked).
-    pub has_dynamic: bool,
-    /// GNU version references (`.gnu.version_r`) present.
-    pub has_verneed: bool,
-}
-
-impl EvidenceSurvey {
-    /// True when the direct provenance channels (`.comment`, version
-    /// references) are all absent and a fallback tier is required.
-    pub fn needs_fallback(&self) -> bool {
-        !self.has_comment || !self.has_dynamic
-    }
-}
 
 /// A fully parsed ELF image.
 #[derive(Debug, Clone)]

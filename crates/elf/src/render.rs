@@ -8,12 +8,12 @@
 
 use crate::header::FileKind;
 use crate::ident::Class;
-use crate::reader::ElfFile;
+use crate::lazy::LazyElf;
 use std::fmt::Write as _;
 
 /// Render the `objdump -p`-style private headers: format line, dynamic
 /// section (NEEDED/SONAME/RPATH/RUNPATH), and version references.
-pub fn render_objdump_p(f: &ElfFile<'_>) -> String {
+pub fn render_objdump_p(f: &LazyElf<'_>) -> String {
     let mut s = String::new();
     let format_name = match (f.class(), f.machine()) {
         (Class::Elf64, crate::machine::Machine::X86_64) => "elf64-x86-64".to_string(),
@@ -41,10 +41,10 @@ pub fn render_objdump_p(f: &ElfFile<'_>) -> String {
     if let Some(so) = f.soname() {
         let _ = writeln!(s, "  SONAME               {so}");
     }
-    if let Some(rp) = &f.dynamic_info().rpath {
+    if let Some(rp) = f.rpath() {
         let _ = writeln!(s, "  RPATH                {rp}");
     }
-    if let Some(rp) = &f.dynamic_info().runpath {
+    if let Some(rp) = f.runpath() {
         let _ = writeln!(s, "  RUNPATH              {rp}");
     }
     if !f.version_defs().is_empty() {
@@ -74,7 +74,7 @@ pub fn render_objdump_p(f: &ElfFile<'_>) -> String {
 }
 
 /// Render `readelf -p .comment`-style output.
-pub fn render_comment_section(f: &ElfFile<'_>) -> String {
+pub fn render_comment_section(f: &LazyElf<'_>) -> String {
     if f.comments().is_empty() {
         return "section '.comment' is empty or absent\n".to_string();
     }
@@ -88,7 +88,7 @@ pub fn render_comment_section(f: &ElfFile<'_>) -> String {
 }
 
 /// One-paragraph summary covering every Figure 3 field.
-pub fn render_summary(f: &ElfFile<'_>) -> String {
+pub fn render_summary(f: &LazyElf<'_>) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
@@ -140,7 +140,7 @@ mod tests {
     #[test]
     fn objdump_style_lists_needed_and_versions() {
         let bytes = sample();
-        let f = ElfFile::parse(&bytes).unwrap();
+        let f = LazyElf::parse(&bytes).unwrap();
         let out = render_objdump_p(&f);
         assert!(out.contains("elf64-x86-64"));
         assert!(out.contains("NEEDED               libmpi.so.0"));
@@ -152,7 +152,7 @@ mod tests {
     #[test]
     fn comment_dump_contains_strings() {
         let bytes = sample();
-        let f = ElfFile::parse(&bytes).unwrap();
+        let f = LazyElf::parse(&bytes).unwrap();
         let out = render_comment_section(&f);
         assert!(out.contains("GCC: (GNU) 4.1.2"));
     }
@@ -160,7 +160,7 @@ mod tests {
     #[test]
     fn summary_covers_figure3_fields() {
         let bytes = sample();
-        let f = ElfFile::parse(&bytes).unwrap();
+        let f = LazyElf::parse(&bytes).unwrap();
         let out = render_summary(&f);
         assert!(out.contains("x86-64 64-bit ELF"));
         assert!(out.contains("GLIBC_2.2.5"));
@@ -173,7 +173,7 @@ mod tests {
         let mut spec = ElfSpec::shared_library("libdemo.so.3.1", Machine::X86_64, Class::Elf64);
         spec.needed = vec!["libc.so.6".into()];
         let bytes = spec.build().unwrap();
-        let f = ElfFile::parse(&bytes).unwrap();
+        let f = LazyElf::parse(&bytes).unwrap();
         let out = render_summary(&f);
         assert!(out.contains("libdemo.so.3.1"));
         assert!(out.contains("major version 3"));

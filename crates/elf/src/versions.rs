@@ -69,6 +69,70 @@ pub struct VersionDef {
     pub parents: Vec<String>,
 }
 
+/// Zero-copy twin of [`VersionRefEntry`]: the name borrows from the
+/// dynamic string table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VersionRefEntryV<'d> {
+    /// Version name, e.g. `GLIBC_2.5` or `OMPI_1.4`.
+    pub name: &'d str,
+    /// versym index assigned to symbols bound to this version.
+    pub index: u16,
+    /// True when `VER_FLG_WEAK` is set.
+    pub weak: bool,
+}
+
+/// Zero-copy twin of [`VersionRef`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionRefV<'d> {
+    /// The dependency's soname, e.g. `libc.so.6`.
+    pub file: &'d str,
+    /// The versions required from that file.
+    pub versions: Vec<VersionRefEntryV<'d>>,
+}
+
+impl VersionRefV<'_> {
+    /// Materialize an owned [`VersionRef`].
+    pub fn owned(&self) -> VersionRef {
+        VersionRef {
+            file: self.file.to_string(),
+            versions: self
+                .versions
+                .iter()
+                .map(|v| VersionRefEntry {
+                    name: v.name.to_string(),
+                    index: v.index,
+                    weak: v.weak,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Zero-copy twin of [`VersionDef`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionDefV<'d> {
+    /// Version name; for the base definition this is the soname.
+    pub name: &'d str,
+    /// versym index of symbols carrying this version.
+    pub index: u16,
+    /// True for the `VER_FLG_BASE` self-definition.
+    pub is_base: bool,
+    /// Predecessor version names (inheritance chain), newest first.
+    pub parents: Vec<&'d str>,
+}
+
+impl VersionDefV<'_> {
+    /// Materialize an owned [`VersionDef`].
+    pub fn owned(&self) -> VersionDef {
+        VersionDef {
+            name: self.name.to_string(),
+            index: self.index,
+            is_base: self.is_base,
+            parents: self.parents.iter().map(|p| p.to_string()).collect(),
+        }
+    }
+}
+
 /// Parse a `.gnu.version_r` section.
 pub fn parse_verneed(
     data: &[u8],
@@ -76,6 +140,20 @@ pub fn parse_verneed(
     strtab: &StrTab<'_>,
     e: Endian,
 ) -> Result<Vec<VersionRef>> {
+    Ok(parse_verneed_ref(data, count, strtab, e)?
+        .iter()
+        .map(VersionRefV::owned)
+        .collect())
+}
+
+/// Parse a `.gnu.version_r` section without copying any name out of the
+/// string table.
+pub fn parse_verneed_ref<'d>(
+    data: &[u8],
+    count: usize,
+    strtab: &StrTab<'d>,
+    e: Endian,
+) -> Result<Vec<VersionRefV<'d>>> {
     // `count` is attacker-controlled (sh_info / DT_VERNEEDNUM); each record
     // occupies at least 16 bytes, so cap the pre-allocation by what the
     // section could physically hold.
@@ -92,7 +170,7 @@ pub fn parse_verneed(
         let file_off = e.read_u32(data, off + 4)? as usize;
         let aux = e.read_u32(data, off + 8)? as usize;
         let next = e.read_u32(data, off + 12)? as usize;
-        let file = strtab.get(file_off)?.to_string();
+        let file = strtab.get(file_off)?;
         let mut versions = Vec::with_capacity(cnt);
         let mut aoff = off + aux;
         for i in 0..cnt {
@@ -101,8 +179,8 @@ pub fn parse_verneed(
             let other = e.read_u16(data, aoff + 6)?;
             let name_off = e.read_u32(data, aoff + 8)? as usize;
             let anext = e.read_u32(data, aoff + 12)? as usize;
-            versions.push(VersionRefEntry {
-                name: strtab.get(name_off)?.to_string(),
+            versions.push(VersionRefEntryV {
+                name: strtab.get(name_off)?,
                 index: other & 0x7fff,
                 weak: flags & VER_FLG_WEAK != 0,
             });
@@ -113,7 +191,7 @@ pub fn parse_verneed(
                 aoff += anext;
             }
         }
-        out.push(VersionRef { file, versions });
+        out.push(VersionRefV { file, versions });
         if next == 0 {
             break;
         }
@@ -129,7 +207,21 @@ pub fn parse_verdef(
     strtab: &StrTab<'_>,
     e: Endian,
 ) -> Result<Vec<VersionDef>> {
-    // Same guard as `parse_verneed`: a verdef record is at least 20 bytes.
+    Ok(parse_verdef_ref(data, count, strtab, e)?
+        .iter()
+        .map(VersionDefV::owned)
+        .collect())
+}
+
+/// Parse a `.gnu.version_d` section without copying any name out of the
+/// string table.
+pub fn parse_verdef_ref<'d>(
+    data: &[u8],
+    count: usize,
+    strtab: &StrTab<'d>,
+    e: Endian,
+) -> Result<Vec<VersionDefV<'d>>> {
+    // Same guard as `parse_verneed_ref`: a verdef record is at least 20 bytes.
     let mut out = Vec::with_capacity(count.min(data.len() / 20));
     let mut off = 0usize;
     for _ in 0..count {
@@ -151,7 +243,7 @@ pub fn parse_verdef(
         for i in 0..cnt {
             let name_off = e.read_u32(data, aoff)? as usize;
             let anext = e.read_u32(data, aoff + 4)? as usize;
-            names.push(strtab.get(name_off)?.to_string());
+            names.push(strtab.get(name_off)?);
             if i + 1 < cnt {
                 if anext == 0 {
                     return Err(Error::Malformed("verdaux chain ended early".into()));
@@ -160,7 +252,7 @@ pub fn parse_verdef(
             }
         }
         let name = names.remove(0);
-        out.push(VersionDef {
+        out.push(VersionDefV {
             name,
             index: ndx,
             is_base: flags & VER_FLG_BASE != 0,

@@ -58,6 +58,7 @@ struct Args {
     universe_seed: Option<u64>,
     quick: bool,
     max_p99_us: Option<u64>,
+    max_uncached_p99_us: Option<u64>,
     min_hit_rate: Option<f64>,
     min_speedup: Option<f64>,
     max_overhead: f64,
@@ -90,6 +91,7 @@ fn parse_args() -> Args {
         universe_seed: None,
         quick: false,
         max_p99_us: None,
+        max_uncached_p99_us: None,
         min_hit_rate: None,
         min_speedup: None,
         max_overhead: 0.05,
@@ -162,6 +164,13 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|| die("--max-p99-us needs microseconds")),
                 );
             }
+            "--max-uncached-p99-us" => {
+                args.max_uncached_p99_us = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--max-uncached-p99-us needs microseconds")),
+                );
+            }
             "--min-hit-rate" => {
                 args.min_hit_rate = Some(
                     iter.next()
@@ -216,7 +225,7 @@ fn parse_args() -> Args {
                      [--stats] [--ablation] [--recompile] [--telemetry] [--chaos RATE] \
                      [--json PATH] [--all]\n\
                      feam-eval --serve-bench [--quick] [--seed N] [--json PATH] \
-                     [--max-p99-us N] [--min-hit-rate F]\n\
+                     [--max-p99-us N] [--max-uncached-p99-us N] [--min-hit-rate F]\n\
                      feam-eval --plan-bench [--quick] [--seed N] [--json PATH] \
                      [--max-p99-us N] [--min-speedup F]\n\
                      feam-eval --obs-bench [--quick] [--seed N] [--json PATH] \
@@ -346,6 +355,15 @@ fn serve_bench_main(args: &Args) -> ! {
             eprintln!(
                 "FAIL: cached p99 {}us exceeds threshold {}us",
                 cmp.cached.p99_us, max
+            );
+            failed = true;
+        }
+    }
+    if let Some(max) = args.max_uncached_p99_us {
+        if cmp.uncached.p99_us > max {
+            eprintln!(
+                "FAIL: uncached p99 {}us exceeds threshold {}us",
+                cmp.uncached.p99_us, max
             );
             failed = true;
         }

@@ -13,7 +13,7 @@
 //!   upgrading a prediction it may only degrade).
 
 use feam_core::phases::{run_target_phase, PhaseConfig};
-use feam_elf::ElfFile;
+use feam_elf::LazyElf;
 use feam_provenance::{analyze, ProvenanceReport};
 use feam_sim::compile::BinaryVariant;
 use feam_workloads::hostile::{hostile_corpus, HOSTILE_VARIANTS};
@@ -126,7 +126,7 @@ pub fn provenance_bench(seed: u64, quick: bool) -> ProvenanceBenchReport {
 
     // ---- claim accuracy over the whole hostile corpus ----------------------
     for item in hostile.binaries() {
-        let Ok(f) = ElfFile::parse(&item.image) else {
+        let Ok(f) = LazyElf::parse(&item.image) else {
             continue; // unparseable twins are graded as misses below
         };
         let r = analyze(&f);

@@ -81,6 +81,15 @@ pub fn render_serve(cmp: &ServeBenchComparison) -> String {
             r.p95_us,
             r.p99_us,
         ));
+        if r.p50_us == 0 {
+            // Sub-microsecond medians are real on the result-cache path;
+            // surface the nanosecond samples instead of a misleading 0.
+            out.push_str(&format!(
+                "            sub-us detail: p50 {}ns p95 {}ns p99 {}ns
+",
+                r.p50_ns, r.p95_ns, r.p99_ns,
+            ));
+        }
     }
     let c = &cmp.cached;
     out.push_str(&format!(
@@ -139,6 +148,9 @@ mod tests {
             p50_us: 100,
             p95_us: 200,
             p99_us: 300,
+            p50_ns: 100_000,
+            p95_ns: 200_000,
+            p99_ns: 300_000,
             bdc_hit_rate: 0.9,
             edc_hit_rate: 0.8,
         };

@@ -44,7 +44,7 @@
 //! let bin = compile_variant(&site, Some(&stack),
 //!     &ProgramSpec::new("bt.A.4", Language::Fortran), 7, BinaryVariant::Stripped).unwrap();
 //!
-//! let report = analyze(&feam_elf::ElfFile::parse(&bin.image).unwrap());
+//! let report = analyze(&feam_elf::LazyElf::parse(&bin.image).unwrap());
 //! let compiler = report.compiler.unwrap();
 //! assert_eq!(compiler.family, CompilerFamily::Gnu);
 //! assert_eq!(compiler.version.as_deref(), Some("4.1.2"));
@@ -58,4 +58,6 @@ pub mod report;
 
 pub use db::{CompilerSignature, MpiSignature, SignatureDb, DB_VERSION};
 pub use matcher::analyze;
+#[cfg(feature = "eager")]
+pub use matcher::analyze_eager;
 pub use report::{CompilerClaim, EvidenceTier, MpiClaim, ProvenanceReport, RuntimeClaim};

@@ -14,12 +14,28 @@
 
 use crate::db::SignatureDb;
 use crate::report::{CompilerClaim, EvidenceTier, MpiClaim, ProvenanceReport, RuntimeClaim};
-use feam_elf::ElfFile;
+use feam_elf::LazyElf;
 use feam_sim::toolchain::CompilerFamily;
 
 /// Scan `elf` against the shared builtin database.
-pub fn analyze(elf: &ElfFile) -> ProvenanceReport {
+pub fn analyze(elf: &LazyElf) -> ProvenanceReport {
     SignatureDb::shared().analyze(elf)
+}
+
+/// [`analyze`] over the historical eager reader, kept for the
+/// differential suite. Must report identically to [`analyze`] on the
+/// same image.
+#[cfg(feature = "eager")]
+pub fn analyze_eager(elf: &feam_elf::ElfFile) -> ProvenanceReport {
+    let code = elf.code_bytes().unwrap_or(&[]);
+    let names: Vec<&str> = elf
+        .dynamic_symbols()
+        .iter()
+        .map(|s| s.name.as_str())
+        .chain(elf.needed().iter().map(|n| n.as_str()))
+        .filter(|n| !n.is_empty())
+        .collect();
+    SignatureDb::shared().analyze_parts(code, &names)
 }
 
 /// Function-name prefixes and sonames that betray a compiler family even
@@ -53,9 +69,22 @@ const RUNTIME_SHAPES: &[(&str, &str)] = &[
 
 impl SignatureDb {
     /// Scan one parsed image and emit a calibrated report.
-    pub fn analyze(&self, elf: &ElfFile) -> ProvenanceReport {
-        let mut report = ProvenanceReport::empty(self.version);
+    pub fn analyze(&self, elf: &LazyElf) -> ProvenanceReport {
         let code = elf.code_bytes().unwrap_or(&[]);
+        let names: Vec<&str> = elf
+            .dynamic_symbols()
+            .iter()
+            .map(|s| s.name)
+            .chain(elf.needed().iter().copied())
+            .filter(|n| !n.is_empty())
+            .collect();
+        self.analyze_parts(code, &names)
+    }
+
+    /// The matcher core over pre-extracted evidence: entry-point code
+    /// bytes and the observed name set (dynamic symbols + `DT_NEEDED`).
+    pub fn analyze_parts(&self, code: &[u8], names: &[&str]) -> ProvenanceReport {
+        let mut report = ProvenanceReport::empty(self.version);
 
         // ---- tier 1/2: code signatures at the entry point ------------------
         if code.len() >= 16 {
@@ -73,15 +102,6 @@ impl SignatureDb {
                 report.mpi_stack = Some(MpiClaim::new(m, EvidenceTier::FamilyIdiom));
             }
         }
-
-        // ---- observed names: dynamic symbols + DT_NEEDED -------------------
-        let names: Vec<&str> = elf
-            .dynamic_symbols()
-            .iter()
-            .map(|s| s.name.as_str())
-            .chain(elf.needed().iter().map(|n| n.as_str()))
-            .filter(|n| !n.is_empty())
-            .collect();
 
         // ---- tier 3: symbol-shape family vote (gap-filling only) -----------
         if report.compiler.is_none() {
@@ -127,7 +147,7 @@ impl SignatureDb {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use feam_elf::{Class, ElfSpec, HostArch, ImportSpec, Machine};
+    use feam_elf::{Class, ElfSpec, HostArch, ImportSpec, LazyElf, Machine};
     use feam_sim::compile::{compile_variant, BinaryVariant, ProgramSpec};
     use feam_sim::mpi::{MpiImpl, MpiStack, Network};
     use feam_sim::site::{OsInfo, Site, SiteConfig};
@@ -160,7 +180,7 @@ mod tests {
         let ist = site.stacks[0].clone();
         let prog = ProgramSpec::new("milc", Language::C);
         let bin = compile_variant(&site, Some(&ist), &prog, 5, BinaryVariant::Stripped).unwrap();
-        let f = ElfFile::parse(&bin.image).unwrap();
+        let f = LazyElf::parse(&bin.image).unwrap();
         assert!(f.comments().is_empty(), "strip removed direct evidence");
         let r = analyze(&f);
         let c = r.compiler.unwrap();
@@ -178,7 +198,7 @@ mod tests {
         let ist = site.stacks[0].clone();
         let prog = ProgramSpec::new("pop2", Language::Fortran);
         let bin = compile_variant(&site, Some(&ist), &prog, 8, BinaryVariant::Static).unwrap();
-        let f = ElfFile::parse(&bin.image).unwrap();
+        let f = LazyElf::parse(&bin.image).unwrap();
         assert!(f.needed().is_empty(), "no link footprint to read");
         let r = analyze(&f);
         assert_eq!(r.compiler.unwrap().version.as_deref(), Some("4.4.5"));
@@ -196,7 +216,7 @@ mod tests {
         spec.text_stamp = stamp::text_stamp(&ghost, None);
         spec.needed = vec!["libc.so.6".into()];
         let bytes = spec.build().unwrap();
-        let r = analyze(&ElfFile::parse(&bytes).unwrap());
+        let r = analyze(&LazyElf::parse(&bytes).unwrap());
         let c = r.compiler.unwrap();
         assert_eq!(c.family, CompilerFamily::Gnu);
         assert_eq!(c.version, None);
@@ -213,7 +233,7 @@ mod tests {
             ImportSpec::plain("mvapich2_rt_ident", "libmpich.so.1.2"),
         ];
         let bytes = spec.build().unwrap();
-        let r = analyze(&ElfFile::parse(&bytes).unwrap());
+        let r = analyze(&LazyElf::parse(&bytes).unwrap());
         let c = r.compiler.unwrap();
         assert_eq!(c.family, CompilerFamily::Intel);
         assert_eq!(c.tier, EvidenceTier::SymbolShape);
@@ -230,7 +250,7 @@ mod tests {
         let mut spec = ElfSpec::executable(Machine::X86_64, Class::Elf64);
         spec.static_link = true;
         let bytes = spec.build().unwrap();
-        let r = analyze(&ElfFile::parse(&bytes).unwrap());
+        let r = analyze(&LazyElf::parse(&bytes).unwrap());
         assert!(r.is_empty());
         assert_eq!(r.confidence, 0.0);
     }
@@ -243,7 +263,7 @@ mod tests {
             let prog = ProgramSpec::new("bench", Language::C);
             for v in BinaryVariant::ALL {
                 let bin = compile_variant(&site, Some(&ist), &prog, 3, v).unwrap();
-                let r = analyze(&ElfFile::parse(&bin.image).unwrap());
+                let r = analyze(&LazyElf::parse(&bin.image).unwrap());
                 assert!(r.confidence < 1.0, "{family:?} {version} {v:?}");
                 let c = r.compiler.expect("family recoverable from every variant");
                 assert_eq!(c.family, *family, "{version} {v:?}");

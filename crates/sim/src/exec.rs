@@ -129,8 +129,11 @@ impl ExecOutcome {
 
 /// Extract (compiler family, full version string) from `.comment`
 /// provenance.
-pub fn compiler_version_from_comments(comments: &[String]) -> Option<(CompilerFamily, String)> {
+pub fn compiler_version_from_comments<S: AsRef<str>>(
+    comments: &[S],
+) -> Option<(CompilerFamily, String)> {
     for c in comments {
+        let c = c.as_ref();
         if let Some(rest) = c.strip_prefix("GCC: ") {
             let ver = rest
                 .split_whitespace()
@@ -154,8 +157,9 @@ pub fn compiler_version_from_comments(comments: &[String]) -> Option<(CompilerFa
 /// Extract (compiler family, major version) from `.comment` provenance —
 /// the execution model's way of knowing which runtime personality a binary
 /// has.
-pub fn compiler_from_comments(comments: &[String]) -> Option<(CompilerFamily, u32)> {
+pub fn compiler_from_comments<S: AsRef<str>>(comments: &[S]) -> Option<(CompilerFamily, u32)> {
     for c in comments {
+        let c = c.as_ref();
         if let Some(rest) = c.strip_prefix("GCC: ") {
             let ver = rest
                 .split_whitespace()
@@ -492,20 +496,20 @@ mod tests {
     #[test]
     fn compiler_from_comments_parses_all_families() {
         assert_eq!(
-            compiler_from_comments(&["GCC: (GNU) 4.1.2 20080704 (Red Hat 4.1.2-50)".into()]),
+            compiler_from_comments(&["GCC: (GNU) 4.1.2 20080704 (Red Hat 4.1.2-50)"]),
             Some((CompilerFamily::Gnu, 4))
         );
         assert_eq!(
             compiler_from_comments(&[
-                "Intel(R) C Intel(R) 64 Compiler Professional, Version 11.1 Build 2".into()
+                "Intel(R) C Intel(R) 64 Compiler Professional, Version 11.1 Build 2"
             ]),
             Some((CompilerFamily::Intel, 11))
         );
         assert_eq!(
-            compiler_from_comments(&["PGI Compilers and Tools pgcc 10.9-0 64-bit target".into()]),
+            compiler_from_comments(&["PGI Compilers and Tools pgcc 10.9-0 64-bit target"]),
             Some((CompilerFamily::Pgi, 10))
         );
-        assert_eq!(compiler_from_comments(&["something else".into()]), None);
+        assert_eq!(compiler_from_comments(&["something else"]), None);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! accuracy tables would be meaningless.
 
 use crate::site::Session;
-use feam_elf::{Class, ElfFile, FileKind, Machine, VersionRef};
+use feam_elf::{Class, FileKind, LazyElf, Machine, VersionRef};
 use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 
@@ -37,29 +37,33 @@ pub struct ObjectMeta {
 impl ObjectMeta {
     /// Extract metadata from an ELF image.
     pub fn parse(bytes: &[u8]) -> feam_elf::Result<Self> {
-        let f = ElfFile::parse(bytes)?;
+        let f = LazyElf::parse(bytes)?;
         Ok(ObjectMeta {
             soname: f.soname().map(str::to_string),
-            needed: f.needed().to_vec(),
+            needed: f.needed().iter().map(|s| s.to_string()).collect(),
             class: f.class(),
             machine: f.machine(),
             kind: f.kind(),
-            version_refs: f.version_refs().to_vec(),
-            version_defs: f.version_defs().iter().map(|d| d.name.clone()).collect(),
+            version_refs: f.version_refs().iter().map(|r| r.owned()).collect(),
+            version_defs: f
+                .version_defs()
+                .iter()
+                .map(|d| d.name.to_string())
+                .collect(),
             exports: f
                 .dynamic_symbols()
                 .iter()
                 .filter(|s| !s.undefined && !s.name.is_empty())
-                .map(|s| (s.name.clone(), s.version.clone()))
+                .map(|s| (s.name.to_string(), s.version.map(str::to_string)))
                 .collect(),
             imports: f
                 .dynamic_symbols()
                 .iter()
                 .filter(|s| s.undefined && !s.name.is_empty())
-                .map(|s| (s.name.clone(), s.version.clone(), s.weak))
+                .map(|s| (s.name.to_string(), s.version.map(str::to_string), s.weak))
                 .collect(),
-            rpath: f.dynamic_info().rpath.clone(),
-            runpath: f.dynamic_info().runpath.clone(),
+            rpath: f.rpath().map(str::to_string),
+            runpath: f.runpath().map(str::to_string),
             comments: f.comments().to_vec(),
             size: f.size(),
         })

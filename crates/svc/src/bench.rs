@@ -87,6 +87,12 @@ pub struct ServeBenchReport {
     pub p50_us: u64,
     pub p95_us: u64,
     pub p99_us: u64,
+    /// Nanosecond-resolution percentiles of the same samples. Result-cache
+    /// hits answer in well under a microsecond, where the `_us` fields
+    /// truncate to 0 — these carry the real tail.
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub p99_ns: u64,
     pub bdc_hit_rate: f64,
     pub edc_hit_rate: f64,
 }
@@ -166,6 +172,7 @@ fn run_one(
     let sites = svc.site_names();
     assert!(!names.is_empty(), "serve bench needs registered binaries");
 
+    // Nanosecond samples; microsecond fields are derived at report time.
     let mut latencies: Vec<u64> = Vec::with_capacity(requests);
     let mut fingerprints: Vec<Option<String>> = vec![None; requests];
     let mut shed = 0u64;
@@ -187,7 +194,7 @@ fn run_one(
                 match svc.submit(&req) {
                     Ok(Delivery::Ready(resp)) => {
                         result_cache_hits += 1;
-                        latencies.push(resp.latency_us);
+                        latencies.push(resp.latency_ns);
                         fingerprints[j] = Some(fingerprint(&req, &resp.prediction));
                         break;
                     }
@@ -208,7 +215,7 @@ fn run_one(
                 .recv()
                 .expect("worker delivers every queued request")
                 .expect("deadline-free bench requests are never shed post-admission");
-            latencies.push(resp.latency_us);
+            latencies.push(resp.latency_ns);
             fingerprints[j] = Some(fingerprint(&req, &resp.prediction));
         }
         i = wave_end;
@@ -240,9 +247,12 @@ fn run_one(
             } else {
                 0.0
             },
-            p50_us: percentile(&latencies, 0.50),
-            p95_us: percentile(&latencies, 0.95),
-            p99_us: percentile(&latencies, 0.99),
+            p50_us: percentile(&latencies, 0.50) / 1_000,
+            p95_us: percentile(&latencies, 0.95) / 1_000,
+            p99_us: percentile(&latencies, 0.99) / 1_000,
+            p50_ns: percentile(&latencies, 0.50),
+            p95_ns: percentile(&latencies, 0.95),
+            p99_ns: percentile(&latencies, 0.99),
             bdc_hit_rate,
             edc_hit_rate,
         },
@@ -325,6 +335,66 @@ mod tests {
         // Rank-1 must dominate any single tail binary by a wide margin.
         let count = |name: &str| a.iter().filter(|n| n.as_str() == name).count();
         assert!(count("bin-00") > 4 * count("bin-11"));
+    }
+
+    #[test]
+    fn report_schema_is_pinned() {
+        // `BENCH_serve.json` and the eval renderer both consume this
+        // serialization; field set and order are part of the contract.
+        // In particular the ns-resolution percentiles must be present —
+        // they carry the cached tail that `_us` fields truncate to 0.
+        let report = ServeBenchReport {
+            seed: 42,
+            caching: true,
+            requests: 10,
+            completed: 10,
+            shed: 0,
+            result_cache_hits: 7,
+            coalesced: 1,
+            wall_seconds: 0.5,
+            throughput_rps: 20.0,
+            p50_us: 0,
+            p95_us: 3,
+            p99_us: 12,
+            p50_ns: 640,
+            p95_ns: 3_100,
+            p99_ns: 12_400,
+            bdc_hit_rate: 0.9,
+            edc_hit_rate: 0.8,
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let expected_order = [
+            "seed",
+            "caching",
+            "requests",
+            "completed",
+            "shed",
+            "result_cache_hits",
+            "coalesced",
+            "wall_seconds",
+            "throughput_rps",
+            "p50_us",
+            "p95_us",
+            "p99_us",
+            "p50_ns",
+            "p95_ns",
+            "p99_ns",
+            "bdc_hit_rate",
+            "edc_hit_rate",
+        ];
+        let mut at = 0;
+        for key in expected_order {
+            let needle = format!("\"{key}\":");
+            let pos = json[at..]
+                .find(&needle)
+                .unwrap_or_else(|| panic!("field {key} missing or out of order in {json}"));
+            at += pos + needle.len();
+        }
+        // Sub-microsecond latencies survive in the ns lane even when the
+        // µs lane floors to zero.
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["p50_us"].as_u64(), Some(0));
+        assert_eq!(v["p50_ns"].as_u64(), Some(640));
     }
 
     #[test]

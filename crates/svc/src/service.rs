@@ -68,6 +68,10 @@ pub struct PredictResponse {
     pub cacheable: bool,
     /// This waiter's end-to-end latency, submit to delivery.
     pub latency_us: u64,
+    /// The same latency at nanosecond resolution: result-cache hits
+    /// routinely answer in under a microsecond, where `latency_us`
+    /// truncates to 0.
+    pub latency_ns: u64,
 }
 
 /// Why a request was rejected without being evaluated.
@@ -571,7 +575,8 @@ impl PredictService {
             if let Some(hit) = inner.results.lock().expect("results").get(&key).cloned() {
                 rec.count("svc.result.hit", 1);
                 rec.count("svc.responses", 1);
-                let latency_us = t0.elapsed().as_micros() as u64;
+                let latency_ns = t0.elapsed().as_nanos() as u64;
+                let latency_us = latency_ns / 1_000;
                 rec.observe_tail("svc.latency_us", latency_us as f64, ctx);
                 rec.finish_trace(ctx);
                 return Ok(Delivery::Ready(PredictResponse {
@@ -582,6 +587,7 @@ impl PredictService {
                     from_result_cache: true,
                     cacheable: true,
                     latency_us,
+                    latency_ns,
                 }));
             }
             rec.count("svc.result.miss", 1);
@@ -624,7 +630,8 @@ impl PredictService {
             if let Some(hit) = inner.results.lock().expect("results").get(&key).cloned() {
                 rec.count("svc.result.hit", 1);
                 rec.count("svc.responses", 1);
-                let latency_us = t0.elapsed().as_micros() as u64;
+                let latency_ns = t0.elapsed().as_nanos() as u64;
+                let latency_us = latency_ns / 1_000;
                 rec.span_end_at("svc.request", ctx, latency_us);
                 rec.observe_tail("svc.latency_us", latency_us as f64, ctx);
                 rec.finish_trace(ctx);
@@ -636,6 +643,7 @@ impl PredictService {
                     from_result_cache: true,
                     cacheable: true,
                     latency_us,
+                    latency_ns,
                 }));
             }
         }
@@ -931,7 +939,8 @@ fn process(inner: &Inner, job: Job) {
     drop(span);
     let degraded = outcome.evaluation.degraded;
     for w in waiters {
-        let latency_us = w.since.elapsed().as_micros() as u64;
+        let latency_ns = w.since.elapsed().as_nanos() as u64;
+        let latency_us = latency_ns / 1_000;
         rec.count("svc.responses", 1);
         if degraded {
             rec.count("svc.response.degraded", 1);
@@ -951,6 +960,7 @@ fn process(inner: &Inner, job: Job) {
             from_result_cache: false,
             cacheable,
             latency_us,
+            latency_ns,
         }));
     }
 }

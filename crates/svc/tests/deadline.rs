@@ -108,6 +108,9 @@ fn coalesced_waiters_shed_individually() {
 /// is already done, so there is nothing to shed.
 #[test]
 fn cache_hits_answer_even_with_expired_deadlines() {
+    if !feam_core::cache::caching_enabled_from_env() {
+        return; // FEAM_CACHE=0 run: there are no cache hits to assert on
+    }
     let (mut svc, _sink) = test_service();
     svc.start();
     let warm = svc.predict(&req(None)).expect("warms the result cache");

@@ -22,7 +22,7 @@
 
 use feam::core::bdc::{identify_mpi, BinaryDescription, MpiIdentification};
 use feam::elf::render::{render_comment_section, render_objdump_p, render_summary};
-use feam::elf::ElfFile;
+use feam::elf::LazyElf;
 
 fn usage() -> ! {
     eprintln!(
@@ -81,7 +81,7 @@ fn main() {
                         );
                         return;
                     }
-                    let f = ElfFile::parse(&bytes).expect("parsed above");
+                    let f = LazyElf::parse(&bytes).expect("parsed above");
                     println!("== FEAM binary description: {path} ==");
                     print!("{}", render_summary(&f));
                     println!(
@@ -110,7 +110,7 @@ fn main() {
         Some("identify") => {
             let (json, path) = parse_file_args(&args[1..]);
             let bytes = read_elf(path);
-            match ElfFile::parse(&bytes) {
+            match LazyElf::parse(&bytes) {
                 Ok(f) => {
                     let mpi = identify_mpi(f.needed());
                     let evidence = f.evidence();
@@ -175,7 +175,7 @@ fn main() {
         Some("objdump") => {
             let path = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
             let bytes = read_elf(path);
-            match ElfFile::parse(&bytes) {
+            match LazyElf::parse(&bytes) {
                 Ok(f) => print!("{path}:     {}", render_objdump_p(&f)),
                 Err(e) => {
                     eprintln!("feam: {e}");
@@ -186,7 +186,7 @@ fn main() {
         Some("comment") => {
             let path = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
             let bytes = read_elf(path);
-            match ElfFile::parse(&bytes) {
+            match LazyElf::parse(&bytes) {
                 Ok(f) => print!("{}", render_comment_section(&f)),
                 Err(e) => {
                     eprintln!("feam: {e}");
@@ -208,7 +208,7 @@ fn main() {
             }
             let Some(path) = path else { usage() };
             let bytes = read_elf(path);
-            match ElfFile::parse(&bytes) {
+            match LazyElf::parse(&bytes) {
                 Ok(f) => {
                     let findings = feam::elf::check::check(&f);
                     let errors = findings
@@ -350,7 +350,7 @@ fn plan_cmd(args: &[String]) {
     }
     let Some(path) = path else { usage() };
     let bytes = read_elf(path);
-    if let Err(e) = ElfFile::parse(&bytes) {
+    if let Err(e) = LazyElf::parse(&bytes) {
         eprintln!("feam: {e}");
         std::process::exit(1);
     }

@@ -107,6 +107,53 @@ fn ensemble_agreement_is_identical_with_and_without_caches() {
     );
 }
 
+/// The batched library collector — one zero-copy parse and one
+/// description per dependency, names interned in a per-request arena —
+/// must produce byte-identical bundles whether or not a description
+/// cache is installed, and whether the cache is cold or warm.
+#[test]
+fn collect_libraries_bundle_is_identical_with_and_without_caches() {
+    use feam::sim::compile::{compile, ProgramSpec};
+    use feam::sim::site::Session;
+    use feam::sim::toolchain::Language;
+    use feam::workloads::sites::standard_sites;
+
+    let sites = standard_sites(42);
+    let home = &sites[0];
+    let stack = home.stacks[0].clone();
+    let bin = compile(
+        home,
+        Some(&stack),
+        &ProgramSpec::new("bt", Language::Fortran),
+        42,
+    )
+    .expect("probe compiles");
+
+    let collect = |caches: Option<&feam_core::cache::PhaseCaches>| -> String {
+        let mut sess = Session::new(home);
+        sess.load_stack(&stack);
+        sess.stage_file("/r/bt", Arc::clone(&bin.image));
+        let bundle = feam_core::bdc::collect_libraries_cached(&mut sess, "/r/bt", caches)
+            .expect("collection succeeds");
+        let mut out = String::new();
+        for (soname, copy) in &bundle {
+            out.push_str(soname);
+            out.push('=');
+            out.push_str(&serde_json::to_string(&copy.description).expect("serializes"));
+            out.push('\n');
+        }
+        out
+    };
+
+    let uncached = collect(None);
+    let caches = feam_core::cache::PhaseCaches::new(0);
+    let cold = collect(Some(&caches));
+    let warm = collect(Some(&caches));
+    assert!(!uncached.is_empty(), "the bundle actually has libraries");
+    assert_eq!(uncached, cold, "cold cache changed an observable field");
+    assert_eq!(uncached, warm, "warm cache changed an observable field");
+}
+
 #[test]
 fn table3_sweep_is_byte_identical_with_and_without_caches() {
     let seed = 1234;

@@ -1,0 +1,207 @@
+//! Differential eager-vs-lazy parser suite: the zero-copy `LazyElf`
+//! production reader against the historical eager `ElfFile` (kept behind
+//! the test-only `eager` feature). Over the full fuzz corpus and the
+//! §VI.A evaluation corpus, the two must agree on Err/Ok classification,
+//! and every accepted image must produce a byte-identical serialized
+//! `BinaryDescription` through both describe paths.
+//!
+//! The mutator seeds mirror `tests/elf_fuzz.rs` so both suites sweep the
+//! same deterministic case space.
+
+use feam::core::bdc::BinaryDescription;
+use feam::elf::{
+    strip_section_headers, Class, ElfFile, ElfSpec, Endian, ExportSpec, ImportSpec, LazyElf,
+    Machine,
+};
+
+/// Per-sweep iteration count (`FEAM_FUZZ_ITERS=N` overrides, as in the
+/// fuzz suite).
+fn fuzz_iters(default: usize) -> usize {
+    std::env::var("FEAM_FUZZ_ITERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|n| *n > 0)
+        .unwrap_or(default)
+}
+
+/// SplitMix64-style deterministic generator (same scheme as the fuzz
+/// suite, so case numbers line up).
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+}
+
+/// Valid images covering both classes, byte orders, file kinds and both
+/// reader routes (with and without section headers).
+fn base_images() -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    for (class, endian) in [
+        (Class::Elf64, Endian::Little),
+        (Class::Elf64, Endian::Big),
+        (Class::Elf32, Endian::Little),
+    ] {
+        let mut spec = ElfSpec::executable(Machine::X86_64, class);
+        spec.endian = endian;
+        spec.needed = vec!["libmpi.so.0".into(), "libc.so.6".into()];
+        spec.imports = vec![
+            ImportSpec::versioned("fopen64", "libc.so.6", "GLIBC_2.3.4"),
+            ImportSpec::versioned("MPI_Init", "libmpi.so.0", "OMPI_1.4"),
+            ImportSpec::plain("main_helper", "libc.so.6"),
+        ];
+        spec.comments = vec!["GCC: (GNU) 4.4.7".into()];
+        let img = spec.build().expect("valid executable spec builds");
+        let mut stripped = img.clone();
+        strip_section_headers(&mut stripped).expect("strippable");
+        out.push(stripped);
+        out.push(img);
+
+        let mut lib = ElfSpec::shared_library("libdemo.so.1", Machine::X86_64, class);
+        lib.endian = endian;
+        lib.exports = vec![
+            ExportSpec::new("demo_fn", Some("DEMO_1.0")),
+            ExportSpec::new("demo_fn2", None),
+        ];
+        out.push(lib.build().expect("valid library spec builds"));
+    }
+    out
+}
+
+/// The differential oracle: both readers must classify the bytes the
+/// same way, and on acceptance both describe paths must serialize the
+/// same `BinaryDescription`.
+fn assert_equivalent(bytes: &[u8], what: &str) {
+    let eager = ElfFile::parse(bytes);
+    let lazy = LazyElf::parse(bytes);
+    assert_eq!(
+        eager.is_ok(),
+        lazy.is_ok(),
+        "{what}: eager={:?} lazy={:?}",
+        eager.as_ref().err(),
+        lazy.as_ref().err()
+    );
+    if eager.is_err() {
+        return;
+    }
+    let de = BinaryDescription::from_bytes_eager("/diff/x", bytes).expect("eager describes");
+    let dl = BinaryDescription::from_bytes("/diff/x", bytes).expect("lazy describes");
+    let je = serde_json::to_string(&de).expect("eager description serializes");
+    let jl = serde_json::to_string(&dl).expect("lazy description serializes");
+    assert_eq!(je, jl, "{what}: serialized descriptions diverged");
+}
+
+#[test]
+fn valid_images_describe_identically_on_both_routes() {
+    for (i, img) in base_images().into_iter().enumerate() {
+        assert_equivalent(&img, &format!("base image {i}"));
+    }
+}
+
+#[test]
+fn random_byte_flips_classify_and_describe_identically() {
+    let mut g = Gen::new(0xBADC_0FFE);
+    for (i, img) in base_images().into_iter().enumerate() {
+        for case in 0..fuzz_iters(300) {
+            let mut m = img.clone();
+            for _ in 0..g.range(1, 9) {
+                let pos = g.range(0, m.len());
+                m[pos] = g.next_u64() as u8;
+            }
+            assert_equivalent(&m, &format!("image {i} flip case {case}"));
+        }
+    }
+}
+
+#[test]
+fn block_corruption_and_truncation_classify_and_describe_identically() {
+    let mut g = Gen::new(0x5EED_F00D);
+    for (i, img) in base_images().into_iter().enumerate() {
+        for case in 0..fuzz_iters(150) {
+            let mut m = img.clone();
+            // Corrupt a contiguous block, then maybe truncate.
+            let start = g.range(0, m.len());
+            let len = g.range(1, (m.len() - start).min(64) + 1);
+            for b in &mut m[start..start + len] {
+                *b = g.next_u64() as u8;
+            }
+            if g.range(0, 2) == 1 {
+                m.truncate(g.range(1, m.len() + 1));
+            }
+            assert_equivalent(&m, &format!("image {i} block case {case}"));
+        }
+    }
+}
+
+#[test]
+fn segment_route_corruption_classifies_and_describes_identically() {
+    // Section-header-stripped twins force the PT_DYNAMIC route in both
+    // readers; corruption there must not split their verdicts.
+    let mut g = Gen::new(0xE1F5_EC70);
+    for (i, img) in base_images().into_iter().enumerate() {
+        let mut stripped = img.clone();
+        if strip_section_headers(&mut stripped).is_err() {
+            continue;
+        }
+        for case in 0..fuzz_iters(150) {
+            let mut m = stripped.clone();
+            for _ in 0..g.range(1, 6) {
+                let pos = g.range(0, m.len());
+                m[pos] = g.next_u64() as u8;
+            }
+            assert_equivalent(&m, &format!("stripped image {i} case {case}"));
+        }
+    }
+}
+
+#[test]
+fn hostile_variant_corruption_classifies_and_describes_identically() {
+    // Stripped/static-shaped images (the fuzz suite's hostile pool).
+    let mut g = Gen::new(0x57A7_1C57);
+    let mut pool = Vec::new();
+    for class in [Class::Elf64, Class::Elf32] {
+        let mut spec = ElfSpec::executable(Machine::X86_64, class);
+        spec.needed = vec!["libmpich.so.1.2".into(), "libc.so.6".into()];
+        spec.text_stamp = vec![0x5A; 24];
+        let mut img = spec.build().expect("hostile spec builds");
+        strip_section_headers(&mut img).expect("strippable");
+        pool.push(img);
+        let mut st = ElfSpec::executable(Machine::X86_64, class);
+        st.static_link = true;
+        pool.push(st.build().expect("static spec builds"));
+    }
+    for (i, img) in pool.into_iter().enumerate() {
+        for case in 0..fuzz_iters(150) {
+            let mut m = img.clone();
+            for _ in 0..g.range(1, 9) {
+                let pos = g.range(0, m.len());
+                m[pos] = g.next_u64() as u8;
+            }
+            assert_equivalent(&m, &format!("hostile image {i} case {case}"));
+        }
+    }
+}
+
+#[test]
+fn evaluation_corpus_describes_identically() {
+    // Every §VI.A corpus binary — the images the serving pipeline
+    // actually describes — through both paths.
+    let sites = feam::workloads::sites::standard_sites(42);
+    let corpus = feam::workloads::testset::TestSetBuilder::new(42).build(&sites);
+    for item in corpus.binaries() {
+        assert_equivalent(&item.image, item.label());
+    }
+}

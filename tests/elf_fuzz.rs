@@ -354,7 +354,7 @@ fn provenance_on_corrupt_images_never_panics_or_reaches_direct_confidence() {
                 let pos = g.range(0, m.len());
                 m[pos] = g.next_u64() as u8;
             }
-            if let Ok(f) = ElfFile::parse(&m) {
+            if let Ok(f) = feam::elf::LazyElf::parse(&m) {
                 let r = feam::provenance::analyze(&f);
                 assert!(
                     r.confidence < 1.0,
